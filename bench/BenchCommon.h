@@ -1,0 +1,56 @@
+//===- bench/BenchCommon.h - Shared bench scaffolding --------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure bench binaries: the standard
+/// workbench construction at the env-configurable scale, and uniform
+/// banner printing. Each bench regenerates one table or figure of the
+/// paper's evaluation (see DESIGN.md's per-experiment index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_BENCH_BENCHCOMMON_H
+#define TYPILUS_BENCH_BENCHCOMMON_H
+
+#include "core/Experiments.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+namespace typilus {
+namespace bench {
+
+inline void banner(const char *What, const char *PaperRef) {
+  std::printf("==============================================================="
+              "=\n%s\n(reproduces %s of Typilus, PLDI 2020 — shapes, not "
+              "absolute values)\n"
+              "================================================================"
+              "\n",
+              What, PaperRef);
+}
+
+/// The default experiment environment used by the accuracy benches.
+inline Workbench makeBench(const BenchScale &S, uint64_t Seed = 20200613,
+                           GraphBuildOptions GO = {}) {
+  CorpusConfig CC;
+  CC.NumFiles = S.NumFiles;
+  CC.Seed = Seed;
+  DatasetConfig DC;
+  DC.GraphOpts = GO;
+  return Workbench::make(CC, DC);
+}
+
+inline TrainOptions makeTrainOptions(const BenchScale &S) {
+  TrainOptions TO;
+  TO.Epochs = S.Epochs;
+  return TO;
+}
+
+} // namespace bench
+} // namespace typilus
+
+#endif // TYPILUS_BENCH_BENCHCOMMON_H

@@ -1,0 +1,87 @@
+//===- bench/corpus_stats.cpp - Sec. 6 "Data" statistics + Table 1 ------------===//
+//
+// Regenerates the corpus statistics the paper reports in Sec. 6 (Zipfian
+// type distribution, top-10 share, rare-annotation share, dedup effect)
+// and the per-label edge inventory of Table 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "corpus/Dedup.h"
+
+#include <algorithm>
+
+using namespace typilus;
+
+int main() {
+  bench::banner("Corpus statistics & graph edge inventory",
+                "Sec. 6 'Data' and Table 1");
+  BenchScale S = BenchScale::fromEnv();
+  CorpusConfig CC;
+  CC.NumFiles = S.NumFiles;
+  CorpusGenerator Gen(CC);
+  std::vector<CorpusFile> Files = Gen.generate();
+  std::vector<size_t> Dupes = findNearDuplicates(Files);
+
+  TypeUniverse U;
+  TypeHierarchy H(U);
+  DatasetConfig DC;
+  Dataset DS = buildDataset(Files, Gen.udts(), U, &H, DC);
+
+  size_t Total = 0;
+  std::vector<std::pair<int, TypeRef>> ByCount;
+  for (const auto &[T, N] : DS.TrainTypeCounts) {
+    ByCount.emplace_back(N, T);
+    Total += static_cast<size_t>(N);
+  }
+  std::sort(ByCount.rbegin(), ByCount.rend());
+  size_t Top10 = 0;
+  for (size_t I = 0; I < 10 && I < ByCount.size(); ++I)
+    Top10 += static_cast<size_t>(ByCount[I].first);
+  size_t RareMass = 0;
+  for (const auto &[N, T] : ByCount)
+    if (N < DS.CommonThreshold)
+      RareMass += static_cast<size_t>(N);
+
+  std::printf("files generated:            %zu\n", Files.size());
+  std::printf("near-duplicates removed:    %zu (paper: >133k of 600 repos)\n",
+              Dupes.size());
+  std::printf("train/valid/test files:     %zu / %zu / %zu (70/10/20)\n",
+              DS.Train.size(), DS.Valid.size(), DS.Test.size());
+  std::printf("annotated symbols (train):  %zu\n", Total);
+  std::printf("distinct types (train):     %zu\n", ByCount.size());
+  std::printf("top-10 types share:         %.1f%%  (paper: ~50%%)\n",
+              100.0 * static_cast<double>(Top10) / static_cast<double>(Total));
+  std::printf("rare-annotation share:      %.1f%%  (paper: 32%%; rare = <%d "
+              "train annotations)\n\n",
+              100.0 * static_cast<double>(RareMass) /
+                  static_cast<double>(Total),
+              DS.CommonThreshold);
+
+  TextTable Tt;
+  Tt.setHeader({"rank", "type", "train annotations"});
+  for (size_t I = 0; I < 10 && I < ByCount.size(); ++I)
+    Tt.addRow({strformat("%zu", I + 1), ByCount[I].second->str(),
+               strformat("%d", ByCount[I].first)});
+  std::printf("%s\n", Tt.renderAscii().c_str());
+
+  // Table 1: edge counts per label over the training graphs.
+  std::array<size_t, NumEdgeLabels> Counts{};
+  size_t Nodes = 0;
+  for (const FileExample &F : DS.Train) {
+    auto C = F.Graph.edgeCounts();
+    for (size_t I = 0; I != NumEdgeLabels; ++I)
+      Counts[I] += C[I];
+    Nodes += F.Graph.numNodes();
+  }
+  TextTable Et;
+  Et.setHeader({"edge label (Table 1)", "count", "per node"});
+  for (size_t I = 0; I != NumEdgeLabels; ++I)
+    Et.addRow({edgeLabelName(static_cast<EdgeLabel>(I)),
+               strformat("%zu", Counts[I]),
+               strformat("%.2f", static_cast<double>(Counts[I]) /
+                                     static_cast<double>(Nodes))});
+  std::printf("%s", Et.renderAscii().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/fig4_pr_curves.cpp - Fig. 4: precision-recall curves -------------===//
+//
+// Regenerates Fig. 4: confidence-thresholded precision/recall for
+// Graph2Class, Graph2Space and Typilus on all three criteria. Output is a
+// CSV series (one row per threshold point) plus the paper's headline
+// operating point (precision at ~70% recall).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace typilus;
+
+int main() {
+  bench::banner("Fig. 4: precision-recall curves", "Figure 4");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = bench::makeBench(S);
+  TrainOptions TO = bench::makeTrainOptions(S);
+
+  struct Entry {
+    const char *Name;
+    LossKind Loss;
+  };
+  const Entry Entries[] = {
+      {"Graph2Class", LossKind::Class},
+      {"Graph2Space", LossKind::Space},
+      {"Typilus", LossKind::Typilus},
+  };
+  const std::pair<const char *, Criterion> Criteria[] = {
+      {"exact", Criterion::Exact},
+      {"uptoparam", Criterion::UpToParametric},
+      {"neutral", Criterion::Neutral},
+  };
+
+  TextTable Csv;
+  Csv.setHeader({"model", "criterion", "threshold", "recall", "precision"});
+  for (const Entry &E : Entries) {
+    ModelConfig MC;
+    MC.Loss = E.Loss;
+    ModelRun Run = trainAndEvaluate(WB, MC, TO);
+    for (const auto &[CName, C] : Criteria) {
+      auto Curve = prCurve(Run.Js, C, 20);
+      for (const PrPoint &P : Curve)
+        Csv.addRow({E.Name, CName, strformat("%.4f", P.Threshold),
+                    strformat("%.3f", P.Recall),
+                    strformat("%.3f", P.Precision)});
+      // Headline: precision nearest to 70% recall.
+      const PrPoint *Best = nullptr;
+      for (const PrPoint &P : Curve)
+        if (!Best || std::abs(P.Recall - 0.7) < std::abs(Best->Recall - 0.7))
+          Best = &P;
+      if (Best)
+        std::printf("%-12s %-10s precision at ~70%% recall: %.1f%% "
+                    "(recall %.0f%%)\n",
+                    E.Name, CName, 100 * Best->Precision, 100 * Best->Recall);
+    }
+  }
+  std::printf("\nCSV series (plot recall vs precision per model/criterion):\n%s",
+              Csv.renderCsv().c_str());
+  std::printf("\nPaper: Typilus reaches ~95%% type-neutral precision at 70%% "
+              "recall; the baselines sit well below.\n");
+  return 0;
+}

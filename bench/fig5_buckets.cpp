@@ -1,0 +1,37 @@
+//===- bench/fig5_buckets.cpp - Fig. 5: accuracy by annotation count ----------===//
+//
+// Regenerates Fig. 5: Typilus's exact match and match-up-to-parametric,
+// bucketed by how often the ground-truth type is annotated in training
+// (the paper buckets 2..10000 on its larger corpus; bounds scale here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace typilus;
+
+int main() {
+  bench::banner("Fig. 5: performance bucketed by type annotation count",
+                "Figure 5");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = bench::makeBench(S);
+  ModelConfig MC; // Typilus
+  ModelRun Run = trainAndEvaluate(WB, MC, bench::makeTrainOptions(S));
+
+  const std::vector<int> Bounds = {2, 5, 10, 20, 50, 100, 1000000};
+  auto Buckets = bucketByAnnotationCount(Run.Js, Bounds);
+
+  TextTable T;
+  T.setHeader({"annotation count <=", "n", "% exact match",
+               "% match up to parametric"});
+  for (const Bucket &B : Buckets)
+    T.addRow({B.MaxCount >= 1000000 ? std::string("inf")
+                                    : strformat("%d", B.MaxCount),
+              strformat("%zu", B.Num), strformat("%.1f", B.Exact),
+              strformat("%.1f", B.UpToParametric)});
+  std::printf("%s", T.renderAscii().c_str());
+  std::printf("\nPaper: accuracy rises monotonically with annotation count; "
+              "rare buckets stay well above zero thanks to the kNN type "
+              "map.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- bench/speed_micro.cpp - Sec. 6.1 "Computational Speed" -----------------===//
+//
+// google-benchmark microbenches for the paper's speed claims: a GGNN
+// training epoch is far cheaper than a biRNN epoch (paper: 86s vs 5255s
+// per epoch, ~29x faster inference), plus kNN index and graph-construction
+// throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "pyfront/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace typilus;
+
+namespace {
+
+/// Shared fixture state, built once.
+struct SpeedEnv {
+  Workbench WB;
+  std::unique_ptr<TypeModel> GraphModel, SeqModel;
+
+  SpeedEnv() {
+    CorpusConfig CC;
+    CC.NumFiles = 24;
+    DatasetConfig DC;
+    WB = Workbench::make(CC, DC);
+    ModelConfig GC;
+    GC.Encoder = EncoderKind::Graph;
+    GC.TimeSteps = 8; // the paper's T=8 for the speed comparison
+    GraphModel = makeModel(GC, WB.DS, *WB.U);
+    ModelConfig SC;
+    SC.Encoder = EncoderKind::Seq;
+    SeqModel = makeModel(SC, WB.DS, *WB.U);
+  }
+
+  static SpeedEnv &get() {
+    static SpeedEnv E;
+    return E;
+  }
+};
+
+void BM_GnnTrainEpoch(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  TrainOptions TO;
+  TO.Epochs = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(trainModel(*E.GraphModel, E.WB.DS.Train, TO));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(E.WB.DS.Train.size()));
+}
+BENCHMARK(BM_GnnTrainEpoch)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_BiRnnTrainEpoch(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  TrainOptions TO;
+  TO.Epochs = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(trainModel(*E.SeqModel, E.WB.DS.Train, TO));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(E.WB.DS.Train.size()));
+}
+BENCHMARK(BM_BiRnnTrainEpoch)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_GnnInferencePerGraph(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  const FileExample &F = E.WB.DS.Test.front();
+  for (auto _ : State) {
+    std::vector<const Target *> Targets;
+    benchmark::DoNotOptimize(E.GraphModel->embed({&F}, &Targets));
+  }
+}
+BENCHMARK(BM_GnnInferencePerGraph)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_BiRnnInferencePerFile(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  const FileExample &F = E.WB.DS.Test.front();
+  for (auto _ : State) {
+    std::vector<const Target *> Targets;
+    benchmark::DoNotOptimize(E.SeqModel->embed({&F}, &Targets));
+  }
+}
+BENCHMARK(BM_BiRnnInferencePerFile)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_GraphConstruction(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  const CorpusFile &F = E.WB.Files.front();
+  TypeUniverse U;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildExample(F, U, GraphBuildOptions{}));
+}
+BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMicrosecond);
+
+/// kNN queries: exact scan vs the Annoy-style forest (Sec. 4.2 requires a
+/// spatial index for a practical τmap).
+void BM_KnnQuery(benchmark::State &State) {
+  const bool UseAnnoy = State.range(0) != 0;
+  const int NumMarkers = static_cast<int>(State.range(1));
+  Rng R(7);
+  TypeUniverse U;
+  TypeMap Map(32);
+  std::vector<float> Emb(32);
+  TypeRef T = U.parse("int");
+  for (int I = 0; I != NumMarkers; ++I) {
+    for (float &X : Emb)
+      X = static_cast<float>(R.normal());
+    Map.add(Emb.data(), T);
+  }
+  ExactIndex Exact(Map);
+  AnnoyIndex Annoy(Map);
+  std::vector<float> Q(32);
+  for (float &X : Q)
+    X = static_cast<float>(R.normal());
+  for (auto _ : State) {
+    if (UseAnnoy)
+      benchmark::DoNotOptimize(Annoy.query(Q.data(), 10));
+    else
+      benchmark::DoNotOptimize(Exact.query(Q.data(), 10));
+  }
+}
+BENCHMARK(BM_KnnQuery)
+    ->Args({0, 2000})
+    ->Args({1, 2000})
+    ->Args({0, 20000})
+    ->Args({1, 20000})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

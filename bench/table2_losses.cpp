@@ -1,0 +1,59 @@
+//===- bench/table2_losses.cpp - Table 2: the nine model variants -------------===//
+//
+// Regenerates Table 2: {Seq, Path, Graph} x {Class (Eq. 1), Space (Eq. 3),
+// Typilus (Eq. 4)} evaluated on exact match, match up to parametric type
+// (each split All/Common/Rare) and type neutrality. Expected shapes:
+// Space/Typilus dominate Class on rare types; Graph >= Seq >= Path;
+// Typilus best overall.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace typilus;
+
+int main() {
+  bench::banner("Table 2: quantitative evaluation of the nine variants",
+                "Table 2");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = bench::makeBench(S);
+  TrainOptions TO = bench::makeTrainOptions(S);
+
+  struct Row {
+    const char *Name;
+    EncoderKind Enc;
+    LossKind Loss;
+  };
+  const Row Rows[] = {
+      {"Seq2Class", EncoderKind::Seq, LossKind::Class},
+      {"Seq2Space", EncoderKind::Seq, LossKind::Space},
+      {"Seq-Typilus", EncoderKind::Seq, LossKind::Typilus},
+      {"Path2Class", EncoderKind::Path, LossKind::Class},
+      {"Path2Space", EncoderKind::Path, LossKind::Space},
+      {"Path-Typilus", EncoderKind::Path, LossKind::Typilus},
+      {"Graph2Class", EncoderKind::Graph, LossKind::Class},
+      {"Graph2Space", EncoderKind::Graph, LossKind::Space},
+      {"Typilus", EncoderKind::Graph, LossKind::Typilus},
+  };
+
+  TextTable T;
+  T.setHeader({"Model", "%Exact All", "Common", "Rare", "%UpToParam All",
+               "Common", "Rare", "%Neutral"});
+  for (const Row &R : Rows) {
+    ModelConfig MC;
+    MC.Encoder = R.Enc;
+    MC.Loss = R.Loss;
+    ModelRun Run = trainAndEvaluate(WB, MC, TO);
+    const EvalSummary &E = Run.Summary;
+    T.addNumericRow(R.Name, {E.ExactAll, E.ExactCommon, E.ExactRare, E.UpAll,
+                             E.UpCommon, E.UpRare, E.Neutral});
+    std::printf("trained %-13s (%.0fs)  exact=%.1f rare=%.1f\n", R.Name,
+                Run.TrainSeconds, E.ExactAll, E.ExactRare);
+  }
+  std::printf("\n%s", T.renderAscii().c_str());
+  std::printf("\nPaper's Table 2 (for shape comparison): Typilus 54.6 exact "
+              "(77.2 common / 22.5 rare), Graph2Class 46.1 (74.5 / 5.9),\n"
+              "Graph2Space 50.5 (69.7 / 23.1); Graph > Seq > Path; "
+              "meta-learning dominates on rare types.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/table4_ablations.cpp - Table 4: edge & representation ablations --===//
+//
+// Regenerates Table 4: retrain Typilus with edge families removed from the
+// graph (Only Names / No Syntactic / No NEXT_TOKEN / No CHILD /
+// No NEXT_*USE) and with different initial node representations (whole
+// tokens / characters / subtokens).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace typilus;
+
+int main() {
+  bench::banner("Table 4: ablations of Typilus", "Table 4");
+  BenchScale S = BenchScale::fromEnv();
+  TrainOptions TO = bench::makeTrainOptions(S);
+
+  struct Row {
+    const char *Name;
+    GraphBuildOptions GO;
+    EncoderKind Enc;
+    NodeRepKind Rep;
+  };
+  const Row Rows[] = {
+      {"Only Names (No GNN)", GraphBuildOptions::full(),
+       EncoderKind::NamesOnly, NodeRepKind::Subtoken},
+      {"No Syntactic Edges", GraphBuildOptions::noSyntactic(),
+       EncoderKind::Graph, NodeRepKind::Subtoken},
+      {"No NEXT_TOKEN", GraphBuildOptions::noNextToken(), EncoderKind::Graph,
+       NodeRepKind::Subtoken},
+      {"No CHILD", GraphBuildOptions::noChild(), EncoderKind::Graph,
+       NodeRepKind::Subtoken},
+      {"No NEXT_*USE", GraphBuildOptions::noNextUse(), EncoderKind::Graph,
+       NodeRepKind::Subtoken},
+      {"Full Model - Tokens", GraphBuildOptions::full(), EncoderKind::Graph,
+       NodeRepKind::WholeToken},
+      {"Full Model - Character", GraphBuildOptions::full(),
+       EncoderKind::Graph, NodeRepKind::Character},
+      {"Full Model - Subtokens", GraphBuildOptions::full(),
+       EncoderKind::Graph, NodeRepKind::Subtoken},
+  };
+
+  TextTable T;
+  T.setHeader({"Ablation", "%Exact Match", "%Type Neutral"});
+  for (const Row &R : Rows) {
+    // Each ablation rebuilds the dataset with its graph options (edges are
+    // removed at graph-construction time, as in the paper).
+    Workbench WB = bench::makeBench(S, /*Seed=*/20200613, R.GO);
+    ModelConfig MC;
+    MC.Encoder = R.Enc;
+    MC.NodeRep = R.Rep;
+    ModelRun Run = trainAndEvaluate(WB, MC, TO);
+    T.addNumericRow(R.Name, {Run.Summary.ExactAll, Run.Summary.Neutral});
+    std::printf("trained %-24s (%.0fs) exact=%.1f\n", R.Name,
+                Run.TrainSeconds, Run.Summary.ExactAll);
+  }
+  std::printf("\n%s", T.renderAscii().c_str());
+  std::printf("\nPaper: Only Names 38.8, No Syntactic 53.7, No NEXT_TOKEN "
+              "54.7, No CHILD 48.4, No NEXT_*USE 54.7,\nTokens 53.7, "
+              "Character 53.4, Subtokens 54.6 — names alone lose most; "
+              "NEXT_*USE is subsumed by OCCURRENCE_OF.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/table5_typecheck.cpp - Table 5: correctness modulo type checker --===//
+//
+// Regenerates Table 5: substitute Typilus's top prediction one symbol at a
+// time into partially annotated programs and run the optional type
+// checkers (strict = mypy-like, inferring = pytype-like). Reports, per
+// annotation category (ε→τ, τ→τ′, τ→τ), the proportion of substitutions
+// and the fraction that do NOT introduce a type error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace typilus;
+
+static void reportMode(const char *Mode,
+                       const std::vector<CheckOutcome> &Outcomes) {
+  size_t N[3] = {0, 0, 0}, Ok[3] = {0, 0, 0};
+  for (const CheckOutcome &O : Outcomes) {
+    size_t I = static_cast<size_t>(O.Kind);
+    ++N[I];
+    Ok[I] += !O.CausesError;
+  }
+  size_t Total = Outcomes.size();
+  size_t TotalOk = Ok[0] + Ok[1] + Ok[2];
+  TextTable T;
+  T.setHeader({"Original -> Predicted", "Prop.", "Acc."});
+  const char *Names[3] = {"eps -> tau", "tau -> tau'", "tau -> tau"};
+  for (size_t I = 0; I != 3; ++I) {
+    double Prop = Total == 0 ? 0
+                             : 100.0 * static_cast<double>(N[I]) /
+                                   static_cast<double>(Total);
+    double Acc = N[I] == 0 ? 0
+                           : 100.0 * static_cast<double>(Ok[I]) /
+                                 static_cast<double>(N[I]);
+    T.addRow({Names[I], strformat("%.0f%%", Prop),
+              strformat("%.0f%%", Acc)});
+  }
+  double Overall = Total == 0 ? 0
+                              : 100.0 * static_cast<double>(TotalOk) /
+                                    static_cast<double>(Total);
+  T.addRow({"Overall", "100%", strformat("%.0f%%", Overall)});
+  std::printf("--- %s ---\n%s  (%zu substitutions assessed)\n\n", Mode,
+              T.renderAscii().c_str(), Total);
+}
+
+int main() {
+  bench::banner("Table 5: type-checking accuracy of Typilus's predictions",
+                "Table 5 / Sec. 6.3");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = bench::makeBench(S);
+  ModelConfig MC; // Typilus
+  ModelRun Run = trainAndEvaluate(WB, MC, bench::makeTrainOptions(S));
+
+  // ~90% of annotations stripped: most substitutions are ε→τ, as in the
+  // paper where most symbols are unannotated even after pytype inference.
+  auto Strict = runCheckerExperiment(WB, Run.Preds, /*InferLocals=*/false,
+                                     /*StripProb=*/0.9, /*Seed=*/1);
+  auto Inferring = runCheckerExperiment(WB, Run.Preds, /*InferLocals=*/true,
+                                        /*StripProb=*/0.9, /*Seed=*/1);
+  reportMode("strict checker (mypy-like)", Strict);
+  reportMode("inferring checker (pytype-like)", Inferring);
+  std::printf("Paper: mypy overall 89%% / pytype 83%%; ε→τ dominates (95%% / "
+              "94%%); the inferring checker catches more errors.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- examples/annotate_project.cpp - End-to-end annotation workflow ----------===//
+//
+// The deployment scenario the paper motivates (Sec. 1): a developer wants
+// to migrate an unannotated codebase to an annotated one. We train a
+// Typilus model, point it at an "unannotated project" (the held-out test
+// files), and emit suggested annotations — keeping only confident
+// predictions that the optional type checker accepts (Fig. 1, right).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "pyfront/Parser.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace typilus;
+
+int main() {
+  CorpusConfig CC;
+  CC.NumFiles = 80;
+  DatasetConfig DC;
+  Workbench WB = Workbench::make(CC, DC);
+  ModelConfig MC; // Typilus
+  TrainOptions TO;
+  TO.Epochs = 12;
+  std::printf("training Typilus on %zu files...\n", WB.DS.Train.size());
+  ModelRun Run = trainAndEvaluate(WB, MC, TO);
+
+  const double ConfidenceThreshold = 0.5;
+  // Checker-verified suggestions: substitute each confident prediction
+  // into the (annotation-stripped) program and keep it only if no type
+  // error appears — the paper's false-positive filter.
+  auto Outcomes = runCheckerExperiment(WB, Run.Preds, /*InferLocals=*/false,
+                                       /*StripProb=*/1.0, /*Seed=*/42);
+
+  size_t Suggested = 0, Verified = 0, Correct = 0;
+  std::printf("\nsuggested annotations (confidence >= %.2f, checker-verified):\n",
+              ConfidenceThreshold);
+  for (const CheckOutcome &O : Outcomes) {
+    const PredictionResult &P = *O.Pred;
+    if (P.confidence() < ConfidenceThreshold || !P.top())
+      continue;
+    ++Suggested;
+    if (O.CausesError)
+      continue; // filtered by the type checker
+    ++Verified;
+    bool IsCorrect = P.top() == P.Tgt->Type;
+    Correct += IsCorrect;
+    if (Verified <= 12)
+      std::printf("  %-18s %-22s : %-20s  %s (truth: %s)\n",
+                  P.File->Path.c_str(), P.Tgt->Name.c_str(),
+                  P.top()->str().c_str(), IsCorrect ? "==" : "!=",
+                  P.Tgt->Type->str().c_str());
+  }
+  std::printf("\n%zu confident suggestions; %zu pass the type checker; "
+              "%.1f%% of the verified ones are exactly right\n",
+              Suggested, Verified,
+              Verified ? 100.0 * static_cast<double>(Correct) /
+                             static_cast<double>(Verified)
+                       : 0.0);
+  std::printf("(the paper reports ~95%% type-neutral precision at the "
+              "confidence level covering 70%% of symbols)\n");
+  return 0;
+}

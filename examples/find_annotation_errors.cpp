@@ -1,0 +1,79 @@
+//===- examples/find_annotation_errors.cpp - Sec. 7's wrong-annotation hunt ----===//
+//
+// Reproduces the paper's qualitative result (Sec. 7): Typilus found
+// human-written annotations that were *wrong* — e.g. tensor-dimension
+// parameters annotated `float` in PyTorch/fairseq that it predicted `int`
+// with 99.8% confidence (the accepted pull request). We plant analogous
+// errors in held-out files and report where the model confidently
+// disagrees with the existing annotation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace typilus;
+
+int main() {
+  CorpusConfig CC;
+  CC.NumFiles = 80;
+  DatasetConfig DC;
+  Workbench WB = Workbench::make(CC, DC);
+  ModelConfig MC; // Typilus
+  TrainOptions TO;
+  TO.Epochs = 12;
+  std::printf("training Typilus on %zu files...\n", WB.DS.Train.size());
+  ModelRun Run = trainAndEvaluate(WB, MC, TO);
+
+  // Plant fairseq-style annotation errors: in the *ground truth* of every
+  // 7th int-typed test symbol, pretend the human annotated `float`
+  // (dimension parameters annotated as float — exactly the fairseq bug).
+  TypeRef IntTy = WB.U->parse("int");
+  TypeRef FloatTy = WB.U->parse("float");
+  size_t Planted = 0, Flagged = 0, FalseAlarms = 0, Checked = 0;
+  int Stride = 0;
+  std::printf("\nconfident disagreements with (planted) human annotations:\n");
+  for (const PredictionResult &P : Run.Preds) {
+    if (!P.top())
+      continue;
+    TypeRef Human = P.Tgt->Type;
+    bool IsPlanted = false;
+    if (Human == IntTy && ++Stride % 7 == 0) {
+      Human = FloatTy; // the wrong human annotation
+      IsPlanted = true;
+      ++Planted;
+    }
+    ++Checked;
+    // Typilus flags a suspect annotation when it confidently predicts a
+    // different type.
+    bool Disagrees = P.top() != Human && P.confidence() >= 0.8;
+    if (!Disagrees)
+      continue;
+    if (IsPlanted) {
+      ++Flagged;
+      if (Flagged <= 8)
+        std::printf("  %-22s annotated %-8s but Typilus predicts %-8s "
+                    "(confidence %.2f)  <- planted fairseq-style bug\n",
+                    P.Tgt->Name.c_str(), Human->str().c_str(),
+                    P.top()->str().c_str(), P.confidence());
+    } else {
+      ++FalseAlarms;
+    }
+  }
+  std::printf("\nplanted wrong annotations: %zu; flagged by Typilus: %zu "
+              "(%.0f%%); false alarms on correct annotations: %zu/%zu "
+              "(%.1f%%)\n",
+              Planted, Flagged,
+              Planted ? 100.0 * static_cast<double>(Flagged) /
+                            static_cast<double>(Planted)
+                      : 0.0,
+              FalseAlarms, Checked - Planted,
+              Checked > Planted
+                  ? 100.0 * static_cast<double>(FalseAlarms) /
+                        static_cast<double>(Checked - Planted)
+                  : 0.0);
+  std::printf("(paper: the fairseq and allennlp pull requests fixing such "
+              "errors were both merged)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- examples/typespace_neighbors.cpp - Exploring the TypeSpace --------------===//
+//
+// Visualises what deep similarity learning (Eq. 3) builds: for a handful
+// of query symbols, list the nearest type markers in the TypeSpace. Well-
+// trained spaces show tight same-type neighbourhoods; the paper's Fig. 1
+// sketches exactly this structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace typilus;
+
+int main() {
+  CorpusConfig CC;
+  CC.NumFiles = 60;
+  DatasetConfig DC;
+  Workbench WB = Workbench::make(CC, DC);
+  ModelConfig MC; // Typilus
+  TrainOptions TO;
+  TO.Epochs = 10;
+  std::printf("training Typilus on %zu files...\n", WB.DS.Train.size());
+  auto Model = makeModel(MC, WB.DS, *WB.U);
+  trainModel(*Model, WB.DS.Train, TO);
+
+  // τmap over the training files.
+  TypeMap Map(MC.HiddenDim);
+  std::vector<std::string> MarkerNames;
+  for (const FileExample &F : WB.DS.Train) {
+    std::vector<const Target *> Targets;
+    nn::Value Emb = Model->embed({&F}, &Targets);
+    if (!Emb.defined())
+      continue;
+    for (size_t I = 0; I != Targets.size(); ++I) {
+      Map.add(Emb.val().data() + static_cast<int64_t>(I) * Emb.val().cols(),
+              Targets[I]->Type);
+      MarkerNames.push_back(Targets[I]->Name);
+    }
+  }
+  ExactIndex Index(Map);
+  std::printf("TypeSpace contains %zu markers (%d dimensions, L1 metric)\n\n",
+              Map.size(), Map.dim());
+
+  // Show the neighbourhoods of the first few test symbols.
+  int Shown = 0;
+  for (const FileExample &F : WB.DS.Test) {
+    std::vector<const Target *> Targets;
+    nn::Value Emb = Model->embed({&F}, &Targets);
+    if (!Emb.defined())
+      continue;
+    for (size_t I = 0; I != Targets.size() && Shown < 6; ++I, ++Shown) {
+      const float *Q =
+          Emb.val().data() + static_cast<int64_t>(I) * Emb.val().cols();
+      std::printf("query '%s' (truth %s): nearest markers\n",
+                  Targets[I]->Name.c_str(), Targets[I]->Type->str().c_str());
+      for (auto [Idx, Dist] : Index.query(Q, 5))
+        std::printf("    d=%6.2f  %-20s (marker symbol '%s')\n", Dist,
+                    Map.type(static_cast<size_t>(Idx))->str().c_str(),
+                    MarkerNames[static_cast<size_t>(Idx)].c_str());
+    }
+    if (Shown >= 6)
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,644 @@
+//===- checker/Checker.cpp - Optional type checker ------------------------------===//
+
+#include "checker/Checker.h"
+
+#include "support/Str.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace typilus;
+
+namespace {
+
+/// Per-file checking pass.
+class CheckImpl {
+public:
+  CheckImpl(TypeUniverse &U, const TypeHierarchy &H,
+            const CheckerOptions &Opts, const ParsedFile &PF,
+            const SymbolTable &ST)
+      : U(U), H(H), Opts(Opts), PF(PF), ST(ST) {}
+
+  std::vector<TypeError> run();
+
+private:
+  void error(const AstNode *N, const char *Code, std::string Msg) {
+    int Line = 0;
+    if (N && N->FirstTok >= 0 &&
+        static_cast<size_t>(N->FirstTok) < PF.Tokens.size())
+      Line = PF.Tokens[static_cast<size_t>(N->FirstTok)].Line;
+    Errors.push_back(TypeError{Line, Code, std::move(Msg)});
+  }
+
+  TypeRef any() const { return U.any(); }
+
+  /// Annotation of a parameter, read through its symbol so experiment
+  /// overrides on the symbol table take effect.
+  const std::string &paramAnnotation(const ParamDecl *P) const {
+    return P->Sym ? P->Sym->AnnotationText : P->AnnotationText;
+  }
+  /// Return annotation of a function, via its return symbol.
+  const std::string &returnAnnotation(const FunctionDef *F) const {
+    return F->RetSym ? F->RetSym->AnnotationText : F->ReturnsText;
+  }
+
+
+  /// Declared (or inferred, in pytype mode) type of a symbol; Any when
+  /// unknown.
+  TypeRef typeOfSymbol(const Symbol *S) {
+    if (!S)
+      return any();
+    auto It = Inferred.find(S);
+    if (It != Inferred.end())
+      return It->second;
+    if (!S->AnnotationText.empty())
+      if (TypeRef T = U.parse(S->AnnotationText))
+        return T;
+    return any();
+  }
+
+  /// True when a value of type \p Src may flow into a slot of \p Dst.
+  bool compatible(TypeRef Src, TypeRef Dst) const {
+    if (!Src || !Dst || Src == U.any() || Dst == U.any())
+      return true;
+    return H.isSubtype(Src, Dst);
+  }
+
+  bool isNumeric(TypeRef T) const {
+    return T && H.isSubtype(T, U.parse("complex"));
+  }
+  bool isIterable(TypeRef T) const {
+    if (!T || T == any())
+      return true;
+    if (T->name() == "Optional" || T->name() == "Union")
+      return false; // must narrow before iterating
+    return H.isSubtype(T, U.parse("Iterable")) || T->name() == "str" ||
+           T->name() == "bytes" || T->name() == "range";
+  }
+  /// Element type when iterating a value of type \p T.
+  TypeRef elementOf(TypeRef T) const {
+    if (!T || T->args().empty()) {
+      if (T && (T->name() == "str" || T->name() == "bytes"))
+        return U.parse(T->name() == "str" ? "str" : "int");
+      return any();
+    }
+    // Dict iterates keys; sequences iterate their first parameter.
+    return T->args()[0];
+  }
+
+  TypeRef infer(const Expr *E);
+  TypeRef inferCall(const CallExpr *C);
+  TypeRef inferBinary(const BinaryExpr *B);
+  TypeRef inferMethodCall(TypeRef Recv, const std::string &Method,
+                          const CallExpr *C);
+
+  void checkStmts(const std::vector<Stmt *> &Stmts);
+  void checkStmt(const Stmt *S);
+  void checkAssignTo(const Expr *Target, TypeRef ValueTy, const AstNode *Site);
+
+  /// Collects local function/class signatures so calls can be checked.
+  void collectDecls(const std::vector<Stmt *> &Stmts);
+
+  TypeUniverse &U;
+  const TypeHierarchy &H;
+  const CheckerOptions &Opts;
+  const ParsedFile &PF;
+  const SymbolTable &ST;
+  std::vector<TypeError> Errors;
+
+  /// pytype-mode inferred types for unannotated symbols.
+  std::map<const Symbol *, TypeRef> Inferred;
+  /// Locally defined functions (incl. methods, keyed by name only — the
+  /// subset has unique function names per file in practice).
+  std::map<std::string, const FunctionDef *> Functions;
+  /// Locally defined classes.
+  std::map<std::string, const ClassDef *> Classes;
+  const FunctionDef *CurFunction = nullptr;
+};
+
+} // namespace
+
+void CheckImpl::collectDecls(const std::vector<Stmt *> &Stmts) {
+  for (const Stmt *S : Stmts) {
+    if (const auto *F = dyn_cast<FunctionDef>(S)) {
+      Functions.emplace(F->Name, F);
+      collectDecls(F->Body);
+    } else if (const auto *C = dyn_cast<ClassDef>(S)) {
+      Classes.emplace(C->Name, C);
+      collectDecls(C->Body);
+    }
+  }
+}
+
+TypeRef CheckImpl::inferMethodCall(TypeRef Recv, const std::string &Method,
+                                   const CallExpr *C) {
+  if (!Recv || Recv == any())
+    return any();
+  const std::string &RN = Recv->name();
+  // Builtin method table (a small slice of typeshed).
+  if (RN == "str") {
+    if (Method == "strip" || Method == "lower" || Method == "upper" ||
+        Method == "title" || Method == "replace")
+      return U.parse("str");
+    if (Method == "split" || Method == "splitlines")
+      return U.parse("List[str]");
+    if (Method == "startswith" || Method == "endswith" ||
+        Method == "isdigit")
+      return U.parse("bool");
+    if (Method == "find" || Method == "count")
+      return U.parse("int");
+    if (Method == "encode")
+      return U.parse("bytes");
+    return any();
+  }
+  if (RN == "bytes") {
+    if (Method == "decode")
+      return U.parse("str");
+    return any();
+  }
+  if (RN == "List" || RN == "list") {
+    TypeRef Elem = Recv->args().empty() ? any() : Recv->args()[0];
+    if (Method == "append" || Method == "insert" || Method == "extend") {
+      // list.append(x): x must fit the element type.
+      if (Method == "append" && C->Args.size() == 1) {
+        TypeRef ArgT = infer(C->Args[0]);
+        if (!compatible(ArgT, Elem))
+          error(C, "arg-type",
+                strformat("argument to append has type \"%s\"; expected "
+                          "\"%s\"",
+                          ArgT->str().c_str(), Elem->str().c_str()));
+      }
+      return U.none();
+    }
+    if (Method == "pop")
+      return Elem;
+    if (Method == "index" || Method == "count")
+      return U.parse("int");
+    return any();
+  }
+  if (RN == "Dict" || RN == "dict") {
+    TypeRef Val = Recv->args().size() == 2 ? Recv->args()[1] : any();
+    if (Method == "get")
+      return U.get("Optional", {Val});
+    if (Method == "keys")
+      return U.get("List", {Recv->args().empty() ? any() : Recv->args()[0]});
+    if (Method == "values")
+      return U.get("List", {Val});
+    if (Method == "setdefault")
+      return Val;
+    return any();
+  }
+  if (RN == "Set" || RN == "set") {
+    if (Method == "add" || Method == "discard")
+      return U.none();
+    return any();
+  }
+  // Locally defined class: use the method's return annotation.
+  auto ClsIt = Classes.find(RN);
+  if (ClsIt != Classes.end()) {
+    for (const Stmt *S : ClsIt->second->Body)
+      if (const auto *M = dyn_cast<FunctionDef>(S))
+        if (M->Name == Method) {
+          if (!returnAnnotation(M).empty())
+            if (TypeRef T = U.parse(returnAnnotation(M)))
+              return T;
+          return any();
+        }
+    error(C, "attr-defined",
+          strformat("\"%s\" has no method \"%s\"", RN.c_str(),
+                    Method.c_str()));
+    return any();
+  }
+  return any();
+}
+
+TypeRef CheckImpl::inferCall(const CallExpr *C) {
+  // Method call?
+  if (const auto *A = dyn_cast<AttributeExpr>(C->Callee)) {
+    TypeRef Recv = infer(A->Value);
+    return inferMethodCall(Recv, A->Attr, C);
+  }
+  const auto *N = dyn_cast<NameExpr>(C->Callee);
+  if (!N)
+    return any();
+  const std::string &Name = N->Ident;
+
+  // Builtin constructors / functions.
+  static const std::map<std::string, std::string> Builtins = {
+      {"len", "int"},        {"abs", "int"},     {"str", "str"},
+      {"int", "int"},        {"float", "float"}, {"bool", "bool"},
+      {"bytes", "bytes"},    {"list", "List"},   {"dict", "Dict"},
+      {"set", "Set"},        {"tuple", "Tuple"}, {"sorted", "List"},
+      {"range", "range"},    {"iter", "Iterator"},
+      {"print", "None"},     {"min", "int"},     {"max", "int"},
+      {"sum", "int"},        {"repr", "str"},    {"hash", "int"},
+      {"id", "int"},         {"input", "str"},
+  };
+  auto BIt = Builtins.find(Name);
+  if (BIt != Builtins.end())
+    return U.parse(BIt->second);
+
+  // Locally defined class constructor: check __init__ arguments.
+  auto ClsIt = Classes.find(Name);
+  if (ClsIt != Classes.end()) {
+    for (const Stmt *S : ClsIt->second->Body)
+      if (const auto *M = dyn_cast<FunctionDef>(S))
+        if (M->Name == "__init__") {
+          // Positional args map onto params[1:] (skipping self).
+          size_t NumParams = M->Params.size();
+          for (size_t I = 0; I != C->Args.size() && I + 1 < NumParams; ++I) {
+            const ParamDecl *P = M->Params[I + 1];
+            if (paramAnnotation(P).empty())
+              continue;
+            TypeRef Want = U.parse(paramAnnotation(P));
+            TypeRef Got = infer(C->Args[I]);
+            if (Want && !compatible(Got, Want))
+              error(C, "arg-type",
+                    strformat("argument %zu to %s() has type \"%s\"; "
+                              "expected \"%s\"",
+                              I + 1, Name.c_str(), Got->str().c_str(),
+                              Want->str().c_str()));
+          }
+          break;
+        }
+    return U.parse(Name);
+  }
+  // Heuristic: imported PascalCase names are constructors of that type
+  // (the paper's graphs treat calls by name too).
+  if (!Name.empty() && std::isupper(static_cast<unsigned char>(Name[0])) &&
+      N->Sym && N->Sym->Kind == SymbolKind::External)
+    return U.parse(Name);
+
+  // Locally defined function: check arguments, return its annotation.
+  auto FIt = Functions.find(Name);
+  if (FIt != Functions.end()) {
+    const FunctionDef *F = FIt->second;
+    size_t FirstParam = F->IsMethod ? 1 : 0;
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (FirstParam + I >= F->Params.size())
+        break;
+      const ParamDecl *P = F->Params[FirstParam + I];
+      if (paramAnnotation(P).empty())
+        continue;
+      TypeRef Want = U.parse(paramAnnotation(P));
+      TypeRef Got = infer(C->Args[I]);
+      if (Want && !compatible(Got, Want))
+        error(C, "arg-type",
+              strformat("argument %zu to %s() has type \"%s\"; expected "
+                        "\"%s\"",
+                        I + 1, Name.c_str(), Got->str().c_str(),
+                        Want->str().c_str()));
+    }
+    // Keyword arguments by name.
+    for (size_t I = 0; I != C->KwNames.size(); ++I) {
+      for (const ParamDecl *P : F->Params) {
+        if (P->Name != C->KwNames[I] || paramAnnotation(P).empty())
+          continue;
+        TypeRef Want = U.parse(paramAnnotation(P));
+        TypeRef Got = infer(C->KwValues[I]);
+        if (Want && !compatible(Got, Want))
+          error(C, "arg-type",
+                strformat("argument \"%s\" to %s() has type \"%s\"; "
+                          "expected \"%s\"",
+                          P->Name.c_str(), Name.c_str(), Got->str().c_str(),
+                          Want->str().c_str()));
+      }
+    }
+    if (!F->ReturnsText.empty())
+      if (TypeRef T = U.parse(F->ReturnsText))
+        return T;
+    return any();
+  }
+  return any();
+}
+
+TypeRef CheckImpl::inferBinary(const BinaryExpr *B) {
+  switch (B->Op) {
+  case BinOpKind::Eq:
+  case BinOpKind::NotEq:
+  case BinOpKind::Lt:
+  case BinOpKind::LtE:
+  case BinOpKind::Gt:
+  case BinOpKind::GtE:
+  case BinOpKind::In:
+  case BinOpKind::NotIn:
+  case BinOpKind::Is:
+  case BinOpKind::IsNot:
+    infer(B->Lhs);
+    infer(B->Rhs);
+    return U.parse("bool");
+  case BinOpKind::And:
+  case BinOpKind::Or: {
+    TypeRef L = infer(B->Lhs), R = infer(B->Rhs);
+    return L == R ? L : any();
+  }
+  default:
+    break;
+  }
+  TypeRef L = infer(B->Lhs), R = infer(B->Rhs);
+  if (L == any() || R == any())
+    return any();
+  // Numeric tower.
+  if (isNumeric(L) && isNumeric(R)) {
+    if (B->Op == BinOpKind::Div)
+      return U.parse("float");
+    return H.isSubtype(L, R) ? R : L;
+  }
+  // Sequence concatenation / repetition.
+  if (B->Op == BinOpKind::Add) {
+    if (L->name() == R->name() &&
+        (L->name() == "str" || L->name() == "bytes" || L->name() == "List" ||
+         L->name() == "Tuple"))
+      return H.isSubtype(L, R) ? R : L;
+    error(B, "operator",
+          strformat("unsupported operand types for +: \"%s\" and \"%s\"",
+                    L->str().c_str(), R->str().c_str()));
+    return any();
+  }
+  if (B->Op == BinOpKind::Mult &&
+      ((L->name() == "str" && R->name() == "int") ||
+       (L->name() == "List" && R->name() == "int")))
+    return L;
+  if (B->Op == BinOpKind::Mod && L->name() == "str")
+    return L; // printf-style formatting
+  if (B->Op == BinOpKind::BitAnd || B->Op == BinOpKind::BitOr) {
+    if (L->name() == "Set" && R->name() == "Set")
+      return L;
+    if (L->name() == "int" && R->name() == "int")
+      return L;
+  }
+  error(B, "operator",
+        strformat("unsupported operand types for %s: \"%s\" and \"%s\"",
+                  binOpSpelling(B->Op), L->str().c_str(), R->str().c_str()));
+  return any();
+}
+
+TypeRef CheckImpl::infer(const Expr *E) {
+  if (!E)
+    return any();
+  switch (E->kind()) {
+  case AstNode::NodeKind::IntLit:
+    return U.parse("int");
+  case AstNode::NodeKind::FloatLit:
+    return U.parse("float");
+  case AstNode::NodeKind::StringLit:
+    return U.parse(cast<StringLit>(E)->IsBytes ? "bytes" : "str");
+  case AstNode::NodeKind::BoolLit:
+    return U.parse("bool");
+  case AstNode::NodeKind::NoneLit:
+    return U.none();
+  case AstNode::NodeKind::EllipsisLit:
+    return any();
+  case AstNode::NodeKind::NameExpr:
+    return typeOfSymbol(cast<NameExpr>(E)->Sym);
+  case AstNode::NodeKind::UnaryExpr: {
+    const auto *Un = cast<UnaryExpr>(E);
+    TypeRef T = infer(Un->Operand);
+    return Un->Op == UnaryOpKind::Not ? U.parse("bool") : T;
+  }
+  case AstNode::NodeKind::BinaryExpr:
+    return inferBinary(cast<BinaryExpr>(E));
+  case AstNode::NodeKind::CallExpr:
+    return inferCall(cast<CallExpr>(E));
+  case AstNode::NodeKind::AttributeExpr: {
+    const auto *A = cast<AttributeExpr>(E);
+    if (A->Sym)
+      return typeOfSymbol(A->Sym);
+    infer(A->Value);
+    return any();
+  }
+  case AstNode::NodeKind::SubscriptExpr: {
+    const auto *Sub = cast<SubscriptExpr>(E);
+    TypeRef Recv = infer(Sub->Value);
+    infer(Sub->Index);
+    if (!Recv || Recv == any())
+      return any();
+    if (Recv->name() == "List" || Recv->name() == "Sequence" ||
+        Recv->name() == "list")
+      return Recv->args().empty() ? any() : Recv->args()[0];
+    if (Recv->name() == "Dict" || Recv->name() == "dict")
+      return Recv->args().size() == 2 ? Recv->args()[1] : any();
+    if (Recv->name() == "str")
+      return Recv;
+    if (Recv->name() == "bytes")
+      return U.parse("int");
+    return any();
+  }
+  case AstNode::NodeKind::ListExpr: {
+    const auto *L = cast<ListExpr>(E);
+    TypeRef Elem = nullptr;
+    for (const Expr *El : L->Elts) {
+      TypeRef T = infer(El);
+      Elem = !Elem ? T : (Elem == T ? Elem : any());
+    }
+    return U.get("List", {Elem ? Elem : any()});
+  }
+  case AstNode::NodeKind::SetExpr: {
+    const auto *S = cast<SetExpr>(E);
+    TypeRef Elem = nullptr;
+    for (const Expr *El : S->Elts) {
+      TypeRef T = infer(El);
+      Elem = !Elem ? T : (Elem == T ? Elem : any());
+    }
+    return U.get("Set", {Elem ? Elem : any()});
+  }
+  case AstNode::NodeKind::DictExpr: {
+    const auto *D = cast<DictExpr>(E);
+    TypeRef K = nullptr, V = nullptr;
+    for (size_t I = 0; I != D->Keys.size(); ++I) {
+      TypeRef KT = infer(D->Keys[I]), VT = infer(D->Values[I]);
+      K = !K ? KT : (K == KT ? K : any());
+      V = !V ? VT : (V == VT ? V : any());
+    }
+    return U.get("Dict", {K ? K : any(), V ? V : any()});
+  }
+  case AstNode::NodeKind::TupleExpr: {
+    const auto *T = cast<TupleExpr>(E);
+    std::vector<TypeRef> Elts;
+    for (const Expr *El : T->Elts)
+      Elts.push_back(infer(El));
+    if (Elts.empty())
+      return U.parse("Tuple");
+    return U.get("Tuple", std::move(Elts));
+  }
+  case AstNode::NodeKind::YieldExpr:
+    infer(cast<YieldExpr>(E)->Value);
+    return any();
+  default:
+    return any();
+  }
+}
+
+void CheckImpl::checkAssignTo(const Expr *Target, TypeRef ValueTy,
+                              const AstNode *Site) {
+  if (const auto *N = dyn_cast<NameExpr>(Target)) {
+    const Symbol *S = N->Sym;
+    if (!S)
+      return;
+    TypeRef Declared = nullptr;
+    if (!S->AnnotationText.empty())
+      Declared = U.parse(S->AnnotationText);
+    if (!Declared && Opts.InferLocals) {
+      auto It = Inferred.find(S);
+      if (It == Inferred.end()) {
+        if (ValueTy && ValueTy != any() && ValueTy != U.none())
+          Inferred.emplace(S, ValueTy);
+        return;
+      }
+      Declared = It->second;
+    }
+    if (Declared && !compatible(ValueTy, Declared))
+      error(Site, "assignment",
+            strformat("incompatible types in assignment (expression has "
+                      "type \"%s\", variable \"%s\" has type \"%s\")",
+                      ValueTy->str().c_str(), S->Name.c_str(),
+                      Declared->str().c_str()));
+    return;
+  }
+  if (const auto *A = dyn_cast<AttributeExpr>(Target)) {
+    if (A->Sym && !A->Sym->AnnotationText.empty()) {
+      TypeRef Declared = U.parse(A->Sym->AnnotationText);
+      if (Declared && !compatible(ValueTy, Declared))
+        error(Site, "assignment",
+              strformat("incompatible types in attribute assignment "
+                        "(expression has type \"%s\", \"%s\" has type "
+                        "\"%s\")",
+                        ValueTy->str().c_str(), A->Attr.c_str(),
+                        Declared->str().c_str()));
+    }
+    return;
+  }
+  if (const auto *T = dyn_cast<TupleExpr>(Target)) {
+    for (size_t I = 0; I != T->Elts.size(); ++I) {
+      TypeRef Elt = any();
+      if (ValueTy && ValueTy->name() == "Tuple" &&
+          I < ValueTy->args().size())
+        Elt = ValueTy->args()[I];
+      checkAssignTo(T->Elts[I], Elt, Site);
+    }
+  }
+  // Subscript stores are unchecked (local reasoning only).
+}
+
+void CheckImpl::checkStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case AstNode::NodeKind::AssignStmt: {
+    const auto *A = cast<AssignStmt>(S);
+    if (!A->Value)
+      return; // bare declaration `x: T`
+    TypeRef ValueTy = infer(A->Value);
+    if (A->IsAug) {
+      // x += e behaves like x = x + e.
+      TypeRef TargetTy = infer(A->Target);
+      if (TargetTy != any() && ValueTy != any() &&
+          !(isNumeric(TargetTy) && isNumeric(ValueTy)) &&
+          !(TargetTy->name() == ValueTy->name()) &&
+          !(TargetTy->name() == "List"))
+        error(S, "operator",
+              strformat("unsupported operand types for %s=: \"%s\" and "
+                        "\"%s\"",
+                        binOpSpelling(A->AugOp), TargetTy->str().c_str(),
+                        ValueTy->str().c_str()));
+      return;
+    }
+    checkAssignTo(A->Target, ValueTy, S);
+    return;
+  }
+  case AstNode::NodeKind::ExprStmt:
+    infer(cast<ExprStmt>(S)->E);
+    return;
+  case AstNode::NodeKind::ReturnStmt: {
+    const auto *R = cast<ReturnStmt>(S);
+    TypeRef Got = R->Value ? infer(R->Value) : U.none();
+    if (CurFunction && !returnAnnotation(CurFunction).empty()) {
+      TypeRef Want = U.parse(returnAnnotation(CurFunction));
+      if (Want && !compatible(Got, Want))
+        error(S, "return-value",
+              strformat("incompatible return value type (got \"%s\", "
+                        "expected \"%s\")",
+                        Got->str().c_str(), Want->str().c_str()));
+    }
+    return;
+  }
+  case AstNode::NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(S);
+    infer(I->Cond);
+    checkStmts(I->Then);
+    checkStmts(I->Else);
+    return;
+  }
+  case AstNode::NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(S);
+    infer(W->Cond);
+    checkStmts(W->Body);
+    return;
+  }
+  case AstNode::NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(S);
+    TypeRef IterTy = infer(F->Iter);
+    if (!isIterable(IterTy))
+      error(S, "not-iterable",
+            strformat("\"%s\" object is not iterable",
+                      IterTy->str().c_str()));
+    checkAssignTo(F->Target, elementOf(IterTy), S);
+    checkStmts(F->Body);
+    return;
+  }
+  case AstNode::NodeKind::FunctionDef: {
+    const auto *F = cast<FunctionDef>(S);
+    const FunctionDef *Saved = CurFunction;
+    CurFunction = F;
+    for (const ParamDecl *P : F->Params)
+      if (P->Default && !paramAnnotation(P).empty()) {
+        TypeRef Want = U.parse(paramAnnotation(P));
+        TypeRef Got = infer(P->Default);
+        if (Want && !compatible(Got, Want))
+          error(P, "assignment",
+                strformat("incompatible default for parameter \"%s\" (got "
+                          "\"%s\", expected \"%s\")",
+                          P->Name.c_str(), Got->str().c_str(),
+                          Want->str().c_str()));
+      }
+    checkStmts(F->Body);
+    CurFunction = Saved;
+    return;
+  }
+  case AstNode::NodeKind::ClassDef:
+    checkStmts(cast<ClassDef>(S)->Body);
+    return;
+  case AstNode::NodeKind::RaiseStmt:
+    if (const Expr *E = cast<RaiseStmt>(S)->E)
+      infer(E);
+    return;
+  case AstNode::NodeKind::AssertStmt: {
+    const auto *A = cast<AssertStmt>(S);
+    infer(A->Cond);
+    if (A->Msg)
+      infer(A->Msg);
+    return;
+  }
+  case AstNode::NodeKind::DelStmt:
+    infer(cast<DelStmt>(S)->E);
+    return;
+  default:
+    return;
+  }
+}
+
+void CheckImpl::checkStmts(const std::vector<Stmt *> &Stmts) {
+  for (const Stmt *S : Stmts)
+    checkStmt(S);
+}
+
+std::vector<TypeError> CheckImpl::run() {
+  collectDecls(PF.Mod->Body);
+  checkStmts(PF.Mod->Body);
+  return std::move(Errors);
+}
+
+std::vector<TypeError> Checker::check(const ParsedFile &PF,
+                                      const SymbolTable &ST) {
+  assert(PF.Mod && "checker needs a parsed module");
+  return CheckImpl(U, H, Opts, PF, ST).run();
+}

@@ -1,0 +1,64 @@
+//===- checker/Checker.h - Optional type checker --------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A local optional type checker over the pyfront AST, standing in for
+/// mypy and pytype in the Sec. 6.3 experiment ("correctness modulo type
+/// checker"). Two modes mirror the tools' philosophies:
+///   - strict (mypy-like): trusts explicit annotations only; unannotated
+///     symbols are Any, so fewer inconsistencies are detectable;
+///   - inferring (pytype-like): additionally infers the types of
+///     unannotated locals from their initialisers, catching more errors
+///     (the paper: pytype "employs more powerful type inference").
+/// Like the real tools, it reasons locally and reports type-related error
+/// classes with mypy-style codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CHECKER_CHECKER_H
+#define TYPILUS_CHECKER_CHECKER_H
+
+#include "pyfront/SymbolTable.h"
+#include "typesys/Hierarchy.h"
+
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// Checker configuration.
+struct CheckerOptions {
+  /// pytype-like local inference of unannotated symbols.
+  bool InferLocals = false;
+};
+
+/// One reported type error.
+struct TypeError {
+  int Line = 0;
+  std::string Code; ///< mypy-style class, e.g. "assignment", "arg-type".
+  std::string Message;
+};
+
+/// The optional type checker. Stateless across files; cheap to construct.
+class Checker {
+public:
+  Checker(TypeUniverse &U, const TypeHierarchy &H, CheckerOptions Opts = {})
+      : U(U), H(H), Opts(Opts) {}
+
+  /// Checks one parsed file with a built symbol table. Annotations are
+  /// read from the symbol table (so callers may override them to test a
+  /// prediction, as the Table 5 protocol does).
+  std::vector<TypeError> check(const ParsedFile &PF, const SymbolTable &ST);
+
+private:
+  TypeUniverse &U;
+  const TypeHierarchy &H;
+  CheckerOptions Opts;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_CHECKER_CHECKER_H

@@ -1,0 +1,155 @@
+//===- core/Evaluator.cpp - Evaluation metrics ---------------------------------===//
+
+#include "core/Evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <cassert>
+
+using namespace typilus;
+
+std::vector<Judged>
+typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
+                          const Dataset &DS, const TypeHierarchy &H) {
+  TypeUniverse &U = H.universe();
+  std::vector<Judged> Out;
+  Out.reserve(Preds.size());
+  for (const PredictionResult &P : Preds) {
+    Judged J;
+    J.Truth = P.Tgt->Type;
+    J.Pred = P.top();
+    J.Confidence = P.confidence();
+    J.Kind = P.Tgt->Kind;
+    auto It = DS.TrainTypeCounts.find(J.Truth);
+    J.TrainCount = It == DS.TrainTypeCounts.end() ? 0 : It->second;
+    J.Rare = J.TrainCount < DS.CommonThreshold;
+    if (J.Pred) {
+      J.Exact = J.Pred == J.Truth;
+      J.UpToParametric = U.erase(J.Pred) == U.erase(J.Truth);
+      J.Neutral = H.isNeutral(J.Truth, J.Pred);
+    }
+    Out.push_back(J);
+  }
+  return Out;
+}
+
+static EvalSummary summarizeIf(const std::vector<Judged> &Js,
+                               const std::function<bool(const Judged &)> &Keep) {
+  EvalSummary S;
+  size_t Common = 0;
+  size_t ExactAll = 0, ExactC = 0, ExactR = 0;
+  size_t UpAll = 0, UpC = 0, UpR = 0, Neut = 0;
+  for (const Judged &J : Js) {
+    if (!Keep(J))
+      continue;
+    ++S.Count;
+    if (J.Rare)
+      ++S.RareCount;
+    else
+      ++Common;
+    ExactAll += J.Exact;
+    UpAll += J.UpToParametric;
+    Neut += J.Neutral;
+    if (J.Rare) {
+      ExactR += J.Exact;
+      UpR += J.UpToParametric;
+    } else {
+      ExactC += J.Exact;
+      UpC += J.UpToParametric;
+    }
+  }
+  auto Pct = [](size_t Hit, size_t Total) {
+    return Total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(Hit) /
+                            static_cast<double>(Total);
+  };
+  S.ExactAll = Pct(ExactAll, S.Count);
+  S.ExactCommon = Pct(ExactC, Common);
+  S.ExactRare = Pct(ExactR, S.RareCount);
+  S.UpAll = Pct(UpAll, S.Count);
+  S.UpCommon = Pct(UpC, Common);
+  S.UpRare = Pct(UpR, S.RareCount);
+  S.Neutral = Pct(Neut, S.Count);
+  return S;
+}
+
+EvalSummary typilus::summarize(const std::vector<Judged> &Js) {
+  return summarizeIf(Js, [](const Judged &) { return true; });
+}
+
+EvalSummary typilus::summarizeKind(const std::vector<Judged> &Js,
+                                   SymbolKind K) {
+  return summarizeIf(Js, [K](const Judged &J) { return J.Kind == K; });
+}
+
+std::vector<PrPoint> typilus::prCurve(const std::vector<Judged> &Js,
+                                      Criterion C, int NumPoints) {
+  auto Hit = [C](const Judged &J) {
+    switch (C) {
+    case Criterion::Exact: return J.Exact;
+    case Criterion::UpToParametric: return J.UpToParametric;
+    case Criterion::Neutral: return J.Neutral;
+    }
+    return false;
+  };
+  std::vector<double> Confs;
+  Confs.reserve(Js.size());
+  for (const Judged &J : Js)
+    Confs.push_back(J.Confidence);
+  std::sort(Confs.begin(), Confs.end());
+
+  std::vector<PrPoint> Curve;
+  for (int I = 0; I != NumPoints; ++I) {
+    double Thr =
+        Confs.empty()
+            ? 0
+            : Confs[std::min(Confs.size() - 1,
+                             Confs.size() * static_cast<size_t>(I) /
+                                 static_cast<size_t>(NumPoints))];
+    size_t Kept = 0, Correct = 0;
+    for (const Judged &J : Js) {
+      if (J.Confidence < Thr)
+        continue;
+      ++Kept;
+      Correct += Hit(J);
+    }
+    PrPoint P;
+    P.Threshold = Thr;
+    P.Recall = Js.empty() ? 0
+                          : static_cast<double>(Kept) /
+                                static_cast<double>(Js.size());
+    P.Precision = Kept == 0 ? 1.0
+                            : static_cast<double>(Correct) /
+                                  static_cast<double>(Kept);
+    Curve.push_back(P);
+  }
+  return Curve;
+}
+
+std::vector<Bucket>
+typilus::bucketByAnnotationCount(const std::vector<Judged> &Js,
+                                 const std::vector<int> &Bounds) {
+  std::vector<Bucket> Buckets;
+  for (int B : Bounds) {
+    Bucket Bu;
+    Bu.MaxCount = B;
+    Buckets.push_back(Bu);
+  }
+  for (const Judged &J : Js) {
+    for (Bucket &B : Buckets) {
+      if (J.TrainCount <= B.MaxCount) {
+        ++B.Num;
+        B.Exact += J.Exact;
+        B.UpToParametric += J.UpToParametric;
+        break;
+      }
+    }
+  }
+  for (Bucket &B : Buckets) {
+    if (B.Num > 0) {
+      B.Exact = 100.0 * B.Exact / static_cast<double>(B.Num);
+      B.UpToParametric = 100.0 * B.UpToParametric / static_cast<double>(B.Num);
+    }
+  }
+  return Buckets;
+}

@@ -1,0 +1,84 @@
+//===- core/Evaluator.h - Evaluation metrics -----------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's three criteria (Sec. 6.1) — exact match, match up to the
+/// parametric type, and type neutrality — with the common/rare breakdown
+/// of Table 2, the per-kind breakdown of Table 3, precision-recall sweeps
+/// (Figs. 4 and 7) and the annotation-count buckets of Fig. 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORE_EVALUATOR_H
+#define TYPILUS_CORE_EVALUATOR_H
+
+#include "core/Predictor.h"
+#include "corpus/Dataset.h"
+#include "typesys/Hierarchy.h"
+
+#include <vector>
+
+namespace typilus {
+
+/// One judged prediction.
+struct Judged {
+  TypeRef Truth = nullptr;
+  TypeRef Pred = nullptr;
+  double Confidence = 0;
+  bool Exact = false;
+  bool UpToParametric = false;
+  bool Neutral = false;
+  bool Rare = false; ///< Ground truth seen < CommonThreshold times in train.
+  SymbolKind Kind = SymbolKind::Variable;
+  int TrainCount = 0; ///< Annotations of the truth type in training.
+};
+
+/// Judges top-1 predictions against ground truth.
+std::vector<Judged> judgePredictions(const std::vector<PredictionResult> &Preds,
+                                     const Dataset &DS,
+                                     const TypeHierarchy &H);
+
+/// Aggregate percentages in [0,100], following Table 2's columns.
+struct EvalSummary {
+  double ExactAll = 0, ExactCommon = 0, ExactRare = 0;
+  double UpAll = 0, UpCommon = 0, UpRare = 0;
+  double Neutral = 0;
+  size_t Count = 0, RareCount = 0;
+};
+
+EvalSummary summarize(const std::vector<Judged> &Js);
+
+/// Summary restricted to one symbol kind (Table 3).
+EvalSummary summarizeKind(const std::vector<Judged> &Js, SymbolKind K);
+
+/// Which criterion a PR sweep scores on.
+enum class Criterion { Exact, UpToParametric, Neutral };
+
+/// One precision/recall point at a confidence threshold.
+struct PrPoint {
+  double Threshold = 0;
+  double Recall = 0;    ///< Fraction of symbols predicted at this threshold.
+  double Precision = 0; ///< Fraction of those that satisfy the criterion.
+};
+
+/// Sweeps confidence thresholds (Figs. 4/7). \p NumPoints evenly spaced
+/// quantile thresholds.
+std::vector<PrPoint> prCurve(const std::vector<Judged> &Js, Criterion C,
+                             int NumPoints = 20);
+
+/// Fig. 5: accuracy bucketed by the truth type's training-annotation count.
+struct Bucket {
+  int MaxCount = 0; ///< Bucket upper bound (inclusive).
+  double Exact = 0;
+  double UpToParametric = 0;
+  size_t Num = 0;
+};
+std::vector<Bucket> bucketByAnnotationCount(const std::vector<Judged> &Js,
+                                            const std::vector<int> &Bounds);
+
+} // namespace typilus
+
+#endif // TYPILUS_CORE_EVALUATOR_H

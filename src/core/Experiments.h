@@ -1,0 +1,90 @@
+//===- core/Experiments.h - Shared experiment harness --------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The harness shared by every bench binary: builds one corpus/dataset
+/// (the "workbench"), trains a model variant on it, predicts over the test
+/// split and judges the predictions. Also implements the Sec. 6.3 protocol
+/// (substitute one prediction at a time and type check).
+///
+/// Benches honour two environment variables so the full harness scales:
+///   TYPILUS_BENCH_FILES  — corpus size (default 120)
+///   TYPILUS_BENCH_EPOCHS — training epochs (default 16)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORE_EXPERIMENTS_H
+#define TYPILUS_CORE_EXPERIMENTS_H
+
+#include "checker/Checker.h"
+#include "core/Evaluator.h"
+#include "core/Trainer.h"
+
+#include <memory>
+
+namespace typilus {
+
+/// One corpus + dataset + type universe, shared across model variants so
+/// Table 2's nine rows see identical data.
+struct Workbench {
+  std::unique_ptr<TypeUniverse> U;
+  std::unique_ptr<TypeHierarchy> H;
+  std::vector<CorpusFile> Files;
+  std::vector<UdtSpec> Udts;
+  Dataset DS;
+
+  static Workbench make(const CorpusConfig &CC, const DatasetConfig &DC);
+};
+
+/// Scaled experiment sizes (env-var overridable, see file comment).
+struct BenchScale {
+  int NumFiles = 120;
+  int Epochs = 16;
+  static BenchScale fromEnv();
+};
+
+/// A trained and evaluated model variant.
+struct ModelRun {
+  std::unique_ptr<TypeModel> Model;
+  std::vector<PredictionResult> Preds; ///< Over the workbench test split.
+  std::vector<Judged> Js;
+  EvalSummary Summary;
+  double TrainSeconds = 0;
+};
+
+/// Trains \p MC on the workbench and evaluates on its test split.
+/// Class-loss models predict by classification; Space/Typilus models build
+/// the τmap from train+valid and predict by kNN (Eq. 5).
+ModelRun trainAndEvaluate(Workbench &WB, const ModelConfig &MC,
+                          const TrainOptions &TO, const KnnOptions &KO = {});
+
+/// One substituted-prediction outcome of the Sec. 6.3 experiment.
+struct CheckOutcome {
+  enum class Case {
+    EpsToTau,      ///< Previously unannotated symbol gets the prediction.
+    TauToTauPrime, ///< Prediction differs from the original annotation.
+    TauToTau,      ///< Prediction equals the original annotation.
+  };
+  Case Kind = Case::EpsToTau;
+  bool CausesError = false; ///< New type errors vs. the baseline program.
+  double Confidence = 0;
+  /// The substituted prediction (outcomes are filtered and grouped by
+  /// file, so positional alignment with the input does NOT hold).
+  const PredictionResult *Pred = nullptr;
+};
+
+/// Runs the type-checking protocol: for each test prediction, substitute
+/// it into a partially annotated version of its file (a deterministic
+/// \p StripProb fraction of annotations is removed first, yielding the
+/// ε→τ population), re-check, and compare against the baseline error set.
+/// Files with baseline type errors are discarded, as in the paper.
+std::vector<CheckOutcome>
+runCheckerExperiment(Workbench &WB, const std::vector<PredictionResult> &Preds,
+                     bool InferLocals, double StripProb, uint64_t Seed);
+
+} // namespace typilus
+
+#endif // TYPILUS_CORE_EXPERIMENTS_H

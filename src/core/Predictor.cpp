@@ -1,0 +1,127 @@
+//===- core/Predictor.cpp - Type prediction ------------------------------------===//
+
+#include "core/Predictor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace typilus;
+
+Predictor Predictor::knn(TypeModel &Model,
+                         const std::vector<const FileExample *> &MapFiles,
+                         const KnnOptions &Opts) {
+  Predictor P(Model);
+  P.IsKnn = true;
+  P.Knn = Opts;
+  P.Map = std::make_unique<TypeMap>(Model.config().HiddenDim);
+  for (const FileExample *F : MapFiles) {
+    std::vector<const Target *> Targets;
+    nn::Value Emb = Model.embed({F}, &Targets);
+    if (!Emb.defined())
+      continue;
+    const Tensor &E = Emb.val();
+    for (size_t I = 0; I != Targets.size(); ++I)
+      P.Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
+                 Targets[I]->Type);
+  }
+  P.rebuildIndex();
+  return P;
+}
+
+Predictor Predictor::classifier(TypeModel &Model) {
+  Predictor P(Model);
+  P.IsKnn = false;
+  return P;
+}
+
+void Predictor::rebuildIndex() {
+  assert(Map && "kNN predictor without a type map");
+  if (Knn.UseAnnoy && Map->size() > 0)
+    Annoy = std::make_unique<AnnoyIndex>(*Map);
+  Exact = std::make_unique<ExactIndex>(*Map);
+}
+
+void Predictor::setKnnOptions(const KnnOptions &O) {
+  bool NeedRebuild = O.UseAnnoy != Knn.UseAnnoy;
+  Knn = O;
+  if (NeedRebuild && IsKnn)
+    rebuildIndex();
+}
+
+void Predictor::addMarker(const float *Embedding, TypeRef T) {
+  assert(IsKnn && "markers only apply to kNN predictors");
+  Map->add(Embedding, T);
+  rebuildIndex();
+}
+
+void Predictor::addMarkersFrom(const FileExample &File) {
+  assert(IsKnn && "markers only apply to kNN predictors");
+  std::vector<const Target *> Targets;
+  nn::Value Emb = Model.embed({&File}, &Targets);
+  if (!Emb.defined())
+    return;
+  const Tensor &E = Emb.val();
+  for (size_t I = 0; I != Targets.size(); ++I)
+    Map->add(E.data() + static_cast<int64_t>(I) * E.cols(), Targets[I]->Type);
+  rebuildIndex();
+}
+
+std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
+  std::vector<PredictionResult> Results;
+  std::vector<const Target *> Targets;
+  nn::Value Emb = Model.embed({&File}, &Targets);
+  if (!Emb.defined())
+    return Results;
+  const Tensor &E = Emb.val();
+
+  if (IsKnn) {
+    for (size_t I = 0; I != Targets.size(); ++I) {
+      PredictionResult R;
+      R.Tgt = Targets[I];
+      R.File = &File;
+      const float *Q = E.data() + static_cast<int64_t>(I) * E.cols();
+      NeighborList Neigh = Annoy && Knn.UseAnnoy
+                               ? Annoy->query(Q, Knn.K)
+                               : Exact->query(Q, Knn.K);
+      R.Candidates = scoreNeighbors(*Map, Neigh, Knn.P);
+      Results.push_back(std::move(R));
+    }
+    return Results;
+  }
+
+  // Classification path.
+  Tensor Probs = Model.classProbs(Emb);
+  const TypeIdMap &Full = Model.typeVocabs().Full;
+  for (size_t I = 0; I != Targets.size(); ++I) {
+    PredictionResult R;
+    R.Tgt = Targets[I];
+    R.File = &File;
+    // Keep the top few candidates for PR sweeps.
+    std::vector<std::pair<float, int>> Ranked;
+    for (int64_t C = 0; C != Probs.cols(); ++C)
+      Ranked.emplace_back(Probs.at(static_cast<int64_t>(I), C),
+                          static_cast<int>(C));
+    size_t Keep = std::min<size_t>(10, Ranked.size());
+    std::partial_sort(Ranked.begin(), Ranked.begin() + static_cast<long>(Keep),
+                      Ranked.end(), [](const auto &A, const auto &B) {
+                        if (A.first != B.first)
+                          return A.first > B.first;
+                        return A.second < B.second;
+                      });
+    for (size_t C = 0; C != Keep; ++C)
+      R.Candidates.push_back(
+          ScoredType{Full.type(Ranked[C].second), Ranked[C].first});
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}
+
+std::vector<PredictionResult>
+Predictor::predictAll(const std::vector<FileExample> &Files) {
+  std::vector<PredictionResult> All;
+  for (const FileExample &F : Files) {
+    auto Part = predictFile(F);
+    All.insert(All.end(), Part.begin(), Part.end());
+  }
+  return All;
+}

@@ -1,0 +1,91 @@
+//===- core/Predictor.h - Type prediction --------------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inference (Fig. 1, right): embed query symbols with the trained
+/// encoder, then either (a) look up the k nearest type markers in the
+/// τmap and score candidates with Eq. 5 (Space / Typilus models), or
+/// (b) softmax over the closed type vocabulary (the *2Class baselines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORE_PREDICTOR_H
+#define TYPILUS_CORE_PREDICTOR_H
+
+#include "knn/TypeMap.h"
+#include "models/Model.h"
+
+#include <memory>
+#include <vector>
+
+namespace typilus {
+
+/// Candidate predictions for one target symbol.
+struct PredictionResult {
+  const Target *Tgt = nullptr;
+  const FileExample *File = nullptr;
+  std::vector<ScoredType> Candidates; ///< Sorted by descending probability.
+
+  TypeRef top() const {
+    return Candidates.empty() ? nullptr : Candidates.front().Type;
+  }
+  double confidence() const {
+    return Candidates.empty() ? 0 : Candidates.front().Prob;
+  }
+};
+
+/// kNN settings for the type-map predictor (Eq. 5).
+struct KnnOptions {
+  int K = 10;
+  double P = 1.0;      ///< Distance-weighting temperature.
+  bool UseAnnoy = true; ///< Approximate index (exact otherwise).
+};
+
+/// Inference engine for one trained model.
+class Predictor {
+public:
+  /// kNN predictor: seeds the τmap with the markers of \p MapFiles
+  /// (the paper uses train+valid annotations).
+  static Predictor knn(TypeModel &Model,
+                       const std::vector<const FileExample *> &MapFiles,
+                       const KnnOptions &Opts = {});
+
+  /// Closed-vocabulary classification predictor.
+  static Predictor classifier(TypeModel &Model);
+
+  /// Predicts candidates for every target of \p File.
+  std::vector<PredictionResult> predictFile(const FileExample &File);
+
+  /// Convenience: predicts over a whole split.
+  std::vector<PredictionResult>
+  predictAll(const std::vector<FileExample> &Files);
+
+  /// Adds a marker to the τmap without retraining — the open-vocabulary
+  /// adaptation of Sec. 4.2. Rebuilds the spatial index.
+  void addMarker(const float *Embedding, TypeRef T);
+
+  /// Embeds one file's targets and adds all of them as markers.
+  void addMarkersFrom(const FileExample &File);
+
+  const TypeMap &typeMap() const { return *Map; }
+  const KnnOptions &knnOptions() const { return Knn; }
+  void setKnnOptions(const KnnOptions &O);
+
+private:
+  explicit Predictor(TypeModel &Model) : Model(Model) {}
+  void rebuildIndex();
+
+  TypeModel &Model;
+  bool IsKnn = false;
+  KnnOptions Knn;
+  std::unique_ptr<TypeMap> Map;
+  std::unique_ptr<AnnoyIndex> Annoy;
+  std::unique_ptr<ExactIndex> Exact;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_CORE_PREDICTOR_H

@@ -1,0 +1,78 @@
+//===- core/Trainer.cpp - Training loop ----------------------------------------===//
+
+#include "core/Trainer.h"
+
+#include <cstdio>
+
+using namespace typilus;
+
+TypeVocabs typilus::buildTypeVocabs(const std::vector<FileExample> &Train,
+                                    TypeUniverse &U) {
+  TypeVocabs TV;
+  for (const FileExample &F : Train)
+    for (const Target &T : F.Targets) {
+      TV.Full.add(T.Type);
+      TV.Erased.add(U.erase(T.Type));
+    }
+  return TV;
+}
+
+LabelVocab typilus::buildLabelVocab(const std::vector<FileExample> &Train,
+                                    NodeRepKind Rep) {
+  std::vector<const TypilusGraph *> Graphs;
+  Graphs.reserve(Train.size());
+  for (const FileExample &F : Train)
+    Graphs.push_back(&F.Graph);
+  return LabelVocab::build(Graphs,
+                           Rep == NodeRepKind::WholeToken
+                               ? LabelVocab::Mode::WholeLabel
+                               : LabelVocab::Mode::Subtoken);
+}
+
+std::unique_ptr<TypeModel> typilus::makeModel(const ModelConfig &Config,
+                                              const Dataset &DS,
+                                              TypeUniverse &U) {
+  return std::make_unique<TypeModel>(Config,
+                                     buildLabelVocab(DS.Train, Config.NodeRep),
+                                     buildTypeVocabs(DS.Train, U));
+}
+
+double typilus::trainModel(TypeModel &Model,
+                           const std::vector<FileExample> &Train,
+                           const TrainOptions &Opts) {
+  nn::Adam Opt(Model.params(), Opts.LearningRate, Opts.ClipNorm);
+  Rng R(Opts.Seed);
+  std::vector<int> Order(Train.size());
+  for (size_t I = 0; I != Train.size(); ++I)
+    Order[I] = static_cast<int>(I);
+
+  double LastEpochLoss = 0;
+  for (int Epoch = 0; Epoch != Opts.Epochs; ++Epoch) {
+    R.shuffle(Order);
+    double Sum = 0;
+    int Steps = 0;
+    for (size_t Start = 0; Start < Order.size();
+         Start += static_cast<size_t>(Opts.BatchFiles)) {
+      std::vector<const FileExample *> Batch;
+      for (size_t I = Start;
+           I < Order.size() && I < Start + static_cast<size_t>(Opts.BatchFiles);
+           ++I)
+        Batch.push_back(&Train[static_cast<size_t>(Order[I])]);
+      std::vector<const Target *> Targets;
+      nn::Value Emb = Model.embed(Batch, &Targets);
+      if (!Emb.defined() || Targets.empty())
+        continue;
+      nn::Value Loss = Model.loss(Emb, Targets);
+      Model.params().zeroGrads();
+      nn::backward(Loss);
+      Opt.step();
+      Sum += Loss.val()[0];
+      ++Steps;
+    }
+    LastEpochLoss = Steps > 0 ? Sum / Steps : 0;
+    if (Opts.Verbose)
+      std::printf("  epoch %d/%d: mean loss %.4f\n", Epoch + 1, Opts.Epochs,
+                  LastEpochLoss);
+  }
+  return LastEpochLoss;
+}

@@ -1,0 +1,53 @@
+//===- core/Trainer.h - Training loop ------------------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-batch training loop shared by all nine Table 2 variants:
+/// shuffle files, embed each batch, apply the configured loss, Adam-step.
+/// Also builds the model's type vocabularies from the training split.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORE_TRAINER_H
+#define TYPILUS_CORE_TRAINER_H
+
+#include "corpus/Dataset.h"
+#include "models/Model.h"
+
+#include <memory>
+
+namespace typilus {
+
+/// Training-loop knobs.
+struct TrainOptions {
+  int Epochs = 8;
+  int BatchFiles = 4; ///< Files per minibatch (symbols pool across files).
+  float LearningRate = 1e-3f;
+  float ClipNorm = 5.f;
+  uint64_t Seed = 31337;
+  bool Verbose = false; ///< Prints per-epoch mean loss to stdout.
+};
+
+/// Builds the classification vocabularies (full + erased types) from the
+/// training split, as the paper's closed-vocabulary baselines do.
+TypeVocabs buildTypeVocabs(const std::vector<FileExample> &Train,
+                           TypeUniverse &U);
+
+/// Builds the label vocabulary for the configured node representation.
+LabelVocab buildLabelVocab(const std::vector<FileExample> &Train,
+                           NodeRepKind Rep);
+
+/// Constructs a model wired to vocabularies derived from \p DS.
+std::unique_ptr<TypeModel> makeModel(const ModelConfig &Config,
+                                     const Dataset &DS, TypeUniverse &U);
+
+/// Runs the training loop. Returns the final-epoch mean loss.
+double trainModel(TypeModel &Model, const std::vector<FileExample> &Train,
+                  const TrainOptions &Opts);
+
+} // namespace typilus
+
+#endif // TYPILUS_CORE_TRAINER_H

@@ -1,0 +1,92 @@
+//===- corpus/Dataset.cpp - Parsed & split dataset -----------------------------===//
+
+#include "corpus/Dataset.h"
+
+#include "corpus/Dedup.h"
+#include "pyfront/Parser.h"
+#include "pyfront/SymbolTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace typilus;
+
+FileExample typilus::buildExample(const CorpusFile &File, TypeUniverse &U,
+                                  const GraphBuildOptions &Opts) {
+  FileExample Ex;
+  Ex.Path = File.Path;
+  ParsedFile PF = parseFile(File.Path, File.Source);
+  SymbolTable ST;
+  buildSymbolTable(PF, ST);
+  Ex.Graph = buildGraph(PF, ST, Opts);
+  for (const Supernode &S : Ex.Graph.Supernodes) {
+    if (S.AnnotationText.empty())
+      continue;
+    TypeRef T = U.parse(S.AnnotationText);
+    if (!T || U.isExcludedAnnotation(T))
+      continue; // footnote 2: Any/None ground truths are excluded
+    Target Tg;
+    Tg.NodeIdx = S.NodeIdx;
+    Tg.Type = T;
+    Tg.ErasedType = U.erase(T);
+    Tg.Kind = S.Kind;
+    Tg.Name = S.Name;
+    Ex.Targets.push_back(std::move(Tg));
+  }
+  return Ex;
+}
+
+Dataset typilus::buildDataset(const std::vector<CorpusFile> &Files,
+                              const std::vector<UdtSpec> &Udts,
+                              TypeUniverse &U, TypeHierarchy *Hierarchy,
+                              const DatasetConfig &Config) {
+  if (Hierarchy)
+    for (const UdtSpec &Udt : Udts)
+      Hierarchy->addClass(Udt.Name,
+                          Udt.Base.empty()
+                              ? std::vector<std::string>{}
+                              : std::vector<std::string>{Udt.Base});
+
+  // Dedup before splitting, as the paper stresses.
+  std::vector<const CorpusFile *> Kept;
+  if (Config.RunDedup) {
+    std::vector<size_t> Drop =
+        findNearDuplicates(Files, Config.DedupThreshold);
+    size_t DropPos = 0;
+    for (size_t I = 0; I != Files.size(); ++I) {
+      if (DropPos < Drop.size() && Drop[DropPos] == I) {
+        ++DropPos;
+        continue;
+      }
+      Kept.push_back(&Files[I]);
+    }
+  } else {
+    for (const CorpusFile &F : Files)
+      Kept.push_back(&F);
+  }
+
+  // Deterministic shuffled 70/10/20 split.
+  Rng R(Config.SplitSeed);
+  std::vector<const CorpusFile *> Shuffled = Kept;
+  R.shuffle(Shuffled);
+  size_t NumTrain =
+      static_cast<size_t>(Config.TrainFrac * static_cast<double>(Shuffled.size()));
+  size_t NumValid =
+      static_cast<size_t>(Config.ValidFrac * static_cast<double>(Shuffled.size()));
+
+  Dataset DS;
+  DS.CommonThreshold = Config.CommonThreshold;
+  for (size_t I = 0; I != Shuffled.size(); ++I) {
+    FileExample Ex = buildExample(*Shuffled[I], U, Config.GraphOpts);
+    if (I < NumTrain)
+      DS.Train.push_back(std::move(Ex));
+    else if (I < NumTrain + NumValid)
+      DS.Valid.push_back(std::move(Ex));
+    else
+      DS.Test.push_back(std::move(Ex));
+  }
+  for (const FileExample &F : DS.Train)
+    for (const Target &T : F.Targets)
+      ++DS.TrainTypeCounts[T.Type];
+  return DS;
+}

@@ -1,0 +1,35 @@
+//===- corpus/Dedup.h - Near-duplicate detection -------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-shingle near-duplicate detection, standing in for the dedup tool
+/// of Allamanis [2019] that the paper applies before splitting (Sec. 6:
+/// failing to remove clones "would significantly bias our results").
+/// Files are lexed, 3-token shingles hashed, and pairs above a Jaccard
+/// threshold are clustered; one exemplar per cluster is kept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORPUS_DEDUP_H
+#define TYPILUS_CORPUS_DEDUP_H
+
+#include "corpus/Generator.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace typilus {
+
+/// Returns the indices of files to *drop*: for each cluster of
+/// near-duplicates (pairwise token-shingle Jaccard >= \p Threshold), every
+/// member except the first is dropped. Comments are ignored by
+/// construction (the lexer strips them).
+std::vector<size_t> findNearDuplicates(const std::vector<CorpusFile> &Files,
+                                       double Threshold = 0.8);
+
+} // namespace typilus
+
+#endif // TYPILUS_CORPUS_DEDUP_H

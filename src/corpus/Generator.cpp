@@ -1,0 +1,553 @@
+//===- corpus/Generator.cpp - Synthetic Python corpus -------------------------===//
+
+#include "corpus/Generator.h"
+
+#include "support/Str.h"
+#include "support/Zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <functional>
+
+using namespace typilus;
+
+/// A "type profile": a concrete type plus the naming and usage idioms that
+/// correlate with it in real code.
+struct CorpusGenerator::Profile {
+  std::string TypeText;
+  std::vector<std::string> Stems;    ///< Type-indicative variable names.
+  std::vector<std::string> Literals; ///< Initializer expressions.
+  /// Usage statement templates; "{v}" is the variable, a leading '>' adds
+  /// one indentation level to that line.
+  std::vector<std::vector<std::string>> Uses;
+  bool IsUdt = false;
+  int UdtIndex = -1;
+};
+
+namespace {
+
+/// Generic names used when name noise strikes.
+const std::vector<std::string> NoiseNames = {
+    "value", "tmp",  "data", "result", "item", "obj",
+    "thing", "aux",  "val",  "x",      "y",    "z",
+};
+
+std::string snakeCase(const std::string &CamelName) {
+  std::string Out;
+  for (size_t I = 0; I != CamelName.size(); ++I) {
+    char C = CamelName[I];
+    if (std::isupper(static_cast<unsigned char>(C)) && I != 0)
+      Out.push_back('_');
+    Out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  }
+  return Out;
+}
+
+std::string replaceAll(std::string Text, const std::string &From,
+                       const std::string &To) {
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+/// Indentation-aware source emitter.
+class Emitter {
+public:
+  void line(const std::string &Text) {
+    for (int I = 0; I != Indent; ++I)
+      Out += "    ";
+    Out += Text;
+    Out += '\n';
+  }
+  void blank() { Out += '\n'; }
+  void indent() { ++Indent; }
+  void dedent() { --Indent; }
+
+  /// Emits a template statement: '>' prefixes add indent for that line.
+  void stmt(const std::vector<std::string> &Template, const std::string &Var) {
+    for (const std::string &Raw : Template) {
+      std::string L = Raw;
+      int Extra = 0;
+      while (!L.empty() && L[0] == '>') {
+        ++Extra;
+        L.erase(L.begin());
+      }
+      Indent += Extra;
+      line(replaceAll(L, "{v}", Var));
+      Indent -= Extra;
+    }
+  }
+
+  std::string str() const { return Out; }
+
+private:
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace
+
+CorpusGenerator::~CorpusGenerator() = default;
+
+CorpusGenerator::CorpusGenerator(const CorpusConfig &C) : Config(C) {
+  makeBuiltinProfiles();
+  makeUdts();
+  // Zipf CDF over all profiles (builtins head, UDT tail).
+  ZipfSampler Z(Profiles.size(), Config.ZipfSkew);
+  ProfileCdf.resize(Profiles.size());
+  double Acc = 0;
+  for (size_t I = 0; I != Profiles.size(); ++I) {
+    Acc += Z.pmf(I);
+    ProfileCdf[I] = Acc;
+  }
+}
+
+void CorpusGenerator::makeBuiltinProfiles() {
+  auto Add = [&](std::string Type, std::vector<std::string> Stems,
+                 std::vector<std::string> Lits,
+                 std::vector<std::vector<std::string>> Uses) {
+    Profile P;
+    P.TypeText = std::move(Type);
+    P.Stems = std::move(Stems);
+    P.Literals = std::move(Lits);
+    P.Uses = std::move(Uses);
+    Profiles.push_back(std::move(P));
+  };
+
+  Add("int",
+      {"count", "num_items", "index", "size", "total", "offset", "depth",
+       "step_count", "capacity", "retries"},
+      {"0", "1", "42", "100"},
+      {{"{v} += 1"},
+       {"{v} = {v} + 1"},
+       {"{v} = {v} * 2"},
+       {"if {v} > 0:", ">{v} -= 1"},
+       {"while {v} > 0:", ">{v} -= 1"}});
+  Add("str",
+      {"name", "label", "message", "path", "text", "prefix", "filename",
+       "title", "key_name"},
+      {"'data'", "'hello'", "''", "'section'"},
+      {{"{v} = {v} + '_suffix'"},
+       {"{v} = {v}.strip()"},
+       {"print({v})"},
+       {"if {v}:", ">{v} = {v}.lower()"}});
+  Add("float",
+      {"ratio", "score", "weight", "alpha", "learning_rate", "scale",
+       "mean_value", "threshold"},
+      {"0.0", "1.5", "0.25", "100.0"},
+      {{"{v} = {v} * 0.5"}, {"{v} += 0.1"}, {"if {v} > 0.5:", ">{v} = 0.0"}});
+  Add("bool",
+      {"is_valid", "has_items", "done", "enabled", "found", "is_empty",
+       "verbose", "should_retry"},
+      {"True", "False"},
+      {{"{v} = not {v}"}, {"if {v}:", ">pass"}, {"{v} = {v} and True"}});
+  Add("List[int]",
+      {"counts", "indices", "sizes", "id_list", "offsets"},
+      {"[]", "[1, 2, 3]", "[0]"},
+      {{"{v}.append(1)"},
+       {"for entry in {v}:", ">pass"},
+       {"{v} = {v} + [4]"}});
+  Add("List[str]",
+      {"names", "labels", "words", "lines", "tokens"},
+      {"[]", "['a', 'b']"},
+      {{"{v}.append('s')"}, {"for entry in {v}:", ">pass"}});
+  Add("Dict[str, int]",
+      {"counts_by_name", "index_map", "name_to_id", "frequency_table"},
+      {"{}", "{'a': 1}"},
+      {{"{v}['key'] = 3"}, {"{v} = {v}"}});
+  Add("Optional[int]",
+      {"maybe_count", "cached_size", "limit", "timeout_override"},
+      {"None", "3"},
+      {{"if {v} is None:", ">{v} = 0"}});
+  Add("Optional[str]",
+      {"nickname", "maybe_path", "cached_name", "note"},
+      {"None", "'s'"},
+      {{"if {v} is None:", ">{v} = ''"}});
+  Add("List[float]",
+      {"scores", "weights", "ratios", "samples"},
+      {"[]", "[0.5, 1.5]"},
+      {{"{v}.append(0.5)"}, {"for entry in {v}:", ">pass"}});
+  Add("bytes",
+      {"raw_data", "payload", "blob", "chunk"},
+      {"b''", "b'abc'"},
+      {{"{v} = {v} + b'x'"}});
+  Add("Set[str]",
+      {"seen", "visited_names", "unique_words", "stopwords"},
+      {"{'a'}", "{'seed', 'word'}"},
+      {{"{v}.add('x')"}, {"for entry in {v}:", ">pass"}});
+  Add("Set[int]",
+      {"visited", "seen_ids", "open_ports"},
+      {"{1}", "{1, 2}"},
+      {{"{v}.add(3)"}});
+  Add("Tuple[int, int]",
+      {"pair", "position", "shape", "coords", "span"},
+      {"(0, 0)", "(1, 2)"},
+      {{"{v} = {v}"}});
+  Add("Dict[str, str]",
+      {"aliases", "env_vars", "headers", "replacements"},
+      {"{}", "{'k': 'v'}"},
+      {{"{v}['name'] = 'v'"}});
+  Add("Dict[str, float]",
+      {"score_by_name", "weight_map", "price_table"},
+      {"{}", "{'a': 0.5}"},
+      {{"{v}['key'] = 0.5"}});
+  Add("List[List[int]]",
+      {"grid", "matrix_rows", "buckets"},
+      {"[[1], [2]]", "[[0, 0]]"},
+      {{"{v}.append([1])"}});
+  Add("Optional[float]",
+      {"best_score", "cached_ratio", "override_weight"},
+      {"None", "0.5"},
+      {{"if {v} is None:", ">{v} = 0.0"}});
+  Add("Tuple[str, int]",
+      {"entry_pair", "name_and_count", "header_pair"},
+      {"('a', 1)", "('k', 0)"},
+      {{"{v} = {v}"}});
+  Add("List[Tuple[int, int]]",
+      {"edges", "ranges", "intervals"},
+      {"[(0, 1)]", "[]"},
+      {{"{v}.append((1, 2))"}});
+}
+
+void CorpusGenerator::makeUdts() {
+  static const std::vector<std::string> Heads = {
+      "Token",  "Parser", "Config", "Session", "Buffer", "Cache",
+      "Node",   "Worker", "Channel", "Layout", "Metric", "Route",
+      "Widget", "Schema", "Cursor", "Packet", "Lexer",  "Graph",
+      "Tensor", "Index",  "Policy", "Agent",  "Batch",  "Event",
+      "Frame",  "Handle", "Job",    "Kernel", "Logger", "Model"};
+  static const std::vector<std::string> Prefixes = {
+      "",     "Http", "Json", "Async", "Meta", "Base", "User",
+      "File", "Net",  "Data", "Sync",  "Mini", "Core", "Temp"};
+  // Attribute type pool: indices into the builtin profiles.
+  Rng R(Config.Seed ^ 0x0DDB1A5Eull);
+  std::vector<std::string> SeenNames;
+  for (int I = 0; I != Config.NumUdts; ++I) {
+    UdtSpec U;
+    // Deterministic unique name.
+    do {
+      U.Name = Prefixes[R.uniformInt(Prefixes.size())] +
+               Heads[R.uniformInt(Heads.size())];
+    } while (std::find(SeenNames.begin(), SeenNames.end(), U.Name) !=
+             SeenNames.end());
+    SeenNames.push_back(U.Name);
+    // ~20% of UDTs inherit from an earlier UDT (builds a type hierarchy).
+    if (!Udts.empty() && R.flip(0.2))
+      U.Base = Udts[R.uniformInt(Udts.size())].Name;
+
+    size_t NumAttrs = 1 + R.uniformInt(3);
+    for (size_t A = 0; A != NumAttrs; ++A) {
+      const Profile &AP = Profiles[R.uniformInt(Profiles.size())];
+      std::string AttrName = AP.Stems[R.uniformInt(AP.Stems.size())];
+      bool Dup = false;
+      for (const auto &Existing : U.Attrs)
+        Dup |= Existing.Name == AttrName;
+      if (Dup)
+        continue;
+      U.Attrs.push_back(UdtSpec::Attr{AttrName, AP.TypeText});
+    }
+    if (U.Attrs.empty())
+      U.Attrs.push_back(UdtSpec::Attr{"tag", "int"});
+    // One getter per (up to two) attributes.
+    size_t NumMethods = std::min<size_t>(U.Attrs.size(), 2);
+    for (size_t M = 0; M != NumMethods; ++M) {
+      const auto &A = U.Attrs[M];
+      U.Methods.push_back(
+          UdtSpec::Method{"get_" + A.Name, A.TypeText, A.Name});
+    }
+    Udts.push_back(std::move(U));
+  }
+
+  // A profile per UDT (the Zipf tail).
+  for (size_t I = 0; I != Udts.size(); ++I) {
+    const UdtSpec &U = Udts[I];
+    Profile P;
+    P.TypeText = U.Name;
+    P.IsUdt = true;
+    P.UdtIndex = static_cast<int>(I);
+    std::string Snake = snakeCase(U.Name);
+    P.Stems = {Snake, "current_" + Snake, Snake + "_obj"};
+    // Constructor call with literal arguments matching __init__. Element
+    // types matter: the generated programs must type check cleanly.
+    std::function<std::string(const std::string &)> LitFor =
+        [&](const std::string &T) -> std::string {
+      if (T == "int")
+        return "1";
+      if (T == "str")
+        return "'v'";
+      if (T == "float")
+        return "0.5";
+      if (T == "bool")
+        return "True";
+      if (T == "bytes")
+        return "b'v'";
+      if (T.rfind("List", 0) == 0)
+        return "[]";
+      if (T.rfind("Dict", 0) == 0)
+        return "{}";
+      if (T == "Set[str]")
+        return "{'v'}";
+      if (T.rfind("Set", 0) == 0)
+        return "{1}";
+      if (T.rfind("Tuple[", 0) == 0) {
+        // Tuple[A, B, ...]: literal per element type.
+        std::string Inner = T.substr(6, T.size() - 7);
+        std::string Out = "(";
+        size_t Depth = 0, Start = 0;
+        for (size_t I = 0; I <= Inner.size(); ++I) {
+          if (I == Inner.size() || (Inner[I] == ',' && Depth == 0)) {
+            std::string Elt(trim(Inner.substr(Start, I - Start)));
+            if (Start != 0)
+              Out += ", ";
+            Out += LitFor(Elt);
+            Start = I + 1;
+          } else if (Inner[I] == '[') {
+            ++Depth;
+          } else if (Inner[I] == ']') {
+            --Depth;
+          }
+        }
+        return Out + ")";
+      }
+      return "None"; // Optional[...] and unknown cases
+    };
+    std::string Ctor = U.Name + "(";
+    for (size_t A = 0; A != U.Attrs.size(); ++A) {
+      if (A != 0)
+        Ctor += ", ";
+      Ctor += LitFor(U.Attrs[A].TypeText);
+    }
+    Ctor += ")";
+    P.Literals = {Ctor};
+    for (const auto &M : U.Methods)
+      P.Uses.push_back({"{v}." + M.Name + "()"});
+    if (P.Uses.empty())
+      P.Uses.push_back({"{v} = {v}"});
+    Profiles.push_back(std::move(P));
+  }
+}
+
+const CorpusGenerator::Profile &
+CorpusGenerator::sampleProfile(Rng &R) const {
+  double Ux = R.uniformReal();
+  auto It = std::lower_bound(ProfileCdf.begin(), ProfileCdf.end(), Ux);
+  size_t I = It == ProfileCdf.end() ? ProfileCdf.size() - 1
+                                    : static_cast<size_t>(It - ProfileCdf.begin());
+  return Profiles[I];
+}
+
+std::string CorpusGenerator::varName(const Profile &P, Rng &R,
+                                     int &NameCounter) const {
+  std::string Base;
+  if (R.flip(Config.NameNoise))
+    Base = NoiseNames[R.uniformInt(NoiseNames.size())];
+  else
+    Base = P.Stems[R.uniformInt(P.Stems.size())];
+  // Suffix to keep names unique within a scope.
+  Base += strformat("_%d", NameCounter++);
+  return Base;
+}
+
+std::string CorpusGenerator::classSource(const UdtSpec &U) const {
+  Emitter E;
+  if (U.Base.empty())
+    E.line("class " + U.Name + ":");
+  else
+    E.line("class " + U.Name + "(" + U.Base + "):");
+  E.indent();
+  // __init__ assigning all attributes from annotated parameters.
+  std::string Sig = "def __init__(self";
+  for (const auto &A : U.Attrs)
+    Sig += ", " + A.Name + ": " + A.TypeText;
+  Sig += ") -> None:";
+  E.line(Sig);
+  E.indent();
+  for (const auto &A : U.Attrs)
+    E.line("self." + A.Name + ": " + A.TypeText + " = " + A.Name);
+  E.dedent();
+  for (const auto &M : U.Methods) {
+    E.line("def " + M.Name + "(self) -> " + M.ReturnTypeText + ":");
+    E.indent();
+    E.line("return self." + M.ReturnAttr);
+    E.dedent();
+  }
+  E.dedent();
+  return E.str();
+}
+
+std::string CorpusGenerator::fileSource(int FileIdx, Rng &R) const {
+  Emitter E;
+  E.line("from typing import Dict, List, Optional, Set, Tuple");
+
+  // Decide which UDTs this file can reference: 0-2 defined locally plus
+  // 0-3 imported from the shared project module.
+  std::vector<int> LocalUdts, ImportedUdts;
+  size_t NumLocal = R.uniformInt(3);
+  size_t NumImported = R.uniformInt(4);
+  for (size_t I = 0; I != NumLocal && !Udts.empty(); ++I)
+    LocalUdts.push_back(static_cast<int>(R.uniformInt(Udts.size())));
+  for (size_t I = 0; I != NumImported && !Udts.empty(); ++I) {
+    int U = static_cast<int>(R.uniformInt(Udts.size()));
+    if (std::find(LocalUdts.begin(), LocalUdts.end(), U) == LocalUdts.end())
+      ImportedUdts.push_back(U);
+  }
+  if (!ImportedUdts.empty()) {
+    std::string Imp = "from project.types import ";
+    for (size_t I = 0; I != ImportedUdts.size(); ++I) {
+      if (I != 0)
+        Imp += ", ";
+      Imp += Udts[static_cast<size_t>(ImportedUdts[I])].Name;
+    }
+    E.line(Imp);
+  }
+  E.blank();
+  std::vector<int> Usable = LocalUdts;
+  Usable.insert(Usable.end(), ImportedUdts.begin(), ImportedUdts.end());
+
+  for (int U : LocalUdts) {
+    // classSource re-emits at indent 0.
+    for (const std::string &Line :
+         splitChar(classSource(Udts[static_cast<size_t>(U)]), '\n'))
+      E.line(Line);
+    E.blank();
+  }
+
+  // Resolves a Zipf draw to a profile usable in this file: a UDT that is
+  // not visible here is substituted by one of the file's visible UDTs, so
+  // the global UDT (rare-type) mass is preserved.
+  size_t UdtProfileStart = Profiles.size() - Udts.size();
+  auto SampleUsable = [&]() -> const Profile & {
+    const Profile &P = sampleProfile(R);
+    if (!P.IsUdt)
+      return P;
+    if (std::find(Usable.begin(), Usable.end(), P.UdtIndex) != Usable.end())
+      return P;
+    if (!Usable.empty())
+      return Profiles[UdtProfileStart +
+                      static_cast<size_t>(Usable[R.uniformInt(Usable.size())])];
+    return Profiles[0]; // int — always usable
+  };
+
+  struct VarInfo {
+    std::string Name;
+    const Profile *P;
+  };
+
+  static const std::vector<std::string> Verbs = {
+      "compute", "build", "get", "make", "load", "update", "resolve",
+      "collect", "find", "prepare"};
+
+  int NumFuncs = static_cast<int>(
+      R.uniformRange(Config.MinFuncsPerFile, Config.MaxFuncsPerFile));
+  struct FuncInfo {
+    std::string Name;
+    std::vector<const Profile *> ParamTypes;
+    const Profile *Ret;
+  };
+  std::vector<FuncInfo> Funcs;
+
+  for (int F = 0; F != NumFuncs; ++F) {
+    int NameCounter = 0;
+    std::vector<VarInfo> Params, Locals;
+    size_t NumParams = 1 + R.uniformInt(3);
+    for (size_t I = 0; I != NumParams; ++I) {
+      const Profile &P = SampleUsable();
+      Params.push_back(VarInfo{varName(P, R, NameCounter), &P});
+    }
+    size_t NumLocals = 1 + R.uniformInt(3);
+    for (size_t I = 0; I != NumLocals; ++I) {
+      const Profile &P = SampleUsable();
+      Locals.push_back(VarInfo{varName(P, R, NameCounter), &P});
+    }
+    // The function returns one of its variables; its name and annotation
+    // derive from that variable's type.
+    std::vector<VarInfo> All = Params;
+    All.insert(All.end(), Locals.begin(), Locals.end());
+    const VarInfo &RetVar = All[R.uniformInt(All.size())];
+
+    std::string FuncName =
+        Verbs[R.uniformInt(Verbs.size())] + "_" +
+        RetVar.P->Stems[R.uniformInt(RetVar.P->Stems.size())] +
+        strformat("_%d", F);
+    Funcs.push_back(FuncInfo{FuncName, {}, RetVar.P});
+    for (const VarInfo &V : Params)
+      Funcs.back().ParamTypes.push_back(V.P);
+
+    std::string Sig = "def " + FuncName + "(";
+    for (size_t I = 0; I != Params.size(); ++I) {
+      if (I != 0)
+        Sig += ", ";
+      Sig += Params[I].Name + ": " + Params[I].P->TypeText;
+    }
+    Sig += ") -> " + RetVar.P->TypeText + ":";
+    E.line(Sig);
+    E.indent();
+    for (const VarInfo &V : Locals)
+      E.line(V.Name + ": " + V.P->TypeText + " = " +
+             V.P->Literals[R.uniformInt(V.P->Literals.size())]);
+    // 1-3 idiomatic uses of random variables.
+    size_t NumUses = 1 + R.uniformInt(3);
+    for (size_t I = 0; I != NumUses; ++I) {
+      const VarInfo &V = All[R.uniformInt(All.size())];
+      E.stmt(V.P->Uses[R.uniformInt(V.P->Uses.size())], V.Name);
+    }
+    E.line("return " + RetVar.Name);
+    E.dedent();
+    E.blank();
+  }
+
+  // Module-level code: annotated constants and calls into the functions
+  // above (call-site signal for return types).
+  int NameCounter = 1000;
+  size_t NumConsts = 1 + R.uniformInt(2);
+  for (size_t I = 0; I != NumConsts; ++I) {
+    const Profile &P = SampleUsable();
+    E.line(varName(P, R, NameCounter) + ": " + P.TypeText + " = " +
+           P.Literals[R.uniformInt(P.Literals.size())]);
+  }
+  for (const FuncInfo &F : Funcs) {
+    if (!R.flip(0.6))
+      continue;
+    std::string Call = F.Name + "(";
+    for (size_t I = 0; I != F.ParamTypes.size(); ++I) {
+      if (I != 0)
+        Call += ", ";
+      const auto &Lits = F.ParamTypes[I]->Literals;
+      Call += Lits[R.uniformInt(Lits.size())];
+    }
+    Call += ")";
+    const Profile *Ret = F.Ret;
+    E.line(varName(*Ret, R, NameCounter) + ": " + Ret->TypeText + " = " +
+           Call);
+  }
+  (void)FileIdx;
+  return E.str();
+}
+
+std::vector<CorpusFile> CorpusGenerator::generate() {
+  std::vector<CorpusFile> Files;
+  Rng Root(Config.Seed);
+  int NumOriginal = static_cast<int>(
+      static_cast<double>(Config.NumFiles) * (1.0 - Config.DuplicateFraction));
+  for (int I = 0; I != Config.NumFiles; ++I) {
+    CorpusFile F;
+    F.Path = strformat("proj/module_%03d.py", I);
+    if (I < NumOriginal || Files.empty()) {
+      Rng FileRng = Root.fork(static_cast<uint64_t>(I) + 1);
+      F.Source = fileSource(I, FileRng);
+    } else {
+      // Near-duplicate: copy an earlier file with a cosmetic comment, the
+      // kind of clone the dedup step must remove.
+      Rng FileRng = Root.fork(static_cast<uint64_t>(I) + 1);
+      const CorpusFile &Orig = Files[FileRng.uniformInt(Files.size())];
+      F.Source = "# vendored copy\n" + Orig.Source;
+    }
+    Files.push_back(std::move(F));
+  }
+  return Files;
+}

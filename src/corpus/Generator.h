@@ -1,0 +1,97 @@
+//===- corpus/Generator.h - Synthetic Python corpus ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data substrate standing in for the paper's 600-repository GitHub
+/// corpus (Sec. 6 "Data"): a generator of annotated Python-subset projects
+/// whose type distribution is Zipfian with a long tail of user-defined
+/// types, and whose identifier names / structural idioms correlate noisily
+/// with types — exactly the signals Typilus learns from. Fully
+/// deterministic given the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORPUS_GENERATOR_H
+#define TYPILUS_CORPUS_GENERATOR_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// One generated source file.
+struct CorpusFile {
+  std::string Path;
+  std::string Source;
+};
+
+/// A generated user-defined type (UDT); also used to register the class in
+/// the TypeHierarchy for neutrality checks.
+struct UdtSpec {
+  std::string Name;
+  std::string Base; ///< Base class name; "" = object.
+  struct Attr {
+    std::string Name;
+    std::string TypeText;
+  };
+  std::vector<Attr> Attrs;
+  struct Method {
+    std::string Name;
+    std::string ReturnTypeText;
+    std::string ReturnAttr; ///< The attribute the method returns.
+  };
+  std::vector<Method> Methods;
+};
+
+/// Generation knobs.
+struct CorpusConfig {
+  int NumFiles = 200;
+  int NumUdts = 150;        ///< User-defined classes in the long tail.
+  double ZipfSkew = 0.85;  ///< Type-frequency skew (paper: fat-tailed Zipf).
+  double NameNoise = 0.25; ///< Probability of a type-uninformative name.
+  int MinFuncsPerFile = 2;
+  int MaxFuncsPerFile = 5;
+  /// Fraction of files emitted as near-duplicates of earlier files, to
+  /// exercise the dedup step (Lopes et al. observed heavy duplication).
+  double DuplicateFraction = 0.05;
+  uint64_t Seed = 20200613;
+};
+
+/// Generates a deterministic synthetic corpus.
+class CorpusGenerator {
+public:
+  explicit CorpusGenerator(const CorpusConfig &C);
+  ~CorpusGenerator(); // Out of line: Profile is an implementation detail.
+  CorpusGenerator(const CorpusGenerator &) = delete;
+  CorpusGenerator &operator=(const CorpusGenerator &) = delete;
+
+  /// Generates all files. Idempotent.
+  std::vector<CorpusFile> generate();
+
+  /// The UDTs used by the corpus (valid after construction).
+  const std::vector<UdtSpec> &udts() const { return Udts; }
+
+private:
+  struct Profile;
+  void makeBuiltinProfiles();
+  void makeUdts();
+  const Profile &sampleProfile(Rng &R) const;
+  std::string varName(const Profile &P, Rng &R, int &NameCounter) const;
+  std::string fileSource(int FileIdx, Rng &R) const;
+  std::string classSource(const UdtSpec &U) const;
+
+  CorpusConfig Config;
+  std::vector<Profile> Profiles; ///< Builtins first, then UDTs (the tail).
+  std::vector<UdtSpec> Udts;
+  std::vector<double> ProfileCdf;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_CORPUS_GENERATOR_H

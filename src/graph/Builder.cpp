@@ -1,0 +1,258 @@
+//===- graph/Builder.cpp - Typilus graph construction -----------------------===//
+
+#include "graph/Graph.h"
+
+#include "pyfront/Dataflow.h"
+#include "support/Str.h"
+
+#include <cassert>
+#include <map>
+
+using namespace typilus;
+
+const char *typilus::edgeLabelName(EdgeLabel L) {
+  switch (L) {
+  case EdgeLabel::NextToken: return "NEXT_TOKEN";
+  case EdgeLabel::Child: return "CHILD";
+  case EdgeLabel::NextMayUse: return "NEXT_MAY_USE";
+  case EdgeLabel::NextLexicalUse: return "NEXT_LEXICAL_USE";
+  case EdgeLabel::AssignedFrom: return "ASSIGNED_FROM";
+  case EdgeLabel::ReturnsTo: return "RETURNS_TO";
+  case EdgeLabel::OccurrenceOf: return "OCCURRENCE_OF";
+  case EdgeLabel::SubtokenOf: return "SUBTOKEN_OF";
+  }
+  return "?";
+}
+
+std::array<size_t, NumEdgeLabels> TypilusGraph::edgeCounts() const {
+  std::array<size_t, NumEdgeLabels> Counts{};
+  for (const GraphEdge &E : Edges)
+    ++Counts[static_cast<size_t>(E.Label)];
+  return Counts;
+}
+
+namespace {
+
+/// Builds one file's graph.
+class GraphBuilder {
+public:
+  GraphBuilder(const ParsedFile &PF, const SymbolTable &ST,
+               const GraphBuildOptions &Opts)
+      : PF(PF), ST(ST), Opts(Opts) {}
+
+  TypilusGraph run();
+
+private:
+  int addNode(NodeCategory Cat, std::string Label) {
+    G.Nodes.push_back(GraphNode{Cat, std::move(Label), -1, -1});
+    return static_cast<int>(G.Nodes.size()) - 1;
+  }
+  void addEdge(int Src, int Dst, EdgeLabel L) {
+    if (Src < 0 || Dst < 0 || Src == Dst)
+      return;
+    G.Edges.push_back(GraphEdge{Src, Dst, L});
+  }
+
+  /// Graph node for token index \p TokIdx, or -1 if that token is not part
+  /// of the graph (layout/annotation token).
+  int tokenNode(int TokIdx) const {
+    if (TokIdx < 0 || static_cast<size_t>(TokIdx) >= TokNode.size())
+      return -1;
+    return TokNode[TokIdx];
+  }
+  int astNode(const AstNode *N) const {
+    auto It = AstNodeIdx.find(N);
+    return It == AstNodeIdx.end() ? -1 : It->second;
+  }
+
+  int vocabNode(const std::string &Subtoken) {
+    auto It = VocabIdx.find(Subtoken);
+    if (It != VocabIdx.end())
+      return It->second;
+    int Idx = addNode(NodeCategory::Vocabulary, Subtoken);
+    VocabIdx.emplace(Subtoken, Idx);
+    return Idx;
+  }
+
+  void buildTokenNodes();
+  void buildAstNodes(const AstNode *N, int ParentIdx,
+                     const FunctionDef *EnclosingFunc);
+  void buildSymbolNodes();
+  void buildDataflowEdges();
+
+  const ParsedFile &PF;
+  const SymbolTable &ST;
+  const GraphBuildOptions &Opts;
+  TypilusGraph G;
+  std::vector<int> TokNode;                  // token idx -> node idx or -1
+  std::map<const AstNode *, int> AstNodeIdx; // AST node -> node idx
+  std::map<std::string, int> VocabIdx;       // subtoken -> node idx
+  std::map<int, int> SymNode;                // symbol id -> node idx
+};
+
+} // namespace
+
+void GraphBuilder::buildTokenNodes() {
+  TokNode.assign(PF.Tokens.size(), -1);
+  int PrevNode = -1;
+  for (size_t I = 0; I != PF.Tokens.size(); ++I) {
+    const Token &T = PF.Tokens[I];
+    switch (T.Kind) {
+    case TokKind::Eof:
+    case TokKind::Newline:
+    case TokKind::Indent:
+    case TokKind::Dedent:
+    case TokKind::Error:
+      continue;
+    default:
+      break;
+    }
+    if (T.InAnnotation)
+      continue; // Annotations are erased from the model's view.
+    std::string Label = T.Text.empty() ? tokKindName(T.Kind) : T.Text;
+    int Idx = addNode(NodeCategory::Token, Label);
+    G.Nodes[Idx].TokenIdx = static_cast<int>(I);
+    TokNode[I] = Idx;
+    if (Opts.IncludeNextToken && PrevNode >= 0)
+      addEdge(PrevNode, Idx, EdgeLabel::NextToken);
+    PrevNode = Idx;
+    // SUBTOKEN_OF: identifier tokens connect to their subtoken vocabulary
+    // nodes (Table 1, [20]).
+    if (Opts.IncludeSubtokenOf && T.Kind == TokKind::Identifier)
+      for (const std::string &Sub : splitSubtokens(T.Text))
+        addEdge(Idx, vocabNode(Sub), EdgeLabel::SubtokenOf);
+  }
+}
+
+void GraphBuilder::buildAstNodes(const AstNode *N, int ParentIdx,
+                                 const FunctionDef *EnclosingFunc) {
+  // Leaf expressions whose whole content is a single token reuse the token
+  // node instead of adding a duplicate non-terminal (keeps graphs compact,
+  // like the paper's Fig. 3 where `foo` and `i` are token nodes).
+  bool IsSingleTokenLeaf = false;
+  switch (N->kind()) {
+  case AstNode::NodeKind::NameExpr:
+  case AstNode::NodeKind::IntLit:
+  case AstNode::NodeKind::FloatLit:
+  case AstNode::NodeKind::StringLit:
+  case AstNode::NodeKind::BoolLit:
+  case AstNode::NodeKind::NoneLit:
+  case AstNode::NodeKind::EllipsisLit:
+    IsSingleTokenLeaf = N->FirstTok >= 0 && N->FirstTok == N->LastTok;
+    break;
+  default:
+    break;
+  }
+
+  int Idx;
+  if (IsSingleTokenLeaf && tokenNode(N->FirstTok) >= 0) {
+    Idx = tokenNode(N->FirstTok);
+    AstNodeIdx[N] = Idx;
+  } else {
+    std::string Label = nodeKindName(N->kind());
+    if (const auto *B = dyn_cast<BinaryExpr>(N))
+      Label = strformat("BinOp_%s", binOpSpelling(B->Op));
+    Idx = addNode(NodeCategory::NonTerminal, Label);
+    AstNodeIdx[N] = Idx;
+  }
+  if (Opts.IncludeChild)
+    addEdge(ParentIdx, Idx, EdgeLabel::Child);
+
+  const FunctionDef *FuncHere = EnclosingFunc;
+  if (const auto *F = dyn_cast<FunctionDef>(N))
+    FuncHere = F;
+
+  // RETURNS_TO: return/yield nodes point back at the function declaration.
+  if (Opts.IncludeReturnsTo && EnclosingFunc) {
+    if (isa<ReturnStmt>(N) || isa<YieldExpr>(N))
+      addEdge(Idx, astNode(EnclosingFunc), EdgeLabel::ReturnsTo);
+  }
+
+  // Recurse into children first so ASSIGNED_FROM can reference them.
+  std::vector<const AstNode *> Children;
+  Module::forEachChild(N, [&](const AstNode *C) { Children.push_back(C); });
+  for (const AstNode *C : Children)
+    buildAstNodes(C, Idx, FuncHere);
+
+  // CHILD edges from this node to its *direct* lexemes: tokens inside this
+  // node's range that no child covers.
+  if (Opts.IncludeChild && !IsSingleTokenLeaf && N->FirstTok >= 0) {
+    for (int T = N->FirstTok; T <= N->LastTok; ++T) {
+      int TN = tokenNode(T);
+      if (TN < 0)
+        continue;
+      bool Covered = false;
+      for (const AstNode *C : Children)
+        if (C->FirstTok >= 0 && T >= C->FirstTok && T <= C->LastTok) {
+          Covered = true;
+          break;
+        }
+      if (!Covered)
+        addEdge(Idx, TN, EdgeLabel::Child);
+    }
+  }
+
+  // ASSIGNED_FROM: RHS -> LHS.
+  if (Opts.IncludeAssignedFrom) {
+    if (const auto *A = dyn_cast<AssignStmt>(N))
+      if (A->Value)
+        addEdge(astNode(A->Value), astNode(A->Target),
+                EdgeLabel::AssignedFrom);
+  }
+}
+
+void GraphBuilder::buildSymbolNodes() {
+  for (const auto &SymPtr : ST.symbols()) {
+    const Symbol &Sym = *SymPtr;
+    if (Sym.OccTokens.empty() && Sym.OccNodes.empty())
+      continue;
+    int Idx = addNode(NodeCategory::SymbolNode, Sym.Name);
+    G.Nodes[Idx].SymbolId = Sym.Id;
+    SymNode[Sym.Id] = Idx;
+
+    if (Opts.IncludeOccurrenceOf) {
+      for (int T : Sym.OccTokens)
+        addEdge(tokenNode(T), Idx, EdgeLabel::OccurrenceOf);
+      for (const AstNode *N : Sym.OccNodes) {
+        int NI = astNode(N);
+        // Single-token occurrences already linked via their token node.
+        if (NI >= 0 && (N->FirstTok != N->LastTok || tokenNode(N->FirstTok) != NI))
+          addEdge(NI, Idx, EdgeLabel::OccurrenceOf);
+      }
+    }
+
+    if (Sym.isPredictionTarget()) {
+      Supernode S;
+      S.NodeIdx = Idx;
+      S.SymbolId = Sym.Id;
+      S.Kind = Sym.Kind;
+      S.Name = Sym.Name;
+      S.AnnotationText = Sym.AnnotationText;
+      G.Supernodes.push_back(std::move(S));
+    }
+  }
+}
+
+void GraphBuilder::buildDataflowEdges() {
+  if (!Opts.IncludeNextUse)
+    return;
+  DataflowEdges DF = computeDataflow(PF, ST);
+  for (auto [From, To] : DF.NextLexicalUse)
+    addEdge(tokenNode(From), tokenNode(To), EdgeLabel::NextLexicalUse);
+  for (auto [From, To] : DF.NextMayUse)
+    addEdge(tokenNode(From), tokenNode(To), EdgeLabel::NextMayUse);
+}
+
+TypilusGraph GraphBuilder::run() {
+  assert(PF.Mod && "file must be parsed");
+  buildTokenNodes();
+  buildAstNodes(PF.Mod.get(), /*ParentIdx=*/-1, /*EnclosingFunc=*/nullptr);
+  buildSymbolNodes();
+  buildDataflowEdges();
+  return std::move(G);
+}
+
+TypilusGraph typilus::buildGraph(const ParsedFile &PF, const SymbolTable &ST,
+                                 const GraphBuildOptions &Opts) {
+  return GraphBuilder(PF, ST, Opts).run();
+}

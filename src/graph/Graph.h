@@ -1,0 +1,132 @@
+//===- graph/Graph.h - Typilus program graphs ---------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-graph representation of Sec. 5.1 / Table 1: four node
+/// categories (token, non-terminal, vocabulary, symbol) and eight edge
+/// labels. Symbol nodes are the "supernodes" whose final GNN states are the
+/// type embeddings r_s.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_GRAPH_GRAPH_H
+#define TYPILUS_GRAPH_GRAPH_H
+
+#include "pyfront/SymbolTable.h"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// The four node categories of the Typilus graph (Sec. 5.1).
+enum class NodeCategory {
+  Token,       ///< A raw lexeme of the program.
+  NonTerminal, ///< A syntax-tree node.
+  Vocabulary,  ///< A unique subtoken shared by all identifiers containing it.
+  SymbolNode,  ///< A unique symbol-table entry ("supernode").
+};
+
+/// The eight edge labels of Table 1.
+enum class EdgeLabel {
+  NextToken,
+  Child,
+  NextMayUse,
+  NextLexicalUse,
+  AssignedFrom,
+  ReturnsTo,
+  OccurrenceOf,
+  SubtokenOf,
+};
+
+inline constexpr size_t NumEdgeLabels = 8;
+
+/// Returns the paper's name for \p L, e.g. "NEXT_TOKEN".
+const char *edgeLabelName(EdgeLabel L);
+
+/// One graph node. `Label` carries the identifier information that Eq. 7
+/// turns into the initial node state.
+struct GraphNode {
+  NodeCategory Category = NodeCategory::Token;
+  std::string Label;
+  int SymbolId = -1; ///< For SymbolNode: id in the file's SymbolTable.
+  int TokenIdx = -1; ///< For Token: index into ParsedFile::Tokens.
+};
+
+/// A directed labelled edge.
+struct GraphEdge {
+  int Src = -1;
+  int Dst = -1;
+  EdgeLabel Label = EdgeLabel::NextToken;
+};
+
+/// A prediction target: one symbol supernode plus its ground truth.
+struct Supernode {
+  int NodeIdx = -1; ///< Graph node index of the symbol node.
+  int SymbolId = -1;
+  SymbolKind Kind = SymbolKind::Variable;
+  std::string Name;
+  std::string AnnotationText; ///< Ground truth ("" when unannotated).
+};
+
+/// The whole-file program graph.
+struct TypilusGraph {
+  std::vector<GraphNode> Nodes;
+  std::vector<GraphEdge> Edges;
+  std::vector<Supernode> Supernodes;
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// Edge count per label (Table 1 statistics).
+  std::array<size_t, NumEdgeLabels> edgeCounts() const;
+};
+
+/// Which edge families to include; the Table 4 ablations toggle these.
+struct GraphBuildOptions {
+  bool IncludeNextToken = true;
+  bool IncludeChild = true;
+  bool IncludeNextUse = true; ///< NEXT_LEXICAL_USE and NEXT_MAY_USE.
+  bool IncludeAssignedFrom = true;
+  bool IncludeReturnsTo = true;
+  bool IncludeOccurrenceOf = true;
+  bool IncludeSubtokenOf = true;
+
+  /// Named presets used by bench/table4_ablations.
+  static GraphBuildOptions full() { return {}; }
+  static GraphBuildOptions noSyntactic() {
+    GraphBuildOptions O;
+    O.IncludeNextToken = false;
+    O.IncludeChild = false;
+    return O;
+  }
+  static GraphBuildOptions noNextToken() {
+    GraphBuildOptions O;
+    O.IncludeNextToken = false;
+    return O;
+  }
+  static GraphBuildOptions noChild() {
+    GraphBuildOptions O;
+    O.IncludeChild = false;
+    return O;
+  }
+  static GraphBuildOptions noNextUse() {
+    GraphBuildOptions O;
+    O.IncludeNextUse = false;
+    return O;
+  }
+};
+
+/// Builds the Typilus graph for a parsed and symbol-resolved file.
+/// Annotation tokens (flagged by the parser) are invisible to the graph.
+TypilusGraph buildGraph(const ParsedFile &PF, const SymbolTable &ST,
+                        const GraphBuildOptions &Opts = {});
+
+} // namespace typilus
+
+#endif // TYPILUS_GRAPH_GRAPH_H

@@ -1,0 +1,162 @@
+//===- knn/TypeMap.cpp - τmap, kNN indexes, Eq. 5 scoring --------------------===//
+
+#include "knn/TypeMap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <queue>
+
+using namespace typilus;
+
+static float l1Distance(const float *A, const float *B, int D) {
+  float Sum = 0;
+  for (int I = 0; I != D; ++I)
+    Sum += std::fabs(A[I] - B[I]);
+  return Sum;
+}
+
+std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
+                                                const NeighborList &Neighbors,
+                                                double P) {
+  std::map<TypeRef, double> Mass;
+  double Z = 0;
+  for (auto [Idx, Dist] : Neighbors) {
+    double W = std::pow(std::max(static_cast<double>(Dist), 1e-6), -P);
+    Mass[Map.type(static_cast<size_t>(Idx))] += W;
+    Z += W;
+  }
+  std::vector<ScoredType> Result;
+  for (auto [T, W] : Mass)
+    Result.push_back(ScoredType{T, Z > 0 ? W / Z : 0});
+  std::sort(Result.begin(), Result.end(),
+            [](const ScoredType &A, const ScoredType &B) {
+              if (A.Prob != B.Prob)
+                return A.Prob > B.Prob;
+              return A.Type->str() < B.Type->str(); // deterministic ties
+            });
+  return Result;
+}
+
+NeighborList ExactIndex::query(const float *Q, int K) const {
+  NeighborList All;
+  All.reserve(Map.size());
+  for (size_t I = 0; I != Map.size(); ++I)
+    All.emplace_back(static_cast<int>(I),
+                     l1Distance(Q, Map.embedding(I), Map.dim()));
+  size_t Keep = std::min<size_t>(static_cast<size_t>(K), All.size());
+  std::partial_sort(All.begin(), All.begin() + static_cast<long>(Keep),
+                    All.end(), [](const auto &A, const auto &B) {
+                      if (A.second != B.second)
+                        return A.second < B.second;
+                      return A.first < B.first;
+                    });
+  All.resize(Keep);
+  return All;
+}
+
+AnnoyIndex::AnnoyIndex(const TypeMap &Map, int NumTrees, int LeafSize,
+                       uint64_t Seed)
+    : Map(Map), LeafSize(LeafSize) {
+  Rng R(Seed);
+  std::vector<int> All(Map.size());
+  for (size_t I = 0; I != Map.size(); ++I)
+    All[I] = static_cast<int>(I);
+  for (int T = 0; T != NumTrees; ++T)
+    Roots.push_back(buildTree(All, R, 0));
+}
+
+int AnnoyIndex::buildTree(std::vector<int> Items, Rng &R, int Depth) {
+  int Idx = static_cast<int>(Nodes.size());
+  Nodes.emplace_back();
+  if (static_cast<int>(Items.size()) <= LeafSize || Depth > 24) {
+    Nodes[static_cast<size_t>(Idx)].Items = std::move(Items);
+    return Idx;
+  }
+  // Annoy-style split: pick two random markers; split on the coordinate
+  // where they are furthest apart, at their midpoint.
+  int D = Map.dim();
+  const float *A = Map.embedding(
+      static_cast<size_t>(Items[R.uniformInt(Items.size())]));
+  const float *B = Map.embedding(
+      static_cast<size_t>(Items[R.uniformInt(Items.size())]));
+  int BestDim = 0;
+  float BestSpread = -1;
+  for (int I = 0; I != D; ++I) {
+    float Spread = std::fabs(A[I] - B[I]);
+    if (Spread > BestSpread) {
+      BestSpread = Spread;
+      BestDim = I;
+    }
+  }
+  float Threshold = 0.5f * (A[BestDim] + B[BestDim]);
+  std::vector<int> Left, Right;
+  for (int It : Items) {
+    if (Map.embedding(static_cast<size_t>(It))[BestDim] < Threshold)
+      Left.push_back(It);
+    else
+      Right.push_back(It);
+  }
+  // Degenerate split (identical points): make a leaf.
+  if (Left.empty() || Right.empty()) {
+    Nodes[static_cast<size_t>(Idx)].Items = std::move(Items);
+    return Idx;
+  }
+  int L = buildTree(std::move(Left), R, Depth + 1);
+  int Rt = buildTree(std::move(Right), R, Depth + 1);
+  Nodes[static_cast<size_t>(Idx)].SplitDim = BestDim;
+  Nodes[static_cast<size_t>(Idx)].Threshold = Threshold;
+  Nodes[static_cast<size_t>(Idx)].Left = L;
+  Nodes[static_cast<size_t>(Idx)].Right = Rt;
+  return Idx;
+}
+
+NeighborList AnnoyIndex::query(const float *Q, int K, int SearchK) const {
+  if (Map.size() == 0)
+    return {};
+  if (SearchK < 0)
+    SearchK = static_cast<int>(Roots.size()) * K * 4;
+  // Best-first traversal over all trees: priority = margin to the split
+  // plane (0 within the chosen side).
+  using Entry = std::pair<float, int>; // (priority, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> Queue;
+  for (int Root : Roots)
+    Queue.emplace(0.f, Root);
+  std::vector<char> Seen(Map.size(), 0);
+  std::vector<int> Candidates;
+  while (!Queue.empty() &&
+         static_cast<int>(Candidates.size()) < SearchK) {
+    auto [Prio, NodeIdx] = Queue.top();
+    Queue.pop();
+    const BuildNode &N = Nodes[static_cast<size_t>(NodeIdx)];
+    if (N.SplitDim < 0) {
+      for (int It : N.Items)
+        if (!Seen[static_cast<size_t>(It)]) {
+          Seen[static_cast<size_t>(It)] = 1;
+          Candidates.push_back(It);
+        }
+      continue;
+    }
+    float Margin = Q[N.SplitDim] - N.Threshold;
+    int Near = Margin < 0 ? N.Left : N.Right;
+    int Far = Margin < 0 ? N.Right : N.Left;
+    Queue.emplace(Prio, Near);
+    Queue.emplace(Prio + std::fabs(Margin), Far);
+  }
+  // Exact re-rank of the candidate union.
+  NeighborList Result;
+  Result.reserve(Candidates.size());
+  for (int It : Candidates)
+    Result.emplace_back(
+        It, l1Distance(Q, Map.embedding(static_cast<size_t>(It)), Map.dim()));
+  size_t Keep = std::min<size_t>(static_cast<size_t>(K), Result.size());
+  std::partial_sort(Result.begin(), Result.begin() + static_cast<long>(Keep),
+                    Result.end(), [](const auto &A, const auto &B) {
+                      if (A.second != B.second)
+                        return A.second < B.second;
+                      return A.first < B.first;
+                    });
+  Result.resize(Keep);
+  return Result;
+}

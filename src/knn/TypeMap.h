@@ -1,0 +1,106 @@
+//===- knn/TypeMap.h - The τmap: type markers in the TypeSpace ----*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive type map of Sec. 4.2: a store of (type embedding, type)
+/// markers. Predictions are kNN lookups scored by Eq. 5. Because the map is
+/// data, not model weights, previously unseen types can be added without
+/// retraining — the key open-vocabulary property of Typilus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_KNN_TYPEMAP_H
+#define TYPILUS_KNN_TYPEMAP_H
+
+#include "support/Rng.h"
+#include "typesys/Type.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace typilus {
+
+/// A store of D-dimensional type markers.
+class TypeMap {
+public:
+  explicit TypeMap(int Dim) : D(Dim) {}
+
+  /// Adds a marker for \p T at \p Embedding (length D).
+  void add(const float *Embedding, TypeRef T) {
+    Flat.insert(Flat.end(), Embedding, Embedding + D);
+    Types.push_back(T);
+  }
+
+  size_t size() const { return Types.size(); }
+  int dim() const { return D; }
+  const float *embedding(size_t I) const {
+    return Flat.data() + I * static_cast<size_t>(D);
+  }
+  TypeRef type(size_t I) const { return Types[I]; }
+
+private:
+  int D;
+  std::vector<float> Flat;
+  std::vector<TypeRef> Types;
+};
+
+/// (marker index, L1 distance) pairs, ascending by distance.
+using NeighborList = std::vector<std::pair<int, float>>;
+
+/// A scored candidate type.
+struct ScoredType {
+  TypeRef Type = nullptr;
+  double Prob = 0;
+};
+
+/// Eq. 5: P(s : τ) = (1/Z) Σ_i I(τ_i = τ) d_i^{-p} over the neighbours.
+/// Returns candidates sorted by descending probability.
+std::vector<ScoredType> scoreNeighbors(const TypeMap &Map,
+                                       const NeighborList &Neighbors,
+                                       double P);
+
+/// Exact L1 k-nearest-neighbour scan (the reference the approximate index
+/// is validated against).
+class ExactIndex {
+public:
+  explicit ExactIndex(const TypeMap &Map) : Map(Map) {}
+  NeighborList query(const float *Q, int K) const;
+
+private:
+  const TypeMap &Map;
+};
+
+/// An Annoy-style randomised kd-forest for L1 distance: each tree splits on
+/// the coordinate of largest spread between two random markers; queries
+/// descend all trees best-first and exactly re-rank the candidate union.
+class AnnoyIndex {
+public:
+  AnnoyIndex(const TypeMap &Map, int NumTrees = 8, int LeafSize = 16,
+             uint64_t Seed = 0xA220);
+
+  /// \p SearchK: number of candidates to inspect (defaults to
+  /// NumTrees * K * 4, Annoy's heuristic).
+  NeighborList query(const float *Q, int K, int SearchK = -1) const;
+
+private:
+  struct BuildNode {
+    int SplitDim = -1;
+    float Threshold = 0;
+    int Left = -1, Right = -1;
+    std::vector<int> Items; ///< Leaf payload.
+  };
+  int buildTree(std::vector<int> Items, Rng &R, int Depth);
+
+  const TypeMap &Map;
+  int LeafSize;
+  std::vector<BuildNode> Nodes;
+  std::vector<int> Roots;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_KNN_TYPEMAP_H

@@ -1,0 +1,44 @@
+//===- models/Example.h - Training / evaluation examples ----------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preprocessed per-file example every model consumes: the program
+/// graph plus the resolved prediction targets (symbol supernode, ground
+/// truth TypeRef, symbol kind). The sequence and path baselines derive
+/// their views (token sequence, AST tree) from the same graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_MODELS_EXAMPLE_H
+#define TYPILUS_MODELS_EXAMPLE_H
+
+#include "graph/Graph.h"
+#include "typesys/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// One annotatable symbol with a known ground-truth type.
+struct Target {
+  int NodeIdx = -1; ///< Graph node index of the symbol supernode.
+  TypeRef Type = nullptr;
+  TypeRef ErasedType = nullptr; ///< Er(Type), cached for Eq. 4's LClass.
+  SymbolKind Kind = SymbolKind::Variable;
+  std::string Name;
+};
+
+/// One preprocessed source file.
+struct FileExample {
+  std::string Path;
+  TypilusGraph Graph;
+  std::vector<Target> Targets;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_MODELS_EXAMPLE_H

@@ -1,0 +1,432 @@
+//===- models/Model.cpp - The Typilus model family ----------------------------===//
+
+#include "models/Model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace typilus;
+using namespace typilus::nn;
+
+const char *typilus::encoderKindName(EncoderKind K) {
+  switch (K) {
+  case EncoderKind::Graph: return "Graph";
+  case EncoderKind::Seq: return "Seq";
+  case EncoderKind::Path: return "Path";
+  case EncoderKind::NamesOnly: return "NamesOnly";
+  }
+  return "?";
+}
+
+const char *typilus::lossKindName(LossKind K) {
+  switch (K) {
+  case LossKind::Class: return "Class";
+  case LossKind::Space: return "Space";
+  case LossKind::Typilus: return "Typilus";
+  }
+  return "?";
+}
+
+TypeModel::TypeModel(const ModelConfig &C, LabelVocab VocabIn, TypeVocabs TVIn)
+    : Config(C), Vocab(std::move(VocabIn)), TV(std::move(TVIn)),
+      ParamRng(C.Seed), PathRng(C.Seed ^ 0x9E3779B9ull) {
+  const int64_t D = Config.HiddenDim;
+  if (Config.NodeRep == NodeRepKind::Character)
+    CharEnc = CharCnn(16, D, PS, ParamRng);
+  else
+    SubEmb = Embedding(static_cast<int64_t>(Vocab.size()), D, PS, ParamRng);
+
+  switch (Config.Encoder) {
+  case EncoderKind::Graph: {
+    float Scale = 1.f / std::sqrt(static_cast<float>(D));
+    for (size_t K = 0; K != 2 * NumEdgeLabels; ++K)
+      EdgeTransforms.push_back(
+          PS.make(Tensor::randn(D, D, ParamRng, Scale)));
+    GraphGru = GruCell(D, D, PS, ParamRng);
+    break;
+  }
+  case EncoderKind::Seq: {
+    assert(D % 2 == 0 && "Seq encoder needs an even hidden dim");
+    int64_t H = D / 2;
+    SeqF1 = GruCell(D, H, PS, ParamRng);
+    SeqB1 = GruCell(D, H, PS, ParamRng);
+    SeqF2 = GruCell(D, H, PS, ParamRng);
+    SeqB2 = GruCell(D, H, PS, ParamRng);
+    SeqOut = Linear(D, D, PS, ParamRng);
+    break;
+  }
+  case EncoderKind::Path: {
+    PathGru = GruCell(D, D, PS, ParamRng);
+    PathCombine = Linear(3 * D, D, PS, ParamRng);
+    float Scale = 1.f / std::sqrt(static_cast<float>(D));
+    AttnW = PS.make(Tensor::randn(D, D, ParamRng, Scale));
+    AttnV = PS.make(Tensor::randn(D, 1, ParamRng, Scale));
+    break;
+  }
+  case EncoderKind::NamesOnly:
+    break;
+  }
+  NamesOut = Linear(D, D, PS, ParamRng);
+
+  ClassHead = Linear(D, static_cast<int64_t>(std::max<size_t>(TV.Full.size(), 1)),
+                     PS, ParamRng);
+  ErasedProj = Linear(D, D, PS, ParamRng);
+  ErasedHead =
+      Linear(D, static_cast<int64_t>(std::max<size_t>(TV.Erased.size(), 1)),
+             PS, ParamRng);
+}
+
+//===----------------------------------------------------------------------===//
+// Initial representations (Eq. 7 and the Table 4 variants)
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::statesForLabels(const std::vector<std::string> &Labels) {
+  const int64_t N = static_cast<int64_t>(Labels.size());
+  assert(N > 0 && "no labels to embed");
+  if (Config.NodeRep == NodeRepKind::Character) {
+    // Encode each distinct label once, then gather per node.
+    std::map<std::string, int> UniqueRow;
+    std::vector<Value> Encoded;
+    std::vector<int> RowOf(Labels.size());
+    for (size_t I = 0; I != Labels.size(); ++I) {
+      auto [It, Inserted] =
+          UniqueRow.emplace(Labels[I], static_cast<int>(Encoded.size()));
+      if (Inserted)
+        Encoded.push_back(CharEnc.encode(Labels[I]));
+      RowOf[I] = It->second;
+    }
+    return gatherRows(concatRows(Encoded), RowOf);
+  }
+  // Subtoken / whole-token: mean of the (learned) id embeddings, Eq. 7.
+  std::vector<int> FlatIds, Owner;
+  for (size_t I = 0; I != Labels.size(); ++I)
+    for (int Id : Vocab.idsOf(Labels[I])) {
+      FlatIds.push_back(Id);
+      Owner.push_back(static_cast<int>(I));
+    }
+  return scatterMean(SubEmb.rows(std::move(FlatIds)), std::move(Owner), N);
+}
+
+//===----------------------------------------------------------------------===//
+// GGNN encoder (Sec. 4.3)
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::encodeGraphBatch(const std::vector<const FileExample *> &Files,
+                                  std::vector<const Target *> *OutTargets) {
+  // Merge the file graphs into one disjoint batch graph.
+  std::vector<std::string> Labels;
+  std::array<std::vector<std::pair<int, int>>, NumEdgeLabels> Edges;
+  std::vector<int> SupIdx;
+  for (const FileExample *F : Files) {
+    int Offset = static_cast<int>(Labels.size());
+    for (const GraphNode &Nd : F->Graph.Nodes)
+      Labels.push_back(Nd.Label);
+    for (const GraphEdge &E : F->Graph.Edges)
+      Edges[static_cast<size_t>(E.Label)].emplace_back(E.Src + Offset,
+                                                       E.Dst + Offset);
+    for (const Target &T : F->Targets) {
+      SupIdx.push_back(T.NodeIdx + Offset);
+      if (OutTargets)
+        OutTargets->push_back(&T);
+    }
+  }
+  const int64_t N = static_cast<int64_t>(Labels.size());
+  Value H = statesForLabels(Labels);
+
+  for (int Step = 0; Step != Config.TimeSteps; ++Step) {
+    std::vector<Value> Msgs;
+    std::vector<int> Dsts;
+    for (size_t K = 0; K != NumEdgeLabels; ++K) {
+      const auto &EK = Edges[K];
+      if (EK.empty())
+        continue;
+      // Forward direction: src -> dst with transform E_k.
+      std::vector<int> Srcs;
+      Srcs.reserve(EK.size());
+      for (auto [S, T] : EK) {
+        Srcs.push_back(S);
+        Dsts.push_back(T);
+      }
+      Msgs.push_back(matmul(gatherRows(H, std::move(Srcs)),
+                            EdgeTransforms[K]));
+      // Backward direction with its own transform E_{k+L}.
+      std::vector<int> RSrcs;
+      RSrcs.reserve(EK.size());
+      for (auto [S, T] : EK) {
+        RSrcs.push_back(T);
+        Dsts.push_back(S);
+      }
+      Msgs.push_back(matmul(gatherRows(H, std::move(RSrcs)),
+                            EdgeTransforms[NumEdgeLabels + K]));
+    }
+    if (Msgs.empty())
+      break;
+    // Max-pooling aggregation (the paper's meet-like operator).
+    Value A = scatterMax(concatRows(Msgs), std::move(Dsts), N);
+    H = GraphGru.step(A, H);
+  }
+  return gatherRows(H, SupIdx);
+}
+
+//===----------------------------------------------------------------------===//
+// biGRU encoder with consistency modules (DeepTyper baseline)
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::runGruSequence(const GruCell &Cell, Value X, bool Reverse) {
+  const int L = static_cast<int>(X.val().rows());
+  Value State = Value::constant(Tensor(static_cast<int64_t>(1),
+                                       Cell.hiddenDim()));
+  std::vector<Value> Rows(static_cast<size_t>(L));
+  for (int S = 0; S != L; ++S) {
+    int I = Reverse ? L - 1 - S : S;
+    State = Cell.step(gatherRows(X, {I}), State);
+    Rows[static_cast<size_t>(I)] = State;
+  }
+  return concatRows(Rows);
+}
+
+Value TypeModel::nameFallback(const Target &T) {
+  return tanhOp(NamesOut.apply(statesForLabels({T.Name})));
+}
+
+Value TypeModel::encodeSeqFile(const FileExample &F,
+                               std::vector<const Target *> *OutTargets) {
+  const TypilusGraph &G = F.Graph;
+  // Token nodes, in original token order (they are created first and in
+  // order by the builder).
+  std::vector<int> TokNodes;
+  std::vector<std::string> TokLabels;
+  for (size_t I = 0; I != G.Nodes.size(); ++I) {
+    if (G.Nodes[I].Category != NodeCategory::Token)
+      continue;
+    if (static_cast<int>(TokNodes.size()) >= Config.MaxSeqLen)
+      break;
+    TokNodes.push_back(static_cast<int>(I));
+    TokLabels.push_back(G.Nodes[I].Label);
+  }
+  // Occurrence lists: token position -> dense symbol id.
+  std::map<int, int> NodeToPos;
+  for (size_t P = 0; P != TokNodes.size(); ++P)
+    NodeToPos[TokNodes[P]] = static_cast<int>(P);
+  std::map<int, int> SymDense; // symbol node idx -> dense id
+  std::vector<int> OccPos, OccSym;
+  for (const GraphEdge &E : G.Edges) {
+    if (E.Label != EdgeLabel::OccurrenceOf)
+      continue;
+    auto It = NodeToPos.find(E.Src);
+    if (It == NodeToPos.end())
+      continue;
+    auto [SIt, Ins] = SymDense.emplace(E.Dst, static_cast<int>(SymDense.size()));
+    OccPos.push_back(It->second);
+    OccSym.push_back(SIt->second);
+    (void)Ins;
+  }
+
+  std::vector<Value> TargetRows;
+  if (!TokLabels.empty() && !OccPos.empty()) {
+    Value X = statesForLabels(TokLabels);
+    Value H1 = concatCols(runGruSequence(SeqF1, X, false),
+                          runGruSequence(SeqB1, X, true));
+    // Consistency module: add each symbol's mean representation back to
+    // every bound position.
+    int64_t S = static_cast<int64_t>(SymDense.size());
+    Value Mu = scatterMean(gatherRows(H1, OccPos), OccSym, S);
+    Value H1C = indexAddRows(H1, OccPos, gatherRows(Mu, OccSym));
+    Value H2 = concatCols(runGruSequence(SeqF2, H1C, false),
+                          runGruSequence(SeqB2, H1C, true));
+    // Output consistency: one representation per symbol.
+    Value SymRep = scatterMean(gatherRows(H2, OccPos), OccSym, S);
+    Value Out = tanhOp(SeqOut.apply(SymRep));
+    for (const Target &T : F.Targets) {
+      if (OutTargets)
+        OutTargets->push_back(&T);
+      auto It = SymDense.find(T.NodeIdx);
+      if (It != SymDense.end())
+        TargetRows.push_back(gatherRows(Out, {It->second}));
+      else
+        TargetRows.push_back(nameFallback(T)); // truncated away
+    }
+  } else {
+    for (const Target &T : F.Targets) {
+      if (OutTargets)
+        OutTargets->push_back(&T);
+      TargetRows.push_back(nameFallback(T));
+    }
+  }
+  if (TargetRows.empty())
+    return Value();
+  return concatRows(TargetRows);
+}
+
+//===----------------------------------------------------------------------===//
+// Path encoder (code2seq baseline)
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::encodePathFile(const FileExample &F,
+                                std::vector<const Target *> *OutTargets) {
+  const TypilusGraph &G = F.Graph;
+  const int N = static_cast<int>(G.Nodes.size());
+  // Tree structure from CHILD edges (first parent wins).
+  std::vector<int> Parent(static_cast<size_t>(N), -1);
+  for (const GraphEdge &E : G.Edges)
+    if (E.Label == EdgeLabel::Child && Parent[static_cast<size_t>(E.Dst)] < 0)
+      Parent[static_cast<size_t>(E.Dst)] = E.Src;
+  // Candidate far endpoints: identifier-ish token leaves in the tree.
+  std::vector<int> Leaves;
+  for (int I = 0; I != N; ++I)
+    if (G.Nodes[static_cast<size_t>(I)].Category == NodeCategory::Token &&
+        Parent[static_cast<size_t>(I)] >= 0)
+      Leaves.push_back(I);
+  // Occurrences per symbol node.
+  std::map<int, std::vector<int>> OccOf;
+  for (const GraphEdge &E : G.Edges)
+    if (E.Label == EdgeLabel::OccurrenceOf &&
+        G.Nodes[static_cast<size_t>(E.Src)].Category == NodeCategory::Token)
+      OccOf[E.Dst].push_back(E.Src);
+
+  auto AncestorChain = [&](int Node) {
+    std::vector<int> Chain;
+    for (int Cur = Node; Cur >= 0; Cur = Parent[static_cast<size_t>(Cur)])
+      Chain.push_back(Cur);
+    return Chain;
+  };
+
+  std::vector<Value> TargetRows;
+  for (const Target &T : F.Targets) {
+    if (OutTargets)
+      OutTargets->push_back(&T);
+    auto OccIt = OccOf.find(T.NodeIdx);
+    if (OccIt == OccOf.end() || OccIt->second.empty() || Leaves.size() < 2) {
+      TargetRows.push_back(nameFallback(T));
+      continue;
+    }
+    Rng R = PathRng.fork(static_cast<uint64_t>(T.NodeIdx) * 7919u +
+                         static_cast<uint64_t>(F.Targets.size()));
+    std::vector<Value> PathVecs;
+    for (int P = 0; P != Config.MaxPathsPerSymbol; ++P) {
+      int A = OccIt->second[static_cast<size_t>(P) % OccIt->second.size()];
+      int B = Leaves[R.uniformInt(Leaves.size())];
+      if (B == A)
+        continue;
+      // Interior path A -> LCA -> B.
+      std::vector<int> ChainA = AncestorChain(A), ChainB = AncestorChain(B);
+      std::map<int, size_t> PosInB;
+      for (size_t I = 0; I != ChainB.size(); ++I)
+        PosInB[ChainB[I]] = I;
+      size_t AIdx = 0;
+      while (AIdx < ChainA.size() && !PosInB.count(ChainA[AIdx]))
+        ++AIdx;
+      if (AIdx == ChainA.size())
+        continue; // different trees (should not happen)
+      std::vector<std::string> PathLabels;
+      for (size_t I = 1; I <= AIdx; ++I)
+        PathLabels.push_back(G.Nodes[static_cast<size_t>(ChainA[I])].Label);
+      for (size_t I = PosInB[ChainA[AIdx]]; I-- > 1;)
+        PathLabels.push_back(G.Nodes[static_cast<size_t>(ChainB[I])].Label);
+      if (PathLabels.empty())
+        PathLabels.push_back(G.Nodes[static_cast<size_t>(ChainA[AIdx])].Label);
+
+      Value PathStates = statesForLabels(PathLabels);
+      Value State = Value::constant(Tensor(static_cast<int64_t>(1),
+                                           Config.HiddenDim));
+      for (int I = 0; I != static_cast<int>(PathLabels.size()); ++I)
+        State = PathGru.step(gatherRows(PathStates, {I}), State);
+      Value EndA = statesForLabels({G.Nodes[static_cast<size_t>(A)].Label});
+      Value EndB = statesForLabels({G.Nodes[static_cast<size_t>(B)].Label});
+      PathVecs.push_back(tanhOp(PathCombine.apply(
+          concatCols(concatCols(EndA, State), EndB))));
+    }
+    if (PathVecs.empty()) {
+      TargetRows.push_back(nameFallback(T));
+      continue;
+    }
+    Value Stacked = concatRows(PathVecs);
+    Value Scores = matmul(tanhOp(matmul(Stacked, AttnW)), AttnV);
+    TargetRows.push_back(attentionPool(Scores, Stacked));
+  }
+  if (TargetRows.empty())
+    return Value();
+  return concatRows(TargetRows);
+}
+
+//===----------------------------------------------------------------------===//
+// Names-only ablation
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::encodeNamesFile(const FileExample &F,
+                                 std::vector<const Target *> *OutTargets) {
+  std::vector<std::string> Names;
+  for (const Target &T : F.Targets) {
+    if (OutTargets)
+      OutTargets->push_back(&T);
+    Names.push_back(T.Name);
+  }
+  if (Names.empty())
+    return Value();
+  return tanhOp(NamesOut.apply(statesForLabels(Names)));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared entry points
+//===----------------------------------------------------------------------===//
+
+Value TypeModel::embed(const std::vector<const FileExample *> &Files,
+                       std::vector<const Target *> *OutTargets) {
+  if (Config.Encoder == EncoderKind::Graph)
+    return encodeGraphBatch(Files, OutTargets);
+  std::vector<Value> Parts;
+  for (const FileExample *F : Files) {
+    Value Part;
+    switch (Config.Encoder) {
+    case EncoderKind::Seq:
+      Part = encodeSeqFile(*F, OutTargets);
+      break;
+    case EncoderKind::Path:
+      Part = encodePathFile(*F, OutTargets);
+      break;
+    case EncoderKind::NamesOnly:
+      Part = encodeNamesFile(*F, OutTargets);
+      break;
+    case EncoderKind::Graph:
+      break;
+    }
+    if (Part.defined())
+      Parts.push_back(Part);
+  }
+  if (Parts.empty())
+    return Value();
+  return concatRows(Parts);
+}
+
+Value TypeModel::loss(Value Emb, const std::vector<const Target *> &Targets) {
+  assert(Emb.defined() &&
+         Emb.val().rows() == static_cast<int64_t>(Targets.size()) &&
+         "embedding/target mismatch");
+  auto FullLabels = [&] {
+    std::vector<int> L;
+    for (const Target *T : Targets)
+      L.push_back(TV.Full.lookup(T->Type));
+    return L;
+  };
+  switch (Config.Loss) {
+  case LossKind::Class:
+    return softmaxCrossEntropy(ClassHead.apply(Emb), FullLabels());
+  case LossKind::Space:
+    return spaceLoss(pairwiseL1(Emb), FullLabels(), Config.Margin);
+  case LossKind::Typilus: {
+    Value LSpace = spaceLoss(pairwiseL1(Emb), FullLabels(), Config.Margin);
+    std::vector<int> Erased;
+    for (const Target *T : Targets)
+      Erased.push_back(TV.Erased.lookup(T->ErasedType));
+    Value LClass =
+        softmaxCrossEntropy(ErasedHead.apply(ErasedProj.apply(Emb)), Erased);
+    return add(LSpace, scale(LClass, Config.Lambda));
+  }
+  }
+  return Value();
+}
+
+Tensor TypeModel::classProbs(Value Emb) {
+  return softmaxRows(ClassHead.apply(Emb).val());
+}

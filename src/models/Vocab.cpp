@@ -1,0 +1,44 @@
+//===- models/Vocab.cpp - Subtoken and type vocabularies ---------------------===//
+
+#include "models/Vocab.h"
+
+#include "support/Str.h"
+
+using namespace typilus;
+
+std::vector<std::string> LabelVocab::keysOf(const std::string &Label,
+                                            Mode M) {
+  if (M == Mode::WholeLabel)
+    return {Label};
+  std::vector<std::string> Subs = splitSubtokens(Label);
+  if (Subs.empty())
+    Subs.push_back(Label); // punctuation lexemes keep their spelling
+  return Subs;
+}
+
+LabelVocab LabelVocab::build(const std::vector<const TypilusGraph *> &Graphs,
+                             Mode M, int MinCount) {
+  std::map<std::string, int> Counts;
+  for (const TypilusGraph *G : Graphs)
+    for (const GraphNode &N : G->Nodes)
+      for (const std::string &K : keysOf(N.Label, M))
+        ++Counts[K];
+  LabelVocab V;
+  V.M = M;
+  for (const auto &[Key, Count] : Counts) {
+    if (Count < MinCount)
+      continue;
+    V.Ids.emplace(Key, static_cast<int>(V.NextId));
+    ++V.NextId;
+  }
+  return V;
+}
+
+std::vector<int> LabelVocab::idsOf(const std::string &Label) const {
+  std::vector<int> Result;
+  for (const std::string &K : keysOf(Label, M)) {
+    auto It = Ids.find(K);
+    Result.push_back(It == Ids.end() ? 0 : It->second);
+  }
+  return Result;
+}

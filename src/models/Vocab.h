@@ -1,0 +1,81 @@
+//===- models/Vocab.h - Subtoken and type vocabularies ------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vocabularies shared by the model variants: a label vocabulary (subtoken
+/// or whole-lexeme mode, for Eq. 7 initial node states and the Table 4
+/// representation ablation), and dense type-id maps used as classification
+/// targets (full types for Eq. 1, parameter-erased types for the LClass
+/// term of Eq. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_MODELS_VOCAB_H
+#define TYPILUS_MODELS_VOCAB_H
+
+#include "graph/Graph.h"
+#include "typesys/Type.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// Maps node labels to integer ids, either per subtoken (default) or per
+/// whole lexeme. Id 0 is the unknown token.
+class LabelVocab {
+public:
+  enum class Mode { Subtoken, WholeLabel };
+
+  /// Builds from the node labels of \p Graphs; keys seen fewer than
+  /// \p MinCount times map to unknown.
+  static LabelVocab build(const std::vector<const TypilusGraph *> &Graphs,
+                          Mode M, int MinCount = 2);
+
+  /// Ids for \p Label: its subtokens in Subtoken mode (falling back to the
+  /// raw label for pure punctuation), or a single whole-label id. Never
+  /// empty; unknown keys yield id 0.
+  std::vector<int> idsOf(const std::string &Label) const;
+
+  size_t size() const { return NextId; }
+  Mode mode() const { return M; }
+
+private:
+  /// Splits per mode; shared with build().
+  static std::vector<std::string> keysOf(const std::string &Label, Mode M);
+
+  std::map<std::string, int> Ids;
+  size_t NextId = 1; // 0 = unknown
+  Mode M = Mode::Subtoken;
+};
+
+/// Dense ids for interned types (insertion-ordered, deterministic).
+class TypeIdMap {
+public:
+  /// Returns the id of \p T, inserting it if new.
+  int add(TypeRef T) {
+    auto [It, Inserted] = Ids.emplace(T, static_cast<int>(Types.size()));
+    if (Inserted)
+      Types.push_back(T);
+    return It->second;
+  }
+  /// Returns the id of \p T or -1 when absent.
+  int lookup(TypeRef T) const {
+    auto It = Ids.find(T);
+    return It == Ids.end() ? -1 : It->second;
+  }
+  TypeRef type(int Id) const { return Types[static_cast<size_t>(Id)]; }
+  size_t size() const { return Types.size(); }
+
+private:
+  std::map<TypeRef, int> Ids;
+  std::vector<TypeRef> Types;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_MODELS_VOCAB_H

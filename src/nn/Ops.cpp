@@ -1,0 +1,761 @@
+//===- nn/Ops.cpp - Autograd op implementations ------------------------------===//
+
+#include "nn/Autograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+using namespace typilus;
+using namespace typilus::nn;
+
+namespace {
+
+/// Creates the output node for an op with the given parents; wires
+/// NeedsGrad. The backward closure is attached afterwards iff needed.
+std::shared_ptr<Node> makeOut(Tensor Val,
+                              std::initializer_list<Value> Parents) {
+  auto Out = std::make_shared<Node>();
+  Out->Val = std::move(Val);
+  for (const Value &P : Parents) {
+    assert(P.defined() && "op on undefined Value");
+    Out->Prev.push_back(P.node());
+    Out->NeedsGrad |= P.node()->NeedsGrad;
+  }
+  return Out;
+}
+
+} // namespace
+
+Value nn::add(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  Tensor Out = TA;
+  if (TA.sameShape(TB)) {
+    for (int64_t I = 0; I != Out.numel(); ++I)
+      Out[I] += TB[I];
+  } else {
+    // Bias broadcast: B is rank-1 of length cols(A).
+    assert(TB.rank() == 1 && TB.rows() == TA.cols() && "bad add broadcast");
+    for (int64_t R = 0; R != TA.rows(); ++R)
+      for (int64_t C = 0; C != TA.cols(); ++C)
+        Out.at(R, C) += TB[C];
+  }
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    bool Broadcast = !TA.sameShape(TB);
+    N->BackwardFn = [O, NA, NB, Broadcast] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NA->Grad[I] += O->Grad[I];
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        if (!Broadcast) {
+          for (int64_t I = 0; I != O->Grad.numel(); ++I)
+            NB->Grad[I] += O->Grad[I];
+        } else {
+          int64_t Cols = O->Grad.cols();
+          for (int64_t R = 0; R != O->Grad.rows(); ++R)
+            for (int64_t C = 0; C != Cols; ++C)
+              NB->Grad[C] += O->Grad.at(R, C);
+        }
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::sub(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  assert(TA.sameShape(TB) && "sub requires matching shapes");
+  Tensor Out = TA;
+  for (int64_t I = 0; I != Out.numel(); ++I)
+    Out[I] -= TB[I];
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    N->BackwardFn = [O, NA, NB] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NA->Grad[I] += O->Grad[I];
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NB->Grad[I] -= O->Grad[I];
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::mul(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  assert(TA.sameShape(TB) && "mul requires matching shapes");
+  Tensor Out = TA;
+  for (int64_t I = 0; I != Out.numel(); ++I)
+    Out[I] *= TB[I];
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    N->BackwardFn = [O, NA, NB] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NA->Grad[I] += O->Grad[I] * NB->Val[I];
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NB->Grad[I] += O->Grad[I] * NA->Val[I];
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::scale(Value A, float S) {
+  Tensor Out = A.val();
+  for (int64_t I = 0; I != Out.numel(); ++I)
+    Out[I] *= S;
+  auto N = makeOut(std::move(Out), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, S] {
+      NA->ensureGrad();
+      for (int64_t I = 0; I != O->Grad.numel(); ++I)
+        NA->Grad[I] += S * O->Grad[I];
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::matmul(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  assert(TA.rank() == 2 && TB.rank() == 2 && TA.cols() == TB.rows() &&
+         "matmul shape mismatch");
+  int64_t M = TA.rows(), K = TA.cols(), Nc = TB.cols();
+  Tensor Out(M, Nc);
+  gemm(false, false, M, Nc, K, 1.f, TA.data(), TB.data(), 0.f, Out.data());
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    N->BackwardFn = [O, NA, NB, M, K, Nc] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        // dA += dC * B^T : [M,Nc] x [Nc,K] with B stored [K,Nc] -> TransB.
+        gemm(false, true, M, K, Nc, 1.f, O->Grad.data(), NB->Val.data(), 1.f,
+             NA->Grad.data());
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        // dB += A^T * dC.
+        gemm(true, false, K, Nc, M, 1.f, NA->Val.data(), O->Grad.data(), 1.f,
+             NB->Grad.data());
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::matmulNT(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  assert(TA.rank() == 2 && TB.rank() == 2 && TA.cols() == TB.cols() &&
+         "matmulNT shape mismatch");
+  int64_t M = TA.rows(), K = TA.cols(), Nc = TB.rows();
+  Tensor Out(M, Nc);
+  gemm(false, true, M, Nc, K, 1.f, TA.data(), TB.data(), 0.f, Out.data());
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    N->BackwardFn = [O, NA, NB, M, K, Nc] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        // dA += dC * B : [M,Nc] x [Nc,K].
+        gemm(false, false, M, K, Nc, 1.f, O->Grad.data(), NB->Val.data(), 1.f,
+             NA->Grad.data());
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        // dB += dC^T * A : [Nc,M] x [M,K].
+        gemm(true, false, Nc, K, M, 1.f, O->Grad.data(), NA->Val.data(), 1.f,
+             NB->Grad.data());
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+namespace {
+
+template <typename FwdFn, typename GradFn>
+Value elementwise(Value A, FwdFn Fwd, GradFn Gr) {
+  Tensor Out = A.val();
+  for (int64_t I = 0; I != Out.numel(); ++I)
+    Out[I] = Fwd(Out[I]);
+  auto N = makeOut(std::move(Out), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, Gr] {
+      NA->ensureGrad();
+      for (int64_t I = 0; I != O->Grad.numel(); ++I)
+        NA->Grad[I] += O->Grad[I] * Gr(O->Val[I], NA->Val[I]);
+    };
+  }
+  return Value(std::move(N));
+}
+
+} // namespace
+
+Value nn::sigmoid(Value A) {
+  return elementwise(
+      A, [](float X) { return 1.f / (1.f + std::exp(-X)); },
+      [](float Y, float) { return Y * (1.f - Y); });
+}
+
+Value nn::tanhOp(Value A) {
+  return elementwise(
+      A, [](float X) { return std::tanh(X); },
+      [](float Y, float) { return 1.f - Y * Y; });
+}
+
+Value nn::relu(Value A) {
+  return elementwise(
+      A, [](float X) { return X > 0.f ? X : 0.f; },
+      [](float, float X) { return X > 0.f ? 1.f : 0.f; });
+}
+
+Value nn::concatCols(Value A, Value B) {
+  const Tensor &TA = A.val(), &TB = B.val();
+  assert(TA.rank() == 2 && TB.rank() == 2 && TA.rows() == TB.rows() &&
+         "concatCols shape mismatch");
+  int64_t R = TA.rows(), CA = TA.cols(), CB = TB.cols();
+  Tensor Out(R, CA + CB);
+  for (int64_t I = 0; I != R; ++I) {
+    for (int64_t J = 0; J != CA; ++J)
+      Out.at(I, J) = TA.at(I, J);
+    for (int64_t J = 0; J != CB; ++J)
+      Out.at(I, CA + J) = TB.at(I, J);
+  }
+  auto N = makeOut(std::move(Out), {A, B});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node(), NB = B.node();
+    N->BackwardFn = [O, NA, NB, R, CA, CB] {
+      if (NA->NeedsGrad) {
+        NA->ensureGrad();
+        for (int64_t I = 0; I != R; ++I)
+          for (int64_t J = 0; J != CA; ++J)
+            NA->Grad.at(I, J) += O->Grad.at(I, J);
+      }
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        for (int64_t I = 0; I != R; ++I)
+          for (int64_t J = 0; J != CB; ++J)
+            NB->Grad.at(I, J) += O->Grad.at(I, CA + J);
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::concatRows(const std::vector<Value> &Parts) {
+  assert(!Parts.empty() && "concatRows of nothing");
+  int64_t D = Parts[0].val().cols();
+  int64_t TotalRows = 0;
+  for (const Value &P : Parts) {
+    assert(P.val().rank() == 2 && P.val().cols() == D &&
+           "concatRows column mismatch");
+    TotalRows += P.val().rows();
+  }
+  Tensor Out(TotalRows, D);
+  int64_t Row = 0;
+  for (const Value &P : Parts) {
+    const Tensor &T = P.val();
+    for (int64_t I = 0; I != T.rows(); ++I, ++Row)
+      for (int64_t J = 0; J != D; ++J)
+        Out.at(Row, J) = T.at(I, J);
+  }
+  auto N = std::make_shared<Node>();
+  N->Val = std::move(Out);
+  for (const Value &P : Parts) {
+    N->Prev.push_back(P.node());
+    N->NeedsGrad |= P.node()->NeedsGrad;
+  }
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto Parents = N->Prev;
+    N->BackwardFn = [O, Parents, D] {
+      int64_t Row = 0;
+      for (const auto &P : Parents) {
+        int64_t R = P->Val.rows();
+        if (P->NeedsGrad) {
+          P->ensureGrad();
+          for (int64_t I = 0; I != R; ++I)
+            for (int64_t J = 0; J != D; ++J)
+              P->Grad.at(I, J) += O->Grad.at(Row + I, J);
+        }
+        Row += R;
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::attentionPool(Value Scores, Value Rows) {
+  const Tensor &TS = Scores.val(), &TR = Rows.val();
+  assert(TS.rank() == 2 && TS.cols() == 1 && TS.rows() == TR.rows() &&
+         "attentionPool shape mismatch");
+  int64_t K = TR.rows(), D = TR.cols();
+  // Softmax over the K scores.
+  Tensor Alpha(K);
+  float Max = TS.at(0, 0);
+  for (int64_t I = 1; I != K; ++I)
+    Max = std::max(Max, TS.at(I, 0));
+  float Sum = 0;
+  for (int64_t I = 0; I != K; ++I) {
+    Alpha[I] = std::exp(TS.at(I, 0) - Max);
+    Sum += Alpha[I];
+  }
+  for (int64_t I = 0; I != K; ++I)
+    Alpha[I] /= Sum;
+  Tensor Out(static_cast<int64_t>(1), D);
+  for (int64_t I = 0; I != K; ++I)
+    for (int64_t J = 0; J != D; ++J)
+      Out.at(0, J) += Alpha[I] * TR.at(I, J);
+  auto N = makeOut(std::move(Out), {Scores, Rows});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NS = Scores.node(), NR = Rows.node();
+    N->BackwardFn = [O, NS, NR, Alpha = std::move(Alpha), K, D] {
+      // dRows[i] = alpha_i * dOut.
+      if (NR->NeedsGrad) {
+        NR->ensureGrad();
+        for (int64_t I = 0; I != K; ++I)
+          for (int64_t J = 0; J != D; ++J)
+            NR->Grad.at(I, J) += Alpha[I] * O->Grad.at(0, J);
+      }
+      // dScore_i = alpha_i * (g.r_i - sum_k alpha_k g.r_k).
+      if (NS->NeedsGrad) {
+        NS->ensureGrad();
+        float Mix = 0;
+        std::vector<float> GDotR(static_cast<size_t>(K), 0.f);
+        for (int64_t I = 0; I != K; ++I) {
+          float Dot = 0;
+          for (int64_t J = 0; J != D; ++J)
+            Dot += O->Grad.at(0, J) * NR->Val.at(I, J);
+          GDotR[static_cast<size_t>(I)] = Dot;
+          Mix += Alpha[I] * Dot;
+        }
+        for (int64_t I = 0; I != K; ++I)
+          NS->Grad.at(I, 0) += Alpha[I] * (GDotR[static_cast<size_t>(I)] - Mix);
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::gatherRows(Value A, std::vector<int> Idx) {
+  const Tensor &TA = A.val();
+  assert(TA.rank() == 2 && "gatherRows needs a matrix");
+  int64_t D = TA.cols();
+  Tensor Out(static_cast<int64_t>(Idx.size()), D);
+  for (size_t I = 0; I != Idx.size(); ++I) {
+    assert(Idx[I] >= 0 && Idx[I] < TA.rows() && "gather index out of range");
+    for (int64_t J = 0; J != D; ++J)
+      Out.at(static_cast<int64_t>(I), J) = TA.at(Idx[I], J);
+  }
+  auto N = makeOut(std::move(Out), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, Idx = std::move(Idx), D] {
+      NA->ensureGrad();
+      for (size_t I = 0; I != Idx.size(); ++I)
+        for (int64_t J = 0; J != D; ++J)
+          NA->Grad.at(Idx[I], J) += O->Grad.at(static_cast<int64_t>(I), J);
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::scatterMax(Value Msgs, std::vector<int> Dst, int64_t NumRows) {
+  const Tensor &TM = Msgs.val();
+  assert(TM.rank() == 2 && TM.rows() == static_cast<int64_t>(Dst.size()) &&
+         "scatterMax shape mismatch");
+  int64_t D = TM.cols();
+  Tensor Out(NumRows, D);
+  // Argmax message per (row, dim); -1 = no message (output stays 0).
+  std::vector<int> Arg(static_cast<size_t>(NumRows * D), -1);
+  for (size_t E = 0; E != Dst.size(); ++E) {
+    int Nd = Dst[E];
+    assert(Nd >= 0 && Nd < NumRows && "scatter destination out of range");
+    for (int64_t J = 0; J != D; ++J) {
+      float V = TM.at(static_cast<int64_t>(E), J);
+      int &Slot = Arg[static_cast<size_t>(Nd * D + J)];
+      if (Slot < 0 || V > Out.at(Nd, J)) {
+        Out.at(Nd, J) = V;
+        Slot = static_cast<int>(E);
+      }
+    }
+  }
+  auto N = makeOut(std::move(Out), {Msgs});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NM = Msgs.node();
+    N->BackwardFn = [O, NM, Arg = std::move(Arg), NumRows, D] {
+      NM->ensureGrad();
+      for (int64_t R = 0; R != NumRows; ++R)
+        for (int64_t J = 0; J != D; ++J) {
+          int E = Arg[static_cast<size_t>(R * D + J)];
+          if (E >= 0)
+            NM->Grad.at(E, J) += O->Grad.at(R, J);
+        }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::scatterMean(Value Msgs, std::vector<int> Dst, int64_t NumRows) {
+  const Tensor &TM = Msgs.val();
+  assert(TM.rank() == 2 && TM.rows() == static_cast<int64_t>(Dst.size()) &&
+         "scatterMean shape mismatch");
+  int64_t D = TM.cols();
+  Tensor Out(NumRows, D);
+  std::vector<int> Count(static_cast<size_t>(NumRows), 0);
+  for (size_t E = 0; E != Dst.size(); ++E) {
+    assert(Dst[E] >= 0 && Dst[E] < NumRows && "scatter dest out of range");
+    ++Count[static_cast<size_t>(Dst[E])];
+    for (int64_t J = 0; J != D; ++J)
+      Out.at(Dst[E], J) += TM.at(static_cast<int64_t>(E), J);
+  }
+  for (int64_t R = 0; R != NumRows; ++R)
+    if (Count[static_cast<size_t>(R)] > 0)
+      for (int64_t J = 0; J != D; ++J)
+        Out.at(R, J) /= static_cast<float>(Count[static_cast<size_t>(R)]);
+  auto N = makeOut(std::move(Out), {Msgs});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NM = Msgs.node();
+    N->BackwardFn = [O, NM, Dst = std::move(Dst), Count = std::move(Count),
+                     D] {
+      NM->ensureGrad();
+      for (size_t E = 0; E != Dst.size(); ++E) {
+        float Inv = 1.f / static_cast<float>(Count[static_cast<size_t>(Dst[E])]);
+        for (int64_t J = 0; J != D; ++J)
+          NM->Grad.at(static_cast<int64_t>(E), J) +=
+              Inv * O->Grad.at(Dst[E], J);
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::indexAddRows(Value Base, std::vector<int> Idx, Value Rows) {
+  const Tensor &TB = Base.val(), &TR = Rows.val();
+  assert(TB.rank() == 2 && TR.rank() == 2 && TB.cols() == TR.cols() &&
+         TR.rows() == static_cast<int64_t>(Idx.size()) &&
+         "indexAddRows shape mismatch");
+  int64_t D = TB.cols();
+  Tensor Out = TB;
+  for (size_t M = 0; M != Idx.size(); ++M) {
+    assert(Idx[M] >= 0 && Idx[M] < TB.rows() && "index out of range");
+    for (int64_t J = 0; J != D; ++J)
+      Out.at(Idx[M], J) += TR.at(static_cast<int64_t>(M), J);
+  }
+  auto N = makeOut(std::move(Out), {Base, Rows});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NB = Base.node(), NR = Rows.node();
+    N->BackwardFn = [O, NB, NR, Idx = std::move(Idx), D] {
+      if (NB->NeedsGrad) {
+        NB->ensureGrad();
+        for (int64_t I = 0; I != O->Grad.numel(); ++I)
+          NB->Grad[I] += O->Grad[I];
+      }
+      if (NR->NeedsGrad) {
+        NR->ensureGrad();
+        for (size_t M = 0; M != Idx.size(); ++M)
+          for (int64_t J = 0; J != D; ++J)
+            NR->Grad.at(static_cast<int64_t>(M), J) += O->Grad.at(Idx[M], J);
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::reduceMaxRows(Value A) {
+  const Tensor &TA = A.val();
+  assert(TA.rank() == 2 && TA.rows() > 0 && "reduceMaxRows needs rows");
+  int64_t R = TA.rows(), D = TA.cols();
+  Tensor Out(static_cast<int64_t>(1), D);
+  std::vector<int> Arg(static_cast<size_t>(D), 0);
+  for (int64_t J = 0; J != D; ++J) {
+    float Best = TA.at(0, J);
+    for (int64_t I = 1; I != R; ++I)
+      if (TA.at(I, J) > Best) {
+        Best = TA.at(I, J);
+        Arg[static_cast<size_t>(J)] = static_cast<int>(I);
+      }
+    Out.at(0, J) = Best;
+  }
+  auto N = makeOut(std::move(Out), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, Arg = std::move(Arg), D] {
+      NA->ensureGrad();
+      for (int64_t J = 0; J != D; ++J)
+        NA->Grad.at(Arg[static_cast<size_t>(J)], J) += O->Grad.at(0, J);
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::meanAll(Value A) {
+  const Tensor &TA = A.val();
+  assert(TA.numel() > 0 && "meanAll of empty tensor");
+  float Sum = 0;
+  for (int64_t I = 0; I != TA.numel(); ++I)
+    Sum += TA[I];
+  float Inv = 1.f / static_cast<float>(TA.numel());
+  auto N = makeOut(Tensor::scalar(Sum * Inv), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, Inv] {
+      NA->ensureGrad();
+      float G = O->Grad[0] * Inv;
+      for (int64_t I = 0; I != NA->Grad.numel(); ++I)
+        NA->Grad[I] += G;
+    };
+  }
+  return Value(std::move(N));
+}
+
+Tensor nn::softmaxRows(const Tensor &Logits) {
+  assert(Logits.rank() == 2);
+  Tensor Out = Logits;
+  for (int64_t R = 0; R != Out.rows(); ++R) {
+    float Max = Out.at(R, 0);
+    for (int64_t C = 1; C != Out.cols(); ++C)
+      Max = std::max(Max, Out.at(R, C));
+    float Sum = 0;
+    for (int64_t C = 0; C != Out.cols(); ++C) {
+      float E = std::exp(Out.at(R, C) - Max);
+      Out.at(R, C) = E;
+      Sum += E;
+    }
+    for (int64_t C = 0; C != Out.cols(); ++C)
+      Out.at(R, C) /= Sum;
+  }
+  return Out;
+}
+
+Value nn::softmaxCrossEntropy(Value Logits, std::vector<int> Labels) {
+  const Tensor &TL = Logits.val();
+  assert(TL.rank() == 2 &&
+         TL.rows() == static_cast<int64_t>(Labels.size()) &&
+         "softmaxCrossEntropy shape mismatch");
+  Tensor Probs = softmaxRows(TL);
+  int Valid = 0;
+  float Loss = 0;
+  for (size_t I = 0; I != Labels.size(); ++I) {
+    if (Labels[I] < 0)
+      continue;
+    assert(Labels[I] < TL.cols() && "label out of range");
+    ++Valid;
+    Loss -= std::log(std::max(
+        Probs.at(static_cast<int64_t>(I), Labels[I]), 1e-12f));
+  }
+  float Inv = Valid > 0 ? 1.f / static_cast<float>(Valid) : 0.f;
+  auto N = makeOut(Tensor::scalar(Loss * Inv), {Logits});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NL = Logits.node();
+    N->BackwardFn = [O, NL, Probs = std::move(Probs),
+                     Labels = std::move(Labels), Inv] {
+      NL->ensureGrad();
+      float G = O->Grad[0] * Inv;
+      for (size_t I = 0; I != Labels.size(); ++I) {
+        if (Labels[I] < 0)
+          continue;
+        int64_t R = static_cast<int64_t>(I);
+        for (int64_t C = 0; C != Probs.cols(); ++C) {
+          float Delta = C == Labels[I] ? 1.f : 0.f;
+          NL->Grad.at(R, C) += G * (Probs.at(R, C) - Delta);
+        }
+      }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::pairwiseL1(Value A) {
+  const Tensor &TA = A.val();
+  assert(TA.rank() == 2 && "pairwiseL1 needs a matrix");
+  int64_t R = TA.rows(), D = TA.cols();
+  Tensor Out(R, R);
+  for (int64_t I = 0; I != R; ++I)
+    for (int64_t J = I + 1; J != R; ++J) {
+      float Sum = 0;
+      for (int64_t K = 0; K != D; ++K)
+        Sum += std::fabs(TA.at(I, K) - TA.at(J, K));
+      Out.at(I, J) = Sum;
+      Out.at(J, I) = Sum;
+    }
+  auto N = makeOut(std::move(Out), {A});
+  if (N->NeedsGrad) {
+    Node *O = N.get();
+    auto NA = A.node();
+    N->BackwardFn = [O, NA, R, D] {
+      NA->ensureGrad();
+      for (int64_t I = 0; I != R; ++I)
+        for (int64_t J = 0; J != R; ++J) {
+          if (I == J)
+            continue;
+          float G = O->Grad.at(I, J);
+          if (G == 0.f)
+            continue;
+          for (int64_t K = 0; K != D; ++K) {
+            float Diff = NA->Val.at(I, K) - NA->Val.at(J, K);
+            float Sign = Diff > 0.f ? 1.f : (Diff < 0.f ? -1.f : 0.f);
+            NA->Grad.at(I, K) += G * Sign;
+            NA->Grad.at(J, K) -= G * Sign;
+          }
+        }
+    };
+  }
+  return Value(std::move(N));
+}
+
+Value nn::spaceLoss(Value Dists, const std::vector<int> &TypeIds,
+                    float Margin) {
+  const Tensor &TD = Dists.val();
+  int64_t N = TD.rows();
+  assert(TD.rank() == 2 && TD.cols() == N &&
+         N == static_cast<int64_t>(TypeIds.size()) &&
+         "spaceLoss shape mismatch");
+
+  // Forward: per-sample P+ / P- selection (Eq. 3, Fig. 2); gradients flow
+  // only through the selected distance entries.
+  struct Selection {
+    int64_t Row;
+    std::vector<int64_t> Pos, Neg;
+  };
+  std::vector<Selection> Sel;
+  float Loss = 0;
+  for (int64_t I = 0; I != N; ++I) {
+    if (TypeIds[I] < 0)
+      continue;
+    float DMaxPlus = -1, DMinMinus = -1;
+    bool HasPlus = false, HasMinus = false;
+    for (int64_t J = 0; J != N; ++J) {
+      if (J == I || TypeIds[J] < 0)
+        continue;
+      if (TypeIds[J] == TypeIds[I]) {
+        if (!HasPlus || TD.at(I, J) > DMaxPlus)
+          DMaxPlus = TD.at(I, J);
+        HasPlus = true;
+      } else {
+        if (!HasMinus || TD.at(I, J) < DMinMinus)
+          DMinMinus = TD.at(I, J);
+        HasMinus = true;
+      }
+    }
+    if (!HasPlus || !HasMinus)
+      continue;
+    Selection S;
+    S.Row = I;
+    for (int64_t J = 0; J != N; ++J) {
+      if (J == I || TypeIds[J] < 0)
+        continue;
+      if (TypeIds[J] == TypeIds[I]) {
+        if (TD.at(I, J) > DMinMinus - Margin)
+          S.Pos.push_back(J);
+      } else if (TD.at(I, J) < DMaxPlus + Margin) {
+        S.Neg.push_back(J);
+      }
+    }
+    float LI = 0;
+    if (!S.Pos.empty()) {
+      float Sum = 0;
+      for (int64_t J : S.Pos)
+        Sum += TD.at(I, J);
+      LI += Sum / static_cast<float>(S.Pos.size());
+    }
+    if (!S.Neg.empty()) {
+      float Sum = 0;
+      for (int64_t J : S.Neg)
+        Sum += TD.at(I, J);
+      LI -= Sum / static_cast<float>(S.Neg.size());
+    }
+    Loss += LI;
+    Sel.push_back(std::move(S));
+  }
+  float Inv = Sel.empty() ? 0.f : 1.f / static_cast<float>(Sel.size());
+  auto Out = makeOut(Tensor::scalar(Loss * Inv), {Dists});
+  if (Out->NeedsGrad) {
+    Node *O = Out.get();
+    auto ND = Dists.node();
+    Out->BackwardFn = [O, ND, Sel = std::move(Sel), Inv] {
+      ND->ensureGrad();
+      float G = O->Grad[0] * Inv;
+      for (const auto &S : Sel) {
+        if (!S.Pos.empty()) {
+          float W = G / static_cast<float>(S.Pos.size());
+          for (int64_t J : S.Pos)
+            ND->Grad.at(S.Row, J) += W;
+        }
+        if (!S.Neg.empty()) {
+          float W = G / static_cast<float>(S.Neg.size());
+          for (int64_t J : S.Neg)
+            ND->Grad.at(S.Row, J) -= W;
+        }
+      }
+    };
+  }
+  return Value(std::move(Out));
+}
+
+void nn::backward(Value Root) {
+  assert(Root.defined() && Root.val().numel() == 1 &&
+         "backward from a non-scalar");
+  // Iterative post-order topological sort.
+  std::vector<Node *> Topo;
+  std::unordered_set<Node *> Visited;
+  std::vector<std::pair<Node *, size_t>> Stack;
+  Stack.emplace_back(Root.node().get(), 0);
+  Visited.insert(Root.node().get());
+  while (!Stack.empty()) {
+    auto &[N, NextChild] = Stack.back();
+    if (NextChild < N->Prev.size()) {
+      Node *C = N->Prev[NextChild++].get();
+      if (C->NeedsGrad && Visited.insert(C).second)
+        Stack.emplace_back(C, 0);
+      continue;
+    }
+    Topo.push_back(N);
+    Stack.pop_back();
+  }
+  Root.node()->ensureGrad();
+  Root.node()->Grad[0] = 1.f;
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    Node *N = *It;
+    if (N->BackwardFn) {
+      N->ensureGrad();
+      N->BackwardFn();
+    }
+  }
+}

@@ -1,0 +1,47 @@
+//===- nn/Optim.cpp - Adam optimizer -----------------------------------------===//
+
+#include "nn/Optim.h"
+
+#include <cmath>
+
+using namespace typilus;
+using namespace typilus::nn;
+
+Adam::Adam(ParamSet &PS, float Lr, float ClipNorm)
+    : PS(PS), Lr(Lr), ClipNorm(ClipNorm) {
+  for (const Value &P : PS.params()) {
+    M.push_back(Tensor::zerosLike(P.val()));
+    V.push_back(Tensor::zerosLike(P.val()));
+  }
+}
+
+void Adam::step() {
+  ++T;
+  // Global-norm gradient clipping.
+  double NormSq = 0;
+  for (const Value &P : PS.params()) {
+    const Tensor &G = P.grad();
+    for (int64_t I = 0; I != G.numel(); ++I)
+      NormSq += static_cast<double>(G[I]) * G[I];
+  }
+  float Scale = 1.f;
+  if (ClipNorm > 0 && NormSq > ClipNorm * ClipNorm)
+    Scale = ClipNorm / static_cast<float>(std::sqrt(NormSq));
+
+  float C1 = 1.f - std::pow(Beta1, static_cast<float>(T));
+  float C2 = 1.f - std::pow(Beta2, static_cast<float>(T));
+  for (size_t I = 0; I != PS.params().size(); ++I) {
+    Value P = PS.params()[I];
+    Tensor &G = P.grad();
+    Tensor &W = P.valMutable();
+    for (int64_t J = 0; J != W.numel(); ++J) {
+      float Gj = G[J] * Scale;
+      M[I][J] = Beta1 * M[I][J] + (1.f - Beta1) * Gj;
+      V[I][J] = Beta2 * V[I][J] + (1.f - Beta2) * Gj * Gj;
+      float MHat = M[I][J] / C1;
+      float VHat = V[I][J] / C2;
+      W[J] -= Lr * MHat / (std::sqrt(VHat) + Eps);
+    }
+    G.fill(0.f);
+  }
+}

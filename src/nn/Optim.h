@@ -1,0 +1,46 @@
+//===- nn/Optim.h - Adam optimizer ---------------------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adam with optional gradient clipping — the optimizer used for all model
+/// variants. Deterministic: no internal randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_NN_OPTIM_H
+#define TYPILUS_NN_OPTIM_H
+
+#include "nn/Layers.h"
+
+#include <vector>
+
+namespace typilus {
+namespace nn {
+
+/// Adam (Kingma & Ba 2015).
+class Adam {
+public:
+  explicit Adam(ParamSet &PS, float Lr = 1e-3f, float ClipNorm = 5.f);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  float learningRate() const { return Lr; }
+  void setLearningRate(float NewLr) { Lr = NewLr; }
+
+private:
+  ParamSet &PS;
+  std::vector<Tensor> M, V;
+  float Lr;
+  float ClipNorm;
+  float Beta1 = 0.9f, Beta2 = 0.999f, Eps = 1e-8f;
+  int T = 0;
+};
+
+} // namespace nn
+} // namespace typilus
+
+#endif // TYPILUS_NN_OPTIM_H

@@ -1,0 +1,70 @@
+//===- nn/Tensor.cpp - Dense float tensors ----------------------------------===//
+
+#include "nn/Tensor.h"
+
+#include <cstring>
+
+using namespace typilus;
+
+void typilus::gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
+                   float Alpha, const float *A, const float *B, float Beta,
+                   float *C) {
+  if (Beta == 0.f)
+    std::memset(C, 0, static_cast<size_t>(M * N) * sizeof(float));
+  else if (Beta != 1.f)
+    for (int64_t I = 0; I != M * N; ++I)
+      C[I] *= Beta;
+
+  // Leading dimensions of the stored matrices.
+  const int64_t Lda = TransA ? M : K;
+  const int64_t Ldb = TransB ? K : N;
+
+  // i-k-j loop order keeps the inner loop contiguous over B and C for the
+  // common non-transposed case, which GCC auto-vectorises well.
+  if (!TransA && !TransB) {
+    for (int64_t I = 0; I != M; ++I)
+      for (int64_t P = 0; P != K; ++P) {
+        float AIP = Alpha * A[I * Lda + P];
+        if (AIP == 0.f)
+          continue;
+        const float *BRow = B + P * Ldb;
+        float *CRow = C + I * N;
+        for (int64_t J = 0; J != N; ++J)
+          CRow[J] += AIP * BRow[J];
+      }
+    return;
+  }
+  if (TransA && !TransB) {
+    for (int64_t P = 0; P != K; ++P)
+      for (int64_t I = 0; I != M; ++I) {
+        float AIP = Alpha * A[P * Lda + I];
+        if (AIP == 0.f)
+          continue;
+        const float *BRow = B + P * Ldb;
+        float *CRow = C + I * N;
+        for (int64_t J = 0; J != N; ++J)
+          CRow[J] += AIP * BRow[J];
+      }
+    return;
+  }
+  if (!TransA && TransB) {
+    for (int64_t I = 0; I != M; ++I)
+      for (int64_t J = 0; J != N; ++J) {
+        const float *ARow = A + I * Lda;
+        const float *BRow = B + J * Ldb;
+        float Sum = 0.f;
+        for (int64_t P = 0; P != K; ++P)
+          Sum += ARow[P] * BRow[P];
+        C[I * N + J] += Alpha * Sum;
+      }
+    return;
+  }
+  // TransA && TransB (rare; used only in some backward paths).
+  for (int64_t I = 0; I != M; ++I)
+    for (int64_t J = 0; J != N; ++J) {
+      float Sum = 0.f;
+      for (int64_t P = 0; P != K; ++P)
+        Sum += A[P * Lda + I] * B[J * Ldb + P];
+      C[I * N + J] += Alpha * Sum;
+    }
+}

@@ -1,0 +1,109 @@
+//===- nn/Tensor.h - Dense float tensors --------------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal dense float32 tensor (rank 1 or 2, row-major) plus the GEMM
+/// kernel everything else is built on. Deliberately simple: value
+/// semantics, bounds-checked accessors in debug builds, no views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_NN_TENSOR_H
+#define TYPILUS_NN_TENSOR_H
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace typilus {
+
+/// Dense row-major float tensor of rank 1 or 2.
+class Tensor {
+public:
+  Tensor() = default;
+
+  /// Rank-1 zeros.
+  explicit Tensor(int64_t N) : Shape{N}, Data(static_cast<size_t>(N), 0.f) {
+    assert(N >= 0);
+  }
+  /// Rank-2 zeros.
+  Tensor(int64_t Rows, int64_t Cols)
+      : Shape{Rows, Cols}, Data(static_cast<size_t>(Rows * Cols), 0.f) {
+    assert(Rows >= 0 && Cols >= 0);
+  }
+
+  static Tensor zerosLike(const Tensor &T) {
+    Tensor R;
+    R.Shape = T.Shape;
+    R.Data.assign(T.Data.size(), 0.f);
+    return R;
+  }
+
+  /// Gaussian init with std \p Scale.
+  static Tensor randn(int64_t Rows, int64_t Cols, Rng &R, float Scale) {
+    Tensor T(Rows, Cols);
+    for (float &X : T.Data)
+      X = static_cast<float>(R.normal()) * Scale;
+    return T;
+  }
+
+  /// 1x1 scalar tensor.
+  static Tensor scalar(float V) {
+    Tensor T(1);
+    T.Data[0] = V;
+    return T;
+  }
+
+  int rank() const { return static_cast<int>(Shape.size()); }
+  int64_t dim(int I) const {
+    assert(I < rank());
+    return Shape[static_cast<size_t>(I)];
+  }
+  /// Rows for rank-2, length for rank-1.
+  int64_t rows() const { return Shape.empty() ? 0 : Shape[0]; }
+  int64_t cols() const { return rank() == 2 ? Shape[1] : 1; }
+  int64_t numel() const { return static_cast<int64_t>(Data.size()); }
+  bool sameShape(const Tensor &O) const { return Shape == O.Shape; }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+
+  float &operator[](int64_t I) {
+    assert(I >= 0 && I < numel());
+    return Data[static_cast<size_t>(I)];
+  }
+  float operator[](int64_t I) const {
+    assert(I >= 0 && I < numel());
+    return Data[static_cast<size_t>(I)];
+  }
+  float &at(int64_t R, int64_t C) {
+    assert(rank() == 2 && R < Shape[0] && C < Shape[1]);
+    return Data[static_cast<size_t>(R * Shape[1] + C)];
+  }
+  float at(int64_t R, int64_t C) const {
+    assert(rank() == 2 && R < Shape[0] && C < Shape[1]);
+    return Data[static_cast<size_t>(R * Shape[1] + C)];
+  }
+
+  void fill(float V) { Data.assign(Data.size(), V); }
+
+  const std::vector<int64_t> &shape() const { return Shape; }
+
+private:
+  std::vector<int64_t> Shape;
+  std::vector<float> Data;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, where op transposes when the flag
+/// is set. Shapes: op(A) is MxK, op(B) is KxN, C is MxN.
+void gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
+          float Alpha, const float *A, const float *B, float Beta, float *C);
+
+} // namespace typilus
+
+#endif // TYPILUS_NN_TENSOR_H

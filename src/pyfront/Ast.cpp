@@ -1,0 +1,206 @@
+//===- pyfront/Ast.cpp - Python-subset abstract syntax tree ----------------===//
+
+#include "pyfront/Ast.h"
+
+using namespace typilus;
+
+const char *typilus::nodeKindName(AstNode::NodeKind K) {
+  switch (K) {
+  case AstNode::NodeKind::Module: return "Module";
+  case AstNode::NodeKind::FunctionDef: return "FunctionDef";
+  case AstNode::NodeKind::ParamDecl: return "ParamDecl";
+  case AstNode::NodeKind::ClassDef: return "ClassDef";
+  case AstNode::NodeKind::AssignStmt: return "Assign";
+  case AstNode::NodeKind::ExprStmt: return "ExprStmt";
+  case AstNode::NodeKind::ReturnStmt: return "Return";
+  case AstNode::NodeKind::PassStmt: return "Pass";
+  case AstNode::NodeKind::BreakStmt: return "Break";
+  case AstNode::NodeKind::ContinueStmt: return "Continue";
+  case AstNode::NodeKind::IfStmt: return "If";
+  case AstNode::NodeKind::WhileStmt: return "While";
+  case AstNode::NodeKind::ForStmt: return "For";
+  case AstNode::NodeKind::ImportStmt: return "Import";
+  case AstNode::NodeKind::GlobalStmt: return "Global";
+  case AstNode::NodeKind::RaiseStmt: return "Raise";
+  case AstNode::NodeKind::AssertStmt: return "Assert";
+  case AstNode::NodeKind::DelStmt: return "Del";
+  case AstNode::NodeKind::NameExpr: return "Name";
+  case AstNode::NodeKind::IntLit: return "IntLit";
+  case AstNode::NodeKind::FloatLit: return "FloatLit";
+  case AstNode::NodeKind::StringLit: return "StrLit";
+  case AstNode::NodeKind::BoolLit: return "BoolLit";
+  case AstNode::NodeKind::NoneLit: return "NoneLit";
+  case AstNode::NodeKind::EllipsisLit: return "Ellipsis";
+  case AstNode::NodeKind::UnaryExpr: return "UnaryOp";
+  case AstNode::NodeKind::BinaryExpr: return "BinOp";
+  case AstNode::NodeKind::CallExpr: return "Call";
+  case AstNode::NodeKind::AttributeExpr: return "Attribute";
+  case AstNode::NodeKind::SubscriptExpr: return "Subscript";
+  case AstNode::NodeKind::ListExpr: return "ListExpr";
+  case AstNode::NodeKind::TupleExpr: return "TupleExpr";
+  case AstNode::NodeKind::SetExpr: return "SetExpr";
+  case AstNode::NodeKind::DictExpr: return "DictExpr";
+  case AstNode::NodeKind::YieldExpr: return "Yield";
+  }
+  return "?";
+}
+
+const char *typilus::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add: return "+";
+  case BinOpKind::Sub: return "-";
+  case BinOpKind::Mult: return "*";
+  case BinOpKind::Div: return "/";
+  case BinOpKind::FloorDiv: return "//";
+  case BinOpKind::Mod: return "%";
+  case BinOpKind::Pow: return "**";
+  case BinOpKind::BitAnd: return "&";
+  case BinOpKind::BitOr: return "|";
+  case BinOpKind::And: return "and";
+  case BinOpKind::Or: return "or";
+  case BinOpKind::Eq: return "==";
+  case BinOpKind::NotEq: return "!=";
+  case BinOpKind::Lt: return "<";
+  case BinOpKind::LtE: return "<=";
+  case BinOpKind::Gt: return ">";
+  case BinOpKind::GtE: return ">=";
+  case BinOpKind::In: return "in";
+  case BinOpKind::NotIn: return "not in";
+  case BinOpKind::Is: return "is";
+  case BinOpKind::IsNot: return "is not";
+  }
+  return "?";
+}
+
+void Module::forEachChild(const AstNode *N,
+                          const std::function<void(const AstNode *)> &Fn) {
+  auto Each = [&](const auto &Vec) {
+    for (const AstNode *C : Vec)
+      if (C)
+        Fn(C);
+  };
+  auto One = [&](const AstNode *C) {
+    if (C)
+      Fn(C);
+  };
+  switch (N->kind()) {
+  case AstNode::NodeKind::Module:
+    Each(cast<Module>(N)->Body);
+    break;
+  case AstNode::NodeKind::FunctionDef: {
+    const auto *F = cast<FunctionDef>(N);
+    Each(F->Params);
+    Each(F->Body);
+    break;
+  }
+  case AstNode::NodeKind::ParamDecl:
+    One(cast<ParamDecl>(N)->Default);
+    break;
+  case AstNode::NodeKind::ClassDef:
+    Each(cast<ClassDef>(N)->Body);
+    break;
+  case AstNode::NodeKind::AssignStmt: {
+    const auto *A = cast<AssignStmt>(N);
+    One(A->Target);
+    One(A->Value);
+    break;
+  }
+  case AstNode::NodeKind::ExprStmt:
+    One(cast<ExprStmt>(N)->E);
+    break;
+  case AstNode::NodeKind::ReturnStmt:
+    One(cast<ReturnStmt>(N)->Value);
+    break;
+  case AstNode::NodeKind::PassStmt:
+  case AstNode::NodeKind::BreakStmt:
+  case AstNode::NodeKind::ContinueStmt:
+  case AstNode::NodeKind::ImportStmt:
+  case AstNode::NodeKind::GlobalStmt:
+    break;
+  case AstNode::NodeKind::IfStmt: {
+    const auto *I = cast<IfStmt>(N);
+    One(I->Cond);
+    Each(I->Then);
+    Each(I->Else);
+    break;
+  }
+  case AstNode::NodeKind::WhileStmt: {
+    const auto *W = cast<WhileStmt>(N);
+    One(W->Cond);
+    Each(W->Body);
+    break;
+  }
+  case AstNode::NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(N);
+    One(F->Target);
+    One(F->Iter);
+    Each(F->Body);
+    break;
+  }
+  case AstNode::NodeKind::RaiseStmt:
+    One(cast<RaiseStmt>(N)->E);
+    break;
+  case AstNode::NodeKind::AssertStmt: {
+    const auto *A = cast<AssertStmt>(N);
+    One(A->Cond);
+    One(A->Msg);
+    break;
+  }
+  case AstNode::NodeKind::DelStmt:
+    One(cast<DelStmt>(N)->E);
+    break;
+  case AstNode::NodeKind::NameExpr:
+  case AstNode::NodeKind::IntLit:
+  case AstNode::NodeKind::FloatLit:
+  case AstNode::NodeKind::StringLit:
+  case AstNode::NodeKind::BoolLit:
+  case AstNode::NodeKind::NoneLit:
+  case AstNode::NodeKind::EllipsisLit:
+    break;
+  case AstNode::NodeKind::UnaryExpr:
+    One(cast<UnaryExpr>(N)->Operand);
+    break;
+  case AstNode::NodeKind::BinaryExpr: {
+    const auto *B = cast<BinaryExpr>(N);
+    One(B->Lhs);
+    One(B->Rhs);
+    break;
+  }
+  case AstNode::NodeKind::CallExpr: {
+    const auto *C = cast<CallExpr>(N);
+    One(C->Callee);
+    Each(C->Args);
+    Each(C->KwValues);
+    break;
+  }
+  case AstNode::NodeKind::AttributeExpr:
+    One(cast<AttributeExpr>(N)->Value);
+    break;
+  case AstNode::NodeKind::SubscriptExpr: {
+    const auto *S = cast<SubscriptExpr>(N);
+    One(S->Value);
+    One(S->Index);
+    break;
+  }
+  case AstNode::NodeKind::ListExpr:
+    Each(cast<ListExpr>(N)->Elts);
+    break;
+  case AstNode::NodeKind::TupleExpr:
+    Each(cast<TupleExpr>(N)->Elts);
+    break;
+  case AstNode::NodeKind::SetExpr:
+    Each(cast<SetExpr>(N)->Elts);
+    break;
+  case AstNode::NodeKind::DictExpr: {
+    const auto *D = cast<DictExpr>(N);
+    for (size_t I = 0; I != D->Keys.size(); ++I) {
+      One(D->Keys[I]);
+      One(D->Values[I]);
+    }
+    break;
+  }
+  case AstNode::NodeKind::YieldExpr:
+    One(cast<YieldExpr>(N)->Value);
+    break;
+  }
+}

@@ -1,0 +1,566 @@
+//===- pyfront/Ast.h - Python-subset abstract syntax tree --------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for the Python subset. Nodes use LLVM-style kind tags
+/// (see support/Casting.h) and are arena-allocated in their Module. Every
+/// node records the token range it covers so the graph builder can attach
+/// CHILD edges from non-terminals to token nodes. Type annotations are kept
+/// as *strings only* — they deliberately have no AST/token presence visible
+/// to the model, since the prediction task erases them (Sec. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_AST_H
+#define TYPILUS_PYFRONT_AST_H
+
+#include "support/Casting.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+struct Symbol;
+class Module;
+
+/// Base class of all AST nodes.
+class AstNode {
+public:
+  enum class NodeKind {
+    Module,
+    // Statements.
+    FunctionDef,
+    ParamDecl,
+    ClassDef,
+    AssignStmt,
+    ExprStmt,
+    ReturnStmt,
+    PassStmt,
+    BreakStmt,
+    ContinueStmt,
+    IfStmt,
+    WhileStmt,
+    ForStmt,
+    ImportStmt,
+    GlobalStmt,
+    RaiseStmt,
+    AssertStmt,
+    DelStmt,
+    // Expressions.
+    NameExpr,
+    IntLit,
+    FloatLit,
+    StringLit,
+    BoolLit,
+    NoneLit,
+    EllipsisLit,
+    UnaryExpr,
+    BinaryExpr,
+    CallExpr,
+    AttributeExpr,
+    SubscriptExpr,
+    ListExpr,
+    TupleExpr,
+    SetExpr,
+    DictExpr,
+    YieldExpr,
+  };
+
+  NodeKind kind() const { return K; }
+  /// Node id, dense within the owning Module (graph node mapping).
+  int id() const { return Id; }
+
+  /// Token range [FirstTok, LastTok] covered by this node (may be -1 for
+  /// synthesised nodes).
+  int FirstTok = -1;
+  int LastTok = -1;
+
+protected:
+  explicit AstNode(NodeKind K) : K(K) {}
+
+private:
+  friend class Module;
+  NodeKind K;
+  int Id = -1;
+};
+
+/// Returns the rule name of \p K (e.g. "BinaryExpr"); used as the label of
+/// non-terminal graph nodes.
+const char *nodeKindName(AstNode::NodeKind K);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of expressions.
+class Expr : public AstNode {
+public:
+  static bool classof(const AstNode *N) {
+    return N->kind() >= NodeKind::NameExpr &&
+           N->kind() <= NodeKind::YieldExpr;
+  }
+
+protected:
+  using AstNode::AstNode;
+};
+
+/// An identifier use. `Sym` is filled by the symbol-table builder.
+class NameExpr : public Expr {
+public:
+  NameExpr(std::string Id, int TokIdx)
+      : Expr(NodeKind::NameExpr), Ident(std::move(Id)), TokIdx(TokIdx) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::NameExpr;
+  }
+
+  std::string Ident;
+  int TokIdx;            ///< Index of the identifier token.
+  Symbol *Sym = nullptr; ///< Resolved symbol (may stay null on error).
+  bool IsStore = false;  ///< True if this is an assignment/for target.
+};
+
+class IntLit : public Expr {
+public:
+  explicit IntLit(long long V) : Expr(NodeKind::IntLit), Value(V) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::IntLit;
+  }
+  long long Value;
+};
+
+class FloatLit : public Expr {
+public:
+  explicit FloatLit(double V) : Expr(NodeKind::FloatLit), Value(V) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::FloatLit;
+  }
+  double Value;
+};
+
+class StringLit : public Expr {
+public:
+  StringLit(std::string V, bool IsBytes)
+      : Expr(NodeKind::StringLit), Value(std::move(V)), IsBytes(IsBytes) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::StringLit;
+  }
+  std::string Value; ///< Raw lexeme including quotes.
+  bool IsBytes;
+};
+
+class BoolLit : public Expr {
+public:
+  explicit BoolLit(bool V) : Expr(NodeKind::BoolLit), Value(V) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::BoolLit;
+  }
+  bool Value;
+};
+
+class NoneLit : public Expr {
+public:
+  NoneLit() : Expr(NodeKind::NoneLit) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::NoneLit;
+  }
+};
+
+class EllipsisLit : public Expr {
+public:
+  EllipsisLit() : Expr(NodeKind::EllipsisLit) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::EllipsisLit;
+  }
+};
+
+/// Unary operator kinds.
+enum class UnaryOpKind { Neg, Pos, Not };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, Expr *Operand)
+      : Expr(NodeKind::UnaryExpr), Op(Op), Operand(Operand) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::UnaryExpr;
+  }
+  UnaryOpKind Op;
+  Expr *Operand;
+};
+
+/// Binary operator kinds; comparisons and boolean connectives are folded in.
+enum class BinOpKind {
+  Add,
+  Sub,
+  Mult,
+  Div,
+  FloorDiv,
+  Mod,
+  Pow,
+  BitAnd,
+  BitOr,
+  And,
+  Or,
+  Eq,
+  NotEq,
+  Lt,
+  LtE,
+  Gt,
+  GtE,
+  In,
+  NotIn,
+  Is,
+  IsNot,
+};
+
+/// Returns a spelling like "+" or "and" for \p Op.
+const char *binOpSpelling(BinOpKind Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOpKind Op, Expr *Lhs, Expr *Rhs)
+      : Expr(NodeKind::BinaryExpr), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::BinaryExpr;
+  }
+  BinOpKind Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+class CallExpr : public Expr {
+public:
+  explicit CallExpr(Expr *Callee) : Expr(NodeKind::CallExpr), Callee(Callee) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::CallExpr;
+  }
+  Expr *Callee;
+  std::vector<Expr *> Args;
+  /// Keyword arguments: names (paper: the GNN sees keyword-argument names),
+  /// the token index of each name, and the value expressions.
+  std::vector<std::string> KwNames;
+  std::vector<int> KwNameToks;
+  std::vector<Expr *> KwValues;
+};
+
+class AttributeExpr : public Expr {
+public:
+  AttributeExpr(Expr *Value, std::string Attr, int AttrTokIdx)
+      : Expr(NodeKind::AttributeExpr), Value(Value), Attr(std::move(Attr)),
+        AttrTokIdx(AttrTokIdx) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::AttributeExpr;
+  }
+  Expr *Value;
+  std::string Attr;
+  int AttrTokIdx;
+  /// Resolved attribute symbol for `self.attr` inside methods, else null.
+  Symbol *Sym = nullptr;
+  bool IsStore = false;
+};
+
+class SubscriptExpr : public Expr {
+public:
+  SubscriptExpr(Expr *Value, Expr *Index)
+      : Expr(NodeKind::SubscriptExpr), Value(Value), Index(Index) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::SubscriptExpr;
+  }
+  Expr *Value;
+  Expr *Index;
+};
+
+class ListExpr : public Expr {
+public:
+  ListExpr() : Expr(NodeKind::ListExpr) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ListExpr;
+  }
+  std::vector<Expr *> Elts;
+};
+
+class TupleExpr : public Expr {
+public:
+  TupleExpr() : Expr(NodeKind::TupleExpr) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::TupleExpr;
+  }
+  std::vector<Expr *> Elts;
+};
+
+class SetExpr : public Expr {
+public:
+  SetExpr() : Expr(NodeKind::SetExpr) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::SetExpr;
+  }
+  std::vector<Expr *> Elts;
+};
+
+class DictExpr : public Expr {
+public:
+  DictExpr() : Expr(NodeKind::DictExpr) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::DictExpr;
+  }
+  std::vector<Expr *> Keys;
+  std::vector<Expr *> Values;
+};
+
+class YieldExpr : public Expr {
+public:
+  explicit YieldExpr(Expr *Value) : Expr(NodeKind::YieldExpr), Value(Value) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::YieldExpr;
+  }
+  Expr *Value; ///< May be null (`yield`).
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of statements.
+class Stmt : public AstNode {
+public:
+  static bool classof(const AstNode *N) {
+    return N->kind() >= NodeKind::FunctionDef &&
+           N->kind() <= NodeKind::DelStmt;
+  }
+
+protected:
+  using AstNode::AstNode;
+};
+
+/// A single function parameter declaration.
+class ParamDecl : public Stmt {
+public:
+  ParamDecl(std::string Name, int NameTok)
+      : Stmt(NodeKind::ParamDecl), Name(std::move(Name)), NameTok(NameTok) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ParamDecl;
+  }
+  std::string Name;
+  int NameTok;
+  std::string AnnotationText; ///< "" when unannotated.
+  Expr *Default = nullptr;
+  Symbol *Sym = nullptr;
+};
+
+class FunctionDef : public Stmt {
+public:
+  FunctionDef(std::string Name, int NameTok)
+      : Stmt(NodeKind::FunctionDef), Name(std::move(Name)), NameTok(NameTok) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::FunctionDef;
+  }
+  std::string Name;
+  int NameTok;
+  std::vector<ParamDecl *> Params;
+  std::string ReturnsText; ///< "" when the return is unannotated.
+  std::vector<Stmt *> Body;
+  Symbol *FuncSym = nullptr;
+  Symbol *RetSym = nullptr; ///< The function-return symbol (Sec. 5.1).
+  bool IsMethod = false;    ///< Set when directly inside a class body.
+};
+
+class ClassDef : public Stmt {
+public:
+  ClassDef(std::string Name, int NameTok)
+      : Stmt(NodeKind::ClassDef), Name(std::move(Name)), NameTok(NameTok) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ClassDef;
+  }
+  std::string Name;
+  int NameTok;
+  std::vector<std::string> Bases;
+  std::vector<Stmt *> Body;
+  Symbol *ClassSym = nullptr;
+};
+
+/// Covers `x = e`, `x: T = e`, `x: T`, and augmented `x += e`.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(Expr *Target, Expr *Value)
+      : Stmt(NodeKind::AssignStmt), Target(Target), Value(Value) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::AssignStmt;
+  }
+  Expr *Target;
+  Expr *Value;                ///< Null for a bare annotation `x: T`.
+  std::string AnnotationText; ///< "" when unannotated.
+  bool IsAug = false;
+  BinOpKind AugOp = BinOpKind::Add;
+};
+
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(Expr *E) : Stmt(NodeKind::ExprStmt), E(E) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ExprStmt;
+  }
+  Expr *E;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(Expr *Value)
+      : Stmt(NodeKind::ReturnStmt), Value(Value) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ReturnStmt;
+  }
+  Expr *Value; ///< May be null (`return`).
+};
+
+class PassStmt : public Stmt {
+public:
+  PassStmt() : Stmt(NodeKind::PassStmt) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::PassStmt;
+  }
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(NodeKind::BreakStmt) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::BreakStmt;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt() : Stmt(NodeKind::ContinueStmt) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ContinueStmt;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  explicit IfStmt(Expr *Cond) : Stmt(NodeKind::IfStmt), Cond(Cond) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::IfStmt;
+  }
+  Expr *Cond;
+  std::vector<Stmt *> Then;
+  std::vector<Stmt *> Else; ///< `elif` chains nest as a single IfStmt here.
+};
+
+class WhileStmt : public Stmt {
+public:
+  explicit WhileStmt(Expr *Cond) : Stmt(NodeKind::WhileStmt), Cond(Cond) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::WhileStmt;
+  }
+  Expr *Cond;
+  std::vector<Stmt *> Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Expr *Target, Expr *Iter)
+      : Stmt(NodeKind::ForStmt), Target(Target), Iter(Iter) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ForStmt;
+  }
+  Expr *Target;
+  Expr *Iter;
+  std::vector<Stmt *> Body;
+};
+
+class ImportStmt : public Stmt {
+public:
+  ImportStmt() : Stmt(NodeKind::ImportStmt) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::ImportStmt;
+  }
+  std::string ModuleName;
+  std::string ModuleAlias; ///< `import m as a`; "" when absent.
+  /// `from m import x as y` pairs; empty for plain `import m`.
+  std::vector<std::pair<std::string, std::string>> Names;
+};
+
+class GlobalStmt : public Stmt {
+public:
+  GlobalStmt() : Stmt(NodeKind::GlobalStmt) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::GlobalStmt;
+  }
+  std::vector<std::string> Names;
+};
+
+class RaiseStmt : public Stmt {
+public:
+  explicit RaiseStmt(Expr *E) : Stmt(NodeKind::RaiseStmt), E(E) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::RaiseStmt;
+  }
+  Expr *E; ///< May be null (bare `raise`).
+};
+
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(Expr *Cond, Expr *Msg)
+      : Stmt(NodeKind::AssertStmt), Cond(Cond), Msg(Msg) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::AssertStmt;
+  }
+  Expr *Cond;
+  Expr *Msg; ///< May be null.
+};
+
+class DelStmt : public Stmt {
+public:
+  explicit DelStmt(Expr *E) : Stmt(NodeKind::DelStmt), E(E) {}
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::DelStmt;
+  }
+  Expr *E;
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// A parsed file; owns all of its AST nodes.
+class Module : public AstNode {
+public:
+  Module() : AstNode(NodeKind::Module) { setId(this); }
+  static bool classof(const AstNode *N) {
+    return N->kind() == NodeKind::Module;
+  }
+
+  std::vector<Stmt *> Body;
+
+  /// Allocates a node in this module's arena and assigns it a dense id.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    auto Owned = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Node = Owned.get();
+    setId(Node);
+    Arena.push_back(std::move(Owned));
+    return Node;
+  }
+
+  /// All nodes in creation order; index == AstNode::id(). Arena[0] is this
+  /// module itself (stored as a non-owning placeholder slot).
+  size_t numNodes() const { return NextId; }
+
+  /// Applies \p Fn to each direct child of \p N, in source order.
+  static void forEachChild(const AstNode *N,
+                           const std::function<void(const AstNode *)> &Fn);
+
+private:
+  void setId(AstNode *N) { N->Id = NextId++; }
+  std::vector<std::unique_ptr<AstNode>> Arena;
+  int NextId = 0;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_AST_H

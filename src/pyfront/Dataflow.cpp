@@ -1,0 +1,175 @@
+//===- pyfront/Dataflow.cpp - Use-def dataflow edges ------------------------===//
+
+#include "pyfront/Dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace typilus;
+
+namespace {
+
+/// Abstract walk computing NEXT_MAY_USE. The state is, per symbol, the set
+/// of token occurrences that may be the "most recent" use at this program
+/// point. Branches are explored independently and merged; loop bodies are
+/// walked twice so loop-carried uses are connected (a standard one-step
+/// fixpoint approximation).
+class MayUseWalker {
+public:
+  using Frontier = std::map<const Symbol *, std::set<int>>;
+
+  std::set<std::pair<int, int>> Edges;
+
+  void use(const Symbol *Sym, int Tok) {
+    if (!Sym || Tok < 0)
+      return;
+    auto &Prev = Front[Sym];
+    for (int P : Prev)
+      if (P != Tok)
+        Edges.insert({P, Tok});
+    Prev = {Tok};
+  }
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    if (const auto *N = dyn_cast<NameExpr>(E)) {
+      use(N->Sym, N->TokIdx);
+      return;
+    }
+    if (const auto *A = dyn_cast<AttributeExpr>(E)) {
+      walkExpr(A->Value);
+      use(A->Sym, A->AttrTokIdx);
+      return;
+    }
+    Module::forEachChild(E, [&](const AstNode *C) {
+      walkExpr(cast<Expr>(C));
+    });
+  }
+
+  static Frontier merged(const Frontier &A, const Frontier &B) {
+    Frontier Out = A;
+    for (const auto &[Sym, Toks] : B)
+      Out[Sym].insert(Toks.begin(), Toks.end());
+    return Out;
+  }
+
+  void walkStmts(const std::vector<Stmt *> &Stmts) {
+    for (const Stmt *S : Stmts)
+      walkStmt(S);
+  }
+
+  void walkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case AstNode::NodeKind::AssignStmt: {
+      const auto *A = cast<AssignStmt>(S);
+      walkExpr(A->Value); // RHS evaluates before the store.
+      walkExpr(A->Target);
+      return;
+    }
+    case AstNode::NodeKind::IfStmt: {
+      const auto *I = cast<IfStmt>(S);
+      walkExpr(I->Cond);
+      Frontier AtCond = Front;
+      walkStmts(I->Then);
+      Frontier AfterThen = std::move(Front);
+      Front = AtCond;
+      walkStmts(I->Else);
+      Front = merged(AfterThen, Front);
+      return;
+    }
+    case AstNode::NodeKind::WhileStmt: {
+      const auto *W = cast<WhileStmt>(S);
+      walkExpr(W->Cond);
+      Frontier AtEntry = Front;
+      walkStmts(W->Body);
+      // Second pass connects loop-carried uses (end of body -> cond/body).
+      Front = merged(AtEntry, Front);
+      walkExpr(W->Cond);
+      walkStmts(W->Body);
+      Front = merged(AtEntry, Front);
+      return;
+    }
+    case AstNode::NodeKind::ForStmt: {
+      const auto *F = cast<ForStmt>(S);
+      walkExpr(F->Iter);
+      walkExpr(F->Target);
+      Frontier AtEntry = Front;
+      walkStmts(F->Body);
+      Front = merged(AtEntry, Front);
+      walkExpr(F->Target);
+      walkStmts(F->Body);
+      Front = merged(AtEntry, Front);
+      return;
+    }
+    case AstNode::NodeKind::FunctionDef: {
+      // A nested flow: parameters seed the frontier; the surrounding
+      // frontier is untouched (defaults evaluate in the enclosing flow).
+      const auto *F = cast<FunctionDef>(S);
+      for (const ParamDecl *P : F->Params)
+        walkExpr(P->Default);
+      Frontier Saved = std::move(Front);
+      Front.clear();
+      for (const ParamDecl *P : F->Params)
+        if (P->Sym)
+          use(P->Sym, P->NameTok);
+      walkStmts(F->Body);
+      Front = std::move(Saved);
+      return;
+    }
+    case AstNode::NodeKind::ClassDef:
+      walkStmts(cast<ClassDef>(S)->Body);
+      return;
+    case AstNode::NodeKind::ExprStmt:
+      walkExpr(cast<ExprStmt>(S)->E);
+      return;
+    case AstNode::NodeKind::ReturnStmt:
+      walkExpr(cast<ReturnStmt>(S)->Value);
+      return;
+    case AstNode::NodeKind::RaiseStmt:
+      walkExpr(cast<RaiseStmt>(S)->E);
+      return;
+    case AstNode::NodeKind::AssertStmt: {
+      const auto *A = cast<AssertStmt>(S);
+      walkExpr(A->Cond);
+      walkExpr(A->Msg);
+      return;
+    }
+    case AstNode::NodeKind::DelStmt:
+      walkExpr(cast<DelStmt>(S)->E);
+      return;
+    default:
+      return;
+    }
+  }
+
+private:
+  Frontier Front;
+};
+
+} // namespace
+
+DataflowEdges typilus::computeDataflow(const ParsedFile &PF,
+                                       const SymbolTable &ST) {
+  DataflowEdges Result;
+
+  // NEXT_LEXICAL_USE: chain each symbol's occurrences in token order.
+  for (const auto &SymPtr : ST.symbols()) {
+    // Only variable-like symbols participate (Table 1: "token bound to a
+    // variable").
+    if (SymPtr->Kind == SymbolKind::Function ||
+        SymPtr->Kind == SymbolKind::Class)
+      continue;
+    std::vector<int> Occ = SymPtr->OccTokens;
+    std::sort(Occ.begin(), Occ.end());
+    Occ.erase(std::unique(Occ.begin(), Occ.end()), Occ.end());
+    for (size_t I = 1; I < Occ.size(); ++I)
+      Result.NextLexicalUse.emplace_back(Occ[I - 1], Occ[I]);
+  }
+
+  MayUseWalker Walker;
+  Walker.walkStmts(PF.Mod->Body);
+  Result.NextMayUse.assign(Walker.Edges.begin(), Walker.Edges.end());
+  return Result;
+}

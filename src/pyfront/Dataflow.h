@@ -1,0 +1,37 @@
+//===- pyfront/Dataflow.h - Use-def dataflow edges ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the two dataflow edge families of Table 1:
+///   NEXT_LEXICAL_USE — each variable-bound token to its next lexical use;
+///   NEXT_MAY_USE     — each variable-bound token to all *potential* next
+///                      uses under control flow (branches fork the use
+///                      frontier; loops feed it back once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_DATAFLOW_H
+#define TYPILUS_PYFRONT_DATAFLOW_H
+
+#include "pyfront/SymbolTable.h"
+
+#include <utility>
+#include <vector>
+
+namespace typilus {
+
+/// Token-index pairs (From, To) for the two dataflow edge labels.
+struct DataflowEdges {
+  std::vector<std::pair<int, int>> NextLexicalUse;
+  std::vector<std::pair<int, int>> NextMayUse;
+};
+
+/// Runs the dataflow analysis over \p PF. Requires a built symbol table.
+DataflowEdges computeDataflow(const ParsedFile &PF, const SymbolTable &ST);
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_DATAFLOW_H

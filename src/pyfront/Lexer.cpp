@@ -1,0 +1,416 @@
+//===- pyfront/Lexer.cpp - Python-subset lexer -----------------------------===//
+
+#include "pyfront/Lexer.h"
+
+#include "support/Str.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace typilus;
+
+const char *typilus::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "eof";
+  case TokKind::Newline: return "newline";
+  case TokKind::Indent: return "indent";
+  case TokKind::Dedent: return "dedent";
+  case TokKind::Error: return "error";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLit: return "int";
+  case TokKind::FloatLit: return "float";
+  case TokKind::StringLit: return "string";
+  case TokKind::BytesLit: return "bytes";
+  case TokKind::KwDef: return "def";
+  case TokKind::KwReturn: return "return";
+  case TokKind::KwIf: return "if";
+  case TokKind::KwElif: return "elif";
+  case TokKind::KwElse: return "else";
+  case TokKind::KwWhile: return "while";
+  case TokKind::KwFor: return "for";
+  case TokKind::KwIn: return "in";
+  case TokKind::KwClass: return "class";
+  case TokKind::KwPass: return "pass";
+  case TokKind::KwNone: return "None";
+  case TokKind::KwTrue: return "True";
+  case TokKind::KwFalse: return "False";
+  case TokKind::KwImport: return "import";
+  case TokKind::KwFrom: return "from";
+  case TokKind::KwAs: return "as";
+  case TokKind::KwNot: return "not";
+  case TokKind::KwAnd: return "and";
+  case TokKind::KwOr: return "or";
+  case TokKind::KwYield: return "yield";
+  case TokKind::KwBreak: return "break";
+  case TokKind::KwContinue: return "continue";
+  case TokKind::KwGlobal: return "global";
+  case TokKind::KwIs: return "is";
+  case TokKind::KwRaise: return "raise";
+  case TokKind::KwAssert: return "assert";
+  case TokKind::KwDel: return "del";
+  case TokKind::KwWith: return "with";
+  case TokKind::KwLambda: return "lambda";
+  case TokKind::LParen: return "(";
+  case TokKind::RParen: return ")";
+  case TokKind::LBracket: return "[";
+  case TokKind::RBracket: return "]";
+  case TokKind::LBrace: return "{";
+  case TokKind::RBrace: return "}";
+  case TokKind::Comma: return ",";
+  case TokKind::Colon: return ":";
+  case TokKind::Semicolon: return ";";
+  case TokKind::Dot: return ".";
+  case TokKind::Arrow: return "->";
+  case TokKind::EllipsisTok: return "...";
+  case TokKind::Assign: return "=";
+  case TokKind::PlusAssign: return "+=";
+  case TokKind::MinusAssign: return "-=";
+  case TokKind::StarAssign: return "*=";
+  case TokKind::SlashAssign: return "/=";
+  case TokKind::Plus: return "+";
+  case TokKind::Minus: return "-";
+  case TokKind::Star: return "*";
+  case TokKind::DoubleStar: return "**";
+  case TokKind::Slash: return "/";
+  case TokKind::DoubleSlash: return "//";
+  case TokKind::Percent: return "%";
+  case TokKind::Amp: return "&";
+  case TokKind::Pipe: return "|";
+  case TokKind::EqEq: return "==";
+  case TokKind::NotEq: return "!=";
+  case TokKind::Lt: return "<";
+  case TokKind::Gt: return ">";
+  case TokKind::Le: return "<=";
+  case TokKind::Ge: return ">=";
+  }
+  return "?";
+}
+
+static const std::map<std::string, TokKind> &keywordMap() {
+  static const std::map<std::string, TokKind> Map = {
+      {"def", TokKind::KwDef},         {"return", TokKind::KwReturn},
+      {"if", TokKind::KwIf},           {"elif", TokKind::KwElif},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"in", TokKind::KwIn},
+      {"class", TokKind::KwClass},     {"pass", TokKind::KwPass},
+      {"None", TokKind::KwNone},       {"True", TokKind::KwTrue},
+      {"False", TokKind::KwFalse},     {"import", TokKind::KwImport},
+      {"from", TokKind::KwFrom},       {"as", TokKind::KwAs},
+      {"not", TokKind::KwNot},         {"and", TokKind::KwAnd},
+      {"or", TokKind::KwOr},           {"yield", TokKind::KwYield},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+      {"global", TokKind::KwGlobal},   {"is", TokKind::KwIs},
+      {"raise", TokKind::KwRaise},     {"assert", TokKind::KwAssert},
+      {"del", TokKind::KwDel},         {"with", TokKind::KwWith},
+      {"lambda", TokKind::KwLambda},
+  };
+  return Map;
+}
+
+namespace {
+
+/// Stateful lexer over a single source buffer.
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, std::vector<Diagnostic> &Diags)
+      : Src(Source), Diags(Diags) {
+    IndentStack.push_back(0);
+  }
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool atEnd() const { return Pos >= Src.size(); }
+
+  void emit(TokKind K, std::string Text, int TokLine, int TokCol) {
+    Toks.push_back(Token{K, std::move(Text), TokLine, TokCol, false});
+  }
+  void error(const std::string &Msg) {
+    Diags.push_back(Diagnostic{Line, Msg});
+    emit(TokKind::Error, "", Line, Col);
+  }
+
+  void handleLineStart();
+  void lexNumber();
+  void lexString(char Prefix);
+  void lexIdentifier();
+  void lexOperator();
+
+  std::string_view Src;
+  std::vector<Diagnostic> &Diags;
+  std::vector<Token> Toks;
+  std::vector<int> IndentStack;
+  size_t Pos = 0;
+  int Line = 1, Col = 1;
+  int BracketDepth = 0;
+  bool LineHasContent = false;
+};
+
+} // namespace
+
+void LexerImpl::handleLineStart() {
+  // Measure indentation; skip blank and comment-only lines entirely.
+  while (true) {
+    size_t Start = Pos;
+    int Spaces = 0;
+    while (!atEnd() && (peek() == ' ' || peek() == '\t')) {
+      Spaces += peek() == '\t' ? 8 - (Spaces % 8) : 1;
+      advance();
+    }
+    if (atEnd())
+      return;
+    if (peek() == '\n') {
+      advance();
+      continue; // blank line
+    }
+    if (peek() == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    (void)Start;
+    if (Spaces > IndentStack.back()) {
+      IndentStack.push_back(Spaces);
+      emit(TokKind::Indent, "", Line, 1);
+    } else {
+      while (Spaces < IndentStack.back()) {
+        IndentStack.pop_back();
+        emit(TokKind::Dedent, "", Line, 1);
+      }
+      if (Spaces != IndentStack.back())
+        error("inconsistent dedent");
+    }
+    return;
+  }
+}
+
+void LexerImpl::lexNumber() {
+  int TokLine = Line, TokCol = Col;
+  std::string Text;
+  bool IsFloat = false;
+  while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == '_')) {
+    // A '.' not followed by a digit terminates the number (attribute access
+    // on an int literal is not in our subset; '...' is handled elsewhere).
+    if (peek() == '.') {
+      if (IsFloat || !std::isdigit(static_cast<unsigned char>(peek(1))))
+        break;
+      IsFloat = true;
+    }
+    char C = advance();
+    if (C != '_')
+      Text.push_back(C);
+  }
+  // Exponent part.
+  if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+    IsFloat = true;
+    Text.push_back(advance());
+    if (peek() == '+' || peek() == '-')
+      Text.push_back(advance());
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+  }
+  emit(IsFloat ? TokKind::FloatLit : TokKind::IntLit, std::move(Text), TokLine,
+       TokCol);
+}
+
+void LexerImpl::lexString(char Prefix) {
+  int TokLine = Line, TokCol = Col;
+  bool IsBytes = false;
+  std::string Text;
+  if (Prefix == 'b' || Prefix == 'B' || Prefix == 'f' || Prefix == 'F' ||
+      Prefix == 'r' || Prefix == 'R') {
+    IsBytes = Prefix == 'b' || Prefix == 'B';
+    Text.push_back(advance());
+  }
+  char Quote = advance();
+  Text.push_back(Quote);
+  while (!atEnd() && peek() != Quote && peek() != '\n') {
+    char C = advance();
+    Text.push_back(C);
+    if (C == '\\' && !atEnd())
+      Text.push_back(advance());
+  }
+  if (atEnd() || peek() == '\n') {
+    error("unterminated string literal");
+    return;
+  }
+  Text.push_back(advance()); // closing quote
+  emit(IsBytes ? TokKind::BytesLit : TokKind::StringLit, std::move(Text),
+       TokLine, TokCol);
+}
+
+void LexerImpl::lexIdentifier() {
+  int TokLine = Line, TokCol = Col;
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text.push_back(advance());
+  auto It = keywordMap().find(Text);
+  if (It != keywordMap().end()) {
+    emit(It->second, std::move(Text), TokLine, TokCol);
+    return;
+  }
+  emit(TokKind::Identifier, std::move(Text), TokLine, TokCol);
+}
+
+void LexerImpl::lexOperator() {
+  int TokLine = Line, TokCol = Col;
+  char C = advance();
+  auto Two = [&](char Next, TokKind IfTwo, TokKind IfOne) {
+    if (peek() == Next) {
+      advance();
+      std::string T(1, C);
+      T.push_back(Next);
+      emit(IfTwo, T, TokLine, TokCol);
+    } else {
+      emit(IfOne, std::string(1, C), TokLine, TokCol);
+    }
+  };
+  switch (C) {
+  case '(': ++BracketDepth; emit(TokKind::LParen, "(", TokLine, TokCol); break;
+  case ')': --BracketDepth; emit(TokKind::RParen, ")", TokLine, TokCol); break;
+  case '[': ++BracketDepth; emit(TokKind::LBracket, "[", TokLine, TokCol); break;
+  case ']': --BracketDepth; emit(TokKind::RBracket, "]", TokLine, TokCol); break;
+  case '{': ++BracketDepth; emit(TokKind::LBrace, "{", TokLine, TokCol); break;
+  case '}': --BracketDepth; emit(TokKind::RBrace, "}", TokLine, TokCol); break;
+  case ',': emit(TokKind::Comma, ",", TokLine, TokCol); break;
+  case ':': emit(TokKind::Colon, ":", TokLine, TokCol); break;
+  case ';': emit(TokKind::Semicolon, ";", TokLine, TokCol); break;
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      emit(TokKind::EllipsisTok, "...", TokLine, TokCol);
+    } else {
+      emit(TokKind::Dot, ".", TokLine, TokCol);
+    }
+    break;
+  case '+': Two('=', TokKind::PlusAssign, TokKind::Plus); break;
+  case '-':
+    if (peek() == '>') {
+      advance();
+      emit(TokKind::Arrow, "->", TokLine, TokCol);
+    } else {
+      Two('=', TokKind::MinusAssign, TokKind::Minus);
+    }
+    break;
+  case '*':
+    if (peek() == '*') {
+      advance();
+      emit(TokKind::DoubleStar, "**", TokLine, TokCol);
+    } else {
+      Two('=', TokKind::StarAssign, TokKind::Star);
+    }
+    break;
+  case '/':
+    if (peek() == '/') {
+      advance();
+      emit(TokKind::DoubleSlash, "//", TokLine, TokCol);
+    } else {
+      Two('=', TokKind::SlashAssign, TokKind::Slash);
+    }
+    break;
+  case '%': emit(TokKind::Percent, "%", TokLine, TokCol); break;
+  case '&': emit(TokKind::Amp, "&", TokLine, TokCol); break;
+  case '|': emit(TokKind::Pipe, "|", TokLine, TokCol); break;
+  case '=': Two('=', TokKind::EqEq, TokKind::Assign); break;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      emit(TokKind::NotEq, "!=", TokLine, TokCol);
+    } else {
+      error("unexpected character '!'");
+    }
+    break;
+  case '<': Two('=', TokKind::Le, TokKind::Lt); break;
+  case '>': Two('=', TokKind::Ge, TokKind::Gt); break;
+  default:
+    error(strformat("unexpected character '%c'", C));
+  }
+}
+
+std::vector<Token> LexerImpl::run() {
+  bool AtLineStart = true;
+  while (!atEnd()) {
+    if (AtLineStart && BracketDepth == 0) {
+      handleLineStart();
+      AtLineStart = false;
+      LineHasContent = false;
+      if (atEnd())
+        break;
+    }
+    char C = peek();
+    if (C == '\n') {
+      advance();
+      if (BracketDepth > 0)
+        continue; // implicit line joining
+      if (LineHasContent)
+        emit(TokKind::Newline, "", Line - 1, Col);
+      LineHasContent = false;
+      AtLineStart = true;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      continue; // explicit line joining
+    }
+    LineHasContent = true;
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber();
+      continue;
+    }
+    if ((C == 'b' || C == 'B' || C == 'f' || C == 'F' || C == 'r' ||
+         C == 'R') &&
+        (peek(1) == '"' || peek(1) == '\'')) {
+      lexString(C);
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      lexString('\0');
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      lexIdentifier();
+      continue;
+    }
+    lexOperator();
+  }
+  if (LineHasContent)
+    emit(TokKind::Newline, "", Line, Col);
+  while (IndentStack.size() > 1) {
+    IndentStack.pop_back();
+    emit(TokKind::Dedent, "", Line, 1);
+  }
+  emit(TokKind::Eof, "", Line, Col);
+  return std::move(Toks);
+}
+
+std::vector<Token> typilus::lexSource(std::string_view Source,
+                                      std::vector<Diagnostic> &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

@@ -1,0 +1,39 @@
+//===- pyfront/Lexer.h - Python-subset lexer ---------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An indentation-aware lexer for the Python subset used throughout the
+/// project. Produces a flat token vector terminated by Eof, with Indent /
+/// Dedent pseudo-tokens driving block structure, Python-style implicit line
+/// joining inside brackets, and `#` comments stripped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_LEXER_H
+#define TYPILUS_PYFRONT_LEXER_H
+
+#include "pyfront/Token.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace typilus {
+
+/// A lexer diagnostic (also reused by the parser).
+struct Diagnostic {
+  int Line = 0;
+  std::string Message;
+};
+
+/// Lexes \p Source into tokens. Errors are appended to \p Diags; lexing
+/// continues past errors (an Error token is emitted).
+std::vector<Token> lexSource(std::string_view Source,
+                             std::vector<Diagnostic> &Diags);
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_LEXER_H

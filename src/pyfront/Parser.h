@@ -1,0 +1,45 @@
+//===- pyfront/Parser.h - Python-subset parser --------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the pyfront AST. Type annotations are
+/// consumed into canonical strings (and their tokens flagged `InAnnotation`
+/// so the graph builder skips them); the parser recovers from errors at
+/// statement granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_PARSER_H
+#define TYPILUS_PYFRONT_PARSER_H
+
+#include "pyfront/Ast.h"
+#include "pyfront/Lexer.h"
+#include "pyfront/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// A parsed source file: source text, token stream, AST and diagnostics.
+struct ParsedFile {
+  std::string Path;
+  std::string Source;
+  std::vector<Token> Tokens;
+  std::unique_ptr<Module> Mod;
+  std::vector<Diagnostic> Diags;
+
+  bool hasErrors() const { return !Diags.empty(); }
+};
+
+/// Lexes and parses \p Source. Always returns a (possibly partial) module;
+/// check `Diags` for errors.
+ParsedFile parseFile(std::string Path, std::string Source);
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_PARSER_H

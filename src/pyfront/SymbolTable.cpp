@@ -1,0 +1,296 @@
+//===- pyfront/SymbolTable.cpp - Scopes and symbols ------------------------===//
+
+#include "pyfront/SymbolTable.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace typilus;
+
+const char *typilus::symbolKindName(SymbolKind K) {
+  switch (K) {
+  case SymbolKind::Variable: return "variable";
+  case SymbolKind::Parameter: return "parameter";
+  case SymbolKind::Function: return "function";
+  case SymbolKind::Class: return "class";
+  case SymbolKind::Return: return "return";
+  case SymbolKind::Attribute: return "attribute";
+  case SymbolKind::External: return "external";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One lexical scope during the build walk.
+struct Scope {
+  enum class Kind { Module, Function, Class };
+  Kind K;
+  Scope *Parent = nullptr;
+  std::map<std::string, Symbol *> Names;
+  ClassDef *Class = nullptr;      ///< For class scopes.
+  FunctionDef *Func = nullptr;    ///< For function scopes.
+  std::set<std::string> Globals;  ///< Names declared `global` here.
+};
+
+/// Symbol table construction walk.
+class Builder {
+public:
+  Builder(ParsedFile &PF, SymbolTable &ST) : PF(PF), ST(ST) {}
+
+  void run() {
+    Scope ModScope{Scope::Kind::Module, nullptr, {}, nullptr, nullptr, {}};
+    ModuleScope = &ModScope;
+    walkStmts(PF.Mod->Body, ModScope);
+  }
+
+private:
+  Symbol *define(Scope &S, const std::string &Name, SymbolKind K) {
+    auto It = S.Names.find(Name);
+    if (It != S.Names.end())
+      return It->second;
+    Symbol *Sym = ST.create(Name, K);
+    S.Names.emplace(Name, Sym);
+    return Sym;
+  }
+
+  /// Python-style lookup: starting scope, then enclosing scopes, but class
+  /// scopes are skipped unless they are the starting scope.
+  Symbol *resolve(Scope &From, const std::string &Name) {
+    for (Scope *S = &From; S; S = S->Parent) {
+      if (S != &From && S->K == Scope::Kind::Class)
+        continue;
+      auto It = S->Names.find(Name);
+      if (It != S->Names.end())
+        return It->second;
+    }
+    return nullptr;
+  }
+
+  /// Resolves a load; unknown names become External symbols at module
+  /// scope (builtins like `range`, `len`, imported names...).
+  Symbol *resolveOrExternal(Scope &From, const std::string &Name) {
+    if (Symbol *Sym = resolve(From, Name))
+      return Sym;
+    return define(*ModuleScope, Name, SymbolKind::External);
+  }
+
+  void bindToken(Symbol *Sym, int Tok, const AstNode *Node) {
+    if (Tok >= 0)
+      Sym->OccTokens.push_back(Tok);
+    if (Node)
+      Sym->OccNodes.push_back(Node);
+  }
+
+  void walkStmts(const std::vector<Stmt *> &Stmts, Scope &S) {
+    for (Stmt *St : Stmts)
+      walkStmt(St, S);
+  }
+
+  void walkStmt(Stmt *St, Scope &S);
+  void walkFunction(FunctionDef *F, Scope &S);
+  void walkExpr(Expr *E, Scope &S);
+
+  ParsedFile &PF;
+  SymbolTable &ST;
+  Scope *ModuleScope = nullptr;
+  /// Innermost enclosing function scope (for return/yield binding).
+  Scope *CurFunction = nullptr;
+  /// Per-class attribute symbols, keyed by (class, attribute name).
+  std::map<std::pair<ClassDef *, std::string>, Symbol *> ClassAttrs;
+};
+
+} // namespace
+
+void Builder::walkFunction(FunctionDef *F, Scope &S) {
+  bool IsMethod = S.K == Scope::Kind::Class;
+  F->IsMethod = IsMethod;
+
+  Symbol *FuncSym = define(S, F->Name, SymbolKind::Function);
+  if (IsMethod)
+    FuncSym->OwnerClass = S.Class;
+  bindToken(FuncSym, F->NameTok, F);
+  F->FuncSym = FuncSym;
+
+  Symbol *RetSym = ST.create(F->Name, SymbolKind::Return);
+  RetSym->AnnotationText = F->ReturnsText;
+  RetSym->OwnerFunc = F;
+  if (IsMethod)
+    RetSym->OwnerClass = S.Class;
+  // The FunctionDef node itself is an occurrence of the return symbol so
+  // the GNN's symbol "supernode" receives the whole-signature context.
+  bindToken(RetSym, F->NameTok, F);
+  F->RetSym = RetSym;
+
+  // Function scopes chain past any class scope (Python semantics).
+  Scope *Parent = &S;
+  while (Parent && Parent->K == Scope::Kind::Class)
+    Parent = Parent->Parent;
+  Scope FuncScope{Scope::Kind::Function, Parent, {}, nullptr, F, {}};
+  if (IsMethod)
+    FuncScope.Class = S.Class;
+
+  for (ParamDecl *P : F->Params) {
+    Symbol *PSym = define(FuncScope, P->Name, SymbolKind::Parameter);
+    PSym->AnnotationText = P->AnnotationText;
+    PSym->OwnerFunc = F;
+    if (IsMethod)
+      PSym->OwnerClass = S.Class;
+    bindToken(PSym, P->NameTok, P);
+    P->Sym = PSym;
+    if (P->Default)
+      walkExpr(P->Default, S); // defaults evaluate in the enclosing scope
+  }
+
+  Scope *SavedFunction = CurFunction;
+  CurFunction = &FuncScope;
+  walkStmts(F->Body, FuncScope);
+  CurFunction = SavedFunction;
+}
+
+void Builder::walkStmt(Stmt *St, Scope &S) {
+  switch (St->kind()) {
+  case AstNode::NodeKind::FunctionDef:
+    walkFunction(cast<FunctionDef>(St), S);
+    return;
+  case AstNode::NodeKind::ClassDef: {
+    auto *C = cast<ClassDef>(St);
+    Symbol *ClsSym = define(S, C->Name, SymbolKind::Class);
+    bindToken(ClsSym, C->NameTok, C);
+    C->ClassSym = ClsSym;
+    Scope ClassScope{Scope::Kind::Class, &S, {}, C, nullptr, {}};
+    walkStmts(C->Body, ClassScope);
+    return;
+  }
+  case AstNode::NodeKind::AssignStmt: {
+    auto *A = cast<AssignStmt>(St);
+    if (A->Value)
+      walkExpr(A->Value, S);
+    walkExpr(A->Target, S);
+    // Attach the annotation to the (single) target symbol, if any.
+    if (!A->AnnotationText.empty()) {
+      Symbol *Target = nullptr;
+      if (auto *N = dyn_cast<NameExpr>(A->Target))
+        Target = N->Sym;
+      else if (auto *At = dyn_cast<AttributeExpr>(A->Target))
+        Target = At->Sym;
+      if (Target && Target->AnnotationText.empty())
+        Target->AnnotationText = A->AnnotationText;
+    }
+    return;
+  }
+  case AstNode::NodeKind::ReturnStmt: {
+    auto *R = cast<ReturnStmt>(St);
+    if (R->Value)
+      walkExpr(R->Value, S);
+    if (CurFunction && CurFunction->Func && CurFunction->Func->RetSym)
+      bindToken(CurFunction->Func->RetSym, R->FirstTok, R);
+    return;
+  }
+  case AstNode::NodeKind::ForStmt: {
+    auto *F = cast<ForStmt>(St);
+    walkExpr(F->Iter, S);
+    walkExpr(F->Target, S);
+    walkStmts(F->Body, S);
+    return;
+  }
+  case AstNode::NodeKind::IfStmt: {
+    auto *I = cast<IfStmt>(St);
+    walkExpr(I->Cond, S);
+    walkStmts(I->Then, S);
+    walkStmts(I->Else, S);
+    return;
+  }
+  case AstNode::NodeKind::WhileStmt: {
+    auto *W = cast<WhileStmt>(St);
+    walkExpr(W->Cond, S);
+    walkStmts(W->Body, S);
+    return;
+  }
+  case AstNode::NodeKind::ImportStmt: {
+    auto *I = cast<ImportStmt>(St);
+    if (I->Names.empty()) {
+      std::string Bound =
+          !I->ModuleAlias.empty()
+              ? I->ModuleAlias
+              : I->ModuleName.substr(0, I->ModuleName.find('.'));
+      if (!Bound.empty())
+        define(S, Bound, SymbolKind::External);
+    } else {
+      for (const auto &[Name, Alias] : I->Names)
+        define(S, Alias.empty() ? Name : Alias, SymbolKind::External);
+    }
+    return;
+  }
+  case AstNode::NodeKind::GlobalStmt:
+    for (const std::string &Name : cast<GlobalStmt>(St)->Names) {
+      S.Globals.insert(Name);
+      define(*ModuleScope, Name, SymbolKind::Variable);
+    }
+    return;
+  case AstNode::NodeKind::ExprStmt:
+    walkExpr(cast<ExprStmt>(St)->E, S);
+    return;
+  case AstNode::NodeKind::RaiseStmt:
+    if (Expr *E = cast<RaiseStmt>(St)->E)
+      walkExpr(E, S);
+    return;
+  case AstNode::NodeKind::AssertStmt: {
+    auto *A = cast<AssertStmt>(St);
+    walkExpr(A->Cond, S);
+    if (A->Msg)
+      walkExpr(A->Msg, S);
+    return;
+  }
+  case AstNode::NodeKind::DelStmt:
+    walkExpr(cast<DelStmt>(St)->E, S);
+    return;
+  default:
+    return; // Pass / Break / Continue have no symbols.
+  }
+}
+
+void Builder::walkExpr(Expr *E, Scope &S) {
+  if (auto *N = dyn_cast<NameExpr>(E)) {
+    Symbol *Sym;
+    if (N->IsStore) {
+      // A store defines locally unless declared global here.
+      if (S.Globals.count(N->Ident))
+        Sym = define(*ModuleScope, N->Ident, SymbolKind::Variable);
+      else
+        Sym = define(S, N->Ident, SymbolKind::Variable);
+    } else {
+      Sym = resolveOrExternal(S, N->Ident);
+    }
+    N->Sym = Sym;
+    bindToken(Sym, N->TokIdx, N);
+    return;
+  }
+  if (auto *A = dyn_cast<AttributeExpr>(E)) {
+    walkExpr(A->Value, S);
+    // `self.attr` inside a method binds an attribute symbol of the class.
+    auto *Base = dyn_cast<NameExpr>(A->Value);
+    ClassDef *Cls = S.Class;
+    if (Base && Base->Ident == "self" && Cls) {
+      // Attribute symbols live in a per-class namespace keyed on the class
+      // node; reuse the class symbol's scope via a side map.
+      Symbol *&Slot = ClassAttrs[{Cls, A->Attr}];
+      if (!Slot) {
+        Slot = ST.create(A->Attr, SymbolKind::Attribute);
+        Slot->OwnerClass = Cls;
+      }
+      A->Sym = Slot;
+      bindToken(Slot, A->AttrTokIdx, A);
+    }
+    return;
+  }
+  Module::forEachChild(E, [&](const AstNode *C) {
+    walkExpr(const_cast<Expr *>(cast<Expr>(C)), S);
+  });
+}
+
+void typilus::buildSymbolTable(ParsedFile &PF, SymbolTable &ST) {
+  assert(PF.Mod && "file must be parsed first");
+  Builder(PF, ST).run();
+}

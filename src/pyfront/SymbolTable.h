@@ -1,0 +1,93 @@
+//===- pyfront/SymbolTable.h - Scopes and symbols ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-file symbol table mirroring CPython's `symtable`: one Symbol per
+/// unique variable / parameter / function / class / attribute, plus the
+/// paper's *function return* symbols (Sec. 5.1: "For functions, we introduce
+/// a symbol node for each parameter and a separate symbol node for their
+/// return"). Each symbol records its bound token and AST-node occurrences —
+/// exactly what the OCCURRENCE_OF graph edges need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_SYMBOLTABLE_H
+#define TYPILUS_PYFRONT_SYMBOLTABLE_H
+
+#include "pyfront/Parser.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// What a symbol denotes.
+enum class SymbolKind {
+  Variable,  ///< Local or module-level variable.
+  Parameter, ///< Function parameter.
+  Function,  ///< Function (the callable itself, not its return).
+  Class,     ///< Class definition.
+  Return,    ///< The return "slot" of a function.
+  Attribute, ///< `self.attr` attribute of a class.
+  External,  ///< Imported or builtin name used but not defined here.
+};
+
+/// Returns a stable name for \p K.
+const char *symbolKindName(SymbolKind K);
+
+/// A unique program symbol within one file.
+struct Symbol {
+  int Id = -1;
+  std::string Name;
+  SymbolKind Kind = SymbolKind::Variable;
+  /// Ground-truth annotation text ("" when unannotated).
+  std::string AnnotationText;
+  FunctionDef *OwnerFunc = nullptr; ///< For Parameter / Return symbols.
+  ClassDef *OwnerClass = nullptr;   ///< For Attribute symbols and methods.
+  /// Token indices bound to this symbol, in program order.
+  std::vector<int> OccTokens;
+  /// AST nodes bound to this symbol (NameExpr, ParamDecl, ReturnStmt, ...).
+  std::vector<const AstNode *> OccNodes;
+
+  /// True for the symbol kinds whose types Typilus predicts
+  /// (variables, parameters, function returns — Sec. 1).
+  bool isPredictionTarget() const {
+    return Kind == SymbolKind::Variable || Kind == SymbolKind::Parameter ||
+           Kind == SymbolKind::Return || Kind == SymbolKind::Attribute;
+  }
+};
+
+/// Owns the symbols of one file.
+class SymbolTable {
+public:
+  /// Creates a new symbol; id is its index.
+  Symbol *create(std::string Name, SymbolKind Kind) {
+    auto Owned = std::make_unique<Symbol>();
+    Owned->Id = static_cast<int>(Symbols.size());
+    Owned->Name = std::move(Name);
+    Owned->Kind = Kind;
+    Symbols.push_back(std::move(Owned));
+    return Symbols.back().get();
+  }
+
+  const std::vector<std::unique_ptr<Symbol>> &symbols() const {
+    return Symbols;
+  }
+  size_t size() const { return Symbols.size(); }
+  Symbol *operator[](size_t I) { return Symbols[I].get(); }
+
+private:
+  std::vector<std::unique_ptr<Symbol>> Symbols;
+};
+
+/// Builds the symbol table for \p PF, resolving NameExpr/AttributeExpr/
+/// ParamDecl/FunctionDef symbol pointers in the AST as it goes.
+void buildSymbolTable(ParsedFile &PF, SymbolTable &ST);
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_SYMBOLTABLE_H

@@ -1,0 +1,120 @@
+//===- pyfront/Token.h - Python-subset tokens --------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token record produced by the lexer. Tokens carry an
+/// `InAnnotation` flag set by the parser on lexemes that belong to a type
+/// annotation: the graph builder must skip those, since the prediction task
+/// erases all annotations from the model's input (Sec. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_PYFRONT_TOKEN_H
+#define TYPILUS_PYFRONT_TOKEN_H
+
+#include <string>
+
+namespace typilus {
+
+/// Token kinds of the Python subset. Keywords get individual kinds; the
+/// layout pseudo-tokens (Newline/Indent/Dedent/Eof) never become graph
+/// nodes.
+enum class TokKind {
+  Eof,
+  Newline,
+  Indent,
+  Dedent,
+  Error,
+  Identifier,
+  IntLit,
+  FloatLit,
+  StringLit,
+  BytesLit,
+  // Keywords.
+  KwDef,
+  KwReturn,
+  KwIf,
+  KwElif,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwIn,
+  KwClass,
+  KwPass,
+  KwNone,
+  KwTrue,
+  KwFalse,
+  KwImport,
+  KwFrom,
+  KwAs,
+  KwNot,
+  KwAnd,
+  KwOr,
+  KwYield,
+  KwBreak,
+  KwContinue,
+  KwGlobal,
+  KwIs,
+  KwRaise,
+  KwAssert,
+  KwDel,
+  KwWith,
+  KwLambda,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Semicolon,
+  Dot,
+  Arrow,
+  EllipsisTok,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  Plus,
+  Minus,
+  Star,
+  DoubleStar,
+  Slash,
+  DoubleSlash,
+  Percent,
+  Amp,
+  Pipe,
+  EqEq,
+  NotEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+};
+
+/// Returns a stable human-readable name for \p K (for diagnostics/tests).
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  ///< Raw lexeme (string literals keep their quotes).
+  int Line = 0;      ///< 1-based source line.
+  int Col = 0;       ///< 1-based source column.
+  /// True if this lexeme is part of a type annotation (set by the parser);
+  /// such tokens are invisible to the graph builder.
+  bool InAnnotation = false;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdentifierLike() const { return Kind == TokKind::Identifier; }
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_PYFRONT_TOKEN_H

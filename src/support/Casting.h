@@ -1,0 +1,49 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ----------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-rolled opt-in RTTI in the style of LLVM's llvm/Support/Casting.h.
+/// A class hierarchy participates by exposing a kind tag and a static
+/// `classof(const Base *)` predicate on each subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_CASTING_H
+#define TYPILUS_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace typilus {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns nullptr on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_CASTING_H

@@ -1,0 +1,89 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used everywhere instead of
+/// std::mt19937 so that experiments are bit-reproducible across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_RNG_H
+#define TYPILUS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace typilus {
+
+/// Deterministic SplitMix64 pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ull);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be > 0.
+  uint64_t uniformInt(uint64_t Bound) {
+    assert(Bound > 0 && "uniformInt bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniformRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(uniformInt(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniformReal() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P of returning true.
+  bool flip(double P) { return uniformReal() < P; }
+
+  /// Standard normal deviate (Box-Muller).
+  double normal() {
+    double U1 = uniformReal(), U2 = uniformReal();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+  /// Picks a uniformly random element of \p V, which must be non-empty.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "pick from empty vector");
+    return V[uniformInt(V.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I)
+      std::swap(V[I - 1], V[uniformInt(I)]);
+  }
+
+  /// Forks an independent stream; deterministic in (this stream, Salt).
+  Rng fork(uint64_t Salt) {
+    return Rng(next() ^ (Salt * 0xD1B54A32D192ED03ull + 0x2545F4914F6CDD1Dull));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_RNG_H

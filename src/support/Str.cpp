@@ -1,0 +1,107 @@
+//===- support/Str.cpp - String utilities ---------------------------------===//
+
+#include "support/Str.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace typilus;
+
+std::vector<std::string> typilus::splitSubtokens(std::string_view Identifier) {
+  std::vector<std::string> Result;
+  std::string Current;
+  auto Flush = [&] {
+    if (!Current.empty()) {
+      Result.push_back(toLower(Current));
+      Current.clear();
+    }
+  };
+  for (size_t I = 0, E = Identifier.size(); I != E; ++I) {
+    char C = Identifier[I];
+    if (C == '_' || !std::isalnum(static_cast<unsigned char>(C))) {
+      Flush();
+      continue;
+    }
+    bool IsUpper = std::isupper(static_cast<unsigned char>(C));
+    bool IsDigit = std::isdigit(static_cast<unsigned char>(C));
+    if (!Current.empty()) {
+      char Prev = Current.back();
+      bool PrevUpper = std::isupper(static_cast<unsigned char>(Prev));
+      bool PrevDigit = std::isdigit(static_cast<unsigned char>(Prev));
+      // Boundary cases: aB, 1a, a1 and the "HTTPResponse" case where an
+      // upper-case run ends before a lower-case letter.
+      bool NextIsLower =
+          I + 1 < E && std::islower(static_cast<unsigned char>(Identifier[I + 1]));
+      if ((IsUpper && !PrevUpper) || (IsDigit != PrevDigit) ||
+          (IsUpper && PrevUpper && NextIsLower))
+        Flush();
+    }
+    Current.push_back(C);
+  }
+  Flush();
+  return Result;
+}
+
+std::string typilus::toLower(std::string_view S) {
+  std::string Result(S);
+  for (char &C : Result)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Result;
+}
+
+std::string typilus::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool typilus::isAllDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+std::vector<std::string> typilus::splitChar(std::string_view S, char Sep) {
+  std::vector<std::string> Result;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Result.emplace_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Result;
+}
+
+std::string_view typilus::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::string typilus::strformat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Len >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Len), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

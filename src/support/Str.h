@@ -1,0 +1,54 @@
+//===- support/Str.h - String utilities -------------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used across the project, most importantly the identifier
+/// subtokenisation that Typilus relies on (Sec. 4.3, Eq. 7 of the paper):
+/// identifiers are split on camelCase, PascalCase and snake_case boundaries
+/// into lower-cased "subtokens".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_STR_H
+#define TYPILUS_SUPPORT_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace typilus {
+
+/// Splits an identifier into lower-cased subtokens on camelCase,
+/// PascalCase, snake_case and digit boundaries.
+///
+/// Examples: "numNodes" -> {"num", "nodes"}; "get_HTTPResponse2" ->
+/// {"get", "http", "response", "2"}. Returns an empty vector for an
+/// identifier with no alphanumeric content.
+std::vector<std::string> splitSubtokens(std::string_view Identifier);
+
+/// Lower-cases ASCII characters of \p S.
+std::string toLower(std::string_view S);
+
+/// Joins \p Parts with \p Sep in between.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Returns true if \p S consists only of ASCII decimal digits (and is
+/// non-empty).
+bool isAllDigits(std::string_view S);
+
+/// Splits \p S on the single character \p Sep. Empty fields are kept.
+std::vector<std::string> splitChar(std::string_view S, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_STR_H

@@ -1,0 +1,101 @@
+//===- support/Table.cpp - ASCII table / CSV rendering ---------------------===//
+
+#include "support/Table.h"
+
+#include "support/Str.h"
+
+#include <algorithm>
+
+using namespace typilus;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addNumericRow(const std::string &Label,
+                              const std::vector<double> &Nums, int Precision) {
+  std::vector<std::string> Cells;
+  Cells.push_back(Label);
+  for (double N : Nums)
+    Cells.push_back(strformat("%.*f", Precision, N));
+  addRow(std::move(Cells));
+}
+
+static std::string padTo(const std::string &S, size_t Width) {
+  std::string Result = S;
+  while (Result.size() < Width)
+    Result.push_back(' ');
+  return Result;
+}
+
+std::string TextTable::renderAscii() const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != NumCols; ++I) {
+      if (I != 0)
+        Line += "  ";
+      Line += padTo(I < Row.size() ? Row[I] : std::string(), Widths[I]);
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Result;
+  if (!Header.empty()) {
+    Result += RenderRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I != NumCols; ++I)
+      Total += Widths[I] + (I != 0 ? 2 : 0);
+    Result += std::string(Total, '-') + "\n";
+  }
+  for (const auto &Row : Rows)
+    Result += RenderRow(Row);
+  return Result;
+}
+
+static std::string csvEscape(const std::string &Field) {
+  if (Field.find_first_of(",\"\n") == std::string::npos)
+    return Field;
+  std::string Result = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Result += '"';
+    Result += C;
+  }
+  Result += '"';
+  return Result;
+}
+
+std::string TextTable::renderCsv() const {
+  std::string Result;
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        Result += ',';
+      Result += csvEscape(Row[I]);
+    }
+    Result += '\n';
+  };
+  if (!Header.empty())
+    RenderRow(Header);
+  for (const auto &Row : Rows)
+    RenderRow(Row);
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- support/Table.h - ASCII table / CSV rendering -------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal text-table builder used by the benchmark harness to print the
+/// paper's tables and figure series. Renders either an aligned ASCII table
+/// or CSV (for the figure benches whose output is a data series).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_TABLE_H
+#define TYPILUS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// Builds and renders a rectangular text table.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may be ragged; missing cells render empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: appends a row where the first cell is a label and the
+  /// remaining cells are fixed-precision numbers.
+  void addNumericRow(const std::string &Label, const std::vector<double> &Nums,
+                     int Precision = 1);
+
+  /// Renders an aligned ASCII table with a header separator.
+  std::string renderAscii() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string renderCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_TABLE_H

@@ -1,0 +1,36 @@
+//===- support/Zipf.cpp - Zipf-distributed sampling ------------------------===//
+
+#include "support/Zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace typilus;
+
+ZipfSampler::ZipfSampler(size_t N, double S) {
+  assert(N > 0 && "Zipf over empty support");
+  Cdf.resize(N);
+  double Total = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Total += 1.0 / std::pow(static_cast<double>(I + 1), S);
+    Cdf[I] = Total;
+  }
+  for (double &C : Cdf)
+    C /= Total;
+}
+
+size_t ZipfSampler::sample(Rng &R) const {
+  double U = R.uniformReal();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<size_t>(It - Cdf.begin());
+}
+
+double ZipfSampler::pmf(size_t Rank) const {
+  assert(Rank < Cdf.size() && "rank out of range");
+  if (Rank == 0)
+    return Cdf[0];
+  return Cdf[Rank] - Cdf[Rank - 1];
+}

@@ -1,0 +1,45 @@
+//===- support/Zipf.h - Zipf-distributed sampling ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Zipf(s) sampler over ranks 0..N-1. Sec. 6 of the paper observes that
+/// type annotations follow a fat-tailed Zipfian distribution (top-10 types
+/// cover about half the data; 32% of annotations use rare types). The corpus
+/// generator uses this sampler to reproduce that skew.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_ZIPF_H
+#define TYPILUS_SUPPORT_ZIPF_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace typilus {
+
+/// Samples ranks 0..N-1 with probability proportional to 1/(rank+1)^S.
+class ZipfSampler {
+public:
+  /// \param N number of ranks; \param S skew exponent (1.0 is classic Zipf).
+  ZipfSampler(size_t N, double S);
+
+  /// Draws one rank using \p R.
+  size_t sample(Rng &R) const;
+
+  /// Probability mass of \p Rank.
+  double pmf(size_t Rank) const;
+
+  size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf; // Inclusive cumulative probabilities.
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_ZIPF_H

@@ -1,0 +1,138 @@
+//===- typesys/Hierarchy.cpp - Subtyping lattice & neutrality --------------===//
+
+#include "typesys/Hierarchy.h"
+
+#include <cassert>
+
+using namespace typilus;
+
+TypeHierarchy::TypeHierarchy(TypeUniverse &U) : U(U) {
+  // Numeric tower (PEP 484 treats bool/int/float/complex as a tower).
+  addClass("complex");
+  addClass("float", {"complex"});
+  addClass("int", {"float"});
+  addClass("bool", {"int"});
+  // Iteration / container protocol skeleton.
+  addClass("Iterable");
+  addClass("Iterator", {"Iterable"});
+  addClass("Generator", {"Iterator"});
+  addClass("Collection", {"Iterable"});
+  addClass("Sequence", {"Collection"});
+  addClass("Mapping", {"Collection"});
+  addClass("MutableMapping", {"Mapping"});
+  addClass("list", {"Sequence"});
+  addClass("List", {"Sequence"});
+  addClass("tuple", {"Sequence"});
+  addClass("Tuple", {"Sequence"});
+  addClass("str", {"Sequence"});
+  addClass("bytes", {"Sequence"});
+  addClass("set", {"Collection"});
+  addClass("Set", {"Collection"});
+  addClass("FrozenSet", {"Collection"});
+  addClass("dict", {"MutableMapping"});
+  addClass("Dict", {"MutableMapping"});
+  addClass("Callable");
+  addClass("type");
+  addClass("Type", {"type"});
+  addClass("None");
+  addClass("...");
+}
+
+void TypeHierarchy::addClass(const std::string &Name,
+                             std::vector<std::string> BaseNames) {
+  if (BaseNames.empty() && Name != "object")
+    BaseNames.push_back("object");
+  Bases[Name] = std::move(BaseNames);
+}
+
+bool TypeHierarchy::knowsName(const std::string &Name) const {
+  return Name == "object" || Bases.count(Name) != 0;
+}
+
+bool TypeHierarchy::isSubtypeName(const std::string &Derived,
+                                  const std::string &Base) const {
+  if (Derived == Base || Base == "object")
+    return true;
+  // Builtin aliases: typing.List and list are the same constructor, etc.
+  auto Alias = [](const std::string &N) -> std::string {
+    if (N == "list")
+      return "List";
+    if (N == "dict")
+      return "Dict";
+    if (N == "set")
+      return "Set";
+    if (N == "tuple")
+      return "Tuple";
+    if (N == "frozenset")
+      return "FrozenSet";
+    if (N == "type")
+      return "Type";
+    return N;
+  };
+  if (Alias(Derived) == Alias(Base))
+    return true;
+  auto It = Bases.find(Derived);
+  if (It == Bases.end())
+    return false;
+  for (const std::string &B : It->second)
+    if (isSubtypeName(B, Base))
+      return true;
+  return false;
+}
+
+bool TypeHierarchy::isSubtype(TypeRef A, TypeRef B) const {
+  assert(A && B && "subtype query on null type");
+  if (A == B)
+    return true;
+  // Gradual typing: Any is compatible in both directions.
+  if (A == U.any() || B == U.any())
+    return true;
+  if (B == U.object())
+    return true;
+  // Union on the left: every member must fit.
+  if (A->name() == "Union") {
+    for (TypeRef M : A->args())
+      if (!isSubtype(M, B))
+        return false;
+    return true;
+  }
+  if (A->name() == "Optional")
+    return isSubtype(A->args()[0], B) && isSubtype(U.none(), B);
+  // Union/Optional on the right: some member must accept A.
+  if (B->name() == "Union") {
+    for (TypeRef M : B->args())
+      if (isSubtype(A, M))
+        return true;
+    return false;
+  }
+  if (B->name() == "Optional")
+    return A == U.none() || isSubtype(A, B->args()[0]);
+  if (A == U.none())
+    return B == U.none();
+  // Nominal step on the constructor, then universal covariance on the
+  // arguments. A parametric type is a subtype of its bare constructor
+  // (List[int] :< List); a bare constructor is read as C[Any, ...].
+  if (!isSubtypeName(A->name(), B->name()))
+    return false;
+  if (B->args().empty())
+    return true;
+  if (A->args().empty())
+    return true; // A == A[Any,...] and Any fits every parameter.
+  // Tuple[int, str] vs Tuple[int, str]: compare pairwise as far as both go.
+  size_t N = std::min(A->args().size(), B->args().size());
+  for (size_t I = 0; I != N; ++I)
+    if (!isSubtype(A->args()[I], B->args()[I]))
+      return false;
+  // Extra parameters on either side are treated as Any (arity-tolerant,
+  // matching the paper's coarse lattice).
+  return true;
+}
+
+bool TypeHierarchy::isNeutral(TypeRef Ground, TypeRef Pred) const {
+  assert(Ground && Pred && "neutrality query on null type");
+  if (isTop(Pred))
+    return false;
+  TypeRef G = U.rewriteDeep(Ground);
+  TypeRef P = U.rewriteDeep(Pred);
+  return isSubtype(G, P);
+}

@@ -1,0 +1,69 @@
+//===- typesys/Hierarchy.h - Subtyping lattice & neutrality ------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nominal type hierarchy and the subtyping relation `:<` used for the
+/// paper's *type neutrality* criterion (Sec. 6.1): a prediction τp is
+/// neutral with ground truth τg iff τg :< τp and τp is not the lattice top.
+/// Parametric types are ordered assuming universal covariance, exactly as
+/// the paper's fast-but-unsound approximation does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_TYPESYS_HIERARCHY_H
+#define TYPILUS_TYPESYS_HIERARCHY_H
+
+#include "typesys/Type.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// Nominal hierarchy over type constructor names plus the structural
+/// subtyping rules (covariance, Union/Optional, numeric tower).
+class TypeHierarchy {
+public:
+  /// Builds a hierarchy preloaded with the Python builtins (numeric tower
+  /// bool :< int :< float :< complex; containers under
+  /// Sequence/Mapping/Iterable; everything under object).
+  explicit TypeHierarchy(TypeUniverse &U);
+
+  /// Registers a user-defined class \p Name with base classes \p Bases
+  /// (class names; defaults to {"object"} when empty).
+  void addClass(const std::string &Name, std::vector<std::string> Bases = {});
+
+  /// True if a class named \p Name has been registered or is builtin.
+  bool knowsName(const std::string &Name) const;
+
+  /// Reflexive-transitive nominal subtyping over constructor names.
+  bool isSubtypeName(const std::string &Derived, const std::string &Base) const;
+
+  /// Structural subtyping `A :< B` assuming universal covariance.
+  /// Any is compatible in both directions (gradual typing).
+  bool isSubtype(TypeRef A, TypeRef B) const;
+
+  /// The paper's type-neutrality approximation: τg :< τp and τp != ⊤.
+  /// Both sides are first depth-rewritten (Sec. 6.1).
+  bool isNeutral(TypeRef Ground, TypeRef Pred) const;
+
+  /// True for the lattice top (object / Any).
+  bool isTop(TypeRef T) const {
+    return T == U.any() || T == U.object();
+  }
+
+  TypeUniverse &universe() const { return U; }
+
+private:
+  TypeUniverse &U;
+  /// Name -> direct bases. Builtins are seeded in the constructor.
+  std::map<std::string, std::vector<std::string>> Bases;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_TYPESYS_HIERARCHY_H

@@ -1,0 +1,203 @@
+//===- tests/CheckerTest.cpp - checker/ unit tests -----------------------------===//
+
+#include "checker/Checker.h"
+#include "pyfront/Parser.h"
+#include "pyfront/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace typilus;
+
+namespace {
+
+class CheckerTest : public ::testing::Test {
+protected:
+  CheckerTest() : H(U) {}
+
+  std::vector<TypeError> runCheck(const std::string &Src,
+                                  bool InferLocals = false) {
+    PF = parseFile("t.py", Src);
+    EXPECT_TRUE(PF.Diags.empty()) << "parse errors in test source";
+    ST = SymbolTable();
+    buildSymbolTable(PF, ST);
+    Checker C(U, H, CheckerOptions{InferLocals});
+    return C.check(PF, ST);
+  }
+
+  bool hasError(const std::vector<TypeError> &Errs, const std::string &Code) {
+    for (const TypeError &E : Errs)
+      if (E.Code == Code)
+        return true;
+    return false;
+  }
+
+  TypeUniverse U;
+  TypeHierarchy H;
+  ParsedFile PF;
+  SymbolTable ST;
+};
+
+} // namespace
+
+TEST_F(CheckerTest, CleanProgramHasNoErrors) {
+  auto Errs = runCheck("def add(a: int, b: int) -> int:\n"
+                       "    total: int = a + b\n"
+                       "    return total\n");
+  EXPECT_TRUE(Errs.empty());
+}
+
+TEST_F(CheckerTest, CatchesBadAnnotatedAssignment) {
+  auto Errs = runCheck("count: int = 'not a number'\n");
+  EXPECT_TRUE(hasError(Errs, "assignment"));
+}
+
+TEST_F(CheckerTest, NumericTowerIsPermissive) {
+  EXPECT_TRUE(runCheck("x: float = 3\n").empty());   // int -> float ok
+  EXPECT_TRUE(runCheck("b: int = True\n").empty());  // bool -> int ok
+  EXPECT_TRUE(hasError(runCheck("n: int = 1.5\n"), "assignment"));
+}
+
+TEST_F(CheckerTest, CatchesBadReturnValue) {
+  auto Errs = runCheck("def get_name() -> str:\n"
+                       "    return 42\n");
+  EXPECT_TRUE(hasError(Errs, "return-value"));
+}
+
+TEST_F(CheckerTest, CatchesBadArgument) {
+  auto Errs = runCheck("def scale(v: float) -> float:\n"
+                       "    return v\n"
+                       "r: float = scale('oops')\n");
+  EXPECT_TRUE(hasError(Errs, "arg-type"));
+}
+
+TEST_F(CheckerTest, ChecksKeywordArguments) {
+  auto Errs = runCheck("def f(flag: bool) -> bool:\n"
+                       "    return flag\n"
+                       "r: bool = f(flag='no')\n");
+  EXPECT_TRUE(hasError(Errs, "arg-type"));
+}
+
+TEST_F(CheckerTest, CatchesStrPlusInt) {
+  auto Errs = runCheck("s: str = 'a'\nr = s + 1\n");
+  EXPECT_TRUE(hasError(Errs, "operator"));
+}
+
+TEST_F(CheckerTest, ListAppendChecksElementType) {
+  auto Errs = runCheck("xs: List[int] = []\nxs.append('bad')\n");
+  EXPECT_TRUE(hasError(Errs, "arg-type"));
+  EXPECT_TRUE(runCheck("xs: List[int] = []\nxs.append(3)\n").empty());
+}
+
+TEST_F(CheckerTest, IterationRequiresIterable) {
+  auto Errs = runCheck("n: int = 5\nfor x in n:\n    pass\n");
+  EXPECT_TRUE(hasError(Errs, "not-iterable"));
+  EXPECT_TRUE(runCheck("xs: List[int] = [1]\nfor x in xs:\n    pass\n")
+                  .empty());
+}
+
+TEST_F(CheckerTest, BadParameterDefault) {
+  auto Errs = runCheck("def f(n: int = 'zero') -> int:\n    return n\n");
+  EXPECT_TRUE(hasError(Errs, "assignment"));
+}
+
+TEST_F(CheckerTest, MethodReturnTypesPropagate) {
+  auto Errs = runCheck("class Box:\n"
+                       "    def __init__(self, w: int) -> None:\n"
+                       "        self.w: int = w\n"
+                       "    def get_w(self) -> int:\n"
+                       "        return self.w\n"
+                       "b: Box = Box(3)\n"
+                       "label: str = b.get_w()\n");
+  EXPECT_TRUE(hasError(Errs, "assignment"));
+}
+
+TEST_F(CheckerTest, UnannotatedReceiverIsAnyInStrictMode) {
+  // Without the annotation, strict (mypy-like) mode cannot know b's type,
+  // so it stays silent — the inferring (pytype-like) mode catches it.
+  const std::string Src = "class Box:\n"
+                          "    def __init__(self, w: int) -> None:\n"
+                          "        self.w: int = w\n"
+                          "    def get_w(self) -> int:\n"
+                          "        return self.w\n"
+                          "b = Box(3)\n"
+                          "label: str = b.get_w()\n";
+  EXPECT_FALSE(hasError(runCheck(Src, false), "assignment"));
+  EXPECT_TRUE(hasError(runCheck(Src, true), "assignment"));
+}
+
+TEST_F(CheckerTest, ConstructorArgumentsChecked) {
+  auto Errs = runCheck("class Box:\n"
+                       "    def __init__(self, w: int) -> None:\n"
+                       "        self.w: int = w\n"
+                       "b = Box('wide')\n");
+  EXPECT_TRUE(hasError(Errs, "arg-type"));
+}
+
+TEST_F(CheckerTest, StrMethodTableWorks) {
+  EXPECT_TRUE(runCheck("s: str = 'a'\nparts: List[str] = s.split()\n")
+                  .empty());
+  EXPECT_TRUE(hasError(
+      runCheck("s: str = 'a'\nn: int = s.strip()\n"), "assignment"));
+}
+
+TEST_F(CheckerTest, OptionalAcceptsNoneAndValue) {
+  EXPECT_TRUE(runCheck("x: Optional[int] = None\n").empty());
+  EXPECT_TRUE(runCheck("x: Optional[int] = 3\n").empty());
+  EXPECT_TRUE(
+      hasError(runCheck("x: Optional[int] = 'no'\n"), "assignment"));
+}
+
+TEST_F(CheckerTest, UnknownCallsAreAny) {
+  // Local reasoning: unknown APIs must not produce false positives.
+  EXPECT_TRUE(runCheck("import magic\nx: int = magic.make()\n").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Strict (mypy-like) vs inferring (pytype-like) modes
+//===----------------------------------------------------------------------===//
+
+TEST_F(CheckerTest, InferringModeCatchesUnannotatedInconsistency) {
+  const std::string Src = "x = 3\n"      // inferred int
+                          "y: str = x\n"; // str := int
+  // Strict mode: x is Any, nothing detectable.
+  EXPECT_TRUE(runCheck(Src, /*InferLocals=*/false).empty());
+  // Inferring mode: x was inferred int -> error.
+  EXPECT_TRUE(hasError(runCheck(Src, /*InferLocals=*/true), "assignment"));
+}
+
+TEST_F(CheckerTest, InferringModeNeverMissesStrictErrors) {
+  // The inferring mode dominates the strict mode on any program: whatever
+  // strict flags, inferring flags too (the Table 5 ordering).
+  const std::string Bad = "def f(n: int) -> str:\n"
+                          "    return n\n"
+                          "v = f(1)\n"
+                          "w: int = 'x'\n";
+  auto Strict = runCheck(Bad, false);
+  auto Infer = runCheck(Bad, true);
+  EXPECT_GE(Infer.size(), Strict.size());
+  EXPECT_FALSE(Strict.empty());
+}
+
+TEST_F(CheckerTest, ErrorsCarryLinesAndCodes) {
+  auto Errs = runCheck("a: int = 1\nb: int = 'two'\n");
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_EQ(Errs[0].Line, 2);
+  EXPECT_EQ(Errs[0].Code, "assignment");
+  EXPECT_FALSE(Errs[0].Message.empty());
+}
+
+TEST_F(CheckerTest, SymbolTableOverrideChangesOutcome) {
+  // The Table 5 substitution protocol: overriding a symbol's annotation
+  // in the symbol table must drive the verdict.
+  PF = parseFile("t.py", "def f(n: int) -> int:\n    return n\nr = f(2)\n");
+  ASSERT_TRUE(PF.Diags.empty());
+  ST = SymbolTable();
+  buildSymbolTable(PF, ST);
+  Checker C(U, H, CheckerOptions{false});
+  EXPECT_TRUE(C.check(PF, ST).empty());
+  // Override the parameter annotation with a wrong prediction.
+  for (size_t I = 0; I != ST.size(); ++I)
+    if (ST[I]->Name == "n" && ST[I]->Kind == SymbolKind::Parameter)
+      ST[I]->AnnotationText = "str";
+  EXPECT_FALSE(C.check(PF, ST).empty());
+}

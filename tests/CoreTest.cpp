@@ -1,0 +1,226 @@
+//===- tests/CoreTest.cpp - core/ integration tests ----------------------------===//
+//
+// Integration tests over the whole pipeline: corpus -> dataset -> training
+// -> τmap -> kNN prediction -> evaluation, plus the open-vocabulary
+// property that is Typilus's central claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace typilus;
+
+namespace {
+
+/// One small trained workbench shared by the suite (kept deliberately
+/// tiny: ~30 files, 6 epochs — these are integration tests, not benches).
+class CoreTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    CorpusConfig CC;
+    CC.NumFiles = 30;
+    DatasetConfig DC;
+    WB = new Workbench(Workbench::make(CC, DC));
+    ModelConfig MC;
+    MC.HiddenDim = 16;
+    MC.TimeSteps = 2;
+    TrainOptions TO;
+    TO.Epochs = 6;
+    Run = new ModelRun(trainAndEvaluate(*WB, MC, TO));
+  }
+  static void TearDownTestSuite() {
+    delete Run;
+    delete WB;
+    Run = nullptr;
+    WB = nullptr;
+  }
+
+  static Workbench *WB;
+  static ModelRun *Run;
+};
+
+Workbench *CoreTest::WB = nullptr;
+ModelRun *CoreTest::Run = nullptr;
+
+} // namespace
+
+TEST_F(CoreTest, TrainingBeatsChance) {
+  // Even a tiny model must clearly beat the majority-class baseline on
+  // this corpus (int is ~22% of annotations).
+  EXPECT_GT(Run->Summary.ExactAll, 25.0);
+}
+
+TEST_F(CoreTest, PredictionsCoverEveryTestTarget) {
+  size_t Expected = 0;
+  for (const FileExample &F : WB->DS.Test)
+    Expected += F.Targets.size();
+  EXPECT_EQ(Run->Preds.size(), Expected);
+  EXPECT_EQ(Run->Js.size(), Expected);
+}
+
+TEST_F(CoreTest, ConfidencesAreProbabilities) {
+  for (const PredictionResult &P : Run->Preds) {
+    EXPECT_GE(P.confidence(), 0.0);
+    EXPECT_LE(P.confidence(), 1.0 + 1e-9);
+    double Sum = 0;
+    for (const ScoredType &S : P.Candidates)
+      Sum += S.Prob;
+    EXPECT_LE(Sum, 1.0 + 1e-6);
+  }
+}
+
+TEST_F(CoreTest, JudgingIsConsistent) {
+  for (const Judged &J : Run->Js) {
+    if (J.Exact) {
+      EXPECT_TRUE(J.UpToParametric) << "exact implies up-to-parametric";
+      EXPECT_TRUE(J.Neutral) << "exact implies neutral";
+    }
+  }
+}
+
+TEST_F(CoreTest, PrCurveIsMonotoneInRecall) {
+  auto Curve = prCurve(Run->Js, Criterion::Exact, 10);
+  ASSERT_FALSE(Curve.empty());
+  // Recall decreases (weakly) as the threshold rises.
+  for (size_t I = 1; I != Curve.size(); ++I)
+    EXPECT_LE(Curve[I].Recall, Curve[I - 1].Recall + 1e-9);
+  // The zero-threshold point predicts everything.
+  EXPECT_NEAR(Curve.front().Recall, 1.0, 1e-9);
+}
+
+TEST_F(CoreTest, HighConfidencePredictionsAreMorePrecise) {
+  auto Curve = prCurve(Run->Js, Criterion::Exact, 10);
+  EXPECT_GE(Curve.back().Precision + 0.05, Curve.front().Precision)
+      << "precision should not collapse at high confidence";
+}
+
+TEST_F(CoreTest, BucketsPartitionTheTestSet) {
+  auto Buckets = bucketByAnnotationCount(Run->Js, {2, 10, 1000000});
+  size_t Total = 0;
+  for (const Bucket &B : Buckets)
+    Total += B.Num;
+  EXPECT_EQ(Total, Run->Js.size());
+}
+
+TEST_F(CoreTest, SummarizeKindPartitions) {
+  size_t Total = 0;
+  for (SymbolKind K : {SymbolKind::Variable, SymbolKind::Parameter,
+                       SymbolKind::Return, SymbolKind::Attribute})
+    Total += summarizeKind(Run->Js, K).Count;
+  EXPECT_EQ(Total, Run->Js.size());
+}
+
+//===----------------------------------------------------------------------===//
+// The open-vocabulary property (Sec. 4.2)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreTest, UnseenTypeBecomesPredictableViaMarkers) {
+  // A type absent from training and from the τmap cannot be predicted;
+  // adding a single marker (no retraining) makes it predictable for a
+  // structurally similar symbol.
+  const char *Code =
+      "def open_channel(quic_stream: QuicStream) -> bool:\n"
+      "    status = quic_stream.get_enabled()\n"
+      "    return status\n"
+      "def close_channel(quic_stream: QuicStream) -> bool:\n"
+      "    return quic_stream.get_enabled()\n";
+  CorpusFile File{"unseen.py", Code};
+  FileExample Ex = buildExample(File, *WB->U, GraphBuildOptions{});
+  TypeRef Unseen = WB->U->parse("QuicStream");
+  ASSERT_EQ(WB->DS.TrainTypeCounts.count(Unseen), 0u);
+
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB->DS.Train)
+    MapFiles.push_back(&F);
+  KnnOptions KO;
+  KO.P = 4.0;
+  Predictor P = Predictor::knn(*Run->Model, MapFiles, KO);
+
+  // Before: the unseen type cannot be the top prediction anywhere.
+  for (const PredictionResult &Pred : P.predictFile(Ex))
+    EXPECT_NE(Pred.top(), Unseen);
+
+  // Adapt: one marker from the first parameter occurrence.
+  std::vector<const Target *> Targets;
+  nn::Value Emb = Run->Model->embed({&Ex}, &Targets);
+  int MarkerRow = -1;
+  for (size_t I = 0; I != Targets.size(); ++I)
+    if (Targets[I]->Kind == SymbolKind::Parameter && MarkerRow < 0)
+      MarkerRow = static_cast<int>(I);
+  ASSERT_GE(MarkerRow, 0);
+  P.addMarker(Emb.val().data() + MarkerRow * Emb.val().cols(), Unseen);
+
+  // After: the *other* QuicStream parameter resolves to the new type.
+  bool Predicted = false;
+  for (const PredictionResult &Pred : P.predictFile(Ex))
+    if (Pred.Tgt->Kind == SymbolKind::Parameter &&
+        Pred.Tgt != Targets[static_cast<size_t>(MarkerRow)])
+      Predicted |= Pred.top() == Unseen;
+  EXPECT_TRUE(Predicted) << "open-vocabulary adaptation failed";
+}
+
+//===----------------------------------------------------------------------===//
+// Checker experiment protocol
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreTest, CheckerExperimentRunsAndCategorises) {
+  auto Outcomes =
+      runCheckerExperiment(*WB, Run->Preds, /*InferLocals=*/false,
+                           /*StripProb=*/0.5, /*Seed=*/3);
+  ASSERT_FALSE(Outcomes.empty());
+  size_t Eps = 0, Prime = 0, Same = 0;
+  for (const CheckOutcome &O : Outcomes) {
+    switch (O.Kind) {
+    case CheckOutcome::Case::EpsToTau: ++Eps; break;
+    case CheckOutcome::Case::TauToTauPrime: ++Prime; break;
+    case CheckOutcome::Case::TauToTau: ++Same; break;
+    }
+  }
+  EXPECT_GT(Eps, 0u);
+  EXPECT_GT(Prime + Same, 0u);
+}
+
+TEST_F(CoreTest, IdenticalResubstitutionNeverFails) {
+  // τ→τ substitutions re-insert the original annotation: by construction
+  // they must pass (the paper's sanity row at 100%).
+  auto Outcomes = runCheckerExperiment(*WB, Run->Preds, false, 0.0, 3);
+  for (const CheckOutcome &O : Outcomes)
+    if (O.Kind == CheckOutcome::Case::TauToTau)
+      EXPECT_FALSE(O.CausesError);
+}
+
+TEST_F(CoreTest, InferringCheckerFlagsAtLeastAsMuch) {
+  auto Strict = runCheckerExperiment(*WB, Run->Preds, false, 0.9, 3);
+  auto Infer = runCheckerExperiment(*WB, Run->Preds, true, 0.9, 3);
+  ASSERT_EQ(Strict.size(), Infer.size());
+  size_t StrictErr = 0, InferErr = 0;
+  for (size_t I = 0; I != Strict.size(); ++I) {
+    StrictErr += Strict[I].CausesError;
+    InferErr += Infer[I].CausesError;
+  }
+  EXPECT_GE(InferErr, StrictErr);
+}
+
+//===----------------------------------------------------------------------===//
+// Classifier path
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreTest, ClassifierPredictorProducesRankedCandidates) {
+  ModelConfig MC;
+  MC.Loss = LossKind::Class;
+  MC.HiddenDim = 16;
+  MC.TimeSteps = 2;
+  TrainOptions TO;
+  TO.Epochs = 2;
+  ModelRun CRun = trainAndEvaluate(*WB, MC, TO);
+  ASSERT_FALSE(CRun.Preds.empty());
+  for (const PredictionResult &P : CRun.Preds) {
+    ASSERT_FALSE(P.Candidates.empty());
+    for (size_t I = 1; I < P.Candidates.size(); ++I)
+      EXPECT_GE(P.Candidates[I - 1].Prob, P.Candidates[I].Prob);
+  }
+}

@@ -1,0 +1,207 @@
+//===- tests/CorpusTest.cpp - corpus/ unit tests -------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Dataset.h"
+#include "corpus/Dedup.h"
+#include "corpus/Generator.h"
+#include "pyfront/Parser.h"
+#include "typesys/Hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace typilus;
+
+namespace {
+
+CorpusConfig smallConfig() {
+  CorpusConfig C;
+  C.NumFiles = 30;
+  return C;
+}
+
+} // namespace
+
+TEST(GeneratorTest, AllFilesParseCleanly) {
+  CorpusGenerator G(smallConfig());
+  for (const CorpusFile &F : G.generate()) {
+    ParsedFile PF = parseFile(F.Path, F.Source);
+    EXPECT_TRUE(PF.Diags.empty()) << F.Path << ":\n" << F.Source;
+  }
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  CorpusGenerator A(smallConfig()), B(smallConfig());
+  auto FA = A.generate(), FB = B.generate();
+  ASSERT_EQ(FA.size(), FB.size());
+  for (size_t I = 0; I != FA.size(); ++I)
+    EXPECT_EQ(FA[I].Source, FB[I].Source);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CorpusConfig C1 = smallConfig(), C2 = smallConfig();
+  C2.Seed ^= 0xDEAD;
+  CorpusGenerator A(C1), B(C2);
+  EXPECT_NE(A.generate()[0].Source, B.generate()[0].Source);
+}
+
+TEST(GeneratorTest, EmitsRequestedUdtCount) {
+  CorpusConfig C = smallConfig();
+  C.NumUdts = 37;
+  CorpusGenerator G(C);
+  EXPECT_EQ(G.udts().size(), 37u);
+  std::set<std::string> Names;
+  for (const UdtSpec &U : G.udts())
+    Names.insert(U.Name);
+  EXPECT_EQ(Names.size(), 37u) << "UDT names must be unique";
+}
+
+TEST(GeneratorTest, SomeUdtsInherit) {
+  CorpusConfig C = smallConfig();
+  C.NumUdts = 60;
+  CorpusGenerator G(C);
+  int WithBase = 0;
+  for (const UdtSpec &U : G.udts())
+    WithBase += !U.Base.empty();
+  EXPECT_GT(WithBase, 0);
+}
+
+TEST(GeneratorTest, GeneratedProgramsTypeCheckCleanly) {
+  // The whole-corpus invariant behind the Table 5 protocol.
+  CorpusGenerator G(smallConfig());
+  TypeUniverse U;
+  TypeHierarchy H(U);
+  for (const UdtSpec &Udt : G.udts())
+    H.addClass(Udt.Name, Udt.Base.empty()
+                             ? std::vector<std::string>{}
+                             : std::vector<std::string>{Udt.Base});
+  Checker Check(U, H, CheckerOptions{/*InferLocals=*/false});
+  for (const CorpusFile &F : G.generate()) {
+    ParsedFile PF = parseFile(F.Path, F.Source);
+    SymbolTable ST;
+    buildSymbolTable(PF, ST);
+    auto Errs = Check.check(PF, ST);
+    EXPECT_TRUE(Errs.empty()) << F.Path << ": " << Errs.size()
+                              << " baseline errors, first: "
+                              << (Errs.empty() ? "" : Errs[0].Message);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dedup
+//===----------------------------------------------------------------------===//
+
+TEST(DedupTest, FindsPlantedDuplicates) {
+  CorpusConfig C = smallConfig();
+  C.DuplicateFraction = 0.2;
+  CorpusGenerator G(C);
+  auto Files = G.generate();
+  auto Drop = findNearDuplicates(Files);
+  // ~20% of 30 files were emitted as comment-only-different copies.
+  EXPECT_GE(Drop.size(), 4u);
+}
+
+TEST(DedupTest, CleanCorpusMostlySurvives) {
+  CorpusConfig C = smallConfig();
+  C.DuplicateFraction = 0.0;
+  CorpusGenerator G(C);
+  auto Files = G.generate();
+  auto Drop = findNearDuplicates(Files);
+  EXPECT_LE(Drop.size(), Files.size() / 5);
+}
+
+TEST(DedupTest, CommentOnlyChangesAreStillDuplicates) {
+  std::vector<CorpusFile> Files;
+  Files.push_back(CorpusFile{"a.py", "x = 1\ny = x + 2\nz = y * 3\n"});
+  Files.push_back(CorpusFile{
+      "b.py", "# totally different comment\nx = 1\ny = x + 2\nz = y * 3\n"});
+  auto Drop = findNearDuplicates(Files, 0.8);
+  ASSERT_EQ(Drop.size(), 1u);
+  EXPECT_EQ(Drop[0], 1u); // the first exemplar is kept
+}
+
+TEST(DedupTest, DistinctFilesAreKept) {
+  std::vector<CorpusFile> Files;
+  Files.push_back(CorpusFile{"a.py", "def f(a):\n    return a + 1\n"});
+  Files.push_back(
+      CorpusFile{"b.py", "class C:\n    def m(self):\n        pass\n"});
+  EXPECT_TRUE(findNearDuplicates(Files).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Dataset
+//===----------------------------------------------------------------------===//
+
+TEST(DatasetTest, SplitsRoughly70_10_20) {
+  CorpusConfig C = smallConfig();
+  C.NumFiles = 100;
+  C.DuplicateFraction = 0;
+  CorpusGenerator G(C);
+  TypeUniverse U;
+  DatasetConfig DC;
+  DC.RunDedup = false;
+  Dataset DS = buildDataset(G.generate(), G.udts(), U, nullptr, DC);
+  EXPECT_EQ(DS.Train.size(), 70u);
+  EXPECT_EQ(DS.Valid.size(), 10u);
+  EXPECT_EQ(DS.Test.size(), 20u);
+}
+
+TEST(DatasetTest, TargetsHaveResolvedTypes) {
+  CorpusGenerator G(smallConfig());
+  TypeUniverse U;
+  DatasetConfig DC;
+  Dataset DS = buildDataset(G.generate(), G.udts(), U, nullptr, DC);
+  size_t N = 0;
+  for (const FileExample &F : DS.Train)
+    for (const Target &T : F.Targets) {
+      ++N;
+      ASSERT_NE(T.Type, nullptr);
+      ASSERT_NE(T.ErasedType, nullptr);
+      EXPECT_EQ(T.ErasedType, U.erase(T.Type));
+      EXPECT_FALSE(U.isExcludedAnnotation(T.Type));
+      EXPECT_GE(T.NodeIdx, 0);
+    }
+  EXPECT_GT(N, 100u);
+}
+
+TEST(DatasetTest, RegistersUdtsInHierarchy) {
+  CorpusGenerator G(smallConfig());
+  TypeUniverse U;
+  TypeHierarchy H(U);
+  DatasetConfig DC;
+  buildDataset(G.generate(), G.udts(), U, &H, DC);
+  ASSERT_FALSE(G.udts().empty());
+  const UdtSpec &First = G.udts().front();
+  EXPECT_TRUE(H.knowsName(First.Name));
+  EXPECT_TRUE(H.isSubtype(U.parse(First.Name), U.object()));
+}
+
+TEST(DatasetTest, RareSplitRespectsThreshold) {
+  CorpusGenerator G(smallConfig());
+  TypeUniverse U;
+  DatasetConfig DC;
+  DC.CommonThreshold = 10;
+  Dataset DS = buildDataset(G.generate(), G.udts(), U, nullptr, DC);
+  for (const auto &[T, N] : DS.TrainTypeCounts)
+    EXPECT_EQ(DS.isRare(T), N < 10);
+  // A type never seen in training is rare by definition.
+  EXPECT_TRUE(DS.isRare(U.parse("NeverSeenAnywhereType")));
+}
+
+TEST(DatasetTest, ReturnSymbolsAmongTargets) {
+  CorpusGenerator G(smallConfig());
+  TypeUniverse U;
+  DatasetConfig DC;
+  Dataset DS = buildDataset(G.generate(), G.udts(), U, nullptr, DC);
+  bool SawReturn = false, SawParam = false, SawVar = false;
+  for (const FileExample &F : DS.Train)
+    for (const Target &T : F.Targets) {
+      SawReturn |= T.Kind == SymbolKind::Return;
+      SawParam |= T.Kind == SymbolKind::Parameter;
+      SawVar |= T.Kind == SymbolKind::Variable;
+    }
+  EXPECT_TRUE(SawReturn);
+  EXPECT_TRUE(SawParam);
+  EXPECT_TRUE(SawVar);
+}

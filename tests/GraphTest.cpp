@@ -1,0 +1,232 @@
+//===- tests/GraphTest.cpp - graph/ unit tests --------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "pyfront/Parser.h"
+#include "pyfront/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace typilus;
+
+namespace {
+
+struct Built {
+  ParsedFile PF;
+  SymbolTable ST;
+  TypilusGraph G;
+};
+
+Built build(const std::string &Src, GraphBuildOptions Opts = {}) {
+  Built B;
+  B.PF = parseFile("t.py", Src);
+  EXPECT_TRUE(B.PF.Diags.empty()) << "unexpected parse errors";
+  buildSymbolTable(B.PF, B.ST);
+  B.G = buildGraph(B.PF, B.ST, Opts);
+  return B;
+}
+
+size_t countLabel(const TypilusGraph &G, EdgeLabel L) {
+  return G.edgeCounts()[static_cast<size_t>(L)];
+}
+
+const GraphNode *findSymbolNode(const TypilusGraph &G,
+                                const std::string &Name) {
+  for (const GraphNode &N : G.Nodes)
+    if (N.Category == NodeCategory::SymbolNode && N.Label == Name)
+      return &N;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(GraphTest, PaperFigure3Snippet) {
+  // foo = get_foo(i, i + 1) — Fig. 3 of the paper.
+  auto B = build("foo = get_foo(i, i + 1)\n");
+  // Node categories all present.
+  std::set<NodeCategory> Cats;
+  for (const GraphNode &N : B.G.Nodes)
+    Cats.insert(N.Category);
+  EXPECT_TRUE(Cats.count(NodeCategory::Token));
+  EXPECT_TRUE(Cats.count(NodeCategory::NonTerminal));
+  EXPECT_TRUE(Cats.count(NodeCategory::Vocabulary));
+  EXPECT_TRUE(Cats.count(NodeCategory::SymbolNode));
+  // Vocabulary nodes: foo, get, i, 1 is a literal (no vocab), and `get_foo`
+  // shares "foo"/"get".
+  bool HasFoo = false, HasGet = false;
+  for (const GraphNode &N : B.G.Nodes)
+    if (N.Category == NodeCategory::Vocabulary) {
+      HasFoo |= N.Label == "foo";
+      HasGet |= N.Label == "get";
+    }
+  EXPECT_TRUE(HasFoo);
+  EXPECT_TRUE(HasGet);
+  // All eight-label families that apply here are present.
+  EXPECT_GT(countLabel(B.G, EdgeLabel::NextToken), 0u);
+  EXPECT_GT(countLabel(B.G, EdgeLabel::Child), 0u);
+  EXPECT_GT(countLabel(B.G, EdgeLabel::OccurrenceOf), 0u);
+  EXPECT_GT(countLabel(B.G, EdgeLabel::SubtokenOf), 0u);
+  EXPECT_GT(countLabel(B.G, EdgeLabel::AssignedFrom), 0u);
+}
+
+TEST(GraphTest, NextTokenFormsAChain) {
+  auto B = build("a = b + c\n");
+  // Tokens: a = b + c -> 4 NEXT_TOKEN edges between 5 lexemes.
+  EXPECT_EQ(countLabel(B.G, EdgeLabel::NextToken), 4u);
+}
+
+TEST(GraphTest, AnnotationTokensAreInvisible) {
+  auto Annotated = build("def f(x: int) -> str:\n    return 'a'\n");
+  auto Plain = build("def f(x):\n    return 'a'\n");
+  // Same number of token nodes: the annotation lexemes are skipped.
+  size_t TokA = 0, TokP = 0;
+  for (const GraphNode &N : Annotated.G.Nodes)
+    TokA += N.Category == NodeCategory::Token;
+  for (const GraphNode &N : Plain.G.Nodes)
+    TokP += N.Category == NodeCategory::Token;
+  EXPECT_EQ(TokA, TokP);
+  // But the ground truth is still recorded on the supernode.
+  bool FoundParam = false;
+  for (const Supernode &S : Annotated.G.Supernodes)
+    if (S.Kind == SymbolKind::Parameter && S.Name == "x") {
+      FoundParam = true;
+      EXPECT_EQ(S.AnnotationText, "int");
+    }
+  EXPECT_TRUE(FoundParam);
+}
+
+TEST(GraphTest, OccurrenceOfLinksAllUses) {
+  auto B = build("x = 1\ny = x + x\n");
+  const GraphNode *Sym = findSymbolNode(B.G, "x");
+  ASSERT_NE(Sym, nullptr);
+  int SymIdx = static_cast<int>(Sym - B.G.Nodes.data());
+  size_t Occ = 0;
+  for (const GraphEdge &E : B.G.Edges)
+    if (E.Label == EdgeLabel::OccurrenceOf && E.Dst == SymIdx)
+      ++Occ;
+  EXPECT_EQ(Occ, 3u); // one store, two loads
+}
+
+TEST(GraphTest, ReturnsToConnectsReturnAndYield) {
+  auto B = build("def f():\n    yield 1\n    return 2\n");
+  EXPECT_EQ(countLabel(B.G, EdgeLabel::ReturnsTo), 2u);
+}
+
+TEST(GraphTest, ReturnSupernodeExists) {
+  auto B = build("def f() -> int:\n    return 1\n");
+  bool Found = false;
+  for (const Supernode &S : B.G.Supernodes)
+    if (S.Kind == SymbolKind::Return) {
+      Found = true;
+      EXPECT_EQ(S.AnnotationText, "int");
+      EXPECT_EQ(S.Name, "f");
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphTest, SubtokenSharingAcrossIdentifiers) {
+  // numNodes and getNodes share the "nodes" vocabulary node (paper Sec 5.1).
+  auto B = build("numNodes = getNodes()\n");
+  const GraphNode *Vocab = nullptr;
+  for (const GraphNode &N : B.G.Nodes)
+    if (N.Category == NodeCategory::Vocabulary && N.Label == "nodes")
+      Vocab = &N;
+  ASSERT_NE(Vocab, nullptr);
+  int VIdx = static_cast<int>(Vocab - B.G.Nodes.data());
+  std::set<int> Sources;
+  for (const GraphEdge &E : B.G.Edges)
+    if (E.Label == EdgeLabel::SubtokenOf && E.Dst == VIdx)
+      Sources.insert(E.Src);
+  EXPECT_EQ(Sources.size(), 2u);
+}
+
+TEST(GraphTest, AblationOptionsRemoveEdgeFamilies) {
+  const std::string Src = "def f(a):\n"
+                          "    b = a + 1\n"
+                          "    if b:\n"
+                          "        b = b - 1\n"
+                          "    return b\n";
+  auto Full = build(Src);
+  auto NoTok = build(Src, GraphBuildOptions::noNextToken());
+  auto NoChild = build(Src, GraphBuildOptions::noChild());
+  auto NoUse = build(Src, GraphBuildOptions::noNextUse());
+  auto NoSyn = build(Src, GraphBuildOptions::noSyntactic());
+
+  EXPECT_GT(countLabel(Full.G, EdgeLabel::NextToken), 0u);
+  EXPECT_EQ(countLabel(NoTok.G, EdgeLabel::NextToken), 0u);
+  EXPECT_GT(countLabel(NoTok.G, EdgeLabel::Child), 0u);
+
+  EXPECT_EQ(countLabel(NoChild.G, EdgeLabel::Child), 0u);
+  EXPECT_EQ(countLabel(NoUse.G, EdgeLabel::NextMayUse), 0u);
+  EXPECT_EQ(countLabel(NoUse.G, EdgeLabel::NextLexicalUse), 0u);
+  EXPECT_GT(countLabel(Full.G, EdgeLabel::NextMayUse), 0u);
+
+  EXPECT_EQ(countLabel(NoSyn.G, EdgeLabel::NextToken), 0u);
+  EXPECT_EQ(countLabel(NoSyn.G, EdgeLabel::Child), 0u);
+  EXPECT_GT(countLabel(NoSyn.G, EdgeLabel::OccurrenceOf), 0u);
+}
+
+TEST(GraphTest, EdgesReferenceValidNodes) {
+  auto B = build("class C:\n"
+                 "    def m(self, v):\n"
+                 "        self.x = v\n"
+                 "        return self.x\n"
+                 "c = C()\n"
+                 "r = c.m(3)\n");
+  for (const GraphEdge &E : B.G.Edges) {
+    ASSERT_GE(E.Src, 0);
+    ASSERT_GE(E.Dst, 0);
+    ASSERT_LT(static_cast<size_t>(E.Src), B.G.numNodes());
+    ASSERT_LT(static_cast<size_t>(E.Dst), B.G.numNodes());
+    EXPECT_NE(E.Src, E.Dst);
+  }
+}
+
+TEST(GraphTest, SelfAttributeHasSupernode) {
+  auto B = build("class P:\n"
+                 "    def __init__(self, x: float):\n"
+                 "        self.coord = x\n");
+  bool Found = false;
+  for (const Supernode &S : B.G.Supernodes)
+    if (S.Kind == SymbolKind::Attribute && S.Name == "coord")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphTest, AssignedFromPointsRhsToLhs) {
+  auto B = build("total = 1 + 2\n");
+  ASSERT_EQ(countLabel(B.G, EdgeLabel::AssignedFrom), 1u);
+  for (const GraphEdge &E : B.G.Edges)
+    if (E.Label == EdgeLabel::AssignedFrom) {
+      // Dst must be the token node of `total`.
+      EXPECT_EQ(B.G.Nodes[E.Dst].Label, "total");
+      EXPECT_EQ(B.G.Nodes[E.Src].Label, "BinOp_+");
+    }
+}
+
+TEST(GraphTest, SupernodesCoverAllTargetKinds) {
+  auto B = build("def area(w: float, h: float) -> float:\n"
+                 "    result = w * h\n"
+                 "    return result\n");
+  std::set<SymbolKind> Kinds;
+  for (const Supernode &S : B.G.Supernodes)
+    Kinds.insert(S.Kind);
+  EXPECT_TRUE(Kinds.count(SymbolKind::Parameter));
+  EXPECT_TRUE(Kinds.count(SymbolKind::Return));
+  EXPECT_TRUE(Kinds.count(SymbolKind::Variable));
+}
+
+TEST(GraphTest, GraphIsDeterministic) {
+  const std::string Src = "def f(a, b):\n    return a + b\n";
+  auto B1 = build(Src);
+  auto B2 = build(Src);
+  ASSERT_EQ(B1.G.numNodes(), B2.G.numNodes());
+  ASSERT_EQ(B1.G.numEdges(), B2.G.numEdges());
+  for (size_t I = 0; I != B1.G.numEdges(); ++I) {
+    EXPECT_EQ(B1.G.Edges[I].Src, B2.G.Edges[I].Src);
+    EXPECT_EQ(B1.G.Edges[I].Dst, B2.G.Edges[I].Dst);
+    EXPECT_EQ(B1.G.Edges[I].Label, B2.G.Edges[I].Label);
+  }
+}

@@ -1,0 +1,196 @@
+//===- tests/KnnTest.cpp - knn/ unit & property tests --------------------------===//
+
+#include "knn/TypeMap.h"
+#include "support/Str.h"
+#include "support/Rng.h"
+#include "typesys/Type.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace typilus;
+
+namespace {
+
+/// A random map of N markers over T types in D dims.
+struct MapFixture {
+  TypeUniverse U;
+  TypeMap Map;
+  std::vector<std::vector<float>> Points;
+
+  MapFixture(int N, int NumTypes, int D, uint64_t Seed) : Map(D) {
+    Rng R(Seed);
+    for (int I = 0; I != N; ++I) {
+      std::vector<float> P(static_cast<size_t>(D));
+      for (float &X : P)
+        X = static_cast<float>(R.normal());
+      TypeRef T = U.get(strformat("T%d", static_cast<int>(
+                                             R.uniformInt(NumTypes))));
+      Map.add(P.data(), T);
+      Points.push_back(std::move(P));
+    }
+  }
+};
+
+} // namespace
+
+TEST(ExactIndexTest, FindsSelfAtDistanceZero) {
+  MapFixture F(50, 5, 8, 1);
+  ExactIndex Idx(F.Map);
+  for (size_t I = 0; I != 10; ++I) {
+    auto N = Idx.query(F.Points[I].data(), 1);
+    ASSERT_EQ(N.size(), 1u);
+    EXPECT_EQ(N[0].first, static_cast<int>(I));
+    EXPECT_FLOAT_EQ(N[0].second, 0.f);
+  }
+}
+
+TEST(ExactIndexTest, DistancesAreSorted) {
+  MapFixture F(100, 5, 8, 2);
+  ExactIndex Idx(F.Map);
+  auto N = Idx.query(F.Points[3].data(), 20);
+  ASSERT_EQ(N.size(), 20u);
+  for (size_t I = 1; I != N.size(); ++I)
+    EXPECT_LE(N[I - 1].second, N[I].second);
+}
+
+TEST(ExactIndexTest, KLargerThanMapIsClamped) {
+  MapFixture F(5, 2, 4, 3);
+  ExactIndex Idx(F.Map);
+  EXPECT_EQ(Idx.query(F.Points[0].data(), 50).size(), 5u);
+}
+
+TEST(AnnoyIndexTest, HighRecallVsExact) {
+  MapFixture F(2000, 20, 16, 4);
+  ExactIndex Exact(F.Map);
+  AnnoyIndex Annoy(F.Map);
+  Rng R(5);
+  double Recall = 0;
+  const int Queries = 50, K = 10;
+  for (int Q = 0; Q != Queries; ++Q) {
+    std::vector<float> P(16);
+    for (float &X : P)
+      X = static_cast<float>(R.normal());
+    auto Truth = Exact.query(P.data(), K);
+    auto Approx = Annoy.query(P.data(), K);
+    std::set<int> TruthSet;
+    for (auto [I, D] : Truth)
+      TruthSet.insert(I);
+    int Hits = 0;
+    for (auto [I, D] : Approx)
+      Hits += TruthSet.count(I);
+    Recall += static_cast<double>(Hits) / K;
+  }
+  Recall /= Queries;
+  EXPECT_GE(Recall, 0.8) << "Annoy-style forest recall too low";
+}
+
+TEST(AnnoyIndexTest, ReturnedDistancesAreTrueL1) {
+  MapFixture F(300, 5, 8, 6);
+  AnnoyIndex Annoy(F.Map);
+  auto N = Annoy.query(F.Points[7].data(), 5);
+  ASSERT_FALSE(N.empty());
+  for (auto [Idx, Dist] : N) {
+    float True = 0;
+    for (int D = 0; D != 8; ++D)
+      True += std::fabs(F.Points[7][static_cast<size_t>(D)] -
+                        F.Map.embedding(static_cast<size_t>(Idx))[D]);
+    EXPECT_NEAR(Dist, True, 1e-4f);
+  }
+}
+
+TEST(AnnoyIndexTest, DeterministicForFixedSeed) {
+  MapFixture F(500, 10, 8, 7);
+  AnnoyIndex A(F.Map, 8, 16, 42), B(F.Map, 8, 16, 42);
+  auto NA = A.query(F.Points[0].data(), 10);
+  auto NB = B.query(F.Points[0].data(), 10);
+  ASSERT_EQ(NA.size(), NB.size());
+  for (size_t I = 0; I != NA.size(); ++I)
+    EXPECT_EQ(NA[I].first, NB[I].first);
+}
+
+TEST(AnnoyIndexTest, EmptyMapYieldsNothing) {
+  TypeUniverse U;
+  TypeMap Map(4);
+  AnnoyIndex Annoy(Map);
+  std::vector<float> Q(4, 0.f);
+  EXPECT_TRUE(Annoy.query(Q.data(), 5).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Eq. 5 scoring
+//===----------------------------------------------------------------------===//
+
+TEST(ScoringTest, ProbabilitiesSumToOne) {
+  TypeUniverse U;
+  TypeMap Map(2);
+  float A[2] = {0, 0}, B[2] = {1, 1}, C[2] = {2, 2};
+  Map.add(A, U.parse("int"));
+  Map.add(B, U.parse("str"));
+  Map.add(C, U.parse("int"));
+  NeighborList N{{0, 0.5f}, {1, 1.0f}, {2, 2.0f}};
+  auto Scored = scoreNeighbors(Map, N, 1.0);
+  double Sum = 0;
+  for (const ScoredType &S : Scored)
+    Sum += S.Prob;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(ScoringTest, SameTypeNeighborsAggregate) {
+  TypeUniverse U;
+  TypeMap Map(1);
+  float X[1] = {0};
+  Map.add(X, U.parse("int"));
+  Map.add(X, U.parse("int"));
+  Map.add(X, U.parse("str"));
+  NeighborList N{{0, 1.0f}, {1, 1.0f}, {2, 1.0f}};
+  auto Scored = scoreNeighbors(Map, N, 1.0);
+  ASSERT_EQ(Scored.size(), 2u);
+  EXPECT_EQ(Scored[0].Type, U.parse("int"));
+  EXPECT_NEAR(Scored[0].Prob, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ScoringTest, LargePSharpensTowardsNearest) {
+  // p -> inf approaches 1-NN: the closest neighbour's type must win even
+  // when outnumbered.
+  TypeUniverse U;
+  TypeMap Map(1);
+  float X[1] = {0};
+  Map.add(X, U.parse("int")); // closest
+  Map.add(X, U.parse("str"));
+  Map.add(X, U.parse("str"));
+  Map.add(X, U.parse("str"));
+  NeighborList N{{0, 0.1f}, {1, 1.0f}, {2, 1.0f}, {3, 1.0f}};
+  auto Sharp = scoreNeighbors(Map, N, 6.0);
+  EXPECT_EQ(Sharp[0].Type, U.parse("int"));
+  // With p ~ 0 it degenerates to majority voting.
+  auto Flat = scoreNeighbors(Map, N, 0.001);
+  EXPECT_EQ(Flat[0].Type, U.parse("str"));
+}
+
+TEST(ScoringTest, ZeroDistanceIsHandled) {
+  TypeUniverse U;
+  TypeMap Map(1);
+  float X[1] = {0};
+  Map.add(X, U.parse("int"));
+  NeighborList N{{0, 0.0f}};
+  auto Scored = scoreNeighbors(Map, N, 2.0);
+  ASSERT_EQ(Scored.size(), 1u);
+  EXPECT_NEAR(Scored[0].Prob, 1.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(Scored[0].Prob));
+}
+
+TEST(ScoringTest, DeterministicTieBreaking) {
+  TypeUniverse U;
+  TypeMap Map(1);
+  float X[1] = {0};
+  Map.add(X, U.parse("str"));
+  Map.add(X, U.parse("int"));
+  NeighborList N{{0, 1.0f}, {1, 1.0f}};
+  auto S1 = scoreNeighbors(Map, N, 1.0);
+  auto S2 = scoreNeighbors(Map, N, 1.0);
+  EXPECT_EQ(S1[0].Type, S2[0].Type);
+  EXPECT_EQ(S1[0].Type, U.parse("int")); // lexicographic tie-break
+}

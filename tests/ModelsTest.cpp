@@ -1,0 +1,229 @@
+//===- tests/ModelsTest.cpp - models/ unit tests -------------------------------===//
+
+#include "corpus/Dataset.h"
+#include "corpus/Generator.h"
+#include "models/Model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace typilus;
+
+namespace {
+
+/// Small shared dataset; built once per suite (cheap: ~20 files).
+class ModelsTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    U = new TypeUniverse();
+    CorpusConfig C;
+    C.NumFiles = 20;
+    CorpusGenerator G(C);
+    DatasetConfig DC;
+    DC.RunDedup = false;
+    DS = new Dataset(buildDataset(G.generate(), G.udts(), *U, nullptr, DC));
+  }
+  static void TearDownTestSuite() {
+    delete DS;
+    delete U;
+    DS = nullptr;
+    U = nullptr;
+  }
+
+  static TypeModel makeModelFor(EncoderKind E, LossKind L,
+                                NodeRepKind R = NodeRepKind::Subtoken) {
+    std::vector<const TypilusGraph *> Graphs;
+    for (const FileExample &F : DS->Train)
+      Graphs.push_back(&F.Graph);
+    LabelVocab V = LabelVocab::build(
+        Graphs, R == NodeRepKind::WholeToken ? LabelVocab::Mode::WholeLabel
+                                             : LabelVocab::Mode::Subtoken);
+    TypeVocabs TV;
+    for (const FileExample &F : DS->Train)
+      for (const Target &T : F.Targets) {
+        TV.Full.add(T.Type);
+        TV.Erased.add(T.ErasedType);
+      }
+    ModelConfig MC;
+    MC.Encoder = E;
+    MC.Loss = L;
+    MC.NodeRep = R;
+    MC.HiddenDim = 16;
+    MC.TimeSteps = 2;
+    return TypeModel(MC, std::move(V), std::move(TV));
+  }
+
+  static TypeUniverse *U;
+  static Dataset *DS;
+};
+
+TypeUniverse *ModelsTest::U = nullptr;
+Dataset *ModelsTest::DS = nullptr;
+
+size_t totalTargets(const std::vector<const FileExample *> &Files) {
+  size_t N = 0;
+  for (const FileExample *F : Files)
+    N += F->Targets.size();
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Vocabularies
+//===----------------------------------------------------------------------===//
+
+TEST_F(ModelsTest, SubtokenVocabSharesSubwords) {
+  std::vector<const TypilusGraph *> Graphs{&DS->Train[0].Graph};
+  LabelVocab V = LabelVocab::build(Graphs, LabelVocab::Mode::Subtoken, 1);
+  auto A = V.idsOf("numItems");
+  auto B = V.idsOf("item_count");
+  ASSERT_EQ(A.size(), 2u);
+  ASSERT_EQ(B.size(), 2u);
+  // Unknown subtokens map to 0, known ones to positive ids.
+  for (int Id : V.idsOf("zzzzunseenzzz"))
+    EXPECT_EQ(Id, 0);
+}
+
+TEST_F(ModelsTest, WholeLabelVocabKeepsLexemes) {
+  std::vector<const TypilusGraph *> Graphs{&DS->Train[0].Graph};
+  LabelVocab V = LabelVocab::build(Graphs, LabelVocab::Mode::WholeLabel, 1);
+  EXPECT_EQ(V.idsOf("whatever_label").size(), 1u);
+}
+
+TEST_F(ModelsTest, TypeIdMapIsDenseAndStable) {
+  TypeIdMap M;
+  TypeRef A = U->parse("int"), B = U->parse("str");
+  EXPECT_EQ(M.add(A), 0);
+  EXPECT_EQ(M.add(B), 1);
+  EXPECT_EQ(M.add(A), 0);
+  EXPECT_EQ(M.lookup(B), 1);
+  EXPECT_EQ(M.lookup(U->parse("float")), -1);
+  EXPECT_EQ(M.type(1), B);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoders: shapes, determinism, gradient flow
+//===----------------------------------------------------------------------===//
+
+TEST_F(ModelsTest, GraphEncoderEmbedsAllTargets) {
+  TypeModel M = makeModelFor(EncoderKind::Graph, LossKind::Typilus);
+  std::vector<const FileExample *> Files{&DS->Train[0], &DS->Train[1]};
+  std::vector<const Target *> Targets;
+  nn::Value Emb = M.embed(Files, &Targets);
+  ASSERT_TRUE(Emb.defined());
+  EXPECT_EQ(static_cast<size_t>(Emb.val().rows()), totalTargets(Files));
+  EXPECT_EQ(Emb.val().cols(), 16);
+  EXPECT_EQ(Targets.size(), totalTargets(Files));
+  for (int64_t I = 0; I != Emb.val().numel(); ++I)
+    EXPECT_TRUE(std::isfinite(Emb.val()[I]));
+}
+
+TEST_F(ModelsTest, SeqEncoderEmbedsAllTargets) {
+  TypeModel M = makeModelFor(EncoderKind::Seq, LossKind::Space);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  std::vector<const Target *> Targets;
+  nn::Value Emb = M.embed(Files, &Targets);
+  ASSERT_TRUE(Emb.defined());
+  EXPECT_EQ(static_cast<size_t>(Emb.val().rows()), totalTargets(Files));
+}
+
+TEST_F(ModelsTest, PathEncoderEmbedsAllTargets) {
+  TypeModel M = makeModelFor(EncoderKind::Path, LossKind::Space);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  std::vector<const Target *> Targets;
+  nn::Value Emb = M.embed(Files, &Targets);
+  ASSERT_TRUE(Emb.defined());
+  EXPECT_EQ(static_cast<size_t>(Emb.val().rows()), totalTargets(Files));
+}
+
+TEST_F(ModelsTest, NamesOnlyEncoderEmbedsAllTargets) {
+  TypeModel M = makeModelFor(EncoderKind::NamesOnly, LossKind::Typilus);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  std::vector<const Target *> Targets;
+  nn::Value Emb = M.embed(Files, &Targets);
+  ASSERT_TRUE(Emb.defined());
+  EXPECT_EQ(static_cast<size_t>(Emb.val().rows()), totalTargets(Files));
+}
+
+TEST_F(ModelsTest, CharacterRepresentationWorks) {
+  TypeModel M = makeModelFor(EncoderKind::Graph, LossKind::Typilus,
+                             NodeRepKind::Character);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  std::vector<const Target *> Targets;
+  nn::Value Emb = M.embed(Files, &Targets);
+  ASSERT_TRUE(Emb.defined());
+  for (int64_t I = 0; I != Emb.val().numel(); ++I)
+    EXPECT_TRUE(std::isfinite(Emb.val()[I]));
+}
+
+TEST_F(ModelsTest, EmbeddingsAreDeterministic) {
+  TypeModel A = makeModelFor(EncoderKind::Graph, LossKind::Typilus);
+  TypeModel B = makeModelFor(EncoderKind::Graph, LossKind::Typilus);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  nn::Value EA = A.embed(Files, nullptr);
+  nn::Value EB = B.embed(Files, nullptr);
+  ASSERT_EQ(EA.val().numel(), EB.val().numel());
+  for (int64_t I = 0; I != EA.val().numel(); ++I)
+    EXPECT_FLOAT_EQ(EA.val()[I], EB.val()[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Losses
+//===----------------------------------------------------------------------===//
+
+TEST_F(ModelsTest, AllLossesAreFiniteAndBackpropagate) {
+  for (LossKind L :
+       {LossKind::Class, LossKind::Space, LossKind::Typilus}) {
+    TypeModel M = makeModelFor(EncoderKind::Graph, L);
+    std::vector<const FileExample *> Files{&DS->Train[0], &DS->Train[1]};
+    std::vector<const Target *> Targets;
+    nn::Value Emb = M.embed(Files, &Targets);
+    nn::Value Loss = M.loss(Emb, Targets);
+    ASSERT_TRUE(std::isfinite(Loss.val()[0]))
+        << "loss " << lossKindName(L);
+    M.params().zeroGrads();
+    nn::backward(Loss);
+    double GradMass = 0;
+    for (const nn::Value &P : M.params().params()) {
+      const Tensor &G = P.grad();
+      for (int64_t I = 0; I != G.numel(); ++I)
+        GradMass += std::fabs(G[I]);
+    }
+    EXPECT_GT(GradMass, 0.0) << "no gradient for loss " << lossKindName(L);
+  }
+}
+
+TEST_F(ModelsTest, OneTrainingStepReducesLoss) {
+  TypeModel M = makeModelFor(EncoderKind::Graph, LossKind::Typilus);
+  nn::Adam Opt(M.params(), 5e-3f);
+  std::vector<const FileExample *> Files{&DS->Train[0], &DS->Train[1]};
+  std::vector<const Target *> Targets;
+  float First = 0, Last = 0;
+  for (int Step = 0; Step != 8; ++Step) {
+    Targets.clear();
+    nn::Value Emb = M.embed(Files, &Targets);
+    nn::Value Loss = M.loss(Emb, Targets);
+    if (Step == 0)
+      First = Loss.val()[0];
+    Last = Loss.val()[0];
+    M.params().zeroGrads();
+    nn::backward(Loss);
+    Opt.step();
+  }
+  EXPECT_LT(Last, First);
+}
+
+TEST_F(ModelsTest, ClassProbsAreDistributions) {
+  TypeModel M = makeModelFor(EncoderKind::Graph, LossKind::Class);
+  std::vector<const FileExample *> Files{&DS->Train[0]};
+  nn::Value Emb = M.embed(Files, nullptr);
+  Tensor Probs = M.classProbs(Emb);
+  for (int64_t R = 0; R != Probs.rows(); ++R) {
+    float Sum = 0;
+    for (int64_t C = 0; C != Probs.cols(); ++C)
+      Sum += Probs.at(R, C);
+    EXPECT_NEAR(Sum, 1.f, 1e-4f);
+  }
+}

@@ -1,0 +1,506 @@
+//===- tests/NnTest.cpp - autograd gradient checks & layer tests -------------===//
+//
+// Property tests: every autograd op is validated against central finite
+// differences; layers and the optimizer are checked on toy problems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Autograd.h"
+#include "nn/Layers.h"
+#include "nn/Optim.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+using namespace typilus;
+using namespace typilus::nn;
+
+namespace {
+
+/// Fills \p T with values away from kinks (|x| >= 0.1) so relu/abs/max
+/// gradients are stable under finite differences.
+Tensor randomAwayFromKinks(int64_t Rows, int64_t Cols, Rng &R) {
+  Tensor T = Cols > 0 ? Tensor(Rows, Cols) : Tensor(Rows);
+  for (int64_t I = 0; I != T.numel(); ++I) {
+    float V = static_cast<float>(R.normal());
+    if (std::fabs(V) < 0.1f)
+      V = V < 0 ? V - 0.15f : V + 0.15f;
+    T[I] = V;
+  }
+  return T;
+}
+
+/// Checks d(F(P))/dP against central differences for every coordinate.
+void checkGrad(const std::function<Value(Value)> &F, const Tensor &T0,
+               float RelTol = 5e-2f) {
+  Value P = Value::param(T0);
+  Value Loss = F(P);
+  ASSERT_EQ(Loss.val().numel(), 1);
+  backward(Loss);
+  Tensor Analytic = P.grad();
+
+  const float Eps = 1e-2f;
+  for (int64_t I = 0; I != T0.numel(); ++I) {
+    Tensor TP = T0, TM = T0;
+    TP[I] += Eps;
+    TM[I] -= Eps;
+    float LP = F(Value::param(TP)).val()[0];
+    float LM = F(Value::param(TM)).val()[0];
+    float Numeric = (LP - LM) / (2 * Eps);
+    float Tol = RelTol * std::max(1.f, std::fabs(Numeric));
+    EXPECT_NEAR(Analytic[I], Numeric, Tol)
+        << "coordinate " << I << " of " << T0.numel();
+  }
+}
+
+/// Reduces an arbitrary-shaped output to a scalar through a fixed random
+/// projection so gradcheck exercises all coordinates.
+std::function<Value(Value)> scalarized(std::function<Value(Value)> F,
+                                       const Tensor &ProbeShape, Rng &R) {
+  Value Out = F(Value::param(ProbeShape));
+  Tensor W = Tensor::zerosLike(Out.val());
+  for (int64_t I = 0; I != W.numel(); ++I)
+    W[I] = static_cast<float>(R.normal());
+  return [F = std::move(F), W = std::move(W)](Value P) {
+    return meanAll(mul(F(P), Value::constant(W)));
+  };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Elementwise and linear-algebra ops
+//===----------------------------------------------------------------------===//
+
+TEST(GradCheck, AddSameShape) {
+  Rng R(1);
+  Tensor A = randomAwayFromKinks(3, 4, R);
+  Tensor B = randomAwayFromKinks(3, 4, R);
+  checkGrad(scalarized(
+                [&](Value P) { return add(P, Value::constant(B)); }, A, R),
+            A);
+  // And through the second operand.
+  checkGrad(scalarized(
+                [&](Value P) { return add(Value::constant(A), P); }, B, R),
+            B);
+}
+
+TEST(GradCheck, AddBiasBroadcast) {
+  Rng R(2);
+  Tensor A = randomAwayFromKinks(3, 4, R);
+  Tensor Bias = randomAwayFromKinks(4, 0, R);
+  checkGrad(scalarized(
+                [&](Value P) { return add(Value::constant(A), P); }, Bias, R),
+            Bias);
+}
+
+TEST(GradCheck, SubAndMul) {
+  Rng R(3);
+  Tensor A = randomAwayFromKinks(2, 5, R);
+  Tensor B = randomAwayFromKinks(2, 5, R);
+  checkGrad(scalarized(
+                [&](Value P) { return sub(P, Value::constant(B)); }, A, R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) { return mul(P, Value::constant(B)); }, A, R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) { return mul(Value::constant(A), P); }, B, R),
+            B);
+}
+
+TEST(GradCheck, Scale) {
+  Rng R(4);
+  Tensor A = randomAwayFromKinks(3, 3, R);
+  checkGrad(scalarized([](Value P) { return scale(P, -2.5f); }, A, R), A);
+}
+
+TEST(GradCheck, MatmulBothSides) {
+  Rng R(5);
+  Tensor A = randomAwayFromKinks(3, 4, R);
+  Tensor B = randomAwayFromKinks(4, 2, R);
+  checkGrad(scalarized(
+                [&](Value P) { return matmul(P, Value::constant(B)); }, A, R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) { return matmul(Value::constant(A), P); }, B, R),
+            B);
+}
+
+TEST(GradCheck, MatmulNTBothSides) {
+  Rng R(6);
+  Tensor A = randomAwayFromKinks(3, 4, R);
+  Tensor B = randomAwayFromKinks(5, 4, R); // used transposed
+  checkGrad(scalarized(
+                [&](Value P) { return matmulNT(P, Value::constant(B)); }, A,
+                R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) { return matmulNT(Value::constant(A), P); }, B,
+                R),
+            B);
+}
+
+TEST(GradCheck, Activations) {
+  Rng R(7);
+  Tensor A = randomAwayFromKinks(4, 3, R);
+  checkGrad(scalarized([](Value P) { return sigmoid(P); }, A, R), A);
+  checkGrad(scalarized([](Value P) { return tanhOp(P); }, A, R), A);
+  checkGrad(scalarized([](Value P) { return relu(P); }, A, R), A);
+}
+
+TEST(GradCheck, ConcatCols) {
+  Rng R(8);
+  Tensor A = randomAwayFromKinks(3, 2, R);
+  Tensor B = randomAwayFromKinks(3, 4, R);
+  checkGrad(scalarized(
+                [&](Value P) { return concatCols(P, Value::constant(B)); }, A,
+                R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) { return concatCols(Value::constant(A), P); }, B,
+                R),
+            B);
+}
+
+//===----------------------------------------------------------------------===//
+// Gather / scatter ops
+//===----------------------------------------------------------------------===//
+
+TEST(GradCheck, GatherRowsWithRepeats) {
+  Rng R(9);
+  Tensor A = randomAwayFromKinks(4, 3, R);
+  std::vector<int> Idx{2, 0, 2, 3, 2};
+  checkGrad(scalarized([&](Value P) { return gatherRows(P, Idx); }, A, R), A);
+}
+
+TEST(GradCheck, ScatterMax) {
+  Rng R(10);
+  Tensor Msgs = randomAwayFromKinks(6, 3, R);
+  std::vector<int> Dst{0, 1, 1, 2, 0, 2};
+  checkGrad(scalarized(
+                [&](Value P) { return scatterMax(P, Dst, 4); }, Msgs, R),
+            Msgs);
+}
+
+TEST(GradCheck, ScatterMean) {
+  Rng R(11);
+  Tensor Msgs = randomAwayFromKinks(5, 2, R);
+  std::vector<int> Dst{0, 0, 2, 2, 2};
+  checkGrad(scalarized(
+                [&](Value P) { return scatterMean(P, Dst, 3); }, Msgs, R),
+            Msgs);
+}
+
+TEST(GradCheck, IndexAddRows) {
+  Rng R(12);
+  Tensor Base = randomAwayFromKinks(4, 3, R);
+  Tensor Rows = randomAwayFromKinks(3, 3, R);
+  std::vector<int> Idx{1, 3, 1};
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return indexAddRows(P, Idx, Value::constant(Rows));
+                },
+                Base, R),
+            Base);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return indexAddRows(Value::constant(Base), Idx, P);
+                },
+                Rows, R),
+            Rows);
+}
+
+TEST(GradCheck, ReduceMaxRows) {
+  Rng R(13);
+  Tensor A = randomAwayFromKinks(5, 4, R);
+  checkGrad(scalarized([](Value P) { return reduceMaxRows(P); }, A, R), A);
+}
+
+TEST(GradCheck, MeanAll) {
+  Rng R(14);
+  Tensor A = randomAwayFromKinks(3, 7, R);
+  checkGrad([](Value P) { return meanAll(P); }, A);
+}
+
+//===----------------------------------------------------------------------===//
+// Losses
+//===----------------------------------------------------------------------===//
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng R(15);
+  Tensor Logits = randomAwayFromKinks(4, 3, R);
+  std::vector<int> Labels{0, 2, -1, 1}; // one ignored row
+  checkGrad([&](Value P) { return softmaxCrossEntropy(P, Labels); }, Logits);
+}
+
+TEST(GradCheck, PairwiseL1) {
+  Rng R(16);
+  Tensor A = randomAwayFromKinks(4, 3, R);
+  checkGrad(scalarized([](Value P) { return pairwiseL1(P); }, A, R), A,
+            8e-2f);
+}
+
+TEST(GradCheck, SpaceLossThroughEmbeddings) {
+  Rng R(17);
+  Tensor A = randomAwayFromKinks(6, 3, R);
+  std::vector<int> Types{0, 0, 1, 1, 2, 0};
+  checkGrad(
+      [&](Value P) { return spaceLoss(pairwiseL1(P), Types, 0.5f); }, A,
+      8e-2f);
+}
+
+TEST(SpaceLossTest, ZeroWhenNoValidSamples) {
+  // A single labeled point has no same-type partner: loss must be 0.
+  Tensor A(2, 3);
+  A.fill(1.f);
+  A.at(1, 0) = 3.f;
+  std::vector<int> Types{0, 1};
+  Value L = spaceLoss(pairwiseL1(Value::param(A)), Types, 1.f);
+  EXPECT_FLOAT_EQ(L.val()[0], 0.f);
+}
+
+TEST(SpaceLossTest, PullsSameTypePointsTogether) {
+  // Two same-type points far apart, one different point nearby: the loss
+  // must be positive (P+ non-empty with larger distance than d-min - m).
+  Tensor A(3, 2);
+  A.at(0, 0) = 0.f;
+  A.at(1, 0) = 10.f; // same type as row 0, far away
+  A.at(2, 0) = 1.f;  // different type, close to row 0
+  std::vector<int> Types{0, 0, 1};
+  Value L = spaceLoss(pairwiseL1(Value::constant(A)), Types, 1.f);
+  EXPECT_GT(L.val()[0], 0.f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng R(18);
+  Tensor Logits = randomAwayFromKinks(5, 7, R);
+  Tensor P = softmaxRows(Logits);
+  for (int64_t I = 0; I != P.rows(); ++I) {
+    float Sum = 0;
+    for (int64_t J = 0; J != P.cols(); ++J) {
+      Sum += P.at(I, J);
+      EXPECT_GE(P.at(I, J), 0.f);
+    }
+    EXPECT_NEAR(Sum, 1.f, 1e-5f);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Layers
+//===----------------------------------------------------------------------===//
+
+TEST(GradCheck, GruCellStep) {
+  Rng R(19);
+  ParamSet PS;
+  GruCell Cell(3, 4, PS, R);
+  Tensor X0 = randomAwayFromKinks(2, 3, R);
+  Tensor H0 = randomAwayFromKinks(2, 4, R);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return Cell.step(P, Value::constant(H0));
+                },
+                X0, R),
+            X0, 8e-2f);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return Cell.step(Value::constant(X0), P);
+                },
+                H0, R),
+            H0, 8e-2f);
+}
+
+TEST(LayersTest, LinearShapes) {
+  Rng R(20);
+  ParamSet PS;
+  Linear L(5, 3, PS, R);
+  Value Out = L.apply(Value::constant(Tensor(4, 5)));
+  EXPECT_EQ(Out.val().rows(), 4);
+  EXPECT_EQ(Out.val().cols(), 3);
+  EXPECT_EQ(PS.params().size(), 2u);
+}
+
+TEST(LayersTest, EmbeddingLooksUpRows) {
+  Rng R(21);
+  ParamSet PS;
+  Embedding E(10, 4, PS, R);
+  Value Out = E.rows({3, 3, 7});
+  EXPECT_EQ(Out.val().rows(), 3);
+  for (int64_t J = 0; J != 4; ++J)
+    EXPECT_FLOAT_EQ(Out.val().at(0, J), Out.val().at(1, J));
+}
+
+TEST(LayersTest, CharCnnEncodesWords) {
+  Rng R(22);
+  ParamSet PS;
+  CharCnn C(8, 16, PS, R);
+  Value A = C.encode("loss");
+  Value B = C.encode("");
+  EXPECT_EQ(A.val().rows(), 1);
+  EXPECT_EQ(A.val().cols(), 16);
+  EXPECT_EQ(B.val().cols(), 16);
+  for (int64_t I = 0; I != A.val().numel(); ++I)
+    EXPECT_TRUE(std::isfinite(A.val()[I]));
+}
+
+TEST(LayersTest, CharCnnGradientsFlow) {
+  Rng R(23);
+  ParamSet PS;
+  CharCnn C(4, 6, PS, R);
+  Value Loss = meanAll(C.encode("abc"));
+  backward(Loss);
+  // At least one parameter received gradient signal.
+  double Total = 0;
+  for (const Value &P : PS.params()) {
+    const Tensor &G = P.grad();
+    for (int64_t I = 0; I != G.numel(); ++I)
+      Total += std::fabs(G[I]);
+  }
+  EXPECT_GT(Total, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizer
+//===----------------------------------------------------------------------===//
+
+TEST(AdamTest, SolvesLeastSquares) {
+  Rng R(24);
+  ParamSet PS;
+  // Fit y = x * Wtrue with a linear model.
+  Tensor WTrue = Tensor::randn(3, 2, R, 1.f);
+  Tensor X = Tensor::randn(16, 3, R, 1.f);
+  Tensor Y(16, 2);
+  gemm(false, false, 16, 2, 3, 1.f, X.data(), WTrue.data(), 0.f, Y.data());
+
+  Value W = PS.make(Tensor::randn(3, 2, R, 0.5f));
+  Adam Opt(PS, 5e-2f);
+  float FirstLoss = -1, LastLoss = -1;
+  for (int Step = 0; Step != 300; ++Step) {
+    Value Pred = matmul(Value::constant(X), W);
+    Value Diff = sub(Pred, Value::constant(Y));
+    Value Loss = meanAll(mul(Diff, Diff));
+    if (Step == 0)
+      FirstLoss = Loss.val()[0];
+    LastLoss = Loss.val()[0];
+    PS.zeroGrads();
+    backward(Loss);
+    Opt.step();
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.01f);
+}
+
+TEST(AdamTest, GradientsAreZeroedAfterStep) {
+  Rng R(25);
+  ParamSet PS;
+  Value W = PS.make(Tensor::randn(2, 2, R, 1.f));
+  Adam Opt(PS, 1e-3f);
+  Value Loss = meanAll(mul(W, W));
+  backward(Loss);
+  Opt.step();
+  const Tensor &G = W.grad();
+  for (int64_t I = 0; I != G.numel(); ++I)
+    EXPECT_FLOAT_EQ(G[I], 0.f);
+}
+
+TEST(AdamTest, ClippingBoundsUpdateMagnitude) {
+  Rng R(26);
+  ParamSet PS;
+  Value W = PS.make(Tensor::randn(4, 4, R, 1.f));
+  Tensor Before = W.val();
+  Adam Opt(PS, 1e-1f, /*ClipNorm=*/1e-3f);
+  Value Loss = scale(meanAll(mul(W, W)), 1e6f); // huge gradients
+  backward(Loss);
+  Opt.step();
+  // Adam's per-coordinate step is bounded by ~Lr regardless, but clipping
+  // must additionally have kept things finite.
+  for (int64_t I = 0; I != W.val().numel(); ++I) {
+    EXPECT_TRUE(std::isfinite(W.val()[I]));
+    EXPECT_NEAR(W.val()[I], Before[I], 0.2f);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Backward-pass plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(BackwardTest, DiamondDependencyAccumulates) {
+  // L = mean((P + P) * P) — P participates through multiple paths.
+  Tensor T(2, 2);
+  T.at(0, 0) = 1;
+  T.at(0, 1) = 2;
+  T.at(1, 0) = 3;
+  T.at(1, 1) = 4;
+  checkGrad([](Value P) { return meanAll(mul(add(P, P), P)); }, T);
+}
+
+TEST(BackwardTest, ConstantsReceiveNoGradient) {
+  Value C = Value::constant(Tensor(2, 2));
+  Value P = Value::param(Tensor::randn(2, 2, *(new Rng(27)), 1.f));
+  Value L = meanAll(mul(add(C, P), P));
+  backward(L);
+  EXPECT_FALSE(C.needsGrad());
+}
+
+TEST(BackwardTest, DeepChainStaysFinite) {
+  // A 200-step chain (like an unrolled RNN) must not blow the stack or
+  // produce NaNs thanks to iterative topo sort.
+  Rng R(28);
+  Value X = Value::param(Tensor::randn(1, 8, R, 0.1f));
+  Value H = X;
+  for (int I = 0; I != 200; ++I)
+    H = tanhOp(scale(H, 1.01f));
+  Value L = meanAll(H);
+  backward(L);
+  const Tensor &G = X.grad();
+  for (int64_t I = 0; I != G.numel(); ++I)
+    EXPECT_TRUE(std::isfinite(G[I]));
+}
+
+TEST(GradCheck, ConcatRows) {
+  Rng R(29);
+  Tensor A = randomAwayFromKinks(2, 3, R);
+  Tensor B = randomAwayFromKinks(3, 3, R);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return concatRows({P, Value::constant(B)});
+                },
+                A, R),
+            A);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return concatRows({Value::constant(A), P});
+                },
+                B, R),
+            B);
+}
+
+TEST(GradCheck, AttentionPoolBothInputs) {
+  Rng R(30);
+  Tensor S = randomAwayFromKinks(4, 1, R);
+  Tensor Rows = randomAwayFromKinks(4, 3, R);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return attentionPool(P, Value::constant(Rows));
+                },
+                S, R),
+            S, 8e-2f);
+  checkGrad(scalarized(
+                [&](Value P) {
+                  return attentionPool(Value::constant(S), P);
+                },
+                Rows, R),
+            Rows, 8e-2f);
+}
+
+TEST(AttentionPoolTest, UniformScoresAverageRows) {
+  Tensor S(3, 1); // all-equal scores -> plain mean
+  Tensor Rows(3, 2);
+  Rows.at(0, 0) = 3.f;
+  Rows.at(1, 0) = 6.f;
+  Rows.at(2, 0) = 9.f;
+  Value Out = attentionPool(Value::constant(S), Value::constant(Rows));
+  EXPECT_NEAR(Out.val().at(0, 0), 6.f, 1e-5f);
+}

@@ -1,0 +1,236 @@
+//===- tests/SupportTest.cpp - support/ unit tests --------------------------===//
+
+#include "support/Rng.h"
+#include "support/Str.h"
+#include "support/Table.h"
+#include "support/Zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace typilus;
+
+//===----------------------------------------------------------------------===//
+// splitSubtokens
+//===----------------------------------------------------------------------===//
+
+TEST(StrTest, SplitsCamelCase) {
+  EXPECT_EQ(splitSubtokens("numNodes"),
+            (std::vector<std::string>{"num", "nodes"}));
+}
+
+TEST(StrTest, SplitsPascalCase) {
+  EXPECT_EQ(splitSubtokens("TextFileReader"),
+            (std::vector<std::string>{"text", "file", "reader"}));
+}
+
+TEST(StrTest, SplitsSnakeCase) {
+  EXPECT_EQ(splitSubtokens("get_node_count"),
+            (std::vector<std::string>{"get", "node", "count"}));
+}
+
+TEST(StrTest, SplitsUpperAcronymBeforeLower) {
+  EXPECT_EQ(splitSubtokens("HTTPResponse"),
+            (std::vector<std::string>{"http", "response"}));
+}
+
+TEST(StrTest, SplitsDigitBoundaries) {
+  EXPECT_EQ(splitSubtokens("conv2d"),
+            (std::vector<std::string>{"conv", "2", "d"}));
+}
+
+TEST(StrTest, SplitsMixedStyles) {
+  EXPECT_EQ(splitSubtokens("get_HTTPResponse2"),
+            (std::vector<std::string>{"get", "http", "response", "2"}));
+}
+
+TEST(StrTest, HandlesLeadingTrailingUnderscores) {
+  EXPECT_EQ(splitSubtokens("__init__"), (std::vector<std::string>{"init"}));
+}
+
+TEST(StrTest, EmptyIdentifierYieldsNothing) {
+  EXPECT_TRUE(splitSubtokens("").empty());
+  EXPECT_TRUE(splitSubtokens("___").empty());
+}
+
+TEST(StrTest, SingleLetterIdentifier) {
+  EXPECT_EQ(splitSubtokens("i"), (std::vector<std::string>{"i"}));
+}
+
+TEST(StrTest, AllCapsIdentifier) {
+  EXPECT_EQ(splitSubtokens("MAX_SIZE"),
+            (std::vector<std::string>{"max", "size"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Misc string helpers
+//===----------------------------------------------------------------------===//
+
+TEST(StrTest, JoinAndSplit) {
+  std::vector<std::string> Parts{"a", "b", "c"};
+  EXPECT_EQ(join(Parts, ", "), "a, b, c");
+  EXPECT_EQ(splitChar("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+}
+
+TEST(StrTest, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrTest, Strformat) {
+  EXPECT_EQ(strformat("%d-%s-%.2f", 7, "ab", 1.5), "7-ab-1.50");
+}
+
+TEST(StrTest, IsAllDigits) {
+  EXPECT_TRUE(isAllDigits("0123"));
+  EXPECT_FALSE(isAllDigits("12a"));
+  EXPECT_FALSE(isAllDigits(""));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng R(1);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.uniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformRealStaysInUnit) {
+  Rng R(2);
+  for (int I = 0; I != 1000; ++I) {
+    double X = R.uniformReal();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.uniformRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMeanUnitVar) {
+  Rng R(4);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(5);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7};
+  auto Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng R(6);
+  Rng A = R.fork(1), B = R.fork(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// ZipfSampler
+//===----------------------------------------------------------------------===//
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler Z(100, 1.1);
+  double Sum = 0;
+  for (size_t I = 0; I != 100; ++I)
+    Sum += Z.pmf(I);
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfSampler Z(50, 1.0);
+  EXPECT_GT(Z.pmf(0), Z.pmf(1));
+  EXPECT_GT(Z.pmf(1), Z.pmf(10));
+}
+
+TEST(ZipfTest, EmpiricalSkewMatchesHead) {
+  // The head rank should dominate: empirically rank 0 must be drawn more
+  // often than rank 5.
+  ZipfSampler Z(30, 1.2);
+  Rng R(7);
+  std::map<size_t, int> Counts;
+  for (int I = 0; I != 20000; ++I)
+    ++Counts[Z.sample(R)];
+  EXPECT_GT(Counts[0], Counts[5]);
+  EXPECT_GT(Counts[0], 20000 / 30);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler Z(10, 0.9);
+  Rng R(8);
+  for (int I = 0; I != 5000; ++I)
+    EXPECT_LT(Z.sample(R), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, RendersAlignedAscii) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::string Out = T.renderAscii();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // The separator line is present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatsPrecision) {
+  TextTable T;
+  T.addNumericRow("row", {1.234, 5.0}, 2);
+  std::string Out = T.renderAscii();
+  EXPECT_NE(Out.find("1.23"), std::string::npos);
+  EXPECT_NE(Out.find("5.00"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  TextTable T;
+  T.setHeader({"a", "b"});
+  T.addRow({"x,y", "he said \"hi\""});
+  std::string Out = T.renderCsv();
+  EXPECT_NE(Out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(Out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RaggedRowsRenderEmptyCells) {
+  TextTable T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_FALSE(T.renderAscii().empty());
+}
