@@ -8,7 +8,7 @@
 /// Helpers shared by the table/figure bench binaries: the standard
 /// workbench construction at the env-configurable scale, and uniform
 /// banner printing. Each bench regenerates one table or figure of the
-/// paper's evaluation (see DESIGN.md's per-experiment index).
+/// paper's evaluation (see docs/BENCHMARKS.md's per-experiment index).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -189,8 +189,9 @@ TEST_F(CoreTest, IdenticalResubstitutionNeverFails) {
   // they must pass (the paper's sanity row at 100%).
   auto Outcomes = runCheckerExperiment(*WB, Run->Preds, false, 0.0, 3);
   for (const CheckOutcome &O : Outcomes)
-    if (O.Kind == CheckOutcome::Case::TauToTau)
+    if (O.Kind == CheckOutcome::Case::TauToTau) {
       EXPECT_FALSE(O.CausesError);
+    }
 }
 
 TEST_F(CoreTest, InferringCheckerFlagsAtLeastAsMuch) {

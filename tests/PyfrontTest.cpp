@@ -161,8 +161,9 @@ TEST(ParserTest, AnnotationTokensAreFlagged) {
   EXPECT_GE(Flagged, 10);
   // The parameter name itself is NOT flagged.
   for (const Token &T : PF.Tokens)
-    if (T.Text == "x")
+    if (T.Text == "x") {
       EXPECT_FALSE(T.InAnnotation);
+    }
 }
 
 TEST(ParserTest, ParsesAnnotatedAssignment) {

@@ -1,0 +1,84 @@
+//===- tests/SmokeTest.cpp - End-to-end pipeline smoke test -----------------===//
+//
+// Runs the quickstart path at a tiny scale: generate a synthetic corpus,
+// build graphs and splits, train one epoch, predict over the test split
+// and judge the predictions. Catches pipeline-level breaks that the
+// per-module suites cannot see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include <gtest/gtest.h>
+
+using namespace typilus;
+
+namespace {
+
+Workbench makeTinyWorkbench() {
+  CorpusConfig CC;
+  CC.NumFiles = 12;
+  CC.NumUdts = 8;
+  DatasetConfig DC;
+  DC.CommonThreshold = 2;
+  return Workbench::make(CC, DC);
+}
+
+} // namespace
+
+TEST(SmokeTest, QuickstartPipeline) {
+  Workbench WB = makeTinyWorkbench();
+  ASSERT_FALSE(WB.Files.empty());
+  ASSERT_FALSE(WB.DS.Train.empty());
+  ASSERT_FALSE(WB.DS.Test.empty());
+
+  // Every file example must carry a graph with at least its AST nodes.
+  for (const FileExample &FE : WB.DS.Train)
+    EXPECT_GT(FE.Graph.numNodes(), 0u);
+
+  ModelConfig MC;
+  MC.HiddenDim = 8;
+  MC.TimeSteps = 2;
+
+  TrainOptions TO;
+  TO.Epochs = 1;
+  TO.BatchFiles = 4;
+
+  ModelRun Run = trainAndEvaluate(WB, MC, TO);
+  ASSERT_NE(Run.Model, nullptr);
+  ASSERT_FALSE(Run.Preds.empty());
+  ASSERT_EQ(Run.Preds.size(), Run.Js.size());
+
+  // One epoch on a tiny corpus proves the pipeline runs, not that it is
+  // accurate — only sanity-check the summary's invariants.
+  EXPECT_EQ(Run.Summary.Count, Run.Js.size());
+  EXPECT_GE(Run.Summary.ExactAll, 0.0);
+  EXPECT_LE(Run.Summary.ExactAll, 100.0);
+  EXPECT_GE(Run.Summary.Neutral, 0.0);
+  EXPECT_LE(Run.Summary.Neutral, 100.0);
+
+  // Every prediction's candidates must be sorted by descending probability.
+  for (const PredictionResult &PR : Run.Preds)
+    for (size_t I = 1; I < PR.Candidates.size(); ++I)
+      EXPECT_GE(PR.Candidates[I - 1].Prob, PR.Candidates[I].Prob);
+}
+
+TEST(SmokeTest, CheckerExperimentRuns) {
+  Workbench WB = makeTinyWorkbench();
+
+  ModelConfig MC;
+  MC.HiddenDim = 8;
+  MC.TimeSteps = 2;
+
+  TrainOptions TO;
+  TO.Epochs = 1;
+
+  ModelRun Run = trainAndEvaluate(WB, MC, TO);
+  std::vector<CheckOutcome> Outcomes =
+      runCheckerExperiment(WB, Run.Preds, /*InferLocals=*/false,
+                           /*StripProb=*/0.5, /*Seed=*/7);
+  for (const CheckOutcome &O : Outcomes) {
+    ASSERT_NE(O.Pred, nullptr);
+    EXPECT_GE(O.Confidence, 0.0);
+  }
+}

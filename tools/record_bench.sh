@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Runs one bench binary and records its output as BENCH_<name>.json at the
+# repo root, wrapped with the provenance documented in docs/BENCHMARKS.md.
+#
+# Usage: tools/record_bench.sh <bench-name> [-- <extra binary args>]
+# Env:   TYPILUS_BENCH_FILES / TYPILUS_BENCH_EPOCHS scale the experiment;
+#        BUILD_DIR overrides the build tree (default: build).
+set -eu
+
+[ $# -ge 1 ] || { echo "usage: $0 <bench-name> [-- <args>]" >&2; exit 2; }
+NAME=$1; shift
+[ "${1:-}" = "--" ] && shift
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+case ${BUILD_DIR:-build} in
+  /*) BIN="${BUILD_DIR}/bench/$NAME" ;;
+  *) BIN="$ROOT/${BUILD_DIR:-build}/bench/$NAME" ;;
+esac
+[ -x "$BIN" ] || { echo "error: $BIN not built (cmake --build build)" >&2; exit 1; }
+
+OUT="$ROOT/BENCH_$NAME.json"
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+# Record the scale the bench *actually* runs at: BenchScale::fromEnv
+# (src/core/Experiments.cpp) atoi's the env vars and clamps to >=20 files
+# and >=1 epoch. Mirror that so the provenance never misstates the run.
+# atoi() for env-var inputs: skip leading whitespace and an optional '+',
+# then take leading digits; anything else (including negatives, which the
+# clamps below lift anyway) parses as 0.
+digits_or_zero() {
+  D=$(printf '%s' "${1:-}" |
+    sed -e 's/^[[:space:]]*//' -e 's/^+//' -e 's/[^0-9].*$//')
+  echo "${D:-0}"
+}
+FILES=${TYPILUS_BENCH_FILES+$(digits_or_zero "$TYPILUS_BENCH_FILES")}
+FILES=${FILES:-120}
+[ "$FILES" -ge 20 ] || FILES=20
+EPOCHS=${TYPILUS_BENCH_EPOCHS+$(digits_or_zero "$TYPILUS_BENCH_EPOCHS")}
+EPOCHS=${EPOCHS:-16}
+[ "$EPOCHS" -ge 1 ] || EPOCHS=1
+
+START=$(date +%s)
+STATUS=0
+"$BIN" "$@" > "$TMP" 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  cat "$TMP" >&2
+  echo "error: $NAME exited with status $STATUS; nothing recorded" >&2
+  exit "$STATUS"
+fi
+ELAPSED=$(( $(date +%s) - START ))
+cat "$TMP"
+
+# JSON-string-escapes stdin: backslash, quote, tab, and newlines; any
+# other control characters (JSON forbids them raw) are dropped.
+json_escape() {
+  tr -d '\000-\010\013-\037' |
+    sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e "s/$(printf '\t')/\\\\t/g" |
+    awk '{printf "%s\\n", $0}' | sed -e 's/\\n$//'
+}
+
+CPU=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1 | json_escape)
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+COMPILER=$(c++ --version 2>/dev/null | head -1 | json_escape)
+GIT=$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+cat > "$OUT" <<EOF
+{
+  "bench": "$NAME",
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "scale": {
+    "files": $FILES,
+    "epochs": $EPOCHS
+  },
+  "elapsed_seconds": $ELAPSED,
+  "host": {
+    "cpu": "$CPU",
+    "cores": $CORES,
+    "compiler": "$COMPILER"
+  },
+  "git": "$GIT",
+  "output": "$(json_escape < "$TMP")\\n"
+}
+EOF
+echo "recorded $OUT (${ELAPSED}s)" >&2
