@@ -5,12 +5,24 @@
 // per epoch, ~29x faster inference), plus kNN index and graph-construction
 // throughput.
 //
+// The kernel benches take a trailing `threads` argument (1 = serial
+// baseline, 0 = all hardware threads) so one run reports the
+// serial-vs-parallel story of the execution layer (support/ThreadPool.h).
+// Because every kernel is bit-reproducible across thread counts, the two
+// rows compute identical results. `--quick` runs just the kernel
+// microbenches (the CI smoke test).
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
 #include "pyfront/Parser.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace typilus;
 
@@ -41,27 +53,151 @@ struct SpeedEnv {
   }
 };
 
+/// A τmap of \p NumMarkers random D-dimensional markers (all typed `int`;
+/// the kNN benches measure geometry, not scoring).
+TypeMap makeFilledMap(TypeUniverse &U, int NumMarkers, int D, uint64_t Seed) {
+  Rng R(Seed);
+  TypeMap Map(D);
+  Map.reserve(static_cast<size_t>(NumMarkers));
+  std::vector<float> Emb(static_cast<size_t>(D));
+  TypeRef T = U.parse("int");
+  for (int I = 0; I != NumMarkers; ++I) {
+    for (float &X : Emb)
+      X = static_cast<float>(R.normal());
+    Map.add(Emb.data(), T);
+  }
+  return Map;
+}
+
+//===--------------------------------------------------------------------===//
+// Kernel microbenches (serial vs parallel; `--quick` runs only these)
+//===--------------------------------------------------------------------===//
+
+/// Dense GEMM throughput at a GGNN-ish square size. Arg0 = dim,
+/// Arg1 = threads (0 = all).
+void BM_MatmulKernel(benchmark::State &State) {
+  const int64_t D = State.range(0);
+  setGlobalNumThreads(static_cast<int>(State.range(1)));
+  Rng R(9);
+  Tensor A = Tensor::randn(D, D, R, 1.f), B = Tensor::randn(D, D, R, 1.f);
+  Tensor C(D, D);
+  for (auto _ : State) {
+    gemm(false, false, D, D, D, 1.f, A.data(), B.data(), 0.f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * 2 * D * D * D); // FLOPs
+}
+BENCHMARK(BM_MatmulKernel)
+    ->Args({192, 1})
+    ->Args({192, 0})
+    ->ArgNames({"dim", "threads"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// One full GGNN forward pass (T=8 message-passing steps) over the whole
+/// train split merged into a single batch graph. Arg0 = threads.
+void BM_GgnnStep(benchmark::State &State) {
+  SpeedEnv &E = SpeedEnv::get();
+  setGlobalNumThreads(static_cast<int>(State.range(0)));
+  std::vector<const FileExample *> Batch;
+  for (const FileExample &F : E.WB.DS.Train)
+    Batch.push_back(&F);
+  for (auto _ : State) {
+    std::vector<const Target *> Targets;
+    benchmark::DoNotOptimize(E.GraphModel->embed(Batch, &Targets));
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Batch.size()) *
+                          E.GraphModel->config().TimeSteps);
+}
+BENCHMARK(BM_GgnnStep)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+/// Bulk kNN queries through the pool. Arg0 = threads.
+void BM_KnnQueryBatch(benchmark::State &State) {
+  const int Threads = static_cast<int>(State.range(0));
+  const int NumMarkers = 20000, NumQueries = 256, D = 32;
+  TypeUniverse U;
+  TypeMap Map = makeFilledMap(U, NumMarkers, D, 7);
+  AnnoyIndex Annoy(Map);
+  Rng R(8);
+  std::vector<float> Qs(static_cast<size_t>(NumQueries * D));
+  for (float &X : Qs)
+    X = static_cast<float>(R.normal());
+  for (auto _ : State) {
+    auto Results = Annoy.queryBatch(Qs.data(), NumQueries, 10, -1, Threads);
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(State.iterations() * NumQueries);
+}
+BENCHMARK(BM_KnnQueryBatch)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Annoy-forest construction, one pool task per tree. Arg0 = threads.
+void BM_AnnoyBuild(benchmark::State &State) {
+  const int Threads = static_cast<int>(State.range(0));
+  const int NumMarkers = 20000;
+  TypeUniverse U;
+  TypeMap Map = makeFilledMap(U, NumMarkers, 32, 17);
+  setGlobalNumThreads(Threads);
+  for (auto _ : State) {
+    AnnoyIndex Idx(Map);
+    benchmark::DoNotOptimize(&Idx);
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * NumMarkers);
+}
+BENCHMARK(BM_AnnoyBuild)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+//===--------------------------------------------------------------------===//
+// End-to-end benches (the paper's Sec. 6.1 comparison)
+//===--------------------------------------------------------------------===//
+
 void BM_GnnTrainEpoch(benchmark::State &State) {
   SpeedEnv &E = SpeedEnv::get();
   TrainOptions TO;
   TO.Epochs = 1;
+  TO.NumThreads = static_cast<int>(State.range(0));
   for (auto _ : State)
     benchmark::DoNotOptimize(trainModel(*E.GraphModel, E.WB.DS.Train, TO));
   State.SetItemsProcessed(State.iterations() *
                           static_cast<int64_t>(E.WB.DS.Train.size()));
 }
-BENCHMARK(BM_GnnTrainEpoch)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_GnnTrainEpoch)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_BiRnnTrainEpoch(benchmark::State &State) {
   SpeedEnv &E = SpeedEnv::get();
   TrainOptions TO;
   TO.Epochs = 1;
+  TO.NumThreads = static_cast<int>(State.range(0));
   for (auto _ : State)
     benchmark::DoNotOptimize(trainModel(*E.SeqModel, E.WB.DS.Train, TO));
   State.SetItemsProcessed(State.iterations() *
                           static_cast<int64_t>(E.WB.DS.Train.size()));
 }
-BENCHMARK(BM_BiRnnTrainEpoch)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_BiRnnTrainEpoch)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_GnnInferencePerGraph(benchmark::State &State) {
   SpeedEnv &E = SpeedEnv::get();
@@ -97,18 +233,11 @@ BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMicrosecond);
 void BM_KnnQuery(benchmark::State &State) {
   const bool UseAnnoy = State.range(0) != 0;
   const int NumMarkers = static_cast<int>(State.range(1));
-  Rng R(7);
   TypeUniverse U;
-  TypeMap Map(32);
-  std::vector<float> Emb(32);
-  TypeRef T = U.parse("int");
-  for (int I = 0; I != NumMarkers; ++I) {
-    for (float &X : Emb)
-      X = static_cast<float>(R.normal());
-    Map.add(Emb.data(), T);
-  }
+  TypeMap Map = makeFilledMap(U, NumMarkers, 32, 7);
   ExactIndex Exact(Map);
   AnnoyIndex Annoy(Map);
+  Rng R(8);
   std::vector<float> Q(32);
   for (float &X : Q)
     X = static_cast<float>(R.normal());
@@ -128,4 +257,28 @@ BENCHMARK(BM_KnnQuery)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main so `--quick` (used by the CI smoke step) maps onto a filter
+// for the fast kernel microbenches instead of tripping google-benchmark's
+// unknown-flag handling.
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  bool Quick = false;
+  for (int I = 0; I != argc; ++I) {
+    if (argv[I] && std::strcmp(argv[I], "--quick") == 0) {
+      Quick = true;
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  std::string Filter =
+      "--benchmark_filter=BM_(MatmulKernel|GgnnStep|KnnQueryBatch|AnnoyBuild)";
+  if (Quick)
+    Args.push_back(Filter.data());
+  int ArgC = static_cast<int>(Args.size());
+  benchmark::Initialize(&ArgC, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(ArgC, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include "core/Predictor.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -14,15 +16,41 @@ Predictor Predictor::knn(TypeModel &Model,
   P.IsKnn = true;
   P.Knn = Opts;
   P.Map = std::make_unique<TypeMap>(Model.config().HiddenDim);
-  for (const FileExample *F : MapFiles) {
-    std::vector<const Target *> Targets;
-    nn::Value Emb = Model.embed({F}, &Targets);
-    if (!Emb.defined())
+
+  // Embed the map files (data-parallel when the encoder is thread-safe;
+  // each file's forward pass only reads the trained parameters), then fill
+  // the τmap in file order so the marker layout never depends on threads.
+  std::vector<Tensor> Embs(MapFiles.size());
+  std::vector<std::vector<const Target *>> Targets(MapFiles.size());
+  auto EmbedOne = [&](size_t I) {
+    nn::Value Emb = Model.embed({MapFiles[I]}, &Targets[I]);
+    if (Emb.defined())
+      Embs[I] = Emb.val();
+  };
+  if (Model.supportsParallelEmbed()) {
+    parallelFor(
+        0, static_cast<int64_t>(MapFiles.size()), 1,
+        [&](int64_t Lo, int64_t Hi) {
+          for (int64_t I = Lo; I != Hi; ++I)
+            EmbedOne(static_cast<size_t>(I));
+        },
+        Opts.NumThreads);
+  } else {
+    for (size_t I = 0; I != MapFiles.size(); ++I)
+      EmbedOne(I);
+  }
+
+  size_t Total = 0;
+  for (const auto &T : Targets)
+    Total += T.size();
+  P.Map->reserve(Total);
+  for (size_t F = 0; F != MapFiles.size(); ++F) {
+    const Tensor &E = Embs[F];
+    if (E.numel() == 0)
       continue;
-    const Tensor &E = Emb.val();
-    for (size_t I = 0; I != Targets.size(); ++I)
+    for (size_t I = 0; I != Targets[F].size(); ++I)
       P.Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
-                 Targets[I]->Type);
+                 Targets[F][I]->Type);
   }
   P.rebuildIndex();
   return P;
@@ -37,7 +65,9 @@ Predictor Predictor::classifier(TypeModel &Model) {
 void Predictor::rebuildIndex() {
   assert(Map && "kNN predictor without a type map");
   if (Knn.UseAnnoy && Map->size() > 0)
-    Annoy = std::make_unique<AnnoyIndex>(*Map);
+    Annoy = std::make_unique<AnnoyIndex>(*Map, /*NumTrees=*/8,
+                                         /*LeafSize=*/16, /*Seed=*/0xA220,
+                                         Knn.NumThreads);
   Exact = std::make_unique<ExactIndex>(*Map);
 }
 
@@ -61,6 +91,7 @@ void Predictor::addMarkersFrom(const FileExample &File) {
   if (!Emb.defined())
     return;
   const Tensor &E = Emb.val();
+  Map->reserve(Targets.size());
   for (size_t I = 0; I != Targets.size(); ++I)
     Map->add(E.data() + static_cast<int64_t>(I) * E.cols(), Targets[I]->Type);
   rebuildIndex();
@@ -75,15 +106,18 @@ std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
   const Tensor &E = Emb.val();
 
   if (IsKnn) {
+    // One bulk index probe for the whole file, answered through the pool.
+    int64_t NumQ = static_cast<int64_t>(Targets.size());
+    std::vector<NeighborList> Neigh =
+        Annoy && Knn.UseAnnoy
+            ? Annoy->queryBatch(E.data(), NumQ, Knn.K, /*SearchK=*/-1,
+                                Knn.NumThreads)
+            : Exact->queryBatch(E.data(), NumQ, Knn.K, Knn.NumThreads);
     for (size_t I = 0; I != Targets.size(); ++I) {
       PredictionResult R;
       R.Tgt = Targets[I];
       R.File = &File;
-      const float *Q = E.data() + static_cast<int64_t>(I) * E.cols();
-      NeighborList Neigh = Annoy && Knn.UseAnnoy
-                               ? Annoy->query(Q, Knn.K)
-                               : Exact->query(Q, Knn.K);
-      R.Candidates = scoreNeighbors(*Map, Neigh, Knn.P);
+      R.Candidates = scoreNeighbors(*Map, Neigh[I], Knn.P);
       Results.push_back(std::move(R));
     }
     return Results;

@@ -42,6 +42,11 @@ struct KnnOptions {
   int K = 10;
   double P = 1.0;      ///< Distance-weighting temperature.
   bool UseAnnoy = true; ///< Approximate index (exact otherwise).
+  /// Caps the ways of parallelism used for τmap construction and query
+  /// batches (0 = no cap, i.e. the full process-wide pool; 1 = fully
+  /// serial). The pool itself is sized by setGlobalNumThreads /
+  /// TrainOptions::NumThreads. Results are identical for any value.
+  int NumThreads = 0;
 };
 
 /// Inference engine for one trained model.

@@ -2,6 +2,8 @@
 
 #include "core/Trainer.h"
 
+#include "support/ThreadPool.h"
+
 #include <cstdio>
 
 using namespace typilus;
@@ -40,6 +42,17 @@ std::unique_ptr<TypeModel> typilus::makeModel(const ModelConfig &Config,
 double typilus::trainModel(TypeModel &Model,
                            const std::vector<FileExample> &Train,
                            const TrainOptions &Opts) {
+  // Size the process-wide pool for the run and restore it afterwards (so
+  // e.g. NumThreads=1 training does not leave later prediction serial).
+  // Minibatch files embed data-parallel (for thread-safe encoders) and the
+  // tensor kernels fan out below that, with gradients accumulated by the
+  // single backward pass over the merged graph. All of it is
+  // bit-reproducible for any NumThreads.
+  struct PoolSizeGuard {
+    int Prev = globalNumThreads();
+    ~PoolSizeGuard() { setGlobalNumThreads(Prev); }
+  } Guard;
+  setGlobalNumThreads(Opts.NumThreads);
   nn::Adam Opt(Model.params(), Opts.LearningRate, Opts.ClipNorm);
   Rng R(Opts.Seed);
   std::vector<int> Order(Train.size());

@@ -29,6 +29,11 @@ struct TrainOptions {
   float ClipNorm = 5.f;
   uint64_t Seed = 31337;
   bool Verbose = false; ///< Prints per-epoch mean loss to stdout.
+  /// Ways of parallelism for embedding/kernel work (0 = all hardware
+  /// threads). Every kernel is bit-reproducible across thread counts, so
+  /// NumThreads=1 and NumThreads=N produce identical losses and weights;
+  /// 1 additionally runs everything inline (today's serial behavior).
+  int NumThreads = 0;
 };
 
 /// Builds the classification vocabularies (full + erased types) from the

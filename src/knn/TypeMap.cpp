@@ -2,10 +2,11 @@
 
 #include "knn/TypeMap.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <map>
 #include <queue>
 
 using namespace typilus;
@@ -20,16 +21,24 @@ static float l1Distance(const float *A, const float *B, int D) {
 std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
                                                 const NeighborList &Neighbors,
                                                 double P) {
-  std::map<TypeRef, double> Mass;
+  // One pass over the neighbours; the distinct types (a handful for k~10)
+  // accumulate in a flat array scanned linearly — no tree map, no rescans.
+  std::vector<ScoredType> Result;
+  Result.reserve(Neighbors.size());
   double Z = 0;
   for (auto [Idx, Dist] : Neighbors) {
     double W = std::pow(std::max(static_cast<double>(Dist), 1e-6), -P);
-    Mass[Map.type(static_cast<size_t>(Idx))] += W;
+    TypeRef T = Map.type(static_cast<size_t>(Idx));
     Z += W;
+    auto It = std::find_if(Result.begin(), Result.end(),
+                           [T](const ScoredType &S) { return S.Type == T; });
+    if (It == Result.end())
+      Result.push_back(ScoredType{T, W});
+    else
+      It->Prob += W;
   }
-  std::vector<ScoredType> Result;
-  for (auto [T, W] : Mass)
-    Result.push_back(ScoredType{T, Z > 0 ? W / Z : 0});
+  for (ScoredType &S : Result)
+    S.Prob = Z > 0 ? S.Prob / Z : 0;
   std::sort(Result.begin(), Result.end(),
             [](const ScoredType &A, const ScoredType &B) {
               if (A.Prob != B.Prob)
@@ -56,22 +65,75 @@ NeighborList ExactIndex::query(const float *Q, int K) const {
   return All;
 }
 
+std::vector<NeighborList> ExactIndex::queryBatch(const float *Qs,
+                                                 int64_t NumQueries, int K,
+                                                 int MaxWays) const {
+  std::vector<NeighborList> Results(static_cast<size_t>(NumQueries));
+  const int D = Map.dim();
+  parallelFor(
+      0, NumQueries, 1,
+      [&](int64_t Lo, int64_t Hi) {
+        for (int64_t I = Lo; I != Hi; ++I)
+          Results[static_cast<size_t>(I)] = query(Qs + I * D, K);
+      },
+      MaxWays);
+  return Results;
+}
+
 AnnoyIndex::AnnoyIndex(const TypeMap &Map, int NumTrees, int LeafSize,
-                       uint64_t Seed)
+                       uint64_t Seed, int MaxWays)
     : Map(Map), LeafSize(LeafSize) {
-  Rng R(Seed);
+  // Derive an independent stream per tree up front; tree T's shape is then
+  // a function of (Map, Seed, T) alone, so building the forest one pool
+  // task per tree yields exactly the serial forest.
+  Rng Base(Seed);
+  std::vector<Rng> TreeRngs;
+  TreeRngs.reserve(static_cast<size_t>(NumTrees));
+  for (int T = 0; T != NumTrees; ++T)
+    TreeRngs.push_back(Base.fork(static_cast<uint64_t>(T)));
+
   std::vector<int> All(Map.size());
   for (size_t I = 0; I != Map.size(); ++I)
     All[I] = static_cast<int>(I);
-  for (int T = 0; T != NumTrees; ++T)
-    Roots.push_back(buildTree(All, R, 0));
+
+  std::vector<std::vector<BuildNode>> TreeNodes(
+      static_cast<size_t>(NumTrees));
+  std::vector<int> TreeRoots(static_cast<size_t>(NumTrees), -1);
+  parallelFor(
+      0, NumTrees, 1,
+      [&](int64_t Lo, int64_t Hi) {
+        for (int64_t T = Lo; T != Hi; ++T)
+          TreeRoots[static_cast<size_t>(T)] =
+              buildTree(TreeNodes[static_cast<size_t>(T)], All,
+                        TreeRngs[static_cast<size_t>(T)], 0);
+      },
+      MaxWays);
+
+  // Merge the per-tree node arrays, rebasing child links.
+  size_t Total = 0;
+  for (const auto &TN : TreeNodes)
+    Total += TN.size();
+  Nodes.reserve(Total);
+  Roots.reserve(static_cast<size_t>(NumTrees));
+  for (int T = 0; T != NumTrees; ++T) {
+    int Offset = static_cast<int>(Nodes.size());
+    for (BuildNode &N : TreeNodes[static_cast<size_t>(T)]) {
+      if (N.Left >= 0)
+        N.Left += Offset;
+      if (N.Right >= 0)
+        N.Right += Offset;
+      Nodes.push_back(std::move(N));
+    }
+    Roots.push_back(TreeRoots[static_cast<size_t>(T)] + Offset);
+  }
 }
 
-int AnnoyIndex::buildTree(std::vector<int> Items, Rng &R, int Depth) {
-  int Idx = static_cast<int>(Nodes.size());
-  Nodes.emplace_back();
+int AnnoyIndex::buildTree(std::vector<BuildNode> &Out, std::vector<int> Items,
+                          Rng &R, int Depth) const {
+  int Idx = static_cast<int>(Out.size());
+  Out.emplace_back();
   if (static_cast<int>(Items.size()) <= LeafSize || Depth > 24) {
-    Nodes[static_cast<size_t>(Idx)].Items = std::move(Items);
+    Out[static_cast<size_t>(Idx)].Items = std::move(Items);
     return Idx;
   }
   // Annoy-style split: pick two random markers; split on the coordinate
@@ -100,15 +162,15 @@ int AnnoyIndex::buildTree(std::vector<int> Items, Rng &R, int Depth) {
   }
   // Degenerate split (identical points): make a leaf.
   if (Left.empty() || Right.empty()) {
-    Nodes[static_cast<size_t>(Idx)].Items = std::move(Items);
+    Out[static_cast<size_t>(Idx)].Items = std::move(Items);
     return Idx;
   }
-  int L = buildTree(std::move(Left), R, Depth + 1);
-  int Rt = buildTree(std::move(Right), R, Depth + 1);
-  Nodes[static_cast<size_t>(Idx)].SplitDim = BestDim;
-  Nodes[static_cast<size_t>(Idx)].Threshold = Threshold;
-  Nodes[static_cast<size_t>(Idx)].Left = L;
-  Nodes[static_cast<size_t>(Idx)].Right = Rt;
+  int L = buildTree(Out, std::move(Left), R, Depth + 1);
+  int Rt = buildTree(Out, std::move(Right), R, Depth + 1);
+  Out[static_cast<size_t>(Idx)].SplitDim = BestDim;
+  Out[static_cast<size_t>(Idx)].Threshold = Threshold;
+  Out[static_cast<size_t>(Idx)].Left = L;
+  Out[static_cast<size_t>(Idx)].Right = Rt;
   return Idx;
 }
 
@@ -159,4 +221,20 @@ NeighborList AnnoyIndex::query(const float *Q, int K, int SearchK) const {
                     });
   Result.resize(Keep);
   return Result;
+}
+
+std::vector<NeighborList> AnnoyIndex::queryBatch(const float *Qs,
+                                                 int64_t NumQueries, int K,
+                                                 int SearchK,
+                                                 int MaxWays) const {
+  std::vector<NeighborList> Results(static_cast<size_t>(NumQueries));
+  const int D = Map.dim();
+  parallelFor(
+      0, NumQueries, 1,
+      [&](int64_t Lo, int64_t Hi) {
+        for (int64_t I = Lo; I != Hi; ++I)
+          Results[static_cast<size_t>(I)] = query(Qs + I * D, K, SearchK);
+      },
+      MaxWays);
+  return Results;
 }

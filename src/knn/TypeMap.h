@@ -10,6 +10,11 @@
 /// data, not model weights, previously unseen types can be added without
 /// retraining — the key open-vocabulary property of Typilus.
 ///
+/// Index construction and bulk queries dispatch through the process-wide
+/// ThreadPool: the forest is built one task per tree from per-tree derived
+/// seeds (so the parallel build is identical to the serial one), and
+/// `queryBatch` answers many queries concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPILUS_KNN_TYPEMAP_H
@@ -28,6 +33,12 @@ namespace typilus {
 class TypeMap {
 public:
   explicit TypeMap(int Dim) : D(Dim) {}
+
+  /// Pre-allocates room for \p NumMarkers markers (bulk fills).
+  void reserve(size_t NumMarkers) {
+    Flat.reserve(Flat.size() + NumMarkers * static_cast<size_t>(D));
+    Types.reserve(Types.size() + NumMarkers);
+  }
 
   /// Adds a marker for \p T at \p Embedding (length D).
   void add(const float *Embedding, TypeRef T) {
@@ -58,7 +69,9 @@ struct ScoredType {
 };
 
 /// Eq. 5: P(s : τ) = (1/Z) Σ_i I(τ_i = τ) d_i^{-p} over the neighbours.
-/// Returns candidates sorted by descending probability.
+/// Returns candidates sorted by descending probability. Single pass over
+/// the neighbour list, accumulating into a small flat map (k is ~10, the
+/// distinct-type count smaller still).
 std::vector<ScoredType> scoreNeighbors(const TypeMap &Map,
                                        const NeighborList &Neighbors,
                                        double P);
@@ -70,6 +83,11 @@ public:
   explicit ExactIndex(const TypeMap &Map) : Map(Map) {}
   NeighborList query(const float *Q, int K) const;
 
+  /// Answers \p NumQueries queries (rows of \p Qs, stride dim()) through
+  /// the pool; \p MaxWays > 0 caps the parallelism.
+  std::vector<NeighborList> queryBatch(const float *Qs, int64_t NumQueries,
+                                       int K, int MaxWays = 0) const;
+
 private:
   const TypeMap &Map;
 };
@@ -77,14 +95,23 @@ private:
 /// An Annoy-style randomised kd-forest for L1 distance: each tree splits on
 /// the coordinate of largest spread between two random markers; queries
 /// descend all trees best-first and exactly re-rank the candidate union.
+/// Trees are seeded independently (derived from \p Seed per tree) and built
+/// one pool task per tree, so the forest does not depend on thread count.
 class AnnoyIndex {
 public:
+  /// \p MaxWays > 0 caps the build parallelism (1 = fully serial).
   AnnoyIndex(const TypeMap &Map, int NumTrees = 8, int LeafSize = 16,
-             uint64_t Seed = 0xA220);
+             uint64_t Seed = 0xA220, int MaxWays = 0);
 
   /// \p SearchK: number of candidates to inspect (defaults to
   /// NumTrees * K * 4, Annoy's heuristic).
   NeighborList query(const float *Q, int K, int SearchK = -1) const;
+
+  /// Answers \p NumQueries queries (rows of \p Qs, stride dim()) through
+  /// the pool; \p MaxWays > 0 caps the parallelism.
+  std::vector<NeighborList> queryBatch(const float *Qs, int64_t NumQueries,
+                                       int K, int SearchK = -1,
+                                       int MaxWays = 0) const;
 
 private:
   struct BuildNode {
@@ -93,7 +120,9 @@ private:
     int Left = -1, Right = -1;
     std::vector<int> Items; ///< Leaf payload.
   };
-  int buildTree(std::vector<int> Items, Rng &R, int Depth);
+  /// Builds one subtree into \p Out; returns its index therein.
+  int buildTree(std::vector<BuildNode> &Out, std::vector<int> Items, Rng &R,
+                int Depth) const;
 
   const TypeMap &Map;
   int LeafSize;

@@ -2,6 +2,8 @@
 
 #include "models/Model.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -85,18 +87,19 @@ Value TypeModel::statesForLabels(const std::vector<std::string> &Labels) {
   const int64_t N = static_cast<int64_t>(Labels.size());
   assert(N > 0 && "no labels to embed");
   if (Config.NodeRep == NodeRepKind::Character) {
-    // Encode each distinct label once, then gather per node.
+    // Encode all distinct labels in one batched kernel call, then gather
+    // per node (a minibatch-wide graph hits this with thousands of nodes).
     std::map<std::string, int> UniqueRow;
-    std::vector<Value> Encoded;
+    std::vector<std::string> Unique;
     std::vector<int> RowOf(Labels.size());
     for (size_t I = 0; I != Labels.size(); ++I) {
       auto [It, Inserted] =
-          UniqueRow.emplace(Labels[I], static_cast<int>(Encoded.size()));
+          UniqueRow.emplace(Labels[I], static_cast<int>(Unique.size()));
       if (Inserted)
-        Encoded.push_back(CharEnc.encode(Labels[I]));
+        Unique.push_back(Labels[I]);
       RowOf[I] = It->second;
     }
-    return gatherRows(concatRows(Encoded), RowOf);
+    return gatherRows(CharEnc.encodeBatch(Unique), RowOf);
   }
   // Subtoken / whole-token: mean of the (learned) id embeddings, Eq. 7.
   std::vector<int> FlatIds, Owner;
@@ -134,36 +137,39 @@ Value TypeModel::encodeGraphBatch(const std::vector<const FileExample *> &Files,
   const int64_t N = static_cast<int64_t>(Labels.size());
   Value H = statesForLabels(Labels);
 
-  for (int Step = 0; Step != Config.TimeSteps; ++Step) {
+  // Build the per-edge-label index lists once; every timestep reuses them
+  // instead of re-scanning the edge set. Forward direction gathers sources
+  // and delivers to destinations (transform E_k); backward gathers
+  // destinations and delivers to sources (transform E_{k+L}).
+  std::vector<std::vector<int>> FwdSrcs(NumEdgeLabels), RevSrcs(NumEdgeLabels);
+  std::vector<int> Dsts;
+  for (size_t K = 0; K != NumEdgeLabels; ++K) {
+    const auto &EK = Edges[K];
+    if (EK.empty())
+      continue;
+    FwdSrcs[K].reserve(EK.size());
+    RevSrcs[K].reserve(EK.size());
+    for (auto [S, T] : EK) {
+      FwdSrcs[K].push_back(S);
+      Dsts.push_back(T);
+    }
+    for (auto [S, T] : EK) {
+      RevSrcs[K].push_back(T);
+      Dsts.push_back(S);
+    }
+  }
+
+  for (int Step = 0; Step != Config.TimeSteps && !Dsts.empty(); ++Step) {
     std::vector<Value> Msgs;
-    std::vector<int> Dsts;
     for (size_t K = 0; K != NumEdgeLabels; ++K) {
-      const auto &EK = Edges[K];
-      if (EK.empty())
+      if (FwdSrcs[K].empty())
         continue;
-      // Forward direction: src -> dst with transform E_k.
-      std::vector<int> Srcs;
-      Srcs.reserve(EK.size());
-      for (auto [S, T] : EK) {
-        Srcs.push_back(S);
-        Dsts.push_back(T);
-      }
-      Msgs.push_back(matmul(gatherRows(H, std::move(Srcs)),
-                            EdgeTransforms[K]));
-      // Backward direction with its own transform E_{k+L}.
-      std::vector<int> RSrcs;
-      RSrcs.reserve(EK.size());
-      for (auto [S, T] : EK) {
-        RSrcs.push_back(T);
-        Dsts.push_back(S);
-      }
-      Msgs.push_back(matmul(gatherRows(H, std::move(RSrcs)),
+      Msgs.push_back(matmul(gatherRows(H, FwdSrcs[K]), EdgeTransforms[K]));
+      Msgs.push_back(matmul(gatherRows(H, RevSrcs[K]),
                             EdgeTransforms[NumEdgeLabels + K]));
     }
-    if (Msgs.empty())
-      break;
     // Max-pooling aggregation (the paper's meet-like operator).
-    Value A = scatterMax(concatRows(Msgs), std::move(Dsts), N);
+    Value A = scatterMax(concatRows(Msgs), Dsts, N);
     H = GraphGru.step(A, H);
   }
   return gatherRows(H, SupIdx);
@@ -371,28 +377,58 @@ Value TypeModel::encodeNamesFile(const FileExample &F,
 // Shared entry points
 //===----------------------------------------------------------------------===//
 
+bool TypeModel::supportsParallelEmbed() const {
+  // Graph/Seq/NamesOnly forwards only read model state, so concurrent
+  // embed() calls are safe (Graph additionally batches the files of one
+  // call into a single graph and relies on the kernels for parallelism).
+  // Path samples from the mutable PathRng stream, so concurrent calls
+  // would race and break determinism.
+  return Config.Encoder != EncoderKind::Path;
+}
+
 Value TypeModel::embed(const std::vector<const FileExample *> &Files,
                        std::vector<const Target *> *OutTargets) {
   if (Config.Encoder == EncoderKind::Graph)
     return encodeGraphBatch(Files, OutTargets);
-  std::vector<Value> Parts;
-  for (const FileExample *F : Files) {
-    Value Part;
+  // Per-file encoders: forward graphs of distinct files are independent
+  // (parameters are only read), so thread-safe encoders embed files
+  // data-parallel. Parts and targets are merged in file order, making the
+  // result identical to the serial loop.
+  std::vector<Value> PerFilePart(Files.size());
+  std::vector<std::vector<const Target *>> PerFileTargets(Files.size());
+  auto EncodeOne = [&](size_t I) {
+    std::vector<const Target *> *TP = OutTargets ? &PerFileTargets[I] : nullptr;
     switch (Config.Encoder) {
     case EncoderKind::Seq:
-      Part = encodeSeqFile(*F, OutTargets);
+      PerFilePart[I] = encodeSeqFile(*Files[I], TP);
       break;
     case EncoderKind::Path:
-      Part = encodePathFile(*F, OutTargets);
+      PerFilePart[I] = encodePathFile(*Files[I], TP);
       break;
     case EncoderKind::NamesOnly:
-      Part = encodeNamesFile(*F, OutTargets);
+      PerFilePart[I] = encodeNamesFile(*Files[I], TP);
       break;
     case EncoderKind::Graph:
       break;
     }
-    if (Part.defined())
-      Parts.push_back(Part);
+  };
+  if (supportsParallelEmbed()) {
+    parallelFor(0, static_cast<int64_t>(Files.size()), 1,
+                [&](int64_t Lo, int64_t Hi) {
+                  for (int64_t I = Lo; I != Hi; ++I)
+                    EncodeOne(static_cast<size_t>(I));
+                });
+  } else {
+    for (size_t I = 0; I != Files.size(); ++I)
+      EncodeOne(I);
+  }
+  std::vector<Value> Parts;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    if (PerFilePart[I].defined())
+      Parts.push_back(PerFilePart[I]);
+    if (OutTargets)
+      OutTargets->insert(OutTargets->end(), PerFileTargets[I].begin(),
+                         PerFileTargets[I].end());
   }
   if (Parts.empty())
     return Value();

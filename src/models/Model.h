@@ -87,6 +87,11 @@ public:
   /// (the prediction path of the *2Class baselines).
   Tensor classProbs(nn::Value Emb);
 
+  /// True when concurrent embed() calls (and the parallel per-file path
+  /// inside one call) are safe: the encoder must not touch mutable model
+  /// state. Path samples from PathRng, so it must stay serial.
+  bool supportsParallelEmbed() const;
+
   nn::ParamSet &params() { return PS; }
   const ModelConfig &config() const { return Config; }
   const TypeVocabs &typeVocabs() const { return TV; }

@@ -106,7 +106,9 @@ Value attentionPool(Value Scores, Value Rows);
 Value gatherRows(Value A, std::vector<int> Idx);
 /// Out[n] = elementwise max over {Msgs[e] : Dst[e] == n}; 0 when empty.
 /// The GGNN message aggregation (the paper uses max pooling, Sec. 4.3).
-Value scatterMax(Value Msgs, std::vector<int> Dst, int64_t NumRows);
+/// \p Dst is only read during the forward pass (the backward keeps the
+/// argmax table instead), so callers can reuse one list across timesteps.
+Value scatterMax(Value Msgs, const std::vector<int> &Dst, int64_t NumRows);
 /// Out[n] = mean over {Msgs[e] : Dst[e] == n}; 0 when empty.
 Value scatterMean(Value Msgs, std::vector<int> Dst, int64_t NumRows);
 /// Out = Base, then Out[Idx[m]] += Rows[m] for each m.

@@ -1,0 +1,264 @@
+//===- nn/Kernels.cpp - Raw float tensor kernels ------------------------------===//
+
+#include "nn/Kernels.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace typilus;
+using namespace typilus::nn;
+
+//===----------------------------------------------------------------------===//
+// GEMM
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Column-tile width for the j-contiguous cases: one C-row tile plus the
+/// matching B columns stay cache-resident while p streams. Tiling j does
+/// not touch the per-element accumulation order (k stays ascending).
+constexpr int64_t GemmColTile = 512;
+
+/// Row grain so each parallel chunk carries at least ~GemmParallelFlops
+/// multiply-adds.
+int64_t gemmRowGrain(int64_t N, int64_t K) {
+  int64_t FlopsPerRow = std::max<int64_t>(1, N * K);
+  return std::max<int64_t>(1, kernels::GemmParallelFlops / FlopsPerRow);
+}
+
+/// Rows [RB, RE) of C for the non-transposed-A cases (A indexed by row i).
+/// ALoad(i, p) abstracts over TransA.
+template <typename ALoadFn>
+void gemmRowsKJ(int64_t RB, int64_t RE, int64_t N, int64_t K, float Alpha,
+                ALoadFn ALoad, const float *B, int64_t Ldb, float *C) {
+  for (int64_t I = RB; I != RE; ++I) {
+    float *CRow = C + I * N;
+    for (int64_t JB = 0; JB < N; JB += GemmColTile) {
+      int64_t JE = std::min(N, JB + GemmColTile);
+      for (int64_t P = 0; P != K; ++P) {
+        float AIP = Alpha * ALoad(I, P);
+        if (AIP == 0.f)
+          continue;
+        const float *BRow = B + P * Ldb;
+        for (int64_t J = JB; J != JE; ++J)
+          CRow[J] += AIP * BRow[J];
+      }
+    }
+  }
+}
+
+/// Rows [RB, RE) of C for the transposed-B cases (dot products over p).
+template <typename ALoadFn>
+void gemmRowsDot(int64_t RB, int64_t RE, int64_t N, int64_t K, float Alpha,
+                 ALoadFn ALoad, const float *B, int64_t Ldb, float *C) {
+  for (int64_t I = RB; I != RE; ++I)
+    for (int64_t J = 0; J != N; ++J) {
+      const float *BRow = B + J * Ldb;
+      float Sum = 0.f;
+      for (int64_t P = 0; P != K; ++P)
+        Sum += ALoad(I, P) * BRow[P];
+      C[I * N + J] += Alpha * Sum;
+    }
+}
+
+} // namespace
+
+void typilus::gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
+                   float Alpha, const float *A, const float *B, float Beta,
+                   float *C) {
+  if (Beta == 0.f)
+    std::memset(C, 0, static_cast<size_t>(M * N) * sizeof(float));
+  else if (Beta != 1.f)
+    for (int64_t I = 0; I != M * N; ++I)
+      C[I] *= Beta;
+
+  // Leading dimensions of the stored matrices.
+  const int64_t Lda = TransA ? M : K;
+  const int64_t Ldb = TransB ? K : N;
+
+  // All four cases are parallelized over rows of C: each output row is
+  // produced by exactly one chunk with k ascending per element, so the
+  // result is bit-identical for any thread count.
+  const int64_t Grain = gemmRowGrain(N, K);
+  auto ANorm = [A, Lda](int64_t I, int64_t P) { return A[I * Lda + P]; };
+  auto ATrans = [A, Lda](int64_t I, int64_t P) { return A[P * Lda + I]; };
+
+  if (!TransB) {
+    if (!TransA)
+      parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
+        gemmRowsKJ(RB, RE, N, K, Alpha, ANorm, B, Ldb, C);
+      });
+    else
+      parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
+        gemmRowsKJ(RB, RE, N, K, Alpha, ATrans, B, Ldb, C);
+      });
+    return;
+  }
+  if (!TransA)
+    parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
+      gemmRowsDot(RB, RE, N, K, Alpha, ANorm, B, Ldb, C);
+    });
+  else
+    parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
+      gemmRowsDot(RB, RE, N, K, Alpha, ATrans, B, Ldb, C);
+    });
+}
+
+//===----------------------------------------------------------------------===//
+// Fused elementwise kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Chunks [0, N) through the pool above the elementwise grain. Chunking is
+/// safe for any per-element map: outputs are disjoint.
+template <typename Fn> void forChunks(int64_t N, Fn Body) {
+  parallelFor(0, N, kernels::ElementwiseGrain,
+              [&](int64_t Lo, int64_t Hi) { Body(Lo, Hi); });
+}
+
+} // namespace
+
+void kernels::addInPlace(float *Dst, const float *Src, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] += Src[I];
+  });
+}
+
+void kernels::subInPlace(float *Dst, const float *Src, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] -= Src[I];
+  });
+}
+
+void kernels::mulInPlace(float *Dst, const float *Src, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] *= Src[I];
+  });
+}
+
+void kernels::scaleInPlace(float *Dst, float S, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] *= S;
+  });
+}
+
+void kernels::axpyAcc(float *Dst, float A, const float *X, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] += A * X[I];
+  });
+}
+
+void kernels::mulAcc(float *Dst, const float *A, const float *B, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Dst[I] += A[I] * B[I];
+  });
+}
+
+void kernels::sigmoidForward(float *X, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      X[I] = 1.f / (1.f + std::exp(-X[I]));
+  });
+}
+
+void kernels::sigmoidBackwardAcc(float *DX, const float *DY, const float *Y,
+                                 int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      DX[I] += DY[I] * Y[I] * (1.f - Y[I]);
+  });
+}
+
+void kernels::tanhForward(float *X, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      X[I] = std::tanh(X[I]);
+  });
+}
+
+void kernels::tanhBackwardAcc(float *DX, const float *DY, const float *Y,
+                              int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      DX[I] += DY[I] * (1.f - Y[I] * Y[I]);
+  });
+}
+
+void kernels::reluForward(float *X, int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      X[I] = X[I] > 0.f ? X[I] : 0.f;
+  });
+}
+
+void kernels::reluBackwardAcc(float *DX, const float *DY, const float *X,
+                              int64_t N) {
+  forChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      DX[I] += X[I] > 0.f ? DY[I] : 0.f;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Row-structured kernels
+//===----------------------------------------------------------------------===//
+
+void kernels::gatherRows(float *Out, const float *A, const int *Idx,
+                         int64_t NumIdx, int64_t D) {
+  parallelFor(0, NumIdx, rowGrain(D), [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      std::memcpy(Out + I * D, A + static_cast<int64_t>(Idx[I]) * D,
+                  static_cast<size_t>(D) * sizeof(float));
+  });
+}
+
+void kernels::softmaxRowsInPlace(float *X, int64_t Rows, int64_t Cols) {
+  parallelFor(0, Rows, rowGrain(Cols), [&](int64_t Lo, int64_t Hi) {
+    for (int64_t R = Lo; R != Hi; ++R) {
+      float *Row = X + R * Cols;
+      float Max = Row[0];
+      for (int64_t C = 1; C != Cols; ++C)
+        Max = std::max(Max, Row[C]);
+      float Sum = 0;
+      for (int64_t C = 0; C != Cols; ++C) {
+        float E = std::exp(Row[C] - Max);
+        Row[C] = E;
+        Sum += E;
+      }
+      for (int64_t C = 0; C != Cols; ++C)
+        Row[C] /= Sum;
+    }
+  });
+}
+
+void kernels::pairwiseL1(float *Out, const float *A, int64_t R, int64_t D) {
+  // Iteration I fills row I for J > I plus the mirror cells (J, I): each
+  // cell is written by exactly one iteration (min of its coordinates), so
+  // chunks over I write disjoint outputs.
+  int64_t Grain = std::max<int64_t>(
+      1, GemmParallelFlops / std::max<int64_t>(1, R * D));
+  parallelFor(0, R, Grain, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I) {
+      Out[I * R + I] = 0.f;
+      const float *AI = A + I * D;
+      for (int64_t J = I + 1; J != R; ++J) {
+        const float *AJ = A + J * D;
+        float Sum = 0;
+        for (int64_t K = 0; K != D; ++K)
+          Sum += std::fabs(AI[K] - AJ[K]);
+        Out[I * R + J] = Sum;
+        Out[J * R + I] = Sum;
+      }
+    }
+  });
+}

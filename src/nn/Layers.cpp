@@ -63,6 +63,42 @@ CharCnn::CharCnn(int64_t CharDimIn, int64_t OutDim, ParamSet &PS, Rng &R)
   Conv = Linear(3 * CharDimIn, OutDim, PS, R);
 }
 
+Value CharCnn::encodeBatch(const std::vector<std::string> &Words) const {
+  assert(!Words.empty() && "encodeBatch of nothing");
+  // Stack every word's padded characters and width-3 windows into one
+  // index set; Owner maps each window row back to its word.
+  std::vector<int> Ids, Left, Mid, Right, Owner;
+  for (size_t W = 0; W != Words.size(); ++W) {
+    int Base = static_cast<int>(Ids.size());
+    Ids.push_back(128);
+    for (char C : Words[W])
+      Ids.push_back(static_cast<unsigned char>(C) & 0x7F);
+    Ids.push_back(128);
+    int L = static_cast<int>(Ids.size()) - Base;
+    bool Any = false;
+    for (int I = 1; I + 1 < L; ++I) {
+      Left.push_back(Base + I - 1);
+      Mid.push_back(Base + I);
+      Right.push_back(Base + I + 1);
+      Owner.push_back(static_cast<int>(W));
+      Any = true;
+    }
+    if (!Any) { // Empty word: a single pad-only window.
+      Left.push_back(Base);
+      Mid.push_back(Base);
+      Right.push_back(Base + 1);
+      Owner.push_back(static_cast<int>(W));
+    }
+  }
+  Value Emb = CharEmb.rows(std::move(Ids));
+  Value Win = concatCols(concatCols(gatherRows(Emb, std::move(Left)),
+                                    gatherRows(Emb, std::move(Mid))),
+                         gatherRows(Emb, std::move(Right)));
+  // Per-word max-over-time == reduceMaxRows over each word's window block.
+  return scatterMax(relu(Conv.apply(Win)), std::move(Owner),
+                    static_cast<int64_t>(Words.size()));
+}
+
 Value CharCnn::encode(const std::string &Word) const {
   // Pad with one sentinel on each side so every character anchors a window.
   std::vector<int> Ids;

@@ -93,6 +93,12 @@ public:
   /// Encodes \p Word into a [1, OutDim] vector.
   Value encode(const std::string &Word) const;
 
+  /// Encodes all \p Words at once into a [|Words|, OutDim] matrix: every
+  /// word's convolution windows are stacked and pushed through one
+  /// embedding-gather + one GEMM, then max-pooled per word. Row i equals
+  /// encode(Words[i]) bit-for-bit.
+  Value encodeBatch(const std::vector<std::string> &Words) const;
+
 private:
   Embedding CharEmb; ///< 128 ASCII codepoints + 1 pad row.
   Linear Conv;       ///< [3*CharDim -> OutDim].

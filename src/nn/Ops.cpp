@@ -1,14 +1,28 @@
 //===- nn/Ops.cpp - Autograd op implementations ------------------------------===//
+//
+// Autograd glue only: each op wires the DAG (makeOut + backward closure)
+// and delegates the float work to the kernels in nn/Kernels.cpp, which
+// run blocked and pool-parallel above a size threshold. Ops whose natural
+// backward accumulation has write conflicts across rows (repeated gather
+// indices, scatter destinations, pairwise distances) keep their serial
+// loops — in the exact seed order — so every op is bit-reproducible for
+// any thread count.
+//
+//===----------------------------------------------------------------------===//
 
 #include "nn/Autograd.h"
+
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 using namespace typilus;
 using namespace typilus::nn;
+using namespace typilus::nn::kernels;
 
 namespace {
 
@@ -32,14 +46,16 @@ Value nn::add(Value A, Value B) {
   const Tensor &TA = A.val(), &TB = B.val();
   Tensor Out = TA;
   if (TA.sameShape(TB)) {
-    for (int64_t I = 0; I != Out.numel(); ++I)
-      Out[I] += TB[I];
+    addInPlace(Out.data(), TB.data(), Out.numel());
   } else {
     // Bias broadcast: B is rank-1 of length cols(A).
     assert(TB.rank() == 1 && TB.rows() == TA.cols() && "bad add broadcast");
-    for (int64_t R = 0; R != TA.rows(); ++R)
-      for (int64_t C = 0; C != TA.cols(); ++C)
-        Out.at(R, C) += TB[C];
+    int64_t Cols = TA.cols();
+    parallelFor(0, TA.rows(), rowGrain(Cols), [&](int64_t Lo, int64_t Hi) {
+      for (int64_t R = Lo; R != Hi; ++R)
+        for (int64_t C = 0; C != Cols; ++C)
+          Out.at(R, C) += TB[C];
+    });
   }
   auto N = makeOut(std::move(Out), {A, B});
   if (N->NeedsGrad) {
@@ -49,19 +65,20 @@ Value nn::add(Value A, Value B) {
     N->BackwardFn = [O, NA, NB, Broadcast] {
       if (NA->NeedsGrad) {
         NA->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NA->Grad[I] += O->Grad[I];
+        addInPlace(NA->Grad.data(), O->Grad.data(), O->Grad.numel());
       }
       if (NB->NeedsGrad) {
         NB->ensureGrad();
         if (!Broadcast) {
-          for (int64_t I = 0; I != O->Grad.numel(); ++I)
-            NB->Grad[I] += O->Grad[I];
+          addInPlace(NB->Grad.data(), O->Grad.data(), O->Grad.numel());
         } else {
-          int64_t Cols = O->Grad.cols();
-          for (int64_t R = 0; R != O->Grad.rows(); ++R)
-            for (int64_t C = 0; C != Cols; ++C)
-              NB->Grad[C] += O->Grad.at(R, C);
+          // Column sums; each column's contributions stay row-ascending.
+          int64_t Rows = O->Grad.rows(), Cols = O->Grad.cols();
+          parallelFor(0, Cols, 8, [&](int64_t Lo, int64_t Hi) {
+            for (int64_t C = Lo; C != Hi; ++C)
+              for (int64_t R = 0; R != Rows; ++R)
+                NB->Grad[C] += O->Grad.at(R, C);
+          });
         }
       }
     };
@@ -73,8 +90,7 @@ Value nn::sub(Value A, Value B) {
   const Tensor &TA = A.val(), &TB = B.val();
   assert(TA.sameShape(TB) && "sub requires matching shapes");
   Tensor Out = TA;
-  for (int64_t I = 0; I != Out.numel(); ++I)
-    Out[I] -= TB[I];
+  subInPlace(Out.data(), TB.data(), Out.numel());
   auto N = makeOut(std::move(Out), {A, B});
   if (N->NeedsGrad) {
     Node *O = N.get();
@@ -82,13 +98,11 @@ Value nn::sub(Value A, Value B) {
     N->BackwardFn = [O, NA, NB] {
       if (NA->NeedsGrad) {
         NA->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NA->Grad[I] += O->Grad[I];
+        addInPlace(NA->Grad.data(), O->Grad.data(), O->Grad.numel());
       }
       if (NB->NeedsGrad) {
         NB->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NB->Grad[I] -= O->Grad[I];
+        subInPlace(NB->Grad.data(), O->Grad.data(), O->Grad.numel());
       }
     };
   }
@@ -99,8 +113,7 @@ Value nn::mul(Value A, Value B) {
   const Tensor &TA = A.val(), &TB = B.val();
   assert(TA.sameShape(TB) && "mul requires matching shapes");
   Tensor Out = TA;
-  for (int64_t I = 0; I != Out.numel(); ++I)
-    Out[I] *= TB[I];
+  mulInPlace(Out.data(), TB.data(), Out.numel());
   auto N = makeOut(std::move(Out), {A, B});
   if (N->NeedsGrad) {
     Node *O = N.get();
@@ -108,13 +121,13 @@ Value nn::mul(Value A, Value B) {
     N->BackwardFn = [O, NA, NB] {
       if (NA->NeedsGrad) {
         NA->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NA->Grad[I] += O->Grad[I] * NB->Val[I];
+        mulAcc(NA->Grad.data(), O->Grad.data(), NB->Val.data(),
+               O->Grad.numel());
       }
       if (NB->NeedsGrad) {
         NB->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NB->Grad[I] += O->Grad[I] * NA->Val[I];
+        mulAcc(NB->Grad.data(), O->Grad.data(), NA->Val.data(),
+               O->Grad.numel());
       }
     };
   }
@@ -123,16 +136,14 @@ Value nn::mul(Value A, Value B) {
 
 Value nn::scale(Value A, float S) {
   Tensor Out = A.val();
-  for (int64_t I = 0; I != Out.numel(); ++I)
-    Out[I] *= S;
+  scaleInPlace(Out.data(), S, Out.numel());
   auto N = makeOut(std::move(Out), {A});
   if (N->NeedsGrad) {
     Node *O = N.get();
     auto NA = A.node();
     N->BackwardFn = [O, NA, S] {
       NA->ensureGrad();
-      for (int64_t I = 0; I != O->Grad.numel(); ++I)
-        NA->Grad[I] += S * O->Grad[I];
+      axpyAcc(NA->Grad.data(), S, O->Grad.data(), O->Grad.numel());
     };
   }
   return Value(std::move(N));
@@ -198,19 +209,23 @@ Value nn::matmulNT(Value A, Value B) {
 
 namespace {
 
-template <typename FwdFn, typename GradFn>
-Value elementwise(Value A, FwdFn Fwd, GradFn Gr) {
+/// Unary activation glue: \p Fwd transforms the copied buffer in place;
+/// \p Bwd accumulates dX given (dY, reference buffer) — the forward output
+/// for sigmoid/tanh, the forward input for relu.
+enum class ActRef { Output, Input };
+
+template <typename FwdKernel, typename BwdKernel>
+Value activation(Value A, FwdKernel Fwd, BwdKernel Bwd, ActRef Ref) {
   Tensor Out = A.val();
-  for (int64_t I = 0; I != Out.numel(); ++I)
-    Out[I] = Fwd(Out[I]);
+  Fwd(Out.data(), Out.numel());
   auto N = makeOut(std::move(Out), {A});
   if (N->NeedsGrad) {
     Node *O = N.get();
     auto NA = A.node();
-    N->BackwardFn = [O, NA, Gr] {
+    N->BackwardFn = [O, NA, Bwd, Ref] {
       NA->ensureGrad();
-      for (int64_t I = 0; I != O->Grad.numel(); ++I)
-        NA->Grad[I] += O->Grad[I] * Gr(O->Val[I], NA->Val[I]);
+      const Tensor &RefT = Ref == ActRef::Output ? O->Val : NA->Val;
+      Bwd(NA->Grad.data(), O->Grad.data(), RefT.data(), O->Grad.numel());
     };
   }
   return Value(std::move(N));
@@ -219,21 +234,15 @@ Value elementwise(Value A, FwdFn Fwd, GradFn Gr) {
 } // namespace
 
 Value nn::sigmoid(Value A) {
-  return elementwise(
-      A, [](float X) { return 1.f / (1.f + std::exp(-X)); },
-      [](float Y, float) { return Y * (1.f - Y); });
+  return activation(A, sigmoidForward, sigmoidBackwardAcc, ActRef::Output);
 }
 
 Value nn::tanhOp(Value A) {
-  return elementwise(
-      A, [](float X) { return std::tanh(X); },
-      [](float Y, float) { return 1.f - Y * Y; });
+  return activation(A, tanhForward, tanhBackwardAcc, ActRef::Output);
 }
 
 Value nn::relu(Value A) {
-  return elementwise(
-      A, [](float X) { return X > 0.f ? X : 0.f; },
-      [](float, float X) { return X > 0.f ? 1.f : 0.f; });
+  return activation(A, reluForward, reluBackwardAcc, ActRef::Input);
 }
 
 Value nn::concatCols(Value A, Value B) {
@@ -242,12 +251,14 @@ Value nn::concatCols(Value A, Value B) {
          "concatCols shape mismatch");
   int64_t R = TA.rows(), CA = TA.cols(), CB = TB.cols();
   Tensor Out(R, CA + CB);
-  for (int64_t I = 0; I != R; ++I) {
-    for (int64_t J = 0; J != CA; ++J)
-      Out.at(I, J) = TA.at(I, J);
-    for (int64_t J = 0; J != CB; ++J)
-      Out.at(I, CA + J) = TB.at(I, J);
-  }
+  parallelFor(0, R, rowGrain(CA + CB), [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I) {
+      std::memcpy(&Out.at(I, 0), TA.data() + I * CA,
+                  static_cast<size_t>(CA) * sizeof(float));
+      std::memcpy(&Out.at(I, CA), TB.data() + I * CB,
+                  static_cast<size_t>(CB) * sizeof(float));
+    }
+  });
   auto N = makeOut(std::move(Out), {A, B});
   if (N->NeedsGrad) {
     Node *O = N.get();
@@ -255,15 +266,19 @@ Value nn::concatCols(Value A, Value B) {
     N->BackwardFn = [O, NA, NB, R, CA, CB] {
       if (NA->NeedsGrad) {
         NA->ensureGrad();
-        for (int64_t I = 0; I != R; ++I)
-          for (int64_t J = 0; J != CA; ++J)
-            NA->Grad.at(I, J) += O->Grad.at(I, J);
+        parallelFor(0, R, rowGrain(CA), [&](int64_t Lo, int64_t Hi) {
+          for (int64_t I = Lo; I != Hi; ++I)
+            for (int64_t J = 0; J != CA; ++J)
+              NA->Grad.at(I, J) += O->Grad.at(I, J);
+        });
       }
       if (NB->NeedsGrad) {
         NB->ensureGrad();
-        for (int64_t I = 0; I != R; ++I)
-          for (int64_t J = 0; J != CB; ++J)
-            NB->Grad.at(I, J) += O->Grad.at(I, CA + J);
+        parallelFor(0, R, rowGrain(CB), [&](int64_t Lo, int64_t Hi) {
+          for (int64_t I = Lo; I != Hi; ++I)
+            for (int64_t J = 0; J != CB; ++J)
+              NB->Grad.at(I, J) += O->Grad.at(I, CA + J);
+        });
       }
     };
   }
@@ -283,9 +298,10 @@ Value nn::concatRows(const std::vector<Value> &Parts) {
   int64_t Row = 0;
   for (const Value &P : Parts) {
     const Tensor &T = P.val();
-    for (int64_t I = 0; I != T.rows(); ++I, ++Row)
-      for (int64_t J = 0; J != D; ++J)
-        Out.at(Row, J) = T.at(I, J);
+    // Equal column counts make each part one contiguous block.
+    std::memcpy(Out.data() + Row * D, T.data(),
+                static_cast<size_t>(T.numel()) * sizeof(float));
+    Row += T.rows();
   }
   auto N = std::make_shared<Node>();
   N->Val = std::move(Out);
@@ -302,9 +318,7 @@ Value nn::concatRows(const std::vector<Value> &Parts) {
         int64_t R = P->Val.rows();
         if (P->NeedsGrad) {
           P->ensureGrad();
-          for (int64_t I = 0; I != R; ++I)
-            for (int64_t J = 0; J != D; ++J)
-              P->Grad.at(I, J) += O->Grad.at(Row + I, J);
+          addInPlace(P->Grad.data(), O->Grad.data() + Row * D, R * D);
         }
         Row += R;
       }
@@ -318,7 +332,8 @@ Value nn::attentionPool(Value Scores, Value Rows) {
   assert(TS.rank() == 2 && TS.cols() == 1 && TS.rows() == TR.rows() &&
          "attentionPool shape mismatch");
   int64_t K = TR.rows(), D = TR.cols();
-  // Softmax over the K scores.
+  // Softmax over the K scores. (K is the paths-per-symbol count — small —
+  // so this op stays serial.)
   Tensor Alpha(K);
   float Max = TS.at(0, 0);
   for (int64_t I = 1; I != K; ++I)
@@ -370,16 +385,18 @@ Value nn::gatherRows(Value A, std::vector<int> Idx) {
   const Tensor &TA = A.val();
   assert(TA.rank() == 2 && "gatherRows needs a matrix");
   int64_t D = TA.cols();
+#ifndef NDEBUG
+  for (int I : Idx)
+    assert(I >= 0 && I < TA.rows() && "gather index out of range");
+#endif
   Tensor Out(static_cast<int64_t>(Idx.size()), D);
-  for (size_t I = 0; I != Idx.size(); ++I) {
-    assert(Idx[I] >= 0 && Idx[I] < TA.rows() && "gather index out of range");
-    for (int64_t J = 0; J != D; ++J)
-      Out.at(static_cast<int64_t>(I), J) = TA.at(Idx[I], J);
-  }
+  kernels::gatherRows(Out.data(), TA.data(), Idx.data(),
+                      static_cast<int64_t>(Idx.size()), D);
   auto N = makeOut(std::move(Out), {A});
   if (N->NeedsGrad) {
     Node *O = N.get();
     auto NA = A.node();
+    // Backward scatters with possibly repeated indices: serial.
     N->BackwardFn = [O, NA, Idx = std::move(Idx), D] {
       NA->ensureGrad();
       for (size_t I = 0; I != Idx.size(); ++I)
@@ -390,13 +407,15 @@ Value nn::gatherRows(Value A, std::vector<int> Idx) {
   return Value(std::move(N));
 }
 
-Value nn::scatterMax(Value Msgs, std::vector<int> Dst, int64_t NumRows) {
+Value nn::scatterMax(Value Msgs, const std::vector<int> &Dst,
+                     int64_t NumRows) {
   const Tensor &TM = Msgs.val();
   assert(TM.rank() == 2 && TM.rows() == static_cast<int64_t>(Dst.size()) &&
          "scatterMax shape mismatch");
   int64_t D = TM.cols();
   Tensor Out(NumRows, D);
   // Argmax message per (row, dim); -1 = no message (output stays 0).
+  // Destination-conflicting writes: serial, in edge order.
   std::vector<int> Arg(static_cast<size_t>(NumRows * D), -1);
   for (size_t E = 0; E != Dst.size(); ++E) {
     int Nd = Dst[E];
@@ -448,15 +467,21 @@ Value nn::scatterMean(Value Msgs, std::vector<int> Dst, int64_t NumRows) {
   if (N->NeedsGrad) {
     Node *O = N.get();
     auto NM = Msgs.node();
+    // Backward writes one distinct source row per message: row-parallel.
     N->BackwardFn = [O, NM, Dst = std::move(Dst), Count = std::move(Count),
                      D] {
       NM->ensureGrad();
-      for (size_t E = 0; E != Dst.size(); ++E) {
-        float Inv = 1.f / static_cast<float>(Count[static_cast<size_t>(Dst[E])]);
-        for (int64_t J = 0; J != D; ++J)
-          NM->Grad.at(static_cast<int64_t>(E), J) +=
-              Inv * O->Grad.at(Dst[E], J);
-      }
+      int64_t NumMsgs = static_cast<int64_t>(Dst.size());
+      parallelFor(0, NumMsgs, rowGrain(D), [&](int64_t Lo, int64_t Hi) {
+        for (int64_t E = Lo; E != Hi; ++E) {
+          float Inv =
+              1.f / static_cast<float>(Count[static_cast<size_t>(
+                        Dst[static_cast<size_t>(E)])]);
+          for (int64_t J = 0; J != D; ++J)
+            NM->Grad.at(E, J) +=
+                Inv * O->Grad.at(Dst[static_cast<size_t>(E)], J);
+        }
+      });
     };
   }
   return Value(std::move(N));
@@ -469,6 +494,7 @@ Value nn::indexAddRows(Value Base, std::vector<int> Idx, Value Rows) {
          "indexAddRows shape mismatch");
   int64_t D = TB.cols();
   Tensor Out = TB;
+  // Possibly repeated destination indices: serial, in input order.
   for (size_t M = 0; M != Idx.size(); ++M) {
     assert(Idx[M] >= 0 && Idx[M] < TB.rows() && "index out of range");
     for (int64_t J = 0; J != D; ++J)
@@ -481,14 +507,18 @@ Value nn::indexAddRows(Value Base, std::vector<int> Idx, Value Rows) {
     N->BackwardFn = [O, NB, NR, Idx = std::move(Idx), D] {
       if (NB->NeedsGrad) {
         NB->ensureGrad();
-        for (int64_t I = 0; I != O->Grad.numel(); ++I)
-          NB->Grad[I] += O->Grad[I];
+        addInPlace(NB->Grad.data(), O->Grad.data(), O->Grad.numel());
       }
       if (NR->NeedsGrad) {
         NR->ensureGrad();
-        for (size_t M = 0; M != Idx.size(); ++M)
-          for (int64_t J = 0; J != D; ++J)
-            NR->Grad.at(static_cast<int64_t>(M), J) += O->Grad.at(Idx[M], J);
+        // One distinct output row per m: row-parallel gather.
+        int64_t NumRows = static_cast<int64_t>(Idx.size());
+        parallelFor(0, NumRows, rowGrain(D), [&](int64_t Lo, int64_t Hi) {
+          for (int64_t M = Lo; M != Hi; ++M)
+            for (int64_t J = 0; J != D; ++J)
+              NR->Grad.at(M, J) +=
+                  O->Grad.at(Idx[static_cast<size_t>(M)], J);
+        });
       }
     };
   }
@@ -526,6 +556,8 @@ Value nn::reduceMaxRows(Value A) {
 Value nn::meanAll(Value A) {
   const Tensor &TA = A.val();
   assert(TA.numel() > 0 && "meanAll of empty tensor");
+  // Serial ascending sum: the reduction order is part of the determinism
+  // contract (a tree reduction would change the loss bits).
   float Sum = 0;
   for (int64_t I = 0; I != TA.numel(); ++I)
     Sum += TA[I];
@@ -537,8 +569,11 @@ Value nn::meanAll(Value A) {
     N->BackwardFn = [O, NA, Inv] {
       NA->ensureGrad();
       float G = O->Grad[0] * Inv;
-      for (int64_t I = 0; I != NA->Grad.numel(); ++I)
-        NA->Grad[I] += G;
+      parallelFor(0, NA->Grad.numel(), ElementwiseGrain,
+                  [&](int64_t Lo, int64_t Hi) {
+                    for (int64_t I = Lo; I != Hi; ++I)
+                      NA->Grad[I] += G;
+                  });
     };
   }
   return Value(std::move(N));
@@ -547,19 +582,7 @@ Value nn::meanAll(Value A) {
 Tensor nn::softmaxRows(const Tensor &Logits) {
   assert(Logits.rank() == 2);
   Tensor Out = Logits;
-  for (int64_t R = 0; R != Out.rows(); ++R) {
-    float Max = Out.at(R, 0);
-    for (int64_t C = 1; C != Out.cols(); ++C)
-      Max = std::max(Max, Out.at(R, C));
-    float Sum = 0;
-    for (int64_t C = 0; C != Out.cols(); ++C) {
-      float E = std::exp(Out.at(R, C) - Max);
-      Out.at(R, C) = E;
-      Sum += E;
-    }
-    for (int64_t C = 0; C != Out.cols(); ++C)
-      Out.at(R, C) /= Sum;
-  }
+  softmaxRowsInPlace(Out.data(), Out.rows(), Out.cols());
   return Out;
 }
 
@@ -588,15 +611,19 @@ Value nn::softmaxCrossEntropy(Value Logits, std::vector<int> Labels) {
                      Labels = std::move(Labels), Inv] {
       NL->ensureGrad();
       float G = O->Grad[0] * Inv;
-      for (size_t I = 0; I != Labels.size(); ++I) {
-        if (Labels[I] < 0)
-          continue;
-        int64_t R = static_cast<int64_t>(I);
-        for (int64_t C = 0; C != Probs.cols(); ++C) {
-          float Delta = C == Labels[I] ? 1.f : 0.f;
-          NL->Grad.at(R, C) += G * (Probs.at(R, C) - Delta);
+      int64_t Rows = static_cast<int64_t>(Labels.size());
+      int64_t Cols = Probs.cols();
+      parallelFor(0, Rows, rowGrain(Cols), [&](int64_t Lo, int64_t Hi) {
+        for (int64_t R = Lo; R != Hi; ++R) {
+          int Label = Labels[static_cast<size_t>(R)];
+          if (Label < 0)
+            continue;
+          for (int64_t C = 0; C != Cols; ++C) {
+            float Delta = C == Label ? 1.f : 0.f;
+            NL->Grad.at(R, C) += G * (Probs.at(R, C) - Delta);
+          }
         }
-      }
+      });
     };
   }
   return Value(std::move(N));
@@ -607,18 +634,13 @@ Value nn::pairwiseL1(Value A) {
   assert(TA.rank() == 2 && "pairwiseL1 needs a matrix");
   int64_t R = TA.rows(), D = TA.cols();
   Tensor Out(R, R);
-  for (int64_t I = 0; I != R; ++I)
-    for (int64_t J = I + 1; J != R; ++J) {
-      float Sum = 0;
-      for (int64_t K = 0; K != D; ++K)
-        Sum += std::fabs(TA.at(I, K) - TA.at(J, K));
-      Out.at(I, J) = Sum;
-      Out.at(J, I) = Sum;
-    }
+  kernels::pairwiseL1(Out.data(), TA.data(), R, D);
   auto N = makeOut(std::move(Out), {A});
   if (N->NeedsGrad) {
     Node *O = N.get();
     auto NA = A.node();
+    // Each ordered pair updates two rows: conflicting writes, kept serial
+    // in the seed's order.
     N->BackwardFn = [O, NA, R, D] {
       NA->ensureGrad();
       for (int64_t I = 0; I != R; ++I)
@@ -649,81 +671,103 @@ Value nn::spaceLoss(Value Dists, const std::vector<int> &TypeIds,
          "spaceLoss shape mismatch");
 
   // Forward: per-sample P+ / P- selection (Eq. 3, Fig. 2); gradients flow
-  // only through the selected distance entries.
+  // only through the selected distance entries. Each sample's selection
+  // and partial loss are independent — computed in parallel into per-row
+  // slots, then combined in ascending row order so the final loss sum is
+  // bit-identical to the serial scan.
   struct Selection {
     int64_t Row;
     std::vector<int64_t> Pos, Neg;
   };
+  std::vector<Selection> PerRow(static_cast<size_t>(N));
+  std::vector<float> PerRowLoss(static_cast<size_t>(N), 0.f);
+  std::vector<char> HasSel(static_cast<size_t>(N), 0);
+  parallelFor(0, N, 8, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I) {
+      if (TypeIds[static_cast<size_t>(I)] < 0)
+        continue;
+      float DMaxPlus = -1, DMinMinus = -1;
+      bool HasPlus = false, HasMinus = false;
+      for (int64_t J = 0; J != N; ++J) {
+        if (J == I || TypeIds[static_cast<size_t>(J)] < 0)
+          continue;
+        if (TypeIds[static_cast<size_t>(J)] ==
+            TypeIds[static_cast<size_t>(I)]) {
+          if (!HasPlus || TD.at(I, J) > DMaxPlus)
+            DMaxPlus = TD.at(I, J);
+          HasPlus = true;
+        } else {
+          if (!HasMinus || TD.at(I, J) < DMinMinus)
+            DMinMinus = TD.at(I, J);
+          HasMinus = true;
+        }
+      }
+      if (!HasPlus || !HasMinus)
+        continue;
+      Selection S;
+      S.Row = I;
+      for (int64_t J = 0; J != N; ++J) {
+        if (J == I || TypeIds[static_cast<size_t>(J)] < 0)
+          continue;
+        if (TypeIds[static_cast<size_t>(J)] ==
+            TypeIds[static_cast<size_t>(I)]) {
+          if (TD.at(I, J) > DMinMinus - Margin)
+            S.Pos.push_back(J);
+        } else if (TD.at(I, J) < DMaxPlus + Margin) {
+          S.Neg.push_back(J);
+        }
+      }
+      float LI = 0;
+      if (!S.Pos.empty()) {
+        float Sum = 0;
+        for (int64_t J : S.Pos)
+          Sum += TD.at(I, J);
+        LI += Sum / static_cast<float>(S.Pos.size());
+      }
+      if (!S.Neg.empty()) {
+        float Sum = 0;
+        for (int64_t J : S.Neg)
+          Sum += TD.at(I, J);
+        LI -= Sum / static_cast<float>(S.Neg.size());
+      }
+      PerRowLoss[static_cast<size_t>(I)] = LI;
+      PerRow[static_cast<size_t>(I)] = std::move(S);
+      HasSel[static_cast<size_t>(I)] = 1;
+    }
+  });
   std::vector<Selection> Sel;
   float Loss = 0;
-  for (int64_t I = 0; I != N; ++I) {
-    if (TypeIds[I] < 0)
-      continue;
-    float DMaxPlus = -1, DMinMinus = -1;
-    bool HasPlus = false, HasMinus = false;
-    for (int64_t J = 0; J != N; ++J) {
-      if (J == I || TypeIds[J] < 0)
-        continue;
-      if (TypeIds[J] == TypeIds[I]) {
-        if (!HasPlus || TD.at(I, J) > DMaxPlus)
-          DMaxPlus = TD.at(I, J);
-        HasPlus = true;
-      } else {
-        if (!HasMinus || TD.at(I, J) < DMinMinus)
-          DMinMinus = TD.at(I, J);
-        HasMinus = true;
-      }
+  for (int64_t I = 0; I != N; ++I)
+    if (HasSel[static_cast<size_t>(I)]) {
+      Loss += PerRowLoss[static_cast<size_t>(I)];
+      Sel.push_back(std::move(PerRow[static_cast<size_t>(I)]));
     }
-    if (!HasPlus || !HasMinus)
-      continue;
-    Selection S;
-    S.Row = I;
-    for (int64_t J = 0; J != N; ++J) {
-      if (J == I || TypeIds[J] < 0)
-        continue;
-      if (TypeIds[J] == TypeIds[I]) {
-        if (TD.at(I, J) > DMinMinus - Margin)
-          S.Pos.push_back(J);
-      } else if (TD.at(I, J) < DMaxPlus + Margin) {
-        S.Neg.push_back(J);
-      }
-    }
-    float LI = 0;
-    if (!S.Pos.empty()) {
-      float Sum = 0;
-      for (int64_t J : S.Pos)
-        Sum += TD.at(I, J);
-      LI += Sum / static_cast<float>(S.Pos.size());
-    }
-    if (!S.Neg.empty()) {
-      float Sum = 0;
-      for (int64_t J : S.Neg)
-        Sum += TD.at(I, J);
-      LI -= Sum / static_cast<float>(S.Neg.size());
-    }
-    Loss += LI;
-    Sel.push_back(std::move(S));
-  }
   float Inv = Sel.empty() ? 0.f : 1.f / static_cast<float>(Sel.size());
   auto Out = makeOut(Tensor::scalar(Loss * Inv), {Dists});
   if (Out->NeedsGrad) {
     Node *O = Out.get();
     auto ND = Dists.node();
+    // Each selection touches only its own row of the distance-matrix
+    // gradient: row-parallel.
     Out->BackwardFn = [O, ND, Sel = std::move(Sel), Inv] {
       ND->ensureGrad();
       float G = O->Grad[0] * Inv;
-      for (const auto &S : Sel) {
-        if (!S.Pos.empty()) {
-          float W = G / static_cast<float>(S.Pos.size());
-          for (int64_t J : S.Pos)
-            ND->Grad.at(S.Row, J) += W;
+      int64_t NumSel = static_cast<int64_t>(Sel.size());
+      parallelFor(0, NumSel, 8, [&](int64_t Lo, int64_t Hi) {
+        for (int64_t K = Lo; K != Hi; ++K) {
+          const Selection &S = Sel[static_cast<size_t>(K)];
+          if (!S.Pos.empty()) {
+            float W = G / static_cast<float>(S.Pos.size());
+            for (int64_t J : S.Pos)
+              ND->Grad.at(S.Row, J) += W;
+          }
+          if (!S.Neg.empty()) {
+            float W = G / static_cast<float>(S.Neg.size());
+            for (int64_t J : S.Neg)
+              ND->Grad.at(S.Row, J) -= W;
+          }
         }
-        if (!S.Neg.empty()) {
-          float W = G / static_cast<float>(S.Neg.size());
-          for (int64_t J : S.Neg)
-            ND->Grad.at(S.Row, J) -= W;
-        }
-      }
+      });
     };
   }
   return Value(std::move(Out));

@@ -5,15 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal dense float32 tensor (rank 1 or 2, row-major) plus the GEMM
-/// kernel everything else is built on. Deliberately simple: value
-/// semantics, bounds-checked accessors in debug builds, no views.
+/// A minimal dense float32 tensor (rank 1 or 2, row-major). Deliberately
+/// simple: value semantics, bounds-checked accessors in debug builds, no
+/// views. The raw compute kernels (GEMM and friends) live in nn/Kernels.h;
+/// it is re-exported here since most tensor users also need gemm().
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPILUS_NN_TENSOR_H
 #define TYPILUS_NN_TENSOR_H
 
+#include "nn/Kernels.h"
 #include "support/Rng.h"
 
 #include <cassert>
@@ -98,11 +100,6 @@ private:
   std::vector<int64_t> Shape;
   std::vector<float> Data;
 };
-
-/// C = alpha * op(A) * op(B) + beta * C, where op transposes when the flag
-/// is set. Shapes: op(A) is MxK, op(B) is KxN, C is MxN.
-void gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
-          float Alpha, const float *A, const float *B, float Beta, float *C);
 
 } // namespace typilus
 

@@ -225,3 +225,54 @@ TEST_F(CoreTest, ClassifierPredictorProducesRankedCandidates) {
       EXPECT_GE(P.Candidates[I - 1].Prob, P.Candidates[I].Prob);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Parallel-training determinism (the execution layer)
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreTest, ParallelTrainingLossIsBitIdenticalToSerial) {
+  // The execution layer's contract: every kernel is bit-reproducible
+  // across thread counts, so NumThreads=4 must reproduce the serial
+  // training trajectory exactly — same final loss, same weights.
+  ModelConfig MC;
+  MC.HiddenDim = 16;
+  MC.TimeSteps = 2;
+  auto TrainOnce = [&](int NumThreads) {
+    TrainOptions TO;
+    TO.Epochs = 2;
+    TO.NumThreads = NumThreads;
+    std::unique_ptr<TypeModel> M = makeModel(MC, WB->DS, *WB->U);
+    double Loss = trainModel(*M, WB->DS.Train, TO);
+    std::vector<float> Weights;
+    for (const nn::Value &P : M->params().params())
+      for (int64_t I = 0; I != P.val().numel(); ++I)
+        Weights.push_back(P.val()[I]);
+    return std::make_pair(Loss, Weights);
+  };
+  auto Serial = TrainOnce(1);
+  auto Parallel = TrainOnce(4);
+  EXPECT_EQ(Serial.first, Parallel.first) << "final losses diverged";
+  ASSERT_EQ(Serial.second.size(), Parallel.second.size());
+  for (size_t I = 0; I != Serial.second.size(); ++I)
+    ASSERT_EQ(Serial.second[I], Parallel.second[I]) << "weight " << I;
+}
+
+TEST_F(CoreTest, ParallelKnnPredictorMatchesSerial) {
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB->DS.Train)
+    MapFiles.push_back(&F);
+  KnnOptions Serial;
+  Serial.NumThreads = 1;
+  KnnOptions Parallel;
+  Parallel.NumThreads = 4;
+  Predictor PS = Predictor::knn(*Run->Model, MapFiles, Serial);
+  Predictor PP = Predictor::knn(*Run->Model, MapFiles, Parallel);
+  ASSERT_EQ(PS.typeMap().size(), PP.typeMap().size());
+  auto RS = PS.predictAll(WB->DS.Test);
+  auto RP = PP.predictAll(WB->DS.Test);
+  ASSERT_EQ(RS.size(), RP.size());
+  for (size_t I = 0; I != RS.size(); ++I) {
+    EXPECT_EQ(RS[I].top(), RP[I].top());
+    EXPECT_EQ(RS[I].confidence(), RP[I].confidence());
+  }
+}

@@ -194,3 +194,79 @@ TEST(ScoringTest, DeterministicTieBreaking) {
   EXPECT_EQ(S1[0].Type, S2[0].Type);
   EXPECT_EQ(S1[0].Type, U.parse("int")); // lexicographic tie-break
 }
+
+//===----------------------------------------------------------------------===//
+// Parallel build / batch queries (the execution layer)
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+TEST(AnnoyIndexTest, ParallelBuildIsIdenticalToSerial) {
+  MapFixture F(1200, 12, 8, 11);
+  setGlobalNumThreads(1);
+  AnnoyIndex Serial(F.Map, 8, 16, 42);
+  setGlobalNumThreads(4);
+  AnnoyIndex Parallel(F.Map, 8, 16, 42);
+  setGlobalNumThreads(0);
+  // Identical forests answer every query identically.
+  for (size_t Q = 0; Q != 25; ++Q) {
+    auto NA = Serial.query(F.Points[Q].data(), 10);
+    auto NB = Parallel.query(F.Points[Q].data(), 10);
+    ASSERT_EQ(NA.size(), NB.size());
+    for (size_t I = 0; I != NA.size(); ++I) {
+      EXPECT_EQ(NA[I].first, NB[I].first);
+      EXPECT_EQ(NA[I].second, NB[I].second);
+    }
+  }
+}
+
+TEST(AnnoyIndexTest, QueryBatchMatchesIndividualQueries) {
+  MapFixture F(800, 10, 8, 12);
+  AnnoyIndex Annoy(F.Map, 8, 16, 7);
+  // Pack the first 30 points as a contiguous query block.
+  std::vector<float> Qs;
+  const int NumQ = 30, D = 8;
+  for (int Q = 0; Q != NumQ; ++Q)
+    Qs.insert(Qs.end(), F.Points[static_cast<size_t>(Q)].begin(),
+              F.Points[static_cast<size_t>(Q)].end());
+  auto Batch = Annoy.queryBatch(Qs.data(), NumQ, 5);
+  ASSERT_EQ(Batch.size(), static_cast<size_t>(NumQ));
+  for (int Q = 0; Q != NumQ; ++Q) {
+    auto One = Annoy.query(Qs.data() + Q * D, 5);
+    ASSERT_EQ(Batch[static_cast<size_t>(Q)].size(), One.size());
+    for (size_t I = 0; I != One.size(); ++I) {
+      EXPECT_EQ(Batch[static_cast<size_t>(Q)][I].first, One[I].first);
+      EXPECT_EQ(Batch[static_cast<size_t>(Q)][I].second, One[I].second);
+    }
+  }
+}
+
+TEST(ExactIndexTest, QueryBatchMatchesIndividualQueries) {
+  MapFixture F(400, 6, 8, 13);
+  ExactIndex Exact(F.Map);
+  std::vector<float> Qs;
+  const int NumQ = 20, D = 8;
+  for (int Q = 0; Q != NumQ; ++Q)
+    Qs.insert(Qs.end(), F.Points[static_cast<size_t>(Q)].begin(),
+              F.Points[static_cast<size_t>(Q)].end());
+  auto Batch = Exact.queryBatch(Qs.data(), NumQ, 7);
+  ASSERT_EQ(Batch.size(), static_cast<size_t>(NumQ));
+  for (int Q = 0; Q != NumQ; ++Q) {
+    auto One = Exact.query(Qs.data() + Q * D, 7);
+    ASSERT_EQ(Batch[static_cast<size_t>(Q)], One);
+  }
+}
+
+TEST(TypeMapTest, ReserveKeepsContentsIntact) {
+  TypeUniverse U;
+  TypeMap Map(3);
+  float A[3] = {1, 2, 3};
+  Map.add(A, U.parse("int"));
+  Map.reserve(1000);
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_FLOAT_EQ(Map.embedding(0)[1], 2.f);
+  float B[3] = {4, 5, 6};
+  Map.add(B, U.parse("str"));
+  EXPECT_EQ(Map.size(), 2u);
+  EXPECT_FLOAT_EQ(Map.embedding(1)[2], 6.f);
+}

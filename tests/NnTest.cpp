@@ -504,3 +504,153 @@ TEST(AttentionPoolTest, UniformScoresAverageRows) {
   Value Out = attentionPool(Value::constant(S), Value::constant(Rows));
   EXPECT_NEAR(Out.val().at(0, 0), 6.f, 1e-5f);
 }
+
+//===----------------------------------------------------------------------===//
+// Kernel determinism: the blocked/parallel kernels must be bit-identical
+// to naive references for every thread count (the execution layer's
+// core guarantee; see docs/ARCHITECTURE.md).
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+namespace {
+
+/// The seed's naive GEMM, kept verbatim as the bit-level reference.
+void naiveGemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
+               float Alpha, const float *A, const float *B, float Beta,
+               float *C) {
+  if (Beta == 0.f)
+    std::fill(C, C + M * N, 0.f);
+  else if (Beta != 1.f)
+    for (int64_t I = 0; I != M * N; ++I)
+      C[I] *= Beta;
+  const int64_t Lda = TransA ? M : K;
+  const int64_t Ldb = TransB ? K : N;
+  for (int64_t I = 0; I != M; ++I)
+    for (int64_t J = 0; J != N; ++J) {
+      // Per-element k-ascending accumulation in the i-k-j kernel's order.
+      for (int64_t P = 0; P != K; ++P) {
+        float AV = TransA ? A[P * Lda + I] : A[I * Lda + P];
+        float BV = TransB ? B[J * Ldb + P] : B[P * Ldb + J];
+        if (TransB)
+          continue; // dot-product cases handled below
+        float AIP = Alpha * AV;
+        if (AIP == 0.f)
+          continue;
+        C[I * N + J] += AIP * BV;
+      }
+      if (TransB) {
+        float Sum = 0.f;
+        for (int64_t P = 0; P != K; ++P) {
+          float AV = TransA ? A[P * Lda + I] : A[I * Lda + P];
+          Sum += AV * B[J * Ldb + P];
+        }
+        C[I * N + J] += Alpha * Sum;
+      }
+    }
+}
+
+Tensor randomTensor(int64_t Rows, int64_t Cols, Rng &R) {
+  Tensor T(Rows, Cols);
+  for (int64_t I = 0; I != T.numel(); ++I)
+    T[I] = static_cast<float>(R.normal());
+  return T;
+}
+
+} // namespace
+
+TEST(KernelTest, GemmBitIdenticalToNaiveAllTransposes) {
+  Rng R(41);
+  const int64_t M = 37, N = 29, K = 53; // odd sizes stress the tiling
+  for (bool TA : {false, true})
+    for (bool TB : {false, true}) {
+      Tensor A = TA ? randomTensor(K, M, R) : randomTensor(M, K, R);
+      Tensor B = TB ? randomTensor(N, K, R) : randomTensor(K, N, R);
+      Tensor Want(M, N), Got(M, N);
+      for (int64_t I = 0; I != Want.numel(); ++I)
+        Want[I] = Got[I] = static_cast<float>(R.normal());
+      naiveGemm(TA, TB, M, N, K, 1.5f, A.data(), B.data(), 1.f, Want.data());
+      for (int Threads : {1, 4}) {
+        Tensor Out = Got;
+        setGlobalNumThreads(Threads);
+        gemm(TA, TB, M, N, K, 1.5f, A.data(), B.data(), 1.f, Out.data());
+        for (int64_t I = 0; I != Out.numel(); ++I)
+          EXPECT_EQ(Out[I], Want[I])
+              << "TA=" << TA << " TB=" << TB << " threads=" << Threads
+              << " elem " << I;
+      }
+    }
+  setGlobalNumThreads(0);
+}
+
+TEST(KernelTest, MatmulForwardBackwardBitIdenticalAcrossThreads) {
+  // Large enough to cross the parallel-dispatch thresholds.
+  Rng R(42);
+  Tensor A0 = randomTensor(96, 64, R);
+  Tensor B0 = randomTensor(64, 80, R);
+  Tensor BT0 = randomTensor(80, 64, R); // for matmulNT
+  auto Run = [&](int Threads) {
+    setGlobalNumThreads(Threads);
+    Value A = Value::param(A0), B = Value::param(B0), BT = Value::param(BT0);
+    Value Out = matmul(A, B);
+    Value OutNT = matmulNT(A, BT);
+    Value Loss = meanAll(add(mul(Out, Out), mul(OutNT, OutNT)));
+    backward(Loss);
+    return std::make_tuple(Out.val(), OutNT.val(), A.grad(), B.grad(),
+                           BT.grad(), Loss.val()[0]);
+  };
+  auto Serial = Run(1);
+  auto Parallel = Run(4);
+  setGlobalNumThreads(0);
+  EXPECT_EQ(std::get<5>(Serial), std::get<5>(Parallel)) << "loss diverged";
+  auto ExpectSame = [](const Tensor &X, const Tensor &Y, const char *What) {
+    ASSERT_EQ(X.numel(), Y.numel());
+    for (int64_t I = 0; I != X.numel(); ++I)
+      ASSERT_EQ(X[I], Y[I]) << What << " elem " << I;
+  };
+  ExpectSame(std::get<0>(Serial), std::get<0>(Parallel), "matmul fwd");
+  ExpectSame(std::get<1>(Serial), std::get<1>(Parallel), "matmulNT fwd");
+  ExpectSame(std::get<2>(Serial), std::get<2>(Parallel), "dA");
+  ExpectSame(std::get<3>(Serial), std::get<3>(Parallel), "dB");
+  ExpectSame(std::get<4>(Serial), std::get<4>(Parallel), "dBT");
+}
+
+TEST(KernelTest, ElementwiseAndLossOpsBitIdenticalAcrossThreads) {
+  Rng R(43);
+  Tensor X0 = randomTensor(128, 160, R); // > ElementwiseGrain elements
+  std::vector<int> Types(128);
+  for (size_t I = 0; I != Types.size(); ++I)
+    Types[I] = static_cast<int>(I % 5);
+  auto Run = [&](int Threads) {
+    setGlobalNumThreads(Threads);
+    Value X = Value::param(X0);
+    Value H = tanhOp(sigmoid(relu(X)));
+    Value Loss = add(spaceLoss(pairwiseL1(H), Types, 1.f),
+                     meanAll(mul(H, H)));
+    backward(Loss);
+    return std::make_pair(Loss.val()[0], X.grad());
+  };
+  auto Serial = Run(1);
+  auto Parallel = Run(4);
+  setGlobalNumThreads(0);
+  EXPECT_EQ(Serial.first, Parallel.first);
+  ASSERT_EQ(Serial.second.numel(), Parallel.second.numel());
+  for (int64_t I = 0; I != Serial.second.numel(); ++I)
+    ASSERT_EQ(Serial.second[I], Parallel.second[I]) << "grad elem " << I;
+}
+
+TEST(KernelTest, CharCnnBatchMatchesPerWordEncode) {
+  Rng R(44);
+  ParamSet PS;
+  CharCnn C(8, 16, PS, R);
+  std::vector<std::string> Words{"loss", "x", "", "gradient", "loss2"};
+  Value Batched = C.encodeBatch(Words);
+  ASSERT_EQ(Batched.val().rows(), static_cast<int64_t>(Words.size()));
+  for (size_t W = 0; W != Words.size(); ++W) {
+    Value One = C.encode(Words[W]);
+    for (int64_t J = 0; J != One.val().cols(); ++J)
+      EXPECT_EQ(Batched.val().at(static_cast<int64_t>(W), J),
+                One.val().at(0, J))
+          << "word " << W << " dim " << J;
+  }
+}

@@ -234,3 +234,142 @@ TEST(TableTest, RaggedRowsRenderEmptyCells) {
   EXPECT_EQ(T.numRows(), 1u);
   EXPECT_FALSE(T.renderAscii().empty());
 }
+
+//===----------------------------------------------------------------------===//
+// ThreadPool / parallelFor (the execution layer)
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <stdexcept>
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  const int64_t N = 10007; // prime, so chunks are uneven
+  std::vector<std::atomic<int>> Hits(N);
+  for (auto &H : Hits)
+    H = 0;
+  Pool.parallelFor(0, N, 16, [&](int64_t Lo, int64_t Hi) {
+    ASSERT_LE(Lo, Hi);
+    for (int64_t I = Lo; I != Hi; ++I)
+      ++Hits[static_cast<size_t>(I)];
+  });
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[static_cast<size_t>(I)].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ChunksRespectGrainAndAreContiguous) {
+  ThreadPool Pool(4);
+  std::mutex M;
+  std::vector<std::pair<int64_t, int64_t>> Chunks;
+  Pool.parallelFor(100, 200, 10, [&](int64_t Lo, int64_t Hi) {
+    std::lock_guard<std::mutex> G(M);
+    Chunks.emplace_back(Lo, Hi);
+  });
+  ASSERT_FALSE(Chunks.empty());
+  EXPECT_LE(Chunks.size(), 4u); // capped at the way count
+  std::sort(Chunks.begin(), Chunks.end());
+  EXPECT_EQ(Chunks.front().first, 100);
+  EXPECT_EQ(Chunks.back().second, 200);
+  for (size_t I = 1; I != Chunks.size(); ++I)
+    EXPECT_EQ(Chunks[I].first, Chunks[I - 1].second) << "gap or overlap";
+}
+
+TEST(ThreadPoolTest, EmptyAndSmallRanges) {
+  ThreadPool Pool(4);
+  int Calls = 0;
+  Pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0); // empty range never invokes the body
+  Pool.parallelFor(3, 7, 100, [&](int64_t Lo, int64_t Hi) {
+    ++Calls;
+    EXPECT_EQ(Lo, 3);
+    EXPECT_EQ(Hi, 7);
+  });
+  EXPECT_EQ(Calls, 1); // below one grain: a single inline chunk
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool Pool(4);
+  std::atomic<int64_t> Total{0};
+  Pool.parallelFor(0, 8, 1, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I) {
+      EXPECT_TRUE(ThreadPool::insideParallelRegion());
+      // The nested loop must execute inline (single chunk) and complete.
+      int NestedCalls = 0;
+      Pool.parallelFor(0, 100, 1, [&](int64_t NLo, int64_t NHi) {
+        ++NestedCalls;
+        Total += NHi - NLo;
+      });
+      EXPECT_EQ(NestedCalls, 1);
+    }
+  });
+  EXPECT_EQ(Total.load(), 8 * 100);
+  EXPECT_FALSE(ThreadPool::insideParallelRegion());
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(
+      Pool.parallelFor(0, 1000, 10,
+                       [](int64_t Lo, int64_t) {
+                         if (Lo == 0)
+                           throw std::runtime_error("chunk failed");
+                       }),
+      std::runtime_error);
+  // The pool survives and stays usable after a throwing job.
+  std::atomic<int64_t> Sum{0};
+  Pool.parallelFor(0, 100, 10, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Sum += I;
+  });
+  EXPECT_EQ(Sum.load(), 99 * 100 / 2);
+  // Serial pools propagate too (inline path).
+  ThreadPool Serial(1);
+  EXPECT_THROW(Serial.parallelFor(0, 10, 1,
+                                  [](int64_t, int64_t) {
+                                    throw std::logic_error("inline");
+                                  }),
+               std::logic_error);
+  EXPECT_FALSE(ThreadPool::insideParallelRegion());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1);
+  int Calls = 0;
+  Pool.parallelFor(0, 100000, 1, [&](int64_t Lo, int64_t Hi) {
+    ++Calls;
+    EXPECT_EQ(Lo, 0);
+    EXPECT_EQ(Hi, 100000);
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ThreadPoolTest, MaxWaysCapsParallelism) {
+  ThreadPool Pool(4);
+  std::mutex M;
+  int Chunks = 0;
+  Pool.parallelFor(
+      0, 1000, 1,
+      [&](int64_t, int64_t) {
+        std::lock_guard<std::mutex> G(M);
+        ++Chunks;
+      },
+      /*MaxWays=*/2);
+  EXPECT_LE(Chunks, 2);
+  EXPECT_GE(Chunks, 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsConfigurable) {
+  setGlobalNumThreads(2);
+  EXPECT_EQ(globalNumThreads(), 2);
+  std::atomic<int64_t> Sum{0};
+  typilus::parallelFor(0, 256, 16, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I != Hi; ++I)
+      Sum += 1;
+  });
+  EXPECT_EQ(Sum.load(), 256);
+  setGlobalNumThreads(0); // back to the hardware default
+  EXPECT_GE(globalNumThreads(), 1);
+}
