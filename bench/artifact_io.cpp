@@ -1,0 +1,102 @@
+//===- bench/artifact_io.cpp - Model artifact save/load throughput -------------===//
+//
+// Measures the train-once / serve-many mechanics: how big a serving
+// artifact is, how fast it saves and loads, and how much faster loading a
+// snapshot is than rebuilding the τmap + Annoy forest from the model —
+// the number that decides how quickly a fleet of serving processes can
+// come up (ROADMAP north star). Records via tools/record_bench.sh as
+// BENCH_artifact_io.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace typilus;
+using namespace typilus::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  banner("Artifact I/O: save/load throughput and cold-start speedup",
+         "the Fig. 1 offline/online split");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = makeBench(S);
+  ModelConfig MC; // Graph + Typilus, the headline variant
+  TrainOptions TO = makeTrainOptions(S);
+  std::printf("training on %zu files, %d epochs...\n", WB.DS.Train.size(),
+              TO.Epochs);
+  std::unique_ptr<TypeModel> Model = makeModel(MC, WB.DS, *WB.U);
+  trainModel(*Model, WB.DS.Train, TO);
+
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB.DS.Train)
+    MapFiles.push_back(&F);
+  for (const FileExample &F : WB.DS.Valid)
+    MapFiles.push_back(&F);
+
+  // Cold start the training-process way: embed every map file and build
+  // the forest from scratch.
+  auto T0 = std::chrono::steady_clock::now();
+  Predictor P = Predictor::knn(*Model, MapFiles);
+  double BuildSec = secondsSince(T0);
+
+  const std::string Path = "bench_artifact_io.typilus";
+  const int Reps = 10;
+  std::string Err;
+
+  T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Reps; ++I) {
+    if (!P.save(Path, *WB.U, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  double SaveSec = secondsSince(T0) / Reps;
+
+  ArchiveWriter Probe(kModelArtifactVersion);
+  P.writeArtifact(Probe, *WB.U);
+  double Bytes = static_cast<double>(Probe.bytes().size());
+
+  // Cold start the serving-process way: load the snapshot (no corpus, no
+  // embedding, no forest rebuild).
+  T0 = std::chrono::steady_clock::now();
+  std::unique_ptr<Predictor> L;
+  for (int I = 0; I != Reps; ++I) {
+    L = Predictor::load(Path, &Err);
+    if (!L) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  double LoadSec = secondsSince(T0) / Reps;
+  std::remove(Path.c_str());
+
+  TextTable T;
+  T.setHeader({"metric", "value"});
+  T.addRow({"artifact size (KiB)", strformat("%.1f", Bytes / 1024.0)});
+  T.addRow({"τmap markers", strformat("%zu", P.typeMap().size())});
+  T.addRow({"save (ms)", strformat("%.2f", SaveSec * 1e3)});
+  T.addRow({"save throughput (MiB/s)",
+            strformat("%.1f", Bytes / (1 << 20) / SaveSec)});
+  T.addRow({"load (ms)", strformat("%.2f", LoadSec * 1e3)});
+  T.addRow({"load throughput (MiB/s)",
+            strformat("%.1f", Bytes / (1 << 20) / LoadSec)});
+  T.addRow({"cold build: embed+index (ms)", strformat("%.2f", BuildSec * 1e3)});
+  T.addRow({"serve cold-start speedup",
+            strformat("%.1fx", BuildSec / LoadSec)});
+  std::printf("%s", T.renderAscii().c_str());
+  std::printf("\n(load skips both the map-file embedding and the Annoy "
+              "forest rebuild; predictions are bit-identical either way)\n");
+  return 0;
+}

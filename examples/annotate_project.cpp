@@ -45,13 +45,13 @@ int main() {
     if (O.CausesError)
       continue; // filtered by the type checker
     ++Verified;
-    bool IsCorrect = P.top() == P.Tgt->Type;
+    bool IsCorrect = P.top() == P.Truth;
     Correct += IsCorrect;
     if (Verified <= 12)
       std::printf("  %-18s %-22s : %-20s  %s (truth: %s)\n",
-                  P.File->Path.c_str(), P.Tgt->Name.c_str(),
+                  P.FilePath.c_str(), P.SymbolName.c_str(),
                   P.top()->str().c_str(), IsCorrect ? "==" : "!=",
-                  P.Tgt->Type->str().c_str());
+                  P.Truth->str().c_str());
   }
   std::printf("\n%zu confident suggestions; %zu pass the type checker; "
               "%.1f%% of the verified ones are exactly right\n",

@@ -37,7 +37,7 @@ int main() {
   for (const PredictionResult &P : Run.Preds) {
     if (!P.top())
       continue;
-    TypeRef Human = P.Tgt->Type;
+    TypeRef Human = P.Truth;
     bool IsPlanted = false;
     if (Human == IntTy && ++Stride % 7 == 0) {
       Human = FloatTy; // the wrong human annotation
@@ -55,7 +55,7 @@ int main() {
       if (Flagged <= 8)
         std::printf("  %-22s annotated %-8s but Typilus predicts %-8s "
                     "(confidence %.2f)  <- planted fairseq-style bug\n",
-                    P.Tgt->Name.c_str(), Human->str().c_str(),
+                    P.SymbolName.c_str(), Human->str().c_str(),
                     P.top()->str().c_str(), P.confidence());
     } else {
       ++FalseAlarms;

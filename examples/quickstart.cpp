@@ -51,7 +51,7 @@ int main() {
     if (Shown++ == 8)
       break;
     std::printf("  %-24s truth %-18s -> predicted %-18s (p=%.2f)\n",
-                P.Tgt->Name.c_str(), P.Tgt->Type->str().c_str(),
+                P.SymbolName.c_str(), P.Truth->str().c_str(),
                 P.top() ? P.top()->str().c_str() : "?", P.confidence());
   }
 
@@ -90,8 +90,8 @@ int main() {
   // The *other* radar_link parameter should now resolve to RadarLink.
   auto Preds = P.predictFile(Ex);
   for (const PredictionResult &Pr : Preds)
-    if (Pr.Tgt->Kind == SymbolKind::Parameter &&
-        Pr.Tgt != Targets[ParamRow])
+    if (Pr.Kind == SymbolKind::Parameter &&
+        Pr.NodeIdx != Targets[ParamRow]->NodeIdx)
       std::printf("  other 'radar_link' param now predicts: %s (p=%.2f)\n",
                   Pr.top() ? Pr.top()->str().c_str() : "?", Pr.confidence());
   return 0;

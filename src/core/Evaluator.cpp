@@ -16,10 +16,10 @@ typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
   Out.reserve(Preds.size());
   for (const PredictionResult &P : Preds) {
     Judged J;
-    J.Truth = P.Tgt->Type;
+    J.Truth = P.Truth;
     J.Pred = P.top();
     J.Confidence = P.confidence();
-    J.Kind = P.Tgt->Kind;
+    J.Kind = P.Kind;
     auto It = DS.TrainTypeCounts.find(J.Truth);
     J.TrainCount = It == DS.TrainTypeCounts.end() ? 0 : It->second;
     J.Rare = J.TrainCount < DS.CommonThreshold;

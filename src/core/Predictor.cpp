@@ -62,12 +62,128 @@ Predictor Predictor::classifier(TypeModel &Model) {
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Artifact save / load (train-once, serve-many)
+//===----------------------------------------------------------------------===//
+
+void Predictor::writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const {
+  W.beginChunk("tuni");
+  std::map<TypeRef, int> TypeIds = U.save(W);
+  W.endChunk();
+
+  Model->save(W, TypeIds);
+
+  W.beginChunk("pred");
+  W.writeU8(IsKnn ? 1 : 0);
+  W.writeI32(Knn.K);
+  W.writeF64(Knn.P);
+  W.writeU8(Knn.UseAnnoy ? 1 : 0);
+  W.endChunk();
+
+  if (IsKnn) {
+    W.beginChunk("tmap");
+    Map->save(W, TypeIds);
+    W.endChunk();
+    if (Annoy) {
+      // The built forest ships with the markers, so serving processes
+      // skip the index rebuild entirely.
+      W.beginChunk("anny");
+      Annoy->save(W);
+      W.endChunk();
+    }
+  }
+}
+
+bool Predictor::save(const std::string &Path, const TypeUniverse &U,
+                     std::string *Err) const {
+  ArchiveWriter W(kModelArtifactVersion);
+  writeArtifact(W, U);
+  return W.writeFile(Path, Err);
+}
+
+std::unique_ptr<Predictor> Predictor::load(const ArchiveReader &R,
+                                           std::string *Err) {
+  // Inner loaders never overwrite an already-set error, so the first —
+  // most specific — failure is the one reported. Start from a clean slate.
+  if (Err)
+    Err->clear();
+  if (R.formatVersion() != kModelArtifactVersion) {
+    if (Err)
+      *Err = "artifact format version " + std::to_string(R.formatVersion()) +
+             "; this build reads version " +
+             std::to_string(kModelArtifactVersion);
+    return nullptr;
+  }
+
+  std::unique_ptr<Predictor> P(new Predictor());
+  P->OwnedU = std::make_unique<TypeUniverse>();
+  std::vector<TypeRef> ById;
+  ArchiveCursor UC = R.chunk("tuni", Err);
+  if (!P->OwnedU->load(UC, ById, Err))
+    return nullptr;
+
+  P->OwnedModel = TypeModel::load(R, ById, Err);
+  if (!P->OwnedModel)
+    return nullptr;
+  P->Model = P->OwnedModel.get();
+
+  ArchiveCursor MC = R.chunk("pred", Err);
+  uint8_t Kind = MC.readU8();
+  P->Knn.K = MC.readI32();
+  P->Knn.P = MC.readF64();
+  P->Knn.UseAnnoy = MC.readU8() != 0;
+  if (!MC.ok() || Kind > 1 || P->Knn.K <= 0) {
+    if (Err && Err->empty())
+      *Err = "malformed predictor chunk";
+    return nullptr;
+  }
+  P->IsKnn = Kind == 1;
+  if (!P->IsKnn)
+    return P;
+
+  P->Map = std::make_unique<TypeMap>(P->Model->config().HiddenDim);
+  ArchiveCursor TC = R.chunk("tmap", Err);
+  if (!P->Map->load(TC, ById, Err))
+    return nullptr;
+  if (P->Map->dim() != P->Model->config().HiddenDim) {
+    if (Err)
+      *Err = "type-map dimensionality does not match the model";
+    return nullptr;
+  }
+  if (R.hasChunk("anny")) {
+    ArchiveCursor AC = R.chunk("anny", Err);
+    P->Annoy = AnnoyIndex::load(AC, *P->Map, Err);
+    if (!P->Annoy)
+      return nullptr;
+  } else if (P->Knn.UseAnnoy && P->Map->size() > 0) {
+    if (Err)
+      *Err = "invalid artifact: missing chunk 'anny'";
+    return nullptr;
+  }
+  P->Exact = std::make_unique<ExactIndex>(*P->Map);
+  return P;
+}
+
+std::unique_ptr<Predictor> Predictor::load(const std::string &Path,
+                                           std::string *Err) {
+  ArchiveReader R;
+  if (!R.openFile(Path, Err))
+    return nullptr;
+  return load(R, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Prediction
+//===----------------------------------------------------------------------===//
+
 void Predictor::rebuildIndex() {
   assert(Map && "kNN predictor without a type map");
   if (Knn.UseAnnoy && Map->size() > 0)
     Annoy = std::make_unique<AnnoyIndex>(*Map, /*NumTrees=*/8,
                                          /*LeafSize=*/16, /*Seed=*/0xA220,
                                          Knn.NumThreads);
+  else
+    Annoy.reset(); // also drops a stale forest when switching to exact
   Exact = std::make_unique<ExactIndex>(*Map);
 }
 
@@ -87,7 +203,7 @@ void Predictor::addMarker(const float *Embedding, TypeRef T) {
 void Predictor::addMarkersFrom(const FileExample &File) {
   assert(IsKnn && "markers only apply to kNN predictors");
   std::vector<const Target *> Targets;
-  nn::Value Emb = Model.embed({&File}, &Targets);
+  nn::Value Emb = Model->embed({&File}, &Targets);
   if (!Emb.defined())
     return;
   const Tensor &E = Emb.val();
@@ -97,10 +213,23 @@ void Predictor::addMarkersFrom(const FileExample &File) {
   rebuildIndex();
 }
 
+/// Copies the stable identity of target row \p I of \p File into \p R —
+/// everything downstream consumers need once the dataset is gone.
+static void fillIdentity(PredictionResult &R, const FileExample &File,
+                         const std::vector<const Target *> &Targets,
+                         size_t I) {
+  R.FilePath = File.Path;
+  R.TargetIdx = static_cast<int>(I);
+  R.NodeIdx = Targets[I]->NodeIdx;
+  R.SymbolName = Targets[I]->Name;
+  R.Kind = Targets[I]->Kind;
+  R.Truth = Targets[I]->Type;
+}
+
 std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
   std::vector<PredictionResult> Results;
   std::vector<const Target *> Targets;
-  nn::Value Emb = Model.embed({&File}, &Targets);
+  nn::Value Emb = Model->embed({&File}, &Targets);
   if (!Emb.defined())
     return Results;
   const Tensor &E = Emb.val();
@@ -115,8 +244,7 @@ std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
             : Exact->queryBatch(E.data(), NumQ, Knn.K, Knn.NumThreads);
     for (size_t I = 0; I != Targets.size(); ++I) {
       PredictionResult R;
-      R.Tgt = Targets[I];
-      R.File = &File;
+      fillIdentity(R, File, Targets, I);
       R.Candidates = scoreNeighbors(*Map, Neigh[I], Knn.P);
       Results.push_back(std::move(R));
     }
@@ -124,12 +252,11 @@ std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
   }
 
   // Classification path.
-  Tensor Probs = Model.classProbs(Emb);
-  const TypeIdMap &Full = Model.typeVocabs().Full;
+  Tensor Probs = Model->classProbs(Emb);
+  const TypeIdMap &Full = Model->typeVocabs().Full;
   for (size_t I = 0; I != Targets.size(); ++I) {
     PredictionResult R;
-    R.Tgt = Targets[I];
-    R.File = &File;
+    fillIdentity(R, File, Targets, I);
     // Keep the top few candidates for PR sweeps.
     std::vector<std::pair<float, int>> Ranked;
     for (int64_t C = 0; C != Probs.cols(); ++C)

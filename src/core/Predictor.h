@@ -10,6 +10,13 @@
 /// τmap and score candidates with Eq. 5 (Space / Typilus models), or
 /// (b) softmax over the closed type vocabulary (the *2Class baselines).
 ///
+/// A predictor can be built from a live model (training process) or
+/// loaded from a saved artifact (serving process): `save()` snapshots the
+/// type universe, model, τmap and Annoy forest into one versioned archive
+/// and `load()` reconstitutes a self-contained predictor from it — no
+/// training `Dataset` in memory, predictions bit-identical to the
+/// original's.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPILUS_CORE_PREDICTOR_H
@@ -17,16 +24,32 @@
 
 #include "knn/TypeMap.h"
 #include "models/Model.h"
+#include "support/Archive.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace typilus {
 
-/// Candidate predictions for one target symbol.
+/// Payload format version of model artifacts (the `typilus` CLI's
+/// .typilus files). Bump when the meaning of any chunk changes; loaders
+/// reject other versions with a clear error (see docs/ARCHITECTURE.md
+/// "Artifacts & versioning").
+inline constexpr uint32_t kModelArtifactVersion = 1;
+
+/// Candidate predictions for one target symbol. Self-contained: results
+/// carry stable copies/ids (file path, target index, symbol facts)
+/// rather than pointers into the dataset, so they remain valid after the
+/// `FileExample`s they were predicted from are gone. The `TypeRef`s are
+/// owned by the universe the model predicts into.
 struct PredictionResult {
-  const Target *Tgt = nullptr;
-  const FileExample *File = nullptr;
+  std::string FilePath;  ///< Path of the predicted file.
+  int TargetIdx = -1;    ///< Index into the file's `Targets` vector.
+  int NodeIdx = -1;      ///< Graph node index of the symbol supernode.
+  std::string SymbolName;
+  SymbolKind Kind = SymbolKind::Variable;
+  TypeRef Truth = nullptr; ///< Ground-truth type (null when unknown).
   std::vector<ScoredType> Candidates; ///< Sorted by descending probability.
 
   TypeRef top() const {
@@ -61,6 +84,26 @@ public:
   /// Closed-vocabulary classification predictor.
   static Predictor classifier(TypeModel &Model);
 
+  /// Loads an artifact written by save() into a self-contained predictor
+  /// that owns its own `TypeUniverse` and `TypeModel` — the serve-many
+  /// path: any number of processes can load the same file and predict
+  /// without the training corpus. \returns null and sets \p Err on
+  /// corrupt, truncated or version-mismatched artifacts.
+  static std::unique_ptr<Predictor> load(const std::string &Path,
+                                         std::string *Err);
+  /// Same, over an already-opened archive (lets callers read extra
+  /// chunks of their own, as the CLI does with its corpus recipe).
+  static std::unique_ptr<Predictor> load(const ArchiveReader &R,
+                                         std::string *Err);
+
+  /// Writes the complete serving artifact to \p Path. \p U must be the
+  /// universe the model's (and τmap's) types were interned in.
+  bool save(const std::string &Path, const TypeUniverse &U,
+            std::string *Err) const;
+  /// Chunk-level variant of save() for callers composing an archive with
+  /// extra chunks of their own.
+  void writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const;
+
   /// Predicts candidates for every target of \p File.
   std::vector<PredictionResult> predictFile(const FileExample &File);
 
@@ -75,15 +118,25 @@ public:
   /// Embeds one file's targets and adds all of them as markers.
   void addMarkersFrom(const FileExample &File);
 
+  bool isKnn() const { return IsKnn; }
+  TypeModel &model() { return *Model; }
+  /// The universe a loaded predictor owns (null for predictors built
+  /// from a live model, whose universe the caller owns).
+  TypeUniverse *universe() { return OwnedU.get(); }
   const TypeMap &typeMap() const { return *Map; }
   const KnnOptions &knnOptions() const { return Knn; }
   void setKnnOptions(const KnnOptions &O);
 
 private:
-  explicit Predictor(TypeModel &Model) : Model(Model) {}
+  explicit Predictor(TypeModel &Model) : Model(&Model) {}
+  Predictor() = default;
   void rebuildIndex();
 
-  TypeModel &Model;
+  // Declared first so loaded models/maps (whose TypeRefs point into it)
+  // are destroyed before the universe goes away.
+  std::unique_ptr<TypeUniverse> OwnedU;
+  std::unique_ptr<TypeModel> OwnedModel;
+  TypeModel *Model = nullptr;
   bool IsKnn = false;
   KnnOptions Knn;
   std::unique_ptr<TypeMap> Map;

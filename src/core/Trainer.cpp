@@ -2,9 +2,11 @@
 
 #include "core/Trainer.h"
 
+#include "support/Archive.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <limits>
 
 using namespace typilus;
 
@@ -39,9 +41,11 @@ std::unique_ptr<TypeModel> typilus::makeModel(const ModelConfig &Config,
                                      buildTypeVocabs(DS.Train, U));
 }
 
-double typilus::trainModel(TypeModel &Model,
-                           const std::vector<FileExample> &Train,
-                           const TrainOptions &Opts) {
+Trainer::Trainer(TypeModel &Model, const TrainOptions &Opts)
+    : Model(Model), Opts(Opts),
+      Opt(Model.params(), Opts.LearningRate, Opts.ClipNorm), R(Opts.Seed) {}
+
+double Trainer::run(const std::vector<FileExample> &Train) {
   // Size the process-wide pool for the run and restore it afterwards (so
   // e.g. NumThreads=1 training does not leave later prediction serial).
   // Minibatch files embed data-parallel (for thread-safe encoders) and the
@@ -53,14 +57,26 @@ double typilus::trainModel(TypeModel &Model,
     ~PoolSizeGuard() { setGlobalNumThreads(Prev); }
   } Guard;
   setGlobalNumThreads(Opts.NumThreads);
-  nn::Adam Opt(Model.params(), Opts.LearningRate, Opts.ClipNorm);
-  Rng R(Opts.Seed);
-  std::vector<int> Order(Train.size());
-  for (size_t I = 0; I != Train.size(); ++I)
-    Order[I] = static_cast<int>(I);
 
-  double LastEpochLoss = 0;
-  for (int Epoch = 0; Epoch != Opts.Epochs; ++Epoch) {
+  if (Order.size() != Train.size()) {
+    // A restored shuffle order sized for a different split means the
+    // checkpoint belongs to other data: refuse to train rather than
+    // silently void the resume-equals-uninterrupted contract. (A resumed
+    // checkpoint written before any epoch has an empty order; fresh
+    // initialization is exactly the uninterrupted behavior then.)
+    if (Resumed && !Order.empty()) {
+      std::fprintf(stderr,
+                   "error: checkpoint shuffle order covers %zu files but the "
+                   "training split has %zu; refusing to resume\n",
+                   Order.size(), Train.size());
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    Order.resize(Train.size());
+    for (size_t I = 0; I != Train.size(); ++I)
+      Order[I] = static_cast<int>(I);
+  }
+
+  for (int Epoch = EpochsDone; Epoch < Opts.Epochs; ++Epoch) {
     R.shuffle(Order);
     double Sum = 0;
     int Steps = 0;
@@ -83,9 +99,92 @@ double typilus::trainModel(TypeModel &Model,
       ++Steps;
     }
     LastEpochLoss = Steps > 0 ? Sum / Steps : 0;
+    EpochsDone = Epoch + 1;
     if (Opts.Verbose)
       std::printf("  epoch %d/%d: mean loss %.4f\n", Epoch + 1, Opts.Epochs,
                   LastEpochLoss);
+    if (!Opts.CheckpointPath.empty()) {
+      std::string Err;
+      if (!saveCheckpoint(Opts.CheckpointPath, &Err))
+        std::fprintf(stderr, "warning: checkpoint not written: %s\n",
+                     Err.c_str());
+    }
   }
   return LastEpochLoss;
+}
+
+bool Trainer::saveCheckpoint(const std::string &Path, std::string *Err) const {
+  ArchiveWriter W(kCheckpointVersion);
+  W.beginChunk("tmet");
+  W.writeI32(EpochsDone);
+  W.writeF64(LastEpochLoss);
+  W.writeU64(R.state());
+  W.writeU64(Order.size());
+  for (int I : Order)
+    W.writeI32(I);
+  W.endChunk();
+
+  Model.saveWeights(W); // "rngs" + "parm"
+
+  W.beginChunk("adam");
+  Opt.save(W);
+  W.endChunk();
+  return W.writeFile(Path, Err);
+}
+
+bool Trainer::resumeFrom(const std::string &Path, std::string *Err) {
+  if (Err)
+    Err->clear(); // inner loaders preserve the first error set
+  ArchiveReader Rd;
+  if (!Rd.openFile(Path, Err))
+    return false;
+  if (Rd.formatVersion() != kCheckpointVersion) {
+    if (Err)
+      *Err = "checkpoint format version " +
+             std::to_string(Rd.formatVersion()) +
+             "; this build reads version " + std::to_string(kCheckpointVersion);
+    return false;
+  }
+
+  ArchiveCursor MC = Rd.chunk("tmet", Err);
+  int32_t NewEpochsDone = MC.readI32();
+  double NewLoss = MC.readF64();
+  uint64_t RngState = MC.readU64();
+  uint64_t OrderSize = MC.readU64();
+  if (!MC.ok() || NewEpochsDone < 0 || OrderSize > MC.remaining()) {
+    if (Err && Err->empty())
+      *Err = "malformed trainer state chunk";
+    return false;
+  }
+  std::vector<int> NewOrder;
+  NewOrder.reserve(static_cast<size_t>(OrderSize));
+  for (uint64_t I = 0; I != OrderSize; ++I) {
+    int V = MC.readI32();
+    if (!MC.ok() || V < 0 || static_cast<uint64_t>(V) >= OrderSize) {
+      if (Err && Err->empty())
+        *Err = "malformed shuffle order in checkpoint";
+      return false;
+    }
+    NewOrder.push_back(V);
+  }
+
+  if (!Model.loadWeights(Rd, Err))
+    return false;
+  ArchiveCursor AC = Rd.chunk("adam", Err);
+  if (!Opt.load(AC, Err))
+    return false;
+
+  EpochsDone = NewEpochsDone;
+  LastEpochLoss = NewLoss;
+  R.setState(RngState);
+  Order = std::move(NewOrder);
+  Resumed = true;
+  return true;
+}
+
+double typilus::trainModel(TypeModel &Model,
+                           const std::vector<FileExample> &Train,
+                           const TrainOptions &Opts) {
+  Trainer T(Model, Opts);
+  return T.run(Train);
 }

@@ -9,6 +9,12 @@
 /// shuffle files, embed each batch, apply the configured loss, Adam-step.
 /// Also builds the model's type vocabularies from the training split.
 ///
+/// The `Trainer` class adds durable checkpoints: `saveCheckpoint` writes
+/// the mutable training state (weights, RNG streams, Adam moments, the
+/// shuffle order and epoch counter) as a versioned archive, and
+/// `resumeFrom` restores it so the continued run is bit-identical to one
+/// that never stopped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPILUS_CORE_TRAINER_H
@@ -18,8 +24,12 @@
 #include "models/Model.h"
 
 #include <memory>
+#include <string>
 
 namespace typilus {
+
+/// Payload format version of training checkpoints.
+inline constexpr uint32_t kCheckpointVersion = 1;
 
 /// Training-loop knobs.
 struct TrainOptions {
@@ -34,6 +44,9 @@ struct TrainOptions {
   /// NumThreads=1 and NumThreads=N produce identical losses and weights;
   /// 1 additionally runs everything inline (today's serial behavior).
   int NumThreads = 0;
+  /// When non-empty, a resumable checkpoint is written here after every
+  /// epoch (failures are reported to stderr but do not abort training).
+  std::string CheckpointPath;
 };
 
 /// Builds the classification vocabularies (full + erased types) from the
@@ -49,7 +62,45 @@ LabelVocab buildLabelVocab(const std::vector<FileExample> &Train,
 std::unique_ptr<TypeModel> makeModel(const ModelConfig &Config,
                                      const Dataset &DS, TypeUniverse &U);
 
-/// Runs the training loop. Returns the final-epoch mean loss.
+/// The resumable training loop for one model.
+class Trainer {
+public:
+  Trainer(TypeModel &Model, const TrainOptions &Opts);
+
+  /// Trains the remaining epochs [epochsDone(), Opts.Epochs) and returns
+  /// the final-epoch mean loss (the last checkpointed loss when nothing
+  /// is left to train). Returns NaN without training when a resumed
+  /// checkpoint's shuffle order does not match \p Train's size — the
+  /// checkpoint belongs to a different split.
+  double run(const std::vector<FileExample> &Train);
+
+  /// Writes the mutable training state to \p Path.
+  bool saveCheckpoint(const std::string &Path, std::string *Err) const;
+
+  /// Restores state written by saveCheckpoint into this trainer and its
+  /// model, which must have been constructed with the same configuration
+  /// and data (shape drift is rejected). After resuming, run() continues
+  /// exactly where the checkpointed run left off.
+  bool resumeFrom(const std::string &Path, std::string *Err);
+
+  int epochsDone() const { return EpochsDone; }
+  double lastEpochLoss() const { return LastEpochLoss; }
+
+private:
+  TypeModel &Model;
+  TrainOptions Opts;
+  nn::Adam Opt;
+  Rng R;
+  /// The file visitation order; shuffled in place every epoch, so it is
+  /// part of the resumable state.
+  std::vector<int> Order;
+  bool Resumed = false;
+  int EpochsDone = 0;
+  double LastEpochLoss = 0;
+};
+
+/// Runs the training loop start to finish. Returns the final-epoch mean
+/// loss. (Convenience wrapper over Trainer for callers that never resume.)
 double trainModel(TypeModel &Model, const std::vector<FileExample> &Train,
                   const TrainOptions &Opts);
 

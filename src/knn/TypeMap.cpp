@@ -48,6 +48,50 @@ std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
   return Result;
 }
 
+void TypeMap::save(ArchiveWriter &W,
+                   const std::map<TypeRef, int> &TypeIds) const {
+  W.writeI32(D);
+  W.writeU64(Types.size());
+  W.writeF32Array(Flat.data(), Flat.size());
+  for (TypeRef T : Types)
+    W.writeI32(TypeIds.at(T));
+}
+
+bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
+                   std::string *Err) {
+  int32_t Dim = C.readI32();
+  uint64_t Count = C.readU64();
+  // Bound each factor against the payload before multiplying, so no
+  // adversarial count/dim pair can overflow the byte-size comparison
+  // into an allocation (same pattern as nn::readTensor).
+  uint64_t Limit = C.remaining() / 4;
+  if (!C.ok() || Dim <= 0 ||
+      (Count > 0 && (static_cast<uint64_t>(Dim) > Limit ||
+                     Count > Limit / static_cast<uint64_t>(Dim)))) {
+    if (Err && Err->empty())
+      *Err = "malformed type-map snapshot";
+    return false;
+  }
+  std::vector<float> NewFlat(static_cast<size_t>(Count) *
+                             static_cast<size_t>(Dim));
+  C.readF32Array(NewFlat.data(), NewFlat.size());
+  std::vector<TypeRef> NewTypes;
+  NewTypes.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    int Idx = C.readI32();
+    if (!C.ok() || Idx < 0 || static_cast<size_t>(Idx) >= ById.size()) {
+      if (Err && Err->empty())
+        *Err = "type-map marker references a type outside the type table";
+      return false;
+    }
+    NewTypes.push_back(ById[static_cast<size_t>(Idx)]);
+  }
+  D = Dim;
+  Flat = std::move(NewFlat);
+  Types = std::move(NewTypes);
+  return true;
+}
+
 NeighborList ExactIndex::query(const float *Q, int K) const {
   NeighborList All;
   All.reserve(Map.size());
@@ -126,6 +170,77 @@ AnnoyIndex::AnnoyIndex(const TypeMap &Map, int NumTrees, int LeafSize,
     }
     Roots.push_back(TreeRoots[static_cast<size_t>(T)] + Offset);
   }
+}
+
+void AnnoyIndex::save(ArchiveWriter &W) const {
+  W.writeI32(LeafSize);
+  W.writeU64(Nodes.size());
+  for (const BuildNode &N : Nodes) {
+    W.writeI32(N.SplitDim);
+    W.writeF32(N.Threshold);
+    W.writeI32(N.Left);
+    W.writeI32(N.Right);
+    W.writeU64(N.Items.size());
+    for (int It : N.Items)
+      W.writeI32(It);
+  }
+  W.writeU64(Roots.size());
+  for (int R : Roots)
+    W.writeI32(R);
+}
+
+std::unique_ptr<AnnoyIndex> AnnoyIndex::load(ArchiveCursor &C,
+                                             const TypeMap &Map,
+                                             std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err && Err->empty())
+      *Err = std::string("malformed kNN index snapshot: ") + Why;
+    return nullptr;
+  };
+  std::unique_ptr<AnnoyIndex> Idx(new AnnoyIndex(Map, LoadShellTag{}));
+  Idx->LeafSize = C.readI32();
+  uint64_t NumNodes = C.readU64();
+  if (!C.ok() || NumNodes > C.remaining())
+    return Fail("node count");
+  Idx->Nodes.reserve(static_cast<size_t>(NumNodes));
+  for (uint64_t I = 0; I != NumNodes; ++I) {
+    BuildNode N;
+    N.SplitDim = C.readI32();
+    N.Threshold = C.readF32();
+    N.Left = C.readI32();
+    N.Right = C.readI32();
+    uint64_t NumItems = C.readU64();
+    if (!C.ok() || NumItems > C.remaining())
+      return Fail("leaf payload");
+    bool IsLeaf = N.SplitDim < 0;
+    // buildTree appends children after their parent, so valid links are
+    // strictly increasing; enforcing that here also rules out cycles (a
+    // crafted self-link would otherwise make query() loop forever).
+    if (!IsLeaf &&
+        (N.SplitDim >= Map.dim() || static_cast<uint64_t>(N.Left) <= I ||
+         static_cast<uint64_t>(N.Right) <= I || N.Left < 0 || N.Right < 0 ||
+         static_cast<uint64_t>(N.Left) >= NumNodes ||
+         static_cast<uint64_t>(N.Right) >= NumNodes))
+      return Fail("split node links");
+    N.Items.reserve(static_cast<size_t>(NumItems));
+    for (uint64_t J = 0; J != NumItems; ++J) {
+      int It = C.readI32();
+      if (!C.ok() || It < 0 || static_cast<size_t>(It) >= Map.size())
+        return Fail("leaf item out of range");
+      N.Items.push_back(It);
+    }
+    Idx->Nodes.push_back(std::move(N));
+  }
+  uint64_t NumRoots = C.readU64();
+  if (!C.ok() || NumRoots > C.remaining())
+    return Fail("root count");
+  for (uint64_t I = 0; I != NumRoots; ++I) {
+    int R = C.readI32();
+    if (!C.ok() || R < 0 || static_cast<uint64_t>(R) >= NumNodes)
+      return Fail("root out of range");
+    Idx->Roots.push_back(R);
+  }
+  return Idx;
 }
 
 int AnnoyIndex::buildTree(std::vector<BuildNode> &Out, std::vector<int> Items,

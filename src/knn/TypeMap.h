@@ -20,10 +20,14 @@
 #ifndef TYPILUS_KNN_TYPEMAP_H
 #define TYPILUS_KNN_TYPEMAP_H
 
+#include "support/Archive.h"
 #include "support/Rng.h"
 #include "typesys/Type.h"
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,6 +56,14 @@ public:
     return Flat.data() + I * static_cast<size_t>(D);
   }
   TypeRef type(size_t I) const { return Types[I]; }
+
+  /// Appends dim + every marker (raw f32 embedding, dense type-table
+  /// index) to the open chunk.
+  void save(ArchiveWriter &W, const std::map<TypeRef, int> &TypeIds) const;
+  /// Replaces *this with a snapshot written by save(); \p ById is the
+  /// loaded type table.
+  bool load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
+            std::string *Err);
 
 private:
   int D;
@@ -113,7 +125,22 @@ public:
                                        int K, int SearchK = -1,
                                        int MaxWays = 0) const;
 
+  /// Appends the built forest (leaf size, nodes, roots) to the open
+  /// chunk so a serving process can skip the rebuild entirely.
+  void save(ArchiveWriter &W) const;
+  /// Reconstructs a forest written by save() over \p Map (which must be
+  /// the snapshot saved alongside it). Queries on the loaded forest are
+  /// bit-identical to queries on the original.
+  static std::unique_ptr<AnnoyIndex> load(ArchiveCursor &C,
+                                          const TypeMap &Map,
+                                          std::string *Err);
+
 private:
+  /// Deserialization shell; load() fills the trees in. (Tagged so it does
+  /// not collide with the building constructor's defaulted arguments.)
+  struct LoadShellTag {};
+  AnnoyIndex(const TypeMap &Map, LoadShellTag) : Map(Map), LeafSize(0) {}
+
   struct BuildNode {
     int SplitDim = -1;
     float Threshold = 0;

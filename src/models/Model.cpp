@@ -2,6 +2,7 @@
 
 #include "models/Model.h"
 
+#include "nn/Serialize.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -77,6 +78,134 @@ TypeModel::TypeModel(const ModelConfig &C, LabelVocab VocabIn, TypeVocabs TVIn)
   ErasedHead =
       Linear(D, static_cast<int64_t>(std::max<size_t>(TV.Erased.size(), 1)),
              PS, ParamRng);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+void typilus::writeModelConfig(ArchiveWriter &W, const ModelConfig &C) {
+  W.writeU32(static_cast<uint32_t>(C.Encoder));
+  W.writeU32(static_cast<uint32_t>(C.Loss));
+  W.writeU32(static_cast<uint32_t>(C.NodeRep));
+  W.writeI32(C.HiddenDim);
+  W.writeI32(C.TimeSteps);
+  W.writeF32(C.Margin);
+  W.writeF32(C.Lambda);
+  W.writeI32(C.MaxSeqLen);
+  W.writeI32(C.MaxPathsPerSymbol);
+  W.writeU64(C.Seed);
+}
+
+bool typilus::readModelConfig(ArchiveCursor &C, ModelConfig &Out,
+                              std::string *Err) {
+  ModelConfig MC;
+  uint32_t Encoder = C.readU32();
+  uint32_t Loss = C.readU32();
+  uint32_t NodeRep = C.readU32();
+  MC.HiddenDim = C.readI32();
+  MC.TimeSteps = C.readI32();
+  MC.Margin = C.readF32();
+  MC.Lambda = C.readF32();
+  MC.MaxSeqLen = C.readI32();
+  MC.MaxPathsPerSymbol = C.readI32();
+  MC.Seed = C.readU64();
+  // Range-check everything that later sizes an allocation: a CRC-valid
+  // but crafted config must fail here with a clean error, not reach a
+  // multi-gigabyte Tensor constructor. The caps are far above any real
+  // configuration (paper scale is D<=128, T=8).
+  if (!C.ok() || Encoder > static_cast<uint32_t>(EncoderKind::NamesOnly) ||
+      Loss > static_cast<uint32_t>(LossKind::Typilus) ||
+      NodeRep > static_cast<uint32_t>(NodeRepKind::Character) ||
+      MC.HiddenDim <= 0 || MC.HiddenDim > (1 << 14) || MC.TimeSteps < 0 ||
+      MC.TimeSteps > (1 << 10) || MC.MaxSeqLen < 0 ||
+      MC.MaxSeqLen > (1 << 24) || MC.MaxPathsPerSymbol < 0 ||
+      MC.MaxPathsPerSymbol > (1 << 16)) {
+    if (Err && Err->empty())
+      *Err = "malformed model config";
+    return false;
+  }
+  MC.Encoder = static_cast<EncoderKind>(Encoder);
+  MC.Loss = static_cast<LossKind>(Loss);
+  MC.NodeRep = static_cast<NodeRepKind>(NodeRep);
+  Out = MC;
+  return true;
+}
+
+void TypeModel::save(ArchiveWriter &W,
+                     const std::map<TypeRef, int> &TypeIds) const {
+  W.beginChunk("mcfg");
+  writeModelConfig(W, Config);
+  W.endChunk();
+
+  W.beginChunk("lvoc");
+  Vocab.save(W);
+  W.endChunk();
+
+  W.beginChunk("tvoc");
+  TV.Full.save(W, TypeIds);
+  TV.Erased.save(W, TypeIds);
+  W.endChunk();
+
+  saveWeights(W);
+}
+
+void TypeModel::saveWeights(ArchiveWriter &W) const {
+  // The RNG stream positions. ParamRng is spent after construction, but
+  // PathRng keeps advancing with every Path-encoder embed(): restoring it
+  // is what makes a loaded Path model predict bit-identically to the
+  // in-process one from this point on.
+  W.beginChunk("rngs");
+  W.writeU64(ParamRng.state());
+  W.writeU64(PathRng.state());
+  W.endChunk();
+
+  W.beginChunk("parm");
+  nn::writeParams(W, PS);
+  W.endChunk();
+}
+
+bool TypeModel::loadWeights(const ArchiveReader &R, std::string *Err) {
+  ArchiveCursor RngC = R.chunk("rngs", Err);
+  uint64_t ParamState = RngC.readU64();
+  uint64_t PathState = RngC.readU64();
+  if (!RngC.ok()) {
+    if (Err && Err->empty())
+      *Err = "malformed RNG state chunk";
+    return false;
+  }
+  ArchiveCursor ParmC = R.chunk("parm", Err);
+  if (!nn::readParams(ParmC, PS, Err))
+    return false;
+  ParamRng.setState(ParamState);
+  PathRng.setState(PathState);
+  return true;
+}
+
+std::unique_ptr<TypeModel>
+TypeModel::load(const ArchiveReader &R, const std::vector<TypeRef> &ById,
+                std::string *Err) {
+  ArchiveCursor CfgC = R.chunk("mcfg", Err);
+  ModelConfig MC;
+  if (!readModelConfig(CfgC, MC, Err))
+    return nullptr;
+
+  LabelVocab LV;
+  ArchiveCursor LvC = R.chunk("lvoc", Err);
+  if (!LV.load(LvC, Err))
+    return nullptr;
+
+  TypeVocabs TV;
+  ArchiveCursor TvC = R.chunk("tvoc", Err);
+  if (!TV.Full.load(TvC, ById, Err) || !TV.Erased.load(TvC, ById, Err))
+    return nullptr;
+
+  // Construction registers every parameter (in deterministic order) with
+  // fresh random values; the parm chunk then overwrites them in place.
+  auto Model = std::make_unique<TypeModel>(MC, std::move(LV), std::move(TV));
+  if (!Model->loadWeights(R, Err))
+    return nullptr;
+  return Model;
 }
 
 //===----------------------------------------------------------------------===//

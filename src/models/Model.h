@@ -20,8 +20,12 @@
 #include "models/Vocab.h"
 #include "nn/Layers.h"
 #include "nn/Optim.h"
+#include "support/Archive.h"
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace typilus {
@@ -46,6 +50,13 @@ enum class NodeRepKind { Subtoken, WholeToken, Character };
 
 const char *encoderKindName(EncoderKind K);
 const char *lossKindName(LossKind K);
+
+struct ModelConfig;
+
+/// Appends every ModelConfig field to the open chunk / reads them back.
+/// readModelConfig validates enum ranges and fails on anything else.
+void writeModelConfig(ArchiveWriter &W, const ModelConfig &C);
+bool readModelConfig(ArchiveCursor &C, ModelConfig &Out, std::string *Err);
 
 /// Hyper-parameters. Defaults are scaled-down but structurally faithful
 /// (the paper uses D=64..128 and T=8 on GPUs; we default to CPU-friendly
@@ -91,6 +102,27 @@ public:
   /// inside one call) are safe: the encoder must not touch mutable model
   /// state. Path samples from PathRng, so it must stay serial.
   bool supportsParallelEmbed() const;
+
+  /// Appends the whole model — config ("mcfg"), label vocabulary
+  /// ("lvoc"), type vocabularies ("tvoc"), RNG streams ("rngs") and every
+  /// parameter tensor ("parm") — as chunks of \p W. \p TypeIds is the
+  /// artifact's type table (TypeUniverse::save).
+  void save(ArchiveWriter &W, const std::map<TypeRef, int> &TypeIds) const;
+
+  /// Weights-only serialization — just the "rngs" and "parm" chunks.
+  /// Checkpoints use this: resume already reconstructed the model (same
+  /// config and vocabularies), so only the mutable state travels.
+  void saveWeights(ArchiveWriter &W) const;
+  bool loadWeights(const ArchiveReader &R, std::string *Err);
+
+  /// Reconstructs a model from chunks written by save(). \p ById is the
+  /// loaded type table; its types (and therefore the model's vocabulary
+  /// TypeRefs) belong to the universe that loaded it. The restored
+  /// parameters, vocabularies and RNG streams are bit-identical to the
+  /// saved model's, so it predicts exactly like the original.
+  static std::unique_ptr<TypeModel> load(const ArchiveReader &R,
+                                         const std::vector<TypeRef> &ById,
+                                         std::string *Err);
 
   nn::ParamSet &params() { return PS; }
   const ModelConfig &config() const { return Config; }

@@ -34,6 +34,81 @@ LabelVocab LabelVocab::build(const std::vector<const TypilusGraph *> &Graphs,
   return V;
 }
 
+void LabelVocab::save(ArchiveWriter &W) const {
+  W.writeU8(M == Mode::WholeLabel ? 1 : 0);
+  W.writeU64(NextId);
+  W.writeU64(Ids.size());
+  for (const auto &[Key, Id] : Ids) {
+    W.writeStr(Key);
+    W.writeI32(Id);
+  }
+}
+
+bool LabelVocab::load(ArchiveCursor &C, std::string *Err) {
+  uint8_t ModeByte = C.readU8();
+  uint64_t SavedNextId = C.readU64();
+  uint64_t Count = C.readU64();
+  // build() assigns dense ids 1..Count, so NextId is exactly Count + 1;
+  // anything else is a crafted table (size() feeds the embedding-matrix
+  // allocation, so an unbounded NextId must not survive to load).
+  if (!C.ok() || ModeByte > 1 || Count > C.remaining() ||
+      SavedNextId != Count + 1) {
+    if (Err && Err->empty())
+      *Err = "malformed label vocabulary";
+    return false;
+  }
+  std::map<std::string, int> NewIds;
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Key = C.readStr();
+    int Id = C.readI32();
+    if (!C.ok() || Id <= 0 || static_cast<uint64_t>(Id) >= SavedNextId) {
+      if (Err && Err->empty())
+        *Err = "malformed label vocabulary entry";
+      return false;
+    }
+    NewIds.emplace(std::move(Key), Id);
+  }
+  M = ModeByte ? Mode::WholeLabel : Mode::Subtoken;
+  NextId = static_cast<size_t>(SavedNextId);
+  Ids = std::move(NewIds);
+  return true;
+}
+
+void TypeIdMap::save(ArchiveWriter &W,
+                     const std::map<TypeRef, int> &TypeIds) const {
+  W.writeU64(Types.size());
+  for (TypeRef T : Types)
+    W.writeI32(TypeIds.at(T));
+}
+
+bool TypeIdMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
+                     std::string *Err) {
+  uint64_t Count = C.readU64();
+  if (!C.ok() || Count > C.remaining()) {
+    if (Err && Err->empty())
+      *Err = "malformed type-id map";
+    return false;
+  }
+  Ids.clear();
+  Types.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    int Idx = C.readI32();
+    if (!C.ok() || Idx < 0 || static_cast<size_t>(Idx) >= ById.size()) {
+      if (Err && Err->empty())
+        *Err = "type-id map references a type outside the type table";
+      return false;
+    }
+    // add() dedups; a repeated entry would silently shift every later
+    // class id away from the saved classification weights. Reject it.
+    if (add(ById[static_cast<size_t>(Idx)]) != static_cast<int>(I)) {
+      if (Err && Err->empty())
+        *Err = "type-id map contains a duplicate type";
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<int> LabelVocab::idsOf(const std::string &Label) const {
   std::vector<int> Result;
   for (const std::string &K : keysOf(Label, M)) {

@@ -17,6 +17,7 @@
 #define TYPILUS_MODELS_VOCAB_H
 
 #include "graph/Graph.h"
+#include "support/Archive.h"
 #include "typesys/Type.h"
 
 #include <map>
@@ -44,6 +45,11 @@ public:
   size_t size() const { return NextId; }
   Mode mode() const { return M; }
 
+  /// Appends mode + the key/id table to the open chunk.
+  void save(ArchiveWriter &W) const;
+  /// Replaces *this with a table written by save().
+  bool load(ArchiveCursor &C, std::string *Err);
+
 private:
   /// Splits per mode; shared with build().
   static std::vector<std::string> keysOf(const std::string &Label, Mode M);
@@ -70,6 +76,14 @@ public:
   }
   TypeRef type(int Id) const { return Types[static_cast<size_t>(Id)]; }
   size_t size() const { return Types.size(); }
+
+  /// Appends the id-ordered type list to the open chunk, referencing each
+  /// type by its dense index in the artifact's type table.
+  void save(ArchiveWriter &W, const std::map<TypeRef, int> &TypeIds) const;
+  /// Replaces *this with a map written by save(); \p ById is the loaded
+  /// type table.
+  bool load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
+            std::string *Err);
 
 private:
   std::map<TypeRef, int> Ids;

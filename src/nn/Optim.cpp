@@ -2,10 +2,51 @@
 
 #include "nn/Optim.h"
 
+#include "nn/Serialize.h"
+
 #include <cmath>
 
 using namespace typilus;
 using namespace typilus::nn;
+
+void Adam::save(ArchiveWriter &W) const {
+  W.writeI32(T);
+  W.writeF32(Lr);
+  W.writeF32(ClipNorm);
+  W.writeU64(M.size());
+  for (size_t I = 0; I != M.size(); ++I) {
+    writeTensor(W, M[I]);
+    writeTensor(W, V[I]);
+  }
+}
+
+bool Adam::load(ArchiveCursor &C, std::string *Err) {
+  int32_t NewT = C.readI32();
+  float NewLr = C.readF32();
+  float NewClip = C.readF32();
+  uint64_t Count = C.readU64();
+  if (!C.ok() || Count != M.size()) {
+    if (Err && Err->empty())
+      *Err = "optimizer state does not match the model's parameter count";
+    return false;
+  }
+  std::vector<Tensor> NewM(M.size()), NewV(V.size());
+  for (size_t I = 0; I != M.size(); ++I) {
+    if (!readTensor(C, NewM[I]) || !readTensor(C, NewV[I]) ||
+        !NewM[I].sameShape(M[I]) || !NewV[I].sameShape(V[I])) {
+      if (Err && Err->empty())
+        *Err = "optimizer moment " + std::to_string(I) +
+               " does not match the model's parameter shapes";
+      return false;
+    }
+  }
+  T = NewT;
+  Lr = NewLr;
+  ClipNorm = NewClip;
+  M = std::move(NewM);
+  V = std::move(NewV);
+  return true;
+}
 
 Adam::Adam(ParamSet &PS, float Lr, float ClipNorm)
     : PS(PS), Lr(Lr), ClipNorm(ClipNorm) {

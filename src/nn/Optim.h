@@ -14,7 +14,9 @@
 #define TYPILUS_NN_OPTIM_H
 
 #include "nn/Layers.h"
+#include "support/Archive.h"
 
+#include <string>
 #include <vector>
 
 namespace typilus {
@@ -27,6 +29,14 @@ public:
 
   /// Applies one update from the accumulated gradients, then zeroes them.
   void step();
+
+  /// Appends the optimizer state (step count, hyper-parameters, both
+  /// moment vectors) to the open chunk — together with the parameters
+  /// this is everything a training checkpoint needs to resume exactly.
+  void save(ArchiveWriter &W) const;
+  /// Restores state written by save(). Fails with \p Err when the moment
+  /// tensors do not match this optimizer's parameter shapes.
+  bool load(ArchiveCursor &C, std::string *Err);
 
   float learningRate() const { return Lr; }
   void setLearningRate(float NewLr) { Lr = NewLr; }

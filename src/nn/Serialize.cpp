@@ -1,0 +1,81 @@
+//===- nn/Serialize.cpp - Tensor and parameter I/O ---------------------------===//
+
+#include "nn/Serialize.h"
+
+using namespace typilus;
+using namespace typilus::nn;
+
+void nn::writeTensor(ArchiveWriter &W, const Tensor &T) {
+  W.writeU32(static_cast<uint32_t>(T.rank()));
+  for (int I = 0; I != T.rank(); ++I)
+    W.writeI64(T.dim(I));
+  W.writeF32Array(T.data(), static_cast<size_t>(T.numel()));
+}
+
+bool nn::readTensor(ArchiveCursor &C, Tensor &Out) {
+  uint32_t Rank = C.readU32();
+  if (!C.ok() || Rank > 2)
+    return false;
+  int64_t Dims[2] = {0, 0};
+  for (uint32_t I = 0; I != Rank; ++I)
+    Dims[I] = C.readI64();
+  // Reject sizes the remaining payload cannot possibly hold BEFORE
+  // constructing the tensor (a corrupt dim must not allocate petabytes);
+  // each dim is bounded first so the product cannot overflow.
+  uint64_t Limit = C.remaining() / 4;
+  if (!C.ok() || Dims[0] < 0 || Dims[1] < 0 ||
+      static_cast<uint64_t>(Dims[0]) > Limit ||
+      static_cast<uint64_t>(Dims[1]) > Limit ||
+      (Rank == 2 && Dims[1] > 0 &&
+       static_cast<uint64_t>(Dims[0]) > Limit / static_cast<uint64_t>(Dims[1])))
+    return false;
+  Tensor T = Rank == 2 ? Tensor(Dims[0], Dims[1])
+             : Rank == 1 ? Tensor(Dims[0])
+                         : Tensor();
+  C.readF32Array(T.data(), static_cast<size_t>(T.numel()));
+  if (!C.ok())
+    return false;
+  Out = std::move(T);
+  return true;
+}
+
+void nn::writeParams(ArchiveWriter &W, const ParamSet &PS) {
+  W.writeU64(PS.params().size());
+  for (const Value &P : PS.params())
+    writeTensor(W, P.val());
+}
+
+bool nn::readParams(ArchiveCursor &C, ParamSet &PS, std::string *Err) {
+  uint64_t Count = C.readU64();
+  if (!C.ok() || Count != PS.params().size()) {
+    if (Err && Err->empty())
+      *Err = "parameter count mismatch: artifact has " +
+             std::to_string(Count) + ", model expects " +
+             std::to_string(PS.params().size());
+    return false;
+  }
+  // Stage every tensor first and commit only when all of them parsed and
+  // shape-checked: a mid-stream failure must not leave the live model
+  // half old weights, half artifact.
+  std::vector<Tensor> Staged(PS.params().size());
+  for (size_t I = 0; I != PS.params().size(); ++I) {
+    if (!readTensor(C, Staged[I])) {
+      if (Err && Err->empty())
+        *Err = "malformed parameter tensor " + std::to_string(I);
+      return false;
+    }
+    if (!Staged[I].sameShape(PS.params()[I].val())) {
+      if (Err && Err->empty())
+        *Err = "parameter " + std::to_string(I) +
+               " shape mismatch between artifact and model";
+      return false;
+    }
+  }
+  for (size_t I = 0; I != PS.params().size(); ++I) {
+    // Value handles share their node, so overwriting through a copy
+    // updates the model's parameter in place.
+    Value P = PS.params()[I];
+    P.valMutable() = std::move(Staged[I]);
+  }
+  return true;
+}

@@ -1,0 +1,49 @@
+//===- nn/Serialize.h - Tensor and parameter I/O ------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Archive I/O for the nn layer: single tensors, whole parameter sets and
+/// the Adam moment state. Round-trips are bit-exact — tensors are stored
+/// as the raw IEEE-754 bit patterns — which is what makes saved models
+/// reproduce the in-process ones to the last ulp.
+///
+/// Parameters are serialized positionally: a model reconstructs its
+/// ParamSet from its config (registration order is deterministic) and
+/// `readParams` then overwrites each tensor in order, rejecting any shape
+/// drift with a clear error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_NN_SERIALIZE_H
+#define TYPILUS_NN_SERIALIZE_H
+
+#include "nn/Layers.h"
+#include "support/Archive.h"
+
+#include <string>
+
+namespace typilus {
+namespace nn {
+
+/// Appends \p T (rank, dims, raw f32 data) to the open chunk.
+void writeTensor(ArchiveWriter &W, const Tensor &T);
+
+/// Reads one tensor written by writeTensor. \returns false (leaving \p Out
+/// untouched) on malformed input.
+bool readTensor(ArchiveCursor &C, Tensor &Out);
+
+/// Appends every parameter of \p PS (count-prefixed) to the open chunk.
+void writeParams(ArchiveWriter &W, const ParamSet &PS);
+
+/// Overwrites \p PS's parameter values in registration order. Fails with
+/// \p Err on count or shape mismatches — the saved artifact belongs to a
+/// model with a different architecture or vocabulary.
+bool readParams(ArchiveCursor &C, ParamSet &PS, std::string *Err);
+
+} // namespace nn
+} // namespace typilus
+
+#endif // TYPILUS_NN_SERIALIZE_H

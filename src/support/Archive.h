@@ -1,0 +1,158 @@
+//===- support/Archive.h - Versioned binary artifact format ------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serialization substrate for every durable artifact (model
+/// snapshots, τmap indexes, training checkpoints): a chunked, versioned,
+/// endian-stable binary container with a per-chunk CRC32.
+///
+/// Layout:
+///
+///   "TYPA"            4-byte magic
+///   u32               container version (the framing itself)
+///   u32               payload format version (what the chunks mean)
+///   repeated chunks:
+///     tag             4 bytes, e.g. "parm"
+///     u64             payload size in bytes
+///     payload         `size` bytes
+///     u32             CRC32 of the payload
+///
+/// All integers are little-endian regardless of host byte order; floats
+/// are stored as the little-endian bytes of their IEEE-754 bit pattern.
+/// Readers locate chunks by tag, so writers may append new chunk kinds
+/// without breaking old readers; changing the *meaning* of an existing
+/// chunk requires bumping the payload format version (see
+/// docs/ARCHITECTURE.md "Artifacts & versioning").
+///
+/// Error handling is exception-free to match the rest of the codebase:
+/// the reader and cursors carry sticky failure state, and file-level
+/// entry points report through an `std::string *Err` out-parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_ARCHIVE_H
+#define TYPILUS_SUPPORT_ARCHIVE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace typilus {
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib convention) of \p Size bytes.
+uint32_t crc32(const void *Data, size_t Size);
+
+/// Builds one archive in memory; write chunks, then flush to a file.
+class ArchiveWriter {
+public:
+  /// \p FormatVersion is the payload format version stamped in the header.
+  explicit ArchiveWriter(uint32_t FormatVersion);
+
+  /// Opens a chunk tagged \p Tag (exactly 4 characters). Chunks cannot
+  /// nest; every beginChunk must be paired with endChunk.
+  void beginChunk(const char *Tag);
+  void endChunk();
+
+  /// Scalar writers append to the open chunk. Little-endian always.
+  void writeU8(uint8_t V);
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeI32(int32_t V) { writeU32(static_cast<uint32_t>(V)); }
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+  void writeF32(float V);
+  void writeF64(double V);
+  /// u64 byte length + raw bytes.
+  void writeStr(std::string_view S);
+  /// Raw run of \p N floats (no length prefix; pair with a count field).
+  void writeF32Array(const float *Data, size_t N);
+
+  /// Flushes the whole archive to \p Path. Must not be mid-chunk.
+  /// \returns false and sets \p Err on I/O failure.
+  bool writeFile(const std::string &Path, std::string *Err) const;
+
+  /// The serialized archive (for in-memory round-trips and tests).
+  const std::string &bytes() const;
+
+private:
+  std::string Buf;       ///< Header + finished chunks.
+  std::string ChunkBuf;  ///< Payload of the chunk being written.
+  bool InChunk = false;
+};
+
+/// Reads scalars out of one chunk's payload. Under-runs and malformed
+/// values set a sticky failure flag instead of reading garbage: always
+/// check ok() after the last read of a chunk.
+class ArchiveCursor {
+public:
+  ArchiveCursor() = default;
+  ArchiveCursor(const uint8_t *Data, size_t Size) : Data(Data), End(Size) {}
+
+  uint8_t readU8();
+  uint32_t readU32();
+  uint64_t readU64();
+  int32_t readI32() { return static_cast<int32_t>(readU32()); }
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+  float readF32();
+  double readF64();
+  std::string readStr();
+  /// Reads exactly \p N floats into \p Out (which must hold N).
+  void readF32Array(float *Out, size_t N);
+
+  bool ok() const { return !Failed; }
+  size_t remaining() const { return End - Pos; }
+  /// True when every byte has been consumed and no read failed — the
+  /// "this chunk parsed cleanly" check loaders end with.
+  bool atEnd() const { return ok() && Pos == End; }
+
+private:
+  bool take(void *Out, size_t N);
+
+  const uint8_t *Data = nullptr;
+  size_t Pos = 0, End = 0;
+  bool Failed = false;
+};
+
+/// Opens an archive, validates the framing and checksums, serves chunks.
+class ArchiveReader {
+public:
+  /// One chunk's directory entry (also the `inspect` listing).
+  struct ChunkInfo {
+    std::string Tag;
+    size_t Size = 0;   ///< Payload bytes.
+    size_t Offset = 0; ///< Payload offset within the archive.
+  };
+
+  /// Reads and validates \p Path: magic, container version, chunk framing
+  /// and every chunk's CRC32. \returns false and sets \p Err on any
+  /// truncation, corruption or version mismatch.
+  bool openFile(const std::string &Path, std::string *Err);
+  /// Same, over an in-memory archive (tests).
+  bool openBytes(std::string Bytes, std::string *Err);
+
+  /// The payload format version stamped by the writer.
+  uint32_t formatVersion() const { return FormatVersion; }
+
+  bool hasChunk(std::string_view Tag) const;
+  /// Cursor over the payload of the first chunk tagged \p Tag. When the
+  /// chunk is missing, sets \p Err and returns a failed cursor.
+  ArchiveCursor chunk(std::string_view Tag, std::string *Err) const;
+
+  /// Directory of all chunks, in file order.
+  const std::vector<ChunkInfo> &chunks() const { return Dir; }
+
+private:
+  bool parse(std::string *Err);
+
+  std::string Buf;
+  std::vector<ChunkInfo> Dir;
+  uint32_t FormatVersion = 0;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_ARCHIVE_H

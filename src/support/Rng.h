@@ -80,6 +80,11 @@ public:
     return Rng(next() ^ (Salt * 0xD1B54A32D192ED03ull + 0x2545F4914F6CDD1Dull));
   }
 
+  /// The raw stream position, for checkpoint/artifact serialization:
+  /// restoring it with setState resumes the exact same number sequence.
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S; }
+
 private:
   uint64_t State;
 };

@@ -182,6 +182,52 @@ TypeRef TypeUniverse::parse(std::string_view Text) {
   return Result;
 }
 
+std::map<const Type *, int> TypeUniverse::save(ArchiveWriter &W) const {
+  // Interned is keyed by the canonical repr, so iteration order (and with
+  // it the dense ids) is deterministic for a given set of types.
+  W.writeU64(Interned.size());
+  std::map<const Type *, int> Ids;
+  for (const auto &[Repr, Owned] : Interned) {
+    Ids.emplace(Owned.get(), static_cast<int>(Ids.size()));
+    W.writeStr(Repr);
+  }
+  return Ids;
+}
+
+bool TypeUniverse::load(ArchiveCursor &C, std::vector<const Type *> &ById,
+                        std::string *Err) {
+  uint64_t Count = C.readU64();
+  if (!C.ok() || Count > C.remaining()) {
+    if (Err && Err->empty())
+      *Err = "malformed type table";
+    return false;
+  }
+  ById.clear();
+  ById.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Repr = C.readStr();
+    if (!C.ok()) {
+      if (Err && Err->empty())
+        *Err = "malformed type table";
+      return false;
+    }
+    // Parametric reprs re-intern through parse(), which recreates every
+    // component type. Argument-less reprs intern directly: erase() mints
+    // bare parametric heads ("Optional", "Union") that parse() would
+    // reject or normalise away.
+    TypeRef T = Repr.find('[') == std::string::npos ? internRaw(Repr, {})
+                                                    : parse(Repr);
+    if (!T) {
+      if (Err && Err->empty())
+        *Err = "type table entry " + std::to_string(I) + " ('" + Repr +
+               "') does not parse";
+      return false;
+    }
+    ById.push_back(T);
+  }
+  return true;
+}
+
 TypeRef TypeUniverse::erase(TypeRef T) {
   assert(T && "erase of null type");
   if (!T->isParametric())

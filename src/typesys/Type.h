@@ -18,6 +18,8 @@
 #ifndef TYPILUS_TYPESYS_TYPE_H
 #define TYPILUS_TYPESYS_TYPE_H
 
+#include "support/Archive.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -93,6 +95,17 @@ public:
 
   /// Number of distinct interned types (for stats).
   size_t size() const { return Interned.size(); }
+
+  /// Appends the interning table (every type's canonical repr, in the
+  /// deterministic repr-sorted order) to the open chunk and returns the
+  /// TypeRef -> dense-index map other chunks use to reference types.
+  std::map<const Type *, int> save(ArchiveWriter &W) const;
+
+  /// Re-interns a table written by save() into *this* universe, filling
+  /// \p ById so index I resolves the types other chunks reference.
+  /// Fails with \p Err on malformed or unparsable entries.
+  bool load(ArchiveCursor &C, std::vector<const Type *> &ById,
+            std::string *Err);
 
 private:
   TypeRef internRaw(std::string_view Name, std::vector<TypeRef> Args);

@@ -1,0 +1,510 @@
+//===- tests/ArtifactTest.cpp - Model artifact round-trip tests ----------------===//
+//
+// The train-once / serve-many contract: an artifact saved by one process
+// and loaded by another must predict bit-identically to the in-process
+// predictor — for every Table 2 variant, for the Annoy and the exact kNN
+// path, at any thread count. Also covers rejection of damaged artifacts
+// and checkpoint/resume equivalence with uninterrupted training.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "nn/Serialize.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace typilus;
+
+namespace {
+
+Workbench makeTinyWorkbench() {
+  CorpusConfig CC;
+  CC.NumFiles = 14;
+  CC.NumUdts = 8;
+  DatasetConfig DC;
+  DC.CommonThreshold = 2;
+  return Workbench::make(CC, DC);
+}
+
+ModelConfig tinyConfig(EncoderKind E, LossKind L) {
+  ModelConfig MC;
+  MC.Encoder = E;
+  MC.Loss = L;
+  MC.HiddenDim = 8;
+  MC.TimeSteps = 2;
+  return MC;
+}
+
+std::unique_ptr<TypeModel> trainTiny(Workbench &WB, const ModelConfig &MC,
+                                     int Epochs = 1) {
+  TrainOptions TO;
+  TO.Epochs = Epochs;
+  TO.BatchFiles = 4;
+  std::unique_ptr<TypeModel> M = makeModel(MC, WB.DS, *WB.U);
+  trainModel(*M, WB.DS.Train, TO);
+  return M;
+}
+
+Predictor makePredictor(Workbench &WB, TypeModel &Model,
+                        const KnnOptions &KO = {}) {
+  if (Model.config().Loss == LossKind::Class)
+    return Predictor::classifier(Model);
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB.DS.Train)
+    MapFiles.push_back(&F);
+  for (const FileExample &F : WB.DS.Valid)
+    MapFiles.push_back(&F);
+  return Predictor::knn(Model, MapFiles, KO);
+}
+
+std::string tempArtifactPath(const std::string &Name) {
+  return testing::TempDir() + "typilus_" + Name + ".typilus";
+}
+
+/// Bit-identity across processes means: same result identities, same
+/// candidate lists, probabilities equal to the last bit. Types live in
+/// different universes on the two sides, so they compare by spelling.
+void expectBitIdentical(const std::vector<PredictionResult> &InProc,
+                        const std::vector<PredictionResult> &Loaded) {
+  ASSERT_EQ(InProc.size(), Loaded.size());
+  for (size_t I = 0; I != InProc.size(); ++I) {
+    const PredictionResult &A = InProc[I];
+    const PredictionResult &B = Loaded[I];
+    EXPECT_EQ(A.FilePath, B.FilePath);
+    EXPECT_EQ(A.TargetIdx, B.TargetIdx);
+    EXPECT_EQ(A.NodeIdx, B.NodeIdx);
+    EXPECT_EQ(A.SymbolName, B.SymbolName);
+    EXPECT_EQ(A.Kind, B.Kind);
+    ASSERT_EQ(A.Candidates.size(), B.Candidates.size()) << "row " << I;
+    for (size_t C = 0; C != A.Candidates.size(); ++C) {
+      EXPECT_EQ(A.Candidates[C].Type->str(), B.Candidates[C].Type->str())
+          << "row " << I << " candidate " << C;
+      EXPECT_EQ(A.Candidates[C].Prob, B.Candidates[C].Prob)
+          << "row " << I << " candidate " << C;
+    }
+  }
+}
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Save -> load -> predict round-trips, all nine Table 2 variants
+//===----------------------------------------------------------------------===//
+
+class NineVariantsTest
+    : public ::testing::TestWithParam<std::pair<EncoderKind, LossKind>> {};
+
+TEST_P(NineVariantsTest, LoadedPredictorIsBitIdentical) {
+  auto [Encoder, Loss] = GetParam();
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(Encoder, Loss);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  Predictor P = makePredictor(WB, *M);
+
+  // Save BEFORE the in-process predictions: the Path encoder's sampling
+  // RNG advances on every embed, and the loaded model must replay the
+  // exact same stream from the snapshot point.
+  std::string Path = tempArtifactPath(std::string(encoderKindName(Encoder)) +
+                                      lossKindName(Loss));
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+
+  auto InProc = P.predictAll(WB.DS.Test);
+  ASSERT_FALSE(InProc.empty());
+
+  std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  EXPECT_EQ(L->isKnn(), Loss != LossKind::Class);
+  auto Served = L->predictAll(WB.DS.Test);
+  expectBitIdentical(InProc, Served);
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, NineVariantsTest,
+    ::testing::Values(
+        std::make_pair(EncoderKind::Graph, LossKind::Class),
+        std::make_pair(EncoderKind::Graph, LossKind::Space),
+        std::make_pair(EncoderKind::Graph, LossKind::Typilus),
+        std::make_pair(EncoderKind::Seq, LossKind::Class),
+        std::make_pair(EncoderKind::Seq, LossKind::Space),
+        std::make_pair(EncoderKind::Seq, LossKind::Typilus),
+        std::make_pair(EncoderKind::Path, LossKind::Class),
+        std::make_pair(EncoderKind::Path, LossKind::Space),
+        std::make_pair(EncoderKind::Path, LossKind::Typilus)),
+    [](const auto &Info) {
+      return std::string(encoderKindName(Info.param.first)) +
+             lossKindName(Info.param.second);
+    });
+
+//===----------------------------------------------------------------------===//
+// The acceptance matrix: {Annoy, exact} x {1 thread, 4 threads}
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactTest, ServedPredictionsMatchForBothIndexesAndThreadCounts) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC, /*Epochs=*/2);
+
+  for (bool UseAnnoy : {true, false}) {
+    KnnOptions KO;
+    KO.UseAnnoy = UseAnnoy;
+    Predictor P = makePredictor(WB, *M, KO);
+    std::string Path = tempArtifactPath(UseAnnoy ? "annoy" : "exact");
+    std::string Err;
+    ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+    auto InProc = P.predictAll(WB.DS.Test);
+
+    for (int Threads : {1, 4}) {
+      setGlobalNumThreads(Threads);
+      std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+      ASSERT_NE(L, nullptr) << Err;
+      KnnOptions LKO = L->knnOptions();
+      EXPECT_EQ(LKO.UseAnnoy, UseAnnoy);
+      LKO.NumThreads = Threads;
+      L->setKnnOptions(LKO);
+      auto Served = L->predictAll(WB.DS.Test);
+      expectBitIdentical(InProc, Served);
+    }
+    setGlobalNumThreads(0);
+    std::remove(Path.c_str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Results must outlive the dataset (no dangling Target/FileExample)
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactTest, PredictionResultsOutliveTheDataset) {
+  std::vector<PredictionResult> Preds;
+  auto WB = std::make_unique<Workbench>(makeTinyWorkbench());
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(*WB, MC);
+  std::string Path = tempArtifactPath("outlive");
+  std::string Err;
+  {
+    Predictor P = makePredictor(*WB, *M);
+    ASSERT_TRUE(P.save(Path, *WB->U, &Err)) << Err;
+  }
+  std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  Preds = L->predictAll(WB->DS.Test);
+  ASSERT_FALSE(Preds.empty());
+
+  // Tear down the whole training world: corpus, dataset, model, universe.
+  M.reset();
+  WB.reset();
+
+  // Every field of every result must still be fully usable — the loaded
+  // predictor owns the universe its TypeRefs live in.
+  for (const PredictionResult &P : Preds) {
+    EXPECT_FALSE(P.FilePath.empty());
+    EXPECT_FALSE(P.SymbolName.empty());
+    ASSERT_NE(P.Truth, nullptr);
+    EXPECT_FALSE(P.Truth->str().empty());
+    for (const ScoredType &S : P.Candidates)
+      EXPECT_FALSE(S.Type->str().empty());
+  }
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Damaged artifacts are rejected with clear errors
+//===----------------------------------------------------------------------===//
+
+class DamagedArtifactTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    WB = std::make_unique<Workbench>(makeTinyWorkbench());
+    ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+    Model = trainTiny(*WB, MC);
+    Predictor P = makePredictor(*WB, *Model);
+    ArchiveWriter W(kModelArtifactVersion);
+    P.writeArtifact(W, *WB->U);
+    Clean = W.bytes();
+  }
+
+  std::unique_ptr<Workbench> WB;
+  std::unique_ptr<TypeModel> Model;
+  std::string Clean;
+};
+
+TEST_F(DamagedArtifactTest, CleanBytesLoad) {
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(Clean, &Err)) << Err;
+  EXPECT_NE(Predictor::load(R, &Err), nullptr) << Err;
+}
+
+TEST_F(DamagedArtifactTest, TruncationsNeverLoad) {
+  // Cut at several depths: inside the header, inside early chunks, just
+  // short of the end. Every cut must fail cleanly.
+  for (size_t Keep : {size_t(5), Clean.size() / 4, Clean.size() / 2,
+                      Clean.size() - 1}) {
+    ArchiveReader R;
+    std::string Err;
+    EXPECT_FALSE(R.openBytes(Clean.substr(0, Keep), &Err))
+        << "survived truncation to " << Keep << " bytes";
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST_F(DamagedArtifactTest, CorruptChunkPayloadNeverLoads) {
+  for (size_t Pos : {Clean.size() / 3, Clean.size() / 2, Clean.size() - 8}) {
+    std::string Bad = Clean;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x11);
+    ArchiveReader R;
+    std::string Err;
+    // Either the framing itself breaks or a checksum catches it; a
+    // corrupt artifact must never load as a predictor.
+    if (R.openBytes(Bad, &Err)) {
+      EXPECT_EQ(Predictor::load(R, &Err), nullptr)
+          << "survived corruption at byte " << Pos;
+    }
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST_F(DamagedArtifactTest, FutureFormatVersionIsRejected) {
+  ArchiveWriter W(kModelArtifactVersion + 7);
+  Predictor P = makePredictor(*WB, *Model);
+  P.writeArtifact(W, *WB->U);
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  EXPECT_EQ(Predictor::load(R, &Err), nullptr);
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+}
+
+TEST_F(DamagedArtifactTest, MissingChunkIsRejected) {
+  // An archive with only the type table is not a model.
+  ArchiveWriter W(kModelArtifactVersion);
+  W.beginChunk("tuni");
+  WB->U->save(W);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  EXPECT_EQ(Predictor::load(R, &Err), nullptr);
+  EXPECT_NE(Err.find("missing chunk"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / resume
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedTraining) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  TrainOptions TO;
+  TO.Epochs = 4;
+  TO.BatchFiles = 4;
+
+  // Reference: 4 epochs straight through.
+  std::unique_ptr<TypeModel> Ref = makeModel(MC, WB.DS, *WB.U);
+  double RefLoss = trainModel(*Ref, WB.DS.Train, TO);
+
+  // Interrupted: 2 epochs, checkpoint, then a brand-new trainer + model
+  // resumes the remaining 2.
+  std::string Path = tempArtifactPath("ckpt");
+  std::unique_ptr<TypeModel> Half = makeModel(MC, WB.DS, *WB.U);
+  TrainOptions HalfTO = TO;
+  HalfTO.Epochs = 2;
+  Trainer HalfT(*Half, HalfTO);
+  HalfT.run(WB.DS.Train);
+  std::string Err;
+  ASSERT_TRUE(HalfT.saveCheckpoint(Path, &Err)) << Err;
+  EXPECT_EQ(HalfT.epochsDone(), 2);
+
+  std::unique_ptr<TypeModel> Resumed = makeModel(MC, WB.DS, *WB.U);
+  Trainer ResumedT(*Resumed, TO);
+  ASSERT_TRUE(ResumedT.resumeFrom(Path, &Err)) << Err;
+  EXPECT_EQ(ResumedT.epochsDone(), 2);
+  double ResLoss = ResumedT.run(WB.DS.Train);
+
+  EXPECT_EQ(RefLoss, ResLoss) << "resumed loss diverged";
+  const auto &RP = Ref->params().params();
+  const auto &SP = Resumed->params().params();
+  ASSERT_EQ(RP.size(), SP.size());
+  for (size_t I = 0; I != RP.size(); ++I) {
+    ASSERT_EQ(RP[I].val().numel(), SP[I].val().numel());
+    for (int64_t J = 0; J != RP[I].val().numel(); ++J)
+      ASSERT_EQ(RP[I].val()[J], SP[I].val()[J])
+          << "param " << I << " element " << J;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, TrainLoopWritesCheckpointWhenAsked) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Space);
+  std::string Path = tempArtifactPath("autockpt");
+  TrainOptions TO;
+  TO.Epochs = 1;
+  TO.CheckpointPath = Path;
+  std::unique_ptr<TypeModel> M = makeModel(MC, WB.DS, *WB.U);
+  trainModel(*M, WB.DS.Train, TO);
+  EXPECT_FALSE(readFileBytes(Path).empty()) << "no checkpoint written";
+
+  // And the written checkpoint is resumable.
+  std::unique_ptr<TypeModel> M2 = makeModel(MC, WB.DS, *WB.U);
+  Trainer T2(*M2, TO);
+  std::string Err;
+  ASSERT_TRUE(T2.resumeFrom(Path, &Err)) << Err;
+  EXPECT_EQ(T2.epochsDone(), 1);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, MismatchedModelIsRejected) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  TrainOptions TO;
+  TO.Epochs = 1;
+  std::unique_ptr<TypeModel> M = makeModel(MC, WB.DS, *WB.U);
+  Trainer T(*M, TO);
+  T.run(WB.DS.Train);
+  std::string Path = tempArtifactPath("mismatch");
+  std::string Err;
+  ASSERT_TRUE(T.saveCheckpoint(Path, &Err)) << Err;
+
+  // A model with a different hidden size cannot absorb the checkpoint.
+  ModelConfig Wider = MC;
+  Wider.HiddenDim = 16;
+  std::unique_ptr<TypeModel> Other = makeModel(Wider, WB.DS, *WB.U);
+  Trainer OtherT(*Other, TO);
+  EXPECT_FALSE(OtherT.resumeFrom(Path, &Err));
+  EXPECT_FALSE(Err.empty());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Layer-level round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactTest, TensorRoundTripIsExact) {
+  Rng R(99);
+  Tensor T = Tensor::randn(7, 5, R, 1.f);
+  ArchiveWriter W(1);
+  W.beginChunk("tens");
+  nn::writeTensor(W, T);
+  W.endChunk();
+  ArchiveReader Rd;
+  std::string Err;
+  ASSERT_TRUE(Rd.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = Rd.chunk("tens", &Err);
+  Tensor Out;
+  ASSERT_TRUE(nn::readTensor(C, Out));
+  ASSERT_TRUE(Out.sameShape(T));
+  for (int64_t I = 0; I != T.numel(); ++I)
+    ASSERT_EQ(T[I], Out[I]);
+  EXPECT_TRUE(C.atEnd());
+}
+
+TEST(ArtifactTest, AnnoyForestSnapshotAnswersIdentically) {
+  TypeUniverse U;
+  TypeMap Map(4);
+  Rng R(123);
+  std::vector<TypeRef> Pool = {U.parse("int"), U.parse("str"),
+                               U.parse("List[int]")};
+  for (int I = 0; I != 300; ++I) {
+    float E[4];
+    for (float &X : E)
+      X = static_cast<float>(R.normal());
+    Map.add(E, Pool[static_cast<size_t>(I) % Pool.size()]);
+  }
+  AnnoyIndex Built(Map);
+
+  ArchiveWriter W(1);
+  W.beginChunk("tmap");
+  std::map<TypeRef, int> Ids = U.save(W);
+  W.endChunk();
+  (void)Ids;
+  W.beginChunk("anny");
+  Built.save(W);
+  W.endChunk();
+
+  ArchiveReader Rd;
+  std::string Err;
+  ASSERT_TRUE(Rd.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = Rd.chunk("anny", &Err);
+  std::unique_ptr<AnnoyIndex> Loaded = AnnoyIndex::load(C, Map, &Err);
+  ASSERT_NE(Loaded, nullptr) << Err;
+
+  for (int Q = 0; Q != 32; ++Q) {
+    float Query[4];
+    for (float &X : Query)
+      X = static_cast<float>(R.normal());
+    NeighborList A = Built.query(Query, 10);
+    NeighborList B = Loaded->query(Query, 10);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(A[I].first, B[I].first);
+      EXPECT_EQ(A[I].second, B[I].second);
+    }
+  }
+}
+
+TEST(ArtifactTest, CyclicForestSnapshotIsRejected) {
+  // A CRC-valid snapshot whose split node links to itself must be
+  // rejected at load: best-first query would otherwise never terminate.
+  TypeUniverse U;
+  TypeMap Map(2);
+  float E[2] = {0.f, 1.f};
+  Map.add(E, U.parse("int"));
+  ArchiveWriter W(1);
+  W.beginChunk("anny");
+  W.writeI32(16);   // leaf size
+  W.writeU64(1);    // one node...
+  W.writeI32(0);    // ...that splits on dim 0
+  W.writeF32(0.5f);
+  W.writeI32(0);    // Left = itself
+  W.writeI32(0);    // Right = itself
+  W.writeU64(0);    // no items
+  W.writeU64(1);    // one root: node 0
+  W.writeI32(0);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = R.chunk("anny", &Err);
+  EXPECT_EQ(AnnoyIndex::load(C, Map, &Err), nullptr);
+  EXPECT_NE(Err.find("split node links"), std::string::npos) << Err;
+}
+
+TEST(CheckpointTest, ResumeOntoDifferentSplitRefusesToTrain) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  TrainOptions TO;
+  TO.Epochs = 2;
+  std::unique_ptr<TypeModel> M = makeModel(MC, WB.DS, *WB.U);
+  Trainer T(*M, TO);
+  T.run(WB.DS.Train);
+  std::string Path = tempArtifactPath("wrongsplit");
+  std::string Err;
+  ASSERT_TRUE(T.saveCheckpoint(Path, &Err)) << Err;
+
+  // Resume, then run against a split of a different size: the trainer
+  // must refuse (NaN) instead of silently re-shuffling the wrong order.
+  std::vector<FileExample> Smaller(WB.DS.Train.begin(),
+                                   WB.DS.Train.end() - 1);
+  ASSERT_NE(Smaller.size(), WB.DS.Train.size());
+  std::unique_ptr<TypeModel> M2 = makeModel(MC, WB.DS, *WB.U);
+  TrainOptions More = TO;
+  More.Epochs = 3;
+  Trainer T2(*M2, More);
+  ASSERT_TRUE(T2.resumeFrom(Path, &Err)) << Err;
+  EXPECT_TRUE(std::isnan(T2.run(Smaller)));
+  std::remove(Path.c_str());
+}

@@ -157,8 +157,8 @@ TEST_F(CoreTest, UnseenTypeBecomesPredictableViaMarkers) {
   // After: the *other* QuicStream parameter resolves to the new type.
   bool Predicted = false;
   for (const PredictionResult &Pred : P.predictFile(Ex))
-    if (Pred.Tgt->Kind == SymbolKind::Parameter &&
-        Pred.Tgt != Targets[static_cast<size_t>(MarkerRow)])
+    if (Pred.Kind == SymbolKind::Parameter &&
+        Pred.NodeIdx != Targets[static_cast<size_t>(MarkerRow)]->NodeIdx)
       Predicted |= Pred.top() == Unseen;
   EXPECT_TRUE(Predicted) << "open-vocabulary adaptation failed";
 }

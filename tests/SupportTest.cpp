@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - support/ unit tests --------------------------===//
 
+#include "support/Archive.h"
 #include "support/Rng.h"
 #include "support/Str.h"
 #include "support/Table.h"
@@ -372,4 +373,127 @@ TEST(ThreadPoolTest, GlobalPoolIsConfigurable) {
   EXPECT_EQ(Sum.load(), 256);
   setGlobalNumThreads(0); // back to the hardware default
   EXPECT_GE(globalNumThreads(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Archive (the artifact substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(ArchiveTest, Crc32MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(ArchiveTest, ScalarsAndStringsRoundTrip) {
+  ArchiveWriter W(7);
+  W.beginChunk("test");
+  W.writeU8(200);
+  W.writeU32(0xDEADBEEFu);
+  W.writeU64(0x0123456789ABCDEFull);
+  W.writeI32(-42);
+  W.writeI64(-1234567890123ll);
+  W.writeF32(3.25f);
+  W.writeF64(-2.5e-300);
+  W.writeStr("hello archive");
+  float Xs[3] = {1.f, -0.f, 2.5f};
+  W.writeF32Array(Xs, 3);
+  W.endChunk();
+
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  EXPECT_EQ(R.formatVersion(), 7u);
+  ASSERT_TRUE(R.hasChunk("test"));
+  ArchiveCursor C = R.chunk("test", &Err);
+  EXPECT_EQ(C.readU8(), 200);
+  EXPECT_EQ(C.readU32(), 0xDEADBEEFu);
+  EXPECT_EQ(C.readU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(C.readI32(), -42);
+  EXPECT_EQ(C.readI64(), -1234567890123ll);
+  EXPECT_EQ(C.readF32(), 3.25f);
+  EXPECT_EQ(C.readF64(), -2.5e-300);
+  EXPECT_EQ(C.readStr(), "hello archive");
+  float Ys[3] = {};
+  C.readF32Array(Ys, 3);
+  EXPECT_EQ(Ys[0], 1.f);
+  EXPECT_EQ(Ys[2], 2.5f);
+  EXPECT_TRUE(C.atEnd());
+}
+
+TEST(ArchiveTest, ChunksAreLocatedByTagInAnyOrder) {
+  ArchiveWriter W(1);
+  W.beginChunk("aaaa");
+  W.writeU32(1);
+  W.endChunk();
+  W.beginChunk("bbbb");
+  W.writeU32(2);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ASSERT_EQ(R.chunks().size(), 2u);
+  EXPECT_EQ(R.chunk("bbbb", nullptr).readU32(), 2u);
+  EXPECT_EQ(R.chunk("aaaa", nullptr).readU32(), 1u);
+}
+
+TEST(ArchiveTest, MissingChunkFailsWithClearError) {
+  ArchiveWriter W(1);
+  W.beginChunk("aaaa");
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = R.chunk("nope", &Err);
+  EXPECT_FALSE(C.ok());
+  EXPECT_NE(Err.find("missing chunk 'nope'"), std::string::npos) << Err;
+}
+
+TEST(ArchiveTest, CursorOverrunIsStickyNotUndefined) {
+  ArchiveWriter W(1);
+  W.beginChunk("tiny");
+  W.writeU8(5);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = R.chunk("tiny", &Err);
+  EXPECT_EQ(C.readU8(), 5);
+  EXPECT_EQ(C.readU64(), 0u); // past the end: zero, and...
+  EXPECT_FALSE(C.ok());       // ...the cursor is marked failed
+  EXPECT_FALSE(C.atEnd());
+}
+
+TEST(ArchiveTest, CorruptPayloadIsRejectedByChecksum) {
+  ArchiveWriter W(1);
+  W.beginChunk("data");
+  for (int I = 0; I != 64; ++I)
+    W.writeU32(static_cast<uint32_t>(I));
+  W.endChunk();
+  std::string Bytes = W.bytes();
+  Bytes[Bytes.size() / 2] ^= 0x40; // flip one bit mid-payload
+  ArchiveReader R;
+  std::string Err;
+  EXPECT_FALSE(R.openBytes(Bytes, &Err));
+  EXPECT_NE(Err.find("checksum mismatch"), std::string::npos) << Err;
+}
+
+TEST(ArchiveTest, TruncationIsRejected) {
+  ArchiveWriter W(1);
+  W.beginChunk("data");
+  W.writeU64(99);
+  W.endChunk();
+  std::string Bytes = W.bytes();
+  ArchiveReader R;
+  std::string Err;
+  EXPECT_FALSE(R.openBytes(Bytes.substr(0, Bytes.size() - 3), &Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+  EXPECT_FALSE(R.openBytes(Bytes.substr(0, 6), &Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+}
+
+TEST(ArchiveTest, ForeignBytesAreRejected) {
+  ArchiveReader R;
+  std::string Err;
+  EXPECT_FALSE(R.openBytes("definitely not an artifact", &Err));
+  EXPECT_NE(Err.find("bad magic"), std::string::npos) << Err;
 }

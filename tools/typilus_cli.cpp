@@ -1,0 +1,569 @@
+//===- tools/typilus_cli.cpp - Train-once / serve-many command line ------------===//
+//
+// The deployment workflow of Fig. 1 as a command line: `train` fits a
+// model and writes a versioned artifact; `predict` loads that artifact in
+// a fresh process — no training corpus, no retraining — and serves type
+// predictions; `inspect` prints what an artifact contains; `save`
+// rewrites an artifact (e.g. switching the kNN index between Annoy and
+// exact). Both train and predict print a digest of the test-split
+// predictions, so train-once/serve-many bit-identity is checkable from
+// the shell:
+//
+//   typilus_cli train --files 40 --epochs 4 --out model.typilus
+//   typilus_cli predict --model model.typilus
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "support/Archive.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace typilus;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Option parsing
+//===----------------------------------------------------------------------===//
+
+struct Options {
+  std::string Out;        ///< --out: artifact to write.
+  std::string ModelPath;  ///< --model: artifact to read.
+  std::string Checkpoint; ///< --checkpoint: checkpoint file for train.
+  bool Resume = false;    ///< --resume: continue from --checkpoint.
+  std::vector<std::string> Sources; ///< --source: real .py files to predict.
+  std::string Split = "test";       ///< --split for predict.
+  int Files = 60;
+  int Udts = 40;
+  int Epochs = 8;
+  int Hidden = 32;
+  int Limit = 10;
+  int Threads = 0;
+  int K = 10;
+  double P = 1.0;
+  bool HaveK = false, HaveP = false;
+  bool Exact = false, AnnoyFlag = false;
+  bool Verbose = false;
+  std::string Encoder = "graph";
+  std::string Loss = "typilus";
+  uint64_t Seed = 20200613;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  train    train on the synthetic corpus and write an artifact\n"
+      "           --out PATH [--files N] [--udts N] [--epochs N]\n"
+      "           [--hidden D] [--encoder graph|seq|path|names]\n"
+      "           [--loss typilus|space|class] [--exact] [--k N] [--p F]\n"
+      "           [--threads N] [--seed S] [--checkpoint PATH] [--resume]\n"
+      "           [--verbose]\n"
+      "  predict  load an artifact and predict, no training data needed\n"
+      "           --model PATH [--split train|valid|test] [--limit N]\n"
+      "           [--source FILE.py]... [--threads N]\n"
+      "  inspect  print an artifact's chunks, config and vocabularies\n"
+      "           --model PATH\n"
+      "  save     rewrite an artifact, optionally changing kNN options\n"
+      "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n",
+      Argv0);
+  return 2;
+}
+
+bool parseOptions(int Argc, char **Argv, Options &O) {
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&](const char *What) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", What);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    const char *V = nullptr;
+    if (A == "--out") {
+      if (!(V = Next("--out"))) return false;
+      O.Out = V;
+    } else if (A == "--model") {
+      if (!(V = Next("--model"))) return false;
+      O.ModelPath = V;
+    } else if (A == "--checkpoint") {
+      if (!(V = Next("--checkpoint"))) return false;
+      O.Checkpoint = V;
+    } else if (A == "--resume") {
+      O.Resume = true;
+    } else if (A == "--source") {
+      if (!(V = Next("--source"))) return false;
+      O.Sources.push_back(V);
+    } else if (A == "--split") {
+      if (!(V = Next("--split"))) return false;
+      O.Split = V;
+    } else if (A == "--files") {
+      if (!(V = Next("--files"))) return false;
+      O.Files = std::atoi(V);
+    } else if (A == "--udts") {
+      if (!(V = Next("--udts"))) return false;
+      O.Udts = std::atoi(V);
+    } else if (A == "--epochs") {
+      if (!(V = Next("--epochs"))) return false;
+      O.Epochs = std::atoi(V);
+    } else if (A == "--hidden") {
+      if (!(V = Next("--hidden"))) return false;
+      O.Hidden = std::atoi(V);
+    } else if (A == "--limit") {
+      if (!(V = Next("--limit"))) return false;
+      O.Limit = std::atoi(V);
+    } else if (A == "--threads") {
+      if (!(V = Next("--threads"))) return false;
+      O.Threads = std::atoi(V);
+    } else if (A == "--k") {
+      if (!(V = Next("--k"))) return false;
+      O.K = std::atoi(V);
+      O.HaveK = true;
+    } else if (A == "--p") {
+      if (!(V = Next("--p"))) return false;
+      O.P = std::atof(V);
+      O.HaveP = true;
+    } else if (A == "--seed") {
+      if (!(V = Next("--seed"))) return false;
+      O.Seed = std::strtoull(V, nullptr, 10);
+    } else if (A == "--encoder") {
+      if (!(V = Next("--encoder"))) return false;
+      O.Encoder = V;
+    } else if (A == "--loss") {
+      if (!(V = Next("--loss"))) return false;
+      O.Loss = V;
+    } else if (A == "--exact") {
+      O.Exact = true;
+    } else if (A == "--annoy") {
+      O.AnnoyFlag = true;
+    } else if (A == "--verbose") {
+      O.Verbose = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int fail(const std::string &Err) {
+  std::fprintf(stderr, "error: %s\n", Err.c_str());
+  return 1;
+}
+
+//===----------------------------------------------------------------------===//
+// The corpus recipe chunk ("corp"): enough of the generation and split
+// configuration for `predict` to rebuild the exact dataset the model was
+// trained on, so accuracy is reportable without shipping the corpus.
+//===----------------------------------------------------------------------===//
+
+void writeCorpusRecipe(ArchiveWriter &W, const CorpusConfig &CC,
+                       const DatasetConfig &DC) {
+  W.beginChunk("corp");
+  W.writeI32(CC.NumFiles);
+  W.writeI32(CC.NumUdts);
+  W.writeF64(CC.ZipfSkew);
+  W.writeF64(CC.NameNoise);
+  W.writeI32(CC.MinFuncsPerFile);
+  W.writeI32(CC.MaxFuncsPerFile);
+  W.writeF64(CC.DuplicateFraction);
+  W.writeU64(CC.Seed);
+  W.writeF64(DC.TrainFrac);
+  W.writeF64(DC.ValidFrac);
+  W.writeU8(DC.RunDedup ? 1 : 0);
+  W.writeF64(DC.DedupThreshold);
+  W.writeU64(DC.SplitSeed);
+  W.writeI32(DC.CommonThreshold);
+  W.endChunk();
+}
+
+bool readCorpusRecipe(const ArchiveReader &R, CorpusConfig &CC,
+                      DatasetConfig &DC, std::string *Err) {
+  ArchiveCursor C = R.chunk("corp", Err);
+  CC.NumFiles = C.readI32();
+  CC.NumUdts = C.readI32();
+  CC.ZipfSkew = C.readF64();
+  CC.NameNoise = C.readF64();
+  CC.MinFuncsPerFile = C.readI32();
+  CC.MaxFuncsPerFile = C.readI32();
+  CC.DuplicateFraction = C.readF64();
+  CC.Seed = C.readU64();
+  DC.TrainFrac = C.readF64();
+  DC.ValidFrac = C.readF64();
+  DC.RunDedup = C.readU8() != 0;
+  DC.DedupThreshold = C.readF64();
+  DC.SplitSeed = C.readU64();
+  DC.CommonThreshold = C.readI32();
+  if (!C.atEnd()) {
+    if (Err && Err->empty())
+      *Err = "malformed corpus recipe chunk";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Prediction digest + printing
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a over the full prediction set (paths, target ids, candidate type
+/// spellings and probability bit patterns). Predictions are bit-identical
+/// across processes and thread counts, so so is the digest.
+uint64_t digest(const std::vector<PredictionResult> &Preds) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != N; ++I) {
+      H ^= P[I];
+      H *= 0x100000001B3ull;
+    }
+  };
+  for (const PredictionResult &P : Preds) {
+    Mix(P.FilePath.data(), P.FilePath.size());
+    Mix(&P.TargetIdx, sizeof(P.TargetIdx));
+    for (const ScoredType &S : P.Candidates) {
+      const std::string &T = S.Type->str();
+      Mix(T.data(), T.size());
+      Mix(&S.Prob, sizeof(S.Prob));
+    }
+  }
+  return H;
+}
+
+void printPredictions(const std::vector<PredictionResult> &Preds, int Limit) {
+  int Shown = 0;
+  for (const PredictionResult &P : Preds) {
+    if (Limit >= 0 && Shown++ == Limit) {
+      std::printf("  ... (%zu more)\n", Preds.size() - static_cast<size_t>(Limit));
+      break;
+    }
+    std::printf("  %-18s %-20s %-10s -> %-20s (p=%.3f)%s%s\n",
+                P.FilePath.c_str(), P.SymbolName.c_str(),
+                symbolKindName(P.Kind),
+                P.top() ? P.top()->str().c_str() : "?", P.confidence(),
+                P.Truth ? "  truth " : "",
+                P.Truth ? P.Truth->str().c_str() : "");
+  }
+}
+
+void printSummary(const std::vector<PredictionResult> &Preds,
+                  TypeUniverse &U) {
+  size_t Exact = 0, Up = 0, Total = 0;
+  for (const PredictionResult &P : Preds) {
+    if (!P.Truth)
+      continue;
+    ++Total;
+    TypeRef Top = P.top();
+    Exact += Top == P.Truth;
+    Up += Top && U.erase(Top) == U.erase(P.Truth);
+  }
+  if (Total > 0)
+    std::printf("%zu predictions: %.1f%% exact, %.1f%% up-to-parametric\n",
+                Total, 100.0 * static_cast<double>(Exact) / Total,
+                100.0 * static_cast<double>(Up) / Total);
+}
+
+const std::vector<FileExample> *splitOf(const Dataset &DS,
+                                        const std::string &Name) {
+  if (Name == "train")
+    return &DS.Train;
+  if (Name == "valid")
+    return &DS.Valid;
+  if (Name == "test")
+    return &DS.Test;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// train
+//===----------------------------------------------------------------------===//
+
+int cmdTrain(const Options &O) {
+  if (O.Out.empty() && O.Checkpoint.empty())
+    return fail("train needs --out PATH (or at least --checkpoint PATH)");
+
+  ModelConfig MC;
+  if (O.Encoder == "graph")
+    MC.Encoder = EncoderKind::Graph;
+  else if (O.Encoder == "seq")
+    MC.Encoder = EncoderKind::Seq;
+  else if (O.Encoder == "path")
+    MC.Encoder = EncoderKind::Path;
+  else if (O.Encoder == "names")
+    MC.Encoder = EncoderKind::NamesOnly;
+  else
+    return fail("unknown encoder '" + O.Encoder + "'");
+  if (O.Loss == "typilus")
+    MC.Loss = LossKind::Typilus;
+  else if (O.Loss == "space")
+    MC.Loss = LossKind::Space;
+  else if (O.Loss == "class")
+    MC.Loss = LossKind::Class;
+  else
+    return fail("unknown loss '" + O.Loss + "'");
+  MC.HiddenDim = O.Hidden;
+
+  CorpusConfig CC;
+  CC.NumFiles = O.Files;
+  CC.NumUdts = O.Udts;
+  CC.Seed = O.Seed;
+  DatasetConfig DC;
+
+  std::printf("generating %d synthetic files...\n", CC.NumFiles);
+  Workbench WB = Workbench::make(CC, DC);
+  std::printf("dataset: %zu train / %zu valid / %zu test files, %zu targets\n",
+              WB.DS.Train.size(), WB.DS.Valid.size(), WB.DS.Test.size(),
+              WB.DS.numTargets());
+
+  TrainOptions TO;
+  TO.Epochs = O.Epochs;
+  TO.NumThreads = O.Threads;
+  TO.Verbose = O.Verbose;
+  TO.CheckpointPath = O.Checkpoint;
+
+  std::unique_ptr<TypeModel> Model = makeModel(MC, WB.DS, *WB.U);
+  Trainer T(*Model, TO);
+  if (O.Resume) {
+    if (O.Checkpoint.empty())
+      return fail("--resume needs --checkpoint PATH");
+    std::string Err;
+    if (!T.resumeFrom(O.Checkpoint, &Err))
+      return fail(Err);
+    std::printf("resumed from %s at epoch %d/%d\n", O.Checkpoint.c_str(),
+                T.epochsDone(), TO.Epochs);
+  }
+  std::printf("training %s/%s for %d epochs...\n", encoderKindName(MC.Encoder),
+              lossKindName(MC.Loss), TO.Epochs - T.epochsDone());
+  double Loss = T.run(WB.DS.Train);
+  if (std::isnan(Loss))
+    return fail("checkpoint does not match this corpus/split "
+                "(regenerate with the original --files/--seed)");
+  std::printf("final mean loss: %.4f\n", Loss);
+
+  // Build the serving predictor: τmap over train+valid for Space/Typilus
+  // models, plain classifier otherwise.
+  KnnOptions KO;
+  if (O.HaveK)
+    KO.K = O.K;
+  if (O.HaveP)
+    KO.P = O.P;
+  KO.UseAnnoy = !O.Exact;
+  KO.NumThreads = O.Threads;
+  Predictor P = MC.Loss == LossKind::Class
+                    ? Predictor::classifier(*Model)
+                    : [&] {
+                        std::vector<const FileExample *> MapFiles;
+                        for (const FileExample &F : WB.DS.Train)
+                          MapFiles.push_back(&F);
+                        for (const FileExample &F : WB.DS.Valid)
+                          MapFiles.push_back(&F);
+                        return Predictor::knn(*Model, MapFiles, KO);
+                      }();
+  if (P.isKnn())
+    std::printf("τmap: %zu markers (%s index)\n", P.typeMap().size(),
+                KO.UseAnnoy ? "Annoy" : "exact");
+
+  if (!O.Out.empty()) {
+    ArchiveWriter W(kModelArtifactVersion);
+    P.writeArtifact(W, *WB.U);
+    writeCorpusRecipe(W, CC, DC);
+    std::string Err;
+    if (!W.writeFile(O.Out, &Err))
+      return fail(Err);
+    std::printf("artifact written: %s (%zu bytes)\n", O.Out.c_str(),
+                W.bytes().size());
+  }
+
+  // The same-process predictions `predict` must reproduce bit-for-bit.
+  auto Preds = P.predictAll(WB.DS.Test);
+  printSummary(Preds, *WB.U);
+  std::printf("test-split digest: %016" PRIx64 "\n", digest(Preds));
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// predict
+//===----------------------------------------------------------------------===//
+
+int cmdPredict(const Options &O) {
+  if (O.ModelPath.empty())
+    return fail("predict needs --model PATH");
+  ArchiveReader R;
+  std::string Err;
+  if (!R.openFile(O.ModelPath, &Err))
+    return fail(Err);
+  std::unique_ptr<Predictor> P = Predictor::load(R, &Err);
+  if (!P)
+    return fail(Err);
+  KnnOptions KO = P->knnOptions();
+  KO.NumThreads = O.Threads;
+  P->setKnnOptions(KO);
+  TypeUniverse &U = *P->universe();
+  const ModelConfig &MC = P->model().config();
+  std::printf("loaded %s (%s/%s, D=%d%s)\n", O.ModelPath.c_str(),
+              encoderKindName(MC.Encoder), lossKindName(MC.Loss), MC.HiddenDim,
+              P->isKnn() ? ", kNN" : ", classifier");
+
+  // Real source files given: serve them directly.
+  if (!O.Sources.empty()) {
+    for (const std::string &Src : O.Sources) {
+      std::ifstream In(Src);
+      if (!In)
+        return fail("cannot read '" + Src + "'");
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      FileExample Ex =
+          buildExample(CorpusFile{Src, SS.str()}, U, GraphBuildOptions{});
+      auto Preds = P->predictFile(Ex);
+      std::printf("%s: %zu annotatable symbols\n", Src.c_str(), Preds.size());
+      printPredictions(Preds, O.Limit);
+    }
+    return 0;
+  }
+
+  // Otherwise rebuild the recipe split and report accuracy + digest.
+  CorpusConfig CC;
+  DatasetConfig DC;
+  if (!readCorpusRecipe(R, CC, DC, &Err))
+    return fail(Err + (R.hasChunk("corp")
+                           ? ""
+                           : " (artifact has no corpus recipe; use --source)"));
+  CorpusGenerator Gen(CC);
+  std::vector<CorpusFile> Files = Gen.generate();
+  // Resolve the dataset's types inside the artifact's universe so truth
+  // and prediction TypeRefs are the same interned pointers.
+  Dataset DS = buildDataset(Files, Gen.udts(), U, /*Hierarchy=*/nullptr, DC);
+  const std::vector<FileExample> *Split = splitOf(DS, O.Split);
+  if (!Split)
+    return fail("unknown split '" + O.Split + "'");
+  auto Preds = P->predictAll(*Split);
+  std::printf("%s split: %zu files\n", O.Split.c_str(), Split->size());
+  printPredictions(Preds, O.Limit);
+  printSummary(Preds, U);
+  if (O.Split == "test")
+    std::printf("test-split digest: %016" PRIx64 "\n", digest(Preds));
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// inspect
+//===----------------------------------------------------------------------===//
+
+int cmdInspect(const Options &O) {
+  if (O.ModelPath.empty())
+    return fail("inspect needs --model PATH");
+  ArchiveReader R;
+  std::string Err;
+  if (!R.openFile(O.ModelPath, &Err))
+    return fail(Err);
+  std::printf("%s: format version %u, %zu chunks\n", O.ModelPath.c_str(),
+              R.formatVersion(), R.chunks().size());
+  for (const ArchiveReader::ChunkInfo &C : R.chunks())
+    std::printf("  %-6s %10zu bytes  (crc ok)\n", C.Tag.c_str(), C.Size);
+
+  std::unique_ptr<Predictor> P = Predictor::load(R, &Err);
+  if (!P)
+    return fail(Err);
+  const ModelConfig &MC = P->model().config();
+  std::printf("model: encoder=%s loss=%s hidden=%d timesteps=%d seed=%" PRIu64
+              "\n",
+              encoderKindName(MC.Encoder), lossKindName(MC.Loss), MC.HiddenDim,
+              MC.TimeSteps, MC.Seed);
+  std::printf("vocabularies: %zu labels, %zu full types, %zu erased types, "
+              "%zu interned types, %zu parameters\n",
+              P->model().labelVocab().size(), P->model().typeVocabs().Full.size(),
+              P->model().typeVocabs().Erased.size(), P->universe()->size(),
+              P->model().params().numParams());
+  if (P->isKnn())
+    std::printf("τmap: %zu markers, k=%d, p=%.2f, %s index\n",
+                P->typeMap().size(), P->knnOptions().K, P->knnOptions().P,
+                P->knnOptions().UseAnnoy ? "Annoy" : "exact");
+  else
+    std::printf("classifier over the closed type vocabulary\n");
+  if (R.hasChunk("corp")) {
+    CorpusConfig CC;
+    DatasetConfig DC;
+    if (readCorpusRecipe(R, CC, DC, &Err))
+      std::printf("corpus recipe: %d files, %d UDTs, seed %" PRIu64 "\n",
+                  CC.NumFiles, CC.NumUdts, CC.Seed);
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// save (rewrite / re-index)
+//===----------------------------------------------------------------------===//
+
+int cmdSave(const Options &O) {
+  if (O.ModelPath.empty() || O.Out.empty())
+    return fail("save needs --model PATH and --out PATH");
+  if (O.Exact && O.AnnoyFlag)
+    return fail("--exact and --annoy are mutually exclusive");
+  ArchiveReader R;
+  std::string Err;
+  if (!R.openFile(O.ModelPath, &Err))
+    return fail(Err);
+  std::unique_ptr<Predictor> P = Predictor::load(R, &Err);
+  if (!P)
+    return fail(Err);
+
+  KnnOptions KO = P->knnOptions();
+  if (O.HaveK)
+    KO.K = O.K;
+  if (O.HaveP)
+    KO.P = O.P;
+  if (O.Exact)
+    KO.UseAnnoy = false;
+  if (O.AnnoyFlag)
+    KO.UseAnnoy = true;
+  P->setKnnOptions(KO); // rebuilds the index when the kind flips
+
+  ArchiveWriter W(kModelArtifactVersion);
+  P->writeArtifact(W, *P->universe());
+  if (R.hasChunk("corp")) {
+    CorpusConfig CC;
+    DatasetConfig DC;
+    if (!readCorpusRecipe(R, CC, DC, &Err))
+      return fail(Err);
+    writeCorpusRecipe(W, CC, DC);
+  }
+  if (!W.writeFile(O.Out, &Err))
+    return fail(Err);
+  std::printf("rewritten: %s -> %s (%zu bytes%s)\n", O.ModelPath.c_str(),
+              O.Out.c_str(), W.bytes().size(),
+              P->isKnn() ? (KO.UseAnnoy ? ", Annoy index" : ", exact index")
+                         : "");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  Options O;
+  if (!parseOptions(Argc, Argv, O))
+    return 2;
+
+  if (Cmd == "train")
+    return cmdTrain(O);
+  if (Cmd == "predict")
+    return cmdPredict(O);
+  if (Cmd == "inspect")
+    return cmdInspect(O);
+  if (Cmd == "save")
+    return cmdSave(O);
+  return usage(Argv[0]);
+}
