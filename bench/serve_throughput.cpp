@@ -1,0 +1,153 @@
+//===- bench/serve_throughput.cpp - Serving daemon throughput ------------------===//
+//
+// Measures the serving pipeline behind typilus_serve: requests per second
+// for one-request-at-a-time serving (MaxBatch = 1, the process-per-file
+// deployment's steady-state equivalent) versus the batched pipeline
+// (MaxBatch = 32: coalescing + identical-request collapsing + data-parallel
+// embeds + one bulk τmap probe), at 1 and 4 threads, over two request
+// traces:
+//
+//   fleet   50 concurrent requests for ONE file — the shape of the CI
+//           daemon smoke and of a CI/IDE fleet re-checking a hot file.
+//   mixed   8 concurrent clients × the same 12-file project (96 requests,
+//           interleaved) — a CI matrix re-checking one changed project.
+//   unique  48 requests, all distinct files — the no-overlap floor, where
+//           batching can only win through request-level parallelism
+//           (visible on multi-core hosts, not on 1-core containers).
+//
+// Responses are bit-identical across all modes (tests/ServeTest.cpp), so
+// this measures pure pipeline efficiency. Records via
+// tools/record_bench.sh as BENCH_serve_throughput.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "serve/Server.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+
+using namespace typilus;
+using namespace typilus::bench;
+using namespace typilus::serve;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct Trace {
+  const char *Name;
+  std::vector<Request> Reqs;
+};
+
+/// Serves \p Reqs through a fresh Server and returns requests/second
+/// (submit of the first request to arrival of the last response).
+double serveTrace(Predictor &P, TypeUniverse &U, const Trace &T,
+                  int MaxBatch) {
+  ServerOptions SO;
+  SO.MaxBatch = MaxBatch;
+  Server S(P, U, SO);
+  std::mutex Mu;
+  std::condition_variable CV;
+  size_t Done = 0;
+  auto T0 = std::chrono::steady_clock::now();
+  for (const Request &R : T.Reqs)
+    S.submit(R, [&](std::string) {
+      std::lock_guard<std::mutex> L(Mu);
+      if (++Done == T.Reqs.size())
+        CV.notify_one();
+    });
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    CV.wait(L, [&] { return Done == T.Reqs.size(); });
+  }
+  double Sec = secondsSince(T0);
+  S.stop();
+  return static_cast<double>(T.Reqs.size()) / Sec;
+}
+
+} // namespace
+
+int main() {
+  banner("Serving throughput: batched pipeline vs one-request-at-a-time",
+         "the Fig. 1 deployment loop");
+  BenchScale S = BenchScale::fromEnv();
+  Workbench WB = makeBench(S);
+  ModelConfig MC; // Graph + Typilus, the artifact typilus_serve loads
+  TrainOptions TO = makeTrainOptions(S);
+  // Weight quality does not affect serving speed; cap the training cost.
+  TO.Epochs = std::min(TO.Epochs, 4);
+  std::printf("training on %zu files, %d epochs...\n", WB.DS.Train.size(),
+              TO.Epochs);
+  std::unique_ptr<TypeModel> Model = makeModel(MC, WB.DS, *WB.U);
+  trainModel(*Model, WB.DS.Train, TO);
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB.DS.Train)
+    MapFiles.push_back(&F);
+  for (const FileExample &F : WB.DS.Valid)
+    MapFiles.push_back(&F);
+  Predictor P = Predictor::knn(*Model, MapFiles);
+  std::printf("τmap: %zu markers\n\n", P.typeMap().size());
+
+  auto RequestFor = [&](size_t File, int64_t Id) {
+    const CorpusFile &F = WB.Files[File % WB.Files.size()];
+    Request R;
+    R.Id = Id;
+    R.M = Method::Predict;
+    R.Path = F.Path;
+    R.Source = F.Source;
+    return R;
+  };
+  std::vector<Trace> Traces(3);
+  Traces[0].Name = "fleet";
+  for (int I = 0; I != 50; ++I)
+    Traces[0].Reqs.push_back(RequestFor(0, I));
+  Traces[1].Name = "mixed";
+  for (int I = 0; I != 96; ++I)
+    Traces[1].Reqs.push_back(RequestFor(static_cast<size_t>(I) % 12, I));
+  Traces[2].Name = "unique";
+  // Capped at the corpus size: RequestFor wraps modulo the file list, and
+  // duplicates would silently collapse — no longer the no-overlap floor
+  // this trace exists to measure (matters at TYPILUS_BENCH_FILES < 48).
+  size_t UniqueN = std::min<size_t>(48, WB.Files.size());
+  for (size_t I = 0; I != UniqueN; ++I)
+    Traces[2].Reqs.push_back(RequestFor(I, static_cast<int64_t>(I)));
+
+  TextTable Tbl;
+  Tbl.setHeader({"trace", "threads", "one-at-a-time req/s", "batched req/s",
+                 "speedup"});
+  double SpeedupAt4 = 0; // mixed trace, the headline number
+  for (int Threads : {1, 4}) {
+    setGlobalNumThreads(Threads);
+    KnnOptions KO = P.knnOptions();
+    KO.NumThreads = Threads;
+    P.setKnnOptions(KO);
+    for (const Trace &T : Traces) {
+      serveTrace(P, *WB.U, T, 1); // warm caches and the pool
+      double Sequential = serveTrace(P, *WB.U, T, 1);
+      double Batched = serveTrace(P, *WB.U, T, 32);
+      double Speedup = Batched / Sequential;
+      Tbl.addRow({T.Name, std::to_string(Threads),
+                  strformat("%.1f", Sequential), strformat("%.1f", Batched),
+                  strformat("%.2fx", Speedup)});
+      std::printf("trace=%s threads=%d sequential_rps=%.1f batched_rps=%.1f "
+                  "speedup=%.2f\n",
+                  T.Name, Threads, Sequential, Batched, Speedup);
+      if (Threads == 4 && std::string(T.Name) == "mixed")
+        SpeedupAt4 = Speedup;
+    }
+  }
+  setGlobalNumThreads(0);
+  std::printf("\n%s\n", Tbl.renderAscii().c_str());
+  std::printf("batched_vs_sequential_speedup@4threads: %.2fx (mixed trace)\n",
+              SpeedupAt4);
+  return 0;
+}

@@ -213,76 +213,156 @@ void Predictor::addMarkersFrom(const FileExample &File) {
   rebuildIndex();
 }
 
-/// Copies the stable identity of target row \p I of \p File into \p R —
-/// everything downstream consumers need once the dataset is gone.
+/// Copies the stable identity of target \p T (index \p I of \p File's
+/// Targets) into \p R — everything downstream consumers need once the
+/// dataset is gone.
 static void fillIdentity(PredictionResult &R, const FileExample &File,
-                         const std::vector<const Target *> &Targets,
-                         size_t I) {
+                         const Target &T, size_t I) {
   R.FilePath = File.Path;
   R.TargetIdx = static_cast<int>(I);
-  R.NodeIdx = Targets[I]->NodeIdx;
-  R.SymbolName = Targets[I]->Name;
-  R.Kind = Targets[I]->Kind;
-  R.Truth = Targets[I]->Type;
+  R.NodeIdx = T.NodeIdx;
+  R.SymbolName = T.Name;
+  R.Kind = T.Kind;
+  R.Truth = T.Type;
 }
 
 std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
-  std::vector<PredictionResult> Results;
-  std::vector<const Target *> Targets;
-  nn::Value Emb = Model->embed({&File}, &Targets);
-  if (!Emb.defined())
-    return Results;
-  const Tensor &E = Emb.val();
+  return std::move(predictBatch({&File}).front());
+}
+
+std::vector<std::vector<PredictionResult>>
+Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
+  std::vector<std::vector<PredictionResult>> Out(Files.size());
+  if (Files.empty())
+    return Out;
+
+  // File-level data parallelism: each file goes through the exact
+  // single-file embed call predictFile would make — bit-identity with
+  // single-shot prediction holds by construction — and thread-safe
+  // encoders embed files concurrently through the pool. (A merged
+  // multi-file batch graph was measured slower here: the batched node
+  // matrix blows the cache while the small per-request GEMMs were never
+  // parallel to begin with. File granularity scales with cores instead.)
+  size_t N = Files.size();
+  std::vector<Tensor> Embs(N);
+  std::vector<std::vector<const Target *>> Targets(N);
+  auto EmbedOne = [&](size_t I) {
+    nn::Value Emb = Model->embed({Files[I]}, &Targets[I]);
+    if (Emb.defined())
+      Embs[I] = Emb.val();
+  };
+  if (Model->supportsParallelEmbed()) {
+    parallelFor(
+        0, static_cast<int64_t>(N), 1,
+        [&](int64_t Lo, int64_t Hi) {
+          for (int64_t I = Lo; I != Hi; ++I)
+            EmbedOne(static_cast<size_t>(I));
+        },
+        Knn.NumThreads);
+  } else {
+    // Path consumes its sampling RNG sequentially — file order here is
+    // the same order separate predictFile calls would consume it in.
+    for (size_t I = 0; I != N; ++I)
+      EmbedOne(I);
+  }
 
   if (IsKnn) {
-    // One bulk index probe for the whole file, answered through the pool.
-    int64_t NumQ = static_cast<int64_t>(Targets.size());
+    // One bulk index probe for every target of every file, answered
+    // through the pool against the already-loaded τmap.
+    int64_t D = Map->dim();
+    std::vector<float> Queries;
+    int64_t NumQ = 0;
+    for (size_t I = 0; I != N; ++I)
+      NumQ += static_cast<int64_t>(Targets[I].size());
+    Queries.reserve(static_cast<size_t>(NumQ * D));
+    for (size_t I = 0; I != N; ++I)
+      if (Embs[I].numel() > 0)
+        Queries.insert(Queries.end(), Embs[I].data(),
+                       Embs[I].data() + Embs[I].numel());
     std::vector<NeighborList> Neigh =
         Annoy && Knn.UseAnnoy
-            ? Annoy->queryBatch(E.data(), NumQ, Knn.K, /*SearchK=*/-1,
+            ? Annoy->queryBatch(Queries.data(), NumQ, Knn.K, /*SearchK=*/-1,
                                 Knn.NumThreads)
-            : Exact->queryBatch(E.data(), NumQ, Knn.K, Knn.NumThreads);
-    for (size_t I = 0; I != Targets.size(); ++I) {
-      PredictionResult R;
-      fillIdentity(R, File, Targets, I);
-      R.Candidates = scoreNeighbors(*Map, Neigh[I], Knn.P);
-      Results.push_back(std::move(R));
-    }
-    return Results;
+            : Exact->queryBatch(Queries.data(), NumQ, Knn.K, Knn.NumThreads);
+    size_t Row = 0;
+    for (size_t F = 0; F != N; ++F)
+      for (size_t I = 0; I != Targets[F].size(); ++I) {
+        PredictionResult R;
+        fillIdentity(R, *Files[F], *Targets[F][I], I);
+        R.Candidates = scoreNeighbors(*Map, Neigh[Row++], Knn.P);
+        Out[F].push_back(std::move(R));
+      }
+    return Out;
   }
 
-  // Classification path.
-  Tensor Probs = Model->classProbs(Emb);
+  // Classification path: per-file softmax over the closed vocabulary
+  // (row results are independent, so per-file equals one stacked pass).
   const TypeIdMap &Full = Model->typeVocabs().Full;
-  for (size_t I = 0; I != Targets.size(); ++I) {
-    PredictionResult R;
-    fillIdentity(R, File, Targets, I);
-    // Keep the top few candidates for PR sweeps.
-    std::vector<std::pair<float, int>> Ranked;
-    for (int64_t C = 0; C != Probs.cols(); ++C)
-      Ranked.emplace_back(Probs.at(static_cast<int64_t>(I), C),
-                          static_cast<int>(C));
-    size_t Keep = std::min<size_t>(10, Ranked.size());
-    std::partial_sort(Ranked.begin(), Ranked.begin() + static_cast<long>(Keep),
-                      Ranked.end(), [](const auto &A, const auto &B) {
-                        if (A.first != B.first)
-                          return A.first > B.first;
-                        return A.second < B.second;
-                      });
-    for (size_t C = 0; C != Keep; ++C)
-      R.Candidates.push_back(
-          ScoredType{Full.type(Ranked[C].second), Ranked[C].first});
-    Results.push_back(std::move(R));
+  for (size_t F = 0; F != N; ++F) {
+    if (Embs[F].numel() == 0)
+      continue;
+    Tensor Probs = Model->classProbs(nn::Value::constant(Embs[F]));
+    for (size_t I = 0; I != Targets[F].size(); ++I) {
+      PredictionResult R;
+      fillIdentity(R, *Files[F], *Targets[F][I], I);
+      // Keep the top few candidates for PR sweeps.
+      std::vector<std::pair<float, int>> Ranked;
+      for (int64_t C = 0; C != Probs.cols(); ++C)
+        Ranked.emplace_back(Probs.at(static_cast<int64_t>(I), C),
+                            static_cast<int>(C));
+      size_t Keep = std::min<size_t>(10, Ranked.size());
+      std::partial_sort(Ranked.begin(),
+                        Ranked.begin() + static_cast<long>(Keep), Ranked.end(),
+                        [](const auto &A, const auto &B) {
+                          if (A.first != B.first)
+                            return A.first > B.first;
+                          return A.second < B.second;
+                        });
+      for (size_t C = 0; C != Keep; ++C)
+        R.Candidates.push_back(
+            ScoredType{Full.type(Ranked[C].second), Ranked[C].first});
+      Out[F].push_back(std::move(R));
+    }
   }
-  return Results;
+  return Out;
 }
 
 std::vector<PredictionResult>
 Predictor::predictAll(const std::vector<FileExample> &Files) {
+  // Chunked so a whole-corpus call does not materialize one giant batch
+  // graph; results are identical for any chunk size.
+  constexpr size_t ChunkFiles = 32;
   std::vector<PredictionResult> All;
-  for (const FileExample &F : Files) {
-    auto Part = predictFile(F);
-    All.insert(All.end(), Part.begin(), Part.end());
+  for (size_t Lo = 0; Lo < Files.size(); Lo += ChunkFiles) {
+    size_t Hi = std::min(Files.size(), Lo + ChunkFiles);
+    std::vector<const FileExample *> Chunk;
+    Chunk.reserve(Hi - Lo);
+    for (size_t I = Lo; I != Hi; ++I)
+      Chunk.push_back(&Files[I]);
+    for (std::vector<PredictionResult> &Part : predictBatch(Chunk))
+      All.insert(All.end(), std::make_move_iterator(Part.begin()),
+                 std::make_move_iterator(Part.end()));
   }
   return All;
+}
+
+uint64_t typilus::predictionDigest(const std::vector<PredictionResult> &Preds) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != N; ++I) {
+      H ^= P[I];
+      H *= 0x100000001B3ull;
+    }
+  };
+  for (const PredictionResult &P : Preds) {
+    Mix(P.FilePath.data(), P.FilePath.size());
+    Mix(&P.TargetIdx, sizeof(P.TargetIdx));
+    for (const ScoredType &S : P.Candidates) {
+      const std::string &T = S.Type->str();
+      Mix(T.data(), T.size());
+      Mix(&S.Prob, sizeof(S.Prob));
+    }
+  }
+  return H;
 }

@@ -107,7 +107,19 @@ public:
   /// Predicts candidates for every target of \p File.
   std::vector<PredictionResult> predictFile(const FileExample &File);
 
-  /// Convenience: predicts over a whole split.
+  /// The batched serving entry point: every file goes through the exact
+  /// single-file encoder pass predictFile would make — data-parallel
+  /// across files on the thread pool when the encoder allows it — and
+  /// all targets of all files are answered through one bulk kNN probe
+  /// against the already-loaded τmap, with no per-request setup.
+  /// \returns per-file results, index-aligned with \p Files,
+  /// bit-identical to calling predictFile on each file by construction
+  /// (tests/ServeTest.cpp pins this, incl. the classifier path).
+  std::vector<std::vector<PredictionResult>>
+  predictBatch(const std::vector<const FileExample *> &Files);
+
+  /// Convenience: predicts over a whole split (through predictBatch, in
+  /// bounded chunks).
   std::vector<PredictionResult>
   predictAll(const std::vector<FileExample> &Files);
 
@@ -143,6 +155,13 @@ private:
   std::unique_ptr<AnnoyIndex> Annoy;
   std::unique_ptr<ExactIndex> Exact;
 };
+
+/// FNV-1a over the full prediction set: file paths, target indexes, and
+/// every candidate's type spelling + probability *bit pattern*.
+/// Predictions are bit-identical across processes and thread counts, so
+/// so is the digest — the CLI, the serving daemon and CI all compare
+/// serving paths through this one function.
+uint64_t predictionDigest(const std::vector<PredictionResult> &Preds);
 
 } // namespace typilus
 

@@ -72,6 +72,11 @@ public:
     YieldExpr,
   };
 
+  /// Nodes are owned and destroyed as `unique_ptr<AstNode>`, so the
+  /// destructor must dispatch to the derived class (caught by the ASan
+  /// CI job as a new-delete size mismatch when it did not).
+  virtual ~AstNode() = default;
+
   NodeKind kind() const { return K; }
   /// Node id, dense within the owning Module (graph node mapping).
   int id() const { return Id; }

@@ -1,0 +1,142 @@
+//===- serve/Protocol.cpp - The serving wire protocol --------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "pyfront/SymbolTable.h"
+#include "support/Json.h"
+#include "support/Str.h"
+
+using namespace typilus;
+using namespace typilus::serve;
+
+bool serve::parseRequest(std::string_view Line, Request &Out,
+                         std::string *Err) {
+  Out = Request();
+  json::Value V;
+  if (!json::parse(Line, V, Err))
+    return false;
+  if (!V.isObject()) {
+    if (Err)
+      *Err = "request must be a JSON object";
+    return false;
+  }
+  // Recover the id first so even a bad method/field error correlates.
+  const json::Value *Id = V.find("id");
+  if (!Id || !Id->isNumber()) {
+    if (Err)
+      *Err = "request needs a numeric \"id\"";
+    return false;
+  }
+  Out.Id = Id->asInt();
+
+  std::string M = V.getString("method", "");
+  if (M == "predict")
+    Out.M = Method::Predict;
+  else if (M == "ping")
+    Out.M = Method::Ping;
+  else if (M == "stats")
+    Out.M = Method::Stats;
+  else if (M == "shutdown")
+    Out.M = Method::Shutdown;
+  else {
+    if (Err)
+      *Err = M.empty() ? "request needs a \"method\""
+                       : "unknown method '" + M + "'";
+    return false;
+  }
+
+  if (Out.M == Method::Predict) {
+    const json::Value *Src = V.find("source");
+    if (!Src || !Src->isString()) {
+      if (Err)
+        *Err = "predict needs a string \"source\"";
+      return false;
+    }
+    Out.Source = Src->asString();
+    Out.Path = V.getString("path", "<request>");
+    Out.Limit = static_cast<int>(V.getInt("limit", -1));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Response serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string head(int64_t Id, bool Ok) {
+  std::string R = "{\"id\":" + std::to_string(Id);
+  R += Ok ? ",\"ok\":true" : ",\"ok\":false";
+  return R;
+}
+
+} // namespace
+
+std::string serve::errorResponse(int64_t Id, std::string_view Error) {
+  std::string R = head(Id, false);
+  R += ",\"error\":";
+  json::appendQuoted(R, Error);
+  R += "}\n";
+  return R;
+}
+
+std::string serve::pongResponse(int64_t Id) {
+  return head(Id, true) +
+         ",\"pong\":true,\"protocol\":" + std::to_string(kProtocolVersion) +
+         "}\n";
+}
+
+std::string serve::statsResponse(int64_t Id, const ServerStats &S) {
+  return head(Id, true) + ",\"requests\":" + std::to_string(S.Requests) +
+         ",\"batches\":" + std::to_string(S.Batches) +
+         ",\"max_coalesced\":" + std::to_string(S.MaxCoalesced) +
+         ",\"collapsed\":" + std::to_string(S.Collapsed) + "}\n";
+}
+
+std::string serve::shutdownResponse(int64_t Id) {
+  return head(Id, true) + ",\"shutting_down\":true}\n";
+}
+
+std::string serve::predictResponse(int64_t Id, std::string_view Path,
+                                   const std::vector<PredictionResult> &Preds,
+                                   int Limit) {
+  std::string R = head(Id, true);
+  R += ",\"path\":";
+  json::appendQuoted(R, Path);
+  // The digest spans every candidate of every symbol regardless of
+  // Limit, mirroring `typilus_cli predict` (whose --limit also only
+  // truncates what is printed).
+  R += ",\"digest\":";
+  json::appendQuoted(R, strformat("%016llx", static_cast<unsigned long long>(
+                                                 predictionDigest(Preds))));
+  R += ",\"predictions\":[";
+  bool FirstSym = true;
+  for (const PredictionResult &P : Preds) {
+    if (!FirstSym)
+      R += ",";
+    FirstSym = false;
+    R += "{\"symbol\":";
+    json::appendQuoted(R, P.SymbolName);
+    R += ",\"kind\":";
+    json::appendQuoted(R, symbolKindName(P.Kind));
+    R += ",\"target\":" + std::to_string(P.TargetIdx);
+    R += ",\"node\":" + std::to_string(P.NodeIdx);
+    R += ",\"candidates\":[";
+    size_t Keep = Limit >= 0
+                      ? std::min(P.Candidates.size(), static_cast<size_t>(Limit))
+                      : P.Candidates.size();
+    for (size_t C = 0; C != Keep; ++C) {
+      if (C)
+        R += ",";
+      R += "{\"type\":";
+      json::appendQuoted(R, P.Candidates[C].Type->str());
+      R += ",\"prob\":";
+      json::appendNumber(R, P.Candidates[C].Prob);
+      R += "}";
+    }
+    R += "]}";
+  }
+  R += "]}\n";
+  return R;
+}

@@ -1,0 +1,85 @@
+//===- serve/Protocol.h - The serving wire protocol ---------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited JSON protocol the daemon speaks (grammar in
+/// docs/ARCHITECTURE.md "Serving"). One request per line, one response
+/// per line, matched by `id`; `predict` responses carry the same FNV-1a
+/// digest `typilus_cli predict` prints, so serving paths are
+/// digest-comparable from the shell — the bit-identity contract CI
+/// enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SERVE_PROTOCOL_H
+#define TYPILUS_SERVE_PROTOCOL_H
+
+#include "core/Predictor.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace typilus {
+namespace serve {
+
+/// Protocol revision, echoed by ping. Bump on incompatible grammar
+/// changes; clients may check it before issuing work.
+inline constexpr int kProtocolVersion = 1;
+
+/// Default cap on one request line; LineReader discards anything longer
+/// and the daemon answers with an error (oversized-request guard).
+inline constexpr size_t kDefaultMaxRequestBytes = 4u << 20;
+
+enum class Method {
+  Predict,  ///< Annotate one source file.
+  Ping,     ///< Liveness + protocol version probe.
+  Stats,    ///< Serving counters (requests, batches, coalescing).
+  Shutdown, ///< Graceful stop: drain, respond, exit.
+};
+
+/// One parsed request line.
+struct Request {
+  int64_t Id = -1; ///< Echoed in the response; -1 when unrecoverable.
+  Method M = Method::Ping;
+  std::string Path;   ///< predict: file path used in results/digests.
+  std::string Source; ///< predict: the file's contents.
+  int Limit = -1;     ///< predict: candidate cap per symbol (-1 = all).
+};
+
+/// Parses one request line. On failure \returns false, sets \p Err, and
+/// leaves whatever id could be recovered in \p Out.Id so the error
+/// response still correlates.
+bool parseRequest(std::string_view Line, Request &Out, std::string *Err);
+
+/// Serving counters, reported by the `stats` method.
+struct ServerStats {
+  uint64_t Requests = 0;     ///< Predict requests answered.
+  uint64_t Batches = 0;      ///< Dispatches (== Requests when unbatched).
+  uint64_t MaxCoalesced = 0; ///< Largest batch observed.
+  uint64_t Collapsed = 0;    ///< Duplicate in-batch requests answered from
+                             ///< another request's prediction.
+};
+
+// Response serializers. Every response is one JSON object terminated by
+// '\n', with "id" and "ok" always present.
+std::string errorResponse(int64_t Id, std::string_view Error);
+std::string pongResponse(int64_t Id);
+std::string statsResponse(int64_t Id, const ServerStats &S);
+std::string shutdownResponse(int64_t Id);
+
+/// The predict response: per-symbol candidate lists (capped at \p Limit
+/// when >= 0) plus the digest over the *full* prediction set — the same
+/// value `typilus_cli predict --source` prints for this file.
+std::string predictResponse(int64_t Id, std::string_view Path,
+                            const std::vector<PredictionResult> &Preds,
+                            int Limit);
+
+} // namespace serve
+} // namespace typilus
+
+#endif // TYPILUS_SERVE_PROTOCOL_H

@@ -1,0 +1,217 @@
+//===- serve/Server.cpp - Batched request pipeline -----------------------------===//
+
+#include "serve/Server.h"
+
+#include "corpus/Dataset.h"
+#include "support/Socket.h"
+
+#include <exception>
+#include <map>
+#include <string_view>
+#include <utility>
+
+using namespace typilus;
+using namespace typilus::serve;
+
+Server::Server(Predictor &P, TypeUniverse &U, ServerOptions O)
+    : Pred(P), U(U), Opts(std::move(O)) {
+  if (Opts.MaxBatch < 1)
+    Opts.MaxBatch = 1;
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server() { stop(); }
+
+bool Server::submit(Request R, Respond Fn) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Stopping)
+      return false;
+    Queue.push_back(Pending{std::move(R), std::move(Fn)});
+  }
+  WakeCV.notify_one();
+  return true;
+}
+
+void Server::stop() {
+  // Exactly one caller claims the dispatcher thread; racing callers
+  // return once Stopping is set (the claimant does the drain+join).
+  std::thread ToJoin;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+    if (Dispatcher.joinable())
+      ToJoin = std::move(Dispatcher);
+  }
+  WakeCV.notify_all();
+  if (ToJoin.joinable())
+    ToJoin.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+void Server::dispatchLoop() {
+  for (;;) {
+    std::vector<Pending> Popped;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WakeCV.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty() && Stopping)
+        return; // fully drained
+      size_t Take =
+          std::min(Queue.size(), static_cast<size_t>(Opts.MaxBatch));
+      Popped.reserve(Take);
+      for (size_t I = 0; I != Take; ++I) {
+        Popped.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+    }
+
+    // Preserve arrival order: coalesce runs of consecutive predict
+    // requests, answer control requests at their position in between.
+    std::vector<Pending> Run;
+    for (Pending &P : Popped) {
+      if (P.R.M == Method::Predict) {
+        Run.push_back(std::move(P));
+        continue;
+      }
+      if (!Run.empty()) {
+        servePredicts(Run);
+        Run.clear();
+      }
+      serveOne(P);
+    }
+    if (!Run.empty())
+      servePredicts(Run);
+  }
+}
+
+void Server::serveOne(Pending &P) {
+  switch (P.R.M) {
+  case Method::Ping:
+    P.Fn(pongResponse(P.R.Id));
+    break;
+  case Method::Stats:
+    P.Fn(statsResponse(P.R.Id, stats()));
+    break;
+  case Method::Shutdown: {
+    P.Fn(shutdownResponse(P.R.Id));
+    // Copy: the callback may destroy transport state the Pending holds.
+    std::function<void()> Hook = Opts.OnShutdown;
+    if (Hook)
+      Hook();
+    break;
+  }
+  case Method::Predict:
+    break; // handled by servePredicts
+  }
+}
+
+void Server::servePredicts(std::vector<Pending> &Batch) {
+  // Collapse identical in-flight requests (same path + source): a fleet
+  // of clients asking about the same file — the CI smoke's exact shape —
+  // costs one prediction, not N. Each duplicate still gets its own
+  // response under its own id, bit-identical to the representative's.
+  std::vector<size_t> GroupOf(Batch.size());
+  std::vector<size_t> Rep; // index of each group's first request
+  std::map<std::pair<std::string_view, std::string_view>, size_t> Groups;
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    auto Key = std::make_pair(std::string_view(Batch[I].R.Path),
+                              std::string_view(Batch[I].R.Source));
+    auto [It, New] = Groups.emplace(Key, Rep.size());
+    if (New)
+      Rep.push_back(I);
+    GroupOf[I] = It->second;
+  }
+
+  // The dispatcher is the only thread interning into the universe
+  // (buildExample resolves annotation types) and running the model, by
+  // construction — parallelism comes from inside predictBatch.
+  bool Failed = false;
+  std::string Err;
+  try {
+    std::vector<FileExample> Examples;
+    Examples.reserve(Rep.size());
+    for (size_t G : Rep)
+      Examples.push_back(
+          buildExample(CorpusFile{Batch[G].R.Path, Batch[G].R.Source}, U, {}));
+    std::vector<const FileExample *> Ptrs;
+    Ptrs.reserve(Examples.size());
+    for (const FileExample &E : Examples)
+      Ptrs.push_back(&E);
+    std::vector<std::vector<PredictionResult>> PerGroup =
+        Pred.predictBatch(Ptrs);
+    for (size_t I = 0; I != Batch.size(); ++I) {
+      int Limit = Batch[I].R.Limit >= 0 ? Batch[I].R.Limit : Opts.Limit;
+      Batch[I].Fn(predictResponse(Batch[I].R.Id, Batch[I].R.Path,
+                                  PerGroup[GroupOf[I]], Limit));
+    }
+  } catch (const std::exception &E) {
+    Failed = true;
+    Err = E.what();
+  } catch (...) {
+    Failed = true;
+    Err = "unknown prediction failure";
+  }
+  if (Failed) {
+    // A poisoned batch must not take the daemon down; every request in
+    // it gets an error response and serving continues.
+    for (Pending &P : Batch)
+      P.Fn(errorResponse(P.R.Id, "prediction failed: " + Err));
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  Stats.Requests += Batch.size();
+  Stats.Batches += 1;
+  Stats.MaxCoalesced =
+      std::max(Stats.MaxCoalesced, static_cast<uint64_t>(Batch.size()));
+  Stats.Collapsed += Batch.size() - Rep.size();
+}
+
+//===----------------------------------------------------------------------===//
+// serveStream
+//===----------------------------------------------------------------------===//
+
+void serve::serveStream(int Fd, size_t MaxRequestBytes, Server &S,
+                        std::function<void(std::string)> Send,
+                        const std::atomic<bool> *Stop, int WakeFd) {
+  LineReader R(Fd, MaxRequestBytes, WakeFd);
+  std::string Line;
+  for (;;) {
+    LineReader::Status St = R.next(Line);
+    if (St == LineReader::Status::Eof || St == LineReader::Status::Error)
+      return;
+    if (St == LineReader::Status::Interrupted) {
+      if (Stop && Stop->load())
+        return;
+      continue;
+    }
+    if (St == LineReader::Status::TooLong) {
+      Send(errorResponse(-1, "request exceeds " +
+                                 std::to_string(MaxRequestBytes) +
+                                 " bytes and was discarded"));
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    Request Req;
+    std::string Err;
+    if (!parseRequest(Line, Req, &Err)) {
+      Send(errorResponse(Req.Id, Err));
+      continue;
+    }
+    int64_t Id = Req.Id;
+    bool WasShutdown = Req.M == Method::Shutdown;
+    if (!S.submit(std::move(Req), Send)) {
+      Send(errorResponse(Id, "server is shutting down"));
+      return;
+    }
+    // The drain (and this stream's teardown) starts once the dispatcher
+    // reaches the shutdown request; reading further would race it.
+    if (WasShutdown)
+      return;
+  }
+}

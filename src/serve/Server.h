@@ -1,0 +1,125 @@
+//===- serve/Server.h - Batched request pipeline ------------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving core behind `typilus_serve`, transport-agnostic so tests
+/// drive it in-process: reader threads submit parsed requests, a single
+/// dispatcher thread pops them and *coalesces* consecutive predict
+/// requests into one `Predictor::predictBatch` call — files embed
+/// data-parallel through the PR-2 thread pool and one bulk τmap probe
+/// answers the whole batch — after *collapsing* identical requests so N
+/// clients asking about the same source pay for one prediction. The
+/// dispatcher is the only thread touching the predictor
+/// and the type universe, so no locks sit on the hot path and responses
+/// are bit-identical to single-shot prediction for any thread count and
+/// any batch composition.
+///
+/// Shutdown is drain-first: stop() refuses new submissions, finishes
+/// every queued request (each gets its response) and joins the
+/// dispatcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SERVE_SERVER_H
+#define TYPILUS_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace typilus {
+
+class TypeUniverse;
+
+namespace serve {
+
+struct ServerOptions {
+  /// Most predict requests coalesced into one dispatch (1 = serve one
+  /// request at a time, the unbatched baseline bench/serve_throughput
+  /// compares against).
+  int MaxBatch = 16;
+  /// Default per-symbol candidate cap for responses that do not set
+  /// "limit" themselves (-1 = all candidates).
+  int Limit = -1;
+  /// Invoked on the dispatcher thread after a `shutdown` request has
+  /// been answered; the transport layer uses it to begin its drain.
+  std::function<void()> OnShutdown;
+};
+
+/// The batched request pipeline. Thread-safe entry: submit() may be
+/// called from any number of reader threads.
+class Server {
+public:
+  /// Response sink: receives one serialized response line. Invoked on
+  /// the dispatcher thread (submit-side threads never block on
+  /// prediction).
+  using Respond = std::function<void(std::string)>;
+
+  /// \p P must outlive the server; \p U is the universe \p P's types are
+  /// interned in (a loaded predictor owns it — `P.universe()`). Only the
+  /// dispatcher thread touches either.
+  Server(Predictor &P, TypeUniverse &U, ServerOptions O = {});
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Enqueues one request; the response arrives through \p Fn.
+  /// \returns false once stop() has begun (the request is not enqueued
+  /// and \p Fn will not be called).
+  bool submit(Request R, Respond Fn);
+
+  /// Drains: no new submissions, every queued request is answered, then
+  /// the dispatcher joins. Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+
+private:
+  struct Pending {
+    Request R;
+    Respond Fn;
+  };
+
+  void dispatchLoop();
+  void serveOne(Pending &P);
+  void servePredicts(std::vector<Pending> &Batch);
+
+  Predictor &Pred;
+  TypeUniverse &U;
+  ServerOptions Opts;
+
+  mutable std::mutex Mu;
+  std::condition_variable WakeCV;
+  std::deque<Pending> Queue;
+  bool Stopping = false;
+  ServerStats Stats;
+  std::thread Dispatcher;
+};
+
+/// Drives one NDJSON request stream (a connection or stdin): reads lines
+/// off \p Fd, answers protocol errors — malformed JSON, missing fields,
+/// lines over \p MaxRequestBytes — itself through \p Send, and submits
+/// well-formed requests to \p S (whose responses also flow through
+/// \p Send, from the dispatcher thread — \p Send must be thread-safe).
+/// Returns on EOF or a read error, right after submitting a `shutdown`
+/// request, or — when \p Stop is non-null — once *Stop reads true after
+/// an interrupted read. \p WakeFd (see LineReader) makes that preemption
+/// race-free: the stdio daemon passes its SIGTERM self-pipe so a signal
+/// landing between reads still wakes the stream.
+void serveStream(int Fd, size_t MaxRequestBytes, Server &S,
+                 std::function<void(std::string)> Send,
+                 const std::atomic<bool> *Stop = nullptr, int WakeFd = -1);
+
+} // namespace serve
+} // namespace typilus
+
+#endif // TYPILUS_SERVE_SERVER_H

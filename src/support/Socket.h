@@ -1,0 +1,140 @@
+//===- support/Socket.h - Unix-domain sockets and line IO ---------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the serving daemon (docs/ARCHITECTURE.md
+/// "Serving"): RAII file descriptors, a Unix-domain stream listener, a
+/// client connector, and a buffered newline-delimited reader with a hard
+/// per-line cap (the protocol's oversized-request guard). POSIX-only,
+/// like the rest of the build; everything reports failures through
+/// `std::string *Err` out-parameters instead of exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_SOCKET_H
+#define TYPILUS_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace typilus {
+
+/// Move-only owner of one POSIX file descriptor.
+class FileDesc {
+public:
+  FileDesc() = default;
+  explicit FileDesc(int Fd) : Fd(Fd) {}
+  ~FileDesc() { reset(); }
+
+  FileDesc(FileDesc &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FileDesc &operator=(FileDesc &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  FileDesc(const FileDesc &) = delete;
+  FileDesc &operator=(const FileDesc &) = delete;
+
+  int fd() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  /// Closes the descriptor (idempotent).
+  void reset();
+  /// `shutdown(SHUT_RD)`: wakes a blocked reader with EOF while keeping
+  /// the write side open — the daemon's drain-on-SIGTERM primitive.
+  void shutdownRead();
+
+private:
+  int Fd = -1;
+};
+
+/// A listening Unix-domain stream socket bound to a filesystem path.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens on \p Path (unlinking a stale socket file first).
+  /// Paths longer than sockaddr_un allows are rejected.
+  bool listenOn(const std::string &Path, std::string *Err);
+
+  /// Accepts one connection; blocks. \returns an invalid FileDesc on
+  /// error or after close(). EINTR is retried.
+  FileDesc acceptConn();
+
+  /// Closes the listening socket (acceptConn unblocks) and removes the
+  /// socket file.
+  void close();
+
+  int fd() const { return Listen.fd(); }
+  const std::string &path() const { return BoundPath; }
+
+private:
+  FileDesc Listen;
+  std::string BoundPath;
+};
+
+/// Connects to a Unix-domain listener at \p Path.
+bool connectUnix(const std::string &Path, FileDesc &Out, std::string *Err);
+
+/// Writes all of \p Data to \p Fd, retrying partial writes and EINTR.
+/// SIGPIPE is suppressed for sockets (MSG_NOSIGNAL). \returns false on
+/// any other error (e.g. the peer vanished, or a send timeout set with
+/// setSendTimeout expired).
+bool writeAll(int Fd, std::string_view Data);
+
+/// Caps how long one send() to \p Fd may block (SO_SNDTIMEO). The
+/// daemon sets this on every connection so a client that stops reading
+/// cannot stall the dispatcher: after \p Seconds of back-pressure the
+/// write fails, the slow client forfeits that response, and serving
+/// continues.
+bool setSendTimeout(int Fd, int Seconds);
+
+/// Buffered reader of '\n'-terminated lines with a hard per-line byte
+/// cap. An overlong line is discarded through its terminating newline
+/// (unbounded input cannot exhaust memory) and reported as TooLong; the
+/// reader stays usable for subsequent lines.
+class LineReader {
+public:
+  enum class Status {
+    Line,        ///< \p Out holds one complete line (newline stripped).
+    Eof,         ///< Peer closed; unterminated trailing bytes are dropped.
+    TooLong,     ///< Line exceeded the cap and was discarded.
+    Error,       ///< Read error (connection reset, ...).
+    Interrupted, ///< read() hit EINTR; caller decides whether to resume
+                 ///< (the daemon checks its stop flag here) — calling
+                 ///< next() again simply continues.
+  };
+
+  /// \p WakeFd (optional): a second descriptor polled alongside \p Fd;
+  /// when it becomes readable, next() returns Interrupted instead of
+  /// blocking in read() — the daemon passes its shutdown self-pipe here
+  /// so SIGTERM preempts a blocked stdin read without races.
+  LineReader(int Fd, size_t MaxLineBytes, int WakeFd = -1)
+      : Fd(Fd), MaxBytes(MaxLineBytes), WakeFd(WakeFd) {}
+
+  /// Blocks until one of the Status cases resolves.
+  Status next(std::string &Out);
+
+private:
+  int Fd;
+  size_t MaxBytes;
+  int WakeFd;
+  std::string Buf;     ///< Bytes read but not yet consumed.
+  size_t Scanned = 0;  ///< Prefix of Buf already searched for '\n'.
+  bool Discarding = false;
+  bool SawEof = false;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_SOCKET_H

@@ -438,7 +438,8 @@ TEST(BackwardTest, DiamondDependencyAccumulates) {
 
 TEST(BackwardTest, ConstantsReceiveNoGradient) {
   Value C = Value::constant(Tensor(2, 2));
-  Value P = Value::param(Tensor::randn(2, 2, *(new Rng(27)), 1.f));
+  Rng R(27);
+  Value P = Value::param(Tensor::randn(2, 2, R, 1.f));
   Value L = meanAll(mul(add(C, P), P));
   backward(L);
   EXPECT_FALSE(C.needsGrad());

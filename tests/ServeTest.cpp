@@ -1,0 +1,428 @@
+//===- tests/ServeTest.cpp - Serving pipeline tests ----------------------------===//
+//
+// The serving daemon's contract: batched prediction is bit-identical to
+// single-shot prediction (any batch composition, any thread count), the
+// request pipeline coalesces without changing responses, protocol errors
+// (malformed JSON, oversized lines, mid-request disconnects) are answered
+// or absorbed without taking the server down, and shutdown drains every
+// queued request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "serve/Server.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace typilus;
+using namespace typilus::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared fixture: one tiny corpus + one trained kNN model. Training is
+// the expensive part, so it happens once per suite.
+//===----------------------------------------------------------------------===//
+
+class ServeTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    CorpusConfig CC;
+    CC.NumFiles = 14;
+    CC.NumUdts = 8;
+    DatasetConfig DC;
+    DC.CommonThreshold = 2;
+    WB = new Workbench(Workbench::make(CC, DC));
+
+    ModelConfig MC; // Graph + Typilus, the serving headliner
+    MC.HiddenDim = 8;
+    MC.TimeSteps = 2;
+    TrainOptions TO;
+    TO.Epochs = 1;
+    TO.BatchFiles = 4;
+    Model = makeModel(MC, WB->DS, *WB->U).release();
+    trainModel(*Model, WB->DS.Train, TO);
+
+    std::vector<const FileExample *> MapFiles;
+    for (const FileExample &F : WB->DS.Train)
+      MapFiles.push_back(&F);
+    for (const FileExample &F : WB->DS.Valid)
+      MapFiles.push_back(&F);
+    Pred = new Predictor(Predictor::knn(*Model, MapFiles));
+  }
+
+  static void TearDownTestSuite() {
+    delete Pred;
+    delete Model;
+    delete WB;
+    Pred = nullptr;
+    Model = nullptr;
+    WB = nullptr;
+    setGlobalNumThreads(0);
+  }
+
+  /// A predict request over the I-th corpus file's real source text.
+  static Request requestFor(size_t I, int64_t Id) {
+    const CorpusFile &F = WB->Files[I % WB->Files.size()];
+    Request R;
+    R.Id = Id;
+    R.M = Method::Predict;
+    R.Path = F.Path;
+    R.Source = F.Source;
+    return R;
+  }
+
+  /// Submits \p Reqs and waits until each has its response; \p MaxBatch
+  /// configures coalescing. Responses are indexed by request order.
+  static std::vector<std::string> serveAll(std::vector<Request> Reqs,
+                                           int MaxBatch,
+                                           ServerStats *OutStats = nullptr) {
+    ServerOptions SO;
+    SO.MaxBatch = MaxBatch;
+    Server S(*Pred, *WB->U, SO);
+    std::vector<std::string> Responses(Reqs.size());
+    std::atomic<size_t> Done{0};
+    for (size_t I = 0; I != Reqs.size(); ++I)
+      EXPECT_TRUE(S.submit(Reqs[I], [&Responses, &Done, I](std::string R) {
+        Responses[I] = std::move(R);
+        ++Done;
+      }));
+    S.stop(); // drains
+    EXPECT_EQ(Done.load(), Reqs.size());
+    if (OutStats)
+      *OutStats = S.stats();
+    return Responses;
+  }
+
+  static Workbench *WB;
+  static TypeModel *Model;
+  static Predictor *Pred;
+};
+
+Workbench *ServeTest::WB = nullptr;
+TypeModel *ServeTest::Model = nullptr;
+Predictor *ServeTest::Pred = nullptr;
+
+void expectSamePredictions(const std::vector<PredictionResult> &A,
+                           const std::vector<PredictionResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].FilePath, B[I].FilePath);
+    EXPECT_EQ(A[I].TargetIdx, B[I].TargetIdx);
+    EXPECT_EQ(A[I].SymbolName, B[I].SymbolName);
+    ASSERT_EQ(A[I].Candidates.size(), B[I].Candidates.size());
+    for (size_t C = 0; C != A[I].Candidates.size(); ++C) {
+      EXPECT_EQ(A[I].Candidates[C].Type, B[I].Candidates[C].Type);
+      // Bit-level, not approximate, equality.
+      EXPECT_EQ(A[I].Candidates[C].Prob, B[I].Candidates[C].Prob);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// predictBatch == predictFile (the bit-identity the daemon relies on)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, PredictBatchIsBitIdenticalToPerFilePrediction) {
+  std::vector<const FileExample *> Files;
+  for (const FileExample &F : WB->DS.Test)
+    Files.push_back(&F);
+  ASSERT_GT(Files.size(), 1u);
+
+  auto Batched = Pred->predictBatch(Files);
+  ASSERT_EQ(Batched.size(), Files.size());
+  std::vector<PredictionResult> Flat, Single;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    auto One = Pred->predictFile(*Files[I]);
+    Single.insert(Single.end(), One.begin(), One.end());
+    Flat.insert(Flat.end(), Batched[I].begin(), Batched[I].end());
+  }
+  expectSamePredictions(Flat, Single);
+  EXPECT_EQ(predictionDigest(Flat), predictionDigest(Single));
+}
+
+TEST_F(ServeTest, PredictBatchClassifierIsBitIdentical) {
+  ModelConfig MC;
+  MC.Loss = LossKind::Class;
+  MC.HiddenDim = 8;
+  MC.TimeSteps = 2;
+  TrainOptions TO;
+  TO.Epochs = 1;
+  TO.BatchFiles = 4;
+  std::unique_ptr<TypeModel> M = makeModel(MC, WB->DS, *WB->U);
+  trainModel(*M, WB->DS.Train, TO);
+  Predictor P = Predictor::classifier(*M);
+
+  std::vector<const FileExample *> Files;
+  for (const FileExample &F : WB->DS.Test)
+    Files.push_back(&F);
+  auto Batched = P.predictBatch(Files);
+  std::vector<PredictionResult> Flat, Single;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    auto One = P.predictFile(*Files[I]);
+    Single.insert(Single.end(), One.begin(), One.end());
+    Flat.insert(Flat.end(), Batched[I].begin(), Batched[I].end());
+  }
+  expectSamePredictions(Flat, Single);
+}
+
+//===----------------------------------------------------------------------===//
+// The request pipeline
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, CoalescedResponsesMatchUnbatchedServing) {
+  std::vector<Request> Reqs;
+  for (int I = 0; I != 12; ++I)
+    Reqs.push_back(requestFor(static_cast<size_t>(I), I));
+
+  ServerStats Batched, OneByOne;
+  auto A = serveAll(Reqs, /*MaxBatch=*/8, &Batched);
+  auto B = serveAll(Reqs, /*MaxBatch=*/1, &OneByOne);
+  EXPECT_EQ(A, B); // byte-for-byte identical response lines
+
+  EXPECT_EQ(Batched.Requests, 12u);
+  EXPECT_EQ(OneByOne.Requests, 12u);
+  EXPECT_EQ(OneByOne.MaxCoalesced, 1u);
+  EXPECT_EQ(OneByOne.Batches, 12u);
+  // All 12 were queued before the dispatcher woke, so coalescing must
+  // have produced strictly fewer dispatches.
+  EXPECT_LT(Batched.Batches, 12u);
+  EXPECT_GT(Batched.MaxCoalesced, 1u);
+}
+
+TEST_F(ServeTest, ResponsesAreBitIdenticalAcrossThreadCounts) {
+  std::vector<Request> Reqs;
+  for (int I = 0; I != 8; ++I)
+    Reqs.push_back(requestFor(static_cast<size_t>(I), I));
+
+  // NumThreads = 1: every dispatch runs serially inline.
+  setGlobalNumThreads(1);
+  KnnOptions KO = Pred->knnOptions();
+  KO.NumThreads = 1;
+  Pred->setKnnOptions(KO);
+  auto Serial = serveAll(Reqs, /*MaxBatch=*/8);
+
+  setGlobalNumThreads(4);
+  KO.NumThreads = 4;
+  Pred->setKnnOptions(KO);
+  auto Parallel = serveAll(Reqs, /*MaxBatch=*/8);
+
+  setGlobalNumThreads(0);
+  KO.NumThreads = 0;
+  Pred->setKnnOptions(KO);
+
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST_F(ServeTest, ControlRequestsInterleaveWithPredicts) {
+  ServerOptions SO;
+  SO.MaxBatch = 16;
+  Server S(*Pred, *WB->U, SO);
+  std::mutex Mu;
+  std::vector<std::string> Responses;
+  auto Collect = [&](std::string R) {
+    std::lock_guard<std::mutex> L(Mu);
+    Responses.push_back(std::move(R));
+  };
+  Request Ping;
+  Ping.Id = 100;
+  Ping.M = Method::Ping;
+  S.submit(requestFor(0, 1), Collect);
+  S.submit(Ping, Collect);
+  S.submit(requestFor(1, 2), Collect);
+  S.stop();
+  ASSERT_EQ(Responses.size(), 3u);
+  // Arrival order is preserved even across the predict/control split.
+  EXPECT_NE(Responses[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(Responses[1].find("\"pong\":true"), std::string::npos);
+  EXPECT_NE(Responses[2].find("\"id\":2"), std::string::npos);
+}
+
+TEST_F(ServeTest, StopDrainsEveryQueuedRequest) {
+  ServerOptions SO;
+  SO.MaxBatch = 4;
+  Server S(*Pred, *WB->U, SO);
+  std::atomic<size_t> Done{0};
+  const size_t N = 20;
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_TRUE(S.submit(requestFor(I, static_cast<int64_t>(I)),
+                         [&Done](std::string) { ++Done; }));
+  S.stop(); // must answer all 20, not abandon the queue
+  EXPECT_EQ(Done.load(), N);
+  EXPECT_FALSE(S.submit(requestFor(0, 99), [](std::string) {}));
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol-level coverage over a real stream (serveStream end to end)
+//===----------------------------------------------------------------------===//
+
+class StreamHarness {
+public:
+  explicit StreamHarness(Server &S, size_t MaxRequestBytes = 1 << 16) {
+    int Fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    Client = FileDesc(Fds[0]);
+    ServerEnd = FileDesc(Fds[1]);
+    int Fd = ServerEnd.fd();
+    // Shared by value: the dispatcher may invoke the response sink after
+    // serveStream already returned (e.g. right after a shutdown request).
+    auto WriteMu = std::make_shared<std::mutex>();
+    Reader = std::thread([&S, Fd, MaxRequestBytes, WriteMu] {
+      serveStream(Fd, MaxRequestBytes, S, [Fd, WriteMu](std::string Resp) {
+        std::lock_guard<std::mutex> L(*WriteMu);
+        (void)writeAll(Fd, Resp);
+      });
+    });
+  }
+
+  ~StreamHarness() {
+    closeClient();
+    if (Reader.joinable())
+      Reader.join();
+  }
+
+  void send(std::string_view Data) {
+    ASSERT_TRUE(writeAll(Client.fd(), Data));
+  }
+
+  std::string readLine() {
+    if (!R)
+      R = std::make_unique<LineReader>(Client.fd(), 1 << 20);
+    std::string Line;
+    LineReader::Status St;
+    do
+      St = R->next(Line);
+    while (St == LineReader::Status::Interrupted);
+    EXPECT_EQ(St, LineReader::Status::Line);
+    return Line;
+  }
+
+  void closeClient() { Client.reset(); }
+
+private:
+  FileDesc Client, ServerEnd;
+  std::unique_ptr<LineReader> R;
+  std::thread Reader;
+};
+
+TEST_F(ServeTest, MalformedJsonRequestGetsErrorResponse) {
+  Server S(*Pred, *WB->U);
+  StreamHarness H(S);
+  H.send("{\"id\": 5, \"method\": \n");
+  std::string Resp = H.readLine();
+  EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("invalid JSON"), std::string::npos) << Resp;
+
+  // Wrong shapes get specific errors and the recovered id.
+  H.send("[1,2,3]\n");
+  EXPECT_NE(H.readLine().find("must be a JSON object"), std::string::npos);
+  H.send("{\"method\":\"predict\"}\n");
+  EXPECT_NE(H.readLine().find("numeric \\\"id\\\""), std::string::npos);
+  H.send("{\"id\":9,\"method\":\"teleport\"}\n");
+  std::string Unknown = H.readLine();
+  EXPECT_NE(Unknown.find("\"id\":9"), std::string::npos) << Unknown;
+  EXPECT_NE(Unknown.find("unknown method"), std::string::npos) << Unknown;
+  H.send("{\"id\":10,\"method\":\"predict\"}\n");
+  EXPECT_NE(H.readLine().find("string \\\"source\\\""), std::string::npos);
+
+  // The stream survived all of it: a well-formed request still works.
+  H.send("{\"id\":11,\"method\":\"ping\"}\n");
+  EXPECT_NE(H.readLine().find("\"pong\":true"), std::string::npos);
+  S.stop();
+}
+
+TEST_F(ServeTest, OversizedRequestIsRejectedAndStreamRecovers) {
+  Server S(*Pred, *WB->U);
+  StreamHarness H(S, /*MaxRequestBytes=*/256);
+  std::string Huge = "{\"id\":1,\"method\":\"predict\",\"source\":\"" +
+                     std::string(4096, 'x') + "\"}\n";
+  H.send(Huge);
+  std::string Resp = H.readLine();
+  EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("exceeds 256 bytes"), std::string::npos) << Resp;
+  // Within-cap requests on the same connection still serve.
+  H.send("{\"id\":2,\"method\":\"ping\"}\n");
+  EXPECT_NE(H.readLine().find("\"pong\":true"), std::string::npos);
+  S.stop();
+}
+
+TEST_F(ServeTest, MidRequestDisconnectLeavesServerServing) {
+  Server S(*Pred, *WB->U);
+  {
+    StreamHarness H(S);
+    H.send("{\"id\":1,\"method\":\"predict\",\"source\":\"def f(");
+    // No newline, no complete request: the client vanishes mid-line.
+    H.closeClient();
+  } // harness joins its reader: serveStream saw Eof and returned
+  {
+    StreamHarness H2(S);
+    H2.send("{\"id\":2,\"method\":\"ping\"}\n");
+    EXPECT_NE(H2.readLine().find("\"pong\":true"), std::string::npos);
+  }
+  S.stop();
+}
+
+TEST_F(ServeTest, ShutdownRequestRespondsAndFiresHook) {
+  std::atomic<bool> Fired{false};
+  ServerOptions SO;
+  SO.OnShutdown = [&Fired] { Fired = true; };
+  Server S(*Pred, *WB->U, SO);
+  StreamHarness H(S);
+  H.send("{\"id\":7,\"method\":\"shutdown\"}\n");
+  std::string Resp = H.readLine();
+  EXPECT_NE(Resp.find("\"shutting_down\":true"), std::string::npos) << Resp;
+  S.stop();
+  EXPECT_TRUE(Fired.load());
+}
+
+TEST_F(ServeTest, IdenticalRequestsCollapseToOnePrediction) {
+  // 10 concurrent requests for the same source (the CI smoke's shape):
+  // one prediction, 10 responses, all carrying identical payloads under
+  // their own ids.
+  std::vector<Request> Reqs;
+  for (int I = 0; I != 10; ++I)
+    Reqs.push_back(requestFor(/*file=*/0, /*id=*/I));
+  ServerStats St;
+  auto Responses = serveAll(Reqs, /*MaxBatch=*/16, &St);
+  EXPECT_GT(St.Collapsed, 0u);
+  EXPECT_LE(St.Collapsed, 9u);
+
+  // Responses must equal uncollapsed single-request serving bit for bit.
+  auto Single = serveAll({Reqs[0]}, /*MaxBatch=*/1);
+  for (size_t I = 0; I != Responses.size(); ++I) {
+    std::string Expect = Single[0];
+    std::string IdPatched = "{\"id\":" + std::to_string(I) + ",";
+    Expect.replace(0, Expect.find(',') + 1, IdPatched);
+    EXPECT_EQ(Responses[I], Expect);
+  }
+
+  // Distinct sources do not collapse.
+  std::vector<Request> Distinct;
+  for (int I = 0; I != 5; ++I)
+    Distinct.push_back(requestFor(static_cast<size_t>(I), I));
+  serveAll(Distinct, /*MaxBatch=*/16, &St);
+  EXPECT_EQ(St.Collapsed, 0u);
+}
+
+TEST_F(ServeTest, StatsReportCoalescing) {
+  std::vector<Request> Reqs;
+  for (int I = 0; I != 6; ++I)
+    Reqs.push_back(requestFor(static_cast<size_t>(I), I));
+  ServerStats St;
+  serveAll(Reqs, /*MaxBatch=*/16, &St);
+  std::string Line = statsResponse(1, St);
+  EXPECT_NE(Line.find("\"requests\":6"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"max_coalesced\":"), std::string::npos);
+}
+
+} // namespace

@@ -1,7 +1,9 @@
 //===- tests/SupportTest.cpp - support/ unit tests --------------------------===//
 
 #include "support/Archive.h"
+#include "support/Json.h"
 #include "support/Rng.h"
+#include "support/Socket.h"
 #include "support/Str.h"
 #include "support/Table.h"
 #include "support/Zipf.h"
@@ -9,6 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace typilus;
 
@@ -496,4 +501,190 @@ TEST(ArchiveTest, ForeignBytesAreRejected) {
   std::string Err;
   EXPECT_FALSE(R.openBytes("definitely not an artifact", &Err));
   EXPECT_NE(Err.find("bad magic"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, ParsesScalars) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse("42", V, &Err)) << Err;
+  EXPECT_TRUE(V.isNumber());
+  EXPECT_EQ(V.asInt(), 42);
+  ASSERT_TRUE(json::parse("-3.5e2", V, &Err)) << Err;
+  EXPECT_DOUBLE_EQ(V.asNumber(), -350.0);
+  ASSERT_TRUE(json::parse("true", V, &Err));
+  EXPECT_TRUE(V.isBool() && V.asBool());
+  ASSERT_TRUE(json::parse("null", V, &Err));
+  EXPECT_TRUE(V.isNull());
+  ASSERT_TRUE(json::parse("\"hi\"", V, &Err));
+  EXPECT_EQ(V.asString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedObject) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(
+      R"({"id": 7, "method": "predict", "opts": {"k": [1, 2, 3]}})", V, &Err))
+      << Err;
+  EXPECT_EQ(V.getInt("id", -1), 7);
+  EXPECT_EQ(V.getString("method", ""), "predict");
+  const json::Value *Opts = V.find("opts");
+  ASSERT_NE(Opts, nullptr);
+  const json::Value *K = Opts->find("k");
+  ASSERT_NE(K, nullptr);
+  ASSERT_TRUE(K->isArray());
+  ASSERT_EQ(K->array().size(), 3u);
+  EXPECT_EQ(K->array()[2].asInt(), 3);
+}
+
+TEST(JsonTest, StringEscapes) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(R"("a\nb\t\"q\"\\\u0041\u00e9")", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "a\nb\t\"q\"\\A\xc3\xa9");
+  // Surrogate pair -> one astral code point.
+  ASSERT_TRUE(json::parse(R"("\ud83d\ude00")", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, LoneSurrogatesBecomeReplacementWithoutSwallowing) {
+  json::Value V;
+  std::string Err;
+  // Unpaired high surrogate followed by an ordinary escape: U+FFFD, then
+  // the 'A' must survive.
+  ASSERT_TRUE(json::parse(R"("\ud83dA")", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xef\xbf\xbd"
+                          "A");
+  // ...including when what follows is itself a \u escape (it must be
+  // decoded on its own, not consumed as a bogus low half).
+  ASSERT_TRUE(json::parse("\"\\ud83d\\u0041B\"", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xef\xbf\xbd"
+                          "AB");
+  // Two high surrogates in a row: two replacement chars.
+  ASSERT_TRUE(json::parse(R"("\ud83d\ud83dx")", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xef\xbf\xbd\xef\xbf\xbd"
+                          "x");
+  // Lone low surrogate.
+  ASSERT_TRUE(json::parse(R"("\ude00x")", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xef\xbf\xbd"
+                          "x");
+}
+
+TEST(JsonTest, QuotedRoundTripsThroughParse) {
+  const std::string Raw = "line1\nline2\t\"quoted\" \\slash\x01 end";
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(json::quoted(Raw), V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), Raw);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  json::Value V;
+  std::string Err;
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "\"unterminated",
+        "01", "1.", "nan", "{\"a\":1} trailing", "\"bad \x01 ctrl\""}) {
+    EXPECT_FALSE(json::parse(Bad, V, &Err)) << "accepted: " << Bad;
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(JsonTest, RejectsTooDeepNesting) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(Deep, V, &Err, /*MaxDepth=*/64));
+  EXPECT_NE(Err.find("deep"), std::string::npos) << Err;
+  EXPECT_TRUE(json::parse(Deep, V, &Err, /*MaxDepth=*/128)) << Err;
+}
+
+TEST(JsonTest, NumberFormattingRoundTrips) {
+  std::string Out;
+  json::appendNumber(Out, 0.1);
+  json::Value V;
+  ASSERT_TRUE(json::parse(Out, V, nullptr));
+  EXPECT_EQ(V.asNumber(), 0.1); // %.17g is bit-exact for doubles
+}
+
+//===----------------------------------------------------------------------===//
+// LineReader (over a socketpair, as the daemon uses it)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SocketPair {
+  int A = -1, B = -1;
+  SocketPair() {
+    int Fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = Fds[0];
+    B = Fds[1];
+  }
+  ~SocketPair() {
+    if (A >= 0)
+      close(A);
+    if (B >= 0)
+      close(B);
+  }
+  void closeA() {
+    close(A);
+    A = -1;
+  }
+};
+
+} // namespace
+
+TEST(LineReaderTest, SplitsLinesAcrossReads) {
+  SocketPair SP;
+  ASSERT_TRUE(writeAll(SP.A, "first\nsec"));
+  ASSERT_TRUE(writeAll(SP.A, "ond\r\nthird\n"));
+  SP.closeA();
+  LineReader R(SP.B, 1024);
+  std::string L;
+  ASSERT_EQ(R.next(L), LineReader::Status::Line);
+  EXPECT_EQ(L, "first");
+  ASSERT_EQ(R.next(L), LineReader::Status::Line);
+  EXPECT_EQ(L, "second"); // \r\n normalized
+  ASSERT_EQ(R.next(L), LineReader::Status::Line);
+  EXPECT_EQ(L, "third");
+  EXPECT_EQ(R.next(L), LineReader::Status::Eof);
+}
+
+TEST(LineReaderTest, OversizedLineIsDiscardedAndReaderRecovers) {
+  SocketPair SP;
+  std::string Huge(5000, 'x');
+  ASSERT_TRUE(writeAll(SP.A, Huge + "\nok\n"));
+  SP.closeA();
+  LineReader R(SP.B, 64);
+  std::string L;
+  ASSERT_EQ(R.next(L), LineReader::Status::TooLong);
+  ASSERT_EQ(R.next(L), LineReader::Status::Line);
+  EXPECT_EQ(L, "ok");
+  EXPECT_EQ(R.next(L), LineReader::Status::Eof);
+}
+
+TEST(LineReaderTest, MidLineDisconnectIsEof) {
+  SocketPair SP;
+  ASSERT_TRUE(writeAll(SP.A, "complete\n{\"id\":1,\"method\":"));
+  SP.closeA(); // client dies mid-request
+  LineReader R(SP.B, 1024);
+  std::string L;
+  ASSERT_EQ(R.next(L), LineReader::Status::Line);
+  EXPECT_EQ(L, "complete");
+  EXPECT_EQ(R.next(L), LineReader::Status::Eof);
+  EXPECT_EQ(R.next(L), LineReader::Status::Eof); // stays Eof
+}
+
+TEST(LineReaderTest, OversizedLineTruncatedByEofReportsOnce) {
+  SocketPair SP;
+  ASSERT_TRUE(writeAll(SP.A, std::string(5000, 'y'))); // no newline ever
+  SP.closeA();
+  LineReader R(SP.B, 64);
+  std::string L;
+  EXPECT_EQ(R.next(L), LineReader::Status::TooLong);
+  EXPECT_EQ(R.next(L), LineReader::Status::Eof);
 }

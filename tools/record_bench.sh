@@ -20,7 +20,9 @@ esac
 
 OUT="$ROOT/BENCH_$NAME.json"
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+# Same directory as $OUT so the final rename is an atomic same-device mv.
+OUTTMP=$(mktemp "$OUT.XXXXXX")
+trap 'rm -f "$TMP" "$OUTTMP"' EXIT
 
 # Record the scale the bench *actually* runs at: BenchScale::fromEnv
 # (src/core/Experiments.cpp) atoi's the env vars and clamps to >=20 files
@@ -40,13 +42,20 @@ EPOCHS=${TYPILUS_BENCH_EPOCHS+$(digits_or_zero "$TYPILUS_BENCH_EPOCHS")}
 EPOCHS=${EPOCHS:-16}
 [ "$EPOCHS" -ge 1 ] || EPOCHS=1
 
+# A failing (or signal-killed) bench must propagate its exit status and
+# leave any previous BENCH_*.json untouched — an empty or truncated
+# recording is worse than a stale one.
 START=$(date +%s)
 STATUS=0
 "$BIN" "$@" > "$TMP" 2>&1 || STATUS=$?
 if [ "$STATUS" -ne 0 ]; then
   cat "$TMP" >&2
-  echo "error: $NAME exited with status $STATUS; nothing recorded" >&2
+  echo "error: $NAME exited with status $STATUS; $OUT left untouched" >&2
   exit "$STATUS"
+fi
+if ! [ -s "$TMP" ]; then
+  echo "error: $NAME exited 0 but produced no output; $OUT left untouched" >&2
+  exit 1
 fi
 ELAPSED=$(( $(date +%s) - START ))
 cat "$TMP"
@@ -64,7 +73,10 @@ CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 COMPILER=$(c++ --version 2>/dev/null | head -1 | json_escape)
 GIT=$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-cat > "$OUT" <<EOF
+# Compose into a temp file and rename: a failure in any command
+# substitution below (under set -e) can no longer leave $OUT truncated,
+# and the previous recording survives until the new one is complete.
+cat > "$OUTTMP" <<EOF
 {
   "bench": "$NAME",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
@@ -82,4 +94,6 @@ cat > "$OUT" <<EOF
   "output": "$(json_escape < "$TMP")\\n"
 }
 EOF
+[ -s "$OUTTMP" ] || { echo "error: empty recording; $OUT left untouched" >&2; exit 1; }
+mv -f "$OUTTMP" "$OUT"
 echo "recorded $OUT (${ELAPSED}s)" >&2

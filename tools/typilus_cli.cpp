@@ -15,15 +15,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
+#include "serve/Protocol.h"
 #include "support/Archive.h"
+#include "support/Json.h"
+#include "support/Socket.h"
 
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace typilus;
@@ -41,6 +46,10 @@ struct Options {
   bool Resume = false;    ///< --resume: continue from --checkpoint.
   std::vector<std::string> Sources; ///< --source: real .py files to predict.
   std::string Split = "test";       ///< --split for predict.
+  std::string Socket;               ///< client: daemon socket path.
+  int Repeat = 1;                   ///< client: concurrent sends per source.
+  bool Ping = false;                ///< client: liveness probe only.
+  bool Shutdown = false;            ///< client: ask the daemon to drain.
   int Files = 60;
   int Udts = 40;
   int Epochs = 8;
@@ -75,7 +84,10 @@ int usage(const char *Argv0) {
       "  inspect  print an artifact's chunks, config and vocabularies\n"
       "           --model PATH\n"
       "  save     rewrite an artifact, optionally changing kNN options\n"
-      "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n",
+      "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n"
+      "  client   talk to a running typilus_serve daemon\n"
+      "           --socket PATH (--source FILE.py... [--repeat N]\n"
+      "           [--limit N] | --ping | --shutdown)\n",
       Argv0);
   return 2;
 }
@@ -143,6 +155,16 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
     } else if (A == "--loss") {
       if (!(V = Next("--loss"))) return false;
       O.Loss = V;
+    } else if (A == "--socket") {
+      if (!(V = Next("--socket"))) return false;
+      O.Socket = V;
+    } else if (A == "--repeat") {
+      if (!(V = Next("--repeat"))) return false;
+      O.Repeat = std::atoi(V);
+    } else if (A == "--ping") {
+      O.Ping = true;
+    } else if (A == "--shutdown") {
+      O.Shutdown = true;
     } else if (A == "--exact") {
       O.Exact = true;
     } else if (A == "--annoy") {
@@ -217,28 +239,11 @@ bool readCorpusRecipe(const ArchiveReader &R, CorpusConfig &CC,
 // Prediction digest + printing
 //===----------------------------------------------------------------------===//
 
-/// FNV-1a over the full prediction set (paths, target ids, candidate type
-/// spellings and probability bit patterns). Predictions are bit-identical
-/// across processes and thread counts, so so is the digest.
+/// The FNV-1a prediction digest (core/Predictor.h) — shared with the
+/// serving daemon, whose responses carry the same value for the same
+/// file, making serving paths digest-comparable from the shell.
 uint64_t digest(const std::vector<PredictionResult> &Preds) {
-  uint64_t H = 0xCBF29CE484222325ull;
-  auto Mix = [&H](const void *Data, size_t N) {
-    const unsigned char *P = static_cast<const unsigned char *>(Data);
-    for (size_t I = 0; I != N; ++I) {
-      H ^= P[I];
-      H *= 0x100000001B3ull;
-    }
-  };
-  for (const PredictionResult &P : Preds) {
-    Mix(P.FilePath.data(), P.FilePath.size());
-    Mix(&P.TargetIdx, sizeof(P.TargetIdx));
-    for (const ScoredType &S : P.Candidates) {
-      const std::string &T = S.Type->str();
-      Mix(T.data(), T.size());
-      Mix(&S.Prob, sizeof(S.Prob));
-    }
-  }
-  return H;
+  return predictionDigest(Preds);
 }
 
 void printPredictions(const std::vector<PredictionResult> &Preds, int Limit) {
@@ -428,6 +433,9 @@ int cmdPredict(const Options &O) {
       auto Preds = P->predictFile(Ex);
       std::printf("%s: %zu annotatable symbols\n", Src.c_str(), Preds.size());
       printPredictions(Preds, O.Limit);
+      // The per-file digest a typilus_serve response for this source must
+      // match bit for bit (CI's daemon smoke compares the two).
+      std::printf("%s digest: %016" PRIx64 "\n", Src.c_str(), digest(Preds));
     }
     return 0;
   }
@@ -547,6 +555,139 @@ int cmdSave(const Options &O) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// client (talk to a typilus_serve daemon)
+//===----------------------------------------------------------------------===//
+
+/// Sends one request line over its own connection and reads one response.
+bool roundTrip(const std::string &Socket, const std::string &RequestLine,
+               std::string &ResponseLine, std::string *Err) {
+  FileDesc Fd;
+  if (!connectUnix(Socket, Fd, Err))
+    return false;
+  if (!writeAll(Fd.fd(), RequestLine)) {
+    if (Err)
+      *Err = "write failed (daemon gone?)";
+    return false;
+  }
+  // Responses dwarf requests (up to 10 candidates per symbol), so the
+  // client-side line cap is far above the daemon's request cap.
+  LineReader R(Fd.fd(), /*MaxLineBytes=*/256u << 20);
+  LineReader::Status St;
+  do
+    St = R.next(ResponseLine);
+  while (St == LineReader::Status::Interrupted);
+  if (St != LineReader::Status::Line) {
+    if (Err)
+      *Err = "no response (daemon gone?)";
+    return false;
+  }
+  return true;
+}
+
+int cmdClient(const Options &O) {
+  if (O.Socket.empty())
+    return fail("client needs --socket PATH");
+
+  if (O.Ping || O.Shutdown) {
+    const char *Method = O.Ping ? "ping" : "shutdown";
+    std::string Resp, Err;
+    if (!roundTrip(O.Socket,
+                   std::string("{\"id\":0,\"method\":\"") + Method + "\"}\n",
+                   Resp, &Err))
+      return fail(Err);
+    json::Value V;
+    if (!json::parse(Resp, V, &Err))
+      return fail("malformed response: " + Err);
+    if (!V.getBool("ok", false))
+      return fail("daemon error: " + V.getString("error", "unknown"));
+    std::printf("%s ok%s\n", Method,
+                O.Ping ? (" (protocol " +
+                          std::to_string(V.getInt("protocol", 0)) + ")")
+                             .c_str()
+                       : "");
+    return 0;
+  }
+
+  if (O.Sources.empty())
+    return fail("client needs --source FILE.py (or --ping / --shutdown)");
+  int Repeat = O.Repeat < 1 ? 1 : O.Repeat;
+
+  // One job per (source × repeat), each over its own connection, all in
+  // flight at once — the concurrent load the daemon's request queue
+  // coalesces into batches.
+  struct Job {
+    std::string Path;
+    std::string Request;
+    std::string Response;
+    std::string Error;
+    bool Ok = false;
+  };
+  std::vector<Job> Jobs;
+  for (const std::string &Src : O.Sources) {
+    std::ifstream In(Src);
+    if (!In)
+      return fail("cannot read '" + Src + "'");
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Req = "{\"id\":" + std::to_string(Jobs.size()) +
+                      ",\"method\":\"predict\",\"path\":" + json::quoted(Src) +
+                      ",\"limit\":" + std::to_string(O.Limit) +
+                      ",\"source\":" + json::quoted(SS.str()) + "}\n";
+    for (int R = 0; R != Repeat; ++R)
+      Jobs.push_back(Job{Src, Req, "", "", false});
+  }
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs.size());
+  for (Job &J : Jobs)
+    Threads.emplace_back([&J, &O] {
+      J.Ok = roundTrip(O.Socket, J.Request, J.Response, &J.Error);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  int Failures = 0;
+  for (Job &J : Jobs) {
+    json::Value V;
+    std::string Err;
+    if (!J.Ok || !json::parse(J.Response, V, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", J.Path.c_str(),
+                   J.Ok ? ("malformed response: " + Err).c_str()
+                        : J.Error.c_str());
+      ++Failures;
+      continue;
+    }
+    if (!V.getBool("ok", false)) {
+      std::fprintf(stderr, "error: %s: %s\n", J.Path.c_str(),
+                   V.getString("error", "unknown").c_str());
+      ++Failures;
+      continue;
+    }
+    const json::Value *Preds = V.find("predictions");
+    size_t N = Preds && Preds->isArray() ? Preds->array().size() : 0;
+    // Same "<path> digest: <hex>" shape `predict --source` prints, so the
+    // two serving paths diff cleanly.
+    std::printf("%s digest: %s (%zu symbols)\n", J.Path.c_str(),
+                V.getString("digest", "?").c_str(), N);
+    if (O.Verbose && Preds)
+      for (const json::Value &P : Preds->array()) {
+        const json::Value *Cands = P.find("candidates");
+        const json::Value *Top = Cands && Cands->isArray() &&
+                                         !Cands->array().empty()
+                                     ? &Cands->array().front()
+                                     : nullptr;
+        const json::Value *Prob = Top ? Top->find("prob") : nullptr;
+        std::printf("  %-20s %-10s -> %-20s (p=%.3f)\n",
+                    P.getString("symbol", "?").c_str(),
+                    P.getString("kind", "?").c_str(),
+                    Top ? Top->getString("type", "?").c_str() : "?",
+                    Prob && Prob->isNumber() ? Prob->asNumber() : 0.0);
+      }
+  }
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -565,5 +706,7 @@ int main(int Argc, char **Argv) {
     return cmdInspect(O);
   if (Cmd == "save")
     return cmdSave(O);
+  if (Cmd == "client")
+    return cmdClient(O);
   return usage(Argv[0]);
 }

@@ -1,0 +1,311 @@
+//===- tools/typilus_serve.cpp - The serving daemon ----------------------------===//
+//
+// The deployment story of Fig. 1 as a long-lived process: load one model
+// artifact at startup (~ms thanks to the Annoy snapshot), then answer
+// newline-delimited JSON predict requests over a Unix-domain socket — or
+// stdin/stdout with --stdio — until SIGTERM. Concurrent requests coalesce
+// into batches served through Predictor::predictBatch, so responses are
+// bit-identical to one-shot `typilus_cli predict` while the pipeline
+// amortizes encoder and index work across requests.
+//
+//   typilus_serve --model model.typilus --socket /tmp/typilus.sock
+//   typilus_cli client --socket /tmp/typilus.sock --source file.py
+//
+// Shutdown (SIGTERM/SIGINT or a `shutdown` request) drains: accepting
+// stops, queued requests are answered, connections close, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Dataset.h"
+#include "serve/Server.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace typilus;
+using namespace typilus::serve;
+
+namespace {
+
+struct Options {
+  std::string ModelPath;
+  std::string SocketPath;
+  bool Stdio = false;
+  int Threads = 0;
+  int MaxBatch = 16;
+  long MaxRequestBytes = static_cast<long>(kDefaultMaxRequestBytes);
+  int Limit = -1;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --model PATH (--socket PATH | --stdio) [options]\n"
+      "\n"
+      "Long-lived serving daemon: loads the artifact once and answers\n"
+      "newline-delimited JSON predict requests (protocol grammar in\n"
+      "docs/ARCHITECTURE.md). Options:\n"
+      "  --threads N            pool size (0 = hardware, 1 = serial)\n"
+      "  --max-batch N          requests coalesced per dispatch (default 16)\n"
+      "  --max-request-bytes N  per-line cap (default 4194304)\n"
+      "  --limit N              default candidates per symbol (-1 = all)\n",
+      Argv0);
+  return 2;
+}
+
+bool parseOptions(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&](const char *What) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", What);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    const char *V = nullptr;
+    if (A == "--model") {
+      if (!(V = Next("--model")))
+        return false;
+      O.ModelPath = V;
+    } else if (A == "--socket") {
+      if (!(V = Next("--socket")))
+        return false;
+      O.SocketPath = V;
+    } else if (A == "--stdio") {
+      O.Stdio = true;
+    } else if (A == "--threads") {
+      if (!(V = Next("--threads")))
+        return false;
+      O.Threads = std::atoi(V);
+    } else if (A == "--max-batch") {
+      if (!(V = Next("--max-batch")))
+        return false;
+      O.MaxBatch = std::atoi(V);
+    } else if (A == "--max-request-bytes") {
+      if (!(V = Next("--max-request-bytes")))
+        return false;
+      O.MaxRequestBytes = std::atol(V);
+    } else if (A == "--limit") {
+      if (!(V = Next("--limit")))
+        return false;
+      O.Limit = std::atoi(V);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown signaling: a self-pipe so SIGTERM/SIGINT (and the protocol's
+// `shutdown` method, from the dispatcher thread) wake the poll() loop
+// with nothing async-signal-unsafe in the handler.
+//===----------------------------------------------------------------------===//
+
+int GShutdownPipe[2] = {-1, -1};
+std::atomic<bool> GStop{false};
+
+void requestStop() {
+  bool Expected = false;
+  if (GStop.compare_exchange_strong(Expected, true)) {
+    char B = 1;
+    // The pipe outlives every writer; a full pipe still wakes the poller.
+    (void)!write(GShutdownPipe[1], &B, 1);
+  }
+}
+
+void onSignal(int) { requestStop(); }
+
+//===----------------------------------------------------------------------===//
+// Connection handling
+//===----------------------------------------------------------------------===//
+
+/// One client connection: the fd to answer on plus a write lock (the
+/// reader thread answers protocol errors itself while the dispatcher
+/// writes results). `Owned` is set in socket mode only — stdio borrows
+/// stdout and must not close it.
+struct Conn {
+  FileDesc Owned;
+  int Fd = -1;
+  std::mutex WriteMu;
+  std::atomic<bool> ReaderDone{false};
+
+  void send(const std::string &Line) {
+    std::lock_guard<std::mutex> L(WriteMu);
+    // A vanished client is not an error worth acting on: its requests
+    // still drain, their responses just go nowhere.
+    (void)writeAll(Fd, Line);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Modes (both drive serve::serveStream; only the transport differs)
+//===----------------------------------------------------------------------===//
+
+int runStdio(Server &S, const Options &O) {
+  auto C = std::make_shared<Conn>();
+  C->Fd = STDOUT_FILENO; // borrowed, never closed
+  serveStream(STDIN_FILENO, static_cast<size_t>(O.MaxRequestBytes), S,
+              [C](std::string Resp) { C->send(Resp); }, &GStop,
+              /*WakeFd=*/GShutdownPipe[0]);
+  S.stop(); // drain: every submitted request is answered
+  return 0;
+}
+
+int runSocket(Server &S, const Options &O) {
+  UnixListener L;
+  std::string Err;
+  if (!L.listenOn(O.SocketPath, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("typilus_serve: listening on %s\n", O.SocketPath.c_str());
+  std::fflush(stdout);
+
+  // Reader threads are detached; this counter (with its cv) is how the
+  // drain waits for all of them, and dead connections are pruned on each
+  // accept so a long-lived daemon's memory does not grow with its
+  // connection history.
+  std::mutex ConnsMu;
+  std::condition_variable ReapCV;
+  int ActiveReaders = 0;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  pollfd Fds[2];
+  Fds[0].fd = L.fd();
+  Fds[0].events = POLLIN;
+  Fds[1].fd = GShutdownPipe[0];
+  Fds[1].events = POLLIN;
+  while (!GStop.load()) {
+    Fds[0].revents = Fds[1].revents = 0;
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[1].revents || GStop.load())
+      break;
+    if (!Fds[0].revents)
+      continue;
+    FileDesc C = L.acceptConn();
+    if (!C.valid())
+      continue;
+    auto Shared = std::make_shared<Conn>();
+    Shared->Owned = std::move(C);
+    Shared->Fd = Shared->Owned.fd();
+    // A client that stops reading must not stall the dispatcher (or the
+    // SIGTERM drain) behind a full socket buffer: after this much
+    // back-pressure its response write fails and is dropped.
+    setSendTimeout(Shared->Fd, /*Seconds=*/30);
+    {
+      std::lock_guard<std::mutex> G(ConnsMu);
+      // Prune connections whose reader finished and whose responses all
+      // went out (ours is then the only reference left).
+      Conns.erase(std::remove_if(Conns.begin(), Conns.end(),
+                                 [](const std::shared_ptr<Conn> &P) {
+                                   return P->ReaderDone.load() &&
+                                          P.use_count() == 1;
+                                 }),
+                  Conns.end());
+      Conns.push_back(Shared);
+      ++ActiveReaders;
+    }
+    std::thread([Shared, &S, &O, &ConnsMu, &ReapCV, &ActiveReaders] {
+      serveStream(Shared->Fd, static_cast<size_t>(O.MaxRequestBytes), S,
+                  [Shared](std::string Resp) { Shared->send(Resp); });
+      Shared->ReaderDone = true;
+      {
+        // Notify under the lock: the drain destroys the cv right after
+        // its wait returns, so the notify must complete before this
+        // thread releases the mutex that wakes it.
+        std::lock_guard<std::mutex> G(ConnsMu);
+        --ActiveReaders;
+        ReapCV.notify_all();
+      }
+    }).detach();
+  }
+
+  // Drain-first shutdown: stop accepting, EOF the readers (write sides
+  // stay open for in-flight responses), wait for them to finish
+  // submitting, finish the queue, then close.
+  L.close();
+  {
+    std::unique_lock<std::mutex> G(ConnsMu);
+    for (auto &C : Conns)
+      C->Owned.shutdownRead();
+    ReapCV.wait(G, [&] { return ActiveReaders == 0; });
+  }
+  S.stop();
+  std::printf("typilus_serve: drained, exiting\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseOptions(Argc, Argv, O))
+    return 2;
+  if (O.ModelPath.empty() || (O.SocketPath.empty() && !O.Stdio) ||
+      (!O.SocketPath.empty() && O.Stdio))
+    return usage(Argv[0]);
+
+  if (::pipe(GShutdownPipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  setGlobalNumThreads(O.Threads);
+
+  std::string Err;
+  std::unique_ptr<Predictor> P = Predictor::load(O.ModelPath, &Err);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  KnnOptions KO = P->knnOptions();
+  KO.NumThreads = O.Threads;
+  P->setKnnOptions(KO);
+  const ModelConfig &MC = P->model().config();
+  // In stdio mode stdout IS the response channel — NDJSON only; human
+  // chatter goes to stderr there.
+  std::fprintf(O.Stdio ? stderr : stdout,
+               "typilus_serve: loaded %s (%s/%s, D=%d%s, max-batch %d)\n",
+               O.ModelPath.c_str(), encoderKindName(MC.Encoder),
+               lossKindName(MC.Loss), MC.HiddenDim,
+               P->isKnn() ? ", kNN" : ", classifier", O.MaxBatch);
+  std::fflush(O.Stdio ? stderr : stdout);
+
+  ServerOptions SO;
+  SO.MaxBatch = O.MaxBatch;
+  SO.Limit = O.Limit;
+  SO.OnShutdown = [] { requestStop(); };
+  Server S(*P, *P->universe(), SO);
+
+  int Rc = O.Stdio ? runStdio(S, O) : runSocket(S, O);
+  S.stop();
+  return Rc;
+}
