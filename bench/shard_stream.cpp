@@ -1,0 +1,224 @@
+//===- bench/shard_stream.cpp - Sharded streaming vs in-memory corpus ---------===//
+//
+// The corpus-sharding claim, measured: pushing the same corpus through
+// the in-memory `Dataset` (every FileExample resident at once) and
+// through a `ShardedDataset` (decoded residency bounded by the shard
+// LRU) must cost the same stream — identical files, identical targets —
+// while peak RSS is bounded by shard residency, not corpus size.
+//
+// Each variant runs in its own forked child so `getrusage`'s ru_maxrss
+// high-water mark is per-variant, not contaminated by whichever variant
+// ran first. The parent collects metrics over a pipe and the child's
+// rusage from wait4().
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "corpus/ShardedDataset.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <ctime>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace typilus;
+
+namespace {
+
+double now() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<double>(Ts.tv_sec) + 1e-9 * static_cast<double>(Ts.tv_nsec);
+}
+
+/// What a child reports back over its pipe.
+struct Metrics {
+  uint64_t Files = 0;
+  uint64_t Targets = 0;
+  uint64_t NodeSum = 0; ///< Checksum-ish: proves both variants saw the same data.
+  double BuildSec = 0;
+  double StreamSec = 0;
+  uint64_t Decodes = 0;
+};
+
+struct ChildResult {
+  Metrics M;
+  long PeakRssKb = 0;
+};
+
+/// Runs \p Fn in a forked child; returns its metrics + peak RSS.
+template <typename Fn> ChildResult inChild(Fn &&Body) {
+  int Pipe[2];
+  if (pipe(Pipe) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (Pid == 0) {
+    close(Pipe[0]);
+    Metrics M = Body();
+    ssize_t W = write(Pipe[1], &M, sizeof(M));
+    _exit(W == static_cast<ssize_t>(sizeof(M)) ? 0 : 1);
+  }
+  close(Pipe[1]);
+  ChildResult R;
+  ssize_t Got = read(Pipe[0], &R.M, sizeof(R.M));
+  close(Pipe[0]);
+  int Status = 0;
+  rusage Ru;
+  std::memset(&Ru, 0, sizeof(Ru));
+  if (wait4(Pid, &Status, 0, &Ru) != Pid || Status != 0 ||
+      Got != static_cast<ssize_t>(sizeof(R.M))) {
+    std::fprintf(stderr, "error: bench child failed (status %d)\n", Status);
+    std::exit(1);
+  }
+  R.PeakRssKb = Ru.ru_maxrss; // KiB on Linux
+  return R;
+}
+
+/// One full pass over a source, touching every example (summing node
+/// counts so the stream cannot be optimized away).
+void streamPass(ExampleSource &Src, Metrics &M) {
+  ExamplePin Pin;
+  for (size_t I = 0, N = Src.size(); I != N; ++I) {
+    const FileExample &Ex = Src.get(I, Pin);
+    ++M.Files;
+    M.Targets += Ex.Targets.size();
+    M.NodeSum += Ex.Graph.numNodes();
+  }
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Sharded streaming corpus: peak RSS & stream throughput",
+                "the Sec. 6 corpus scale problem (600 projects / 252k "
+                "annotations don't fit training RAM)");
+  BenchScale S = BenchScale::fromEnv();
+  CorpusConfig CC;
+  CC.NumFiles = S.NumFiles;
+  DatasetConfig DC;
+  constexpr int FilesPerShard = 8;
+  constexpr int MaxResident = 2;
+  std::string Dir =
+      "/tmp/typilus_shard_stream." + std::to_string(::getpid());
+
+  std::printf("corpus: %d files; shards of %d files, LRU of %d decoded "
+              "shards\n\n",
+              CC.NumFiles, FilesPerShard, MaxResident);
+
+  // Variant A: the historical path — every example resident at once.
+  ChildResult InMem = inChild([&] {
+    Metrics M;
+    CorpusGenerator Gen(CC);
+    std::vector<CorpusFile> Files = Gen.generate();
+    TypeUniverse U;
+    double T0 = now();
+    Dataset DS = buildDataset(Files, Gen.udts(), U, nullptr, DC);
+    M.BuildSec = now() - T0;
+    T0 = now();
+    for (const std::vector<FileExample> *Split :
+         {&DS.Train, &DS.Valid, &DS.Test}) {
+      VectorExampleSource Src(*Split);
+      streamPass(Src, M);
+    }
+    M.StreamSec = now() - T0;
+    return M;
+  });
+
+  // Variant B: build shards (one chunk resident at a time), then stream
+  // them back through the LRU.
+  ChildResult Sharded = inChild([&] {
+    Metrics M;
+    CorpusGenerator Gen(CC);
+    std::vector<CorpusFile> Files = Gen.generate();
+    TypeUniverse U;
+    ShardBuildOptions SO;
+    SO.Dir = Dir;
+    SO.FilesPerShard = FilesPerShard;
+    std::string Err;
+    double T0 = now();
+    if (!buildShards(Files, Gen.udts(), U, nullptr, DC, SO, &Err)) {
+      std::fprintf(stderr, "buildShards: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    M.BuildSec = now() - T0;
+    TypeUniverse U2;
+    ShardedDatasetOptions RO;
+    RO.MaxResidentShards = MaxResident;
+    std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(Dir, U2, RO, &Err);
+    if (!SD) {
+      std::fprintf(stderr, "open: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    T0 = now();
+    for (SplitKind SK :
+         {SplitKind::Train, SplitKind::Valid, SplitKind::Test})
+      streamPass(SD->split(SK), M);
+    M.StreamSec = now() - T0;
+    M.Decodes = SD->decodeCount();
+    return M;
+  });
+
+  // Clean the shard set up (the sharded child wrote it).
+  for (int I = 0; I != 1024; ++I) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "shard-%05d.typs", I);
+    if (std::remove((Dir + "/" + Name).c_str()) != 0)
+      break;
+  }
+  std::remove((Dir + "/" + kShardManifestName).c_str());
+  std::remove(Dir.c_str());
+
+  if (InMem.M.Files != Sharded.M.Files ||
+      InMem.M.Targets != Sharded.M.Targets ||
+      InMem.M.NodeSum != Sharded.M.NodeSum) {
+    std::fprintf(stderr,
+                 "error: variants disagree on the corpus "
+                 "(files %" PRIu64 "/%" PRIu64 ", targets %" PRIu64
+                 "/%" PRIu64 ")\n",
+                 InMem.M.Files, Sharded.M.Files, InMem.M.Targets,
+                 Sharded.M.Targets);
+    return 1;
+  }
+
+  auto Report = [](const char *Name, const ChildResult &R) {
+    std::printf("%-9s built in %.2fs, streamed %" PRIu64 " files / %" PRIu64
+                " targets in %.3fs (%.0f files/s) — peak RSS %.1f MB\n",
+                Name, R.M.BuildSec, R.M.Files, R.M.Targets, R.M.StreamSec,
+                R.M.StreamSec > 0
+                    ? static_cast<double>(R.M.Files) / R.M.StreamSec
+                    : 0.0,
+                static_cast<double>(R.PeakRssKb) / 1024.0);
+  };
+  Report("in-memory", InMem);
+  Report("sharded", Sharded);
+  std::printf("sharded decodes: %" PRIu64 " (sequential pass = one per "
+              "shard)\n\n",
+              Sharded.M.Decodes);
+
+  // The machine-readable lines BENCH_shard_stream.json records.
+  std::printf("peak_rss_inmem_kb: %ld\n", InMem.PeakRssKb);
+  std::printf("peak_rss_sharded_kb: %ld\n", Sharded.PeakRssKb);
+  std::printf("rss_ratio_inmem_vs_sharded: %.2fx\n",
+              Sharded.PeakRssKb > 0
+                  ? static_cast<double>(InMem.PeakRssKb) /
+                        static_cast<double>(Sharded.PeakRssKb)
+                  : 0.0);
+  std::printf("inmem_stream_files_per_sec: %.0f\n",
+              InMem.M.StreamSec > 0
+                  ? static_cast<double>(InMem.M.Files) / InMem.M.StreamSec
+                  : 0.0);
+  std::printf("sharded_stream_files_per_sec: %.0f\n",
+              Sharded.M.StreamSec > 0
+                  ? static_cast<double>(Sharded.M.Files) / Sharded.M.StreamSec
+                  : 0.0);
+  return 0;
+}

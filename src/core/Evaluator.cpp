@@ -10,7 +10,8 @@ using namespace typilus;
 
 std::vector<Judged>
 typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
-                          const Dataset &DS, const TypeHierarchy &H) {
+                          const std::map<TypeRef, int> &TrainCounts,
+                          int CommonThreshold, const TypeHierarchy &H) {
   TypeUniverse &U = H.universe();
   std::vector<Judged> Out;
   Out.reserve(Preds.size());
@@ -20,9 +21,9 @@ typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
     J.Pred = P.top();
     J.Confidence = P.confidence();
     J.Kind = P.Kind;
-    auto It = DS.TrainTypeCounts.find(J.Truth);
-    J.TrainCount = It == DS.TrainTypeCounts.end() ? 0 : It->second;
-    J.Rare = J.TrainCount < DS.CommonThreshold;
+    auto It = TrainCounts.find(J.Truth);
+    J.TrainCount = It == TrainCounts.end() ? 0 : It->second;
+    J.Rare = J.TrainCount < CommonThreshold;
     if (J.Pred) {
       J.Exact = J.Pred == J.Truth;
       J.UpToParametric = U.erase(J.Pred) == U.erase(J.Truth);
@@ -31,6 +32,12 @@ typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
     Out.push_back(J);
   }
   return Out;
+}
+
+std::vector<Judged>
+typilus::judgePredictions(const std::vector<PredictionResult> &Preds,
+                          const Dataset &DS, const TypeHierarchy &H) {
+  return judgePredictions(Preds, DS.TrainTypeCounts, DS.CommonThreshold, H);
 }
 
 static EvalSummary summarizeIf(const std::vector<Judged> &Js,

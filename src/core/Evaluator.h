@@ -36,7 +36,15 @@ struct Judged {
   int TrainCount = 0; ///< Annotations of the truth type in training.
 };
 
-/// Judges top-1 predictions against ground truth.
+/// Judges top-1 predictions against ground truth. The rareness split
+/// needs only the training-annotation histogram, so streamed corpora
+/// (corpus/ShardedDataset, whose manifest carries the merged counts)
+/// judge through the first form; the Dataset form is a convenience over
+/// it.
+std::vector<Judged> judgePredictions(const std::vector<PredictionResult> &Preds,
+                                     const std::map<TypeRef, int> &TrainCounts,
+                                     int CommonThreshold,
+                                     const TypeHierarchy &H);
 std::vector<Judged> judgePredictions(const std::vector<PredictionResult> &Preds,
                                      const Dataset &DS,
                                      const TypeHierarchy &H);

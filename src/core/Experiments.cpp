@@ -33,26 +33,29 @@ BenchScale BenchScale::fromEnv() {
 ModelRun typilus::trainAndEvaluate(Workbench &WB, const ModelConfig &MC,
                                    const TrainOptions &TO,
                                    const KnnOptions &KO) {
+  // The whole harness runs on the streaming layer; the in-memory splits
+  // are one-implicit-shard adapters, so results are bit-identical to the
+  // historical vector-based path (and to a ShardedDataset of the same
+  // corpus — tests/ShardTest.cpp pins that equivalence).
+  VectorExampleSource TrainSrc(WB.DS.Train), ValidSrc(WB.DS.Valid),
+      TestSrc(WB.DS.Test);
+
   ModelRun Run;
-  Run.Model = makeModel(MC, WB.DS, *WB.U);
+  Run.Model = makeModel(MC, TrainSrc, *WB.U);
   std::clock_t T0 = std::clock();
-  trainModel(*Run.Model, WB.DS.Train, TO);
+  trainModel(*Run.Model, TrainSrc, TO);
   Run.TrainSeconds =
       static_cast<double>(std::clock() - T0) / CLOCKS_PER_SEC;
 
   if (MC.Loss == LossKind::Class) {
     Predictor P = Predictor::classifier(*Run.Model);
-    Run.Preds = P.predictAll(WB.DS.Test);
+    Run.Preds = P.predictAll(TestSrc);
   } else {
     // τmap over train + valid, as in the paper (Sec. 7: "we built the type
     // map over the training and the validation sets").
-    std::vector<const FileExample *> MapFiles;
-    for (const FileExample &F : WB.DS.Train)
-      MapFiles.push_back(&F);
-    for (const FileExample &F : WB.DS.Valid)
-      MapFiles.push_back(&F);
-    Predictor P = Predictor::knn(*Run.Model, MapFiles, KO);
-    Run.Preds = P.predictAll(WB.DS.Test);
+    ConcatExampleSource MapSrc({&TrainSrc, &ValidSrc});
+    Predictor P = Predictor::knn(*Run.Model, MapSrc, KO);
+    Run.Preds = P.predictAll(TestSrc);
   }
   Run.Js = judgePredictions(Run.Preds, WB.DS, *WB.H);
   Run.Summary = summarize(Run.Js);

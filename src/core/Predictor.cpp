@@ -9,51 +9,72 @@
 
 using namespace typilus;
 
-Predictor Predictor::knn(TypeModel &Model,
-                         const std::vector<const FileExample *> &MapFiles,
+Predictor Predictor::knn(TypeModel &Model, ExampleSource &MapFiles,
                          const KnnOptions &Opts) {
   Predictor P(Model);
   P.IsKnn = true;
   P.Knn = Opts;
   P.Map = std::make_unique<TypeMap>(Model.config().HiddenDim);
 
-  // Embed the map files (data-parallel when the encoder is thread-safe;
-  // each file's forward pass only reads the trained parameters), then fill
-  // the τmap in file order so the marker layout never depends on threads.
-  std::vector<Tensor> Embs(MapFiles.size());
-  std::vector<std::vector<const Target *>> Targets(MapFiles.size());
-  auto EmbedOne = [&](size_t I) {
-    nn::Value Emb = Model.embed({MapFiles[I]}, &Targets[I]);
-    if (Emb.defined())
-      Embs[I] = Emb.val();
-  };
-  if (Model.supportsParallelEmbed()) {
-    parallelFor(
-        0, static_cast<int64_t>(MapFiles.size()), 1,
-        [&](int64_t Lo, int64_t Hi) {
-          for (int64_t I = Lo; I != Hi; ++I)
-            EmbedOne(static_cast<size_t>(I));
-        },
-        Opts.NumThreads);
-  } else {
-    for (size_t I = 0; I != MapFiles.size(); ++I)
-      EmbedOne(I);
-  }
+  // Pre-size from the stream's metadata (a shard set knows its target
+  // totals without decoding anything), then fill window by window: pin a
+  // window of files, embed it data-parallel when the encoder is
+  // thread-safe (each file's forward pass only reads the trained
+  // parameters), and append markers in file order. Windowing changes no
+  // bits — every file goes through the same single-file embed, and the
+  // marker layout is file order either way — while residency stays one
+  // window of decoded shards instead of the whole corpus.
+  P.Map->reserve(MapFiles.numTargets());
+  constexpr size_t WindowFiles = 32;
+  size_t N = MapFiles.size();
+  for (size_t Lo = 0; Lo < N; Lo += WindowFiles) {
+    size_t Hi = std::min(N, Lo + WindowFiles);
+    size_t W = Hi - Lo;
+    std::vector<ExamplePin> Pins(W);
+    std::vector<const FileExample *> Window(W);
+    for (size_t I = 0; I != W; ++I)
+      Window[I] = &MapFiles.get(Lo + I, Pins[I]);
 
-  size_t Total = 0;
-  for (const auto &T : Targets)
-    Total += T.size();
-  P.Map->reserve(Total);
-  for (size_t F = 0; F != MapFiles.size(); ++F) {
-    const Tensor &E = Embs[F];
-    if (E.numel() == 0)
-      continue;
-    for (size_t I = 0; I != Targets[F].size(); ++I)
-      P.Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
-                 Targets[F][I]->Type);
+    std::vector<Tensor> Embs(W);
+    std::vector<std::vector<const Target *>> Targets(W);
+    auto EmbedOne = [&](size_t I) {
+      nn::Value Emb = Model.embed({Window[I]}, &Targets[I]);
+      if (Emb.defined())
+        Embs[I] = Emb.val();
+    };
+    if (Model.supportsParallelEmbed()) {
+      parallelFor(
+          0, static_cast<int64_t>(W), 1,
+          [&](int64_t Lo2, int64_t Hi2) {
+            for (int64_t I = Lo2; I != Hi2; ++I)
+              EmbedOne(static_cast<size_t>(I));
+          },
+          Opts.NumThreads);
+    } else {
+      // Sequential encoders (Path) consume their sampling RNG in file
+      // order — identical to the unwindowed fill.
+      for (size_t I = 0; I != W; ++I)
+        EmbedOne(I);
+    }
+
+    for (size_t F = 0; F != W; ++F) {
+      const Tensor &E = Embs[F];
+      if (E.numel() == 0)
+        continue;
+      for (size_t I = 0; I != Targets[F].size(); ++I)
+        P.Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
+                   Targets[F][I]->Type);
+    }
   }
   P.rebuildIndex();
   return P;
+}
+
+Predictor Predictor::knn(TypeModel &Model,
+                         const std::vector<const FileExample *> &MapFiles,
+                         const KnnOptions &Opts) {
+  PtrExampleSource Src(MapFiles);
+  return knn(Model, Src, Opts);
 }
 
 Predictor Predictor::classifier(TypeModel &Model) {
@@ -196,8 +217,8 @@ void Predictor::setKnnOptions(const KnnOptions &O) {
 
 void Predictor::addMarker(const float *Embedding, TypeRef T) {
   assert(IsKnn && "markers only apply to kNN predictors");
-  Map->add(Embedding, T);
-  rebuildIndex();
+  if (Map->add(Embedding, T)) // a deduped duplicate changes nothing
+    rebuildIndex();
 }
 
 void Predictor::addMarkersFrom(const FileExample &File) {
@@ -208,9 +229,12 @@ void Predictor::addMarkersFrom(const FileExample &File) {
     return;
   const Tensor &E = Emb.val();
   Map->reserve(Targets.size());
+  bool Added = false;
   for (size_t I = 0; I != Targets.size(); ++I)
-    Map->add(E.data() + static_cast<int64_t>(I) * E.cols(), Targets[I]->Type);
-  rebuildIndex();
+    Added |= Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
+                      Targets[I]->Type);
+  if (Added)
+    rebuildIndex();
 }
 
 /// Copies the stable identity of target \p T (index \p I of \p File's
@@ -327,23 +351,31 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
   return Out;
 }
 
-std::vector<PredictionResult>
-Predictor::predictAll(const std::vector<FileExample> &Files) {
+std::vector<PredictionResult> Predictor::predictAll(ExampleSource &Files) {
   // Chunked so a whole-corpus call does not materialize one giant batch
-  // graph; results are identical for any chunk size.
+  // graph (and a streamed split never decodes more than a chunk's worth
+  // of shards); results are identical for any chunk size.
   constexpr size_t ChunkFiles = 32;
   std::vector<PredictionResult> All;
-  for (size_t Lo = 0; Lo < Files.size(); Lo += ChunkFiles) {
-    size_t Hi = std::min(Files.size(), Lo + ChunkFiles);
+  size_t N = Files.size();
+  for (size_t Lo = 0; Lo < N; Lo += ChunkFiles) {
+    size_t Hi = std::min(N, Lo + ChunkFiles);
+    std::vector<ExamplePin> Pins(Hi - Lo);
     std::vector<const FileExample *> Chunk;
     Chunk.reserve(Hi - Lo);
     for (size_t I = Lo; I != Hi; ++I)
-      Chunk.push_back(&Files[I]);
+      Chunk.push_back(&Files.get(I, Pins[I - Lo]));
     for (std::vector<PredictionResult> &Part : predictBatch(Chunk))
       All.insert(All.end(), std::make_move_iterator(Part.begin()),
                  std::make_move_iterator(Part.end()));
   }
   return All;
+}
+
+std::vector<PredictionResult>
+Predictor::predictAll(const std::vector<FileExample> &Files) {
+  VectorExampleSource Src(Files);
+  return predictAll(Src);
 }
 
 uint64_t typilus::predictionDigest(const std::vector<PredictionResult> &Preds) {

@@ -22,6 +22,7 @@
 #ifndef TYPILUS_CORE_PREDICTOR_H
 #define TYPILUS_CORE_PREDICTOR_H
 
+#include "corpus/ExampleStream.h"
 #include "knn/TypeMap.h"
 #include "models/Model.h"
 #include "support/Archive.h"
@@ -76,7 +77,15 @@ struct KnnOptions {
 class Predictor {
 public:
   /// kNN predictor: seeds the τmap with the markers of \p MapFiles
-  /// (the paper uses train+valid annotations).
+  /// (the paper uses train+valid annotations). The stream form fills the
+  /// τmap one residency-bounded window at a time — embedding each window
+  /// data-parallel, appending markers in file order — so construction
+  /// RAM is bounded by shard residency, not the corpus; the map is
+  /// pre-sized from the stream's target metadata. Marker layout (and
+  /// every downstream prediction) is bit-identical to the historical
+  /// all-at-once fill for any window size and thread count.
+  static Predictor knn(TypeModel &Model, ExampleSource &MapFiles,
+                       const KnnOptions &Opts = {});
   static Predictor knn(TypeModel &Model,
                        const std::vector<const FileExample *> &MapFiles,
                        const KnnOptions &Opts = {});
@@ -119,7 +128,9 @@ public:
   predictBatch(const std::vector<const FileExample *> &Files);
 
   /// Convenience: predicts over a whole split (through predictBatch, in
-  /// bounded chunks).
+  /// bounded chunks — a streamed split decodes at most a window of
+  /// shards at a time).
+  std::vector<PredictionResult> predictAll(ExampleSource &Files);
   std::vector<PredictionResult>
   predictAll(const std::vector<FileExample> &Files);
 

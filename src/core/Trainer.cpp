@@ -10,42 +10,79 @@
 
 using namespace typilus;
 
-TypeVocabs typilus::buildTypeVocabs(const std::vector<FileExample> &Train,
-                                    TypeUniverse &U) {
+TypeVocabs typilus::buildTypeVocabs(ExampleSource &Train, TypeUniverse &U) {
+  // One sequential pass: within a shard the examples stream in order, so
+  // at most one decoded shard is pinned at a time.
   TypeVocabs TV;
-  for (const FileExample &F : Train)
+  ExamplePin Pin;
+  for (size_t I = 0, N = Train.size(); I != N; ++I) {
+    const FileExample &F = Train.get(I, Pin);
     for (const Target &T : F.Targets) {
       TV.Full.add(T.Type);
       TV.Erased.add(U.erase(T.Type));
     }
+  }
   return TV;
+}
+
+TypeVocabs typilus::buildTypeVocabs(const std::vector<FileExample> &Train,
+                                    TypeUniverse &U) {
+  VectorExampleSource Src(Train);
+  return buildTypeVocabs(Src, U);
+}
+
+LabelVocab typilus::buildLabelVocab(ExampleSource &Train, NodeRepKind Rep) {
+  LabelVocab::Builder B(Rep == NodeRepKind::WholeToken
+                            ? LabelVocab::Mode::WholeLabel
+                            : LabelVocab::Mode::Subtoken);
+  ExamplePin Pin;
+  for (size_t I = 0, N = Train.size(); I != N; ++I)
+    B.addGraph(Train.get(I, Pin).Graph);
+  return B.finish();
 }
 
 LabelVocab typilus::buildLabelVocab(const std::vector<FileExample> &Train,
                                     NodeRepKind Rep) {
-  std::vector<const TypilusGraph *> Graphs;
-  Graphs.reserve(Train.size());
-  for (const FileExample &F : Train)
-    Graphs.push_back(&F.Graph);
-  return LabelVocab::build(Graphs,
-                           Rep == NodeRepKind::WholeToken
-                               ? LabelVocab::Mode::WholeLabel
-                               : LabelVocab::Mode::Subtoken);
+  VectorExampleSource Src(Train);
+  return buildLabelVocab(Src, Rep);
+}
+
+std::unique_ptr<TypeModel> typilus::makeModel(const ModelConfig &Config,
+                                              ExampleSource &Train,
+                                              TypeUniverse &U) {
+  // One merged pass feeds both vocabularies, so a sharded train split
+  // decodes each shard once here, not once per vocabulary. Identical
+  // results to the separate builds: the label vocabulary comes from a
+  // sorted histogram and the type vocabulary sees targets in the same
+  // stream order either way.
+  LabelVocab::Builder B(Config.NodeRep == NodeRepKind::WholeToken
+                            ? LabelVocab::Mode::WholeLabel
+                            : LabelVocab::Mode::Subtoken);
+  TypeVocabs TV;
+  ExamplePin Pin;
+  for (size_t I = 0, N = Train.size(); I != N; ++I) {
+    const FileExample &F = Train.get(I, Pin);
+    B.addGraph(F.Graph);
+    for (const Target &T : F.Targets) {
+      TV.Full.add(T.Type);
+      TV.Erased.add(U.erase(T.Type));
+    }
+  }
+  return std::make_unique<TypeModel>(Config, B.finish(), std::move(TV));
 }
 
 std::unique_ptr<TypeModel> typilus::makeModel(const ModelConfig &Config,
                                               const Dataset &DS,
                                               TypeUniverse &U) {
-  return std::make_unique<TypeModel>(Config,
-                                     buildLabelVocab(DS.Train, Config.NodeRep),
-                                     buildTypeVocabs(DS.Train, U));
+  VectorExampleSource Src(DS.Train);
+  return makeModel(Config, Src, U);
 }
 
 Trainer::Trainer(TypeModel &Model, const TrainOptions &Opts)
     : Model(Model), Opts(Opts),
       Opt(Model.params(), Opts.LearningRate, Opts.ClipNorm), R(Opts.Seed) {}
 
-double Trainer::run(const std::vector<FileExample> &Train) {
+double Trainer::run(ExampleSource &Train) {
   // Size the process-wide pool for the run and restore it afterwards (so
   // e.g. NumThreads=1 training does not leave later prediction serial).
   // Minibatch files embed data-parallel (for thread-safe encoders) and the
@@ -76,17 +113,44 @@ double Trainer::run(const std::vector<FileExample> &Train) {
       Order[I] = static_cast<int>(I);
   }
 
+  auto WriteCheckpoint = [&] {
+    if (Opts.CheckpointPath.empty())
+      return;
+    std::string Err;
+    if (!saveCheckpoint(Opts.CheckpointPath, &Err))
+      std::fprintf(stderr, "warning: checkpoint not written: %s\n",
+                   Err.c_str());
+  };
+
+  int StepsThisRun = 0;
   for (int Epoch = EpochsDone; Epoch < Opts.Epochs; ++Epoch) {
-    R.shuffle(Order);
+    size_t StartPos = 0;
     double Sum = 0;
     int Steps = 0;
-    for (size_t Start = 0; Start < Order.size();
+    if (MidEpoch) {
+      // A mid-epoch checkpoint restored the shuffled order, the cursor
+      // and the running loss accumulators: pick up exactly there.
+      StartPos = static_cast<size_t>(CursorPos);
+      Sum = EpochSum;
+      Steps = EpochSteps;
+      MidEpoch = false;
+    } else {
+      Train.shuffleEpochOrder(Order, R, Opts.ShardAwareShuffle);
+    }
+    int SinceCheckpoint = 0;
+    for (size_t Start = StartPos; Start < Order.size();
          Start += static_cast<size_t>(Opts.BatchFiles)) {
+      // Pins keep each minibatch's backing shards alive for the step;
+      // residency beyond the batch is the stream's LRU bound.
+      std::vector<ExamplePin> Pins;
       std::vector<const FileExample *> Batch;
       for (size_t I = Start;
            I < Order.size() && I < Start + static_cast<size_t>(Opts.BatchFiles);
-           ++I)
-        Batch.push_back(&Train[static_cast<size_t>(Order[I])]);
+           ++I) {
+        Pins.emplace_back();
+        Batch.push_back(
+            &Train.get(static_cast<size_t>(Order[I]), Pins.back()));
+      }
       std::vector<const Target *> Targets;
       nn::Value Emb = Model.embed(Batch, &Targets);
       if (!Emb.defined() || Targets.empty())
@@ -97,18 +161,40 @@ double Trainer::run(const std::vector<FileExample> &Train) {
       Opt.step();
       Sum += Loss.val()[0];
       ++Steps;
+      ++SinceCheckpoint;
+      ++StepsThisRun;
+
+      bool MoreInEpoch =
+          Start + static_cast<size_t>(Opts.BatchFiles) < Order.size();
+      bool StopNow =
+          Opts.StopAfterSteps > 0 && StepsThisRun >= Opts.StopAfterSteps;
+      if (MoreInEpoch &&
+          (StopNow || (Opts.CheckpointEverySteps > 0 &&
+                       SinceCheckpoint >= Opts.CheckpointEverySteps))) {
+        // Record the cursor so the checkpoint resumes at the next batch;
+        // the members also let a later run() on this trainer continue.
+        MidEpoch = true;
+        CursorPos = Start + static_cast<size_t>(Opts.BatchFiles);
+        EpochSum = Sum;
+        EpochSteps = Steps;
+        WriteCheckpoint();
+        SinceCheckpoint = 0;
+        if (StopNow)
+          return Steps > 0 ? Sum / Steps : LastEpochLoss;
+        MidEpoch = false;
+      }
     }
     LastEpochLoss = Steps > 0 ? Sum / Steps : 0;
     EpochsDone = Epoch + 1;
+    CursorPos = 0;
+    EpochSum = 0;
+    EpochSteps = 0;
     if (Opts.Verbose)
       std::printf("  epoch %d/%d: mean loss %.4f\n", Epoch + 1, Opts.Epochs,
                   LastEpochLoss);
-    if (!Opts.CheckpointPath.empty()) {
-      std::string Err;
-      if (!saveCheckpoint(Opts.CheckpointPath, &Err))
-        std::fprintf(stderr, "warning: checkpoint not written: %s\n",
-                     Err.c_str());
-    }
+    WriteCheckpoint();
+    if (Opts.StopAfterSteps > 0 && StepsThisRun >= Opts.StopAfterSteps)
+      return LastEpochLoss;
   }
   return LastEpochLoss;
 }
@@ -119,6 +205,12 @@ bool Trainer::saveCheckpoint(const std::string &Path, std::string *Err) const {
   W.writeI32(EpochsDone);
   W.writeF64(LastEpochLoss);
   W.writeU64(R.state());
+  // v2: the mid-epoch cursor. MidEpoch unset means "between epochs" and
+  // the cursor fields are ignored on resume.
+  W.writeU8(MidEpoch ? 1 : 0);
+  W.writeU64(CursorPos);
+  W.writeF64(EpochSum);
+  W.writeI32(EpochSteps);
   W.writeU64(Order.size());
   for (int I : Order)
     W.writeI32(I);
@@ -150,8 +242,14 @@ bool Trainer::resumeFrom(const std::string &Path, std::string *Err) {
   int32_t NewEpochsDone = MC.readI32();
   double NewLoss = MC.readF64();
   uint64_t RngState = MC.readU64();
+  uint8_t NewMidEpoch = MC.readU8();
+  uint64_t NewCursorPos = MC.readU64();
+  double NewEpochSum = MC.readF64();
+  int32_t NewEpochSteps = MC.readI32();
   uint64_t OrderSize = MC.readU64();
-  if (!MC.ok() || NewEpochsDone < 0 || OrderSize > MC.remaining()) {
+  if (!MC.ok() || NewEpochsDone < 0 || NewMidEpoch > 1 ||
+      NewCursorPos > OrderSize || NewEpochSteps < 0 ||
+      OrderSize > MC.remaining()) {
     if (Err && Err->empty())
       *Err = "malformed trainer state chunk";
     return false;
@@ -177,14 +275,24 @@ bool Trainer::resumeFrom(const std::string &Path, std::string *Err) {
   EpochsDone = NewEpochsDone;
   LastEpochLoss = NewLoss;
   R.setState(RngState);
+  MidEpoch = NewMidEpoch != 0;
+  CursorPos = NewCursorPos;
+  EpochSum = NewEpochSum;
+  EpochSteps = NewEpochSteps;
   Order = std::move(NewOrder);
   Resumed = true;
   return true;
 }
 
-double typilus::trainModel(TypeModel &Model,
-                           const std::vector<FileExample> &Train,
+double typilus::trainModel(TypeModel &Model, ExampleSource &Train,
                            const TrainOptions &Opts) {
   Trainer T(Model, Opts);
   return T.run(Train);
+}
+
+double typilus::trainModel(TypeModel &Model,
+                           const std::vector<FileExample> &Train,
+                           const TrainOptions &Opts) {
+  VectorExampleSource Src(Train);
+  return trainModel(Model, Src, Opts);
 }

@@ -11,14 +11,8 @@
 
 using namespace typilus;
 
-FileExample typilus::buildExample(const CorpusFile &File, TypeUniverse &U,
-                                  const GraphBuildOptions &Opts) {
-  FileExample Ex;
-  Ex.Path = File.Path;
-  ParsedFile PF = parseFile(File.Path, File.Source);
-  SymbolTable ST;
-  buildSymbolTable(PF, ST);
-  Ex.Graph = buildGraph(PF, ST, Opts);
+void typilus::resolveTargets(FileExample &Ex, TypeUniverse &U) {
+  Ex.Targets.clear();
   for (const Supernode &S : Ex.Graph.Supernodes) {
     if (S.AnnotationText.empty())
       continue;
@@ -33,20 +27,30 @@ FileExample typilus::buildExample(const CorpusFile &File, TypeUniverse &U,
     Tg.Name = S.Name;
     Ex.Targets.push_back(std::move(Tg));
   }
+}
+
+FileExample typilus::buildExample(const CorpusFile &File, TypeUniverse &U,
+                                  const GraphBuildOptions &Opts) {
+  FileExample Ex;
+  Ex.Path = File.Path;
+  ParsedFile PF = parseFile(File.Path, File.Source);
+  SymbolTable ST;
+  buildSymbolTable(PF, ST);
+  Ex.Graph = buildGraph(PF, ST, Opts);
+  resolveTargets(Ex, U);
   return Ex;
 }
 
-Dataset typilus::buildDataset(const std::vector<CorpusFile> &Files,
-                              const std::vector<UdtSpec> &Udts,
-                              TypeUniverse &U, TypeHierarchy *Hierarchy,
-                              const DatasetConfig &Config) {
-  if (Hierarchy)
-    for (const UdtSpec &Udt : Udts)
-      Hierarchy->addClass(Udt.Name,
-                          Udt.Base.empty()
-                              ? std::vector<std::string>{}
-                              : std::vector<std::string>{Udt.Base});
+void typilus::registerUdts(const std::vector<UdtSpec> &Udts,
+                           TypeHierarchy &Hierarchy) {
+  for (const UdtSpec &Udt : Udts)
+    Hierarchy.addClass(Udt.Name, Udt.Base.empty()
+                                     ? std::vector<std::string>{}
+                                     : std::vector<std::string>{Udt.Base});
+}
 
+CorpusSplitPlan typilus::planCorpusSplit(const std::vector<CorpusFile> &Files,
+                                         const DatasetConfig &Config) {
   // Dedup before splitting, as the paper stresses.
   std::vector<const CorpusFile *> Kept;
   if (Config.RunDedup) {
@@ -66,24 +70,39 @@ Dataset typilus::buildDataset(const std::vector<CorpusFile> &Files,
   }
 
   // Deterministic shuffled 70/10/20 split.
+  CorpusSplitPlan Plan;
   Rng R(Config.SplitSeed);
-  std::vector<const CorpusFile *> Shuffled = Kept;
-  R.shuffle(Shuffled);
-  size_t NumTrain =
-      static_cast<size_t>(Config.TrainFrac * static_cast<double>(Shuffled.size()));
-  size_t NumValid =
-      static_cast<size_t>(Config.ValidFrac * static_cast<double>(Shuffled.size()));
+  Plan.Shuffled = std::move(Kept);
+  R.shuffle(Plan.Shuffled);
+  Plan.NumTrain = static_cast<size_t>(
+      Config.TrainFrac * static_cast<double>(Plan.Shuffled.size()));
+  Plan.NumValid = static_cast<size_t>(
+      Config.ValidFrac * static_cast<double>(Plan.Shuffled.size()));
+  return Plan;
+}
 
+Dataset typilus::buildDataset(const std::vector<CorpusFile> &Files,
+                              const std::vector<UdtSpec> &Udts,
+                              TypeUniverse &U, TypeHierarchy *Hierarchy,
+                              const DatasetConfig &Config) {
+  if (Hierarchy)
+    registerUdts(Udts, *Hierarchy);
+
+  CorpusSplitPlan Plan = planCorpusSplit(Files, Config);
   Dataset DS;
   DS.CommonThreshold = Config.CommonThreshold;
-  for (size_t I = 0; I != Shuffled.size(); ++I) {
-    FileExample Ex = buildExample(*Shuffled[I], U, Config.GraphOpts);
-    if (I < NumTrain)
+  for (size_t I = 0; I != Plan.Shuffled.size(); ++I) {
+    FileExample Ex = buildExample(*Plan.Shuffled[I], U, Config.GraphOpts);
+    switch (Plan.splitOf(I)) {
+    case 0:
       DS.Train.push_back(std::move(Ex));
-    else if (I < NumTrain + NumValid)
+      break;
+    case 1:
       DS.Valid.push_back(std::move(Ex));
-    else
+      break;
+    default:
       DS.Test.push_back(std::move(Ex));
+    }
   }
   for (const FileExample &F : DS.Train)
     for (const Target &T : F.Targets)

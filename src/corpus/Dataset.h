@@ -58,16 +58,47 @@ struct Dataset {
   }
 };
 
+/// The corpus-order side of dataset construction: which files survive
+/// dedup, the seeded shuffle, and where the 70/10/20 split boundaries
+/// fall. Shared by buildDataset and the sharded builder
+/// (corpus/ShardWriter) so the file-to-split assignment cannot drift
+/// between the two — their bit-identity contract depends on it.
+struct CorpusSplitPlan {
+  std::vector<const CorpusFile *> Shuffled; ///< Kept files, visit order.
+  size_t NumTrain = 0;
+  size_t NumValid = 0; ///< Remainder after train+valid is the test split.
+
+  /// Split of the file at shuffled position \p I: 0 train, 1 valid,
+  /// 2 test (matches corpus/ShardWriter's SplitKind values).
+  int splitOf(size_t I) const {
+    return I < NumTrain ? 0 : I < NumTrain + NumValid ? 1 : 2;
+  }
+};
+
+CorpusSplitPlan planCorpusSplit(const std::vector<CorpusFile> &Files,
+                                const DatasetConfig &Config);
+
 /// Builds the dataset. \p Hierarchy (if non-null) learns the UDT classes.
 Dataset buildDataset(const std::vector<CorpusFile> &Files,
                      const std::vector<UdtSpec> &Udts, TypeUniverse &U,
                      TypeHierarchy *Hierarchy, const DatasetConfig &Config);
+
+/// Registers the corpus UDT classes in \p Hierarchy (shared by the
+/// in-memory and sharded builders).
+void registerUdts(const std::vector<UdtSpec> &Udts, TypeHierarchy &Hierarchy);
 
 /// Parses and graph-izes a single file into a FileExample (shared with the
 /// examples and the qualitative tooling). Targets get ground truths from
 /// the in-source annotations; Any/None/malformed annotations are skipped.
 FileExample buildExample(const CorpusFile &File, TypeUniverse &U,
                          const GraphBuildOptions &Opts);
+
+/// Rebuilds \p Ex.Targets from its graph's supernode annotations,
+/// interning ground truths into \p U. This is the target-resolution step
+/// of buildExample, shared with shard decoding (corpus/ShardedDataset) so
+/// a decoded example resolves types through the exact same path — and
+/// therefore bit-identically — as a freshly built one.
+void resolveTargets(FileExample &Ex, TypeUniverse &U);
 
 } // namespace typilus
 

@@ -1,0 +1,159 @@
+//===- corpus/ExampleStream.h - Streaming example access ----------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming abstraction every corpus consumer (training loop, τmap
+/// construction, evaluation sweeps) iterates instead of a concrete
+/// `std::vector<FileExample>`: an `ExampleSource` hands out borrowed
+/// examples one index at a time, and an `ExamplePin` keeps the storage
+/// behind each borrow alive — for in-memory vectors the pin is a no-op,
+/// for `ShardedDataset` it holds the decoded shard so the LRU cache may
+/// evict freely without invalidating in-flight batches.
+///
+/// The in-memory adapters below make a plain `Dataset` behave as one
+/// implicit shard, so every consumer refactored onto `ExampleSource` is
+/// bit-identical to its historical vector-based behavior.
+///
+/// Sources are not thread-safe: one thread drives `get`, then fans the
+/// pinned examples out to the pool (the pins, being shared ownership,
+/// keep them valid for the duration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORPUS_EXAMPLESTREAM_H
+#define TYPILUS_CORPUS_EXAMPLESTREAM_H
+
+#include "models/Example.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace typilus {
+
+/// Shared ownership of whatever storage backs a borrowed FileExample.
+/// Reset (or destroy) the pin once the example is no longer referenced.
+struct ExamplePin {
+  std::shared_ptr<const void> Keep;
+  void reset() { Keep.reset(); }
+};
+
+/// A randomly addressable, bounded-residency stream of FileExamples.
+class ExampleSource {
+public:
+  virtual ~ExampleSource() = default;
+
+  /// Number of examples (files) in the stream.
+  virtual size_t size() const = 0;
+
+  /// Total prediction targets across the stream — known from metadata
+  /// without decoding (feeds e.g. TypeMap::reserve).
+  virtual size_t numTargets() const = 0;
+
+  /// Borrows example \p I; \p Pin keeps its backing storage alive until
+  /// reset. The reference is valid for the pin's lifetime.
+  virtual const FileExample &get(size_t I, ExamplePin &Pin) = 0;
+
+  /// Shuffles one epoch's visitation order in place with \p R.
+  ///
+  /// The base behavior — used by every in-memory source, which is one
+  /// implicit shard — is a global Fisher-Yates over the existing order,
+  /// exactly the historical training shuffle; it is independent of any
+  /// shard layout, which is what makes sharded training bit-identical to
+  /// in-memory training. Sharded sources additionally honour
+  /// \p ShardAware = true by shuffling the shard visitation order first
+  /// and then within each shard, trading the global-shuffle contract for
+  /// one-decode-per-shard-per-epoch cache behavior (still deterministic
+  /// in \p R, run to run).
+  virtual void shuffleEpochOrder(std::vector<int> &Order, Rng &R,
+                                 bool ShardAware) {
+    (void)ShardAware; // one implicit shard: within-shard == global
+    R.shuffle(Order);
+  }
+};
+
+/// One implicit shard over a borrowed `std::vector<FileExample>` — the
+/// adapter the in-memory `Dataset` splits stream through.
+class VectorExampleSource : public ExampleSource {
+public:
+  explicit VectorExampleSource(const std::vector<FileExample> &Files)
+      : Files(Files) {
+    for (const FileExample &F : Files)
+      Targets += F.Targets.size();
+  }
+
+  size_t size() const override { return Files.size(); }
+  size_t numTargets() const override { return Targets; }
+  const FileExample &get(size_t I, ExamplePin &Pin) override {
+    Pin.reset(); // vector storage outlives the source; nothing to hold
+    return Files[I];
+  }
+
+private:
+  const std::vector<FileExample> &Files;
+  size_t Targets = 0;
+};
+
+/// Same adapter over a vector of borrowed pointers (the historical
+/// τmap-construction calling convention).
+class PtrExampleSource : public ExampleSource {
+public:
+  explicit PtrExampleSource(const std::vector<const FileExample *> &Files)
+      : Files(Files) {
+    for (const FileExample *F : Files)
+      Targets += F->Targets.size();
+  }
+
+  size_t size() const override { return Files.size(); }
+  size_t numTargets() const override { return Targets; }
+  const FileExample &get(size_t I, ExamplePin &Pin) override {
+    Pin.reset();
+    return *Files[I];
+  }
+
+private:
+  const std::vector<const FileExample *> &Files;
+  size_t Targets = 0;
+};
+
+/// Concatenation of borrowed sources, in order — e.g. train followed by
+/// valid for the paper's τmap (Sec. 7).
+class ConcatExampleSource : public ExampleSource {
+public:
+  explicit ConcatExampleSource(std::vector<ExampleSource *> Parts)
+      : Parts(std::move(Parts)) {}
+
+  size_t size() const override {
+    size_t N = 0;
+    for (ExampleSource *S : Parts)
+      N += S->size();
+    return N;
+  }
+  size_t numTargets() const override {
+    size_t N = 0;
+    for (ExampleSource *S : Parts)
+      N += S->numTargets();
+    return N;
+  }
+  const FileExample &get(size_t I, ExamplePin &Pin) override {
+    for (ExampleSource *S : Parts) {
+      if (I < S->size())
+        return S->get(I, Pin);
+      I -= S->size();
+    }
+    assert(false && "ConcatExampleSource index out of range");
+    return Parts.front()->get(0, Pin); // unreachable under the contract
+  }
+
+private:
+  std::vector<ExampleSource *> Parts;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_CORPUS_EXAMPLESTREAM_H

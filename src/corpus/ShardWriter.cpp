@@ -1,0 +1,260 @@
+//===- corpus/ShardWriter.cpp - Corpus shard format & writer -------------------===//
+
+#include "corpus/ShardWriter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <sys/stat.h>
+
+using namespace typilus;
+
+const char *typilus::splitKindName(SplitKind S) {
+  switch (S) {
+  case SplitKind::Train:
+    return "train";
+  case SplitKind::Valid:
+    return "valid";
+  case SplitKind::Test:
+    return "test";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// FileExample serialization
+//===----------------------------------------------------------------------===//
+
+void typilus::writeFileExample(ArchiveWriter &W, const FileExample &Ex) {
+  W.writeStr(Ex.Path);
+  W.writeU64(Ex.Graph.Nodes.size());
+  for (const GraphNode &N : Ex.Graph.Nodes) {
+    W.writeU8(static_cast<uint8_t>(N.Category));
+    W.writeStr(N.Label);
+    W.writeI32(N.SymbolId);
+    W.writeI32(N.TokenIdx);
+  }
+  W.writeU64(Ex.Graph.Edges.size());
+  for (const GraphEdge &E : Ex.Graph.Edges) {
+    W.writeI32(E.Src);
+    W.writeI32(E.Dst);
+    W.writeU8(static_cast<uint8_t>(E.Label));
+  }
+  W.writeU64(Ex.Graph.Supernodes.size());
+  for (const Supernode &S : Ex.Graph.Supernodes) {
+    W.writeI32(S.NodeIdx);
+    W.writeI32(S.SymbolId);
+    W.writeU8(static_cast<uint8_t>(S.Kind));
+    W.writeStr(S.Name);
+    W.writeStr(S.AnnotationText);
+  }
+}
+
+bool typilus::readFileExample(ArchiveCursor &C, TypeUniverse &U,
+                              FileExample &Ex, std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err && Err->empty())
+      *Err = std::string("malformed shard example: ") + Why;
+    return false;
+  };
+  Ex = FileExample();
+  Ex.Path = C.readStr();
+
+  uint64_t NumNodes = C.readU64();
+  if (!C.ok() || NumNodes > C.remaining())
+    return Fail("node count");
+  Ex.Graph.Nodes.reserve(static_cast<size_t>(NumNodes));
+  for (uint64_t I = 0; I != NumNodes; ++I) {
+    GraphNode N;
+    uint8_t Cat = C.readU8();
+    N.Label = C.readStr();
+    N.SymbolId = C.readI32();
+    N.TokenIdx = C.readI32();
+    if (!C.ok() || Cat > static_cast<uint8_t>(NodeCategory::SymbolNode))
+      return Fail("node record");
+    N.Category = static_cast<NodeCategory>(Cat);
+    Ex.Graph.Nodes.push_back(std::move(N));
+  }
+
+  uint64_t NumEdges = C.readU64();
+  if (!C.ok() || NumEdges > C.remaining())
+    return Fail("edge count");
+  Ex.Graph.Edges.reserve(static_cast<size_t>(NumEdges));
+  for (uint64_t I = 0; I != NumEdges; ++I) {
+    GraphEdge E;
+    E.Src = C.readI32();
+    E.Dst = C.readI32();
+    uint8_t L = C.readU8();
+    if (!C.ok() || L >= NumEdgeLabels || E.Src < 0 || E.Dst < 0 ||
+        static_cast<uint64_t>(E.Src) >= NumNodes ||
+        static_cast<uint64_t>(E.Dst) >= NumNodes)
+      return Fail("edge record");
+    E.Label = static_cast<EdgeLabel>(L);
+    Ex.Graph.Edges.push_back(E);
+  }
+
+  uint64_t NumSuper = C.readU64();
+  if (!C.ok() || NumSuper > C.remaining())
+    return Fail("supernode count");
+  Ex.Graph.Supernodes.reserve(static_cast<size_t>(NumSuper));
+  for (uint64_t I = 0; I != NumSuper; ++I) {
+    Supernode S;
+    S.NodeIdx = C.readI32();
+    S.SymbolId = C.readI32();
+    uint8_t K = C.readU8();
+    S.Name = C.readStr();
+    S.AnnotationText = C.readStr();
+    if (!C.ok() || K > static_cast<uint8_t>(SymbolKind::External) ||
+        S.NodeIdx < 0 || static_cast<uint64_t>(S.NodeIdx) >= NumNodes)
+      return Fail("supernode record");
+    S.Kind = static_cast<SymbolKind>(K);
+    Ex.Graph.Supernodes.push_back(std::move(S));
+  }
+
+  // Ground truths intern through the same path buildExample uses, so a
+  // decoded example is bit-identical to a freshly built one.
+  resolveTargets(Ex, U);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardWriter
+//===----------------------------------------------------------------------===//
+
+ShardWriter::ShardWriter(std::string Dir) : Dir(std::move(Dir)) {}
+
+bool ShardWriter::addShard(SplitKind Split,
+                           const std::vector<FileExample> &Examples,
+                           std::string *Err) {
+  ArchiveWriter W(kShardFormatVersion, kShardMagic);
+
+  uint64_t Targets = 0;
+  for (const FileExample &Ex : Examples)
+    Targets += Ex.Targets.size();
+
+  W.beginChunk("smet");
+  W.writeU8(static_cast<uint8_t>(Split));
+  W.writeU64(Examples.size());
+  W.writeU64(Targets);
+  W.endChunk();
+
+  W.beginChunk("exmp");
+  W.writeU64(Examples.size());
+  for (const FileExample &Ex : Examples)
+    writeFileExample(W, Ex);
+  W.endChunk();
+
+  // The type-count sidecar: this shard's ground-truth histogram, merged
+  // into the manifest's global TrainTypeCounts for train shards.
+  std::map<std::string, int64_t> Counts;
+  for (const FileExample &Ex : Examples)
+    for (const Target &T : Ex.Targets)
+      ++Counts[T.Type->str()];
+  W.beginChunk("tcnt");
+  W.writeU64(Counts.size());
+  for (const auto &[Repr, N] : Counts)
+    W.writeStr(Repr), W.writeI64(N);
+  W.endChunk();
+
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "shard-%05zu.typs", Shards.size());
+  if (!W.writeFile(Dir + "/" + Name, Err))
+    return false;
+
+  if (Split == SplitKind::Train)
+    for (const auto &[Repr, N] : Counts)
+      TrainTypeCounts[Repr] += N;
+  Shards.push_back(ShardInfo{Name, Split, Examples.size(), Targets});
+  return true;
+}
+
+bool ShardWriter::finish(int CommonThreshold,
+                         const std::function<void(ArchiveWriter &)> &Extra,
+                         std::string *Err) {
+  uint64_t Files[kNumSplits] = {}, Targets[kNumSplits] = {};
+  for (const ShardInfo &S : Shards) {
+    Files[static_cast<int>(S.Split)] += S.Files;
+    Targets[static_cast<int>(S.Split)] += S.Targets;
+  }
+
+  ArchiveWriter W(kShardFormatVersion, kShardMagic);
+  W.beginChunk("mset");
+  W.writeI32(CommonThreshold);
+  W.writeU64(Shards.size());
+  for (uint64_t F : Files)
+    W.writeU64(F);
+  for (uint64_t T : Targets)
+    W.writeU64(T);
+  W.endChunk();
+
+  W.beginChunk("shrd");
+  W.writeU64(Shards.size());
+  for (const ShardInfo &S : Shards) {
+    W.writeStr(S.Name);
+    W.writeU8(static_cast<uint8_t>(S.Split));
+    W.writeU64(S.Files);
+    W.writeU64(S.Targets);
+  }
+  W.endChunk();
+
+  W.beginChunk("tcnt");
+  W.writeU64(TrainTypeCounts.size());
+  for (const auto &[Repr, N] : TrainTypeCounts)
+    W.writeStr(Repr), W.writeI64(N);
+  W.endChunk();
+
+  if (Extra)
+    Extra(W);
+  return W.writeFile(Dir + "/" + kShardManifestName, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// buildShards
+//===----------------------------------------------------------------------===//
+
+bool typilus::buildShards(const std::vector<CorpusFile> &Files,
+                          const std::vector<UdtSpec> &Udts, TypeUniverse &U,
+                          TypeHierarchy *Hierarchy, const DatasetConfig &Config,
+                          const ShardBuildOptions &Opts, std::string *Err) {
+  if (::mkdir(Opts.Dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    if (Err)
+      *Err = "cannot create shard directory '" + Opts.Dir + "'";
+    return false;
+  }
+
+  if (Hierarchy)
+    registerUdts(Udts, *Hierarchy);
+
+  // The same dedup + seeded shuffle + split-boundary computation
+  // buildDataset uses — one shared implementation, so the file-to-split
+  // assignment cannot drift between the in-memory and sharded paths.
+  CorpusSplitPlan Plan = planCorpusSplit(Files, Config);
+  const std::vector<const CorpusFile *> &Shuffled = Plan.Shuffled;
+  auto SplitOf = [&](size_t I) {
+    return static_cast<SplitKind>(Plan.splitOf(I));
+  };
+
+  size_t PerShard =
+      Opts.FilesPerShard < 1 ? 1 : static_cast<size_t>(Opts.FilesPerShard);
+  ShardWriter Writer(Opts.Dir);
+  std::vector<FileExample> Chunk;
+  SplitKind Cur = SplitKind::Train;
+  auto Flush = [&]() {
+    if (Chunk.empty())
+      return true;
+    bool Ok = Writer.addShard(Cur, Chunk, Err);
+    Chunk.clear();
+    return Ok;
+  };
+  for (size_t I = 0; I != Shuffled.size(); ++I) {
+    SplitKind S = SplitOf(I);
+    // Shards never straddle a split boundary, and a full chunk flushes —
+    // peak residency is one chunk of examples, not the corpus.
+    if ((S != Cur || Chunk.size() >= PerShard) && !Flush())
+      return false;
+    Cur = S;
+    Chunk.push_back(buildExample(*Shuffled[I], U, Config.GraphOpts));
+  }
+  if (!Flush())
+    return false;
+  return Writer.finish(Config.CommonThreshold, Opts.ManifestExtra, Err);
+}

@@ -1,0 +1,260 @@
+//===- corpus/ShardedDataset.cpp - Streaming shard reader ----------------------===//
+
+#include "corpus/ShardedDataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+using namespace typilus;
+
+//===----------------------------------------------------------------------===//
+// Shard file reading
+//===----------------------------------------------------------------------===//
+
+bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
+                            std::vector<FileExample> &Out, SplitKind *SplitOut,
+                            std::string *Err) {
+  if (Err)
+    Err->clear();
+  ArchiveReader R;
+  if (!R.openFile(Path, Err, kShardMagic))
+    return false;
+  if (R.formatVersion() != kShardFormatVersion) {
+    if (Err)
+      *Err = "shard format version " + std::to_string(R.formatVersion()) +
+             "; this build reads version " + std::to_string(kShardFormatVersion);
+    return false;
+  }
+
+  ArchiveCursor MC = R.chunk("smet", Err);
+  uint8_t Split = MC.readU8();
+  uint64_t NumFiles = MC.readU64();
+  uint64_t NumTargets = MC.readU64();
+  if (!MC.atEnd() || Split >= kNumSplits) {
+    if (Err && Err->empty())
+      *Err = "malformed shard metadata chunk";
+    return false;
+  }
+  if (SplitOut)
+    *SplitOut = static_cast<SplitKind>(Split);
+
+  ArchiveCursor EC = R.chunk("exmp", Err);
+  uint64_t Count = EC.readU64();
+  if (!EC.ok() || Count != NumFiles || Count > EC.remaining()) {
+    if (Err && Err->empty())
+      *Err = "shard example count disagrees with its metadata";
+    return false;
+  }
+  Out.clear();
+  Out.reserve(static_cast<size_t>(Count));
+  uint64_t Targets = 0;
+  for (uint64_t I = 0; I != Count; ++I) {
+    FileExample Ex;
+    if (!readFileExample(EC, U, Ex, Err))
+      return false;
+    Targets += Ex.Targets.size();
+    Out.push_back(std::move(Ex));
+  }
+  if (!EC.atEnd() || Targets != NumTargets) {
+    // The target count is derived data (resolveTargets over the decoded
+    // graphs); a mismatch means the payload does not say what the
+    // metadata promised.
+    if (Err && Err->empty())
+      *Err = "shard target count disagrees with its payload";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SplitSource
+//===----------------------------------------------------------------------===//
+
+/// The ExampleSource view of one split: global index -> (shard, local)
+/// through a prefix-sum table, decoding through the owner's LRU.
+class ShardedDataset::SplitSource : public ExampleSource {
+public:
+  SplitSource(ShardedDataset &DS, SplitKind S) : DS(DS) {
+    for (size_t I = 0; I != DS.Shards.size(); ++I)
+      if (DS.Shards[I].Split == S) {
+        ShardIdx.push_back(I);
+        Prefix.push_back(Total);
+        Total += DS.Shards[I].Files;
+      }
+    Prefix.push_back(Total);
+    NumTargets = DS.Targets[static_cast<int>(S)];
+  }
+
+  size_t size() const override { return Total; }
+  size_t numTargets() const override { return NumTargets; }
+
+  const FileExample &get(size_t I, ExamplePin &Pin) override {
+    size_t Which =
+        static_cast<size_t>(std::upper_bound(Prefix.begin(), Prefix.end(), I) -
+                            Prefix.begin()) -
+        1;
+    std::shared_ptr<const std::vector<FileExample>> Decoded =
+        DS.shard(ShardIdx[Which]);
+    const FileExample &Ex = (*Decoded)[I - Prefix[Which]];
+    Pin.Keep = std::move(Decoded);
+    return Ex;
+  }
+
+  void shuffleEpochOrder(std::vector<int> &Order, Rng &R,
+                         bool ShardAware) override {
+    if (!ShardAware) {
+      // The global Fisher-Yates of the in-memory path: identical RNG
+      // consumption and identical visitation order for any shard layout.
+      R.shuffle(Order);
+      return;
+    }
+    // Shard-aware: visit shards in a shuffled order, each shard's
+    // examples shuffled within it — one decode per shard per epoch.
+    std::vector<int> Visit(ShardIdx.size());
+    std::iota(Visit.begin(), Visit.end(), 0);
+    R.shuffle(Visit);
+    Order.clear();
+    std::vector<int> Local;
+    for (int V : Visit) {
+      Local.clear();
+      for (size_t I = Prefix[static_cast<size_t>(V)];
+           I != Prefix[static_cast<size_t>(V) + 1]; ++I)
+        Local.push_back(static_cast<int>(I));
+      R.shuffle(Local);
+      Order.insert(Order.end(), Local.begin(), Local.end());
+    }
+  }
+
+private:
+  ShardedDataset &DS;
+  std::vector<size_t> ShardIdx; ///< This split's shards, stream order.
+  std::vector<size_t> Prefix;   ///< Cumulative file counts (size + 1).
+  size_t Total = 0;
+  size_t NumTargets = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// ShardedDataset
+//===----------------------------------------------------------------------===//
+
+ShardedDataset::~ShardedDataset() = default;
+
+std::shared_ptr<const std::vector<FileExample>>
+ShardedDataset::shard(size_t Idx) {
+  for (auto It = Cache.begin(); It != Cache.end(); ++It)
+    if (It->Idx == Idx) {
+      Cache.splice(Cache.begin(), Cache, It); // refresh recency
+      return Cache.front().Decoded;
+    }
+
+  auto Decoded = std::make_shared<std::vector<FileExample>>();
+  std::string Err;
+  SplitKind Split;
+  if (!readShardFile(Dir + "/" + Shards[Idx].Name, *U, *Decoded, &Split,
+                     &Err) ||
+      Split != Shards[Idx].Split ||
+      Decoded->size() != Shards[Idx].Files) {
+    // get() hands out plain references (vector-compatible by design), so
+    // mid-stream shard damage has no error channel; it is an environment
+    // failure — fail loudly rather than serve a wrong corpus.
+    std::fprintf(stderr, "fatal: shard '%s/%s': %s\n", Dir.c_str(),
+                 Shards[Idx].Name.c_str(),
+                 Err.empty() ? "disagrees with the manifest" : Err.c_str());
+    std::abort();
+  }
+  ++Decodes;
+  Cache.push_front(CacheEntry{Idx, std::move(Decoded)});
+  size_t Max =
+      Opts.MaxResidentShards < 1 ? 1 : static_cast<size_t>(Opts.MaxResidentShards);
+  while (Cache.size() > Max)
+    Cache.pop_back(); // pins keep evicted shards alive until released
+  return Cache.front().Decoded;
+}
+
+ExampleSource &ShardedDataset::split(SplitKind S) {
+  return *Splits[static_cast<int>(S)];
+}
+
+std::unique_ptr<ShardedDataset>
+ShardedDataset::open(const std::string &Dir, TypeUniverse &U,
+                     const ShardedDatasetOptions &Opts, std::string *Err) {
+  if (Err)
+    Err->clear();
+  ArchiveReader R;
+  if (!R.openFile(Dir + "/" + kShardManifestName, Err, kShardMagic))
+    return nullptr;
+  if (R.formatVersion() != kShardFormatVersion) {
+    if (Err)
+      *Err = "shard-set format version " + std::to_string(R.formatVersion()) +
+             "; this build reads version " + std::to_string(kShardFormatVersion);
+    return nullptr;
+  }
+  auto Fail = [&](const char *Why) -> std::unique_ptr<ShardedDataset> {
+    if (Err && Err->empty())
+      *Err = std::string("malformed shard manifest: ") + Why;
+    return nullptr;
+  };
+
+  std::unique_ptr<ShardedDataset> DS(new ShardedDataset());
+  DS->Dir = Dir;
+  DS->U = &U;
+  DS->Opts = Opts;
+
+  ArchiveCursor MC = R.chunk("mset", Err);
+  DS->CommonThreshold = MC.readI32();
+  uint64_t NumShards = MC.readU64();
+  for (size_t &F : DS->Files)
+    F = static_cast<size_t>(MC.readU64());
+  for (size_t &T : DS->Targets)
+    T = static_cast<size_t>(MC.readU64());
+  if (!MC.atEnd())
+    return Fail("settings chunk");
+
+  ArchiveCursor SC = R.chunk("shrd", Err);
+  uint64_t N = SC.readU64();
+  if (!SC.ok() || N != NumShards || N > SC.remaining())
+    return Fail("shard table size");
+  uint64_t Files[kNumSplits] = {}, Targets[kNumSplits] = {};
+  DS->Shards.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    ShardInfo SI;
+    SI.Name = SC.readStr();
+    uint8_t Split = SC.readU8();
+    SI.Files = static_cast<size_t>(SC.readU64());
+    SI.Targets = static_cast<size_t>(SC.readU64());
+    if (!SC.ok() || Split >= kNumSplits || SI.Name.empty() ||
+        SI.Name.find('/') != std::string::npos)
+      return Fail("shard table entry");
+    SI.Split = static_cast<SplitKind>(Split);
+    Files[Split] += SI.Files;
+    Targets[Split] += SI.Targets;
+    DS->Shards.push_back(std::move(SI));
+  }
+  for (int S = 0; S != kNumSplits; ++S)
+    if (Files[S] != DS->Files[S] || Targets[S] != DS->Targets[S])
+      return Fail("per-split totals disagree with the shard table");
+
+  ArchiveCursor TC = R.chunk("tcnt", Err);
+  uint64_t NumTypes = TC.readU64();
+  if (!TC.ok() || NumTypes > TC.remaining())
+    return Fail("type-count table size");
+  for (uint64_t I = 0; I != NumTypes; ++I) {
+    std::string Repr = TC.readStr();
+    int64_t Count = TC.readI64();
+    if (!TC.ok() || Count < 0)
+      return Fail("type-count entry");
+    TypeRef T = U.parse(Repr);
+    if (!T)
+      return Fail("unparsable type in the count table");
+    DS->TrainCounts[T] += static_cast<int>(Count);
+  }
+
+  for (int S = 0; S != kNumSplits; ++S)
+    DS->Splits[S] =
+        std::make_unique<SplitSource>(*DS, static_cast<SplitKind>(S));
+  DS->TrainValidSrc = std::make_unique<ConcatExampleSource>(
+      std::vector<ExampleSource *>{DS->Splits[0].get(), DS->Splits[1].get()});
+  return DS;
+}

@@ -1,0 +1,141 @@
+//===- corpus/ShardedDataset.h - Streaming shard reader -----------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reading half of the sharded corpus pipeline (format in
+/// corpus/ShardWriter.h): opens a shard-set directory, exposes each
+/// split as an `ExampleSource`, and bounds decoded-example residency
+/// with an LRU cache of `MaxResidentShards` shards. Examples borrowed
+/// through an `ExamplePin` stay valid across evictions — the pin shares
+/// ownership of its decoded shard — so consumers may hold a minibatch
+/// while streaming past it.
+///
+/// Determinism contract: a decoded example is bit-identical to the
+/// freshly built one (graphs round-trip exactly; targets re-resolve
+/// through the same `resolveTargets` path), stream order is manifest
+/// order, and the default epoch shuffle is the same global Fisher-Yates
+/// the in-memory path uses — so training, τmap construction and
+/// prediction over shards are bit-identical to the in-memory `Dataset`
+/// for any shard size, thread count and residency bound (pinned by
+/// tests/ShardTest.cpp). The opt-in shard-aware shuffle (see
+/// `ExampleSource::shuffleEpochOrder`) keeps epochs at one decode per
+/// shard instead, still bit-identical run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORPUS_SHARDEDDATASET_H
+#define TYPILUS_CORPUS_SHARDEDDATASET_H
+
+#include "corpus/ExampleStream.h"
+#include "corpus/ShardWriter.h"
+
+#include <list>
+#include <memory>
+
+namespace typilus {
+
+/// Reads and fully validates one shard file written by ShardWriter:
+/// container framing and CRCs, format version, split metadata, payload
+/// decode and the target-count cross-check. Ground truths intern into
+/// \p U. \returns false and sets \p Err on any damage; \p SplitOut (if
+/// non-null) receives the shard's split assignment.
+bool readShardFile(const std::string &Path, TypeUniverse &U,
+                   std::vector<FileExample> &Out, SplitKind *SplitOut,
+                   std::string *Err);
+
+/// Reader knobs.
+struct ShardedDatasetOptions {
+  /// Decoded shards kept resident at once (the peak-RAM knob). Pinned
+  /// shards stay alive beyond this bound until their pins drop.
+  int MaxResidentShards = 4;
+};
+
+/// A shard set opened for streaming.
+class ShardedDataset {
+public:
+  /// Opens \p Dir's manifest and validates it. Ground-truth types intern
+  /// into \p U, which must outlive the dataset. \returns null and sets
+  /// \p Err on missing/corrupt/version-mismatched manifests.
+  static std::unique_ptr<ShardedDataset>
+  open(const std::string &Dir, TypeUniverse &U,
+       const ShardedDatasetOptions &Opts, std::string *Err);
+  static std::unique_ptr<ShardedDataset> open(const std::string &Dir,
+                                              TypeUniverse &U,
+                                              std::string *Err) {
+    return open(Dir, U, ShardedDatasetOptions{}, Err);
+  }
+
+  ~ShardedDataset(); // out of line: SplitSource is an implementation detail
+
+  /// The streaming view of one split. The source borrows this dataset.
+  ExampleSource &split(SplitKind S);
+
+  /// Train followed by valid — the paper's τmap population (Sec. 7).
+  ExampleSource &trainValid() { return *TrainValidSrc; }
+
+  size_t numFiles(SplitKind S) const {
+    return Files[static_cast<int>(S)];
+  }
+  size_t numTargets(SplitKind S) const {
+    return Targets[static_cast<int>(S)];
+  }
+
+  /// The merged train-annotation histogram from the manifest, re-interned
+  /// into the reader's universe (mirrors Dataset::TrainTypeCounts).
+  const std::map<TypeRef, int> &trainTypeCounts() const {
+    return TrainCounts;
+  }
+  int commonThreshold() const { return CommonThreshold; }
+  bool isRare(TypeRef T) const {
+    auto It = TrainCounts.find(T);
+    return (It == TrainCounts.end() ? 0 : It->second) < CommonThreshold;
+  }
+
+  /// Observability for tests and the bench: shards decoded so far
+  /// (counting re-decodes after eviction) and currently cached.
+  size_t decodeCount() const { return Decodes; }
+  size_t residentShards() const { return Cache.size(); }
+
+private:
+  struct ShardInfo {
+    std::string Name;
+    SplitKind Split = SplitKind::Train;
+    size_t Files = 0;
+    size_t Targets = 0;
+  };
+  class SplitSource;
+
+  ShardedDataset() = default;
+
+  /// Returns shard \p Idx decoded, serving from / refreshing the LRU.
+  /// Decode failures abort: shard damage is an environment error the
+  /// streaming API (vector-compatible by design) cannot surface per-get.
+  std::shared_ptr<const std::vector<FileExample>> shard(size_t Idx);
+
+  std::string Dir;
+  TypeUniverse *U = nullptr;
+  ShardedDatasetOptions Opts;
+  std::vector<ShardInfo> Shards;
+  size_t Files[kNumSplits] = {};
+  size_t Targets[kNumSplits] = {};
+  std::map<TypeRef, int> TrainCounts;
+  int CommonThreshold = 10;
+
+  /// LRU of decoded shards, most recent first.
+  struct CacheEntry {
+    size_t Idx;
+    std::shared_ptr<const std::vector<FileExample>> Decoded;
+  };
+  std::list<CacheEntry> Cache;
+  size_t Decodes = 0;
+
+  std::unique_ptr<SplitSource> Splits[kNumSplits];
+  std::unique_ptr<ConcatExampleSource> TrainValidSrc;
+};
+
+} // namespace typilus
+
+#endif // TYPILUS_CORPUS_SHARDEDDATASET_H

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <queue>
 
 using namespace typilus;
@@ -46,6 +47,58 @@ std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
               return A.Type->str() < B.Type->str(); // deterministic ties
             });
   return Result;
+}
+
+uint64_t TypeMap::markerHash(const float *Embedding, TypeRef T) const {
+  // FNV-1a over the embedding's byte pattern mixed with the interned
+  // type pointer (stable within a process, which is all the index needs).
+  uint64_t H = 0xCBF29CE484222325ull;
+  const unsigned char *P = reinterpret_cast<const unsigned char *>(Embedding);
+  for (size_t I = 0, N = static_cast<size_t>(D) * sizeof(float); I != N; ++I) {
+    H ^= P[I];
+    H *= 0x100000001B3ull;
+  }
+  H ^= reinterpret_cast<uintptr_t>(T);
+  H *= 0x100000001B3ull;
+  return H;
+}
+
+void TypeMap::rebuildDedupIndex() {
+  // Re-key over the current markers (which may include duplicates when a
+  // pre-compaction artifact was loaded — first occurrences win, so later
+  // adds dedupe against the loaded content without altering it).
+  DedupIndex.clear();
+  DedupIndexStale = false;
+  for (size_t I = 0; I != Types.size(); ++I) {
+    std::vector<int> &Bucket = DedupIndex[markerHash(embedding(I), Types[I])];
+    bool Seen = false;
+    for (int J : Bucket)
+      if (Types[static_cast<size_t>(J)] == Types[I] &&
+          std::memcmp(embedding(static_cast<size_t>(J)), embedding(I),
+                      static_cast<size_t>(D) * sizeof(float)) == 0) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Bucket.push_back(static_cast<int>(I));
+  }
+}
+
+bool TypeMap::add(const float *Embedding, TypeRef T) {
+  if (DedupIndexStale)
+    rebuildDedupIndex();
+  std::vector<int> &Bucket = DedupIndex[markerHash(Embedding, T)];
+  for (int I : Bucket)
+    if (Types[static_cast<size_t>(I)] == T &&
+        std::memcmp(embedding(static_cast<size_t>(I)), Embedding,
+                    static_cast<size_t>(D) * sizeof(float)) == 0) {
+      ++Dropped;
+      return false;
+    }
+  Bucket.push_back(static_cast<int>(Types.size()));
+  Flat.insert(Flat.end(), Embedding, Embedding + D);
+  Types.push_back(T);
+  return true;
 }
 
 void TypeMap::save(ArchiveWriter &W,
@@ -89,6 +142,12 @@ bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
   D = Dim;
   Flat = std::move(NewFlat);
   Types = std::move(NewTypes);
+  // Loading stays a pure byte copy: the dedup index is marked stale and
+  // rebuilt by the first add() — serving processes, which never insert,
+  // never pay the O(N·D) re-keying or hold the index at all.
+  DedupIndex.clear();
+  DedupIndexStale = true;
+  Dropped = 0;
   return true;
 }
 

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -44,11 +45,17 @@ public:
     Types.reserve(Types.size() + NumMarkers);
   }
 
-  /// Adds a marker for \p T at \p Embedding (length D).
-  void add(const float *Embedding, TypeRef T) {
-    Flat.insert(Flat.end(), Embedding, Embedding + D);
-    Types.push_back(T);
-  }
+  /// Adds a marker for \p T at \p Embedding (length D) — unless an
+  /// identical (embedding, type) marker already exists, in which case
+  /// the duplicate is dropped: it could never change a kNN answer's type
+  /// mix, only crowd real neighbours out of the candidate list (the
+  /// first step of τmap compaction; duplicates are common because
+  /// generated and copied code embeds identically). \returns true when
+  /// the marker was actually added.
+  bool add(const float *Embedding, TypeRef T);
+
+  /// Duplicates dropped by add() so far (compaction observability).
+  size_t droppedDuplicates() const { return Dropped; }
 
   size_t size() const { return Types.size(); }
   int dim() const { return D; }
@@ -66,9 +73,20 @@ public:
             std::string *Err);
 
 private:
+  /// Marker indices by embedding-bytes+type hash; collisions resolved by
+  /// full comparison in add(). Built lazily: a loaded snapshot leaves it
+  /// stale (serving processes never insert, so they never pay for it)
+  /// and the first add() after load re-keys it over the loaded markers.
+  std::unordered_map<uint64_t, std::vector<int>> DedupIndex;
+  bool DedupIndexStale = false;
+
+  uint64_t markerHash(const float *Embedding, TypeRef T) const;
+  void rebuildDedupIndex();
+
   int D;
   std::vector<float> Flat;
   std::vector<TypeRef> Types;
+  size_t Dropped = 0;
 };
 
 /// (marker index, L1 distance) pairs, ascending by distance.

@@ -16,13 +16,7 @@ std::vector<std::string> LabelVocab::keysOf(const std::string &Label,
   return Subs;
 }
 
-LabelVocab LabelVocab::build(const std::vector<const TypilusGraph *> &Graphs,
-                             Mode M, int MinCount) {
-  std::map<std::string, int> Counts;
-  for (const TypilusGraph *G : Graphs)
-    for (const GraphNode &N : G->Nodes)
-      for (const std::string &K : keysOf(N.Label, M))
-        ++Counts[K];
+LabelVocab LabelVocab::Builder::finish() const {
   LabelVocab V;
   V.M = M;
   for (const auto &[Key, Count] : Counts) {
@@ -32,6 +26,14 @@ LabelVocab LabelVocab::build(const std::vector<const TypilusGraph *> &Graphs,
     ++V.NextId;
   }
   return V;
+}
+
+LabelVocab LabelVocab::build(const std::vector<const TypilusGraph *> &Graphs,
+                             Mode M, int MinCount) {
+  Builder B(M, MinCount);
+  for (const TypilusGraph *G : Graphs)
+    B.addGraph(*G);
+  return B.finish();
 }
 
 void LabelVocab::save(ArchiveWriter &W) const {

@@ -37,6 +37,26 @@ public:
   static LabelVocab build(const std::vector<const TypilusGraph *> &Graphs,
                           Mode M, int MinCount = 2);
 
+  /// Incremental construction for streamed corpora: feed graphs one at a
+  /// time, then finish(). Ids come from the sorted key histogram, so the
+  /// result depends only on the multiset of graphs — build() over the
+  /// same graphs yields the identical vocabulary.
+  class Builder {
+  public:
+    explicit Builder(Mode M, int MinCount = 2) : M(M), MinCount(MinCount) {}
+    void addGraph(const TypilusGraph &G) {
+      for (const GraphNode &N : G.Nodes)
+        for (const std::string &K : keysOf(N.Label, M))
+          ++Counts[K];
+    }
+    LabelVocab finish() const;
+
+  private:
+    Mode M;
+    int MinCount;
+    std::map<std::string, int> Counts;
+  };
+
   /// Ids for \p Label: its subtokens in Subtoken mode (falling back to the
   /// raw label for pure punctuation), or a single whole-label id. Never
   /// empty; unknown keys yield id 0.

@@ -88,10 +88,17 @@ std::string serve::pongResponse(int64_t Id) {
 }
 
 std::string serve::statsResponse(int64_t Id, const ServerStats &S) {
+  // Means are integer µs (totals / requests, rounded down): the wire
+  // format stays stable however the counters are accumulated.
+  uint64_t N = S.Requests ? S.Requests : 1;
   return head(Id, true) + ",\"requests\":" + std::to_string(S.Requests) +
          ",\"batches\":" + std::to_string(S.Batches) +
          ",\"max_coalesced\":" + std::to_string(S.MaxCoalesced) +
-         ",\"collapsed\":" + std::to_string(S.Collapsed) + "}\n";
+         ",\"collapsed\":" + std::to_string(S.Collapsed) +
+         ",\"queue_wait_mean_us\":" + std::to_string(S.QueueWaitTotalUs / N) +
+         ",\"queue_wait_max_us\":" + std::to_string(S.QueueWaitMaxUs) +
+         ",\"predict_mean_us\":" + std::to_string(S.PredictTotalUs / N) +
+         ",\"predict_max_us\":" + std::to_string(S.PredictMaxUs) + "}\n";
 }
 
 std::string serve::shutdownResponse(int64_t Id) {

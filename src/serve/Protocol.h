@@ -63,6 +63,15 @@ struct ServerStats {
   uint64_t MaxCoalesced = 0; ///< Largest batch observed.
   uint64_t Collapsed = 0;    ///< Duplicate in-batch requests answered from
                              ///< another request's prediction.
+  /// Per-request timing (µs), over predict requests. Queue wait is
+  /// submit-to-dispatch; predict is the request's batch prediction time
+  /// (parse + embed + kNN — shared by every request the batch coalesced,
+  /// so the mean is per request, not per embed). Totals accumulate so
+  /// the stats response can report running means alongside the maxima.
+  uint64_t QueueWaitTotalUs = 0;
+  uint64_t QueueWaitMaxUs = 0;
+  uint64_t PredictTotalUs = 0;
+  uint64_t PredictMaxUs = 0;
 };
 
 // Response serializers. Every response is one JSON object terminated by

@@ -27,7 +27,8 @@ bool Server::submit(Request R, Respond Fn) {
     std::lock_guard<std::mutex> L(Mu);
     if (Stopping)
       return false;
-    Queue.push_back(Pending{std::move(R), std::move(Fn)});
+    Queue.push_back(Pending{std::move(R), std::move(Fn),
+                            std::chrono::steady_clock::now()});
   }
   WakeCV.notify_one();
   return true;
@@ -111,6 +112,21 @@ void Server::serveOne(Pending &P) {
 }
 
 void Server::servePredicts(std::vector<Pending> &Batch) {
+  // Per-request timing: queue wait ends when the batch starts being
+  // served; the prediction clock covers parse + embed + kNN for the
+  // whole batch and is attributed to each request it answered (that IS
+  // the latency each caller saw for the predict phase).
+  auto Dispatched = std::chrono::steady_clock::now();
+  uint64_t QueueTotalUs = 0, QueueMaxUs = 0;
+  for (const Pending &P : Batch) {
+    uint64_t WaitUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Dispatched -
+                                                              P.Enqueued)
+            .count());
+    QueueTotalUs += WaitUs;
+    QueueMaxUs = std::max(QueueMaxUs, WaitUs);
+  }
+
   // Collapse identical in-flight requests (same path + source): a fleet
   // of clients asking about the same file — the CI smoke's exact shape —
   // costs one prediction, not N. Each duplicate still gets its own
@@ -163,12 +179,21 @@ void Server::servePredicts(std::vector<Pending> &Batch) {
       P.Fn(errorResponse(P.R.Id, "prediction failed: " + Err));
   }
 
+  uint64_t PredictUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Dispatched)
+          .count());
+
   std::lock_guard<std::mutex> L(Mu);
   Stats.Requests += Batch.size();
   Stats.Batches += 1;
   Stats.MaxCoalesced =
       std::max(Stats.MaxCoalesced, static_cast<uint64_t>(Batch.size()));
   Stats.Collapsed += Batch.size() - Rep.size();
+  Stats.QueueWaitTotalUs += QueueTotalUs;
+  Stats.QueueWaitMaxUs = std::max(Stats.QueueWaitMaxUs, QueueMaxUs);
+  Stats.PredictTotalUs += PredictUs * Batch.size();
+  Stats.PredictMaxUs = std::max(Stats.PredictMaxUs, PredictUs);
 }
 
 //===----------------------------------------------------------------------===//

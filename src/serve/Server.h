@@ -29,6 +29,7 @@
 #include "serve/Protocol.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -87,6 +88,9 @@ private:
   struct Pending {
     Request R;
     Respond Fn;
+    /// Submit time; queue wait (submit -> batch dispatch) feeds the
+    /// per-request timing the `stats` method reports.
+    std::chrono::steady_clock::time_point Enqueued;
   };
 
   void dispatchLoop();

@@ -15,7 +15,6 @@ using namespace typilus;
 /// header/chunk framing itself changes (payload meaning changes bump the
 /// writer-supplied format version instead).
 static constexpr uint32_t kContainerVersion = 1;
-static constexpr char kMagic[4] = {'T', 'Y', 'P', 'A'};
 
 uint32_t typilus::crc32(const void *Data, size_t Size) {
   // Bitwise CRC32 (reflected, poly 0xEDB88320) with a lazily built table.
@@ -63,8 +62,9 @@ static bool hostIsLittleEndian() {
 // ArchiveWriter
 //===----------------------------------------------------------------------===//
 
-ArchiveWriter::ArchiveWriter(uint32_t FormatVersion) {
-  Buf.append(kMagic, 4);
+ArchiveWriter::ArchiveWriter(uint32_t FormatVersion, const char *Magic) {
+  assert(std::strlen(Magic) == 4 && "archive magic is exactly 4 characters");
+  Buf.append(Magic, 4);
   putU32(Buf, kContainerVersion);
   putU32(Buf, FormatVersion);
 }
@@ -249,7 +249,8 @@ void ArchiveCursor::readF32Array(float *Out, size_t N) {
 // ArchiveReader
 //===----------------------------------------------------------------------===//
 
-bool ArchiveReader::openFile(const std::string &Path, std::string *Err) {
+bool ArchiveReader::openFile(const std::string &Path, std::string *Err,
+                             const char *Magic) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (Err)
@@ -268,27 +269,30 @@ bool ArchiveReader::openFile(const std::string &Path, std::string *Err) {
       *Err = "read error on '" + Path + "'";
     return false;
   }
-  return openBytes(std::move(Bytes), Err);
+  return openBytes(std::move(Bytes), Err, Magic);
 }
 
-bool ArchiveReader::openBytes(std::string Bytes, std::string *Err) {
+bool ArchiveReader::openBytes(std::string Bytes, std::string *Err,
+                              const char *Magic) {
   Buf = std::move(Bytes);
   Dir.clear();
-  return parse(Err);
+  return parse(Err, Magic);
 }
 
-bool ArchiveReader::parse(std::string *Err) {
+bool ArchiveReader::parse(std::string *Err, const char *Magic) {
   auto Fail = [&](const std::string &Why) {
     if (Err)
       *Err = "invalid artifact: " + Why;
     Dir.clear();
     return false;
   };
+  assert(std::strlen(Magic) == 4 && "archive magic is exactly 4 characters");
   const uint8_t *P = reinterpret_cast<const uint8_t *>(Buf.data());
   if (Buf.size() < 12)
     return Fail("truncated header");
-  if (std::memcmp(P, kMagic, 4) != 0)
-    return Fail("bad magic (not a Typilus archive)");
+  if (std::memcmp(P, Magic, 4) != 0)
+    return Fail(std::string("bad magic (not a Typilus '") + Magic +
+                "' archive)");
   ArchiveCursor Head(P + 4, 8);
   uint32_t Container = Head.readU32();
   FormatVersion = Head.readU32();

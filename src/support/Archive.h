@@ -51,7 +51,10 @@ uint32_t crc32(const void *Data, size_t Size);
 class ArchiveWriter {
 public:
   /// \p FormatVersion is the payload format version stamped in the header.
-  explicit ArchiveWriter(uint32_t FormatVersion);
+  /// \p Magic selects the 4-byte container family ("TYPA" for model
+  /// artifacts and checkpoints, "TYPS" for corpus shards); readers only
+  /// accept archives written with the magic they expect.
+  explicit ArchiveWriter(uint32_t FormatVersion, const char *Magic = "TYPA");
 
   /// Opens a chunk tagged \p Tag (exactly 4 characters). Chunks cannot
   /// nest; every beginChunk must be paired with endChunk.
@@ -129,10 +132,13 @@ public:
 
   /// Reads and validates \p Path: magic, container version, chunk framing
   /// and every chunk's CRC32. \returns false and sets \p Err on any
-  /// truncation, corruption or version mismatch.
-  bool openFile(const std::string &Path, std::string *Err);
+  /// truncation, corruption or version mismatch. \p Magic must match the
+  /// writer's container family (see ArchiveWriter).
+  bool openFile(const std::string &Path, std::string *Err,
+                const char *Magic = "TYPA");
   /// Same, over an in-memory archive (tests).
-  bool openBytes(std::string Bytes, std::string *Err);
+  bool openBytes(std::string Bytes, std::string *Err,
+                 const char *Magic = "TYPA");
 
   /// The payload format version stamped by the writer.
   uint32_t formatVersion() const { return FormatVersion; }
@@ -146,7 +152,7 @@ public:
   const std::vector<ChunkInfo> &chunks() const { return Dir; }
 
 private:
-  bool parse(std::string *Err);
+  bool parse(std::string *Err, const char *Magic);
 
   std::string Buf;
   std::vector<ChunkInfo> Dir;

@@ -347,6 +347,49 @@ TEST(CheckpointTest, ResumeMatchesUninterruptedTraining) {
   std::remove(Path.c_str());
 }
 
+TEST(CheckpointTest, MidEpochResumeMatchesUninterruptedTraining) {
+  // Checkpoint-every-N-steps: interrupt INSIDE an epoch (StopAfterSteps
+  // is the deterministic interrupt), resume from the mid-epoch cursor,
+  // and require the finished run to be bit-identical to one that never
+  // stopped — weights, Adam state, shuffle order and epoch loss.
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  TrainOptions TO;
+  TO.Epochs = 2;
+  TO.BatchFiles = 2; // several steps per epoch, so step 3 is mid-epoch
+  ASSERT_GT(WB.DS.Train.size(), 6u);
+
+  std::unique_ptr<TypeModel> Ref = makeModel(MC, WB.DS, *WB.U);
+  double RefLoss = trainModel(*Ref, WB.DS.Train, TO);
+
+  std::string Path = tempArtifactPath("midckpt");
+  std::unique_ptr<TypeModel> Cut = makeModel(MC, WB.DS, *WB.U);
+  TrainOptions CutTO = TO;
+  CutTO.CheckpointPath = Path;
+  CutTO.CheckpointEverySteps = 2;
+  CutTO.StopAfterSteps = 3; // stops (and checkpoints) inside epoch 1
+  Trainer CutT(*Cut, CutTO);
+  CutT.run(WB.DS.Train);
+  EXPECT_EQ(CutT.epochsDone(), 0) << "the stop must land mid-epoch";
+
+  std::unique_ptr<TypeModel> Resumed = makeModel(MC, WB.DS, *WB.U);
+  Trainer ResumedT(*Resumed, TO);
+  std::string Err;
+  ASSERT_TRUE(ResumedT.resumeFrom(Path, &Err)) << Err;
+  double ResLoss = ResumedT.run(WB.DS.Train);
+  EXPECT_EQ(ResumedT.epochsDone(), 2);
+
+  EXPECT_EQ(RefLoss, ResLoss) << "mid-epoch resumed loss diverged";
+  const auto &RP = Ref->params().params();
+  const auto &SP = Resumed->params().params();
+  ASSERT_EQ(RP.size(), SP.size());
+  for (size_t I = 0; I != RP.size(); ++I)
+    for (int64_t J = 0; J != RP[I].val().numel(); ++J)
+      ASSERT_EQ(RP[I].val()[J], SP[I].val()[J])
+          << "param " << I << " element " << J;
+  std::remove(Path.c_str());
+}
+
 TEST(CheckpointTest, TrainLoopWritesCheckpointWhenAsked) {
   Workbench WB = makeTinyWorkbench();
   ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Space);

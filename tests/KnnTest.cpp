@@ -141,10 +141,12 @@ TEST(ScoringTest, ProbabilitiesSumToOne) {
 TEST(ScoringTest, SameTypeNeighborsAggregate) {
   TypeUniverse U;
   TypeMap Map(1);
-  float X[1] = {0};
-  Map.add(X, U.parse("int"));
-  Map.add(X, U.parse("int"));
-  Map.add(X, U.parse("str"));
+  // Distinct embeddings: identical (embedding, type) pairs would be
+  // deduped on insert (crafted distances below are what the test pins).
+  float X0[1] = {0}, X1[1] = {1}, X2[1] = {2};
+  Map.add(X0, U.parse("int"));
+  Map.add(X1, U.parse("int"));
+  Map.add(X2, U.parse("str"));
   NeighborList N{{0, 1.0f}, {1, 1.0f}, {2, 1.0f}};
   auto Scored = scoreNeighbors(Map, N, 1.0);
   ASSERT_EQ(Scored.size(), 2u);
@@ -157,11 +159,11 @@ TEST(ScoringTest, LargePSharpensTowardsNearest) {
   // when outnumbered.
   TypeUniverse U;
   TypeMap Map(1);
-  float X[1] = {0};
-  Map.add(X, U.parse("int")); // closest
-  Map.add(X, U.parse("str"));
-  Map.add(X, U.parse("str"));
-  Map.add(X, U.parse("str"));
+  float X0[1] = {0}, X1[1] = {1}, X2[1] = {2}, X3[1] = {3};
+  Map.add(X0, U.parse("int")); // closest
+  Map.add(X1, U.parse("str"));
+  Map.add(X2, U.parse("str"));
+  Map.add(X3, U.parse("str"));
   NeighborList N{{0, 0.1f}, {1, 1.0f}, {2, 1.0f}, {3, 1.0f}};
   auto Sharp = scoreNeighbors(Map, N, 6.0);
   EXPECT_EQ(Sharp[0].Type, U.parse("int"));
@@ -255,6 +257,50 @@ TEST(ExactIndexTest, QueryBatchMatchesIndividualQueries) {
     auto One = Exact.query(Qs.data() + Q * D, 7);
     ASSERT_EQ(Batch[static_cast<size_t>(Q)], One);
   }
+}
+
+TEST(TypeMapTest, IdenticalMarkersDedupeOnInsert) {
+  TypeUniverse U;
+  TypeMap Map(2);
+  float A[2] = {1.f, 2.f}, B[2] = {1.f, 2.f}, C[2] = {3.f, 4.f};
+  EXPECT_TRUE(Map.add(A, U.parse("int")));
+  // Same embedding bytes + same type: dropped, count does not grow.
+  EXPECT_FALSE(Map.add(B, U.parse("int")));
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_EQ(Map.droppedDuplicates(), 1u);
+  // Same embedding, different type: a real marker.
+  EXPECT_TRUE(Map.add(A, U.parse("str")));
+  // Different embedding, same type: a real marker.
+  EXPECT_TRUE(Map.add(C, U.parse("int")));
+  EXPECT_EQ(Map.size(), 3u);
+  // Duplicates of the later inserts are dropped too.
+  EXPECT_FALSE(Map.add(C, U.parse("int")));
+  EXPECT_EQ(Map.size(), 3u);
+  EXPECT_EQ(Map.droppedDuplicates(), 2u);
+}
+
+TEST(TypeMapTest, DedupSurvivesSnapshotRoundTrip) {
+  TypeUniverse U;
+  TypeMap Map(2);
+  float A[2] = {1.f, 2.f};
+  Map.add(A, U.parse("int"));
+
+  std::map<TypeRef, int> TypeIds{{U.parse("int"), 0}};
+  std::vector<TypeRef> ById{U.parse("int")};
+  ArchiveWriter W(1);
+  W.beginChunk("tmap");
+  Map.save(W, TypeIds);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = R.chunk("tmap", &Err);
+  TypeMap Loaded(2);
+  ASSERT_TRUE(Loaded.load(C, ById, &Err)) << Err;
+  ASSERT_EQ(Loaded.size(), 1u);
+  // The loaded map dedupes against its snapshotted markers.
+  EXPECT_FALSE(Loaded.add(A, U.parse("int")));
+  EXPECT_EQ(Loaded.size(), 1u);
 }
 
 TEST(TypeMapTest, ReserveKeepsContentsIntact) {

@@ -423,6 +423,15 @@ TEST_F(ServeTest, StatsReportCoalescing) {
   std::string Line = statsResponse(1, St);
   EXPECT_NE(Line.find("\"requests\":6"), std::string::npos) << Line;
   EXPECT_NE(Line.find("\"max_coalesced\":"), std::string::npos);
+  // Per-request timing fields are always present; wall-clock values are
+  // nondeterministic, so only the invariants are pinned.
+  EXPECT_NE(Line.find("\"queue_wait_mean_us\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"queue_wait_max_us\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"predict_mean_us\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"predict_max_us\":"), std::string::npos) << Line;
+  EXPECT_GE(St.QueueWaitMaxUs * St.Requests, St.QueueWaitTotalUs);
+  EXPECT_GE(St.PredictMaxUs * St.Requests, St.PredictTotalUs);
+  EXPECT_GT(St.PredictTotalUs, 0u) << "prediction took literally no time?";
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
+#include "corpus/ShardedDataset.h"
 #include "serve/Protocol.h"
 #include "support/Archive.h"
 #include "support/Json.h"
@@ -44,6 +45,10 @@ struct Options {
   std::string ModelPath;  ///< --model: artifact to read.
   std::string Checkpoint; ///< --checkpoint: checkpoint file for train.
   bool Resume = false;    ///< --resume: continue from --checkpoint.
+  int CheckpointEvery = 0; ///< --checkpoint-every: steps between saves.
+  std::string ShardDir;   ///< --shards: shard-set directory to stream.
+  std::string OutDir;     ///< shard: --out-dir to write the shard set.
+  int ShardFiles = 32;    ///< shard: --shard-files per shard.
   std::vector<std::string> Sources; ///< --source: real .py files to predict.
   std::string Split = "test";       ///< --split for predict.
   std::string Socket;               ///< client: daemon socket path.
@@ -77,10 +82,16 @@ int usage(const char *Argv0) {
       "           [--hidden D] [--encoder graph|seq|path|names]\n"
       "           [--loss typilus|space|class] [--exact] [--k N] [--p F]\n"
       "           [--threads N] [--seed S] [--checkpoint PATH] [--resume]\n"
-      "           [--verbose]\n"
+      "           [--checkpoint-every STEPS] [--shards DIR] [--verbose]\n"
+      "           (--shards streams a `typilus shard` set instead of\n"
+      "           regenerating the corpus; RAM is bounded by shard\n"
+      "           residency and digests match the in-memory path)\n"
+      "  shard    preprocess the synthetic corpus into a shard set\n"
+      "           --out-dir DIR [--files N] [--udts N] [--seed S]\n"
+      "           [--shard-files N]\n"
       "  predict  load an artifact and predict, no training data needed\n"
       "           --model PATH [--split train|valid|test] [--limit N]\n"
-      "           [--source FILE.py]... [--threads N]\n"
+      "           [--source FILE.py]... [--shards DIR] [--threads N]\n"
       "  inspect  print an artifact's chunks, config and vocabularies\n"
       "           --model PATH\n"
       "  save     rewrite an artifact, optionally changing kNN options\n"
@@ -114,6 +125,18 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Checkpoint = V;
     } else if (A == "--resume") {
       O.Resume = true;
+    } else if (A == "--checkpoint-every") {
+      if (!(V = Next("--checkpoint-every"))) return false;
+      O.CheckpointEvery = std::atoi(V);
+    } else if (A == "--shards") {
+      if (!(V = Next("--shards"))) return false;
+      O.ShardDir = V;
+    } else if (A == "--out-dir") {
+      if (!(V = Next("--out-dir"))) return false;
+      O.OutDir = V;
+    } else if (A == "--shard-files") {
+      if (!(V = Next("--shard-files"))) return false;
+      O.ShardFiles = std::atoi(V);
     } else if (A == "--source") {
       if (!(V = Next("--source"))) return false;
       O.Sources.push_back(V);
@@ -319,30 +342,83 @@ int cmdTrain(const Options &O) {
     return fail("unknown loss '" + O.Loss + "'");
   MC.HiddenDim = O.Hidden;
 
+  // The data substrate: the in-memory workbench, or — with --shards — a
+  // streamed shard set whose decoded residency is bounded by the LRU,
+  // not the corpus. Both run through the same ExampleSource consumers,
+  // so the printed digests are bit-identical between the two (CI holds
+  // them equal).
   CorpusConfig CC;
   CC.NumFiles = O.Files;
   CC.NumUdts = O.Udts;
   CC.Seed = O.Seed;
   DatasetConfig DC;
+  bool HaveRecipe = false;
 
-  std::printf("generating %d synthetic files...\n", CC.NumFiles);
-  Workbench WB = Workbench::make(CC, DC);
-  std::printf("dataset: %zu train / %zu valid / %zu test files, %zu targets\n",
-              WB.DS.Train.size(), WB.DS.Valid.size(), WB.DS.Test.size(),
-              WB.DS.numTargets());
+  Workbench WB;
+  TypeUniverse ShardU;
+  std::unique_ptr<ShardedDataset> SD;
+  std::unique_ptr<VectorExampleSource> VTrain, VValid, VTest;
+  std::unique_ptr<ConcatExampleSource> VMap;
+  ExampleSource *TrainSrc, *MapSrc, *TestSrc;
+  TypeUniverse *U;
+  std::string Err;
+  if (O.ShardDir.empty()) {
+    std::printf("generating %d synthetic files...\n", CC.NumFiles);
+    WB = Workbench::make(CC, DC);
+    std::printf(
+        "dataset: %zu train / %zu valid / %zu test files, %zu targets\n",
+        WB.DS.Train.size(), WB.DS.Valid.size(), WB.DS.Test.size(),
+        WB.DS.numTargets());
+    VTrain = std::make_unique<VectorExampleSource>(WB.DS.Train);
+    VValid = std::make_unique<VectorExampleSource>(WB.DS.Valid);
+    VTest = std::make_unique<VectorExampleSource>(WB.DS.Test);
+    VMap = std::make_unique<ConcatExampleSource>(
+        std::vector<ExampleSource *>{VTrain.get(), VValid.get()});
+    TrainSrc = VTrain.get();
+    MapSrc = VMap.get();
+    TestSrc = VTest.get();
+    U = WB.U.get();
+    HaveRecipe = true;
+  } else {
+    SD = ShardedDataset::open(O.ShardDir, ShardU, &Err);
+    if (!SD)
+      return fail(Err);
+    std::printf("shard set %s: %zu train / %zu valid / %zu test files, "
+                "%zu targets\n",
+                O.ShardDir.c_str(), SD->numFiles(SplitKind::Train),
+                SD->numFiles(SplitKind::Valid), SD->numFiles(SplitKind::Test),
+                SD->numTargets(SplitKind::Train) +
+                    SD->numTargets(SplitKind::Valid) +
+                    SD->numTargets(SplitKind::Test));
+    TrainSrc = &SD->split(SplitKind::Train);
+    MapSrc = &SD->trainValid();
+    TestSrc = &SD->split(SplitKind::Test);
+    U = &ShardU;
+    // `typilus shard` stores the corpus recipe in the manifest, so the
+    // trained artifact keeps it and `predict` works recipe-driven.
+    ArchiveReader MR;
+    if (MR.openFile(O.ShardDir + "/" + kShardManifestName, &Err,
+                    kShardMagic) &&
+        MR.hasChunk("corp"))
+      HaveRecipe = readCorpusRecipe(MR, CC, DC, &Err);
+    if (!HaveRecipe)
+      std::fprintf(stderr, "warning: shard manifest has no corpus recipe; "
+                           "the artifact will need --source or --shards "
+                           "to predict\n");
+  }
 
   TrainOptions TO;
   TO.Epochs = O.Epochs;
   TO.NumThreads = O.Threads;
   TO.Verbose = O.Verbose;
   TO.CheckpointPath = O.Checkpoint;
+  TO.CheckpointEverySteps = O.CheckpointEvery;
 
-  std::unique_ptr<TypeModel> Model = makeModel(MC, WB.DS, *WB.U);
+  std::unique_ptr<TypeModel> Model = makeModel(MC, *TrainSrc, *U);
   Trainer T(*Model, TO);
   if (O.Resume) {
     if (O.Checkpoint.empty())
       return fail("--resume needs --checkpoint PATH");
-    std::string Err;
     if (!T.resumeFrom(O.Checkpoint, &Err))
       return fail(Err);
     std::printf("resumed from %s at epoch %d/%d\n", O.Checkpoint.c_str(),
@@ -350,7 +426,7 @@ int cmdTrain(const Options &O) {
   }
   std::printf("training %s/%s for %d epochs...\n", encoderKindName(MC.Encoder),
               lossKindName(MC.Loss), TO.Epochs - T.epochsDone());
-  double Loss = T.run(WB.DS.Train);
+  double Loss = T.run(*TrainSrc);
   if (std::isnan(Loss))
     return fail("checkpoint does not match this corpus/split "
                 "(regenerate with the original --files/--seed)");
@@ -367,23 +443,17 @@ int cmdTrain(const Options &O) {
   KO.NumThreads = O.Threads;
   Predictor P = MC.Loss == LossKind::Class
                     ? Predictor::classifier(*Model)
-                    : [&] {
-                        std::vector<const FileExample *> MapFiles;
-                        for (const FileExample &F : WB.DS.Train)
-                          MapFiles.push_back(&F);
-                        for (const FileExample &F : WB.DS.Valid)
-                          MapFiles.push_back(&F);
-                        return Predictor::knn(*Model, MapFiles, KO);
-                      }();
+                    : Predictor::knn(*Model, *MapSrc, KO);
   if (P.isKnn())
-    std::printf("τmap: %zu markers (%s index)\n", P.typeMap().size(),
-                KO.UseAnnoy ? "Annoy" : "exact");
+    std::printf("τmap: %zu markers (%s index, %zu duplicates dropped)\n",
+                P.typeMap().size(), KO.UseAnnoy ? "Annoy" : "exact",
+                P.typeMap().droppedDuplicates());
 
   if (!O.Out.empty()) {
     ArchiveWriter W(kModelArtifactVersion);
-    P.writeArtifact(W, *WB.U);
-    writeCorpusRecipe(W, CC, DC);
-    std::string Err;
+    P.writeArtifact(W, *U);
+    if (HaveRecipe)
+      writeCorpusRecipe(W, CC, DC);
     if (!W.writeFile(O.Out, &Err))
       return fail(Err);
     std::printf("artifact written: %s (%zu bytes)\n", O.Out.c_str(),
@@ -391,9 +461,53 @@ int cmdTrain(const Options &O) {
   }
 
   // The same-process predictions `predict` must reproduce bit-for-bit.
-  auto Preds = P.predictAll(WB.DS.Test);
-  printSummary(Preds, *WB.U);
+  auto Preds = P.predictAll(*TestSrc);
+  printSummary(Preds, *U);
   std::printf("test-split digest: %016" PRIx64 "\n", digest(Preds));
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// shard
+//===----------------------------------------------------------------------===//
+
+int cmdShard(const Options &O) {
+  if (O.OutDir.empty())
+    return fail("shard needs --out-dir DIR");
+  CorpusConfig CC;
+  CC.NumFiles = O.Files;
+  CC.NumUdts = O.Udts;
+  CC.Seed = O.Seed;
+  DatasetConfig DC;
+
+  std::printf("generating %d synthetic files...\n", CC.NumFiles);
+  CorpusGenerator Gen(CC);
+  std::vector<CorpusFile> Files = Gen.generate();
+
+  TypeUniverse U;
+  ShardBuildOptions SO;
+  SO.Dir = O.OutDir;
+  SO.FilesPerShard = O.ShardFiles;
+  SO.ManifestExtra = [&](ArchiveWriter &W) { writeCorpusRecipe(W, CC, DC); };
+  std::string Err;
+  if (!buildShards(Files, Gen.udts(), U, /*Hierarchy=*/nullptr, DC, SO, &Err))
+    return fail(Err);
+
+  // Reopen through the reader: validates what was just written and gives
+  // the user the manifest view of it.
+  TypeUniverse CheckU;
+  std::unique_ptr<ShardedDataset> SD =
+      ShardedDataset::open(O.OutDir, CheckU, &Err);
+  if (!SD)
+    return fail("shard set written but does not read back: " + Err);
+  std::printf("shard set written: %s (%d files/shard; %zu train / %zu valid "
+              "/ %zu test files, %zu targets)\n",
+              O.OutDir.c_str(), SO.FilesPerShard < 1 ? 1 : SO.FilesPerShard,
+              SD->numFiles(SplitKind::Train), SD->numFiles(SplitKind::Valid),
+              SD->numFiles(SplitKind::Test),
+              SD->numTargets(SplitKind::Train) +
+                  SD->numTargets(SplitKind::Valid) +
+                  SD->numTargets(SplitKind::Test));
   return 0;
 }
 
@@ -437,6 +551,33 @@ int cmdPredict(const Options &O) {
       // match bit for bit (CI's daemon smoke compares the two).
       std::printf("%s digest: %016" PRIx64 "\n", Src.c_str(), digest(Preds));
     }
+    return 0;
+  }
+
+  // A shard set given: stream the requested split through the artifact —
+  // no corpus regeneration, residency bounded by the shard LRU. Types
+  // intern into the artifact's universe, so truth and prediction
+  // TypeRefs match and the digest equals the in-memory path's.
+  if (!O.ShardDir.empty()) {
+    std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(O.ShardDir, U, &Err);
+    if (!SD)
+      return fail(Err);
+    SplitKind SK;
+    if (O.Split == "train")
+      SK = SplitKind::Train;
+    else if (O.Split == "valid")
+      SK = SplitKind::Valid;
+    else if (O.Split == "test")
+      SK = SplitKind::Test;
+    else
+      return fail("unknown split '" + O.Split + "'");
+    auto Preds = P->predictAll(SD->split(SK));
+    std::printf("%s split: %zu files (streamed from %s)\n", O.Split.c_str(),
+                SD->numFiles(SK), O.ShardDir.c_str());
+    printPredictions(Preds, O.Limit);
+    printSummary(Preds, U);
+    if (O.Split == "test")
+      std::printf("test-split digest: %016" PRIx64 "\n", digest(Preds));
     return 0;
   }
 
@@ -700,6 +841,8 @@ int main(int Argc, char **Argv) {
 
   if (Cmd == "train")
     return cmdTrain(O);
+  if (Cmd == "shard")
+    return cmdShard(O);
   if (Cmd == "predict")
     return cmdPredict(O);
   if (Cmd == "inspect")
