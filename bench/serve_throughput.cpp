@@ -16,13 +16,20 @@
 //           (visible on multi-core hosts, not on 1-core containers).
 //
 // Responses are bit-identical across all modes (tests/ServeTest.cpp), so
-// this measures pure pipeline efficiency. Records via
-// tools/record_bench.sh as BENCH_serve_throughput.json.
+// this measures pure pipeline efficiency. The batching comparison runs
+// with the response cache OFF — a repeat-heavy trace would otherwise be
+// answered from the cache in both modes and measure nothing. The cache
+// gets its own section: a many-connection TCP soak over real loopback
+// sockets (the daemon's own acceptLoop), repeat-heavy so hits dominate,
+// cache on vs cache off. Records via tools/record_bench.sh as
+// BENCH_serve_throughput.json.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "serve/Server.h"
+#include "support/Json.h"
+#include "support/Socket.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -31,6 +38,9 @@
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <thread>
+
+#include <unistd.h>
 
 using namespace typilus;
 using namespace typilus::bench;
@@ -54,6 +64,9 @@ double serveTrace(Predictor &P, TypeUniverse &U, const Trace &T,
                   int MaxBatch) {
   ServerOptions SO;
   SO.MaxBatch = MaxBatch;
+  // Cache off: this comparison isolates coalescing + collapsing + batch
+  // parallelism, the PR-4 pipeline. The soak below measures the cache.
+  SO.CacheEntries = 0;
   Server S(P, U, SO);
   std::mutex Mu;
   std::condition_variable CV;
@@ -72,6 +85,98 @@ double serveTrace(Predictor &P, TypeUniverse &U, const Trace &T,
   double Sec = secondsSince(T0);
   S.stop();
   return static_cast<double>(T.Reqs.size()) / Sec;
+}
+
+/// The TCP soak: \p Clients connections against a real loopback daemon
+/// (TcpListener + acceptLoop, the `typilus_serve --port` code path),
+/// each pipelining \p PerClient predict requests that cycle through
+/// \p DistinctFiles files — so after the first cycle every request is a
+/// repeat and, with the cache on, a hit. Returns requests/second over
+/// the whole soak; daemon-side counters land in \p OutStats.
+double tcpSoak(Predictor &P, TypeUniverse &U, const Workbench &WB,
+               int Clients, int PerClient, size_t DistinctFiles,
+               int CacheEntries, ServerStats *OutStats) {
+  ServerOptions SO;
+  SO.MaxBatch = 32;
+  SO.CacheEntries = CacheEntries;
+  Server S(P, U, SO);
+
+  int Wake[2];
+  if (::pipe(Wake) != 0) {
+    std::perror("pipe");
+    return 0;
+  }
+  TcpListener TL;
+  std::string Err;
+  if (!TL.listenOn("127.0.0.1", 0, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 0;
+  }
+  AcceptLoopOptions AO;
+  AO.WakeFd = Wake[0];
+  AO.OnWake = [&Wake] {
+    char B[8];
+    (void)!read(Wake[0], B, sizeof(B));
+    return true; // only poked to drain
+  };
+  AO.OnDrainStart = [&TL] { TL.close(); };
+  int ListenFd = TL.fd();
+  std::thread Loop([&S, ListenFd, &AO] { acceptLoop({ListenFd}, S, AO); });
+  uint16_t Port = TL.port();
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int C = 0; C != Clients; ++C)
+    Workers.emplace_back([&, C] {
+      FileDesc Fd;
+      std::string E;
+      if (!connectTcp("127.0.0.1", Port, Fd, &E)) {
+        ++Failures;
+        return;
+      }
+      // Pipeline: all requests out, then all responses in (per-
+      // connection response order matches submission order).
+      std::string Out;
+      for (int I = 0; I != PerClient; ++I) {
+        const CorpusFile &F =
+            WB.Files[(static_cast<size_t>(C) + static_cast<size_t>(I)) %
+                     DistinctFiles];
+        Out += "{\"id\":" + std::to_string(I) +
+               ",\"method\":\"predict\",\"path\":" + json::quoted(F.Path) +
+               ",\"source\":" + json::quoted(F.Source) + "}\n";
+      }
+      if (!writeAll(Fd.fd(), Out)) {
+        ++Failures;
+        return;
+      }
+      LineReader R(Fd.fd(), 256u << 20);
+      std::string Line;
+      for (int I = 0; I != PerClient; ++I) {
+        LineReader::Status St;
+        do
+          St = R.next(Line);
+        while (St == LineReader::Status::Interrupted);
+        if (St != LineReader::Status::Line) {
+          ++Failures;
+          return;
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  double Sec = secondsSince(T0);
+
+  char B = 1;
+  (void)!write(Wake[1], &B, 1);
+  Loop.join(); // acceptLoop drains and stops the server
+  ::close(Wake[0]);
+  ::close(Wake[1]);
+  if (OutStats)
+    *OutStats = S.stats();
+  if (Failures.load())
+    std::fprintf(stderr, "warning: %d soak clients failed\n", Failures.load());
+  return static_cast<double>(Clients) * PerClient / Sec;
 }
 
 } // namespace
@@ -145,9 +250,34 @@ int main() {
         SpeedupAt4 = Speedup;
     }
   }
-  setGlobalNumThreads(0);
   std::printf("\n%s\n", Tbl.renderAscii().c_str());
   std::printf("batched_vs_sequential_speedup@4threads: %.2fx (mixed trace)\n",
               SpeedupAt4);
+
+  // The TCP soak: real loopback connections, repeat-heavy load, response
+  // cache off vs on. 8 connections cycling through 6 files, 60 requests
+  // each — after the first cycle the cache answers everything without
+  // embedding.
+  banner("TCP soak: response cache off vs on",
+         "8 connections x 60 repeat-heavy requests over real sockets");
+  setGlobalNumThreads(4);
+  KnnOptions KO = P.knnOptions();
+  KO.NumThreads = 4;
+  P.setKnnOptions(KO);
+  size_t Distinct = std::min<size_t>(6, WB.Files.size());
+  ServerStats Cold, Warm;
+  double RpsOff = tcpSoak(P, *WB.U, WB, /*Clients=*/8, /*PerClient=*/60,
+                          Distinct, /*CacheEntries=*/0, &Cold);
+  double RpsOn = tcpSoak(P, *WB.U, WB, /*Clients=*/8, /*PerClient=*/60,
+                         Distinct, /*CacheEntries=*/1024, &Warm);
+  setGlobalNumThreads(0);
+  std::printf("tcp_soak_cache_off_rps=%.1f tcp_soak_cache_on_rps=%.1f\n",
+              RpsOff, RpsOn);
+  std::printf("tcp_soak cache on: %llu hits / %llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(Warm.CacheHits),
+              static_cast<unsigned long long>(Warm.CacheMisses),
+              static_cast<unsigned long long>(Warm.CacheEvictions));
+  std::printf("tcp_soak_cache_speedup: %.2fx\n",
+              RpsOff > 0 ? RpsOn / RpsOff : 0.0);
   return 0;
 }

@@ -36,6 +36,8 @@ bool serve::parseRequest(std::string_view Line, Request &Out,
     Out.M = Method::Ping;
   else if (M == "stats")
     Out.M = Method::Stats;
+  else if (M == "reload")
+    Out.M = Method::Reload;
   else if (M == "shutdown")
     Out.M = Method::Shutdown;
   else {
@@ -56,6 +58,8 @@ bool serve::parseRequest(std::string_view Line, Request &Out,
     Out.Path = V.getString("path", "<request>");
     Out.Limit = static_cast<int>(V.getInt("limit", -1));
   }
+  if (Out.M == Method::Stats)
+    Out.Reset = V.getBool("reset", false);
   return true;
 }
 
@@ -98,11 +102,27 @@ std::string serve::statsResponse(int64_t Id, const ServerStats &S) {
          ",\"queue_wait_mean_us\":" + std::to_string(S.QueueWaitTotalUs / N) +
          ",\"queue_wait_max_us\":" + std::to_string(S.QueueWaitMaxUs) +
          ",\"predict_mean_us\":" + std::to_string(S.PredictTotalUs / N) +
-         ",\"predict_max_us\":" + std::to_string(S.PredictMaxUs) + "}\n";
+         ",\"predict_max_us\":" + std::to_string(S.PredictMaxUs) +
+         ",\"cache_hits\":" + std::to_string(S.CacheHits) +
+         ",\"cache_misses\":" + std::to_string(S.CacheMisses) +
+         ",\"cache_evictions\":" + std::to_string(S.CacheEvictions) +
+         ",\"overloaded\":" + std::to_string(S.Overloaded) +
+         ",\"reloads\":" + std::to_string(S.Reloads) + "}\n";
 }
 
 std::string serve::shutdownResponse(int64_t Id) {
   return head(Id, true) + ",\"shutting_down\":true}\n";
+}
+
+std::string serve::reloadResponse(int64_t Id) {
+  return head(Id, true) + ",\"reloaded\":true}\n";
+}
+
+std::string serve::overloadedResponse(int64_t Id, int MaxQueue) {
+  return head(Id, false) +
+         ",\"overloaded\":true,\"error\":\"overloaded: predict queue is at "
+         "--max-queue (" +
+         std::to_string(MaxQueue) + ")\"}\n";
 }
 
 std::string serve::predictResponse(int64_t Id, std::string_view Path,

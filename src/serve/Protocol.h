@@ -38,7 +38,8 @@ inline constexpr size_t kDefaultMaxRequestBytes = 4u << 20;
 enum class Method {
   Predict,  ///< Annotate one source file.
   Ping,     ///< Liveness + protocol version probe.
-  Stats,    ///< Serving counters (requests, batches, coalescing).
+  Stats,    ///< Serving counters (requests, batches, coalescing, cache).
+  Reload,   ///< Swap in a freshly loaded artifact (also SIGHUP).
   Shutdown, ///< Graceful stop: drain, respond, exit.
 };
 
@@ -49,6 +50,7 @@ struct Request {
   std::string Path;   ///< predict: file path used in results/digests.
   std::string Source; ///< predict: the file's contents.
   int Limit = -1;     ///< predict: candidate cap per symbol (-1 = all).
+  bool Reset = false; ///< stats: zero the counters after reporting them.
 };
 
 /// Parses one request line. On failure \returns false, sets \p Err, and
@@ -72,6 +74,18 @@ struct ServerStats {
   uint64_t QueueWaitMaxUs = 0;
   uint64_t PredictTotalUs = 0;
   uint64_t PredictMaxUs = 0;
+  /// Response cache (keyed on path + FNV-1a source digest; see
+  /// Server.h). Hits/misses count per-batch lookups — one per distinct
+  /// (path, source) group, after collapsing — so a 50-duplicate batch
+  /// that reuses a cached prediction is one hit, not fifty.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  /// Predict requests shed with an `overloaded` error because the queue
+  /// was at --max-queue when they arrived.
+  uint64_t Overloaded = 0;
+  /// Artifact reloads that succeeded (each also invalidated the cache).
+  uint64_t Reloads = 0;
 };
 
 // Response serializers. Every response is one JSON object terminated by
@@ -80,6 +94,12 @@ std::string errorResponse(int64_t Id, std::string_view Error);
 std::string pongResponse(int64_t Id);
 std::string statsResponse(int64_t Id, const ServerStats &S);
 std::string shutdownResponse(int64_t Id);
+std::string reloadResponse(int64_t Id);
+
+/// The load-shedding response: `ok:false` with an `"overloaded":true`
+/// marker so clients can tell "back off and retry" apart from request
+/// errors without parsing the message text.
+std::string overloadedResponse(int64_t Id, int MaxQueue);
 
 /// The predict response: per-symbol candidate lists (capped at \p Limit
 /// when >= 0) plus the digest over the *full* prediction set — the same

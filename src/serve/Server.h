@@ -17,6 +17,25 @@
 /// are bit-identical to single-shot prediction for any thread count and
 /// any batch composition.
 ///
+/// On top of the batch pipeline sit three production behaviors, all
+/// owned by the dispatcher so they stay lock-free and totally ordered
+/// with prediction:
+///
+///  - a **response cache** keyed on (path, FNV-1a source digest) with
+///    LRU eviction: a repeated request skips embedding entirely and its
+///    response is re-serialized from the cached predictions — byte-
+///    identical to the original miss for the same id and limit;
+///  - **hot reload**: a `reload` request (or SIGHUP in the daemon)
+///    swaps in a freshly loaded Predictor through ServerOptions::
+///    OnReload. Because reload rides the request queue, requests
+///    enqueued before it are answered from the old artifact and
+///    requests after it from the new one — never a mix — and the cache
+///    is invalidated in the same step;
+///  - **backpressure**: with ServerOptions::MaxQueue set, a predict
+///    arriving at a full queue is answered immediately (on the submit
+///    thread) with an `overloaded` error instead of wedging the
+///    dispatcher; control requests always pass.
+///
 /// Shutdown is drain-first: stop() refuses new submissions, finishes
 /// every queued request (each gets its response) and joins the
 /// dispatcher.
@@ -33,8 +52,12 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 namespace typilus {
 
@@ -50,9 +73,27 @@ struct ServerOptions {
   /// Default per-symbol candidate cap for responses that do not set
   /// "limit" themselves (-1 = all candidates).
   int Limit = -1;
+  /// Response-cache capacity in distinct (path, source digest) entries;
+  /// least-recently-used entries are evicted past it. 0 disables the
+  /// cache (every request embeds, the PR-4 behavior — what the bench's
+  /// batching comparison still measures).
+  int CacheEntries = 1024;
+  /// Queue bound for backpressure: a predict submitted while this many
+  /// requests are already queued is shed with an immediate `overloaded`
+  /// error response instead of being enqueued. 0 = unbounded. Control
+  /// requests (ping/stats/reload/shutdown) are never shed, so probing
+  /// and draining an overloaded daemon always works.
+  int MaxQueue = 0;
   /// Invoked on the dispatcher thread after a `shutdown` request has
   /// been answered; the transport layer uses it to begin its drain.
   std::function<void()> OnShutdown;
+  /// Loads a replacement predictor for a `reload` request; invoked on
+  /// the dispatcher thread (prediction pauses while it runs — in-flight
+  /// batches finished, queued ones waiting). The returned predictor
+  /// must own its universe (`Predictor::load` artifacts do). Return
+  /// null and set \p Err to keep serving the current artifact; unset
+  /// leaves the method answering "reload is not enabled".
+  std::function<std::shared_ptr<Predictor>(std::string *Err)> OnReload;
 };
 
 /// The batched request pipeline. Thread-safe entry: submit() may be
@@ -93,13 +134,40 @@ private:
     std::chrono::steady_clock::time_point Enqueued;
   };
 
+  /// One cached prediction set. Shared-ptr so a response being serialized
+  /// is unaffected by the entry's eviction mid-batch.
+  struct CacheEntry {
+    std::string Path;
+    uint64_t SourceDigest;
+    std::shared_ptr<const std::vector<PredictionResult>> Preds;
+  };
+
   void dispatchLoop();
   void serveOne(Pending &P);
   void servePredicts(std::vector<Pending> &Batch);
+  void serveReload(Pending &P);
 
-  Predictor &Pred;
-  TypeUniverse &U;
+  /// Cache lookup; moves a hit to the LRU front. Dispatcher-only.
+  std::shared_ptr<const std::vector<PredictionResult>>
+  cacheFind(const std::string &Path, uint64_t SourceDigest);
+  /// Inserts a fresh prediction set, evicting LRU entries past the
+  /// capacity. \returns evictions performed. Dispatcher-only.
+  uint64_t cacheInsert(const std::string &Path, uint64_t SourceDigest,
+                       std::shared_ptr<const std::vector<PredictionResult>> P);
+
+  // The artifact being served. Plain pointers (not refs) because reload
+  // swaps them; OwnedPred keeps a reloaded predictor (and the universe
+  // it owns) alive until the next swap. Dispatcher-only after
+  // construction.
+  Predictor *Pred;
+  TypeUniverse *U;
+  std::shared_ptr<Predictor> OwnedPred;
   ServerOptions Opts;
+
+  // Response cache: LRU list (front = most recent) + index into it.
+  // Dispatcher-only, so no lock; invalidated wholesale on reload.
+  std::list<CacheEntry> CacheLru;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> CacheIdx;
 
   mutable std::mutex Mu;
   std::condition_variable WakeCV;
@@ -108,6 +176,11 @@ private:
   ServerStats Stats;
   std::thread Dispatcher;
 };
+
+/// FNV-1a over a request's source text — the cache key half that
+/// changes when a file's contents do. Exposed for tests asserting
+/// key semantics.
+uint64_t sourceDigest(std::string_view Source);
 
 /// Drives one NDJSON request stream (a connection or stdin): reads lines
 /// off \p Fd, answers protocol errors — malformed JSON, missing fields,
@@ -121,7 +194,35 @@ private:
 /// landing between reads still wakes the stream.
 void serveStream(int Fd, size_t MaxRequestBytes, Server &S,
                  std::function<void(std::string)> Send,
-                 const std::atomic<bool> *Stop = nullptr, int WakeFd = -1);
+                 const std::atomic<bool> *Stop = nullptr, int WakeFd = -1,
+                 const std::function<bool()> &OnWake = nullptr);
+
+/// The transport-side accept loop shared by the daemon's Unix-socket and
+/// TCP modes (and by tests/bench driving a real TCP loopback): polls any
+/// number of listening fds plus an optional wake pipe, accepts
+/// connections, and drives serveStream on a detached reader thread per
+/// connection. Returns after a drain: stop accepting, EOF every open
+/// stream (write sides stay open), wait for readers, then
+/// `Server::stop()` — every accepted request is answered.
+struct AcceptLoopOptions {
+  size_t MaxRequestBytes = kDefaultMaxRequestBytes;
+  /// SO_SNDTIMEO per connection: after this much write backpressure
+  /// from a client that stopped reading, its response is dropped and
+  /// serving continues (0 = no timeout).
+  int SendTimeoutSeconds = 30;
+  /// Optional self-pipe polled alongside the listeners.
+  int WakeFd = -1;
+  /// Invoked (on the accept thread) whenever WakeFd becomes readable —
+  /// the daemon drains the pipe and handles SIGHUP here. Return true to
+  /// begin the drain and leave the loop.
+  std::function<bool()> OnWake;
+  /// Invoked when the drain begins, before open streams are EOF'd; the
+  /// caller closes its listeners here so no connection can slip in
+  /// between "stop accepting" and "drained".
+  std::function<void()> OnDrainStart;
+};
+void acceptLoop(const std::vector<int> &ListenFds, Server &S,
+                const AcceptLoopOptions &O);
 
 } // namespace serve
 } // namespace typilus

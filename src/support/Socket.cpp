@@ -5,6 +5,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -122,6 +125,112 @@ bool typilus::connectUnix(const std::string &Path, FileDesc &Out,
   }
   Out = std::move(S);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// TcpListener / connectTcp
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fillInetAddr(const std::string &Host, uint16_t Port, sockaddr_in &Addr,
+                  std::string *Err) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "'" + Host + "' is not an IPv4 address";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listenOn(const std::string &Host, uint16_t Port,
+                           std::string *Err) {
+  sockaddr_in Addr;
+  if (!fillInetAddr(Host, Port, Addr, Err))
+    return false;
+  FileDesc S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoString("socket");
+    return false;
+  }
+  // Without SO_REUSEADDR a daemon restart would fight its predecessor's
+  // TIME_WAIT connections for the port.
+  int One = 1;
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = errnoString(
+          ("bind " + Host + ":" + std::to_string(Port)).c_str());
+    return false;
+  }
+  if (::listen(S.fd(), 64) != 0) {
+    if (Err)
+      *Err = errnoString("listen");
+    return false;
+  }
+  // Port 0 delegated the choice to the kernel; read back what it picked.
+  sockaddr_in Bound;
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(S.fd(), reinterpret_cast<sockaddr *>(&Bound), &Len) != 0) {
+    if (Err)
+      *Err = errnoString("getsockname");
+    return false;
+  }
+  Listen = std::move(S);
+  BoundPort = ntohs(Bound.sin_port);
+  return true;
+}
+
+FileDesc TcpListener::acceptConn() {
+  for (;;) {
+    int C = ::accept(Listen.fd(), nullptr, nullptr);
+    if (C >= 0)
+      return FileDesc(C);
+    if (errno != EINTR)
+      return FileDesc();
+  }
+}
+
+void TcpListener::close() {
+  Listen.reset();
+  BoundPort = 0;
+}
+
+bool typilus::connectTcp(const std::string &Host, uint16_t Port, FileDesc &Out,
+                         std::string *Err) {
+  sockaddr_in Addr;
+  if (!fillInetAddr(Host, Port, Addr, Err))
+    return false;
+  FileDesc S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    if (Err)
+      *Err = errnoString("socket");
+    return false;
+  }
+  if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = errnoString(
+          ("connect " + Host + ":" + std::to_string(Port)).c_str());
+    return false;
+  }
+  setTcpNoDelay(S.fd());
+  Out = std::move(S);
+  return true;
+}
+
+void typilus::setTcpNoDelay(int Fd) {
+  int One = 1;
+  // Fails with ENOTSUP/EOPNOTSUPP on Unix-domain sockets; by design.
+  (void)::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
 }
 
 //===----------------------------------------------------------------------===//

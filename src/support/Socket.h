@@ -6,11 +6,11 @@
 ///
 /// \file
 /// The transport under the serving daemon (docs/ARCHITECTURE.md
-/// "Serving"): RAII file descriptors, a Unix-domain stream listener, a
-/// client connector, and a buffered newline-delimited reader with a hard
-/// per-line cap (the protocol's oversized-request guard). POSIX-only,
-/// like the rest of the build; everything reports failures through
-/// `std::string *Err` out-parameters instead of exceptions.
+/// "Serving"): RAII file descriptors, Unix-domain and TCP stream
+/// listeners, client connectors, and a buffered newline-delimited reader
+/// with a hard per-line cap (the protocol's oversized-request guard).
+/// POSIX-only, like the rest of the build; everything reports failures
+/// through `std::string *Err` out-parameters instead of exceptions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +18,7 @@
 #define TYPILUS_SUPPORT_SOCKET_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -85,6 +86,48 @@ private:
 
 /// Connects to a Unix-domain listener at \p Path.
 bool connectUnix(const std::string &Path, FileDesc &Out, std::string *Err);
+
+/// A listening TCP socket (IPv4). The serving daemon's `--port`
+/// transport; identical accept surface to UnixListener so the daemon's
+/// accept loop is shared between the two.
+class TcpListener {
+public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener &) = delete;
+  TcpListener &operator=(const TcpListener &) = delete;
+
+  /// Binds \p Host:\p Port (SO_REUSEADDR) and listens. \p Host must be a
+  /// dotted-quad address ("127.0.0.1", "0.0.0.0"); \p Port 0 picks an
+  /// ephemeral port — port() reports the one actually bound (how tests
+  /// and the bench avoid clashes).
+  bool listenOn(const std::string &Host, uint16_t Port, std::string *Err);
+
+  /// Accepts one connection; blocks. \returns an invalid FileDesc on
+  /// error or after close(). EINTR is retried.
+  FileDesc acceptConn();
+
+  /// Closes the listening socket (acceptConn unblocks).
+  void close();
+
+  int fd() const { return Listen.fd(); }
+  uint16_t port() const { return BoundPort; }
+
+private:
+  FileDesc Listen;
+  uint16_t BoundPort = 0;
+};
+
+/// Connects to a TCP listener at \p Host:\p Port (IPv4 dotted-quad).
+bool connectTcp(const std::string &Host, uint16_t Port, FileDesc &Out,
+                std::string *Err);
+
+/// Disables Nagle on a TCP connection so one-line responses leave
+/// immediately instead of waiting out the coalescing timer. A no-op
+/// failure on non-TCP fds (the shared accept loop calls it on Unix
+/// connections too).
+void setTcpNoDelay(int Fd);
 
 /// Writes all of \p Data to \p Fd, retrying partial writes and EINTR.
 /// SIGPIPE is suppressed for sockets (MSG_NOSIGNAL). \returns false on

@@ -1,0 +1,656 @@
+//===- tests/ServeFaultTest.cpp - Serving-tier fault injection -----------------===//
+//
+// The production serving tier under hostile conditions, exercised over
+// real sockets (TCP loopback through the daemon's own acceptLoop, the
+// same code path `typilus_serve --port` runs): clients that vanish
+// mid-request, clients that stop reading while the send buffer fills,
+// garbage bytes sharing a connection with valid requests, SIGHUP-style
+// hot reloads racing in-flight predicts, load shedding at --max-queue,
+// and the response cache's byte-identity contract — including a
+// property-style interleaving test asserting no request is ever answered
+// from a stale artifact or a stale cache entry.
+//
+// Unlike ServeTest (live in-process model), this suite serves *loaded
+// artifacts* — reload needs predictors that own their universe, exactly
+// what `Predictor::load` produces and the daemon serves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "corpus/Dataset.h"
+#include "serve/Server.h"
+#include "support/Json.h"
+#include "support/Socket.h"
+#include "support/Str.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace typilus;
+using namespace typilus::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixture: one tiny corpus, TWO saved artifacts (trained differently, so
+// their predictions — and therefore their response digests — differ).
+// Reload tests swap between them and check which one answered.
+//===----------------------------------------------------------------------===//
+
+class ServeFaultTest : public ::testing::Test {
+protected:
+  static void trainAndSave(int Epochs, const std::string &Path) {
+    ModelConfig MC; // Graph + Typilus, what the daemon serves
+    MC.HiddenDim = 8;
+    MC.TimeSteps = 2;
+    TrainOptions TO;
+    TO.Epochs = Epochs;
+    TO.BatchFiles = 4;
+    std::unique_ptr<TypeModel> M = makeModel(MC, WB->DS, *WB->U);
+    trainModel(*M, WB->DS.Train, TO);
+    std::vector<const FileExample *> MapFiles;
+    for (const FileExample &F : WB->DS.Train)
+      MapFiles.push_back(&F);
+    for (const FileExample &F : WB->DS.Valid)
+      MapFiles.push_back(&F);
+    Predictor P = Predictor::knn(*M, MapFiles);
+    std::string Err;
+    ASSERT_TRUE(P.save(Path, *WB->U, &Err)) << Err;
+  }
+
+  static void SetUpTestSuite() {
+    CorpusConfig CC;
+    CC.NumFiles = 12;
+    CC.NumUdts = 6;
+    DatasetConfig DC;
+    DC.CommonThreshold = 2;
+    WB = new Workbench(Workbench::make(CC, DC));
+    // Per-process paths: ctest runs each test of this suite as its own
+    // process, in parallel — a shared path would be clobbered mid-load.
+    std::string Pid = std::to_string(static_cast<long>(::getpid()));
+    PathA = testing::TempDir() + "typilus_fault_a." + Pid + ".typilus";
+    PathB = testing::TempDir() + "typilus_fault_b." + Pid + ".typilus";
+    // One vs. two training epochs: same corpus, different weights,
+    // different candidate probabilities — distinguishable artifacts.
+    trainAndSave(1, PathA);
+    trainAndSave(2, PathB);
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(PathA.c_str());
+    std::remove(PathB.c_str());
+    delete WB;
+    WB = nullptr;
+  }
+
+  static std::shared_ptr<Predictor> loadArtifact(const std::string &Path) {
+    std::string Err;
+    std::shared_ptr<Predictor> P = Predictor::load(Path, &Err);
+    EXPECT_NE(P, nullptr) << Err;
+    return P;
+  }
+
+  /// What a fresh one-shot prediction of \p F under \p P digests to —
+  /// the reference every served response is compared against.
+  static std::string oneShotDigest(Predictor &P, const CorpusFile &F) {
+    FileExample E = buildExample(F, *P.universe(), {});
+    return strformat("%016llx", static_cast<unsigned long long>(
+                                    predictionDigest(P.predictFile(E))));
+  }
+
+  static std::string requestLine(int64_t Id, const CorpusFile &F,
+                                 int Limit = -1) {
+    return "{\"id\":" + std::to_string(Id) +
+           ",\"method\":\"predict\",\"path\":" + json::quoted(F.Path) +
+           ",\"limit\":" + std::to_string(Limit) +
+           ",\"source\":" + json::quoted(F.Source) + "}\n";
+  }
+
+  /// Parses the "digest" field out of a predict response ("" on error
+  /// responses).
+  static std::string digestOf(const std::string &Response) {
+    json::Value V;
+    std::string Err;
+    if (!json::parse(Response, V, &Err))
+      return "";
+    return V.getString("digest", "");
+  }
+
+  static Workbench *WB;
+  static std::string PathA, PathB;
+};
+
+Workbench *ServeFaultTest::WB = nullptr;
+std::string ServeFaultTest::PathA;
+std::string ServeFaultTest::PathB;
+
+//===----------------------------------------------------------------------===//
+// TCP harness: the daemon's own acceptLoop on an ephemeral loopback
+// port, with the same wake-pipe wiring typilus_serve uses for signals.
+//===----------------------------------------------------------------------===//
+
+class TcpDaemon {
+public:
+  /// \p OnPoke runs (on the accept thread) for wake-pipe pokes that are
+  /// not the stop signal — the test's stand-in for a SIGHUP handler.
+  TcpDaemon(Server &S, int SendTimeoutSeconds = 30,
+            std::function<void()> OnPoke = nullptr) {
+    EXPECT_EQ(::pipe(Wake), 0);
+    std::string Err;
+    EXPECT_TRUE(Listener.listenOn("127.0.0.1", 0, &Err)) << Err;
+    AcceptLoopOptions AO;
+    AO.SendTimeoutSeconds = SendTimeoutSeconds;
+    AO.WakeFd = Wake[0];
+    AO.OnWake = [this, OnPoke] {
+      char Buf[16];
+      (void)!read(Wake[0], Buf, sizeof(Buf));
+      if (Stopping.load())
+        return true;
+      if (OnPoke)
+        OnPoke();
+      return false;
+    };
+    AO.OnDrainStart = [this] { Listener.close(); };
+    int Fd = Listener.fd();
+    Loop = std::thread([&S, Fd, AO] { acceptLoop({Fd}, S, AO); });
+  }
+
+  ~TcpDaemon() {
+    stop();
+    ::close(Wake[0]);
+    ::close(Wake[1]);
+  }
+
+  uint16_t port() const { return Listener.port(); }
+
+  void poke() {
+    char B = 1;
+    (void)!write(Wake[1], &B, 1);
+  }
+
+  /// Begins the drain and waits for it: every accepted request answered,
+  /// Server stopped.
+  void stop() {
+    Stopping = true;
+    poke();
+    if (Loop.joinable())
+      Loop.join();
+  }
+
+private:
+  TcpListener Listener;
+  int Wake[2] = {-1, -1};
+  std::atomic<bool> Stopping{false};
+  std::thread Loop;
+};
+
+/// A line-oriented TCP client against the harness.
+class TcpClient {
+public:
+  explicit TcpClient(uint16_t Port) {
+    std::string Err;
+    Ok = connectTcp("127.0.0.1", Port, Fd, &Err);
+    EXPECT_TRUE(Ok) << Err;
+  }
+
+  bool valid() const { return Ok; }
+  int fd() const { return Fd.fd(); }
+
+  void send(std::string_view Data) { EXPECT_TRUE(writeAll(Fd.fd(), Data)); }
+
+  std::string readLine() {
+    if (!R)
+      R = std::make_unique<LineReader>(Fd.fd(), 256u << 20);
+    std::string Line;
+    LineReader::Status St;
+    do
+      St = R->next(Line);
+    while (St == LineReader::Status::Interrupted);
+    EXPECT_EQ(St, LineReader::Status::Line);
+    return Line;
+  }
+
+  void close() { Fd.reset(); }
+
+private:
+  FileDesc Fd;
+  std::unique_ptr<LineReader> R;
+  bool Ok = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Fault injection over real TCP connections
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeFaultTest, MidRequestDisconnectOverTcpLeavesDaemonServing) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  Server S(*P, *P->universe());
+  TcpDaemon D(S);
+  {
+    TcpClient C(D.port());
+    // Half a predict request, then the client vanishes without a
+    // newline — the reader must see EOF and fold the connection.
+    C.send("{\"id\":1,\"method\":\"predict\",\"source\":\"def f(");
+    C.close();
+  }
+  {
+    // And mid-*response*: a full predict lands, the client disappears
+    // before reading the answer. The dispatcher's write goes nowhere.
+    TcpClient C(D.port());
+    C.send(requestLine(2, WB->Files[0]));
+    C.close();
+  }
+  TcpClient C(D.port());
+  C.send("{\"id\":3,\"method\":\"ping\"}\n");
+  EXPECT_NE(C.readLine().find("\"pong\":true"), std::string::npos);
+  C.send(requestLine(4, WB->Files[1]));
+  EXPECT_EQ(digestOf(C.readLine()), oneShotDigest(*P, WB->Files[1]));
+  D.stop();
+}
+
+TEST_F(ServeFaultTest, GarbageThenValidRequestOnOneConnection) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  Server S(*P, *P->universe());
+  TcpDaemon D(S);
+  TcpClient C(D.port());
+  // Binary junk, an empty line, broken JSON — then a well-formed
+  // request, all on the same connection.
+  C.send(std::string("\x01\x02\xff\xfe not json at all\n", 21));
+  EXPECT_NE(C.readLine().find("\"ok\":false"), std::string::npos);
+  C.send("\n");
+  C.send("{\"id\":7,\"method\":\n");
+  EXPECT_NE(C.readLine().find("\"ok\":false"), std::string::npos);
+  C.send(requestLine(8, WB->Files[2]));
+  std::string Resp = C.readLine();
+  EXPECT_NE(Resp.find("\"id\":8"), std::string::npos) << Resp;
+  EXPECT_EQ(digestOf(Resp), oneShotDigest(*P, WB->Files[2]));
+  D.stop();
+}
+
+TEST_F(ServeFaultTest, SlowReaderTimesOutWithoutWedgingTheServer) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  Server S(*P, *P->universe());
+  // 1s of write backpressure before a response is dropped — the fault
+  // budget this test waits out.
+  TcpDaemon D(S, /*SendTimeoutSeconds=*/1);
+
+  // A client with a tiny receive window that never reads: responses pile
+  // into the server's send buffer until writes time out. (SO_RCVBUF must
+  // be set before connect to clamp the negotiated window.)
+  int Raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Raw, 0);
+  int RcvBuf = 4096;
+  ASSERT_EQ(
+      ::setsockopt(Raw, SOL_SOCKET, SO_RCVBUF, &RcvBuf, sizeof(RcvBuf)), 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(D.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr), 1);
+  ASSERT_EQ(::connect(Raw, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  FileDesc Slow(Raw);
+
+  // 200 identical predicts: collapse + cache make them cheap to answer,
+  // but the responses still total far more than the clamped window.
+  std::string Burst;
+  for (int I = 0; I != 200; ++I)
+    Burst += requestLine(I, WB->Files[0]);
+  ASSERT_TRUE(writeAll(Slow.fd(), Burst));
+
+  // The server must keep answering other clients while the slow one
+  // times out, and the drain must not hang behind its dead buffer.
+  TcpClient C(D.port());
+  C.send("{\"id\":900,\"method\":\"ping\"}\n");
+  EXPECT_NE(C.readLine().find("\"pong\":true"), std::string::npos);
+  C.send(requestLine(901, WB->Files[3]));
+  EXPECT_EQ(digestOf(C.readLine()), oneShotDigest(*P, WB->Files[3]));
+  D.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure: the --max-queue load shed
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeFaultTest, QueueFullPredictsAreShedWithOverloadedResponse) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  ServerOptions SO;
+  SO.MaxQueue = 2;
+  Server S(*P, *P->universe(), SO);
+
+  // Wedge the dispatcher inside the first response callback so the
+  // queue depth is fully under test control.
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Entered = false, Release = false;
+  ASSERT_TRUE(S.submit(
+      [&] {
+        Request R;
+        R.Id = 0;
+        R.M = Method::Predict;
+        R.Path = WB->Files[0].Path;
+        R.Source = WB->Files[0].Source;
+        return R;
+      }(),
+      [&](std::string) {
+        std::unique_lock<std::mutex> L(Mu);
+        Entered = true;
+        CV.notify_all();
+        CV.wait(L, [&] { return Release; });
+      }));
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    CV.wait(L, [&] { return Entered; });
+  }
+
+  // Queue is empty and the dispatcher is stuck: two predicts fit...
+  std::atomic<int> Answered{0};
+  Request R1;
+  R1.Id = 1;
+  R1.M = Method::Predict;
+  R1.Path = WB->Files[1].Path;
+  R1.Source = WB->Files[1].Source;
+  Request R2 = R1;
+  R2.Id = 2;
+  ASSERT_TRUE(S.submit(R1, [&](std::string) { ++Answered; }));
+  ASSERT_TRUE(S.submit(R2, [&](std::string) { ++Answered; }));
+
+  // ...the third is shed immediately, on this thread, before submit
+  // returns — the connection stays open, the client just gets told.
+  std::string ShedResponse;
+  ASSERT_TRUE(S.submit(
+      [&] {
+        Request R = R1;
+        R.Id = 3;
+        return R;
+      }(),
+      [&](std::string Resp) { ShedResponse = std::move(Resp); }));
+  EXPECT_NE(ShedResponse.find("\"ok\":false"), std::string::npos)
+      << ShedResponse;
+  EXPECT_NE(ShedResponse.find("\"overloaded\":true"), std::string::npos)
+      << ShedResponse;
+  EXPECT_NE(ShedResponse.find("\"id\":3"), std::string::npos) << ShedResponse;
+
+  // Control requests are never shed: a ping passes a full queue, so an
+  // overloaded daemon can still be probed and drained.
+  std::atomic<bool> Ponged{false};
+  Request Ping;
+  Ping.Id = 4;
+  Ping.M = Method::Ping;
+  ASSERT_TRUE(S.submit(Ping, [&](std::string Resp) {
+    Ponged = Resp.find("\"pong\":true") != std::string::npos;
+  }));
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Release = true;
+    CV.notify_all();
+  }
+  S.stop();
+  EXPECT_EQ(Answered.load(), 2);
+  EXPECT_TRUE(Ponged.load());
+  EXPECT_EQ(S.stats().Overloaded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The response cache's byte-identity contract
+//===----------------------------------------------------------------------===//
+
+/// Submits one request and waits for its response.
+std::string serveOneRequest(Server &S, const Request &R) {
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Done = false;
+  std::string Out;
+  EXPECT_TRUE(S.submit(R, [&](std::string Resp) {
+    std::lock_guard<std::mutex> L(Mu);
+    Out = std::move(Resp);
+    Done = true;
+    CV.notify_all();
+  }));
+  std::unique_lock<std::mutex> L(Mu);
+  CV.wait(L, [&] { return Done; });
+  return Out;
+}
+
+TEST_F(ServeFaultTest, CacheHitIsByteIdenticalToItsMiss) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  ServerOptions SO;
+  SO.CacheEntries = 8;
+  Server S(*P, *P->universe(), SO);
+
+  Request R;
+  R.Id = 7;
+  R.M = Method::Predict;
+  R.Path = WB->Files[0].Path;
+  R.Source = WB->Files[0].Source;
+  std::string Miss = serveOneRequest(S, R); // embeds
+  std::string Hit = serveOneRequest(S, R);  // must not
+  EXPECT_EQ(Miss, Hit);
+
+  // A hit re-serializes under the *request's* limit: ask again capped.
+  Request Capped = R;
+  Capped.Limit = 1;
+  std::string CappedHit = serveOneRequest(S, Capped);
+  S.stop(); // joins the dispatcher: counters are final after this
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.CacheMisses, 1u);
+  EXPECT_EQ(St.CacheHits, 2u);
+
+  // Reference: a cache-less server serving the capped request fresh.
+  std::shared_ptr<Predictor> P2 = loadArtifact(PathA);
+  ServerOptions Off;
+  Off.CacheEntries = 0;
+  Server S2(*P2, *P2->universe(), Off);
+  std::string Fresh = serveOneRequest(S2, Capped);
+  S2.stop();
+  EXPECT_EQ(CappedHit, Fresh);
+  EXPECT_EQ(S2.stats().CacheHits, 0u);
+  EXPECT_EQ(S2.stats().CacheMisses, 0u); // disabled cache counts nothing
+}
+
+TEST_F(ServeFaultTest, ChangedSourceMissesStaleCacheEntry) {
+  std::shared_ptr<Predictor> P = loadArtifact(PathA);
+  Server S(*P, *P->universe());
+  Request R;
+  R.Id = 1;
+  R.M = Method::Predict;
+  R.Path = WB->Files[0].Path;
+  R.Source = WB->Files[0].Source;
+  std::string First = serveOneRequest(S, R);
+  // Same path, edited contents: the source digest in the key must force
+  // a fresh prediction, not a stale answer for the old text.
+  Request Edited = R;
+  Edited.Source = WB->Files[1].Source;
+  std::string Second = serveOneRequest(S, Edited);
+  EXPECT_NE(digestOf(First), digestOf(Second));
+  S.stop(); // joins the dispatcher: counters are final after this
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.CacheMisses, 2u);
+  EXPECT_EQ(St.CacheHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hot reload racing in-flight predicts (the SIGHUP path, over TCP)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeFaultTest, ArtifactsProduceDistinctDigests) {
+  // The reload tests tell artifacts apart by digest; make sure they can.
+  std::shared_ptr<Predictor> A = loadArtifact(PathA);
+  std::shared_ptr<Predictor> B = loadArtifact(PathB);
+  bool AnyDiffer = false;
+  for (size_t I = 0; I != 4; ++I)
+    AnyDiffer |= oneShotDigest(*A, WB->Files[I]) !=
+                 oneShotDigest(*B, WB->Files[I]);
+  ASSERT_TRUE(AnyDiffer) << "1-epoch and 2-epoch artifacts predict "
+                            "identically; reload tests would be vacuous";
+}
+
+TEST_F(ServeFaultTest, SighupReloadUnderLoadDropsNothingAndMixesNothing) {
+  std::shared_ptr<Predictor> Base = loadArtifact(PathA);
+  // Every wake-pipe poke swaps to the *other* artifact, mid-load.
+  std::atomic<int> LoadedB{0};
+  ServerOptions SO;
+  SO.OnReload = [&](std::string *Err) -> std::shared_ptr<Predictor> {
+    bool ToB = (LoadedB.fetch_add(1) % 2) == 0;
+    return Predictor::load(ToB ? PathB : PathA, Err);
+  };
+  Server S(*Base, *Base->universe(), SO);
+  TcpDaemon D(S, /*SendTimeoutSeconds=*/30, /*OnPoke=*/[&S] {
+    Request R;
+    R.Id = -1;
+    R.M = Method::Reload;
+    S.submit(R, [](std::string Resp) {
+      EXPECT_NE(Resp.find("\"reloaded\":true"), std::string::npos) << Resp;
+    });
+  });
+
+  // Acceptable digests per file: artifact A's or artifact B's — a
+  // response matching neither would mean a reload tore a batch or
+  // served a stale cache entry.
+  const size_t NumFiles = 4;
+  std::shared_ptr<Predictor> RefB = loadArtifact(PathB);
+  std::vector<std::string> DigestA(NumFiles), DigestB(NumFiles);
+  for (size_t I = 0; I != NumFiles; ++I) {
+    DigestA[I] = oneShotDigest(*Base, WB->Files[I]);
+    DigestB[I] = oneShotDigest(*RefB, WB->Files[I]);
+  }
+
+  const int Clients = 4, PerClient = 24;
+  std::vector<std::vector<std::string>> Got(Clients);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != Clients; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != PerClient; ++I) {
+        TcpClient C(D.port());
+        if (!C.valid())
+          return; // EXPECT in the ctor already flagged it
+        size_t File = static_cast<size_t>(T + I) % NumFiles;
+        C.send(requestLine(T * PerClient + I, WB->Files[File]));
+        Got[T].push_back(C.readLine());
+      }
+    });
+  for (int I = 0; I != 8; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    D.poke(); // SIGHUP equivalent, racing the predicts above
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  D.stop();
+
+  size_t Answered = 0;
+  for (int T = 0; T != Clients; ++T) {
+    ASSERT_EQ(Got[T].size(), static_cast<size_t>(PerClient))
+        << "client " << T << " lost responses";
+    for (int I = 0; I != PerClient; ++I) {
+      ++Answered;
+      size_t File = static_cast<size_t>(T + I) % NumFiles;
+      std::string Dg = digestOf(Got[T][I]);
+      EXPECT_TRUE(Dg == DigestA[File] || Dg == DigestB[File])
+          << "client " << T << " response " << I
+          << " matches neither artifact: " << Got[T][I];
+    }
+  }
+  EXPECT_EQ(Answered, static_cast<size_t>(Clients * PerClient));
+  EXPECT_GE(S.stats().Reloads, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property-style: random predict/reload/evict interleavings never serve
+// a stale response
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeFaultTest, RandomInterleavingsAlwaysAnswerFromTheActiveArtifact) {
+  // The invariant: because reload rides the request queue, the k-th
+  // submitted predict must be answered by the artifact active after all
+  // reloads submitted before it — computable without touching the
+  // server. Tiny cache (2 entries, 4 distinct files) keeps evictions in
+  // the mix; seeds make failures replayable.
+  const size_t NumFiles = 4;
+  std::shared_ptr<Predictor> RefA = loadArtifact(PathA);
+  std::shared_ptr<Predictor> RefB = loadArtifact(PathB);
+  std::vector<std::string> Digest[2];
+  Digest[0].resize(NumFiles);
+  Digest[1].resize(NumFiles);
+  for (size_t I = 0; I != NumFiles; ++I) {
+    Digest[0][I] = oneShotDigest(*RefA, WB->Files[I]);
+    Digest[1][I] = oneShotDigest(*RefB, WB->Files[I]);
+  }
+
+  for (uint32_t Seed : {20200613u, 7u, 99u}) {
+    std::shared_ptr<Predictor> Base = loadArtifact(PathA);
+    std::atomic<int> Reloaded{0};
+    ServerOptions SO;
+    SO.CacheEntries = 2;
+    SO.OnReload = [&](std::string *Err) -> std::shared_ptr<Predictor> {
+      // The n-th reload processed is the n-th submitted (FIFO queue),
+      // so the artifact sequence is A, B, A, B, ...
+      bool ToB = (Reloaded.fetch_add(1) % 2) == 0;
+      return Predictor::load(ToB ? PathB : PathA, Err);
+    };
+    Server S(*Base, *Base->universe(), SO);
+
+    std::mt19937 Rng(Seed);
+    int Active = 0; // 0 = A, flips on every submitted reload
+    struct Expect {
+      size_t Index;     // position in Responses
+      std::string Want; // digest of the active artifact's prediction
+    };
+    std::vector<Expect> Expected;
+    std::mutex Mu;
+    std::vector<std::string> Responses;
+    auto Collect = [&](std::string R) {
+      std::lock_guard<std::mutex> L(Mu);
+      Responses.push_back(std::move(R));
+    };
+
+    const int Ops = 60;
+    size_t Submitted = 0;
+    for (int Op = 0; Op != Ops; ++Op) {
+      if (Rng() % 5 == 0) { // ~1 in 5: hot reload
+        Request R;
+        R.Id = static_cast<int64_t>(Op);
+        R.M = Method::Reload;
+        ASSERT_TRUE(S.submit(R, Collect));
+        Active ^= 1;
+      } else {
+        size_t File = Rng() % NumFiles;
+        Request R;
+        R.Id = static_cast<int64_t>(Op);
+        R.M = Method::Predict;
+        R.Path = WB->Files[File].Path;
+        R.Source = WB->Files[File].Source;
+        ASSERT_TRUE(S.submit(R, Collect));
+        Expected.push_back(Expect{Submitted, Digest[Active][File]});
+      }
+      ++Submitted;
+    }
+    S.stop();
+    ServerStats St = S.stats();
+
+    ASSERT_EQ(Responses.size(), Submitted) << "seed " << Seed;
+    // Submission order == response order: one queue, one dispatcher,
+    // and batches answer in arrival order.
+    for (const Expect &E : Expected)
+      EXPECT_EQ(digestOf(Responses[E.Index]), E.Want)
+          << "seed " << Seed << " request " << E.Index << ": "
+          << Responses[E.Index];
+    EXPECT_EQ(St.Reloads, static_cast<uint64_t>(Reloaded.load()))
+        << "seed " << Seed;
+    EXPECT_GT(St.CacheEvictions, 0u)
+        << "seed " << Seed << ": 4 files through a 2-entry cache";
+  }
+}
+
+} // namespace

@@ -434,4 +434,39 @@ TEST_F(ServeTest, StatsReportCoalescing) {
   EXPECT_GT(St.PredictTotalUs, 0u) << "prediction took literally no time?";
 }
 
+TEST_F(ServeTest, StatsResetZeroesCountersAfterReporting) {
+  ServerOptions SO;
+  SO.MaxBatch = 16;
+  Server S(*Pred, *WB->U, SO);
+  std::mutex Mu;
+  std::vector<std::string> Responses;
+  auto Collect = [&](std::string R) {
+    std::lock_guard<std::mutex> L(Mu);
+    Responses.push_back(std::move(R));
+  };
+  for (int I = 0; I != 4; ++I)
+    S.submit(requestFor(static_cast<size_t>(I), I), Collect);
+  Request Reset;
+  Reset.Id = 50;
+  Reset.M = Method::Stats;
+  Reset.Reset = true;
+  S.submit(Reset, Collect);
+  Request Probe;
+  Probe.Id = 51;
+  Probe.M = Method::Stats;
+  S.submit(Probe, Collect);
+  S.stop();
+  ASSERT_EQ(Responses.size(), 6u);
+  // The resetting response reports the counters as they were...
+  EXPECT_NE(Responses[4].find("\"requests\":4"), std::string::npos)
+      << Responses[4];
+  // ...and the next probe sees a clean slate (reset happened atomically
+  // with the snapshot: requests between the two would be counted anew).
+  EXPECT_NE(Responses[5].find("\"requests\":0"), std::string::npos)
+      << Responses[5];
+  EXPECT_NE(Responses[5].find("\"predict_mean_us\":0"), std::string::npos)
+      << Responses[5];
+  EXPECT_EQ(S.stats().Requests, 0u);
+}
+
 } // namespace

@@ -52,9 +52,11 @@ struct Options {
   std::vector<std::string> Sources; ///< --source: real .py files to predict.
   std::string Split = "test";       ///< --split for predict.
   std::string Socket;               ///< client: daemon socket path.
+  std::string Tcp;                  ///< client: daemon HOST:PORT.
   int Repeat = 1;                   ///< client: concurrent sends per source.
   bool Ping = false;                ///< client: liveness probe only.
   bool Shutdown = false;            ///< client: ask the daemon to drain.
+  bool Reload = false;              ///< client: hot-reload the artifact.
   int Files = 60;
   int Udts = 40;
   int Epochs = 8;
@@ -97,8 +99,9 @@ int usage(const char *Argv0) {
       "  save     rewrite an artifact, optionally changing kNN options\n"
       "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n"
       "  client   talk to a running typilus_serve daemon\n"
-      "           --socket PATH (--source FILE.py... [--repeat N]\n"
-      "           [--limit N] | --ping | --shutdown)\n",
+      "           (--socket PATH | --tcp HOST:PORT)\n"
+      "           (--source FILE.py... [--repeat N] [--limit N]\n"
+      "           | --ping | --reload | --shutdown)\n",
       Argv0);
   return 2;
 }
@@ -181,6 +184,9 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
     } else if (A == "--socket") {
       if (!(V = Next("--socket"))) return false;
       O.Socket = V;
+    } else if (A == "--tcp") {
+      if (!(V = Next("--tcp"))) return false;
+      O.Tcp = V;
     } else if (A == "--repeat") {
       if (!(V = Next("--repeat"))) return false;
       O.Repeat = std::atoi(V);
@@ -188,6 +194,8 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Ping = true;
     } else if (A == "--shutdown") {
       O.Shutdown = true;
+    } else if (A == "--reload") {
+      O.Reload = true;
     } else if (A == "--exact") {
       O.Exact = true;
     } else if (A == "--annoy") {
@@ -700,12 +708,37 @@ int cmdSave(const Options &O) {
 // client (talk to a typilus_serve daemon)
 //===----------------------------------------------------------------------===//
 
-/// Sends one request line over its own connection and reads one response.
-bool roundTrip(const std::string &Socket, const std::string &RequestLine,
+/// Splits "--tcp HOST:PORT" at the last ':' (plain IPv4 / hostnames).
+bool parseHostPort(const std::string &Spec, std::string &Host, uint16_t &Port,
+                   std::string *Err) {
+  size_t Colon = Spec.rfind(':');
+  long P = Colon == std::string::npos
+               ? -1
+               : std::atol(Spec.c_str() + Colon + 1);
+  if (Colon == 0 || P < 1 || P > 65535) {
+    if (Err)
+      *Err = "--tcp expects HOST:PORT, got '" + Spec + "'";
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+/// Sends one request line over its own connection (Unix socket or TCP,
+/// whichever the options name) and reads one response.
+bool roundTrip(const Options &O, const std::string &RequestLine,
                std::string &ResponseLine, std::string *Err) {
   FileDesc Fd;
-  if (!connectUnix(Socket, Fd, Err))
+  if (!O.Tcp.empty()) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!parseHostPort(O.Tcp, Host, Port, Err) ||
+        !connectTcp(Host, Port, Fd, Err))
+      return false;
+  } else if (!connectUnix(O.Socket, Fd, Err)) {
     return false;
+  }
   if (!writeAll(Fd.fd(), RequestLine)) {
     if (Err)
       *Err = "write failed (daemon gone?)";
@@ -727,14 +760,13 @@ bool roundTrip(const std::string &Socket, const std::string &RequestLine,
 }
 
 int cmdClient(const Options &O) {
-  if (O.Socket.empty())
-    return fail("client needs --socket PATH");
+  if (O.Socket.empty() == O.Tcp.empty())
+    return fail("client needs exactly one of --socket PATH / --tcp HOST:PORT");
 
-  if (O.Ping || O.Shutdown) {
-    const char *Method = O.Ping ? "ping" : "shutdown";
+  if (O.Ping || O.Shutdown || O.Reload) {
+    const char *Method = O.Ping ? "ping" : O.Reload ? "reload" : "shutdown";
     std::string Resp, Err;
-    if (!roundTrip(O.Socket,
-                   std::string("{\"id\":0,\"method\":\"") + Method + "\"}\n",
+    if (!roundTrip(O, std::string("{\"id\":0,\"method\":\"") + Method + "\"}\n",
                    Resp, &Err))
       return fail(Err);
     json::Value V;
@@ -751,7 +783,8 @@ int cmdClient(const Options &O) {
   }
 
   if (O.Sources.empty())
-    return fail("client needs --source FILE.py (or --ping / --shutdown)");
+    return fail(
+        "client needs --source FILE.py (or --ping / --reload / --shutdown)");
   int Repeat = O.Repeat < 1 ? 1 : O.Repeat;
 
   // One job per (source × repeat), each over its own connection, all in
@@ -783,7 +816,7 @@ int cmdClient(const Options &O) {
   Threads.reserve(Jobs.size());
   for (Job &J : Jobs)
     Threads.emplace_back([&J, &O] {
-      J.Ok = roundTrip(O.Socket, J.Request, J.Response, &J.Error);
+      J.Ok = roundTrip(O, J.Request, J.Response, &J.Error);
     });
   for (std::thread &T : Threads)
     T.join();

@@ -2,14 +2,17 @@
 //
 // The deployment story of Fig. 1 as a long-lived process: load one model
 // artifact at startup (~ms thanks to the Annoy snapshot), then answer
-// newline-delimited JSON predict requests over a Unix-domain socket — or
-// stdin/stdout with --stdio — until SIGTERM. Concurrent requests coalesce
-// into batches served through Predictor::predictBatch, so responses are
-// bit-identical to one-shot `typilus_cli predict` while the pipeline
-// amortizes encoder and index work across requests.
+// newline-delimited JSON predict requests over a Unix-domain socket, TCP
+// (--port), or stdin/stdout with --stdio — until SIGTERM. Concurrent
+// requests coalesce into batches served through Predictor::predictBatch,
+// repeated (path, source) requests answer from an LRU response cache,
+// and SIGHUP (or a `reload` request) hot-swaps a freshly loaded artifact
+// without dropping queued requests. Responses are bit-identical to
+// one-shot `typilus_cli predict` on every transport.
 //
 //   typilus_serve --model model.typilus --socket /tmp/typilus.sock
-//   typilus_cli client --socket /tmp/typilus.sock --source file.py
+//   typilus_serve --model model.typilus --port 8401
+//   typilus_cli client --tcp 127.0.0.1:8401 --source file.py
 //
 // Shutdown (SIGTERM/SIGINT or a `shutdown` request) drains: accepting
 // stops, queued requests are answered, connections close, exit 0.
@@ -21,19 +24,15 @@
 #include "support/Socket.h"
 #include "support/ThreadPool.h"
 
-#include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <string>
 #include <vector>
 
-#include <poll.h>
 #include <unistd.h>
 
 using namespace typilus;
@@ -44,25 +43,38 @@ namespace {
 struct Options {
   std::string ModelPath;
   std::string SocketPath;
+  std::string Host = "127.0.0.1";
+  int Port = -1; ///< -1 = no TCP transport.
   bool Stdio = false;
   int Threads = 0;
   int MaxBatch = 16;
   long MaxRequestBytes = static_cast<long>(kDefaultMaxRequestBytes);
   int Limit = -1;
+  int CacheEntries = 1024;
+  int MaxQueue = 0;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --model PATH (--socket PATH | --stdio) [options]\n"
+      "usage: %s --model PATH (--socket PATH | --port N | --stdio) "
+      "[options]\n"
       "\n"
       "Long-lived serving daemon: loads the artifact once and answers\n"
       "newline-delimited JSON predict requests (protocol grammar in\n"
-      "docs/ARCHITECTURE.md). Options:\n"
+      "docs/ARCHITECTURE.md). --socket and --port may be combined; both\n"
+      "transports share one pipeline and one cache. SIGHUP reloads the\n"
+      "artifact from --model without dropping queued requests. Options:\n"
+      "  --host ADDR            TCP bind address (default 127.0.0.1)\n"
       "  --threads N            pool size (0 = hardware, 1 = serial)\n"
       "  --max-batch N          requests coalesced per dispatch (default 16)\n"
       "  --max-request-bytes N  per-line cap (default 4194304)\n"
-      "  --limit N              default candidates per symbol (-1 = all)\n",
+      "  --limit N              default candidates per symbol (-1 = all)\n"
+      "  --cache-entries N      response-cache capacity in distinct\n"
+      "                         (path, source) entries (default 1024,\n"
+      "                         0 = off)\n"
+      "  --max-queue N          shed predicts with an `overloaded` error\n"
+      "                         past this queue depth (default 0 = off)\n",
       Argv0);
   return 2;
 }
@@ -86,6 +98,14 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       if (!(V = Next("--socket")))
         return false;
       O.SocketPath = V;
+    } else if (A == "--port") {
+      if (!(V = Next("--port")))
+        return false;
+      O.Port = std::atoi(V);
+    } else if (A == "--host") {
+      if (!(V = Next("--host")))
+        return false;
+      O.Host = V;
     } else if (A == "--stdio") {
       O.Stdio = true;
     } else if (A == "--threads") {
@@ -104,6 +124,14 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       if (!(V = Next("--limit")))
         return false;
       O.Limit = std::atoi(V);
+    } else if (A == "--cache-entries") {
+      if (!(V = Next("--cache-entries")))
+        return false;
+      O.CacheEntries = std::atoi(V);
+    } else if (A == "--max-queue") {
+      if (!(V = Next("--max-queue")))
+        return false;
+      O.MaxQueue = std::atoi(V);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       return false;
@@ -113,146 +141,115 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
 }
 
 //===----------------------------------------------------------------------===//
-// Shutdown signaling: a self-pipe so SIGTERM/SIGINT (and the protocol's
-// `shutdown` method, from the dispatcher thread) wake the poll() loop
-// with nothing async-signal-unsafe in the handler.
+// Signal handling: one self-pipe wakes the accept loop (or the stdio
+// LineReader) for both SIGTERM/SIGINT (drain + exit) and SIGHUP (hot
+// reload), with nothing async-signal-unsafe in the handlers. The wake
+// hooks drain the pipe and read these flags to decide which it was.
 //===----------------------------------------------------------------------===//
 
-int GShutdownPipe[2] = {-1, -1};
+int GWakePipe[2] = {-1, -1};
 std::atomic<bool> GStop{false};
+std::atomic<bool> GReload{false};
+
+void pokePipe() {
+  char B = 1;
+  // The pipe outlives every writer; a full pipe still wakes the poller.
+  (void)!write(GWakePipe[1], &B, 1);
+}
 
 void requestStop() {
   bool Expected = false;
-  if (GStop.compare_exchange_strong(Expected, true)) {
-    char B = 1;
-    // The pipe outlives every writer; a full pipe still wakes the poller.
-    (void)!write(GShutdownPipe[1], &B, 1);
-  }
+  if (GStop.compare_exchange_strong(Expected, true))
+    pokePipe();
 }
 
-void onSignal(int) { requestStop(); }
+void onTermSignal(int) { requestStop(); }
+
+void onHupSignal(int) {
+  bool Expected = false;
+  if (GReload.compare_exchange_strong(Expected, true))
+    pokePipe();
+}
+
+void drainWakePipe() {
+  char Buf[64];
+  (void)!read(GWakePipe[0], Buf, sizeof(Buf));
+}
+
+/// Submits a reload request on behalf of a SIGHUP (no client, no id);
+/// the outcome is logged instead of answered.
+void submitSignalReload(Server &S) {
+  Request R;
+  R.Id = -1;
+  R.M = Method::Reload;
+  S.submit(std::move(R), [](std::string Resp) {
+    std::fprintf(stderr, "typilus_serve: SIGHUP reload: %s", Resp.c_str());
+  });
+}
+
+/// Shared SIGTERM/SIGHUP dispatch for both transports' wake hooks.
+/// \returns true when the daemon should begin its drain.
+bool handleWake(Server &S) {
+  drainWakePipe();
+  if (GStop.load())
+    return true;
+  if (GReload.exchange(false))
+    submitSignalReload(S);
+  return false;
+}
 
 //===----------------------------------------------------------------------===//
-// Connection handling
-//===----------------------------------------------------------------------===//
-
-/// One client connection: the fd to answer on plus a write lock (the
-/// reader thread answers protocol errors itself while the dispatcher
-/// writes results). `Owned` is set in socket mode only — stdio borrows
-/// stdout and must not close it.
-struct Conn {
-  FileDesc Owned;
-  int Fd = -1;
-  std::mutex WriteMu;
-  std::atomic<bool> ReaderDone{false};
-
-  void send(const std::string &Line) {
-    std::lock_guard<std::mutex> L(WriteMu);
-    // A vanished client is not an error worth acting on: its requests
-    // still drain, their responses just go nowhere.
-    (void)writeAll(Fd, Line);
-  }
-};
-
-//===----------------------------------------------------------------------===//
-// Modes (both drive serve::serveStream; only the transport differs)
+// Modes (all drive serve::serveStream; only the transport differs)
 //===----------------------------------------------------------------------===//
 
 int runStdio(Server &S, const Options &O) {
-  auto C = std::make_shared<Conn>();
-  C->Fd = STDOUT_FILENO; // borrowed, never closed
-  serveStream(STDIN_FILENO, static_cast<size_t>(O.MaxRequestBytes), S,
-              [C](std::string Resp) { C->send(Resp); }, &GStop,
-              /*WakeFd=*/GShutdownPipe[0]);
+  // stdout is borrowed, never closed; a write lock serializes the
+  // reader's protocol errors with the dispatcher's responses.
+  auto WriteMu = std::make_shared<std::mutex>();
+  serveStream(
+      STDIN_FILENO, static_cast<size_t>(O.MaxRequestBytes), S,
+      [WriteMu](std::string Resp) {
+        std::lock_guard<std::mutex> L(*WriteMu);
+        (void)writeAll(STDOUT_FILENO, Resp);
+      },
+      &GStop, /*WakeFd=*/GWakePipe[0], /*OnWake=*/[&S] { return handleWake(S); });
   S.stop(); // drain: every submitted request is answered
   return 0;
 }
 
-int runSocket(Server &S, const Options &O) {
-  UnixListener L;
+int runListeners(Server &S, const Options &O) {
+  UnixListener UL;
+  TcpListener TL;
+  std::vector<int> ListenFds;
   std::string Err;
-  if (!L.listenOn(O.SocketPath, &Err)) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
+  if (!O.SocketPath.empty()) {
+    if (!UL.listenOn(O.SocketPath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    ListenFds.push_back(UL.fd());
+    std::printf("typilus_serve: listening on %s\n", O.SocketPath.c_str());
   }
-  std::printf("typilus_serve: listening on %s\n", O.SocketPath.c_str());
+  if (O.Port >= 0) {
+    if (!TL.listenOn(O.Host, static_cast<uint16_t>(O.Port), &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    ListenFds.push_back(TL.fd());
+    std::printf("typilus_serve: listening on %s:%u\n", O.Host.c_str(),
+                static_cast<unsigned>(TL.port()));
+  }
   std::fflush(stdout);
 
-  // Reader threads are detached; this counter (with its cv) is how the
-  // drain waits for all of them, and dead connections are pruned on each
-  // accept so a long-lived daemon's memory does not grow with its
-  // connection history.
-  std::mutex ConnsMu;
-  std::condition_variable ReapCV;
-  int ActiveReaders = 0;
-  std::vector<std::shared_ptr<Conn>> Conns;
-
-  pollfd Fds[2];
-  Fds[0].fd = L.fd();
-  Fds[0].events = POLLIN;
-  Fds[1].fd = GShutdownPipe[0];
-  Fds[1].events = POLLIN;
-  while (!GStop.load()) {
-    Fds[0].revents = Fds[1].revents = 0;
-    int N = ::poll(Fds, 2, -1);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
-    }
-    if (Fds[1].revents || GStop.load())
-      break;
-    if (!Fds[0].revents)
-      continue;
-    FileDesc C = L.acceptConn();
-    if (!C.valid())
-      continue;
-    auto Shared = std::make_shared<Conn>();
-    Shared->Owned = std::move(C);
-    Shared->Fd = Shared->Owned.fd();
-    // A client that stops reading must not stall the dispatcher (or the
-    // SIGTERM drain) behind a full socket buffer: after this much
-    // back-pressure its response write fails and is dropped.
-    setSendTimeout(Shared->Fd, /*Seconds=*/30);
-    {
-      std::lock_guard<std::mutex> G(ConnsMu);
-      // Prune connections whose reader finished and whose responses all
-      // went out (ours is then the only reference left).
-      Conns.erase(std::remove_if(Conns.begin(), Conns.end(),
-                                 [](const std::shared_ptr<Conn> &P) {
-                                   return P->ReaderDone.load() &&
-                                          P.use_count() == 1;
-                                 }),
-                  Conns.end());
-      Conns.push_back(Shared);
-      ++ActiveReaders;
-    }
-    std::thread([Shared, &S, &O, &ConnsMu, &ReapCV, &ActiveReaders] {
-      serveStream(Shared->Fd, static_cast<size_t>(O.MaxRequestBytes), S,
-                  [Shared](std::string Resp) { Shared->send(Resp); });
-      Shared->ReaderDone = true;
-      {
-        // Notify under the lock: the drain destroys the cv right after
-        // its wait returns, so the notify must complete before this
-        // thread releases the mutex that wakes it.
-        std::lock_guard<std::mutex> G(ConnsMu);
-        --ActiveReaders;
-        ReapCV.notify_all();
-      }
-    }).detach();
-  }
-
-  // Drain-first shutdown: stop accepting, EOF the readers (write sides
-  // stay open for in-flight responses), wait for them to finish
-  // submitting, finish the queue, then close.
-  L.close();
-  {
-    std::unique_lock<std::mutex> G(ConnsMu);
-    for (auto &C : Conns)
-      C->Owned.shutdownRead();
-    ReapCV.wait(G, [&] { return ActiveReaders == 0; });
-  }
-  S.stop();
+  AcceptLoopOptions AO;
+  AO.MaxRequestBytes = static_cast<size_t>(O.MaxRequestBytes);
+  AO.WakeFd = GWakePipe[0];
+  AO.OnWake = [&S] { return handleWake(S); };
+  AO.OnDrainStart = [&UL, &TL] {
+    UL.close();
+    TL.close();
+  };
+  acceptLoop(ListenFds, S, AO);
   std::printf("typilus_serve: drained, exiting\n");
   return 0;
 }
@@ -263,20 +260,23 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseOptions(Argc, Argv, O))
     return 2;
-  if (O.ModelPath.empty() || (O.SocketPath.empty() && !O.Stdio) ||
-      (!O.SocketPath.empty() && O.Stdio))
+  bool HaveListener = !O.SocketPath.empty() || O.Port >= 0;
+  if (O.ModelPath.empty() || (!HaveListener && !O.Stdio) ||
+      (HaveListener && O.Stdio))
     return usage(Argv[0]);
 
-  if (::pipe(GShutdownPipe) != 0) {
+  if (::pipe(GWakePipe) != 0) {
     std::perror("pipe");
     return 1;
   }
   std::signal(SIGPIPE, SIG_IGN);
   struct sigaction SA;
   std::memset(&SA, 0, sizeof(SA));
-  SA.sa_handler = onSignal;
+  SA.sa_handler = onTermSignal;
   sigaction(SIGTERM, &SA, nullptr);
   sigaction(SIGINT, &SA, nullptr);
+  SA.sa_handler = onHupSignal;
+  sigaction(SIGHUP, &SA, nullptr);
 
   setGlobalNumThreads(O.Threads);
 
@@ -293,19 +293,40 @@ int main(int Argc, char **Argv) {
   // In stdio mode stdout IS the response channel — NDJSON only; human
   // chatter goes to stderr there.
   std::fprintf(O.Stdio ? stderr : stdout,
-               "typilus_serve: loaded %s (%s/%s, D=%d%s, max-batch %d)\n",
+               "typilus_serve: loaded %s (%s/%s, D=%d%s, max-batch %d, "
+               "cache %d, max-queue %d)\n",
                O.ModelPath.c_str(), encoderKindName(MC.Encoder),
                lossKindName(MC.Loss), MC.HiddenDim,
-               P->isKnn() ? ", kNN" : ", classifier", O.MaxBatch);
+               P->isKnn() ? ", kNN" : ", classifier", O.MaxBatch,
+               O.CacheEntries, O.MaxQueue);
   std::fflush(O.Stdio ? stderr : stdout);
 
   ServerOptions SO;
   SO.MaxBatch = O.MaxBatch;
   SO.Limit = O.Limit;
+  SO.CacheEntries = O.CacheEntries;
+  SO.MaxQueue = O.MaxQueue;
   SO.OnShutdown = [] { requestStop(); };
+  // Hot reload: re-read the artifact from the path given at startup.
+  // Runs on the dispatcher thread; failure keeps the current artifact.
+  std::string ModelPath = O.ModelPath;
+  int Threads = O.Threads;
+  SO.OnReload = [ModelPath, Threads,
+                 Stdio = O.Stdio](std::string *Err) -> std::shared_ptr<Predictor> {
+    std::shared_ptr<Predictor> NewP = Predictor::load(ModelPath, Err);
+    if (!NewP)
+      return nullptr;
+    KnnOptions KO = NewP->knnOptions();
+    KO.NumThreads = Threads;
+    NewP->setKnnOptions(KO);
+    std::fprintf(Stdio ? stderr : stdout, "typilus_serve: reloaded %s\n",
+                 ModelPath.c_str());
+    std::fflush(Stdio ? stderr : stdout);
+    return NewP;
+  };
   Server S(*P, *P->universe(), SO);
 
-  int Rc = O.Stdio ? runStdio(S, O) : runSocket(S, O);
+  int Rc = O.Stdio ? runStdio(S, O) : runListeners(S, O);
   S.stop();
   return Rc;
 }
