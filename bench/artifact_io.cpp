@@ -64,7 +64,7 @@ int main() {
   }
   double SaveSec = secondsSince(T0) / Reps;
 
-  ArchiveWriter Probe(kModelArtifactVersion);
+  ArchiveWriter Probe(P.artifactVersion());
   P.writeArtifact(Probe, *WB.U);
   double Bytes = static_cast<double>(Probe.bytes().size());
 
@@ -80,6 +80,62 @@ int main() {
     }
   }
   double LoadSec = secondsSince(T0) / Reps;
+
+  // Quantized τmap stores: artifact size, save/load, and end-to-end
+  // prediction time per marker encoding. f16 halves and int8 quarters the
+  // dominant chunk; the scan decodes inside the distance kernel, so the
+  // quantized rows also show the smaller-memory-traffic effect.
+  TextTable QT;
+  QT.setHeader({"τmap store", "size (KiB)", "vs f32", "save (ms)", "load (ms)",
+                "predict test split (ms)"});
+  double F32Bytes = 0;
+  for (MarkerStore S :
+       {MarkerStore::F32, MarkerStore::F16, MarkerStore::Int8}) {
+    std::unique_ptr<Predictor> Q = Predictor::load(Path, &Err);
+    if (!Q) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    if (S != MarkerStore::F32 && !Q->setMarkerStore(S, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    const std::string QPath = "bench_artifact_io_q.typilus";
+    // A loaded predictor's types are interned in its own universe, not the
+    // workbench's.
+    const TypeUniverse &QU = *Q->universe();
+    T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I != Reps; ++I)
+      if (!Q->save(QPath, QU, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+    double QSaveSec = secondsSince(T0) / Reps;
+    ArchiveWriter QProbe(Q->artifactVersion());
+    Q->writeArtifact(QProbe, QU);
+    double QBytes = static_cast<double>(QProbe.bytes().size());
+    if (S == MarkerStore::F32)
+      F32Bytes = QBytes;
+    T0 = std::chrono::steady_clock::now();
+    std::unique_ptr<Predictor> QL;
+    for (int I = 0; I != Reps; ++I) {
+      QL = Predictor::load(QPath, &Err);
+      if (!QL) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 1;
+      }
+    }
+    double QLoadSec = secondsSince(T0) / Reps;
+    T0 = std::chrono::steady_clock::now();
+    auto Preds = QL->predictAll(WB.DS.Test);
+    double QPredictSec = secondsSince(T0);
+    std::remove(QPath.c_str());
+    QT.addRow({markerStoreName(S), strformat("%.1f", QBytes / 1024.0),
+               strformat("%.2fx", F32Bytes / QBytes),
+               strformat("%.2f", QSaveSec * 1e3),
+               strformat("%.2f", QLoadSec * 1e3),
+               strformat("%.2f (%zu preds)", QPredictSec * 1e3, Preds.size())});
+  }
   std::remove(Path.c_str());
 
   TextTable T;
@@ -98,5 +154,8 @@ int main() {
   std::printf("%s", T.renderAscii().c_str());
   std::printf("\n(load skips both the map-file embedding and the Annoy "
               "forest rebuild; predictions are bit-identical either way)\n");
+  std::printf("\nQuantized τmap stores (format v2; f32 stays the v1 byte "
+              "stream):\n%s",
+              QT.renderAscii().c_str());
   return 0;
 }

@@ -98,5 +98,43 @@ int main() {
               Median, Queries.size(), T.renderAscii().c_str());
   std::printf("\nPaper: small k hurts (top row strongly negative); larger k "
               "with moderate-to-large p gives the best cells.\n");
+
+  // Quantized τmap stores at a fixed good cell (k=10, p=1.0): what does
+  // shrinking the markers to f16/int8 cost in accuracy? The distance scan
+  // decodes inside the kernel, so this measures the real serving path.
+  const int QK = 10;
+  const double QP = 1.0;
+  TextTable QT;
+  QT.setHeader({"τmap store", "match-up-to-parametric (%)", "Δ vs f32 (pp)",
+                "marker bytes"});
+  double F32Score = 0;
+  for (MarkerStore S :
+       {MarkerStore::F32, MarkerStore::F16, MarkerStore::Int8}) {
+    TypeMap QMap = Map;
+    if (S != MarkerStore::F32)
+      QMap.quantize(S);
+    ExactIndex QIndex(QMap);
+    double Hits = 0;
+    for (size_t Q = 0; Q != Queries.size(); ++Q) {
+      auto Scored =
+          scoreNeighbors(QMap, QIndex.query(Queries[Q].data(), QK), QP);
+      if (Scored.empty())
+        continue;
+      Hits += WB.U->erase(Scored.front().Type) ==
+                      WB.U->erase(QueryTargets[Q]->Type)
+                  ? 1
+                  : 0;
+    }
+    double Pct =
+        100.0 * Hits / static_cast<double>(std::max<size_t>(Queries.size(), 1));
+    if (S == MarkerStore::F32)
+      F32Score = Pct;
+    QT.addRow({markerStoreName(S), strformat("%.2f", Pct),
+               strformat("%+.2f", Pct - F32Score),
+               strformat("%zu", QMap.storageBytes())});
+  }
+  std::printf("\nQuantized τmap accuracy at k=%d, p=%.1f (paper-faithful "
+              "lookup, smaller markers):\n%s",
+              QK, QP, QT.renderAscii().c_str());
   return 0;
 }

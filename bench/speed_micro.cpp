@@ -15,6 +15,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
+#include "nn/Kernels.h"
+#include "nn/Simd.h"
 #include "pyfront/Parser.h"
 #include "support/ThreadPool.h"
 
@@ -162,6 +164,157 @@ BENCHMARK(BM_AnnoyBuild)
     ->Unit(benchmark::kMillisecond);
 
 //===--------------------------------------------------------------------===//
+// SIMD vs scalar (single thread, so the rows isolate the ISA dispatch win
+// from the thread-pool win measured above)
+//===--------------------------------------------------------------------===//
+
+/// Pins the dispatch table for one bench run; restores the startup
+/// selection (SIMD when available) afterwards.
+struct SimdPin {
+  explicit SimdPin(bool Simd) { nn::simd::setSimdEnabled(Simd); }
+  ~SimdPin() { nn::simd::setSimdEnabled(true); }
+};
+
+/// GEMM through the dispatch table. Arg0 = simd (0 = scalar reference).
+void BM_GemmSimd(benchmark::State &State) {
+  SimdPin Pin(State.range(0) != 0);
+  setGlobalNumThreads(1);
+  const int64_t D = 192;
+  Rng R(9);
+  Tensor A = Tensor::randn(D, D, R, 1.f), B = Tensor::randn(D, D, R, 1.f);
+  Tensor C(D, D);
+  for (auto _ : State) {
+    gemm(false, false, D, D, D, 1.f, A.data(), B.data(), 0.f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * 2 * D * D * D);
+}
+BENCHMARK(BM_GemmSimd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Shared body for the fused activation benches: refill from the same
+/// random source each iteration (both arms pay the same memcpy), then run
+/// the in-place kernel.
+template <void (*Kernel)(float *, int64_t)>
+void activationBench(benchmark::State &State) {
+  SimdPin Pin(State.range(0) != 0);
+  setGlobalNumThreads(1);
+  const int64_t N = 1 << 16;
+  Rng R(11);
+  std::vector<float> Src(static_cast<size_t>(N)), X(static_cast<size_t>(N));
+  for (float &V : Src)
+    V = static_cast<float>(R.normal());
+  for (auto _ : State) {
+    std::memcpy(X.data(), Src.data(), static_cast<size_t>(N) * 4);
+    Kernel(X.data(), N);
+    benchmark::DoNotOptimize(X.data());
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+void BM_SigmoidSimd(benchmark::State &State) {
+  activationBench<nn::kernels::sigmoidForward>(State);
+}
+BENCHMARK(BM_SigmoidSimd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TanhSimd(benchmark::State &State) { activationBench<nn::kernels::tanhForward>(State); }
+BENCHMARK(BM_TanhSimd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Row-wise softmax (the attention/scoring shape). Arg0 = simd.
+void BM_SoftmaxSimd(benchmark::State &State) {
+  SimdPin Pin(State.range(0) != 0);
+  setGlobalNumThreads(1);
+  const int64_t Rows = 256, Cols = 256;
+  Rng R(12);
+  std::vector<float> Src(static_cast<size_t>(Rows * Cols)),
+      X(static_cast<size_t>(Rows * Cols));
+  for (float &V : Src)
+    V = static_cast<float>(R.normal());
+  for (auto _ : State) {
+    std::memcpy(X.data(), Src.data(), static_cast<size_t>(Rows * Cols) * 4);
+    nn::kernels::softmaxRowsInPlace(X.data(), Rows, Cols);
+    benchmark::DoNotOptimize(X.data());
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * Rows * Cols);
+}
+BENCHMARK(BM_SoftmaxSimd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// All-pairs L1 (the clustering inner loop). Arg0 = simd.
+void BM_PairwiseL1Simd(benchmark::State &State) {
+  SimdPin Pin(State.range(0) != 0);
+  setGlobalNumThreads(1);
+  const int64_t Rows = 256, D = 64;
+  Rng R(13);
+  std::vector<float> A(static_cast<size_t>(Rows * D));
+  for (float &V : A)
+    V = static_cast<float>(R.normal());
+  std::vector<float> Out(static_cast<size_t>(Rows * Rows));
+  for (auto _ : State) {
+    nn::kernels::pairwiseL1(Out.data(), A.data(), Rows, D);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  setGlobalNumThreads(0);
+  State.SetItemsProcessed(State.iterations() * Rows * Rows);
+}
+BENCHMARK(BM_PairwiseL1Simd)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full-τmap L1 scan against one query, per marker store. Arg0 = store
+/// (0 = f32, 1 = f16, 2 = int8), Arg1 = simd. The f16/int8 rows measure
+/// the quantized scan: less memory traffic per marker, decode fused into
+/// the distance kernel.
+void BM_TmapScanSimd(benchmark::State &State) {
+  SimdPin Pin(State.range(1) != 0);
+  const auto Store = static_cast<MarkerStore>(State.range(0));
+  const int NumMarkers = 20000, D = 32;
+  TypeUniverse U;
+  TypeMap Map = makeFilledMap(U, NumMarkers, D, 7);
+  if (Store != MarkerStore::F32)
+    Map.quantize(Store);
+  Rng R(8);
+  std::vector<float> Q(static_cast<size_t>(D));
+  for (float &X : Q)
+    X = static_cast<float>(R.normal());
+  for (auto _ : State) {
+    float Acc = 0;
+    for (size_t I = 0; I != Map.size(); ++I)
+      Acc += Map.l1DistanceTo(Q.data(), I);
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * NumMarkers);
+}
+BENCHMARK(BM_TmapScanSimd)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->ArgNames({"store", "simd"})
+    ->Unit(benchmark::kMicrosecond);
+
+//===--------------------------------------------------------------------===//
 // End-to-end benches (the paper's Sec. 6.1 comparison)
 //===--------------------------------------------------------------------===//
 
@@ -270,8 +423,9 @@ int main(int argc, char **argv) {
     }
     Args.push_back(argv[I]);
   }
-  std::string Filter =
-      "--benchmark_filter=BM_(MatmulKernel|GgnnStep|KnnQueryBatch|AnnoyBuild)";
+  std::string Filter = "--benchmark_filter=BM_(MatmulKernel|GgnnStep|"
+                       "KnnQueryBatch|AnnoyBuild|GemmSimd|SigmoidSimd|"
+                       "TanhSimd|SoftmaxSimd|PairwiseL1Simd|TmapScanSimd)";
   if (Quick)
     Args.push_back(Filter.data());
   int ArgC = static_cast<int>(Args.size());

@@ -66,6 +66,13 @@ Predictor Predictor::knn(TypeModel &Model, ExampleSource &MapFiles,
                    Targets[F][I]->Type);
     }
   }
+  // τmap compaction, in order: bound the marker count over the exact f32
+  // coordinates first, then (optionally) quantize the survivors, then
+  // build the index over whatever representation will actually serve.
+  if (Opts.MaxMarkers > 0)
+    P.Map->subsampleCoreset(Opts.MaxMarkers);
+  if (Opts.Store != MarkerStore::F32)
+    P.Map->quantize(Opts.Store);
   P.rebuildIndex();
   return P;
 }
@@ -102,7 +109,12 @@ void Predictor::writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const {
   W.endChunk();
 
   if (IsKnn) {
-    W.beginChunk("tmap");
+    // The chunk tag encodes the marker store, so a reader knows the
+    // payload layout before parsing it: "tmap" is the unchanged f32
+    // stream, "tm16"/"tmq8" the version-2 quantized forms.
+    W.beginChunk(Map->store() == MarkerStore::F32   ? "tmap"
+                 : Map->store() == MarkerStore::F16 ? "tm16"
+                                                    : "tmq8");
     Map->save(W, TypeIds);
     W.endChunk();
     if (Annoy) {
@@ -115,9 +127,14 @@ void Predictor::writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const {
   }
 }
 
+uint32_t Predictor::artifactVersion() const {
+  bool Quantized = IsKnn && Map && Map->store() != MarkerStore::F32;
+  return Quantized ? 2 : 1;
+}
+
 bool Predictor::save(const std::string &Path, const TypeUniverse &U,
                      std::string *Err) const {
-  ArchiveWriter W(kModelArtifactVersion);
+  ArchiveWriter W(artifactVersion());
   writeArtifact(W, U);
   return W.writeFile(Path, Err);
 }
@@ -128,10 +145,12 @@ std::unique_ptr<Predictor> Predictor::load(const ArchiveReader &R,
   // most specific — failure is the one reported. Start from a clean slate.
   if (Err)
     Err->clear();
-  if (R.formatVersion() != kModelArtifactVersion) {
+  if (R.formatVersion() < kModelArtifactVersionMin ||
+      R.formatVersion() > kModelArtifactVersion) {
     if (Err)
       *Err = "artifact format version " + std::to_string(R.formatVersion()) +
-             "; this build reads version " +
+             "; this build reads versions " +
+             std::to_string(kModelArtifactVersionMin) + ".." +
              std::to_string(kModelArtifactVersion);
     return nullptr;
   }
@@ -163,9 +182,22 @@ std::unique_ptr<Predictor> Predictor::load(const ArchiveReader &R,
     return P;
 
   P->Map = std::make_unique<TypeMap>(P->Model->config().HiddenDim);
-  ArchiveCursor TC = R.chunk("tmap", Err);
-  if (!P->Map->load(TC, ById, Err))
+  // Exactly one τmap chunk is present; its tag names the store. Probing
+  // for the quantized tags first keeps the common f32 miss cheap and
+  // makes the "missing chunk" error name the canonical tag.
+  MarkerStore Store = MarkerStore::F32;
+  const char *Tag = "tmap";
+  if (R.hasChunk("tm16")) {
+    Store = MarkerStore::F16;
+    Tag = "tm16";
+  } else if (R.hasChunk("tmq8")) {
+    Store = MarkerStore::Int8;
+    Tag = "tmq8";
+  }
+  ArchiveCursor TC = R.chunk(Tag, Err);
+  if (!P->Map->load(TC, ById, Err, Store))
     return nullptr;
+  P->Knn.Store = P->Map->store();
   if (P->Map->dim() != P->Model->config().HiddenDim) {
     if (Err)
       *Err = "type-map dimensionality does not match the model";
@@ -215,6 +247,28 @@ void Predictor::setKnnOptions(const KnnOptions &O) {
     rebuildIndex();
 }
 
+bool Predictor::setMarkerStore(MarkerStore S, std::string *Err) {
+  if (!IsKnn || !Map) {
+    if (Err)
+      *Err = "marker storage formats apply to kNN predictors only";
+    return false;
+  }
+  if (Map->store() == S)
+    return true;
+  if (Map->store() != MarkerStore::F32) {
+    if (Err)
+      *Err = std::string("cannot requantize a ") +
+             markerStoreName(Map->store()) + " type map to " +
+             markerStoreName(S) +
+             "; quantization is one-way (start from the f32 artifact)";
+    return false;
+  }
+  Map->quantize(S);
+  Knn.Store = S;
+  rebuildIndex();
+  return true;
+}
+
 void Predictor::addMarker(const float *Embedding, TypeRef T) {
   assert(IsKnn && "markers only apply to kNN predictors");
   if (Map->add(Embedding, T)) // a deduped duplicate changes nothing
@@ -228,7 +282,7 @@ void Predictor::addMarkersFrom(const FileExample &File) {
   if (!Emb.defined())
     return;
   const Tensor &E = Emb.val();
-  Map->reserve(Targets.size());
+  Map->reserve(Map->size() + Targets.size()); // reserve() takes a total
   bool Added = false;
   for (size_t I = 0; I != Targets.size(); ++I)
     Added |= Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),

@@ -35,9 +35,17 @@ namespace typilus {
 
 /// Payload format version of model artifacts (the `typilus` CLI's
 /// .typilus files). Bump when the meaning of any chunk changes; loaders
-/// reject other versions with a clear error (see docs/ARCHITECTURE.md
+/// accept [kModelArtifactVersionMin, kModelArtifactVersion] and reject
+/// anything else with a clear error (see docs/ARCHITECTURE.md
 /// "Artifacts & versioning").
-inline constexpr uint32_t kModelArtifactVersion = 1;
+///
+/// Version history:
+///   1 — initial chunked format (tuni/parm-family/pred/tmap/anny).
+///   2 — adds the quantized τmap chunks tm16/tmq8. Writers stamp 2 only
+///       when such a chunk is present, so f32 artifacts remain
+///       byte-identical to version-1 writers (Predictor::artifactVersion).
+inline constexpr uint32_t kModelArtifactVersion = 2;
+inline constexpr uint32_t kModelArtifactVersionMin = 1;
 
 /// Candidate predictions for one target symbol. Self-contained: results
 /// carry stable copies/ids (file path, target index, symbol facts)
@@ -71,6 +79,14 @@ struct KnnOptions {
   /// serial). The pool itself is sized by setGlobalNumThreads /
   /// TrainOptions::NumThreads. Results are identical for any value.
   int NumThreads = 0;
+  /// Marker storage format. Applied once by Predictor::knn after the map
+  /// is filled (subsample, then quantize, then build the index); on a
+  /// loaded predictor it reflects the artifact's actual store. Changing
+  /// it through setKnnOptions has no effect — quantization is one-way.
+  MarkerStore Store = MarkerStore::F32;
+  /// Caps the τmap at this many markers via coreset subsampling before
+  /// quantization (0 = keep every marker).
+  size_t MaxMarkers = 0;
 };
 
 /// Inference engine for one trained model.
@@ -104,6 +120,12 @@ public:
   /// chunks of their own, as the CLI does with its corpus recipe).
   static std::unique_ptr<Predictor> load(const ArchiveReader &R,
                                          std::string *Err);
+
+  /// The payload format version save() stamps for *this* predictor: 1
+  /// unless a quantized τmap forces the new chunk kinds, so f32 artifacts
+  /// stay byte-identical to what version-1 writers produced (the CI
+  /// digest-equality checks pin exactly this).
+  uint32_t artifactVersion() const;
 
   /// Writes the complete serving artifact to \p Path. \p U must be the
   /// universe the model's (and τmap's) types were interned in.
@@ -149,6 +171,14 @@ public:
   const TypeMap &typeMap() const { return *Map; }
   const KnnOptions &knnOptions() const { return Knn; }
   void setKnnOptions(const KnnOptions &O);
+
+  /// Quantizes the τmap to \p S and rebuilds the index — the CLI's
+  /// `save --tmap-store` path: requantize an f32 artifact without
+  /// retraining. No-op when already stored as \p S. \returns false and
+  /// sets \p Err for non-kNN predictors or a map already quantized to a
+  /// different store (quantization is one-way; start from the f32
+  /// artifact).
+  bool setMarkerStore(MarkerStore S, std::string *Err);
 
 private:
   explicit Predictor(TypeModel &Model) : Model(&Model) {}

@@ -2,21 +2,41 @@
 
 #include "knn/TypeMap.h"
 
+#include "nn/Simd.h"
+#include "support/Float16.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <queue>
 
 using namespace typilus;
 
-static float l1Distance(const float *A, const float *B, int D) {
-  float Sum = 0;
-  for (int I = 0; I != D; ++I)
-    Sum += std::fabs(A[I] - B[I]);
-  return Sum;
+const char *typilus::markerStoreName(MarkerStore S) {
+  switch (S) {
+  case MarkerStore::F32:
+    return "f32";
+  case MarkerStore::F16:
+    return "f16";
+  case MarkerStore::Int8:
+    return "int8";
+  }
+  return "f32";
+}
+
+bool typilus::parseMarkerStore(std::string_view Name, MarkerStore *Out) {
+  if (Name == "f32")
+    *Out = MarkerStore::F32;
+  else if (Name == "f16")
+    *Out = MarkerStore::F16;
+  else if (Name == "int8")
+    *Out = MarkerStore::Int8;
+  else
+    return false;
+  return true;
 }
 
 std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
@@ -49,18 +69,87 @@ std::vector<ScoredType> typilus::scoreNeighbors(const TypeMap &Map,
   return Result;
 }
 
-uint64_t TypeMap::markerHash(const float *Embedding, TypeRef T) const {
-  // FNV-1a over the embedding's byte pattern mixed with the interned
-  // type pointer (stable within a process, which is all the index needs).
-  uint64_t H = 0xCBF29CE484222325ull;
-  const unsigned char *P = reinterpret_cast<const unsigned char *>(Embedding);
-  for (size_t I = 0, N = static_cast<size_t>(D) * sizeof(float); I != N; ++I) {
-    H ^= P[I];
-    H *= 0x100000001B3ull;
+//===----------------------------------------------------------------------===//
+// TypeMap: storage, dedup, quantization
+//===----------------------------------------------------------------------===//
+
+float TypeMap::coord(size_t I, int Dim) const {
+  size_t At = I * static_cast<size_t>(D) + static_cast<size_t>(Dim);
+  switch (Store) {
+  case MarkerStore::F32:
+    return Flat[At];
+  case MarkerStore::F16:
+    return f16BitsToF32(FlatF16[At]);
+  case MarkerStore::Int8:
+    return Scales[I] * static_cast<float>(FlatI8[At]);
   }
+  return 0.f;
+}
+
+void TypeMap::decodeEmbedding(size_t I, float *Out) const {
+  size_t Base = I * static_cast<size_t>(D);
+  switch (Store) {
+  case MarkerStore::F32:
+    std::memcpy(Out, Flat.data() + Base, static_cast<size_t>(D) * 4);
+    return;
+  case MarkerStore::F16:
+    for (int K = 0; K != D; ++K)
+      Out[K] = f16BitsToF32(FlatF16[Base + static_cast<size_t>(K)]);
+    return;
+  case MarkerStore::Int8:
+    for (int K = 0; K != D; ++K)
+      Out[K] =
+          Scales[I] * static_cast<float>(FlatI8[Base + static_cast<size_t>(K)]);
+    return;
+  }
+}
+
+float TypeMap::l1DistanceTo(const float *Q, size_t I) const {
+  const nn::simd::KernelTable &KT = nn::simd::active();
+  size_t Base = I * static_cast<size_t>(D);
+  switch (Store) {
+  case MarkerStore::F32:
+    return KT.L1(Q, Flat.data() + Base, D);
+  case MarkerStore::F16:
+    return KT.L1F16(Q, FlatF16.data() + Base, D);
+  case MarkerStore::Int8:
+    return KT.L1I8(Q, FlatI8.data() + Base, Scales[I], D);
+  }
+  return 0.f;
+}
+
+uint64_t TypeMap::rowHash(const void *Row, size_t NumBytes, float Scale,
+                          TypeRef T) const {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != N; ++I) {
+      H ^= P[I];
+      H *= 0x100000001B3ull;
+    }
+  };
+  if (Store == MarkerStore::Int8)
+    Mix(&Scale, sizeof(Scale));
+  Mix(Row, NumBytes);
   H ^= reinterpret_cast<uintptr_t>(T);
   H *= 0x100000001B3ull;
   return H;
+}
+
+uint64_t TypeMap::storedHash(size_t I) const {
+  size_t Base = I * static_cast<size_t>(D);
+  switch (Store) {
+  case MarkerStore::F32:
+    return rowHash(Flat.data() + Base, static_cast<size_t>(D) * 4, 0.f,
+                   Types[I]);
+  case MarkerStore::F16:
+    return rowHash(FlatF16.data() + Base, static_cast<size_t>(D) * 2, 0.f,
+                   Types[I]);
+  case MarkerStore::Int8:
+    return rowHash(FlatI8.data() + Base, static_cast<size_t>(D), Scales[I],
+                   Types[I]);
+  }
+  return 0;
 }
 
 void TypeMap::rebuildDedupIndex() {
@@ -69,13 +158,31 @@ void TypeMap::rebuildDedupIndex() {
   // adds dedupe against the loaded content without altering it).
   DedupIndex.clear();
   DedupIndexStale = false;
+  size_t RowBytes = static_cast<size_t>(D) *
+                    (Store == MarkerStore::F32   ? 4
+                     : Store == MarkerStore::F16 ? 2
+                                                 : 1);
+  auto RowPtr = [this](size_t I) -> const void * {
+    size_t Base = I * static_cast<size_t>(D);
+    switch (Store) {
+    case MarkerStore::F32:
+      return Flat.data() + Base;
+    case MarkerStore::F16:
+      return FlatF16.data() + Base;
+    case MarkerStore::Int8:
+      return FlatI8.data() + Base;
+    }
+    return nullptr;
+  };
   for (size_t I = 0; I != Types.size(); ++I) {
-    std::vector<int> &Bucket = DedupIndex[markerHash(embedding(I), Types[I])];
+    std::vector<int> &Bucket = DedupIndex[storedHash(I)];
     bool Seen = false;
     for (int J : Bucket)
       if (Types[static_cast<size_t>(J)] == Types[I] &&
-          std::memcmp(embedding(static_cast<size_t>(J)), embedding(I),
-                      static_cast<size_t>(D) * sizeof(float)) == 0) {
+          (Store != MarkerStore::Int8 ||
+           Scales[static_cast<size_t>(J)] == Scales[I]) &&
+          std::memcmp(RowPtr(static_cast<size_t>(J)), RowPtr(I), RowBytes) ==
+              0) {
         Seen = true;
         break;
       }
@@ -84,50 +191,292 @@ void TypeMap::rebuildDedupIndex() {
   }
 }
 
+float TypeMap::encodeI8Row(const float *Src, int8_t *Dst) const {
+  float MaxAbs = 0.f;
+  for (int K = 0; K != D; ++K)
+    MaxAbs = std::max(MaxAbs, std::fabs(Src[K]));
+  // All-zero (or non-finite-free degenerate) rows get scale 0 and all-zero
+  // codes; decode reproduces them exactly.
+  float Scale = MaxAbs == 0.f ? 0.f : MaxAbs / 127.f;
+  for (int K = 0; K != D; ++K) {
+    long Q = Scale == 0.f ? 0 : std::lround(Src[K] / Scale);
+    Dst[K] = static_cast<int8_t>(std::min(127l, std::max(-127l, Q)));
+  }
+  return Scale;
+}
+
 bool TypeMap::add(const float *Embedding, TypeRef T) {
   if (DedupIndexStale)
     rebuildDedupIndex();
-  std::vector<int> &Bucket = DedupIndex[markerHash(Embedding, T)];
+  // Encode the candidate into the store's representation first; dedup
+  // compares encoded rows, so post-rounding collisions also collapse.
+  std::vector<uint16_t> EncF16;
+  std::vector<int8_t> EncI8;
+  float Scale = 0.f;
+  const void *Row = Embedding;
+  size_t RowBytes = static_cast<size_t>(D) * 4;
+  if (Store == MarkerStore::F16) {
+    EncF16.resize(static_cast<size_t>(D));
+    for (int K = 0; K != D; ++K)
+      EncF16[static_cast<size_t>(K)] = f32ToF16Bits(Embedding[K]);
+    Row = EncF16.data();
+    RowBytes = static_cast<size_t>(D) * 2;
+  } else if (Store == MarkerStore::Int8) {
+    EncI8.resize(static_cast<size_t>(D));
+    Scale = encodeI8Row(Embedding, EncI8.data());
+    Row = EncI8.data();
+    RowBytes = static_cast<size_t>(D);
+  }
+  auto StoredRow = [this](size_t I) -> const void * {
+    size_t Base = I * static_cast<size_t>(D);
+    switch (Store) {
+    case MarkerStore::F32:
+      return Flat.data() + Base;
+    case MarkerStore::F16:
+      return FlatF16.data() + Base;
+    case MarkerStore::Int8:
+      return FlatI8.data() + Base;
+    }
+    return nullptr;
+  };
+  std::vector<int> &Bucket = DedupIndex[rowHash(Row, RowBytes, Scale, T)];
   for (int I : Bucket)
     if (Types[static_cast<size_t>(I)] == T &&
-        std::memcmp(embedding(static_cast<size_t>(I)), Embedding,
-                    static_cast<size_t>(D) * sizeof(float)) == 0) {
+        (Store != MarkerStore::Int8 ||
+         Scales[static_cast<size_t>(I)] == Scale) &&
+        std::memcmp(StoredRow(static_cast<size_t>(I)), Row, RowBytes) == 0) {
       ++Dropped;
       return false;
     }
   Bucket.push_back(static_cast<int>(Types.size()));
-  Flat.insert(Flat.end(), Embedding, Embedding + D);
+  switch (Store) {
+  case MarkerStore::F32:
+    Flat.insert(Flat.end(), Embedding, Embedding + D);
+    break;
+  case MarkerStore::F16:
+    FlatF16.insert(FlatF16.end(), EncF16.begin(), EncF16.end());
+    break;
+  case MarkerStore::Int8:
+    FlatI8.insert(FlatI8.end(), EncI8.begin(), EncI8.end());
+    Scales.push_back(Scale);
+    break;
+  }
   Types.push_back(T);
   return true;
+}
+
+void TypeMap::quantize(MarkerStore NewStore) {
+  if (NewStore == Store)
+    return;
+  assert(Store == MarkerStore::F32 &&
+         "quantize converts a freshly built f32 map; re-quantization of an "
+         "already-quantized store is lossy-on-lossy and unsupported");
+  size_t N = Types.size();
+  if (NewStore == MarkerStore::F16) {
+    // Software RNE encode always (support/Float16.h), so the artifact
+    // bytes do not depend on the host's F16C availability.
+    FlatF16.resize(Flat.size());
+    for (size_t I = 0; I != Flat.size(); ++I)
+      FlatF16[I] = f32ToF16Bits(Flat[I]);
+  } else {
+    FlatI8.resize(Flat.size());
+    Scales.resize(N);
+    for (size_t I = 0; I != N; ++I)
+      Scales[I] =
+          encodeI8Row(Flat.data() + I * static_cast<size_t>(D),
+                      FlatI8.data() + I * static_cast<size_t>(D));
+  }
+  Flat.clear();
+  Flat.shrink_to_fit();
+  Store = NewStore;
+  // Rounding can merge rows that were distinct in f32; the index keys are
+  // stale either way.
+  DedupIndex.clear();
+  DedupIndexStale = true;
+}
+
+size_t TypeMap::subsampleCoreset(size_t MaxMarkers) {
+  assert(Store == MarkerStore::F32 &&
+         "subsample before quantize: k-center needs the exact coordinates");
+  if (MaxMarkers == 0 || Types.size() <= MaxMarkers)
+    return Types.size();
+
+  // Group marker indices by type, in first-occurrence order of the types
+  // (NOT interned-pointer order, which varies run to run).
+  std::vector<TypeRef> TypeOrder;
+  std::unordered_map<TypeRef, std::vector<int>> Groups;
+  for (size_t I = 0; I != Types.size(); ++I) {
+    std::vector<int> &G = Groups[Types[I]];
+    if (G.empty())
+      TypeOrder.push_back(Types[I]);
+    G.push_back(static_cast<int>(I));
+  }
+
+  // Budget: one marker per type while the budget lasts (first-occurrence
+  // order decides who misses out when MaxMarkers < #types), then the
+  // remainder proportionally to each type's excess markers, leftovers
+  // round-robin in type order.
+  size_t NumTypes = TypeOrder.size();
+  std::vector<size_t> Alloc(NumTypes, 0);
+  size_t SumExcess = 0;
+  for (size_t G = 0; G != NumTypes; ++G) {
+    if (G < MaxMarkers)
+      Alloc[G] = 1;
+    SumExcess += Groups[TypeOrder[G]].size() - 1;
+  }
+  if (MaxMarkers > NumTypes && SumExcess > 0) {
+    size_t Extra = MaxMarkers - NumTypes;
+    size_t Given = 0;
+    for (size_t G = 0; G != NumTypes; ++G) {
+      size_t Excess = Groups[TypeOrder[G]].size() - 1;
+      size_t Share = std::min(Excess, Extra * Excess / SumExcess);
+      Alloc[G] += Share;
+      Given += Share;
+    }
+    // Flooring leaves a few slots; hand them out one at a time to groups
+    // that can still grow.
+    while (Given < Extra) {
+      bool Any = false;
+      for (size_t G = 0; G != NumTypes && Given < Extra; ++G)
+        if (Alloc[G] < Groups[TypeOrder[G]].size()) {
+          ++Alloc[G];
+          ++Given;
+          Any = true;
+        }
+      if (!Any)
+        break;
+    }
+  }
+
+  // Greedy k-center within each type: seed with the type's first marker,
+  // then repeatedly take the marker farthest (L1) from the chosen set.
+  std::vector<int> Kept;
+  Kept.reserve(MaxMarkers);
+  for (size_t G = 0; G != NumTypes; ++G) {
+    const std::vector<int> &Items = Groups[TypeOrder[G]];
+    size_t Want = std::min(Alloc[G], Items.size());
+    if (Want == 0)
+      continue;
+    if (Want == Items.size()) {
+      Kept.insert(Kept.end(), Items.begin(), Items.end());
+      continue;
+    }
+    std::vector<float> MinDist(Items.size(),
+                               std::numeric_limits<float>::max());
+    std::vector<char> Chosen(Items.size(), 0);
+    size_t Last = 0;
+    Chosen[0] = 1;
+    Kept.push_back(Items[0]);
+    for (size_t Picked = 1; Picked != Want; ++Picked) {
+      const float *C =
+          embedding(static_cast<size_t>(Items[Last]));
+      size_t Best = SIZE_MAX;
+      float BestDist = -1.f;
+      for (size_t I = 0; I != Items.size(); ++I) {
+        if (Chosen[I])
+          continue;
+        float Dist = l1DistanceTo(C, static_cast<size_t>(Items[I]));
+        if (Dist < MinDist[I])
+          MinDist[I] = Dist;
+        // Strict > keeps ties on the lowest index — deterministic.
+        if (MinDist[I] > BestDist) {
+          BestDist = MinDist[I];
+          Best = I;
+        }
+      }
+      if (Best == SIZE_MAX)
+        break;
+      Chosen[Best] = 1;
+      Kept.push_back(Items[Best]);
+      Last = Best;
+    }
+  }
+
+  // Rebuild in original marker order so survivors keep their relative
+  // layout (and the result is independent of the per-type pick order).
+  std::sort(Kept.begin(), Kept.end());
+  std::vector<float> NewFlat;
+  NewFlat.reserve(Kept.size() * static_cast<size_t>(D));
+  std::vector<TypeRef> NewTypes;
+  NewTypes.reserve(Kept.size());
+  for (int I : Kept) {
+    const float *Row = embedding(static_cast<size_t>(I));
+    NewFlat.insert(NewFlat.end(), Row, Row + D);
+    NewTypes.push_back(Types[static_cast<size_t>(I)]);
+  }
+  Flat = std::move(NewFlat);
+  Types = std::move(NewTypes);
+  DedupIndex.clear();
+  DedupIndexStale = true;
+  return Types.size();
 }
 
 void TypeMap::save(ArchiveWriter &W,
                    const std::map<TypeRef, int> &TypeIds) const {
   W.writeI32(D);
   W.writeU64(Types.size());
-  W.writeF32Array(Flat.data(), Flat.size());
+  switch (Store) {
+  case MarkerStore::F32:
+    // Exactly the historical byte stream — f32 artifacts stay
+    // bit-identical across this change.
+    W.writeF32Array(Flat.data(), Flat.size());
+    break;
+  case MarkerStore::F16:
+    W.writeU16Array(FlatF16.data(), FlatF16.size());
+    break;
+  case MarkerStore::Int8:
+    W.writeF32Array(Scales.data(), Scales.size());
+    W.writeBytes(FlatI8.data(), FlatI8.size());
+    break;
+  }
   for (TypeRef T : Types)
     W.writeI32(TypeIds.at(T));
 }
 
 bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
-                   std::string *Err) {
+                   std::string *Err, MarkerStore S) {
   int32_t Dim = C.readI32();
   uint64_t Count = C.readU64();
-  // Bound each factor against the payload before multiplying, so no
-  // adversarial count/dim pair can overflow the byte-size comparison
-  // into an allocation (same pattern as nn::readTensor).
-  uint64_t Limit = C.remaining() / 4;
-  if (!C.ok() || Dim <= 0 ||
-      (Count > 0 && (static_cast<uint64_t>(Dim) > Limit ||
-                     Count > Limit / static_cast<uint64_t>(Dim)))) {
+  // Bound the marker count against the payload before any allocation, so
+  // no adversarial count/dim pair can overflow the byte-size comparison
+  // (same policy as nn::readTensor). Every marker costs its coordinate
+  // bytes plus a 4-byte type id (plus the int8 scale).
+  uint64_t CoordBytes = S == MarkerStore::F32   ? 4
+                        : S == MarkerStore::F16 ? 2
+                                                : 1;
+  if (!C.ok() || Dim <= 0) {
     if (Err && Err->empty())
       *Err = "malformed type-map snapshot";
     return false;
   }
-  std::vector<float> NewFlat(static_cast<size_t>(Count) *
-                             static_cast<size_t>(Dim));
-  C.readF32Array(NewFlat.data(), NewFlat.size());
+  uint64_t PerMarker = static_cast<uint64_t>(Dim) * CoordBytes + 4 +
+                       (S == MarkerStore::Int8 ? 4 : 0);
+  if (Count > C.remaining() / PerMarker) {
+    if (Err && Err->empty())
+      *Err = "malformed type-map snapshot";
+    return false;
+  }
+  size_t Coords = static_cast<size_t>(Count) * static_cast<size_t>(Dim);
+  std::vector<float> NewFlat;
+  std::vector<uint16_t> NewF16;
+  std::vector<int8_t> NewI8;
+  std::vector<float> NewScales;
+  switch (S) {
+  case MarkerStore::F32:
+    NewFlat.resize(Coords);
+    C.readF32Array(NewFlat.data(), NewFlat.size());
+    break;
+  case MarkerStore::F16:
+    NewF16.resize(Coords);
+    C.readU16Array(NewF16.data(), NewF16.size());
+    break;
+  case MarkerStore::Int8:
+    NewScales.resize(static_cast<size_t>(Count));
+    C.readF32Array(NewScales.data(), NewScales.size());
+    NewI8.resize(Coords);
+    C.readBytes(NewI8.data(), NewI8.size());
+    break;
+  }
   std::vector<TypeRef> NewTypes;
   NewTypes.reserve(static_cast<size_t>(Count));
   for (uint64_t I = 0; I != Count; ++I) {
@@ -140,7 +489,11 @@ bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
     NewTypes.push_back(ById[static_cast<size_t>(Idx)]);
   }
   D = Dim;
+  Store = S;
   Flat = std::move(NewFlat);
+  FlatF16 = std::move(NewF16);
+  FlatI8 = std::move(NewI8);
+  Scales = std::move(NewScales);
   Types = std::move(NewTypes);
   // Loading stays a pure byte copy: the dedup index is marked stale and
   // rebuilt by the first add() — serving processes, which never insert,
@@ -151,12 +504,15 @@ bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// kNN indexes
+//===----------------------------------------------------------------------===//
+
 NeighborList ExactIndex::query(const float *Q, int K) const {
   NeighborList All;
   All.reserve(Map.size());
   for (size_t I = 0; I != Map.size(); ++I)
-    All.emplace_back(static_cast<int>(I),
-                     l1Distance(Q, Map.embedding(I), Map.dim()));
+    All.emplace_back(static_cast<int>(I), Map.l1DistanceTo(Q, I));
   size_t Keep = std::min<size_t>(static_cast<size_t>(K), All.size());
   std::partial_sort(All.begin(), All.begin() + static_cast<long>(Keep),
                     All.end(), [](const auto &A, const auto &B) {
@@ -311,25 +667,29 @@ int AnnoyIndex::buildTree(std::vector<BuildNode> &Out, std::vector<int> Items,
     return Idx;
   }
   // Annoy-style split: pick two random markers; split on the coordinate
-  // where they are furthest apart, at their midpoint.
+  // where they are furthest apart, at their midpoint. Coordinates decode
+  // through the store, so quantized maps grow the same kind of forest
+  // (over their rounded coordinates).
   int D = Map.dim();
-  const float *A = Map.embedding(
-      static_cast<size_t>(Items[R.uniformInt(Items.size())]));
-  const float *B = Map.embedding(
-      static_cast<size_t>(Items[R.uniformInt(Items.size())]));
+  size_t IA = static_cast<size_t>(Items[R.uniformInt(Items.size())]);
+  size_t IB = static_cast<size_t>(Items[R.uniformInt(Items.size())]);
   int BestDim = 0;
   float BestSpread = -1;
+  float ABest = 0, BBest = 0;
   for (int I = 0; I != D; ++I) {
-    float Spread = std::fabs(A[I] - B[I]);
+    float AC = Map.coord(IA, I), BC = Map.coord(IB, I);
+    float Spread = std::fabs(AC - BC);
     if (Spread > BestSpread) {
       BestSpread = Spread;
       BestDim = I;
+      ABest = AC;
+      BBest = BC;
     }
   }
-  float Threshold = 0.5f * (A[BestDim] + B[BestDim]);
+  float Threshold = 0.5f * (ABest + BBest);
   std::vector<int> Left, Right;
   for (int It : Items) {
-    if (Map.embedding(static_cast<size_t>(It))[BestDim] < Threshold)
+    if (Map.coord(static_cast<size_t>(It), BestDim) < Threshold)
       Left.push_back(It);
     else
       Right.push_back(It);
@@ -380,12 +740,11 @@ NeighborList AnnoyIndex::query(const float *Q, int K, int SearchK) const {
     Queue.emplace(Prio, Near);
     Queue.emplace(Prio + std::fabs(Margin), Far);
   }
-  // Exact re-rank of the candidate union.
+  // Exact re-rank of the candidate union (over the stored representation).
   NeighborList Result;
   Result.reserve(Candidates.size());
   for (int It : Candidates)
-    Result.emplace_back(
-        It, l1Distance(Q, Map.embedding(static_cast<size_t>(It)), Map.dim()));
+    Result.emplace_back(It, Map.l1DistanceTo(Q, static_cast<size_t>(It)));
   size_t Keep = std::min<size_t>(static_cast<size_t>(K), Result.size());
   std::partial_sort(Result.begin(), Result.begin() + static_cast<long>(Keep),
                     Result.end(), [](const auto &A, const auto &B) {

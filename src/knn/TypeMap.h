@@ -10,6 +10,14 @@
 /// data, not model weights, previously unseen types can be added without
 /// retraining — the key open-vocabulary property of Typilus.
 ///
+/// Markers live in one of three storage formats (τmap compaction): exact
+/// f32, IEEE binary16 (half the bytes, ~1e-3 relative rounding), or int8
+/// with one f32 scale per marker (quarter the bytes). Distances dispatch
+/// through the runtime SIMD kernel table (nn/Simd.h), which scans f16 and
+/// int8 rows without materialising a decoded copy. `quantize` converts a
+/// freshly built f32 map; `subsampleCoreset` bounds the marker count first
+/// while keeping every type represented.
+///
 /// Index construction and bulk queries dispatch through the process-wide
 /// ThreadPool: the forest is built one task per tree from per-tree derived
 /// seeds (so the parallel build is identical to the serial one), and
@@ -28,30 +36,61 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace typilus {
 
+/// How marker embeddings are stored. F32 is the exact representation the
+/// trainer produces; F16 and Int8 (one f32 scale per marker) trade
+/// per-coordinate precision for 2x/4x smaller artifacts and faster scans.
+/// The numeric values are the serialized artifact encoding — append only.
+enum class MarkerStore : uint8_t { F32 = 0, F16 = 1, Int8 = 2 };
+
+/// "f32" | "f16" | "int8" (CLI flags, `inspect` output, bench labels).
+const char *markerStoreName(MarkerStore S);
+/// Parses markerStoreName()'s strings; \returns false on anything else.
+bool parseMarkerStore(std::string_view Name, MarkerStore *Out);
+
 /// A store of D-dimensional type markers.
 class TypeMap {
 public:
   explicit TypeMap(int Dim) : D(Dim) {}
 
-  /// Pre-allocates room for \p NumMarkers markers (bulk fills).
-  void reserve(size_t NumMarkers) {
-    Flat.reserve(Flat.size() + NumMarkers * static_cast<size_t>(D));
-    Types.reserve(Types.size() + NumMarkers);
+  /// Pre-allocates room for \p TotalMarkers markers *in total* (bulk
+  /// fills). Total, not incremental: calling it twice with the same bound
+  /// is idempotent instead of doubling the reservation.
+  void reserve(size_t TotalMarkers) {
+    size_t Coords = TotalMarkers * static_cast<size_t>(D);
+    switch (Store) {
+    case MarkerStore::F32:
+      Flat.reserve(Coords);
+      break;
+    case MarkerStore::F16:
+      FlatF16.reserve(Coords);
+      break;
+    case MarkerStore::Int8:
+      FlatI8.reserve(Coords);
+      Scales.reserve(TotalMarkers);
+      break;
+    }
+    Types.reserve(TotalMarkers);
   }
 
-  /// Adds a marker for \p T at \p Embedding (length D) — unless an
-  /// identical (embedding, type) marker already exists, in which case
-  /// the duplicate is dropped: it could never change a kNN answer's type
-  /// mix, only crowd real neighbours out of the candidate list (the
-  /// first step of τmap compaction; duplicates are common because
-  /// generated and copied code embeds identically). \returns true when
-  /// the marker was actually added.
+  /// Markers the current reservation can hold (reserve() observability).
+  size_t reservedMarkers() const { return Types.capacity(); }
+
+  /// Adds a marker for \p T at \p Embedding (length D, f32; quantized
+  /// stores encode it on the way in) — unless an identical stored
+  /// (embedding, type) marker already exists, in which case the duplicate
+  /// is dropped: it could never change a kNN answer's type mix, only
+  /// crowd real neighbours out of the candidate list (the first step of
+  /// τmap compaction; duplicates are common because generated and copied
+  /// code embeds identically). On quantized stores the comparison is over
+  /// the *encoded* row, so markers that collide after rounding also
+  /// collapse. \returns true when the marker was actually added.
   bool add(const float *Embedding, TypeRef T);
 
   /// Duplicates dropped by add() so far (compaction observability).
@@ -59,32 +98,81 @@ public:
 
   size_t size() const { return Types.size(); }
   int dim() const { return D; }
+  MarkerStore store() const { return Store; }
+  /// Bytes held by the marker coordinate arrays (artifact sizing).
+  size_t storageBytes() const {
+    return Flat.size() * 4 + FlatF16.size() * 2 + FlatI8.size() +
+           Scales.size() * 4;
+  }
+
+  /// Direct row access — F32 store only (the trainer-side fast path).
   const float *embedding(size_t I) const {
     return Flat.data() + I * static_cast<size_t>(D);
   }
+  /// Coordinate \p Dim of marker \p I, decoded from whatever store holds
+  /// it (index construction probes single coordinates).
+  float coord(size_t I, int Dim) const;
+  /// Decodes marker \p I into \p Out (length D).
+  void decodeEmbedding(size_t I, float *Out) const;
+  /// L1 distance from f32 query \p Q to marker \p I, computed over the
+  /// stored representation by the active SIMD kernel table — quantized
+  /// rows are never materialised as f32.
+  float l1DistanceTo(const float *Q, size_t I) const;
   TypeRef type(size_t I) const { return Types[I]; }
 
-  /// Appends dim + every marker (raw f32 embedding, dense type-table
-  /// index) to the open chunk.
+  /// Converts an F32 map to \p NewStore in place (no-op when already
+  /// there). Quantization is a one-way, whole-map step taken after the
+  /// map is filled and subsampled, before the index is built; the f16
+  /// encoder is the software round-to-nearest-even path, so the encoded
+  /// bytes are host-independent.
+  void quantize(MarkerStore NewStore);
+
+  /// Caps the map at \p MaxMarkers markers (F32 store only; a no-op when
+  /// already within the bound or \p MaxMarkers is 0 = unlimited). Budget
+  /// is split over the types present — every type keeps at least one
+  /// marker while the budget allows, extra slots go proportionally to
+  /// marker-rich types — and within a type markers are chosen by greedy
+  /// k-center (farthest-point) under L1, so the survivors spread over the
+  /// type's region of the TypeSpace instead of clumping. Deterministic:
+  /// types are processed in first-occurrence order and survivors keep
+  /// their relative order. \returns the new size.
+  size_t subsampleCoreset(size_t MaxMarkers);
+
+  /// Appends dim + every marker (stored-format coordinates, dense
+  /// type-table index) to the open chunk. The payload layout follows
+  /// store(): f32 maps write exactly the historical byte stream.
   void save(ArchiveWriter &W, const std::map<TypeRef, int> &TypeIds) const;
   /// Replaces *this with a snapshot written by save(); \p ById is the
-  /// loaded type table.
+  /// loaded type table and \p S the store the snapshot was written with
+  /// (the caller knows it from the chunk tag).
   bool load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
-            std::string *Err);
+            std::string *Err, MarkerStore S = MarkerStore::F32);
 
 private:
-  /// Marker indices by embedding-bytes+type hash; collisions resolved by
+  /// Marker indices by stored-row-bytes+type hash; collisions resolved by
   /// full comparison in add(). Built lazily: a loaded snapshot leaves it
   /// stale (serving processes never insert, so they never pay for it)
   /// and the first add() after load re-keys it over the loaded markers.
   std::unordered_map<uint64_t, std::vector<int>> DedupIndex;
   bool DedupIndexStale = false;
 
-  uint64_t markerHash(const float *Embedding, TypeRef T) const;
+  /// FNV-1a over a stored row's bytes (plus the int8 scale) mixed with
+  /// the interned type pointer (stable within a process, which is all
+  /// the index needs).
+  uint64_t rowHash(const void *Row, size_t NumBytes, float Scale,
+                   TypeRef T) const;
+  uint64_t storedHash(size_t I) const;
   void rebuildDedupIndex();
 
+  /// Encodes one f32 row for the Int8 store; \returns the row's scale.
+  float encodeI8Row(const float *Src, int8_t *Dst) const;
+
   int D;
-  std::vector<float> Flat;
+  MarkerStore Store = MarkerStore::F32;
+  std::vector<float> Flat;        ///< F32 store: D coords per marker.
+  std::vector<uint16_t> FlatF16;  ///< F16 store: binary16 bit patterns.
+  std::vector<int8_t> FlatI8;     ///< Int8 store: D codes per marker.
+  std::vector<float> Scales;      ///< Int8 store: one scale per marker.
   std::vector<TypeRef> Types;
   size_t Dropped = 0;
 };

@@ -2,6 +2,7 @@
 
 #include "nn/Kernels.h"
 
+#include "nn/Simd.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -29,11 +30,13 @@ int64_t gemmRowGrain(int64_t N, int64_t K) {
   return std::max<int64_t>(1, kernels::GemmParallelFlops / FlopsPerRow);
 }
 
-/// Rows [RB, RE) of C for the non-transposed-A cases (A indexed by row i).
-/// ALoad(i, p) abstracts over TransA.
+/// Rows [RB, RE) of C for the non-transposed-B cases (A indexed by row i).
+/// ALoad(i, p) abstracts over TransA. The j-tile inner loop runs through
+/// \p KT (an axpy over the contiguous B row).
 template <typename ALoadFn>
-void gemmRowsKJ(int64_t RB, int64_t RE, int64_t N, int64_t K, float Alpha,
-                ALoadFn ALoad, const float *B, int64_t Ldb, float *C) {
+void gemmRowsKJ(const simd::KernelTable &KT, int64_t RB, int64_t RE,
+                int64_t N, int64_t K, float Alpha, ALoadFn ALoad,
+                const float *B, int64_t Ldb, float *C) {
   for (int64_t I = RB; I != RE; ++I) {
     float *CRow = C + I * N;
     for (int64_t JB = 0; JB < N; JB += GemmColTile) {
@@ -42,24 +45,35 @@ void gemmRowsKJ(int64_t RB, int64_t RE, int64_t N, int64_t K, float Alpha,
         float AIP = Alpha * ALoad(I, P);
         if (AIP == 0.f)
           continue;
-        const float *BRow = B + P * Ldb;
-        for (int64_t J = JB; J != JE; ++J)
-          CRow[J] += AIP * BRow[J];
+        KT.AxpyRow(CRow + JB, AIP, B + P * Ldb + JB, JE - JB);
       }
     }
   }
 }
 
-/// Rows [RB, RE) of C for the transposed-B cases (dot products over p).
-template <typename ALoadFn>
-void gemmRowsDot(int64_t RB, int64_t RE, int64_t N, int64_t K, float Alpha,
-                 ALoadFn ALoad, const float *B, int64_t Ldb, float *C) {
+/// Rows [RB, RE) of C for the transposed-B, non-transposed-A case: both
+/// the A row and the B row are contiguous, so the inner loop is \p KT's
+/// dot product.
+void gemmRowsDotContig(const simd::KernelTable &KT, int64_t RB, int64_t RE,
+                       int64_t N, int64_t K, float Alpha, const float *A,
+                       int64_t Lda, const float *B, int64_t Ldb, float *C) {
+  for (int64_t I = RB; I != RE; ++I)
+    for (int64_t J = 0; J != N; ++J)
+      C[I * N + J] += Alpha * KT.Dot(A + I * Lda, B + J * Ldb, K);
+}
+
+/// Rows [RB, RE) of C for the transposed-A, transposed-B case. The A
+/// access is strided, so this stays a scalar loop on every ISA (it is
+/// bit-identical to the historical kernel by construction).
+void gemmRowsDotStrided(int64_t RB, int64_t RE, int64_t N, int64_t K,
+                        float Alpha, const float *A, int64_t Lda,
+                        const float *B, int64_t Ldb, float *C) {
   for (int64_t I = RB; I != RE; ++I)
     for (int64_t J = 0; J != N; ++J) {
       const float *BRow = B + J * Ldb;
       float Sum = 0.f;
       for (int64_t P = 0; P != K; ++P)
-        Sum += ALoad(I, P) * BRow[P];
+        Sum += A[P * Lda + I] * BRow[P];
       C[I * N + J] += Alpha * Sum;
     }
 }
@@ -80,8 +94,11 @@ void typilus::gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
   const int64_t Ldb = TransB ? K : N;
 
   // All four cases are parallelized over rows of C: each output row is
-  // produced by exactly one chunk with k ascending per element, so the
-  // result is bit-identical for any thread count.
+  // produced by exactly one chunk with a fixed per-element operation
+  // sequence (k ascending through the active kernel table), so the result
+  // is bit-identical for any thread count. With the scalar table it is
+  // also bit-identical to the naive i-k-j kernel.
+  const simd::KernelTable &KT = simd::active();
   const int64_t Grain = gemmRowGrain(N, K);
   auto ANorm = [A, Lda](int64_t I, int64_t P) { return A[I * Lda + P]; };
   auto ATrans = [A, Lda](int64_t I, int64_t P) { return A[P * Lda + I]; };
@@ -89,21 +106,21 @@ void typilus::gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
   if (!TransB) {
     if (!TransA)
       parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
-        gemmRowsKJ(RB, RE, N, K, Alpha, ANorm, B, Ldb, C);
+        gemmRowsKJ(KT, RB, RE, N, K, Alpha, ANorm, B, Ldb, C);
       });
     else
       parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
-        gemmRowsKJ(RB, RE, N, K, Alpha, ATrans, B, Ldb, C);
+        gemmRowsKJ(KT, RB, RE, N, K, Alpha, ATrans, B, Ldb, C);
       });
     return;
   }
   if (!TransA)
     parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
-      gemmRowsDot(RB, RE, N, K, Alpha, ANorm, B, Ldb, C);
+      gemmRowsDotContig(KT, RB, RE, N, K, Alpha, A, Lda, B, Ldb, C);
     });
   else
     parallelFor(0, M, Grain, [&](int64_t RB, int64_t RE) {
-      gemmRowsDot(RB, RE, N, K, Alpha, ATrans, B, Ldb, C);
+      gemmRowsDotStrided(RB, RE, N, K, Alpha, A, Lda, B, Ldb, C);
     });
 }
 
@@ -114,7 +131,9 @@ void typilus::gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
 namespace {
 
 /// Chunks [0, N) through the pool above the elementwise grain. Chunking is
-/// safe for any per-element map: outputs are disjoint.
+/// safe for any per-element map: outputs are disjoint, and every table's
+/// kernels compute each element independently of where the chunk (and
+/// therefore vector-lane) boundaries fall.
 template <typename Fn> void forChunks(int64_t N, Fn Body) {
   parallelFor(0, N, kernels::ElementwiseGrain,
               [&](int64_t Lo, int64_t Hi) { Body(Lo, Hi); });
@@ -123,89 +142,83 @@ template <typename Fn> void forChunks(int64_t N, Fn Body) {
 } // namespace
 
 void kernels::addInPlace(float *Dst, const float *Src, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] += Src[I];
+    KT.Add(Dst + Lo, Src + Lo, Hi - Lo);
   });
 }
 
 void kernels::subInPlace(float *Dst, const float *Src, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] -= Src[I];
+    KT.Sub(Dst + Lo, Src + Lo, Hi - Lo);
   });
 }
 
 void kernels::mulInPlace(float *Dst, const float *Src, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] *= Src[I];
+    KT.Mul(Dst + Lo, Src + Lo, Hi - Lo);
   });
 }
 
 void kernels::scaleInPlace(float *Dst, float S, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] *= S;
+    KT.Scale(Dst + Lo, S, Hi - Lo);
   });
 }
 
 void kernels::axpyAcc(float *Dst, float A, const float *X, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] += A * X[I];
+    KT.AxpyRow(Dst + Lo, A, X + Lo, Hi - Lo);
   });
 }
 
 void kernels::mulAcc(float *Dst, const float *A, const float *B, int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      Dst[I] += A[I] * B[I];
+    KT.MulAcc(Dst + Lo, A + Lo, B + Lo, Hi - Lo);
   });
 }
 
 void kernels::sigmoidForward(float *X, int64_t N) {
-  forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      X[I] = 1.f / (1.f + std::exp(-X[I]));
-  });
+  const simd::KernelTable &KT = simd::active();
+  forChunks(N, [&](int64_t Lo, int64_t Hi) { KT.Sigmoid(X + Lo, Hi - Lo); });
 }
 
 void kernels::sigmoidBackwardAcc(float *DX, const float *DY, const float *Y,
                                  int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      DX[I] += DY[I] * Y[I] * (1.f - Y[I]);
+    KT.SigmoidBwd(DX + Lo, DY + Lo, Y + Lo, Hi - Lo);
   });
 }
 
 void kernels::tanhForward(float *X, int64_t N) {
-  forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      X[I] = std::tanh(X[I]);
-  });
+  const simd::KernelTable &KT = simd::active();
+  forChunks(N, [&](int64_t Lo, int64_t Hi) { KT.Tanh(X + Lo, Hi - Lo); });
 }
 
 void kernels::tanhBackwardAcc(float *DX, const float *DY, const float *Y,
                               int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      DX[I] += DY[I] * (1.f - Y[I] * Y[I]);
+    KT.TanhBwd(DX + Lo, DY + Lo, Y + Lo, Hi - Lo);
   });
 }
 
 void kernels::reluForward(float *X, int64_t N) {
-  forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      X[I] = X[I] > 0.f ? X[I] : 0.f;
-  });
+  const simd::KernelTable &KT = simd::active();
+  forChunks(N, [&](int64_t Lo, int64_t Hi) { KT.Relu(X + Lo, Hi - Lo); });
 }
 
 void kernels::reluBackwardAcc(float *DX, const float *DY, const float *X,
                               int64_t N) {
+  const simd::KernelTable &KT = simd::active();
   forChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I != Hi; ++I)
-      DX[I] += X[I] > 0.f ? DY[I] : 0.f;
+    KT.ReluBwd(DX + Lo, DY + Lo, X + Lo, Hi - Lo);
   });
 }
 
@@ -223,21 +236,10 @@ void kernels::gatherRows(float *Out, const float *A, const int *Idx,
 }
 
 void kernels::softmaxRowsInPlace(float *X, int64_t Rows, int64_t Cols) {
+  const simd::KernelTable &KT = simd::active();
   parallelFor(0, Rows, rowGrain(Cols), [&](int64_t Lo, int64_t Hi) {
-    for (int64_t R = Lo; R != Hi; ++R) {
-      float *Row = X + R * Cols;
-      float Max = Row[0];
-      for (int64_t C = 1; C != Cols; ++C)
-        Max = std::max(Max, Row[C]);
-      float Sum = 0;
-      for (int64_t C = 0; C != Cols; ++C) {
-        float E = std::exp(Row[C] - Max);
-        Row[C] = E;
-        Sum += E;
-      }
-      for (int64_t C = 0; C != Cols; ++C)
-        Row[C] /= Sum;
-    }
+    for (int64_t R = Lo; R != Hi; ++R)
+      KT.SoftmaxRow(X + R * Cols, Cols);
   });
 }
 
@@ -245,6 +247,7 @@ void kernels::pairwiseL1(float *Out, const float *A, int64_t R, int64_t D) {
   // Iteration I fills row I for J > I plus the mirror cells (J, I): each
   // cell is written by exactly one iteration (min of its coordinates), so
   // chunks over I write disjoint outputs.
+  const simd::KernelTable &KT = simd::active();
   int64_t Grain = std::max<int64_t>(
       1, GemmParallelFlops / std::max<int64_t>(1, R * D));
   parallelFor(0, R, Grain, [&](int64_t Lo, int64_t Hi) {
@@ -252,10 +255,7 @@ void kernels::pairwiseL1(float *Out, const float *A, int64_t R, int64_t D) {
       Out[I * R + I] = 0.f;
       const float *AI = A + I * D;
       for (int64_t J = I + 1; J != R; ++J) {
-        const float *AJ = A + J * D;
-        float Sum = 0;
-        for (int64_t K = 0; K != D; ++K)
-          Sum += std::fabs(AI[K] - AJ[K]);
+        float Sum = KT.L1(AI, A + J * D, D);
         Out[I * R + J] = Sum;
         Out[J * R + I] = Sum;
       }

@@ -131,6 +131,26 @@ void ArchiveWriter::writeF32Array(const float *Data, size_t N) {
     writeF32(Data[I]);
 }
 
+void ArchiveWriter::writeU16Array(const uint16_t *Data, size_t N) {
+  // Same hot path as writeF32Array — the f16 marker store is half of a
+  // quantized artifact's bytes.
+  if (hostIsLittleEndian()) {
+    assert(InChunk && "writes go inside a chunk");
+    ChunkBuf.append(reinterpret_cast<const char *>(Data), N * 2);
+    return;
+  }
+  assert(InChunk && "writes go inside a chunk");
+  for (size_t I = 0; I != N; ++I) {
+    ChunkBuf.push_back(static_cast<char>(Data[I] & 0xFF));
+    ChunkBuf.push_back(static_cast<char>((Data[I] >> 8) & 0xFF));
+  }
+}
+
+void ArchiveWriter::writeBytes(const void *Data, size_t N) {
+  assert(InChunk && "writes go inside a chunk");
+  ChunkBuf.append(static_cast<const char *>(Data), N);
+}
+
 const std::string &ArchiveWriter::bytes() const {
   assert(!InChunk && "finish the open chunk before reading bytes()");
   return Buf;
@@ -244,6 +264,20 @@ void ArchiveCursor::readF32Array(float *Out, size_t N) {
   for (size_t I = 0; I != N; ++I)
     Out[I] = readF32();
 }
+
+void ArchiveCursor::readU16Array(uint16_t *Out, size_t N) {
+  if (hostIsLittleEndian()) {
+    take(Out, N * 2); // one bounds-checked bulk copy (load hot path)
+    return;
+  }
+  for (size_t I = 0; I != N; ++I) {
+    uint8_t B[2] = {};
+    take(B, 2);
+    Out[I] = static_cast<uint16_t>(B[0] | (B[1] << 8));
+  }
+}
+
+void ArchiveCursor::readBytes(void *Out, size_t N) { take(Out, N); }
 
 //===----------------------------------------------------------------------===//
 // ArchiveReader

@@ -73,6 +73,10 @@ public:
   void writeStr(std::string_view S);
   /// Raw run of \p N floats (no length prefix; pair with a count field).
   void writeF32Array(const float *Data, size_t N);
+  /// Raw run of \p N u16 values (the f16 marker store's bit patterns).
+  void writeU16Array(const uint16_t *Data, size_t N);
+  /// Raw run of \p N bytes (no length prefix; pair with a count field).
+  void writeBytes(const void *Data, size_t N);
 
   /// Flushes the whole archive to \p Path. Must not be mid-chunk.
   /// \returns false and sets \p Err on I/O failure.
@@ -105,6 +109,10 @@ public:
   std::string readStr();
   /// Reads exactly \p N floats into \p Out (which must hold N).
   void readF32Array(float *Out, size_t N);
+  /// Reads exactly \p N u16 values into \p Out (which must hold N).
+  void readU16Array(uint16_t *Out, size_t N);
+  /// Reads exactly \p N raw bytes into \p Out (which must hold N).
+  void readBytes(void *Out, size_t N);
 
   bool ok() const { return !Failed; }
   size_t remaining() const { return End - Pos; }

@@ -1,0 +1,97 @@
+//===- support/Float16.h - IEEE binary16 conversion ---------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software IEEE-754 binary16 <-> binary32 conversion for the quantized
+/// τmap marker store (knn/TypeMap.h). Quantization always goes through
+/// these routines — never through hardware F16C — so the stored bytes are
+/// identical on every host. Decoding is exact (every f16 is representable
+/// as an f32), so the software decoder and `vcvtph2ps` agree bit-for-bit
+/// and the SIMD distance kernels may use either.
+///
+/// Encoding rounds to nearest, ties to even — the same mode the hardware
+/// uses — and handles subnormals, infinities and NaN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SUPPORT_FLOAT16_H
+#define TYPILUS_SUPPORT_FLOAT16_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace typilus {
+
+/// Decodes one binary16 bit pattern. Exact.
+inline float f16BitsToF32(uint16_t H) {
+  uint32_t Sign = static_cast<uint32_t>(H & 0x8000u) << 16;
+  uint32_t Exp = (H >> 10) & 0x1Fu;
+  uint32_t Man = H & 0x3FFu;
+  uint32_t Bits;
+  if (Exp == 0) {
+    if (Man == 0) {
+      Bits = Sign; // signed zero
+    } else {
+      // Subnormal: value = Man * 2^-24. Normalize so the leading 1 sits at
+      // bit 10, tracking the shift in the exponent.
+      int Shift = 0;
+      while (!(Man & 0x400u)) {
+        Man <<= 1;
+        ++Shift;
+      }
+      Man &= 0x3FFu;
+      Bits = Sign | (static_cast<uint32_t>(113 - Shift) << 23) | (Man << 13);
+    }
+  } else if (Exp == 31) {
+    Bits = Sign | 0x7F800000u | (Man << 13); // inf / NaN (payload widened)
+  } else {
+    Bits = Sign | ((Exp + 112) << 23) | (Man << 13);
+  }
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+/// Encodes \p F as binary16, rounding to nearest with ties to even.
+inline uint16_t f32ToF16Bits(float F) {
+  uint32_t X;
+  std::memcpy(&X, &F, sizeof(X));
+  uint32_t Sign = (X >> 16) & 0x8000u;
+  uint32_t ExpF = (X >> 23) & 0xFFu;
+  uint32_t Man = X & 0x7FFFFFu;
+  if (ExpF == 0xFFu) // inf / NaN (keep NaN quiet with a nonzero payload)
+    return static_cast<uint16_t>(Sign | 0x7C00u |
+                                 (Man ? 0x200u | (Man >> 13) : 0u));
+  int32_t Exp = static_cast<int32_t>(ExpF) - 127 + 15;
+  if (Exp >= 31) // overflows f16 even before rounding
+    return static_cast<uint16_t>(Sign | 0x7C00u);
+  if (Exp <= 0) {
+    // Subnormal (or underflow to zero): shift the 24-bit significand —
+    // implicit bit restored — down to the 10-bit subnormal field.
+    if (Exp < -10)
+      return static_cast<uint16_t>(Sign);
+    uint32_t M = Man | 0x800000u;
+    int Shift = 14 - Exp;
+    uint32_t Half = M >> Shift;
+    uint32_t Rem = M & ((1u << Shift) - 1u);
+    uint32_t Mid = 1u << (Shift - 1);
+    if (Rem > Mid || (Rem == Mid && (Half & 1u)))
+      ++Half; // a carry into exponent 1 yields the right pattern anyway
+    return static_cast<uint16_t>(Sign | Half);
+  }
+  // Normal: drop 13 mantissa bits with round-to-nearest-even. A mantissa
+  // carry propagates into the exponent, and 30 -> 31 correctly lands on
+  // the infinity pattern (values just under 2^16 round up past f16 max).
+  uint32_t Half = (static_cast<uint32_t>(Exp) << 10) | (Man >> 13);
+  uint32_t Rem = Man & 0x1FFFu;
+  if (Rem > 0x1000u || (Rem == 0x1000u && (Half & 1u)))
+    ++Half;
+  return static_cast<uint16_t>(Sign | Half);
+}
+
+} // namespace typilus
+
+#endif // TYPILUS_SUPPORT_FLOAT16_H

@@ -551,3 +551,132 @@ TEST(CheckpointTest, ResumeOntoDifferentSplitRefusesToTrain) {
   EXPECT_TRUE(std::isnan(T2.run(Smaller)));
   std::remove(Path.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Quantized τmap stores (format version 2)
+//===----------------------------------------------------------------------===//
+
+class QuantizedArtifactTest : public ::testing::TestWithParam<MarkerStore> {};
+
+// The quantized-store contract mirrors the f32 one: save -> load across
+// process boundaries must predict bit-identically, because both sides
+// run the SAME decoded coordinates through the SAME distance kernel.
+TEST_P(QuantizedArtifactTest, LoadedQuantizedPredictorIsBitIdentical) {
+  MarkerStore S = GetParam();
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  KnnOptions KO;
+  KO.Store = S;
+  Predictor P = makePredictor(WB, *M, KO);
+  ASSERT_EQ(P.typeMap().store(), S);
+  EXPECT_EQ(P.artifactVersion(), 2u);
+
+  std::string Path =
+      tempArtifactPath(std::string("quant_") + markerStoreName(S));
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+
+  auto InProc = P.predictAll(WB.DS.Test);
+  ASSERT_FALSE(InProc.empty());
+
+  std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  ASSERT_TRUE(L->isKnn());
+  EXPECT_EQ(L->typeMap().store(), S);
+  EXPECT_EQ(L->knnOptions().Store, S);
+  expectBitIdentical(InProc, L->predictAll(WB.DS.Test));
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, QuantizedArtifactTest,
+                         ::testing::Values(MarkerStore::F16, MarkerStore::Int8),
+                         [](const auto &Info) {
+                           return std::string(markerStoreName(Info.param));
+                         });
+
+// Forward compatibility: a predictor that never quantized writes the
+// version-1 byte stream — old readers keep working, and the artifact is
+// byte-identical to what a pre-quantization writer produced.
+TEST(ArtifactTest, F32ArtifactStaysVersionOne) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  Predictor P = makePredictor(WB, *M);
+  EXPECT_EQ(P.artifactVersion(), 1u);
+
+  std::string Path = tempArtifactPath("f32v1");
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+  ArchiveReader R;
+  ASSERT_TRUE(R.openBytes(readFileBytes(Path), &Err)) << Err;
+  EXPECT_EQ(R.formatVersion(), 1u);
+  EXPECT_TRUE(R.hasChunk("tmap"));
+  EXPECT_FALSE(R.hasChunk("tm16"));
+  EXPECT_FALSE(R.hasChunk("tmq8"));
+  std::remove(Path.c_str());
+}
+
+// The version stamp follows the store: quantized artifacts carry version
+// 2 and the store-specific chunk tag instead of "tmap".
+TEST(ArtifactTest, QuantizedArtifactStampsVersionTwoAndStoreChunk) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  KnnOptions KO;
+  KO.Store = MarkerStore::Int8;
+  Predictor P = makePredictor(WB, *M, KO);
+
+  std::string Path = tempArtifactPath("int8v2");
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+  ArchiveReader R;
+  ASSERT_TRUE(R.openBytes(readFileBytes(Path), &Err)) << Err;
+  EXPECT_EQ(R.formatVersion(), 2u);
+  EXPECT_TRUE(R.hasChunk("tmq8"));
+  EXPECT_FALSE(R.hasChunk("tmap"));
+  std::remove(Path.c_str());
+}
+
+// Quantization is one-way: re-encoding an already-lossy store compounds
+// the error, so setMarkerStore refuses anything but f32 -> X.
+TEST(ArtifactTest, RequantizationIsRejected) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  Predictor P = makePredictor(WB, *M);
+
+  std::string Err;
+  ASSERT_TRUE(P.setMarkerStore(MarkerStore::F16, &Err)) << Err;
+  EXPECT_TRUE(P.setMarkerStore(MarkerStore::F16, &Err)); // same store: no-op
+  EXPECT_FALSE(P.setMarkerStore(MarkerStore::Int8, &Err));
+  EXPECT_NE(Err.find("one-way"), std::string::npos) << Err;
+}
+
+// Coreset subsampling survives the round trip: the loaded map has the
+// subsampled marker count and predicts identically to the in-process
+// subsampled predictor.
+TEST(ArtifactTest, SubsampledMapRoundTrips) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  KnnOptions Unbounded;
+  Predictor Full = makePredictor(WB, *M, Unbounded);
+  size_t FullSize = Full.typeMap().size();
+  ASSERT_GT(FullSize, 20u);
+
+  KnnOptions KO;
+  KO.MaxMarkers = FullSize / 2;
+  Predictor P = makePredictor(WB, *M, KO);
+  EXPECT_EQ(P.typeMap().size(), KO.MaxMarkers);
+
+  std::string Path = tempArtifactPath("coreset");
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+  auto InProc = P.predictAll(WB.DS.Test);
+  std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  EXPECT_EQ(L->typeMap().size(), KO.MaxMarkers);
+  expectBitIdentical(InProc, L->predictAll(WB.DS.Test));
+  std::remove(Path.c_str());
+}

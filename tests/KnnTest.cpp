@@ -1,6 +1,7 @@
 //===- tests/KnnTest.cpp - knn/ unit & property tests --------------------------===//
 
 #include "knn/TypeMap.h"
+#include "support/Float16.h"
 #include "support/Str.h"
 #include "support/Rng.h"
 #include "typesys/Type.h"
@@ -8,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
+#include <vector>
 
 using namespace typilus;
 
@@ -315,4 +318,230 @@ TEST(TypeMapTest, ReserveKeepsContentsIntact) {
   Map.add(B, U.parse("str"));
   EXPECT_EQ(Map.size(), 2u);
   EXPECT_FLOAT_EQ(Map.embedding(1)[2], 6.f);
+}
+
+TEST(TypeMapTest, ReserveIsTotalAndIdempotent) {
+  TypeUniverse U;
+  TypeMap Map(3);
+  // reserve() takes a *total* marker bound, so repeating the same call
+  // must not grow the reservation (the historical incremental semantics
+  // doubled it on every call).
+  Map.reserve(100);
+  size_t Cap = Map.reservedMarkers();
+  EXPECT_GE(Cap, 100u);
+  Map.reserve(100);
+  EXPECT_EQ(Map.reservedMarkers(), Cap);
+  // A smaller bound never shrinks an existing reservation.
+  Map.reserve(10);
+  EXPECT_EQ(Map.reservedMarkers(), Cap);
+}
+
+//===----------------------------------------------------------------------===//
+// Quantized marker stores (f16 / int8)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// L1 between a query and the *decoded* coordinates of marker I — the
+/// reference l1DistanceTo must agree with on every store.
+float decodedL1(const TypeMap &Map, const float *Q, size_t I) {
+  std::vector<float> Row(static_cast<size_t>(Map.dim()));
+  Map.decodeEmbedding(I, Row.data());
+  float Sum = 0;
+  for (int D = 0; D != Map.dim(); ++D)
+    Sum += std::fabs(Q[static_cast<size_t>(D)] - Row[static_cast<size_t>(D)]);
+  return Sum;
+}
+
+} // namespace
+
+TEST(QuantizedMapTest, F16CoordsAreRoundToNearestEven) {
+  MapFixture F(64, 4, 8, 11);
+  TypeMap Q = F.Map; // quantize a copy; keep the f32 original
+  Q.quantize(MarkerStore::F16);
+  EXPECT_EQ(Q.store(), MarkerStore::F16);
+  ASSERT_EQ(Q.size(), F.Map.size());
+  for (size_t I = 0; I != Q.size(); ++I)
+    for (int D = 0; D != 8; ++D) {
+      float Orig = F.Map.embedding(I)[D];
+      // Exactly one binary16 rounding, nothing else.
+      EXPECT_EQ(Q.coord(I, D), f16BitsToF32(f32ToF16Bits(Orig)));
+      EXPECT_NEAR(Q.coord(I, D), Orig, 1e-3f * std::max(1.f, std::fabs(Orig)));
+    }
+}
+
+TEST(QuantizedMapTest, Int8CoordsWithinHalfScaleStep) {
+  MapFixture F(64, 4, 8, 12);
+  TypeMap Q = F.Map;
+  Q.quantize(MarkerStore::Int8);
+  EXPECT_EQ(Q.store(), MarkerStore::Int8);
+  for (size_t I = 0; I != Q.size(); ++I) {
+    float MaxAbs = 0;
+    for (int D = 0; D != 8; ++D)
+      MaxAbs = std::max(MaxAbs, std::fabs(F.Map.embedding(I)[D]));
+    float Scale = MaxAbs / 127.f;
+    for (int D = 0; D != 8; ++D)
+      // Round-to-nearest against a per-marker scale: the decode error is
+      // at most half a quantization step.
+      EXPECT_NEAR(Q.coord(I, D), F.Map.embedding(I)[D], 0.5f * Scale + 1e-6f);
+  }
+}
+
+TEST(QuantizedMapTest, DistancesMatchDecodedCoordinates) {
+  MapFixture F(128, 6, 16, 13);
+  for (MarkerStore S : {MarkerStore::F16, MarkerStore::Int8}) {
+    TypeMap Q = F.Map;
+    Q.quantize(S);
+    Rng R(14);
+    std::vector<float> Query(16);
+    for (int T = 0; T != 10; ++T) {
+      for (float &X : Query)
+        X = static_cast<float>(R.normal());
+      for (size_t I = 0; I < Q.size(); I += 7)
+        EXPECT_NEAR(Q.l1DistanceTo(Query.data(), I),
+                    decodedL1(Q, Query.data(), I), 1e-3f)
+            << markerStoreName(S) << " marker " << I;
+    }
+  }
+}
+
+TEST(QuantizedMapTest, SnapshotRoundTripIsExact) {
+  MapFixture F(50, 5, 8, 15);
+  for (MarkerStore S : {MarkerStore::F16, MarkerStore::Int8}) {
+    TypeMap Q = F.Map;
+    Q.quantize(S);
+
+    std::map<TypeRef, int> TypeIds;
+    std::vector<TypeRef> ById;
+    for (size_t I = 0; I != Q.size(); ++I)
+      TypeIds.emplace(Q.type(I), 0);
+    int Next = 0;
+    for (auto &[T, Id] : TypeIds) {
+      Id = Next++;
+      ById.push_back(T);
+    }
+
+    ArchiveWriter W(2);
+    W.beginChunk("tmap");
+    Q.save(W, TypeIds);
+    W.endChunk();
+    ArchiveReader R;
+    std::string Err;
+    ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+    ArchiveCursor C = R.chunk("tmap", &Err);
+    TypeMap Loaded(8);
+    ASSERT_TRUE(Loaded.load(C, ById, &Err, S)) << Err;
+    ASSERT_TRUE(C.atEnd()) << "trailing bytes in a "
+                           << markerStoreName(S) << " snapshot";
+    ASSERT_EQ(Loaded.size(), Q.size());
+    EXPECT_EQ(Loaded.store(), S);
+    for (size_t I = 0; I != Q.size(); ++I) {
+      EXPECT_EQ(Loaded.type(I), ById[static_cast<size_t>(TypeIds.at(Q.type(I)))]);
+      for (int D = 0; D != 8; ++D)
+        // Bit-exact: quantized coordinates serialize as their stored
+        // encoding, never through a decode/re-encode.
+        EXPECT_EQ(Loaded.coord(I, D), Q.coord(I, D))
+            << markerStoreName(S) << " marker " << I << " dim " << D;
+    }
+  }
+}
+
+TEST(QuantizedMapTest, AddEncodesAndDedupesOnStoredBytes) {
+  TypeUniverse U;
+  TypeMap Map(2);
+  float A[2] = {1.0f, 2.0f};
+  Map.add(A, U.parse("int"));
+  Map.quantize(MarkerStore::F16);
+
+  // A fresh point inserts (encoded on the way in)...
+  float B[2] = {3.0f, 4.0f};
+  EXPECT_TRUE(Map.add(B, U.parse("int")));
+  EXPECT_EQ(Map.store(), MarkerStore::F16);
+  EXPECT_EQ(Map.size(), 2u);
+  // ...an exact duplicate is dropped...
+  EXPECT_FALSE(Map.add(B, U.parse("int")));
+  // ...and so is a point that only collides after f16 rounding (1e-5 is
+  // far below half a ulp of 3.0 in binary16, which is ~1e-3).
+  float BNudged[2] = {3.00001f, 4.0f};
+  ASSERT_EQ(f32ToF16Bits(BNudged[0]), f32ToF16Bits(B[0]));
+  EXPECT_FALSE(Map.add(BNudged, U.parse("int")));
+  EXPECT_EQ(Map.size(), 2u);
+  EXPECT_EQ(Map.droppedDuplicates(), 2u);
+}
+
+TEST(QuantizedMapTest, QueryQualityCloseToF32) {
+  // kNN answers over quantized stores must stay close to the exact-store
+  // answers: the Fig. 6 accuracy-delta guarantee, in miniature.
+  MapFixture F(1000, 10, 16, 16);
+  ExactIndex Truth(F.Map);
+  Rng R(17);
+  const int Queries = 40, K = 10;
+  for (MarkerStore S : {MarkerStore::F16, MarkerStore::Int8}) {
+    TypeMap Q = F.Map;
+    Q.quantize(S);
+    ExactIndex Approx(Q);
+    double Recall = 0;
+    for (int T = 0; T != Queries; ++T) {
+      std::vector<float> P(16);
+      for (float &X : P)
+        X = static_cast<float>(R.normal());
+      auto Want = Truth.query(P.data(), K);
+      auto Got = Approx.query(P.data(), K);
+      std::set<int> WantSet;
+      for (auto [I, D] : Want)
+        WantSet.insert(I);
+      int Hits = 0;
+      for (auto [I, D] : Got)
+        Hits += WantSet.count(I);
+      Recall += static_cast<double>(Hits) / K;
+    }
+    Recall /= Queries;
+    EXPECT_GE(Recall, S == MarkerStore::F16 ? 0.97 : 0.85)
+        << markerStoreName(S) << " neighbour recall degraded too far";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Coreset subsampling
+//===----------------------------------------------------------------------===//
+
+TEST(CoresetTest, BoundRespectedAndEveryTypeKept) {
+  MapFixture F(500, 10, 8, 18);
+  std::set<TypeRef> AllTypes;
+  for (size_t I = 0; I != F.Map.size(); ++I)
+    AllTypes.insert(F.Map.type(I));
+
+  size_t NewSize = F.Map.subsampleCoreset(60);
+  EXPECT_EQ(NewSize, F.Map.size());
+  EXPECT_LE(F.Map.size(), 60u);
+  EXPECT_GE(F.Map.size(), AllTypes.size());
+  std::set<TypeRef> KeptTypes;
+  for (size_t I = 0; I != F.Map.size(); ++I)
+    KeptTypes.insert(F.Map.type(I));
+  EXPECT_EQ(KeptTypes, AllTypes) << "subsampling lost a type entirely";
+}
+
+TEST(CoresetTest, DeterministicAcrossRuns) {
+  MapFixture A(300, 8, 8, 19), B(300, 8, 8, 19);
+  A.Map.subsampleCoreset(50);
+  B.Map.subsampleCoreset(50);
+  ASSERT_EQ(A.Map.size(), B.Map.size());
+  for (size_t I = 0; I != A.Map.size(); ++I) {
+    EXPECT_EQ(A.Map.type(I)->str(), B.Map.type(I)->str());
+    for (int D = 0; D != 8; ++D)
+      EXPECT_EQ(A.Map.embedding(I)[D], B.Map.embedding(I)[D]);
+  }
+}
+
+TEST(CoresetTest, NoOpWithinBoundOrUnlimited) {
+  MapFixture F(40, 4, 8, 20);
+  EXPECT_EQ(F.Map.subsampleCoreset(0), 40u);   // 0 = unlimited
+  EXPECT_EQ(F.Map.subsampleCoreset(100), 40u); // already within bound
+  EXPECT_EQ(F.Map.size(), 40u);
+  // Survivors after a real cut still dedupe correctly on insert.
+  F.Map.subsampleCoreset(20);
+  std::vector<float> Row(8);
+  for (int D = 0; D != 8; ++D)
+    Row[static_cast<size_t>(D)] = F.Map.embedding(0)[D];
+  EXPECT_FALSE(F.Map.add(Row.data(), F.Map.type(0)));
 }

@@ -8,17 +8,32 @@
 #include "nn/Autograd.h"
 #include "nn/Layers.h"
 #include "nn/Optim.h"
+#include "nn/Simd.h"
+#include "support/Float16.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
+#include <limits>
+#include <vector>
 
 using namespace typilus;
 using namespace typilus::nn;
 
 namespace {
+
+/// Pins the kernel dispatch to one table for a test's lifetime and
+/// restores the startup selection afterwards.
+struct SimdGuard {
+  explicit SimdGuard(bool Enabled) : Was(simd::simdEnabled()) {
+    simd::setSimdEnabled(Enabled);
+  }
+  ~SimdGuard() { simd::setSimdEnabled(Was); }
+  bool Was;
+};
 
 /// Fills \p T with values away from kinks (|x| >= 0.1) so relu/abs/max
 /// gradients are stable under finite differences.
@@ -561,6 +576,10 @@ Tensor randomTensor(int64_t Rows, int64_t Cols, Rng &R) {
 } // namespace
 
 TEST(KernelTest, GemmBitIdenticalToNaiveAllTransposes) {
+  // Bit-identity to the naive kernel is the *scalar reference's* contract
+  // (the SIMD tables reassociate through FMA and are tolerance-tested by
+  // SimdTest below); pin the scalar table for this test.
+  SimdGuard Scalar(false);
   Rng R(41);
   const int64_t M = 37, N = 29, K = 53; // odd sizes stress the tiling
   for (bool TA : {false, true})
@@ -654,4 +673,231 @@ TEST(KernelTest, CharCnnBatchMatchesPerWordEncode) {
                 One.val().at(0, J))
           << "word " << W << " dim " << J;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// SIMD-vs-scalar tolerance suite
+//
+// The scalar table is the reference (pinned bit-identical above); the
+// SIMD table may reassociate reductions and use FMA / polynomial exp, so
+// each kernel gets an explicit error budget: results must agree within
+// MaxUlp units-in-the-last-place OR an absolute epsilon (the epsilon
+// covers well-conditioned cancellation, e.g. tanh near zero). Sizes sweep
+// through every dispatch width: sub-vector, exact multiples, and
+// remainder lanes of both the 8-wide AVX2 and 4-wide NEON paths.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t ulpDiff(float A, float B) {
+  if (A == B)
+    return 0;
+  int32_t IA, IB;
+  std::memcpy(&IA, &A, 4);
+  std::memcpy(&IB, &B, 4);
+  // Map the sign-magnitude float encoding onto a monotonic integer line.
+  if (IA < 0)
+    IA = std::numeric_limits<int32_t>::min() - IA;
+  if (IB < 0)
+    IB = std::numeric_limits<int32_t>::min() - IB;
+  return std::llabs(static_cast<int64_t>(IA) - static_cast<int64_t>(IB));
+}
+
+void expectClose(float Got, float Want, int64_t MaxUlp, float Atol,
+                 const char *What, int64_t N, int64_t I) {
+  if (std::fabs(Got - Want) <= Atol)
+    return;
+  EXPECT_LE(ulpDiff(Got, Want), MaxUlp)
+      << What << " N=" << N << " elem " << I << ": got " << Got << " want "
+      << Want;
+}
+
+/// The dispatch widths under test: around the 4- and 8-lane boundaries,
+/// plus chunk-sized runs.
+const std::vector<int64_t> &simdSizes() {
+  static const std::vector<int64_t> S{1,  2,  3,  4,  5,  7,   8,   9,
+                                      15, 16, 17, 31, 32, 33,  63,  64,
+                                      65, 100, 255, 1000};
+  return S;
+}
+
+std::vector<float> randomVec(int64_t N, Rng &R, float Scale = 1.f) {
+  std::vector<float> V(static_cast<size_t>(N));
+  for (float &X : V)
+    X = Scale * static_cast<float>(R.normal());
+  return V;
+}
+
+class SimdTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!simd::simdAvailable())
+      GTEST_SKIP() << "no SIMD table in this build/CPU";
+  }
+  const simd::KernelTable &S = simd::scalarTable();
+  const simd::KernelTable &V = simd::active(); // probe-selected table
+};
+
+} // namespace
+
+TEST_F(SimdTest, ElementwiseKernelsBitIdenticalToScalar) {
+  // These kernels use the scalar per-element operation sequence inside
+  // the vector lanes (mul then add, compare-and-mask), so the budget is
+  // exactly zero ulp.
+  Rng R(71);
+  for (int64_t N : simdSizes()) {
+    auto A = randomVec(N, R), B = randomVec(N, R);
+    auto D1 = randomVec(N, R);
+    auto D2 = D1;
+    auto Check = [&](const char *What) {
+      for (int64_t I = 0; I != N; ++I)
+        EXPECT_EQ(D1[static_cast<size_t>(I)], D2[static_cast<size_t>(I)])
+            << What << " N=" << N << " elem " << I;
+    };
+    S.Add(D1.data(), A.data(), N);
+    V.Add(D2.data(), A.data(), N);
+    Check("add");
+    S.Sub(D1.data(), A.data(), N);
+    V.Sub(D2.data(), A.data(), N);
+    Check("sub");
+    S.Mul(D1.data(), A.data(), N);
+    V.Mul(D2.data(), A.data(), N);
+    Check("mul");
+    S.Scale(D1.data(), 1.25f, N);
+    V.Scale(D2.data(), 1.25f, N);
+    Check("scale");
+    S.MulAcc(D1.data(), A.data(), B.data(), N);
+    V.MulAcc(D2.data(), A.data(), B.data(), N);
+    Check("mulAcc");
+    S.Relu(D1.data(), N);
+    V.Relu(D2.data(), N);
+    Check("relu");
+    S.ReluBwd(D1.data(), A.data(), B.data(), N);
+    V.ReluBwd(D2.data(), A.data(), B.data(), N);
+    Check("reluBwd");
+    S.SigmoidBwd(D1.data(), A.data(), B.data(), N);
+    V.SigmoidBwd(D2.data(), A.data(), B.data(), N);
+    Check("sigmoidBwd");
+    S.TanhBwd(D1.data(), A.data(), B.data(), N);
+    V.TanhBwd(D2.data(), A.data(), B.data(), N);
+    Check("tanhBwd");
+  }
+}
+
+TEST_F(SimdTest, AxpyRowWithinOneFmaRounding) {
+  // FMA skips one rounding of the product; near-cancelling dst + a*x can
+  // turn that into many ulp of a tiny result, so the budget is one fused
+  // rounding in absolute terms with a tight ulp bound elsewhere.
+  Rng R(72);
+  for (int64_t N : simdSizes()) {
+    auto X = randomVec(N, R);
+    auto D1 = randomVec(N, R);
+    auto D2 = D1;
+    S.AxpyRow(D1.data(), 0.7f, X.data(), N);
+    V.AxpyRow(D2.data(), 0.7f, X.data(), N);
+    for (int64_t I = 0; I != N; ++I)
+      expectClose(D2[static_cast<size_t>(I)], D1[static_cast<size_t>(I)],
+                  /*MaxUlp=*/4, /*Atol=*/1e-6f, "axpyRow", N, I);
+  }
+}
+
+TEST_F(SimdTest, ReductionsWithinBudget) {
+  Rng R(73);
+  for (int64_t N : simdSizes()) {
+    auto A = randomVec(N, R), B = randomVec(N, R);
+    expectClose(V.Dot(A.data(), B.data(), N), S.Dot(A.data(), B.data(), N),
+                /*MaxUlp=*/256, /*Atol=*/1e-3f, "dot", N, -1);
+    expectClose(V.L1(A.data(), B.data(), N), S.L1(A.data(), B.data(), N),
+                /*MaxUlp=*/64, /*Atol=*/1e-4f, "l1", N, -1);
+  }
+}
+
+TEST_F(SimdTest, QuantizedRowDistancesMatchScalarDecode) {
+  Rng R(74);
+  for (int64_t N : simdSizes()) {
+    auto Q = randomVec(N, R);
+    auto Src = randomVec(N, R);
+    std::vector<uint16_t> H(static_cast<size_t>(N));
+    std::vector<int8_t> I8(static_cast<size_t>(N));
+    float MaxAbs = 0.f;
+    for (int64_t I = 0; I != N; ++I)
+      MaxAbs = std::max(MaxAbs, std::fabs(Src[static_cast<size_t>(I)]));
+    float Scale = MaxAbs / 127.f;
+    for (int64_t I = 0; I != N; ++I) {
+      H[static_cast<size_t>(I)] = f32ToF16Bits(Src[static_cast<size_t>(I)]);
+      long Ticks = std::lround(Src[static_cast<size_t>(I)] / Scale);
+      I8[static_cast<size_t>(I)] = static_cast<int8_t>(
+          std::max(-127l, std::min(127l, Ticks)));
+    }
+    // Decode is exact on both sides, so only summation order differs.
+    expectClose(V.L1F16(Q.data(), H.data(), N),
+                S.L1F16(Q.data(), H.data(), N),
+                /*MaxUlp=*/64, /*Atol=*/1e-4f, "l1f16", N, -1);
+    expectClose(V.L1I8(Q.data(), I8.data(), Scale, N),
+                S.L1I8(Q.data(), I8.data(), Scale, N),
+                /*MaxUlp=*/64, /*Atol=*/1e-4f, "l1i8", N, -1);
+  }
+}
+
+TEST_F(SimdTest, ActivationsWithinBudget) {
+  Rng R(75);
+  for (int64_t N : simdSizes()) {
+    // 4x-scaled inputs reach the saturating tails of both activations.
+    auto X = randomVec(N, R, 4.f);
+    auto X1 = X, X2 = X;
+    S.Sigmoid(X1.data(), N);
+    V.Sigmoid(X2.data(), N);
+    for (int64_t I = 0; I != N; ++I)
+      expectClose(X2[static_cast<size_t>(I)], X1[static_cast<size_t>(I)],
+                  /*MaxUlp=*/256, /*Atol=*/1e-5f, "sigmoid", N, I);
+    X1 = X;
+    X2 = X;
+    S.Tanh(X1.data(), N);
+    V.Tanh(X2.data(), N);
+    for (int64_t I = 0; I != N; ++I)
+      expectClose(X2[static_cast<size_t>(I)], X1[static_cast<size_t>(I)],
+                  /*MaxUlp=*/512, /*Atol=*/1e-5f, "tanh", N, I);
+  }
+}
+
+TEST_F(SimdTest, SoftmaxRowWithinBudgetAndNormalized) {
+  Rng R(76);
+  for (int64_t N : simdSizes()) {
+    auto X = randomVec(N, R, 3.f);
+    auto X1 = X, X2 = X;
+    S.SoftmaxRow(X1.data(), N);
+    V.SoftmaxRow(X2.data(), N);
+    double Sum = 0;
+    for (int64_t I = 0; I != N; ++I) {
+      expectClose(X2[static_cast<size_t>(I)], X1[static_cast<size_t>(I)],
+                  /*MaxUlp=*/256, /*Atol=*/1e-5f, "softmaxRow", N, I);
+      Sum += X2[static_cast<size_t>(I)];
+    }
+    EXPECT_NEAR(Sum, 1.0, 1e-4) << "softmax row must stay normalized, N=" << N;
+  }
+}
+
+TEST_F(SimdTest, SimdPathIsThreadCountDeterministic) {
+  // The SIMD contract is weaker than the scalar one only in *which* bits:
+  // for a fixed build+CPU the result must still not depend on the thread
+  // count. Remainder lanes mirror the vector lanes' operation sequence,
+  // so chunk boundaries (which move with the pool size) cannot show
+  // through. Exercised at the public-kernel level where chunking lives.
+  Rng R(77);
+  const int64_t N = 64 * 1024; // several ElementwiseGrain chunks
+  auto X = randomVec(N, R);
+  auto Run = [&](int Threads) {
+    auto Y = X;
+    setGlobalNumThreads(Threads);
+    kernels::sigmoidForward(Y.data(), N);
+    kernels::scaleInPlace(Y.data(), 1.1f, N);
+    kernels::tanhForward(Y.data(), N);
+    return Y;
+  };
+  auto One = Run(1);
+  auto Four = Run(4);
+  setGlobalNumThreads(0);
+  for (int64_t I = 0; I != N; ++I)
+    ASSERT_EQ(One[static_cast<size_t>(I)], Four[static_cast<size_t>(I)])
+        << "elem " << I;
 }

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace typilus;
 
@@ -48,7 +49,11 @@ ModelConfig tinyConfig() {
 /// Writes the tiny corpus as a shard set under TempDir and returns the
 /// directory. \p FilesPerShard makes multi-shard layouts cheap to vary.
 std::string writeTinyShards(const std::string &Name, int FilesPerShard) {
-  std::string Dir = testing::TempDir() + "typilus_shards_" + Name;
+  // Suffixed with the pid: ctest -j runs each test of this suite as its
+  // own process sharing TempDir, and same-named fixture directories would
+  // clobber each other mid-test (same fix as ServeFaultTest's artifacts).
+  std::string Dir = testing::TempDir() + "typilus_shards_" + Name + "_" +
+                    std::to_string(static_cast<long>(getpid()));
   CorpusConfig CC = tinyCorpus();
   CorpusGenerator Gen(CC);
   std::vector<CorpusFile> Files = Gen.generate();

@@ -18,6 +18,26 @@ case ${BUILD_DIR:-build} in
 esac
 [ -x "$BIN" ] || { echo "error: $BIN not built (cmake --build build)" >&2; exit 1; }
 
+# A Debug-build number is not a benchmark. Read the build type straight
+# from the build tree's cache (the configure default is RelWithDebInfo, so
+# Debug only happens on purpose) and refuse to record it unless the caller
+# explicitly overrides; the recording then says so in its provenance.
+BDIR=$(CDPATH= cd -- "$(dirname -- "$BIN")/.." && pwd)
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BDIR/CMakeCache.txt" 2>/dev/null | head -1)
+BUILD_TYPE=${BUILD_TYPE:-unknown}
+case $BUILD_TYPE in
+  [Dd]ebug)
+    if [ "${TYPILUS_BENCH_ALLOW_DEBUG:-0}" != 1 ]; then
+      echo "error: $BDIR is a Debug build; refusing to record timings." >&2
+      echo "       Rebuild with -DCMAKE_BUILD_TYPE=RelWithDebInfo, or set" >&2
+      echo "       TYPILUS_BENCH_ALLOW_DEBUG=1 to record anyway (the JSON" >&2
+      echo "       will be marked build_type=Debug)." >&2
+      exit 3
+    fi
+    echo "warning: recording from a Debug build (TYPILUS_BENCH_ALLOW_DEBUG=1); timings are not comparable" >&2
+    ;;
+esac
+
 OUT="$ROOT/BENCH_$NAME.json"
 TMP=$(mktemp)
 # Same directory as $OUT so the final rename is an atomic same-device mv.
@@ -88,7 +108,8 @@ cat > "$OUTTMP" <<EOF
   "host": {
     "cpu": "$CPU",
     "cores": $CORES,
-    "compiler": "$COMPILER"
+    "compiler": "$COMPILER",
+    "build_type": "$(printf '%s' "$BUILD_TYPE" | json_escape)"
   },
   "git": "$GIT",
   "output": "$(json_escape < "$TMP")\\n"

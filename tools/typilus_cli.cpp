@@ -16,6 +16,7 @@
 
 #include "core/Experiments.h"
 #include "corpus/ShardedDataset.h"
+#include "nn/Simd.h"
 #include "serve/Protocol.h"
 #include "support/Archive.h"
 #include "support/Json.h"
@@ -67,6 +68,9 @@ struct Options {
   double P = 1.0;
   bool HaveK = false, HaveP = false;
   bool Exact = false, AnnoyFlag = false;
+  std::string TmapStore;       ///< --tmap-store: f32 | f16 | int8.
+  long TmapMaxMarkers = 0;     ///< --tmap-max-markers: coreset cap (0 = off).
+  bool NoSimd = false;         ///< --no-simd: pin the scalar kernel table.
   bool Verbose = false;
   std::string Encoder = "graph";
   std::string Loss = "typilus";
@@ -85,9 +89,12 @@ int usage(const char *Argv0) {
       "           [--loss typilus|space|class] [--exact] [--k N] [--p F]\n"
       "           [--threads N] [--seed S] [--checkpoint PATH] [--resume]\n"
       "           [--checkpoint-every STEPS] [--shards DIR] [--verbose]\n"
+      "           [--tmap-store f32|f16|int8] [--tmap-max-markers N]\n"
       "           (--shards streams a `typilus shard` set instead of\n"
       "           regenerating the corpus; RAM is bounded by shard\n"
-      "           residency and digests match the in-memory path)\n"
+      "           residency and digests match the in-memory path;\n"
+      "           --tmap-store quantizes the τmap markers and\n"
+      "           --tmap-max-markers caps them by coreset subsampling)\n"
       "  shard    preprocess the synthetic corpus into a shard set\n"
       "           --out-dir DIR [--files N] [--udts N] [--seed S]\n"
       "           [--shard-files N]\n"
@@ -98,10 +105,16 @@ int usage(const char *Argv0) {
       "           --model PATH\n"
       "  save     rewrite an artifact, optionally changing kNN options\n"
       "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n"
+      "           [--tmap-store f16|int8]  (quantize an f32 τmap in place)\n"
       "  client   talk to a running typilus_serve daemon\n"
       "           (--socket PATH | --tcp HOST:PORT)\n"
       "           (--source FILE.py... [--repeat N] [--limit N]\n"
-      "           | --ping | --reload | --shutdown)\n",
+      "           | --ping | --reload | --shutdown)\n"
+      "\n"
+      "global options:\n"
+      "  --no-simd  pin the scalar reference kernels (bit-reproducible\n"
+      "             across hosts; the default SIMD path is deterministic\n"
+      "             per host but may differ from scalar in the last ulps)\n",
       Argv0);
   return 2;
 }
@@ -200,6 +213,14 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Exact = true;
     } else if (A == "--annoy") {
       O.AnnoyFlag = true;
+    } else if (A == "--tmap-store") {
+      if (!(V = Next("--tmap-store"))) return false;
+      O.TmapStore = V;
+    } else if (A == "--tmap-max-markers") {
+      if (!(V = Next("--tmap-max-markers"))) return false;
+      O.TmapMaxMarkers = std::atol(V);
+    } else if (A == "--no-simd") {
+      O.NoSimd = true;
     } else if (A == "--verbose") {
       O.Verbose = true;
     } else {
@@ -449,16 +470,24 @@ int cmdTrain(const Options &O) {
     KO.P = O.P;
   KO.UseAnnoy = !O.Exact;
   KO.NumThreads = O.Threads;
+  if (!O.TmapStore.empty() && !parseMarkerStore(O.TmapStore, &KO.Store))
+    return fail("--tmap-store expects f32, f16 or int8; got '" + O.TmapStore +
+                "'");
+  if (O.TmapMaxMarkers < 0)
+    return fail("--tmap-max-markers expects a non-negative count");
+  KO.MaxMarkers = static_cast<size_t>(O.TmapMaxMarkers);
   Predictor P = MC.Loss == LossKind::Class
                     ? Predictor::classifier(*Model)
                     : Predictor::knn(*Model, *MapSrc, KO);
   if (P.isKnn())
-    std::printf("τmap: %zu markers (%s index, %zu duplicates dropped)\n",
-                P.typeMap().size(), KO.UseAnnoy ? "Annoy" : "exact",
+    std::printf("τmap: %zu markers (%s store, %s index, %zu duplicates "
+                "dropped)\n",
+                P.typeMap().size(), markerStoreName(P.typeMap().store()),
+                KO.UseAnnoy ? "Annoy" : "exact",
                 P.typeMap().droppedDuplicates());
 
   if (!O.Out.empty()) {
-    ArchiveWriter W(kModelArtifactVersion);
+    ArchiveWriter W(P.artifactVersion());
     P.writeArtifact(W, *U);
     if (HaveRecipe)
       writeCorpusRecipe(W, CC, DC);
@@ -643,8 +672,11 @@ int cmdInspect(const Options &O) {
               P->model().typeVocabs().Erased.size(), P->universe()->size(),
               P->model().params().numParams());
   if (P->isKnn())
-    std::printf("τmap: %zu markers, k=%d, p=%.2f, %s index\n",
-                P->typeMap().size(), P->knnOptions().K, P->knnOptions().P,
+    std::printf("τmap: %zu markers (%s store, %zu bytes), k=%d, p=%.2f, "
+                "%s index\n",
+                P->typeMap().size(), markerStoreName(P->typeMap().store()),
+                P->typeMap().storageBytes(), P->knnOptions().K,
+                P->knnOptions().P,
                 P->knnOptions().UseAnnoy ? "Annoy" : "exact");
   else
     std::printf("classifier over the closed type vocabulary\n");
@@ -685,8 +717,16 @@ int cmdSave(const Options &O) {
   if (O.AnnoyFlag)
     KO.UseAnnoy = true;
   P->setKnnOptions(KO); // rebuilds the index when the kind flips
+  if (!O.TmapStore.empty()) {
+    MarkerStore S;
+    if (!parseMarkerStore(O.TmapStore, &S))
+      return fail("--tmap-store expects f32, f16 or int8; got '" +
+                  O.TmapStore + "'");
+    if (!P->setMarkerStore(S, &Err))
+      return fail(Err);
+  }
 
-  ArchiveWriter W(kModelArtifactVersion);
+  ArchiveWriter W(P->artifactVersion());
   P->writeArtifact(W, *P->universe());
   if (R.hasChunk("corp")) {
     CorpusConfig CC;
@@ -871,6 +911,8 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseOptions(Argc, Argv, O))
     return 2;
+  if (O.NoSimd)
+    nn::simd::setSimdEnabled(false);
 
   if (Cmd == "train")
     return cmdTrain(O);

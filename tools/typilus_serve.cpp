@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Dataset.h"
+#include "nn/Simd.h"
 #include "serve/Server.h"
 #include "support/Socket.h"
 #include "support/ThreadPool.h"
@@ -52,6 +53,7 @@ struct Options {
   int Limit = -1;
   int CacheEntries = 1024;
   int MaxQueue = 0;
+  bool NoSimd = false; ///< --no-simd: pin the scalar kernel table.
 };
 
 int usage(const char *Argv0) {
@@ -74,7 +76,9 @@ int usage(const char *Argv0) {
       "                         (path, source) entries (default 1024,\n"
       "                         0 = off)\n"
       "  --max-queue N          shed predicts with an `overloaded` error\n"
-      "                         past this queue depth (default 0 = off)\n",
+      "                         past this queue depth (default 0 = off)\n"
+      "  --no-simd              pin the scalar reference kernels\n"
+      "                         (bit-reproducible across hosts)\n",
       Argv0);
   return 2;
 }
@@ -132,6 +136,8 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       if (!(V = Next("--max-queue")))
         return false;
       O.MaxQueue = std::atoi(V);
+    } else if (A == "--no-simd") {
+      O.NoSimd = true;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       return false;
@@ -260,6 +266,8 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseOptions(Argc, Argv, O))
     return 2;
+  if (O.NoSimd)
+    nn::simd::setSimdEnabled(false);
   bool HaveListener = !O.SocketPath.empty() || O.Port >= 0;
   if (O.ModelPath.empty() || (!HaveListener && !O.Stdio) ||
       (HaveListener && O.Stdio))
