@@ -41,7 +41,11 @@ struct Metrics {
   uint64_t NodeSum = 0; ///< Checksum-ish: proves both variants saw the same data.
   double BuildSec = 0;
   double StreamSec = 0;
+  double EpochSec = 0;
   uint64_t Decodes = 0;
+  uint64_t StallUs = 0;  ///< Consumer time spent obtaining non-resident shards.
+  uint64_t PfWaitUs = 0; ///< Portion of StallUs spent waiting on the prefetcher.
+  uint64_t PfHits = 0;
 };
 
 struct ChildResult {
@@ -133,8 +137,9 @@ int main() {
     return M;
   });
 
-  // Variant B: build shards (one chunk resident at a time), then stream
-  // them back through the LRU.
+  // Variant B: build shards serially (one chunk resident at a time; the
+  // parallel-build baseline), then stream them back through the LRU with
+  // the prefetcher off — the pure demand-decode cost.
   ChildResult Sharded = inChild([&] {
     Metrics M;
     CorpusGenerator Gen(CC);
@@ -143,6 +148,7 @@ int main() {
     ShardBuildOptions SO;
     SO.Dir = Dir;
     SO.FilesPerShard = FilesPerShard;
+    SO.NumThreads = 1;
     std::string Err;
     double T0 = now();
     if (!buildShards(Files, Gen.udts(), U, nullptr, DC, SO, &Err)) {
@@ -153,6 +159,7 @@ int main() {
     TypeUniverse U2;
     ShardedDatasetOptions RO;
     RO.MaxResidentShards = MaxResident;
+    RO.Prefetch = false;
     std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(Dir, U2, RO, &Err);
     if (!SD) {
       std::fprintf(stderr, "open: %s\n", Err.c_str());
@@ -164,18 +171,85 @@ int main() {
       streamPass(SD->split(SK), M);
     M.StreamSec = now() - T0;
     M.Decodes = SD->decodeCount();
+    M.StallUs = SD->decodeStallMicros();
     return M;
   });
 
-  // Clean the shard set up (the sharded child wrote it).
-  for (int I = 0; I != 1024; ++I) {
-    char Name[32];
-    std::snprintf(Name, sizeof(Name), "shard-%05d.typs", I);
-    if (std::remove((Dir + "/" + Name).c_str()) != 0)
-      break;
+  // Variant C: the same build through 4 chunk-builder threads (the
+  // shards are byte-identical — ShardTest pins that; here we time it).
+  std::string ParDir = Dir + ".par";
+  ChildResult ParBuild = inChild([&] {
+    Metrics M;
+    CorpusGenerator Gen(CC);
+    std::vector<CorpusFile> Files = Gen.generate();
+    TypeUniverse U;
+    ShardBuildOptions SO;
+    SO.Dir = ParDir;
+    SO.FilesPerShard = FilesPerShard;
+    SO.NumThreads = 4;
+    std::string Err;
+    double T0 = now();
+    if (!buildShards(Files, Gen.udts(), U, nullptr, DC, SO, &Err)) {
+      std::fprintf(stderr, "buildShards(par): %s\n", Err.c_str());
+      std::exit(1);
+    }
+    M.BuildSec = now() - T0;
+    return M;
+  });
+
+  // Variants D/E: one training epoch over the sharded train split with
+  // the prefetcher off vs on. The epoch is where overlap pays: the
+  // background decode of shard k+1 hides under shard k's batch compute,
+  // so the consumer's decode stall (µs spent obtaining non-resident
+  // shards) must shrink even where a 1-core host mutes wall-clock gains.
+  auto epochPass = [&](bool Prefetch) {
+    Metrics M;
+    TypeUniverse U;
+    std::string Err;
+    ShardedDatasetOptions RO;
+    RO.MaxResidentShards = MaxResident;
+    RO.Prefetch = Prefetch;
+    std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(Dir, U, RO, &Err);
+    if (!SD) {
+      std::fprintf(stderr, "open: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    ExampleSource &Train = SD->split(SplitKind::Train);
+    ModelConfig MC;
+    MC.Encoder = EncoderKind::Graph;
+    MC.Loss = LossKind::Typilus;
+    MC.HiddenDim = 16;
+    MC.TimeSteps = 2;
+    std::unique_ptr<TypeModel> Model = makeModel(MC, Train, U);
+    TrainOptions TO;
+    TO.Epochs = 1;
+    TO.BatchFiles = 8;
+    // The intended streaming mode: each shard decoded once per epoch, so
+    // the prefetcher's one-ahead plan covers every transition.
+    TO.ShardAwareShuffle = true;
+    double T0 = now();
+    trainModel(*Model, Train, TO);
+    M.EpochSec = now() - T0;
+    M.Decodes = SD->decodeCount();
+    M.StallUs = SD->decodeStallMicros();
+    M.PfWaitUs = SD->prefetchWaitMicros();
+    M.PfHits = SD->prefetchHits();
+    return M;
+  };
+  ChildResult EpochOff = inChild([&] { return epochPass(false); });
+  ChildResult EpochOn = inChild([&] { return epochPass(true); });
+
+  // Clean both shard sets up (the bench children wrote them).
+  for (const std::string &D : {Dir, ParDir}) {
+    for (int I = 0; I != 1024; ++I) {
+      char Name[32];
+      std::snprintf(Name, sizeof(Name), "shard-%05d.typs", I);
+      if (std::remove((D + "/" + Name).c_str()) != 0)
+        break;
+    }
+    std::remove((D + "/" + kShardManifestName).c_str());
+    std::remove(D.c_str());
   }
-  std::remove((Dir + "/" + kShardManifestName).c_str());
-  std::remove(Dir.c_str());
 
   if (InMem.M.Files != Sharded.M.Files ||
       InMem.M.Targets != Sharded.M.Targets ||
@@ -204,6 +278,25 @@ int main() {
               "shard)\n\n",
               Sharded.M.Decodes);
 
+  double Speedup = ParBuild.M.BuildSec > 0
+                       ? Sharded.M.BuildSec / ParBuild.M.BuildSec
+                       : 0.0;
+  std::printf("shard build: %.2fs serial, %.2fs with 4 chunk threads "
+              "(%.2fx)\n",
+              Sharded.M.BuildSec, ParBuild.M.BuildSec, Speedup);
+  double StallCut =
+      EpochOff.M.StallUs > 0
+          ? 1.0 - static_cast<double>(EpochOn.M.StallUs) /
+                      static_cast<double>(EpochOff.M.StallUs)
+          : 0.0;
+  std::printf("train epoch: %.2fs prefetch-off (stall %" PRIu64
+              " us over %" PRIu64 " decodes), %.2fs prefetch-on (stall "
+              "%" PRIu64 " us, wait %" PRIu64 " us, %" PRIu64
+              " hits) — %.0f%% of the decode stall removed\n\n",
+              EpochOff.M.EpochSec, EpochOff.M.StallUs, EpochOff.M.Decodes,
+              EpochOn.M.EpochSec, EpochOn.M.StallUs, EpochOn.M.PfWaitUs,
+              EpochOn.M.PfHits, 100.0 * StallCut);
+
   // The machine-readable lines BENCH_shard_stream.json records.
   std::printf("peak_rss_inmem_kb: %ld\n", InMem.PeakRssKb);
   std::printf("peak_rss_sharded_kb: %ld\n", Sharded.PeakRssKb);
@@ -220,5 +313,16 @@ int main() {
               Sharded.M.StreamSec > 0
                   ? static_cast<double>(Sharded.M.Files) / Sharded.M.StreamSec
                   : 0.0);
+  std::printf("shard_build_serial_sec: %.3f\n", Sharded.M.BuildSec);
+  std::printf("shard_build_par4_sec: %.3f\n", ParBuild.M.BuildSec);
+  std::printf("shard_build_speedup_par4: %.2fx\n", Speedup);
+  std::printf("epoch_sec_prefetch_off: %.3f\n", EpochOff.M.EpochSec);
+  std::printf("epoch_sec_prefetch_on: %.3f\n", EpochOn.M.EpochSec);
+  std::printf("decode_stall_us_prefetch_off: %" PRIu64 "\n",
+              EpochOff.M.StallUs);
+  std::printf("decode_stall_us_prefetch_on: %" PRIu64 "\n", EpochOn.M.StallUs);
+  std::printf("prefetch_wait_us: %" PRIu64 "\n", EpochOn.M.PfWaitUs);
+  std::printf("prefetch_hits: %" PRIu64 "\n", EpochOn.M.PfHits);
+  std::printf("prefetch_stall_reduction: %.2f\n", StallCut);
   return 0;
 }

@@ -137,6 +137,9 @@ double Trainer::run(ExampleSource &Train) {
     } else {
       Train.shuffleEpochOrder(Order, R, Opts.ShardAwareShuffle);
     }
+    // Advisory: lets a sharded source decode ahead of the epoch (from
+    // the resume cursor when mid-epoch). No effect on any digest.
+    Train.planPrefetch(Order, StartPos);
     int SinceCheckpoint = 0;
     for (size_t Start = StartPos; Start < Order.size();
          Start += static_cast<size_t>(Opts.BatchFiles)) {

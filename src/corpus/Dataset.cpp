@@ -71,6 +71,7 @@ CorpusSplitPlan typilus::planCorpusSplit(const std::vector<CorpusFile> &Files,
 
   // Deterministic shuffled 70/10/20 split.
   CorpusSplitPlan Plan;
+  Plan.DedupDropped = Files.size() - Kept.size();
   Rng R(Config.SplitSeed);
   Plan.Shuffled = std::move(Kept);
   R.shuffle(Plan.Shuffled);

@@ -67,6 +67,7 @@ struct CorpusSplitPlan {
   std::vector<const CorpusFile *> Shuffled; ///< Kept files, visit order.
   size_t NumTrain = 0;
   size_t NumValid = 0; ///< Remainder after train+valid is the test split.
+  size_t DedupDropped = 0; ///< Near-duplicate files removed before the split.
 
   /// Split of the file at shuffled position \p I: 0 train, 1 valid,
   /// 2 test (matches corpus/ShardWriter's SplitKind values).

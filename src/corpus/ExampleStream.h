@@ -75,6 +75,19 @@ public:
     (void)ShardAware; // one implicit shard: within-shard == global
     R.shuffle(Order);
   }
+
+  /// Announces the upcoming visitation order starting at \p Begin so a
+  /// backing store may decode ahead of demand. Purely advisory: sources
+  /// with no decode cost (every in-memory adapter) ignore it, and the
+  /// stream's observable behavior — bytes, digests, intern order — is
+  /// identical whether or not it is called. `Trainer::run` announces
+  /// each epoch's order (and the resume cursor) here; sequential
+  /// consumers like the τmap fill need no plan, the sharded source
+  /// prefetches ahead of a monotone walk on its own.
+  virtual void planPrefetch(const std::vector<int> &Order, size_t Begin) {
+    (void)Order;
+    (void)Begin;
+  }
 };
 
 /// One implicit shard over a borrowed `std::vector<FileExample>` — the

@@ -1,0 +1,111 @@
+//===- corpus/Ingest.cpp - Real-tree corpus ingestion --------------------------===//
+
+#include "corpus/Ingest.h"
+
+#include "pyfront/Parser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <sys/stat.h>
+
+using namespace typilus;
+
+namespace {
+
+/// Reads \p Path whole. \returns false on any I/O failure.
+bool readWholeFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  return Ok;
+}
+
+bool endsWithPy(const std::string &Name) {
+  return Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".py") == 0;
+}
+
+/// One directory level of the walk. \p Rel is the root-relative prefix
+/// ("" at the root, "pkg/sub/" below). Entries are visited in name order
+/// so the corpus — and everything derived from it — is reproducible.
+bool walkDir(const std::string &Root, const std::string &Rel,
+             std::vector<CorpusFile> &Out, IngestReport &Report,
+             std::string *Err) {
+  std::string Abs = Rel.empty() ? Root : Root + "/" + Rel;
+  DIR *D = ::opendir(Abs.c_str());
+  if (!D) {
+    if (Err)
+      *Err = "cannot open directory '" + Abs + "'";
+    return false;
+  }
+  std::vector<std::string> Names;
+  while (struct dirent *E = ::readdir(D)) {
+    if (E->d_name[0] == '.')
+      continue; // ., .., and hidden trees (.git and friends)
+    Names.emplace_back(E->d_name);
+  }
+  ::closedir(D);
+  std::sort(Names.begin(), Names.end());
+
+  for (const std::string &Name : Names) {
+    std::string RelPath = Rel.empty() ? Name : Rel + "/" + Name;
+    std::string AbsPath = Root + "/" + RelPath;
+    struct stat St;
+    if (::stat(AbsPath.c_str(), &St) != 0)
+      continue; // raced away; nothing to ingest
+    if (S_ISDIR(St.st_mode)) {
+      if (!walkDir(Root, RelPath, Out, Report, Err))
+        return false;
+      continue;
+    }
+    if (!S_ISREG(St.st_mode) || !endsWithPy(Name))
+      continue;
+
+    ++Report.FilesSeen;
+    CorpusFile File;
+    File.Path = RelPath;
+    if (!readWholeFile(AbsPath, File.Source)) {
+      ++Report.FilesUnreadable;
+      continue;
+    }
+    // The accept gate: the exact parser the pipeline will run. A file
+    // with any diagnostic is skipped with file:line context — the
+    // supported subset is narrower than real Python, and partial parses
+    // would silently truncate graphs.
+    ParsedFile PF = parseFile(File.Path, File.Source);
+    if (PF.hasErrors()) {
+      IngestReject Rej;
+      Rej.Path = RelPath;
+      Rej.Reason = formatDiagnostic(RelPath, PF.Diags.front());
+      Report.Rejects.push_back(std::move(Rej));
+      continue;
+    }
+    ++Report.FilesAccepted;
+    Out.push_back(std::move(File));
+  }
+  return true;
+}
+
+} // namespace
+
+bool typilus::collectPyTree(const std::string &Root,
+                            std::vector<CorpusFile> &Out,
+                            IngestReport &Report, std::string *Err) {
+  if (Err)
+    Err->clear();
+  Report = IngestReport();
+  struct stat St;
+  if (::stat(Root.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+    if (Err)
+      *Err = "'" + Root + "' is not a directory";
+    return false;
+  }
+  return walkDir(Root, "", Out, Report, Err);
+}

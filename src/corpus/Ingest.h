@@ -1,0 +1,57 @@
+//===- corpus/Ingest.h - Real-tree corpus ingestion ---------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crawl-scale corpus ingestion: walk a directory tree of real `.py`
+/// files into `CorpusFile`s ready for the dedup + shard pipeline
+/// (Sec. 6's 600-project corpus, minus the crawler). The walk is
+/// deterministic (each directory's entries visited in name order) so a
+/// given tree always yields the same corpus — and therefore the same
+/// shards — on every machine.
+///
+/// Robustness contract: a file the pyfront parser rejects is *skipped
+/// and reported* — counted, logged with file:line context — never
+/// fatal. Real trees contain Python the supported subset cannot parse;
+/// ingestion must survive all of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_CORPUS_INGEST_H
+#define TYPILUS_CORPUS_INGEST_H
+
+#include "corpus/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace typilus {
+
+/// One file the ingestion walk skipped, with an actionable reason.
+struct IngestReject {
+  std::string Path;   ///< Root-relative path of the skipped file.
+  std::string Reason; ///< "path:line: message" of the first diagnostic.
+};
+
+/// What an ingestion walk saw and kept.
+struct IngestReport {
+  size_t FilesSeen = 0;       ///< `.py` files found under the root.
+  size_t FilesAccepted = 0;   ///< Parsed cleanly; entered the corpus.
+  size_t FilesUnreadable = 0; ///< I/O failures (counted, skipped).
+  std::vector<IngestReject> Rejects; ///< Parser-rejected files.
+};
+
+/// Walks \p Root recursively for `.py` files, visiting each directory's
+/// entries in name order (dot-entries skipped), and appends every file
+/// the pyfront parser accepts to \p Out with a root-relative path.
+/// Rejected and unreadable files are recorded in \p Report and skipped.
+/// \returns false and sets \p Err only on environment errors (e.g.
+/// \p Root is not a readable directory) — never because of file content.
+bool collectPyTree(const std::string &Root, std::vector<CorpusFile> &Out,
+                   IngestReport &Report, std::string *Err);
+
+} // namespace typilus
+
+#endif // TYPILUS_CORPUS_INGEST_H

@@ -2,6 +2,9 @@
 
 #include "corpus/ShardWriter.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <sys/stat.h>
@@ -49,8 +52,8 @@ void typilus::writeFileExample(ArchiveWriter &W, const FileExample &Ex) {
   }
 }
 
-bool typilus::readFileExample(ArchiveCursor &C, TypeUniverse &U,
-                              FileExample &Ex, std::string *Err) {
+bool typilus::readFileExampleGraph(ArchiveCursor &C, FileExample &Ex,
+                                   std::string *Err) {
   auto Fail = [&](const char *Why) {
     if (Err && Err->empty())
       *Err = std::string("malformed shard example: ") + Why;
@@ -109,7 +112,13 @@ bool typilus::readFileExample(ArchiveCursor &C, TypeUniverse &U,
     S.Kind = static_cast<SymbolKind>(K);
     Ex.Graph.Supernodes.push_back(std::move(S));
   }
+  return true;
+}
 
+bool typilus::readFileExample(ArchiveCursor &C, TypeUniverse &U,
+                              FileExample &Ex, std::string *Err) {
+  if (!readFileExampleGraph(C, Ex, Err))
+    return false;
   // Ground truths intern through the same path buildExample uses, so a
   // decoded example is bit-identical to a freshly built one.
   resolveTargets(Ex, U);
@@ -120,50 +129,61 @@ bool typilus::readFileExample(ArchiveCursor &C, TypeUniverse &U,
 // ShardWriter
 //===----------------------------------------------------------------------===//
 
+EncodedShard::EncodedShard() : W(kShardFormatVersion, kShardMagic) {}
+
+EncodedShard typilus::encodeShard(SplitKind Split,
+                                  const std::vector<FileExample> &Examples) {
+  EncodedShard E;
+  E.Split = Split;
+  E.Files = Examples.size();
+  for (const FileExample &Ex : Examples)
+    E.Targets += Ex.Targets.size();
+
+  E.W.beginChunk("smet");
+  E.W.writeU8(static_cast<uint8_t>(Split));
+  E.W.writeU64(E.Files);
+  E.W.writeU64(E.Targets);
+  E.W.endChunk();
+
+  E.W.beginChunk("exmp");
+  E.W.writeU64(Examples.size());
+  for (const FileExample &Ex : Examples)
+    writeFileExample(E.W, Ex);
+  E.W.endChunk();
+
+  // The type-count sidecar: this shard's ground-truth histogram, merged
+  // into the manifest's global TrainTypeCounts for train shards. Keyed by
+  // canonical repr, so the bytes are independent of universe intern order
+  // — the property that lets parallel builders use per-chunk universes.
+  for (const FileExample &Ex : Examples)
+    for (const Target &T : Ex.Targets)
+      ++E.Counts[T.Type->str()];
+  E.W.beginChunk("tcnt");
+  E.W.writeU64(E.Counts.size());
+  for (const auto &[Repr, N] : E.Counts)
+    E.W.writeStr(Repr), E.W.writeI64(N);
+  E.W.endChunk();
+  return E;
+}
+
 ShardWriter::ShardWriter(std::string Dir) : Dir(std::move(Dir)) {}
 
 bool ShardWriter::addShard(SplitKind Split,
                            const std::vector<FileExample> &Examples,
                            std::string *Err) {
-  ArchiveWriter W(kShardFormatVersion, kShardMagic);
+  return commit(encodeShard(Split, Examples), Err);
+}
 
-  uint64_t Targets = 0;
-  for (const FileExample &Ex : Examples)
-    Targets += Ex.Targets.size();
-
-  W.beginChunk("smet");
-  W.writeU8(static_cast<uint8_t>(Split));
-  W.writeU64(Examples.size());
-  W.writeU64(Targets);
-  W.endChunk();
-
-  W.beginChunk("exmp");
-  W.writeU64(Examples.size());
-  for (const FileExample &Ex : Examples)
-    writeFileExample(W, Ex);
-  W.endChunk();
-
-  // The type-count sidecar: this shard's ground-truth histogram, merged
-  // into the manifest's global TrainTypeCounts for train shards.
-  std::map<std::string, int64_t> Counts;
-  for (const FileExample &Ex : Examples)
-    for (const Target &T : Ex.Targets)
-      ++Counts[T.Type->str()];
-  W.beginChunk("tcnt");
-  W.writeU64(Counts.size());
-  for (const auto &[Repr, N] : Counts)
-    W.writeStr(Repr), W.writeI64(N);
-  W.endChunk();
-
+bool ShardWriter::commit(const EncodedShard &E, std::string *Err) {
   char Name[32];
   std::snprintf(Name, sizeof(Name), "shard-%05zu.typs", Shards.size());
-  if (!W.writeFile(Dir + "/" + Name, Err))
+  if (!E.W.writeFile(Dir + "/" + Name, Err))
     return false;
 
-  if (Split == SplitKind::Train)
-    for (const auto &[Repr, N] : Counts)
+  if (E.Split == SplitKind::Train)
+    for (const auto &[Repr, N] : E.Counts)
       TrainTypeCounts[Repr] += N;
-  Shards.push_back(ShardInfo{Name, Split, Examples.size(), Targets});
+  Shards.push_back(ShardInfo{Name, E.Split, E.Files, E.Targets});
   return true;
 }
 
@@ -214,7 +234,8 @@ bool ShardWriter::finish(int CommonThreshold,
 bool typilus::buildShards(const std::vector<CorpusFile> &Files,
                           const std::vector<UdtSpec> &Udts, TypeUniverse &U,
                           TypeHierarchy *Hierarchy, const DatasetConfig &Config,
-                          const ShardBuildOptions &Opts, std::string *Err) {
+                          const ShardBuildOptions &Opts, std::string *Err,
+                          ShardBuildStats *Stats) {
   if (::mkdir(Opts.Dir.c_str(), 0777) != 0 && errno != EEXIST) {
     if (Err)
       *Err = "cannot create shard directory '" + Opts.Dir + "'";
@@ -229,32 +250,79 @@ bool typilus::buildShards(const std::vector<CorpusFile> &Files,
   // assignment cannot drift between the in-memory and sharded paths.
   CorpusSplitPlan Plan = planCorpusSplit(Files, Config);
   const std::vector<const CorpusFile *> &Shuffled = Plan.Shuffled;
-  auto SplitOf = [&](size_t I) {
-    return static_cast<SplitKind>(Plan.splitOf(I));
-  };
 
+  // Shard bytes never depend on universe intern order (targets are not
+  // serialized; sidecars key by canonical repr), so chunks build against
+  // per-chunk universes below and the caller's universe is untouched.
+  (void)U;
+
+  // Chunk boundaries are a pure function of the plan: maximal runs of one
+  // split, cut into PerShard-sized pieces — exactly where the serial
+  // flush-on-boundary loop would cut them.
   size_t PerShard =
       Opts.FilesPerShard < 1 ? 1 : static_cast<size_t>(Opts.FilesPerShard);
-  ShardWriter Writer(Opts.Dir);
-  std::vector<FileExample> Chunk;
-  SplitKind Cur = SplitKind::Train;
-  auto Flush = [&]() {
-    if (Chunk.empty())
-      return true;
-    bool Ok = Writer.addShard(Cur, Chunk, Err);
-    Chunk.clear();
-    return Ok;
+  struct ChunkPlan {
+    size_t Begin = 0, End = 0;
+    SplitKind Split = SplitKind::Train;
   };
-  for (size_t I = 0; I != Shuffled.size(); ++I) {
-    SplitKind S = SplitOf(I);
-    // Shards never straddle a split boundary, and a full chunk flushes —
-    // peak residency is one chunk of examples, not the corpus.
-    if ((S != Cur || Chunk.size() >= PerShard) && !Flush())
-      return false;
-    Cur = S;
-    Chunk.push_back(buildExample(*Shuffled[I], U, Config.GraphOpts));
+  std::vector<ChunkPlan> Chunks;
+  for (size_t I = 0; I != Shuffled.size();) {
+    ChunkPlan CP;
+    CP.Begin = I;
+    CP.Split = static_cast<SplitKind>(Plan.splitOf(I));
+    size_t End = I + 1;
+    while (End != Shuffled.size() && End - I < PerShard &&
+           static_cast<SplitKind>(Plan.splitOf(End)) == CP.Split)
+      ++End;
+    CP.End = End;
+    Chunks.push_back(CP);
+    I = End;
   }
-  if (!Flush())
-    return false;
+
+  // Parallelism: NumThreads > 0 temporarily sizes the process-wide pool
+  // (restored on every exit path, as Trainer::run does); 0 uses it as-is.
+  struct PoolSizeGuard {
+    int Saved = globalNumThreads();
+    ~PoolSizeGuard() { setGlobalNumThreads(Saved); }
+  } Guard;
+  if (Opts.NumThreads > 0)
+    setGlobalNumThreads(Opts.NumThreads);
+  size_t Ways = static_cast<size_t>(std::max(1, globalNumThreads()));
+
+  // Waves of `Ways` chunks build data-parallel (parse + graph + encode),
+  // then commit strictly in chunk order — shard numbering, manifest order
+  // and every byte on disk are independent of scheduling. Peak residency
+  // is one wave of encoded shards, not the corpus.
+  ShardWriter Writer(Opts.Dir);
+  for (size_t C0 = 0; C0 < Chunks.size(); C0 += Ways) {
+    size_t C1 = std::min(Chunks.size(), C0 + Ways);
+    std::vector<EncodedShard> Wave(C1 - C0);
+    parallelFor(
+        static_cast<int64_t>(C0), static_cast<int64_t>(C1), /*Grain=*/1,
+        [&](int64_t B, int64_t E) {
+          for (int64_t C = B; C != E; ++C) {
+            const ChunkPlan &CP = Chunks[static_cast<size_t>(C)];
+            TypeUniverse Local;
+            std::vector<FileExample> Examples;
+            Examples.reserve(CP.End - CP.Begin);
+            for (size_t I = CP.Begin; I != CP.End; ++I)
+              Examples.push_back(
+                  buildExample(*Shuffled[I], Local, Config.GraphOpts));
+            Wave[static_cast<size_t>(C) - C0] =
+                encodeShard(CP.Split, Examples);
+          }
+        },
+        /*MaxWays=*/static_cast<int>(Ways));
+    for (const EncodedShard &E : Wave)
+      if (!Writer.commit(E, Err))
+        return false;
+  }
+
+  if (Stats) {
+    Stats->FilesIn = Files.size();
+    Stats->DedupDropped = Plan.DedupDropped;
+    Stats->FilesSharded = Shuffled.size();
+    Stats->ShardsWritten = Writer.numShards();
+  }
   return Writer.finish(Config.CommonThreshold, Opts.ManifestExtra, Err);
 }

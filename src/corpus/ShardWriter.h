@@ -66,6 +66,14 @@ const char *splitKindName(SplitKind S);
 /// the open chunk.
 void writeFileExample(ArchiveWriter &W, const FileExample &Ex);
 
+/// Reads one example's path + graph written by writeFileExample without
+/// touching any type universe (`Ex.Targets` stays empty — run
+/// `resolveTargets` to fill it). This is the half of decoding the
+/// background prefetcher may run off-thread. \returns false and sets
+/// \p Err on malformed input.
+bool readFileExampleGraph(ArchiveCursor &C, FileExample &Ex,
+                          std::string *Err);
+
 /// Reads one example written by writeFileExample and resolves its
 /// targets into \p U. \returns false and sets \p Err on malformed input.
 bool readFileExample(ArchiveCursor &C, TypeUniverse &U, FileExample &Ex,
@@ -75,10 +83,44 @@ bool readFileExample(ArchiveCursor &C, TypeUniverse &U, FileExample &Ex,
 struct ShardBuildOptions {
   std::string Dir;        ///< Output directory (created if missing).
   int FilesPerShard = 32; ///< Files per shard; the residency granule.
+  /// Ways of parallelism for chunk building: 0 leaves the process-wide
+  /// pool at its current size, N > 0 sizes it to N for the build (and
+  /// restores it). Output bytes are identical for every value.
+  int NumThreads = 0;
   /// When set, appends caller chunks to the manifest (the CLI stores the
   /// corpus recipe here so `train --shards` artifacts keep the recipe).
   std::function<void(ArchiveWriter &)> ManifestExtra;
 };
+
+/// What a shard build did — dedup, rejects and output shape — for the
+/// CLI's ingestion report and the corpus-stats bench.
+struct ShardBuildStats {
+  size_t FilesIn = 0;      ///< Corpus files offered to the builder.
+  size_t DedupDropped = 0; ///< Near-duplicates removed before the split.
+  size_t FilesSharded = 0; ///< Files written into shards.
+  size_t ShardsWritten = 0;
+};
+
+/// One shard serialized in memory, ready to be committed to disk. Built
+/// concurrently by the parallel shard builder; committing stays strictly
+/// sequential so shard numbering and manifest order are scheduling-free.
+struct EncodedShard {
+  EncodedShard();
+  ArchiveWriter W; ///< The finished "TYPS" archive.
+  SplitKind Split = SplitKind::Train;
+  uint64_t Files = 0;
+  uint64_t Targets = 0;
+  /// This shard's ground-truth histogram (the "tcnt" sidecar), keyed by
+  /// canonical type repr — merged into the manifest on commit.
+  std::map<std::string, int64_t> Counts;
+};
+
+/// Serializes \p Examples as one shard archive of \p Split. Pure: no
+/// I/O, no shared state — safe to run on any thread, and the bytes
+/// depend only on the examples (types are spelled canonically, never by
+/// universe identity).
+EncodedShard encodeShard(SplitKind Split,
+                         const std::vector<FileExample> &Examples);
 
 /// Writes one shard set: feed it example chunks split by split, then
 /// finish() the manifest. Chunks become shards in call order, which is
@@ -92,6 +134,11 @@ public:
   /// Train. \returns false and sets \p Err on I/O failure.
   bool addShard(SplitKind Split, const std::vector<FileExample> &Examples,
                 std::string *Err);
+
+  /// Flushes an already-encoded shard as the next shard on disk and
+  /// merges its sidecar. The commit order defines shard numbering, so
+  /// parallel builders must call this in plan order.
+  bool commit(const EncodedShard &E, std::string *Err);
 
   /// Writes manifest.typs. \p Extra, when non-null, may append caller
   /// chunks (e.g. the CLI's corpus recipe) before the file is flushed.
@@ -120,12 +167,18 @@ private:
 /// 70/10/20 split (same RNG consumption, so the file-to-split assignment
 /// matches buildDataset bit for bit), but examples are built in
 /// deterministic FilesPerShard-sized chunks and written to disk as they
-/// are produced — peak residency is one chunk, not the corpus. \p
-/// Hierarchy (if non-null) learns the UDT classes, as in buildDataset.
+/// are produced — peak residency is one wave of chunks, not the corpus.
+/// Chunk boundaries are fixed up front from the split plan; waves of
+/// chunks parse/graph-ize/encode data-parallel through the thread pool
+/// and commit in shard order, so every file on disk is bit-identical to
+/// the serial build for any `NumThreads`. \p Hierarchy (if non-null)
+/// learns the UDT classes, as in buildDataset. \p Stats (if non-null)
+/// receives the build report.
 bool buildShards(const std::vector<CorpusFile> &Files,
                  const std::vector<UdtSpec> &Udts, TypeUniverse &U,
                  TypeHierarchy *Hierarchy, const DatasetConfig &Config,
-                 const ShardBuildOptions &Opts, std::string *Err);
+                 const ShardBuildOptions &Opts, std::string *Err,
+                 ShardBuildStats *Stats = nullptr);
 
 } // namespace typilus
 

@@ -3,6 +3,7 @@
 #include "corpus/ShardedDataset.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
@@ -13,9 +14,23 @@ using namespace typilus;
 // Shard file reading
 //===----------------------------------------------------------------------===//
 
-bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
-                            std::vector<FileExample> &Out, SplitKind *SplitOut,
-                            std::string *Err) {
+namespace {
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The universe-free half of readShardFile: framing, CRCs, version,
+/// metadata and graph payloads. \p MetaTargets receives the smet target
+/// count; targets themselves stay unresolved (`Ex.Targets` empty). This
+/// is the only decode the prefetch worker runs — it touches no shared
+/// state at all.
+bool readShardFileRaw(const std::string &Path, std::vector<FileExample> &Out,
+                      SplitKind *SplitOut, uint64_t *MetaTargets,
+                      std::string *Err) {
   if (Err)
     Err->clear();
   ArchiveReader R;
@@ -39,6 +54,8 @@ bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
   }
   if (SplitOut)
     *SplitOut = static_cast<SplitKind>(Split);
+  if (MetaTargets)
+    *MetaTargets = NumTargets;
 
   ArchiveCursor EC = R.chunk("exmp", Err);
   uint64_t Count = EC.readU64();
@@ -49,15 +66,31 @@ bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
   }
   Out.clear();
   Out.reserve(static_cast<size_t>(Count));
-  uint64_t Targets = 0;
   for (uint64_t I = 0; I != Count; ++I) {
     FileExample Ex;
-    if (!readFileExample(EC, U, Ex, Err))
+    if (!readFileExampleGraph(EC, Ex, Err))
       return false;
-    Targets += Ex.Targets.size();
     Out.push_back(std::move(Ex));
   }
-  if (!EC.atEnd() || Targets != NumTargets) {
+  if (!EC.atEnd()) {
+    if (Err && Err->empty())
+      *Err = "shard target count disagrees with its payload";
+    return false;
+  }
+  return true;
+}
+
+/// The claim-time half: resolve every example's targets through \p U (in
+/// file order, the same intern sequence a synchronous decode produces)
+/// and cross-check the derived target count against the metadata.
+bool resolveShardTargets(std::vector<FileExample> &Out, TypeUniverse &U,
+                         uint64_t MetaTargets, std::string *Err) {
+  uint64_t Targets = 0;
+  for (FileExample &Ex : Out) {
+    resolveTargets(Ex, U);
+    Targets += Ex.Targets.size();
+  }
+  if (Targets != MetaTargets) {
     // The target count is derived data (resolveTargets over the decoded
     // graphs); a mismatch means the payload does not say what the
     // metadata promised.
@@ -66,6 +99,16 @@ bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
     return false;
   }
   return true;
+}
+
+} // namespace
+
+bool typilus::readShardFile(const std::string &Path, TypeUniverse &U,
+                            std::vector<FileExample> &Out, SplitKind *SplitOut,
+                            std::string *Err) {
+  uint64_t MetaTargets = 0;
+  return readShardFileRaw(Path, Out, SplitOut, &MetaTargets, Err) &&
+         resolveShardTargets(Out, U, MetaTargets, Err);
 }
 
 //===----------------------------------------------------------------------===//
@@ -100,6 +143,25 @@ public:
     const FileExample &Ex = (*Decoded)[I - Prefix[Which]];
     Pin.Keep = std::move(Decoded);
     return Ex;
+  }
+
+  void planPrefetch(const std::vector<int> &Order, size_t Begin) override {
+    // Translate the split-local visit order into the global shard
+    // sequence the LRU will see, collapsing consecutive repeats (one
+    // plan entry per shard *transition*).
+    std::vector<size_t> Seq;
+    for (size_t P = Begin; P < Order.size(); ++P) {
+      size_t I = static_cast<size_t>(Order[P]);
+      size_t Which =
+          static_cast<size_t>(
+              std::upper_bound(Prefix.begin(), Prefix.end(), I) -
+              Prefix.begin()) -
+          1;
+      size_t G = ShardIdx[Which];
+      if (Seq.empty() || Seq.back() != G)
+        Seq.push_back(G);
+    }
+    DS.setPrefetchPlan(std::move(Seq));
   }
 
   void shuffleEpochOrder(std::vector<int> &Order, Rng &R,
@@ -139,38 +201,233 @@ private:
 // ShardedDataset
 //===----------------------------------------------------------------------===//
 
-ShardedDataset::~ShardedDataset() = default;
+ShardedDataset::~ShardedDataset() {
+  if (PfThread.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(PfMutex);
+      PfShutdown = true;
+    }
+    PfWake.notify_all();
+    PfThread.join();
+  }
+}
 
 std::shared_ptr<const std::vector<FileExample>>
 ShardedDataset::shard(size_t Idx) {
   for (auto It = Cache.begin(); It != Cache.end(); ++It)
     if (It->Idx == Idx) {
       Cache.splice(Cache.begin(), Cache, It); // refresh recency
+      if (PfOn)
+        aimPrefetch(Idx); // track demand so the one-ahead aim advances
       return Cache.front().Decoded;
     }
 
-  auto Decoded = std::make_shared<std::vector<FileExample>>();
-  std::string Err;
-  SplitKind Split;
-  if (!readShardFile(Dir + "/" + Shards[Idx].Name, *U, *Decoded, &Split,
-                     &Err) ||
-      Split != Shards[Idx].Split ||
-      Decoded->size() != Shards[Idx].Files) {
-    // get() hands out plain references (vector-compatible by design), so
-    // mid-stream shard damage has no error channel; it is an environment
-    // failure — fail loudly rather than serve a wrong corpus.
-    std::fprintf(stderr, "fatal: shard '%s/%s': %s\n", Dir.c_str(),
-                 Shards[Idx].Name.c_str(),
-                 Err.empty() ? "disagrees with the manifest" : Err.c_str());
-    std::abort();
+  uint64_t T0 = nowMicros();
+  std::shared_ptr<const std::vector<FileExample>> Decoded;
+  if (PfOn) {
+    Decoded = claimPrefetched(Idx);
+    if (Decoded)
+      ++PfHits;
+    else
+      ++PfMisses;
   }
+  if (!Decoded) {
+    auto Fresh = std::make_shared<std::vector<FileExample>>();
+    std::string Err;
+    SplitKind Split;
+    if (!readShardFile(Dir + "/" + Shards[Idx].Name, *U, *Fresh, &Split,
+                       &Err) ||
+        Split != Shards[Idx].Split || Fresh->size() != Shards[Idx].Files) {
+      // get() hands out plain references (vector-compatible by design), so
+      // mid-stream shard damage has no error channel; it is an environment
+      // failure — fail loudly rather than serve a wrong corpus.
+      std::fprintf(stderr, "fatal: shard '%s/%s': %s\n", Dir.c_str(),
+                   Shards[Idx].Name.c_str(),
+                   Err.empty() ? "disagrees with the manifest" : Err.c_str());
+      std::abort();
+    }
+    Decoded = std::move(Fresh);
+  }
+  // Demand-driven either way: a prefetched shard counts on claim, so the
+  // decode count is identical with prefetch on or off.
   ++Decodes;
+  StallMicros += nowMicros() - T0;
   Cache.push_front(CacheEntry{Idx, std::move(Decoded)});
   size_t Max =
       Opts.MaxResidentShards < 1 ? 1 : static_cast<size_t>(Opts.MaxResidentShards);
   while (Cache.size() > Max)
     Cache.pop_back(); // pins keep evicted shards alive until released
+  if (PfOn)
+    aimPrefetch(Idx);
   return Cache.front().Decoded;
+}
+
+//===----------------------------------------------------------------------===//
+// Prefetcher
+//===----------------------------------------------------------------------===//
+
+void ShardedDataset::startPrefetcher() {
+  if (Shards.size() < 2)
+    return; // nothing to decode ahead of
+  PfOn = true;
+  PfThread = std::thread([this] { prefetchLoop(); });
+}
+
+void ShardedDataset::prefetchLoop() {
+  std::unique_lock<std::mutex> L(PfMutex);
+  for (;;) {
+    PfWake.wait(L, [&] { return PfShutdown || PfWant != kNoShard; });
+    if (PfShutdown)
+      return;
+    size_t Idx = PfWant;
+    PfWant = kNoShard;
+    PfInFlight = Idx;
+    L.unlock();
+
+    // Off-lock, off-thread: parse shard bytes into graphs. No universe,
+    // no cache, no counters — decode failure is published as an empty
+    // result, never acted on here (the consumer re-decodes synchronously
+    // to produce the canonical fatal diagnostic).
+    auto Raw = std::make_shared<std::vector<FileExample>>();
+    SplitKind Split = SplitKind::Train;
+    uint64_t MetaTargets = 0;
+    std::string Err;
+    bool Ok = readShardFileRaw(Dir + "/" + Shards[Idx].Name, *Raw, &Split,
+                               &MetaTargets, &Err);
+
+    L.lock();
+    PfInFlight = kNoShard;
+    if (!PfShutdown) {
+      PfReadyIdx = Idx;
+      PfReadyRaw = Ok ? std::move(Raw) : nullptr;
+      PfReadySplit = Split;
+      PfReadyTargets = MetaTargets;
+    }
+    PfDone.notify_all();
+  }
+}
+
+std::shared_ptr<const std::vector<FileExample>>
+ShardedDataset::claimPrefetched(size_t Idx) {
+  std::shared_ptr<std::vector<FileExample>> Raw;
+  SplitKind Split = SplitKind::Train;
+  uint64_t MetaTargets = 0;
+  {
+    std::unique_lock<std::mutex> L(PfMutex);
+    if (PfWant == Idx || PfInFlight == Idx) {
+      // The needed shard is aimed or mid-decode: waiting beats starting
+      // a second decode of the same bytes. The wait is the stall the
+      // counters report.
+      uint64_t W0 = nowMicros();
+      PfDone.wait(L, [&] {
+        return PfReadyIdx == Idx ||
+               (PfWant != Idx && PfInFlight != Idx);
+      });
+      PfWaitMicros += nowMicros() - W0;
+    }
+    if (PfReadyIdx != Idx) {
+      if (PfReadyIdx != kNoShard) {
+        // A stale slot from a diverged plan: drop it so the double
+        // buffer frees up and the residency bound holds.
+        PfReadyIdx = kNoShard;
+        PfReadyRaw.reset();
+      }
+      return nullptr;
+    }
+    Raw = std::move(PfReadyRaw);
+    Split = PfReadySplit;
+    MetaTargets = PfReadyTargets;
+    PfReadyIdx = kNoShard;
+    PfReadyRaw.reset();
+  }
+  if (!Raw)
+    return nullptr; // raw decode failed; sync path re-diagnoses fatally
+  std::string Err;
+  if (Split != Shards[Idx].Split || Raw->size() != Shards[Idx].Files ||
+      !resolveShardTargets(*Raw, *U, MetaTargets, &Err))
+    return nullptr; // ditto: damage goes through the canonical fatal path
+  return Raw;
+}
+
+void ShardedDataset::aimPrefetch(size_t Idx) {
+  if (Idx == PfLastAccess)
+    return; // still inside the same shard; the aim is already current
+  PfLastAccess = Idx;
+
+  auto IsResident = [&](size_t Q) {
+    for (const CacheEntry &E : Cache)
+      if (E.Idx == Q)
+        return true;
+    return false;
+  };
+
+  size_t Target = kNoShard;
+  bool Planned = false;
+  if (!PlanSeq.empty()) {
+    // Advance to the consumer's position; a consumer that follows the
+    // plan moves at most one entry per shard transition, so this scan
+    // is O(1) amortized.
+    size_t P = PlanPos;
+    while (P < PlanSeq.size() && PlanSeq[P] != Idx)
+      ++P;
+    if (P < PlanSeq.size()) {
+      PlanPos = P;
+      Planned = true;
+      for (size_t Q = P + 1; Q < PlanSeq.size(); ++Q)
+        if (!IsResident(PlanSeq[Q])) {
+          Target = PlanSeq[Q];
+          break;
+        }
+    } else {
+      // The consumer diverged (a different source is streaming now);
+      // drop the plan and fall back to the monotone heuristic.
+      PlanSeq.clear();
+      PlanPos = 0;
+    }
+  }
+  if (!Planned)
+    // No plan: manifest order is split-contiguous, so every sequential
+    // consumer (τmap fill, evaluation sweeps, predict) walks shard
+    // indices monotonically — decode ahead of that walk.
+    for (size_t Q = Idx + 1; Q < Shards.size(); ++Q)
+      if (!IsResident(Q)) {
+        Target = Q;
+        break;
+      }
+  if (Target != kNoShard)
+    aimPrefetchAt(Target);
+}
+
+void ShardedDataset::aimPrefetchAt(size_t Target) {
+  std::lock_guard<std::mutex> L(PfMutex);
+  if (PfWant == Target || PfInFlight == Target || PfReadyIdx == Target)
+    return; // already on its way
+  if (PfInFlight != kNoShard || PfReadyIdx != kNoShard)
+    return; // double buffer full: at most one speculative shard alive
+  PfWant = Target;
+  PfWake.notify_one();
+}
+
+void ShardedDataset::setPrefetchPlan(std::vector<size_t> Seq) {
+  PlanSeq = std::move(Seq);
+  PlanPos = 0;
+  PfLastAccess = kNoShard;
+  if (!PfOn || PlanSeq.empty())
+    return;
+  // Warm the buffer with the epoch's first non-resident shard so the
+  // very first batch never waits on a cold decode.
+  for (size_t Q : PlanSeq) {
+    bool Resident = false;
+    for (const CacheEntry &E : Cache)
+      if (E.Idx == Q) {
+        Resident = true;
+        break;
+      }
+    if (!Resident) {
+      aimPrefetchAt(Q);
+      break;
+    }
+  }
 }
 
 ExampleSource &ShardedDataset::split(SplitKind S) {
@@ -256,5 +513,7 @@ ShardedDataset::open(const std::string &Dir, TypeUniverse &U,
         std::make_unique<SplitSource>(*DS, static_cast<SplitKind>(S));
   DS->TrainValidSrc = std::make_unique<ConcatExampleSource>(
       std::vector<ExampleSource *>{DS->Splits[0].get(), DS->Splits[1].get()});
+  if (Opts.Prefetch)
+    DS->startPrefetcher();
   return DS;
 }

@@ -32,8 +32,13 @@
 #include "corpus/ExampleStream.h"
 #include "corpus/ShardWriter.h"
 
+#include <condition_variable>
+#include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace typilus {
 
@@ -51,6 +56,13 @@ struct ShardedDatasetOptions {
   /// Decoded shards kept resident at once (the peak-RAM knob). Pinned
   /// shards stay alive beyond this bound until their pins drop.
   int MaxResidentShards = 4;
+  /// Background-decode the next shard the consumer will need (one
+  /// double-buffer slot on top of MaxResidentShards). Purely a latency
+  /// knob: every byte, digest and type-intern order is identical on or
+  /// off — the worker only parses graphs; target resolution (the part
+  /// that touches the universe) always runs on the consumer thread at
+  /// claim time, in demand order.
+  bool Prefetch = true;
 };
 
 /// A shard set opened for streaming.
@@ -95,9 +107,32 @@ public:
   }
 
   /// Observability for tests and the bench: shards decoded so far
-  /// (counting re-decodes after eviction) and currently cached.
+  /// (counting re-decodes after eviction) and currently cached. A
+  /// prefetched shard counts when the consumer claims it, so the decode
+  /// count is demand-driven and prefetch-independent.
   size_t decodeCount() const { return Decodes; }
   size_t residentShards() const { return Cache.size(); }
+
+  /// Prefetch observability (consumer-thread values). A "hit" is a
+  /// non-resident shard served from the prefetcher (possibly after
+  /// waiting for it — the wait is in prefetchWaitMicros); a "miss" is
+  /// one the consumer had to decode synchronously. decodeStallMicros is
+  /// the total consumer time spent obtaining non-resident shards —
+  /// sync decodes, prefetch waits and claim-time target resolution —
+  /// i.e. the stall the prefetcher exists to hide.
+  bool prefetchEnabled() const { return PfOn; }
+  size_t prefetchHits() const { return PfHits; }
+  size_t prefetchMisses() const { return PfMisses; }
+  uint64_t prefetchWaitMicros() const { return PfWaitMicros; }
+  uint64_t decodeStallMicros() const { return StallMicros; }
+
+  /// Announces the global-shard visitation sequence of the upcoming
+  /// epoch (consecutive duplicates collapsed). The prefetcher follows
+  /// the plan one shard ahead of the consumer; without a plan it decodes
+  /// ahead of a monotone walk (manifest order is split-contiguous, so
+  /// the τmap fill, evaluation sweeps and `predict` all walk monotonically).
+  /// Aims the first planned shard immediately.
+  void setPrefetchPlan(std::vector<size_t> Seq);
 
 private:
   struct ShardInfo {
@@ -115,6 +150,18 @@ private:
   /// streaming API (vector-compatible by design) cannot surface per-get.
   std::shared_ptr<const std::vector<FileExample>> shard(size_t Idx);
 
+  /// Claims shard \p Idx from the prefetcher if it is ready or in
+  /// flight, resolving targets on this thread. \returns null on a miss.
+  std::shared_ptr<const std::vector<FileExample>> claimPrefetched(size_t Idx);
+
+  /// Re-aims the prefetcher after the consumer obtained shard \p Idx:
+  /// the next planned (or, with no plan, next-in-manifest) non-resident
+  /// shard, at most one outstanding.
+  void aimPrefetch(size_t Idx);
+  void aimPrefetchAt(size_t Target); ///< Locks PfMutex; no-op if aimed.
+  void startPrefetcher();            ///< Spawns the worker once.
+  void prefetchLoop();               ///< The worker thread body.
+
   std::string Dir;
   TypeUniverse *U = nullptr;
   ShardedDatasetOptions Opts;
@@ -131,6 +178,44 @@ private:
   };
   std::list<CacheEntry> Cache;
   size_t Decodes = 0;
+
+  //===--------------------------------------------------------------===//
+  // Prefetcher state.
+  //
+  // One worker thread, one in-flight decode, one ready slot: a double
+  // buffer over the LRU. Everything the worker shares with the consumer
+  // (Want/InFlight/Ready*) lives under PfMutex; the LRU, the plan and
+  // every counter are consumer-thread-only. The worker parses shard
+  // bytes into graphs and nothing else — it never touches the type
+  // universe, the cache or a counter, which is what keeps prefetched
+  // streams bit-identical to synchronous ones.
+  //===--------------------------------------------------------------===//
+
+  bool PfOn = false;          ///< Worker running (Opts.Prefetch && >1 shard).
+  std::thread PfThread;
+  std::mutex PfMutex;
+  std::condition_variable PfWake; ///< Worker waits for Want / shutdown.
+  std::condition_variable PfDone; ///< Consumer waits for a publish.
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+  size_t PfWant = kNoShard;     ///< Next shard the worker should decode.
+  size_t PfInFlight = kNoShard; ///< Shard the worker is decoding now.
+  size_t PfReadyIdx = kNoShard; ///< Published shard (kNoShard = empty slot).
+  /// Graphs of the published shard; null with PfReadyIdx set = the raw
+  /// decode failed (the consumer re-decodes synchronously for the
+  /// canonical fatal diagnostic).
+  std::shared_ptr<std::vector<FileExample>> PfReadyRaw;
+  SplitKind PfReadySplit = SplitKind::Train;
+  uint64_t PfReadyTargets = 0; ///< smet target count of the ready shard.
+  bool PfShutdown = false;
+
+  /// Consumer-side epoch plan: global shard indices in visit order.
+  std::vector<size_t> PlanSeq;
+  size_t PlanPos = 0;
+  size_t PfLastAccess = kNoShard; ///< Last shard demanded (aim dedup).
+
+  /// Consumer-side counters (see the public accessors).
+  size_t PfHits = 0, PfMisses = 0;
+  uint64_t PfWaitMicros = 0, StallMicros = 0;
 
   std::unique_ptr<SplitSource> Splits[kNumSplits];
   std::unique_ptr<ConcatExampleSource> TrainValidSrc;

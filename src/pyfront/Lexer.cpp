@@ -10,6 +10,11 @@
 
 using namespace typilus;
 
+std::string typilus::formatDiagnostic(const std::string &Path,
+                                      const Diagnostic &D) {
+  return Path + ":" + std::to_string(D.Line) + ": " + D.Message;
+}
+
 const char *typilus::tokKindName(TokKind K) {
   switch (K) {
   case TokKind::Eof: return "eof";

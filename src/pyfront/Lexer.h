@@ -29,6 +29,11 @@ struct Diagnostic {
   std::string Message;
 };
 
+/// Renders \p D as "path:line: message" — the compiler-style form the
+/// corpus ingestion walk logs for files it skips, so a reject report
+/// points at the offending source line.
+std::string formatDiagnostic(const std::string &Path, const Diagnostic &D);
+
 /// Lexes \p Source into tokens. Errors are appended to \p Diags; lexing
 /// continues past errors (an Error token is emitted).
 std::vector<Token> lexSource(std::string_view Source,

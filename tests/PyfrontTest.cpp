@@ -525,3 +525,46 @@ TEST(DataflowTest, FunctionBodiesAreSeparateFlows) {
     EXPECT_FALSE(FromMod && ToPar);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Diagnostics: rejects carry file:line context (the ingestion contract)
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticTest, FormatDiagnosticRendersPathLineMessage) {
+  Diagnostic D;
+  D.Line = 12;
+  D.Message = "unexpected character '@'";
+  EXPECT_EQ(formatDiagnostic("pkg/mod.py", D),
+            "pkg/mod.py:12: unexpected character '@'");
+}
+
+TEST(DiagnosticTest, TryExceptRejectPointsAtTheOffendingLine) {
+  // Outside the supported subset; --from-dir ingestion skips such files
+  // and reports them through formatDiagnostic — the diagnostic must pin
+  // the construct, not just say "no".
+  auto PF = parseFile("legacy.py", "x: int = 1\n"
+                                   "try:\n"
+                                   "    y = 2\n"
+                                   "except OSError:\n"
+                                   "    y = 3\n");
+  ASSERT_TRUE(PF.hasErrors());
+  const Diagnostic &D = PF.Diags.front();
+  EXPECT_GT(D.Line, 1) << "line must point past the clean first statement";
+  EXPECT_FALSE(D.Message.empty());
+  std::string Rendered = formatDiagnostic("legacy.py", D);
+  EXPECT_EQ(Rendered.rfind("legacy.py:", 0), 0u) << Rendered;
+  EXPECT_NE(Rendered.find(": "), std::string::npos) << Rendered;
+}
+
+TEST(DiagnosticTest, DecoratorRejectPointsAtTheOffendingLine) {
+  auto PF = parseFile("vendored.py", "import functools\n"
+                                     "\n"
+                                     "@functools.cache\n"
+                                     "def f(q: str) -> int:\n"
+                                     "    return len(q)\n");
+  ASSERT_TRUE(PF.hasErrors());
+  EXPECT_EQ(PF.Diags.front().Line, 3);
+  EXPECT_EQ(formatDiagnostic("vendored.py", PF.Diags.front())
+                .rfind("vendored.py:3: ", 0),
+            0u);
+}

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
+#include "corpus/Ingest.h"
 #include "corpus/ShardedDataset.h"
 
 #include <gtest/gtest.h>
@@ -47,8 +48,11 @@ ModelConfig tinyConfig() {
 }
 
 /// Writes the tiny corpus as a shard set under TempDir and returns the
-/// directory. \p FilesPerShard makes multi-shard layouts cheap to vary.
-std::string writeTinyShards(const std::string &Name, int FilesPerShard) {
+/// directory. \p FilesPerShard makes multi-shard layouts cheap to vary;
+/// \p NumThreads exercises the parallel chunk builder (0 = pool default).
+std::string writeTinyShards(const std::string &Name, int FilesPerShard,
+                            int NumThreads = 0,
+                            ShardBuildStats *Stats = nullptr) {
   // Suffixed with the pid: ctest -j runs each test of this suite as its
   // own process sharing TempDir, and same-named fixture directories would
   // clobber each other mid-test (same fix as ServeFaultTest's artifacts).
@@ -61,9 +65,10 @@ std::string writeTinyShards(const std::string &Name, int FilesPerShard) {
   ShardBuildOptions SO;
   SO.Dir = Dir;
   SO.FilesPerShard = FilesPerShard;
+  SO.NumThreads = NumThreads;
   std::string Err;
-  EXPECT_TRUE(
-      buildShards(Files, Gen.udts(), U, nullptr, tinyDataset(), SO, &Err))
+  EXPECT_TRUE(buildShards(Files, Gen.udts(), U, nullptr, tinyDataset(), SO,
+                          &Err, Stats))
       << Err;
   return Dir;
 }
@@ -484,4 +489,364 @@ TEST_F(DamagedShardTest, ShardTableInconsistencyIsRejected) {
   ASSERT_TRUE(W.writeFile(ManifestPath, &Err)) << Err;
   EXPECT_EQ(ShardedDataset::open(Dir, U, &Err), nullptr);
   EXPECT_NE(Err.find("totals"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel shard building is byte-identical to serial
+//===----------------------------------------------------------------------===//
+
+class ParallelBuildTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelBuildTest, ParallelBuildIsByteIdenticalToSerial) {
+  // The determinism contract at its strictest: same corpus, same shard
+  // size, 1 vs 4 builder threads — every byte on disk must match, from
+  // one-file shards (every chunk a shard) to one giant shard (the wave
+  // machinery degenerating to serial).
+  int FilesPerShard = GetParam();
+  std::string Tag = std::to_string(FilesPerShard);
+  ShardBuildStats SerStats, ParStats;
+  std::string SerDir = writeTinyShards("pbser" + Tag, FilesPerShard,
+                                       /*NumThreads=*/1, &SerStats);
+  std::string ParDir = writeTinyShards("pbpar" + Tag, FilesPerShard,
+                                       /*NumThreads=*/4, &ParStats);
+
+  EXPECT_EQ(SerStats.FilesIn, ParStats.FilesIn);
+  EXPECT_EQ(SerStats.DedupDropped, ParStats.DedupDropped);
+  EXPECT_EQ(SerStats.FilesSharded, ParStats.FilesSharded);
+  ASSERT_EQ(SerStats.ShardsWritten, ParStats.ShardsWritten);
+  ASSERT_GT(SerStats.ShardsWritten, 0u);
+
+  EXPECT_EQ(readFileBytes(SerDir + "/" + kShardManifestName),
+            readFileBytes(ParDir + "/" + kShardManifestName))
+      << "manifest diverged at " << FilesPerShard << " files/shard";
+  for (size_t I = 0; I != SerStats.ShardsWritten; ++I) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "shard-%05zu.typs", I);
+    std::string Ser = readFileBytes(SerDir + "/" + Name);
+    ASSERT_FALSE(Ser.empty()) << Name;
+    EXPECT_EQ(Ser, readFileBytes(ParDir + "/" + Name)) << Name << " diverged";
+  }
+
+  // And the parallel-built set round-trips like any other.
+  TypeUniverse U;
+  std::string Err;
+  std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(ParDir, U, &Err);
+  ASSERT_NE(SD, nullptr) << Err;
+  EXPECT_EQ(SD->numFiles(SplitKind::Train) + SD->numFiles(SplitKind::Valid) +
+                SD->numFiles(SplitKind::Test),
+            ParStats.FilesSharded);
+
+  removeShardDir(SerDir);
+  removeShardDir(ParDir);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardSizes, ParallelBuildTest,
+                         ::testing::Values(1, 3, 64),
+                         [](const auto &Info) {
+                           return "FilesPerShard" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Prefetch: the background decoder must be invisible in the bits
+//===----------------------------------------------------------------------===//
+
+TEST(ShardPrefetchTest, TrainingTauMapAndPredictionsMatchPrefetchOff) {
+  std::string Dir = writeTinyShards("pfbits", 3);
+  ModelConfig MC = tinyConfig();
+  TrainOptions TO;
+  TO.Epochs = 2;
+  TO.BatchFiles = 4;
+  KnnOptions KO;
+
+  // Reference: prefetch disabled, every shard decoded on demand.
+  TypeUniverse UOff;
+  std::string Err;
+  ShardedDatasetOptions Off;
+  Off.MaxResidentShards = 2;
+  Off.Prefetch = false;
+  std::unique_ptr<ShardedDataset> SDOff =
+      ShardedDataset::open(Dir, UOff, Off, &Err);
+  ASSERT_NE(SDOff, nullptr) << Err;
+  EXPECT_FALSE(SDOff->prefetchEnabled());
+  ExampleSource &TrOff = SDOff->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> MOff = makeModel(MC, TrOff, UOff);
+  double LossOff = trainModel(*MOff, TrOff, TO);
+  Predictor POff = Predictor::knn(*MOff, SDOff->trainValid(), KO);
+  std::vector<PredictionResult> PredsOff =
+      POff.predictAll(SDOff->split(SplitKind::Test));
+
+  // Prefetch on: same everything, shards decoded a step ahead.
+  TypeUniverse UOn;
+  ShardedDatasetOptions On;
+  On.MaxResidentShards = 2;
+  On.Prefetch = true;
+  std::unique_ptr<ShardedDataset> SDOn =
+      ShardedDataset::open(Dir, UOn, On, &Err);
+  ASSERT_NE(SDOn, nullptr) << Err;
+  EXPECT_TRUE(SDOn->prefetchEnabled());
+  ExampleSource &TrOn = SDOn->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> MOn = makeModel(MC, TrOn, UOn);
+  double LossOn = trainModel(*MOn, TrOn, TO);
+  Predictor POn = Predictor::knn(*MOn, SDOn->trainValid(), KO);
+  std::vector<PredictionResult> PredsOn =
+      POn.predictAll(SDOn->split(SplitKind::Test));
+
+  EXPECT_EQ(LossOff, LossOn) << "prefetch changed the training digest";
+  EXPECT_EQ(SDOff->decodeCount(), SDOn->decodeCount())
+      << "prefetch must neither add nor skip decodes";
+  EXPECT_GT(SDOn->prefetchHits(), 0u) << "prefetcher never served a shard";
+  EXPECT_EQ(SDOff->prefetchHits(), 0u);
+
+  // τmap byte equality, then prediction bit-identity.
+  const TypeMap &MapOff = POff.typeMap();
+  const TypeMap &MapOn = POn.typeMap();
+  ASSERT_EQ(MapOff.size(), MapOn.size());
+  ASSERT_EQ(MapOff.dim(), MapOn.dim());
+  EXPECT_EQ(MapOff.droppedDuplicates(), MapOn.droppedDuplicates());
+  for (size_t I = 0; I != MapOff.size(); ++I) {
+    EXPECT_EQ(std::memcmp(MapOff.embedding(I), MapOn.embedding(I),
+                          static_cast<size_t>(MapOff.dim()) * sizeof(float)),
+              0)
+        << "marker " << I;
+    EXPECT_EQ(MapOff.type(I)->str(), MapOn.type(I)->str());
+  }
+  expectPredictionsBitIdentical(PredsOff, PredsOn);
+
+  removeShardDir(Dir);
+}
+
+TEST(ShardPrefetchTest, ShardAwareShuffleTrainingMatchesPrefetchOff) {
+  // The shard-aware order is the prefetcher's best case (each shard
+  // streams exactly once per epoch); the digest must still not move.
+  std::string Dir = writeTinyShards("pfaware", 3);
+  ModelConfig MC = tinyConfig();
+  TrainOptions TO;
+  TO.Epochs = 2;
+  TO.BatchFiles = 4;
+  TO.ShardAwareShuffle = true;
+
+  TypeUniverse UOff;
+  std::string Err;
+  ShardedDatasetOptions Off;
+  Off.MaxResidentShards = 2;
+  Off.Prefetch = false;
+  std::unique_ptr<ShardedDataset> SDOff =
+      ShardedDataset::open(Dir, UOff, Off, &Err);
+  ASSERT_NE(SDOff, nullptr) << Err;
+  ExampleSource &TrOff = SDOff->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> MOff = makeModel(MC, TrOff, UOff);
+  double LossOff = trainModel(*MOff, TrOff, TO);
+
+  TypeUniverse UOn;
+  ShardedDatasetOptions On;
+  On.MaxResidentShards = 2;
+  On.Prefetch = true;
+  std::unique_ptr<ShardedDataset> SDOn =
+      ShardedDataset::open(Dir, UOn, On, &Err);
+  ASSERT_NE(SDOn, nullptr) << Err;
+  ExampleSource &TrOn = SDOn->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> MOn = makeModel(MC, TrOn, UOn);
+  double LossOn = trainModel(*MOn, TrOn, TO);
+
+  EXPECT_EQ(LossOff, LossOn) << "shard-aware prefetch changed the digest";
+  EXPECT_EQ(SDOff->decodeCount(), SDOn->decodeCount());
+  EXPECT_GT(SDOn->prefetchHits(), 0u);
+
+  removeShardDir(Dir);
+}
+
+TEST(ShardPrefetchTest, MidEpochResumeWithPrefetchMatchesUninterrupted) {
+  // Interrupt inside an epoch with prefetch on, resume in a "new
+  // process" (fresh open, fresh universe, prefetch on), and require the
+  // finished run to be bit-identical to an uninterrupted prefetch-off
+  // run — the resume cursor feeds planPrefetch, so the prefetcher starts
+  // mid-plan.
+  std::string Dir = writeTinyShards("pfresume", 2);
+  ModelConfig MC = tinyConfig();
+  TrainOptions TO;
+  TO.Epochs = 2;
+  TO.BatchFiles = 2; // several steps per epoch, so step 3 is mid-epoch
+
+  TypeUniverse URef;
+  std::string Err;
+  ShardedDatasetOptions Off;
+  Off.MaxResidentShards = 2;
+  Off.Prefetch = false;
+  std::unique_ptr<ShardedDataset> SDRef =
+      ShardedDataset::open(Dir, URef, Off, &Err);
+  ASSERT_NE(SDRef, nullptr) << Err;
+  ExampleSource &TrRef = SDRef->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> Ref = makeModel(MC, TrRef, URef);
+  double RefLoss = trainModel(*Ref, TrRef, TO);
+
+  std::string Path = testing::TempDir() + "typilus_pf_ckpt_" +
+                     std::to_string(static_cast<long>(getpid()));
+  ShardedDatasetOptions On;
+  On.MaxResidentShards = 2;
+  On.Prefetch = true;
+
+  TypeUniverse UCut;
+  std::unique_ptr<ShardedDataset> SDCut =
+      ShardedDataset::open(Dir, UCut, On, &Err);
+  ASSERT_NE(SDCut, nullptr) << Err;
+  ExampleSource &TrCut = SDCut->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> Cut = makeModel(MC, TrCut, UCut);
+  TrainOptions CutTO = TO;
+  CutTO.CheckpointPath = Path;
+  CutTO.CheckpointEverySteps = 2;
+  CutTO.StopAfterSteps = 3; // stops (and checkpoints) inside epoch 1
+  Trainer CutT(*Cut, CutTO);
+  CutT.run(TrCut);
+  EXPECT_EQ(CutT.epochsDone(), 0) << "the stop must land mid-epoch";
+
+  TypeUniverse URes;
+  std::unique_ptr<ShardedDataset> SDRes =
+      ShardedDataset::open(Dir, URes, On, &Err);
+  ASSERT_NE(SDRes, nullptr) << Err;
+  ExampleSource &TrRes = SDRes->split(SplitKind::Train);
+  std::unique_ptr<TypeModel> Resumed = makeModel(MC, TrRes, URes);
+  Trainer ResumedT(*Resumed, TO);
+  ASSERT_TRUE(ResumedT.resumeFrom(Path, &Err)) << Err;
+  double ResLoss = ResumedT.run(TrRes);
+  EXPECT_EQ(ResumedT.epochsDone(), 2);
+
+  EXPECT_EQ(RefLoss, ResLoss) << "prefetched mid-epoch resume diverged";
+  const auto &RP = Ref->params().params();
+  const auto &SP = Resumed->params().params();
+  ASSERT_EQ(RP.size(), SP.size());
+  for (size_t I = 0; I != RP.size(); ++I)
+    for (int64_t J = 0; J != RP[I].val().numel(); ++J)
+      ASSERT_EQ(RP[I].val()[J], SP[I].val()[J])
+          << "param " << I << " element " << J;
+
+  std::remove(Path.c_str());
+  removeShardDir(Dir);
+}
+
+TEST(ShardPrefetchTest, PinsSurviveEvictionWhilePrefetcherRaces) {
+  // The PinsSurviveEviction guarantee under the harshest prefetch
+  // conditions: one-shard residency, and a zig-zag access pattern whose
+  // direction reversals keep invalidating the prefetcher's aim, so
+  // claims race against stale ready slots. ASan/TSan make this a
+  // lifetime + data-race probe.
+  std::string Dir = writeTinyShards("pfpins", 2);
+  TypeUniverse U;
+  std::string Err;
+  ShardedDatasetOptions SO;
+  SO.MaxResidentShards = 1;
+  SO.Prefetch = true;
+  std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(Dir, U, SO, &Err);
+  ASSERT_NE(SD, nullptr) << Err;
+
+  ExampleSource &Train = SD->split(SplitKind::Train);
+  ASSERT_GT(Train.size(), 4u);
+
+  ExamplePin Pin;
+  const FileExample &First = Train.get(0, Pin);
+  std::string Path = First.Path;
+  size_t Nodes = First.Graph.numNodes();
+  ExamplePin Walk;
+  for (int Pass = 0; Pass != 3; ++Pass) {
+    for (size_t I = 0; I != Train.size(); ++I)
+      (void)Train.get(I, Walk);
+    for (size_t I = Train.size(); I != 0; --I)
+      (void)Train.get(I - 1, Walk);
+  }
+  EXPECT_LE(SD->residentShards(), 1u);
+  EXPECT_GT(SD->decodeCount(), SD->residentShards());
+  EXPECT_EQ(First.Path, Path);
+  EXPECT_EQ(First.Graph.numNodes(), Nodes);
+
+  removeShardDir(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Real-tree ingestion (`typilus shard --from-dir`)
+//===----------------------------------------------------------------------===//
+
+TEST(IngestTest, WalkSkipsAndReportsRejectsNeverFatally) {
+  std::string Root = std::string(TYPILUS_TEST_DATA_DIR) + "/pytree";
+  std::vector<CorpusFile> Files;
+  IngestReport Report;
+  std::string Err;
+  ASSERT_TRUE(collectPyTree(Root, Files, Report, &Err)) << Err;
+
+  // The fixture tree: 8 .py files, 6 inside the supported subset, a
+  // try/except file and a decorator file that must skip-and-report.
+  EXPECT_EQ(Report.FilesSeen, 8u);
+  EXPECT_EQ(Report.FilesAccepted, 6u);
+  EXPECT_EQ(Report.FilesUnreadable, 0u);
+  ASSERT_EQ(Report.Rejects.size(), 2u);
+  ASSERT_EQ(Files.size(), 6u);
+
+  // Name-order walk => fixed reject order, each reason carrying
+  // "path:line: message" context pointing at the offending construct.
+  EXPECT_EQ(Report.Rejects[0].Path, "scripts/legacy.py");
+  EXPECT_EQ(Report.Rejects[0].Reason.rfind("scripts/legacy.py:", 0), 0u)
+      << Report.Rejects[0].Reason;
+  EXPECT_EQ(Report.Rejects[1].Path, "vendored.py");
+  EXPECT_EQ(Report.Rejects[1].Reason.rfind("vendored.py:", 0), 0u)
+      << Report.Rejects[1].Reason;
+  for (const IngestReject &R : Report.Rejects)
+    EXPECT_NE(R.Reason.find(": "), std::string::npos) << R.Reason;
+
+  // Determinism: a second walk yields the identical corpus.
+  std::vector<CorpusFile> Again;
+  IngestReport Report2;
+  ASSERT_TRUE(collectPyTree(Root, Again, Report2, &Err)) << Err;
+  ASSERT_EQ(Again.size(), Files.size());
+  for (size_t I = 0; I != Files.size(); ++I) {
+    EXPECT_EQ(Files[I].Path, Again[I].Path);
+    EXPECT_EQ(Files[I].Source, Again[I].Source);
+  }
+}
+
+TEST(IngestTest, MissingRootFailsWithDiagnostic) {
+  std::vector<CorpusFile> Files;
+  IngestReport Report;
+  std::string Err;
+  EXPECT_FALSE(
+      collectPyTree("/nonexistent/typilus-pytree", Files, Report, &Err));
+  EXPECT_NE(Err.find("not a directory"), std::string::npos) << Err;
+}
+
+TEST(IngestTest, FromDirRoundTripsThroughShardsAndStreaming) {
+  std::string Root = std::string(TYPILUS_TEST_DATA_DIR) + "/pytree";
+  std::vector<CorpusFile> Files;
+  IngestReport Report;
+  std::string Err;
+  ASSERT_TRUE(collectPyTree(Root, Files, Report, &Err)) << Err;
+
+  std::string Dir = testing::TempDir() + "typilus_shards_fromdir_" +
+                    std::to_string(static_cast<long>(getpid()));
+  TypeUniverse U;
+  ShardBuildOptions SO;
+  SO.Dir = Dir;
+  SO.FilesPerShard = 3;
+  DatasetConfig DC;
+  DC.CommonThreshold = 2;
+  ShardBuildStats Stats;
+  std::vector<UdtSpec> NoUdts; // real trees declare classes in source
+  ASSERT_TRUE(buildShards(Files, NoUdts, U, nullptr, DC, SO, &Err, &Stats))
+      << Err;
+  EXPECT_EQ(Stats.FilesIn, 6u);
+  EXPECT_EQ(Stats.DedupDropped, 1u) << "util_mirror.py must dedup away";
+  EXPECT_EQ(Stats.FilesSharded, 5u);
+  ASSERT_GT(Stats.ShardsWritten, 0u);
+
+  // The written set streams back: all files reachable, real annotation
+  // targets decoded.
+  TypeUniverse U2;
+  std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(Dir, U2, &Err);
+  ASSERT_NE(SD, nullptr) << Err;
+  EXPECT_EQ(SD->numFiles(SplitKind::Train) + SD->numFiles(SplitKind::Valid) +
+                SD->numFiles(SplitKind::Test),
+            Stats.FilesSharded);
+  size_t Targets = 0;
+  for (SplitKind S : {SplitKind::Train, SplitKind::Valid, SplitKind::Test})
+    for (const FileExample &Ex : drain(SD->split(S)))
+      Targets += Ex.Targets.size();
+  EXPECT_GT(Targets, 0u) << "real files must contribute annotation targets";
+
+  removeShardDir(Dir);
 }

@@ -1,0 +1,32 @@
+from typing import Dict, List, Optional
+
+from pkg.models import Record
+
+
+def load_records(paths: List[str], limit: int) -> List[Record]:
+    out: List[Record] = []
+    count: int = 0
+    for path in paths:
+        if count == limit:
+            break
+        out.append(Record(path, count))
+        count = count + 1
+    return out
+
+
+def summarize(records: List[Record]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for record in records:
+        totals[record.name()] = record.size()
+    return totals
+
+
+def pick(records: List[Record], name: str) -> Optional[Record]:
+    for record in records:
+        if record.name() == name:
+            return record
+    return None
+
+
+default_limit: int = 16
+banner: str = 'typilus fixture tree'

@@ -1,0 +1,27 @@
+from typing import List, Tuple
+
+
+class Record:
+    def __init__(self, path: str, size: int) -> None:
+        self.path: str = path
+        self.stored_size: int = size
+
+    def name(self) -> str:
+        return self.path
+
+    def size(self) -> int:
+        return self.stored_size
+
+
+class Batch(Record):
+    def __init__(self, path: str, sizes: List[int]) -> None:
+        self.path: str = path
+        self.sizes: List[int] = sizes
+
+    def bounds(self) -> Tuple[int, int]:
+        low: int = 0
+        high: int = 0
+        for size in self.sizes:
+            if size > high:
+                high = size
+        return (low, high)

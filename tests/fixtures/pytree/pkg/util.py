@@ -1,0 +1,23 @@
+from typing import Dict, List, Set
+
+
+def dedupe(words: List[str]) -> Set[str]:
+    seen: Set[str] = set()
+    for word in words:
+        seen.add(word)
+    return seen
+
+
+def count_lengths(words: List[str]) -> Dict[str, int]:
+    lengths: Dict[str, int] = {}
+    for word in words:
+        lengths[word] = len(word)
+    return lengths
+
+
+def longest(words: List[str]) -> str:
+    best: str = ''
+    for word in words:
+        if len(word) > len(best):
+            best = word
+    return best

@@ -1,0 +1,24 @@
+from typing import Dict, List
+
+
+def accuracy(truths: List[str], guesses: List[str]) -> float:
+    hits: int = 0
+    index: int = 0
+    for truth in truths:
+        if guesses[index] == truth:
+            hits = hits + 1
+        index = index + 1
+    if index == 0:
+        return 0.0
+    return hits / index
+
+
+def confusion(truths: List[str], guesses: List[str]) -> Dict[str, int]:
+    table: Dict[str, int] = {}
+    index: int = 0
+    for truth in truths:
+        guess: str = guesses[index]
+        if guess != truth:
+            table[guess] = index
+        index = index + 1
+    return table

@@ -1,0 +1,11 @@
+from typing import Optional
+
+
+def read_config(path: str) -> Optional[str]:
+    # try/except is outside the supported pyfront subset: this file is
+    # fixture material for the skip-and-report ingestion path.
+    try:
+        handle = open(path)
+        return handle.read()
+    except OSError:
+        return None

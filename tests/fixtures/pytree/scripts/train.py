@@ -1,0 +1,37 @@
+from typing import Dict, List, Optional, Tuple
+
+from pkg.models import Batch
+from pkg.util import longest
+
+
+def make_batches(paths: List[str], width: int) -> List[Batch]:
+    batches: List[Batch] = []
+    sizes: List[int] = []
+    for path in paths:
+        sizes.append(len(path))
+        if len(sizes) == width:
+            batches.append(Batch(path, sizes))
+            sizes = []
+    return batches
+
+
+def best_name(paths: List[str]) -> str:
+    return longest(paths)
+
+
+def schedule(epochs: int, warmup: int) -> List[Tuple[int, float]]:
+    steps: List[Tuple[int, float]] = []
+    epoch: int = 0
+    while epoch < epochs:
+        rate: float = 0.1
+        if epoch < warmup:
+            rate = 0.01
+        steps.append((epoch, rate))
+        epoch = epoch + 1
+    return steps
+
+
+def lookup(table: Dict[str, int], key: str) -> Optional[int]:
+    if key in table:
+        return table[key]
+    return None

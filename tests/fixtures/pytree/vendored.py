@@ -1,0 +1,8 @@
+import functools
+
+
+# Decorators are outside the supported pyfront subset: this file is
+# fixture material for the skip-and-report ingestion path.
+@functools.lru_cache(maxsize=None)
+def cached_answer(question: str) -> int:
+    return len(question)

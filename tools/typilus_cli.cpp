@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
+#include "corpus/Ingest.h"
 #include "corpus/ShardedDataset.h"
 #include "nn/Simd.h"
 #include "serve/Protocol.h"
@@ -22,10 +23,12 @@
 #include "support/Json.h"
 #include "support/Socket.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sys/stat.h>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -50,6 +53,8 @@ struct Options {
   std::string ShardDir;   ///< --shards: shard-set directory to stream.
   std::string OutDir;     ///< shard: --out-dir to write the shard set.
   int ShardFiles = 32;    ///< shard: --shard-files per shard.
+  std::string FromDir;    ///< shard: --from-dir, ingest a real .py tree.
+  bool NoPrefetch = false; ///< --no-prefetch: disable shard read-ahead.
   std::vector<std::string> Sources; ///< --source: real .py files to predict.
   std::string Split = "test";       ///< --split for predict.
   std::string Socket;               ///< client: daemon socket path.
@@ -90,17 +95,26 @@ int usage(const char *Argv0) {
       "           [--threads N] [--seed S] [--checkpoint PATH] [--resume]\n"
       "           [--checkpoint-every STEPS] [--shards DIR] [--verbose]\n"
       "           [--tmap-store f32|f16|int8] [--tmap-max-markers N]\n"
+      "           [--no-prefetch]\n"
       "           (--shards streams a `typilus shard` set instead of\n"
       "           regenerating the corpus; RAM is bounded by shard\n"
       "           residency and digests match the in-memory path;\n"
+      "           shards decode ahead of demand unless --no-prefetch —\n"
+      "           digests are identical either way;\n"
       "           --tmap-store quantizes the τmap markers and\n"
       "           --tmap-max-markers caps them by coreset subsampling)\n"
-      "  shard    preprocess the synthetic corpus into a shard set\n"
+      "  shard    preprocess a corpus into a shard set\n"
       "           --out-dir DIR [--files N] [--udts N] [--seed S]\n"
-      "           [--shard-files N]\n"
+      "           [--shard-files N] [--threads N] [--from-dir TREE]\n"
+      "           (--from-dir ingests a real .py tree instead of the\n"
+      "           synthetic corpus: files the parser rejects are skipped\n"
+      "           and reported with file:line context, never fatal;\n"
+      "           --threads builds shard chunks in parallel with bytes\n"
+      "           identical to the serial build)\n"
       "  predict  load an artifact and predict, no training data needed\n"
       "           --model PATH [--split train|valid|test] [--limit N]\n"
       "           [--source FILE.py]... [--shards DIR] [--threads N]\n"
+      "           [--no-prefetch]\n"
       "  inspect  print an artifact's chunks, config and vocabularies\n"
       "           --model PATH\n"
       "  save     rewrite an artifact, optionally changing kNN options\n"
@@ -153,6 +167,11 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
     } else if (A == "--shard-files") {
       if (!(V = Next("--shard-files"))) return false;
       O.ShardFiles = std::atoi(V);
+    } else if (A == "--from-dir") {
+      if (!(V = Next("--from-dir"))) return false;
+      O.FromDir = V;
+    } else if (A == "--no-prefetch") {
+      O.NoPrefetch = true;
     } else if (A == "--source") {
       if (!(V = Next("--source"))) return false;
       O.Sources.push_back(V);
@@ -409,7 +428,9 @@ int cmdTrain(const Options &O) {
     U = WB.U.get();
     HaveRecipe = true;
   } else {
-    SD = ShardedDataset::open(O.ShardDir, ShardU, &Err);
+    ShardedDatasetOptions SDO;
+    SDO.Prefetch = !O.NoPrefetch;
+    SD = ShardedDataset::open(O.ShardDir, ShardU, SDO, &Err);
     if (!SD)
       return fail(Err);
     std::printf("shard set %s: %zu train / %zu valid / %zu test files, "
@@ -500,6 +521,12 @@ int cmdTrain(const Options &O) {
   // The same-process predictions `predict` must reproduce bit-for-bit.
   auto Preds = P.predictAll(*TestSrc);
   printSummary(Preds, *U);
+  if (SD)
+    std::printf("prefetch: %s, %zu hits / %zu misses, wait %" PRIu64
+                " us, decode stall %" PRIu64 " us (%zu shard decodes)\n",
+                SD->prefetchEnabled() ? "on" : "off", SD->prefetchHits(),
+                SD->prefetchMisses(), SD->prefetchWaitMicros(),
+                SD->decodeStallMicros(), SD->decodeCount());
   std::printf("test-split digest: %016" PRIx64 "\n", digest(Preds));
   return 0;
 }
@@ -508,27 +535,83 @@ int cmdTrain(const Options &O) {
 // shard
 //===----------------------------------------------------------------------===//
 
+/// Upfront `shard` argument validation: fail with a specific message
+/// before any corpus work instead of mid-build. Creates \p Dir if
+/// missing and proves it is writable with a probe file.
+bool validateShardArgs(const Options &O, std::string *Err) {
+  if (O.ShardFiles < 1) {
+    *Err = "--shard-files expects a positive file count; got " +
+           std::to_string(O.ShardFiles);
+    return false;
+  }
+  if (::mkdir(O.OutDir.c_str(), 0777) != 0 && errno != EEXIST) {
+    *Err = "cannot create --out-dir '" + O.OutDir + "'";
+    return false;
+  }
+  std::string Probe = O.OutDir + "/.typilus-writable";
+  std::FILE *F = std::fopen(Probe.c_str(), "wb");
+  if (!F) {
+    *Err = "--out-dir '" + O.OutDir + "' is not writable";
+    return false;
+  }
+  std::fclose(F);
+  ::remove(Probe.c_str());
+  return true;
+}
+
 int cmdShard(const Options &O) {
   if (O.OutDir.empty())
     return fail("shard needs --out-dir DIR");
+  std::string Err;
+  if (!validateShardArgs(O, &Err))
+    return fail(Err);
+
   CorpusConfig CC;
   CC.NumFiles = O.Files;
   CC.NumUdts = O.Udts;
   CC.Seed = O.Seed;
   DatasetConfig DC;
 
-  std::printf("generating %d synthetic files...\n", CC.NumFiles);
-  CorpusGenerator Gen(CC);
-  std::vector<CorpusFile> Files = Gen.generate();
+  std::vector<CorpusFile> Files;
+  std::vector<UdtSpec> Udts;
+  bool HaveRecipe = O.FromDir.empty();
+  if (HaveRecipe) {
+    std::printf("generating %d synthetic files...\n", CC.NumFiles);
+    CorpusGenerator Gen(CC);
+    Files = Gen.generate();
+    Udts = Gen.udts();
+  } else {
+    // Real-tree ingestion: walk --from-dir for .py files, keeping what
+    // the parser accepts. Rejects are reported, never fatal — a crawl
+    // always contains Python beyond the supported subset.
+    IngestReport Rep;
+    if (!collectPyTree(O.FromDir, Files, Rep, &Err))
+      return fail(Err);
+    for (const IngestReject &Rej : Rep.Rejects)
+      std::fprintf(stderr, "skipped: %s\n", Rej.Reason.c_str());
+    std::printf("ingested %s: %zu .py files seen, %zu accepted, %zu "
+                "parser-rejected, %zu unreadable\n",
+                O.FromDir.c_str(), Rep.FilesSeen, Rep.FilesAccepted,
+                Rep.Rejects.size(), Rep.FilesUnreadable);
+    if (Files.empty())
+      return fail("no ingestible .py files under '" + O.FromDir + "'");
+  }
 
   TypeUniverse U;
   ShardBuildOptions SO;
   SO.Dir = O.OutDir;
   SO.FilesPerShard = O.ShardFiles;
-  SO.ManifestExtra = [&](ArchiveWriter &W) { writeCorpusRecipe(W, CC, DC); };
-  std::string Err;
-  if (!buildShards(Files, Gen.udts(), U, /*Hierarchy=*/nullptr, DC, SO, &Err))
+  SO.NumThreads = O.Threads;
+  // An ingested tree has no generation recipe; `train` then warns that
+  // the artifact will need --source or --shards to predict.
+  if (HaveRecipe)
+    SO.ManifestExtra = [&](ArchiveWriter &W) { writeCorpusRecipe(W, CC, DC); };
+  ShardBuildStats Stats;
+  if (!buildShards(Files, Udts, U, /*Hierarchy=*/nullptr, DC, SO, &Err,
+                   &Stats))
     return fail(Err);
+  std::printf("dedup: %zu near-duplicate files dropped (%zu of %zu kept)\n",
+              Stats.DedupDropped, Stats.FilesSharded, Stats.FilesIn);
 
   // Reopen through the reader: validates what was just written and gives
   // the user the manifest view of it.
@@ -537,9 +620,9 @@ int cmdShard(const Options &O) {
       ShardedDataset::open(O.OutDir, CheckU, &Err);
   if (!SD)
     return fail("shard set written but does not read back: " + Err);
-  std::printf("shard set written: %s (%d files/shard; %zu train / %zu valid "
-              "/ %zu test files, %zu targets)\n",
-              O.OutDir.c_str(), SO.FilesPerShard < 1 ? 1 : SO.FilesPerShard,
+  std::printf("shard set written: %s (%zu shards, %d files/shard; %zu train "
+              "/ %zu valid / %zu test files, %zu targets)\n",
+              O.OutDir.c_str(), Stats.ShardsWritten, SO.FilesPerShard,
               SD->numFiles(SplitKind::Train), SD->numFiles(SplitKind::Valid),
               SD->numFiles(SplitKind::Test),
               SD->numTargets(SplitKind::Train) +
@@ -596,7 +679,10 @@ int cmdPredict(const Options &O) {
   // intern into the artifact's universe, so truth and prediction
   // TypeRefs match and the digest equals the in-memory path's.
   if (!O.ShardDir.empty()) {
-    std::unique_ptr<ShardedDataset> SD = ShardedDataset::open(O.ShardDir, U, &Err);
+    ShardedDatasetOptions SDO;
+    SDO.Prefetch = !O.NoPrefetch;
+    std::unique_ptr<ShardedDataset> SD =
+        ShardedDataset::open(O.ShardDir, U, SDO, &Err);
     if (!SD)
       return fail(Err);
     SplitKind SK;
