@@ -4,14 +4,16 @@
 // human-written annotations that were *wrong* — e.g. tensor-dimension
 // parameters annotated `float` in PyTorch/fairseq that it predicted `int`
 // with 99.8% confidence (the accepted pull request). We plant analogous
-// errors in held-out files and report where the model confidently
-// disagrees with the existing annotation.
+// errors in held-out files and let core/Evaluator's audit helper —
+// the same criterion the LSP publishes as Warning diagnostics — report
+// where the model confidently disagrees.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
 
 #include <cstdio>
+#include <unordered_set>
 
 using namespace typilus;
 
@@ -26,37 +28,39 @@ int main() {
   std::printf("training Typilus on %zu files...\n", WB.DS.Train.size());
   ModelRun Run = trainAndEvaluate(WB, MC, TO);
 
-  // Plant fairseq-style annotation errors: in the *ground truth* of every
-  // 7th int-typed test symbol, pretend the human annotated `float`
+  // Plant fairseq-style annotation errors: in the *recorded annotation*
+  // of every 7th int-typed test symbol, pretend the human wrote `float`
   // (dimension parameters annotated as float — exactly the fairseq bug).
   TypeRef IntTy = WB.U->parse("int");
   TypeRef FloatTy = WB.U->parse("float");
-  size_t Planted = 0, Flagged = 0, FalseAlarms = 0, Checked = 0;
+  std::vector<PredictionResult> Audited = Run.Preds;
+  std::unordered_set<const PredictionResult *> PlantedSet;
+  size_t Planted = 0, Checked = 0;
   int Stride = 0;
-  std::printf("\nconfident disagreements with (planted) human annotations:\n");
-  for (const PredictionResult &P : Run.Preds) {
+  for (PredictionResult &P : Audited) {
     if (!P.top())
       continue;
-    TypeRef Human = P.Truth;
-    bool IsPlanted = false;
-    if (Human == IntTy && ++Stride % 7 == 0) {
-      Human = FloatTy; // the wrong human annotation
-      IsPlanted = true;
+    ++Checked;
+    if (P.Truth == IntTy && ++Stride % 7 == 0) {
+      P.Truth = FloatTy; // the wrong human annotation
+      PlantedSet.insert(&P);
       ++Planted;
     }
-    ++Checked;
-    // Typilus flags a suspect annotation when it confidently predicts a
-    // different type.
-    bool Disagrees = P.top() != Human && P.confidence() >= 0.8;
-    if (!Disagrees)
-      continue;
-    if (IsPlanted) {
+  }
+
+  // Typilus flags a suspect annotation when it confidently predicts a
+  // different type.
+  std::vector<Disagreement> Suspects = findConfidentDisagreements(Audited, 0.8);
+  size_t Flagged = 0, FalseAlarms = 0;
+  std::printf("\nconfident disagreements with (planted) human annotations:\n");
+  for (const Disagreement &D : Suspects) {
+    if (PlantedSet.count(D.Pred)) {
       ++Flagged;
       if (Flagged <= 8)
         std::printf("  %-22s annotated %-8s but Typilus predicts %-8s "
                     "(confidence %.2f)  <- planted fairseq-style bug\n",
-                    P.SymbolName.c_str(), Human->str().c_str(),
-                    P.top()->str().c_str(), P.confidence());
+                    D.Pred->SymbolName.c_str(), D.Annotated->str().c_str(),
+                    D.Predicted->str().c_str(), D.Confidence);
     } else {
       ++FalseAlarms;
     }

@@ -5,6 +5,12 @@
 // trained spaces show tight same-type neighbourhoods; the paper's Fig. 1
 // sketches exactly this structure.
 //
+// The τmap is built through Predictor::knn — the same tagged fill the
+// serving and editor paths use — so every marker knows which file owns
+// it (TypeMap::fileTag), and retiring a file's markers
+// (Predictor::removeMarkersForFile, the LSP's didClose) visibly drops
+// them out of the neighbourhoods.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
@@ -25,26 +31,22 @@ int main() {
   auto Model = makeModel(MC, WB.DS, *WB.U);
   trainModel(*Model, WB.DS.Train, TO);
 
-  // τmap over the training files.
-  TypeMap Map(MC.HiddenDim);
-  std::vector<std::string> MarkerNames;
-  for (const FileExample &F : WB.DS.Train) {
-    std::vector<const Target *> Targets;
-    nn::Value Emb = Model->embed({&F}, &Targets);
-    if (!Emb.defined())
-      continue;
-    for (size_t I = 0; I != Targets.size(); ++I) {
-      Map.add(Emb.val().data() + static_cast<int64_t>(I) * Emb.val().cols(),
-              Targets[I]->Type);
-      MarkerNames.push_back(Targets[I]->Name);
-    }
-  }
+  // τmap over the training files — one call; markers arrive tagged with
+  // their file of origin.
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB.DS.Train)
+    MapFiles.push_back(&F);
+  KnnOptions KO;
+  KO.UseAnnoy = false; // exact neighbourhoods for the printout
+  Predictor P = Predictor::knn(*Model, MapFiles, KO);
+  const TypeMap &Map = P.typeMap();
   ExactIndex Index(Map);
   std::printf("TypeSpace contains %zu markers (%d dimensions, L1 metric)\n\n",
               Map.size(), Map.dim());
 
   // Show the neighbourhoods of the first few test symbols.
   int Shown = 0;
+  std::string_view CrowdedFile;
   for (const FileExample &F : WB.DS.Test) {
     std::vector<const Target *> Targets;
     nn::Value Emb = Model->embed({&F}, &Targets);
@@ -55,13 +57,29 @@ int main() {
           Emb.val().data() + static_cast<int64_t>(I) * Emb.val().cols();
       std::printf("query '%s' (truth %s): nearest markers\n",
                   Targets[I]->Name.c_str(), Targets[I]->Type->str().c_str());
-      for (auto [Idx, Dist] : Index.query(Q, 5))
-        std::printf("    d=%6.2f  %-20s (marker symbol '%s')\n", Dist,
+      for (auto [Idx, Dist] : Index.query(Q, 5)) {
+        std::string_view Tag = Map.fileTag(static_cast<size_t>(Idx));
+        std::printf("    d=%6.2f  %-20s (from %s)\n", Dist,
                     Map.type(static_cast<size_t>(Idx))->str().c_str(),
-                    MarkerNames[static_cast<size_t>(Idx)].c_str());
+                    std::string(Tag).c_str());
+        if (CrowdedFile.empty())
+          CrowdedFile = Tag;
+      }
     }
     if (Shown >= 6)
       break;
+  }
+
+  // The editor loop's mutation API, watched from outside: retire one
+  // file's markers (tombstones — no index rebuild) and its rows vanish
+  // from every neighbourhood.
+  if (!CrowdedFile.empty()) {
+    std::string Victim(CrowdedFile);
+    size_t Before = Map.liveSize();
+    size_t Removed = P.removeMarkersForFile(Victim);
+    std::printf("\nremoveMarkersForFile(\"%s\"): retired %zu of %zu live "
+                "markers (tombstone ratio now %.3f)\n",
+                Victim.c_str(), Removed, Before, Map.tombstoneRatio());
   }
   return 0;
 }

@@ -160,3 +160,22 @@ typilus::bucketByAnnotationCount(const std::vector<Judged> &Js,
   }
   return Buckets;
 }
+
+std::vector<Disagreement>
+typilus::findConfidentDisagreements(const std::vector<PredictionResult> &Preds,
+                                    double MinConfidence) {
+  std::vector<Disagreement> Out;
+  for (const PredictionResult &P : Preds) {
+    TypeRef Top = P.top();
+    if (!Top || !P.Truth || Top == P.Truth ||
+        P.confidence() < MinConfidence)
+      continue;
+    Disagreement D;
+    D.Pred = &P;
+    D.Annotated = P.Truth;
+    D.Predicted = Top;
+    D.Confidence = P.confidence();
+    Out.push_back(D);
+  }
+  return Out;
+}

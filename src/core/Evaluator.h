@@ -77,6 +77,25 @@ struct PrPoint {
 std::vector<PrPoint> prCurve(const std::vector<Judged> &Js, Criterion C,
                              int NumPoints = 20);
 
+/// Sec. 7's wrong-annotation audit: a prediction that confidently
+/// disagrees with the file's existing annotation (the fairseq/allennlp
+/// pull-request hunt). The same criterion the LSP publishes as Warning
+/// diagnostics.
+struct Disagreement {
+  const PredictionResult *Pred = nullptr; ///< Points into the input vector.
+  TypeRef Annotated = nullptr;            ///< The annotation disagreed with.
+  TypeRef Predicted = nullptr;            ///< The model's top candidate.
+  double Confidence = 0;
+};
+
+/// Scans \p Preds for predictions whose top candidate differs from the
+/// recorded annotation (PredictionResult::Truth) at confidence >=
+/// \p MinConfidence. Unannotated targets and empty candidate lists are
+/// skipped. Input order is preserved.
+std::vector<Disagreement>
+findConfidentDisagreements(const std::vector<PredictionResult> &Preds,
+                           double MinConfidence = 0.8);
+
 /// Fig. 5: accuracy bucketed by the truth type's training-annotation count.
 struct Bucket {
   int MaxCount = 0; ///< Bucket upper bound (inclusive).

@@ -2,10 +2,12 @@
 
 #include "core/Predictor.h"
 
+#include "corpus/Dataset.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 using namespace typilus;
 
@@ -57,13 +59,17 @@ Predictor Predictor::knn(TypeModel &Model, ExampleSource &MapFiles,
         EmbedOne(I);
     }
 
+    P.EmbedCalls += W;
     for (size_t F = 0; F != W; ++F) {
       const Tensor &E = Embs[F];
       if (E.numel() == 0)
         continue;
+      // Tag each marker with its source file so the editor loop can
+      // retire a file's rows later. Tags are sidecar state: the marker
+      // bytes and layout are unchanged.
       for (size_t I = 0; I != Targets[F].size(); ++I)
         P.Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
-                   Targets[F][I]->Type);
+                   Targets[F][I]->Type, Window[F]->Path);
     }
   }
   // τmap compaction, in order: bound the marker count over the exact f32
@@ -271,24 +277,24 @@ bool Predictor::setMarkerStore(MarkerStore S, std::string *Err) {
 
 void Predictor::addMarker(const float *Embedding, TypeRef T) {
   assert(IsKnn && "markers only apply to kNN predictors");
-  if (Map->add(Embedding, T)) // a deduped duplicate changes nothing
-    rebuildIndex();
+  // No index rebuild: rows appended after the forest was built are
+  // answered by queryNeighbors' exact delta scan until the next
+  // compaction (or explicit rebuild) folds them in.
+  Map->add(Embedding, T);
 }
 
 void Predictor::addMarkersFrom(const FileExample &File) {
   assert(IsKnn && "markers only apply to kNN predictors");
   std::vector<const Target *> Targets;
   nn::Value Emb = Model->embed({&File}, &Targets);
+  ++EmbedCalls;
   if (!Emb.defined())
     return;
   const Tensor &E = Emb.val();
   Map->reserve(Map->size() + Targets.size()); // reserve() takes a total
-  bool Added = false;
   for (size_t I = 0; I != Targets.size(); ++I)
-    Added |= Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
-                      Targets[I]->Type);
-  if (Added)
-    rebuildIndex();
+    Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
+             Targets[I]->Type, File.Path);
 }
 
 /// Copies the stable identity of target \p T (index \p I of \p File's
@@ -299,6 +305,10 @@ static void fillIdentity(PredictionResult &R, const FileExample &File,
   R.FilePath = File.Path;
   R.TargetIdx = static_cast<int>(I);
   R.NodeIdx = T.NodeIdx;
+  R.SymbolId = T.NodeIdx >= 0 &&
+                       static_cast<size_t>(T.NodeIdx) < File.Graph.Nodes.size()
+                   ? File.Graph.Nodes[static_cast<size_t>(T.NodeIdx)].SymbolId
+                   : -1;
   R.SymbolName = T.Name;
   R.Kind = T.Kind;
   R.Truth = T.Type;
@@ -306,6 +316,128 @@ static void fillIdentity(PredictionResult &R, const FileExample &File,
 
 std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
   return std::move(predictBatch({&File}).front());
+}
+
+std::vector<NeighborList> Predictor::queryNeighbors(const float *Qs,
+                                                    int64_t NumQ) {
+  if (!(Annoy && Knn.UseAnnoy))
+    return Exact->queryBatch(Qs, NumQ, Knn.K, Knn.NumThreads);
+  std::vector<NeighborList> Neigh =
+      Annoy->queryBatch(Qs, NumQ, Knn.K, /*SearchK=*/-1, Knn.NumThreads);
+  // Rows appended after the forest was built are invisible to it; an
+  // exact scan over that delta merges into each answer under the same
+  // (distance, index) order the indexes use, so folding the delta into a
+  // rebuilt forest would change no bits.
+  size_t From = Annoy->indexedMarkers();
+  if (From < Map->size()) {
+    const int64_t D = Map->dim();
+    for (int64_t Q = 0; Q != NumQ; ++Q) {
+      NeighborList &L = Neigh[static_cast<size_t>(Q)];
+      const float *Query = Qs + Q * D;
+      for (size_t I = From; I != Map->size(); ++I)
+        if (Map->isLive(I))
+          L.emplace_back(static_cast<int>(I), Map->l1DistanceTo(Query, I));
+      std::sort(L.begin(), L.end(), [](const auto &A, const auto &B) {
+        if (A.second != B.second)
+          return A.second < B.second;
+        return A.first < B.first;
+      });
+      if (L.size() > static_cast<size_t>(Knn.K))
+        L.resize(static_cast<size_t>(Knn.K));
+    }
+  }
+  return Neigh;
+}
+
+std::vector<std::vector<PredictionResult>>
+Predictor::predictSources(const std::vector<CorpusFile> &Files) {
+  TypeUniverse *U = universe();
+  if (!U)
+    throw std::runtime_error(
+        "predictSource needs a type universe: load an artifact or call "
+        "setUniverse first");
+  std::vector<FileExample> Examples;
+  Examples.reserve(Files.size());
+  for (const CorpusFile &F : Files)
+    Examples.push_back(buildExample(F, *U, {}));
+  std::vector<const FileExample *> Ptrs;
+  Ptrs.reserve(Examples.size());
+  for (const FileExample &E : Examples)
+    Ptrs.push_back(&E);
+  return predictBatch(Ptrs);
+}
+
+std::vector<PredictionResult>
+Predictor::predictSource(const std::string &Path, const std::string &Source) {
+  return std::move(predictSources({CorpusFile{Path, Source}}).front());
+}
+
+std::vector<PredictionResult>
+Predictor::annotateIncremental(const std::string &Path,
+                               const std::string &Source) {
+  assert(IsKnn && "the incremental loop is a kNN-predictor feature");
+  TypeUniverse *U = universe();
+  if (!U)
+    throw std::runtime_error(
+        "annotateIncremental needs a type universe: load an artifact or "
+        "call setUniverse first");
+  // 1. Retire the file's previous markers: its own stale rows must never
+  //    answer its queries (and a single-file session's digest therefore
+  //    matches predictSource over the untouched artifact — CI pins this).
+  Map->removeMarkersForFile(Path);
+  // 2. Parse and embed only this file — exactly one encoder pass, which
+  //    embedCalls() lets tests pin.
+  FileExample Ex = buildExample(CorpusFile{Path, Source}, *U, {});
+  std::vector<const Target *> Targets;
+  nn::Value Emb = Model->embed({&Ex}, &Targets);
+  ++EmbedCalls;
+  std::vector<PredictionResult> Out;
+  if (Emb.defined() && !Targets.empty()) {
+    const Tensor &E = Emb.val();
+    // 3. kNN against the updated index, through the same merged query
+    //    kernel predictBatch uses.
+    std::vector<NeighborList> Neigh =
+        queryNeighbors(E.data(), static_cast<int64_t>(Targets.size()));
+    Out.reserve(Targets.size());
+    for (size_t I = 0; I != Targets.size(); ++I) {
+      PredictionResult R;
+      fillIdentity(R, Ex, *Targets[I], I);
+      R.Candidates = scoreNeighbors(*Map, Neigh[I], Knn.P);
+      Out.push_back(std::move(R));
+    }
+    // 4. Swap in the file's current markers so other files' queries see
+    //    its content. Unchanged rows resurrect their tombstones in place
+    //    — the τmap is bit-identical to the pre-edit state.
+    for (size_t I = 0; I != Targets.size(); ++I)
+      if (Targets[I]->Type)
+        Map->add(E.data() + static_cast<int64_t>(I) * E.cols(),
+                 Targets[I]->Type, Path);
+  }
+  // 5. Amortized compaction: only past the policy ratio do tombstones get
+  //    dropped and the forest rebuilt (over the live rows only).
+  maybeCompact();
+  return Out;
+}
+
+size_t Predictor::removeMarkersForFile(const std::string &Path) {
+  if (!IsKnn || !Map)
+    return 0;
+  size_t Removed = Map->removeMarkersForFile(Path);
+  if (Removed)
+    maybeCompact();
+  return Removed;
+}
+
+bool Predictor::compactMarkers() {
+  if (!IsKnn || !Map || !Map->compact())
+    return false;
+  rebuildIndex();
+  return true;
+}
+
+void Predictor::maybeCompact() {
+  if (Knn.CompactRatio > 0 && Map->tombstoneRatio() > Knn.CompactRatio)
+    compactMarkers();
 }
 
 std::vector<std::vector<PredictionResult>>
@@ -343,6 +475,7 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
     for (size_t I = 0; I != N; ++I)
       EmbedOne(I);
   }
+  EmbedCalls += N;
 
   if (IsKnn) {
     // One bulk index probe for every target of every file, answered
@@ -357,11 +490,7 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
       if (Embs[I].numel() > 0)
         Queries.insert(Queries.end(), Embs[I].data(),
                        Embs[I].data() + Embs[I].numel());
-    std::vector<NeighborList> Neigh =
-        Annoy && Knn.UseAnnoy
-            ? Annoy->queryBatch(Queries.data(), NumQ, Knn.K, /*SearchK=*/-1,
-                                Knn.NumThreads)
-            : Exact->queryBatch(Queries.data(), NumQ, Knn.K, Knn.NumThreads);
+    std::vector<NeighborList> Neigh = queryNeighbors(Queries.data(), NumQ);
     size_t Row = 0;
     for (size_t F = 0; F != N; ++F)
       for (size_t I = 0; I != Targets[F].size(); ++I) {

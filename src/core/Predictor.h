@@ -23,10 +23,12 @@
 #define TYPILUS_CORE_PREDICTOR_H
 
 #include "corpus/ExampleStream.h"
+#include "corpus/Generator.h"
 #include "knn/TypeMap.h"
 #include "models/Model.h"
 #include "support/Archive.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +58,11 @@ struct PredictionResult {
   std::string FilePath;  ///< Path of the predicted file.
   int TargetIdx = -1;    ///< Index into the file's `Targets` vector.
   int NodeIdx = -1;      ///< Graph node index of the symbol supernode.
+  int SymbolId = -1;     ///< Symbol-table id of that supernode (-1 none);
+                         ///< lets consumers (checker gating, the LSP) map
+                         ///< a prediction to a re-parsed file's symbol
+                         ///< without keeping the graph around. Not part
+                         ///< of predictionDigest().
   std::string SymbolName;
   SymbolKind Kind = SymbolKind::Variable;
   TypeRef Truth = nullptr; ///< Ground-truth type (null when unknown).
@@ -87,6 +94,13 @@ struct KnnOptions {
   /// Caps the τmap at this many markers via coreset subsampling before
   /// quantization (0 = keep every marker).
   size_t MaxMarkers = 0;
+  /// Editor-loop compaction policy: once more than this fraction of the
+  /// τmap's rows are tombstones (markers retired by annotateIncremental /
+  /// removeMarkersForFile), the map is compacted and the index rebuilt
+  /// over the live rows. Below the threshold mutation never touches the
+  /// forest — removals are tombstones the queries skip, additions are
+  /// covered by an exact delta scan. <= 0 disables automatic compaction.
+  double CompactRatio = 0.25;
 };
 
 /// Inference engine for one trained model.
@@ -138,6 +152,39 @@ public:
   /// Predicts candidates for every target of \p File.
   std::vector<PredictionResult> predictFile(const FileExample &File);
 
+  /// The one in-memory-source entry point: parses \p Source through
+  /// pyfront/, builds the graph against universe(), and predicts — the
+  /// CLI's `predict --source`, the serve daemon and the LSP all route
+  /// through this, so their digests agree by construction. Requires a
+  /// universe (loaded predictors own one; live-model predictors get one
+  /// via setUniverse). Propagates pyfront parse errors as exceptions,
+  /// like buildExample does.
+  std::vector<PredictionResult> predictSource(const std::string &Path,
+                                              const std::string &Source);
+  /// Batched predictSource: builds every example, then answers all of
+  /// them through one predictBatch call (the daemon's coalesced path).
+  /// \returns per-file results, index-aligned with \p Files.
+  std::vector<std::vector<PredictionResult>>
+  predictSources(const std::vector<CorpusFile> &Files);
+
+  /// The editor loop (one didChange): tombstones \p Path's τmap markers,
+  /// re-parses and re-embeds *only this file* (exactly one encoder pass —
+  /// embedCalls() observability), answers its targets through the same
+  /// query kernel predictBatch uses against the updated index, then
+  /// re-adds the file's markers tagged with \p Path. Re-adding unchanged
+  /// content resurrects the tombstoned rows in place, so the τmap — and
+  /// every subsequent prediction — is bit-identical to the pre-edit
+  /// state. Applies the CompactRatio policy afterwards.
+  std::vector<PredictionResult>
+  annotateIncremental(const std::string &Path, const std::string &Source);
+
+  /// Tombstones \p Path's markers (the LSP's didClose) and applies the
+  /// compaction policy. \returns the number of markers retired.
+  size_t removeMarkersForFile(const std::string &Path);
+  /// Drops tombstoned rows and rebuilds the index over the live markers;
+  /// no-op without tombstones. \returns true when work was done.
+  bool compactMarkers();
+
   /// The batched serving entry point: every file goes through the exact
   /// single-file encoder pass predictFile would make — data-parallel
   /// across files on the thread pool when the encoder allows it — and
@@ -157,17 +204,27 @@ public:
   predictAll(const std::vector<FileExample> &Files);
 
   /// Adds a marker to the τmap without retraining — the open-vocabulary
-  /// adaptation of Sec. 4.2. Rebuilds the spatial index.
+  /// adaptation of Sec. 4.2. The row is appended without rebuilding the
+  /// forest; queries cover it through the exact delta scan until the next
+  /// compaction or rebuild.
   void addMarker(const float *Embedding, TypeRef T);
 
-  /// Embeds one file's targets and adds all of them as markers.
+  /// Embeds one file's targets and adds all of them as markers, tagged
+  /// with the file's path (so they participate in the mutation API).
   void addMarkersFrom(const FileExample &File);
 
   bool isKnn() const { return IsKnn; }
   TypeModel &model() { return *Model; }
-  /// The universe a loaded predictor owns (null for predictors built
-  /// from a live model, whose universe the caller owns).
-  TypeUniverse *universe() { return OwnedU.get(); }
+  /// The universe predictions are interned in: the one a loaded predictor
+  /// owns, else whatever setUniverse provided (null for a live-model
+  /// predictor that was never given one).
+  TypeUniverse *universe() { return OwnedU ? OwnedU.get() : ExternU; }
+  /// Points a live-model predictor at the caller-owned universe its types
+  /// were interned in, enabling predictSource/annotateIncremental.
+  void setUniverse(TypeUniverse &U) { ExternU = &U; }
+  /// Encoder passes made so far (one per embedded file) — lets tests pin
+  /// that the incremental path re-embeds exactly one file per edit.
+  uint64_t embedCalls() const { return EmbedCalls; }
   const TypeMap &typeMap() const { return *Map; }
   const KnnOptions &knnOptions() const { return Knn; }
   void setKnnOptions(const KnnOptions &O);
@@ -184,17 +241,26 @@ private:
   explicit Predictor(TypeModel &Model) : Model(&Model) {}
   Predictor() = default;
   void rebuildIndex();
+  /// The one kNN probe every prediction path shares: the forest (or the
+  /// exact index), plus an exact scan over rows appended after the forest
+  /// was built, merged under the same (distance, index) order. Skips
+  /// tombstones throughout. \p Qs holds \p NumQ rows of dim() floats.
+  std::vector<NeighborList> queryNeighbors(const float *Qs, int64_t NumQ);
+  /// Applies KnnOptions::CompactRatio (compact + rebuild when exceeded).
+  void maybeCompact();
 
   // Declared first so loaded models/maps (whose TypeRefs point into it)
   // are destroyed before the universe goes away.
   std::unique_ptr<TypeUniverse> OwnedU;
   std::unique_ptr<TypeModel> OwnedModel;
+  TypeUniverse *ExternU = nullptr;
   TypeModel *Model = nullptr;
   bool IsKnn = false;
   KnnOptions Knn;
   std::unique_ptr<TypeMap> Map;
   std::unique_ptr<AnnoyIndex> Annoy;
   std::unique_ptr<ExactIndex> Exact;
+  uint64_t EmbedCalls = 0;
 };
 
 /// FNV-1a over the full prediction set: file paths, target indexes, and

@@ -205,7 +205,124 @@ float TypeMap::encodeI8Row(const float *Src, int8_t *Dst) const {
   return Scale;
 }
 
+int TypeMap::fileIdFor(std::string_view FileTag) {
+  if (FileTag.empty())
+    return -1;
+  auto It = FileIdOf.find(std::string(FileTag));
+  if (It != FileIdOf.end())
+    return It->second;
+  int Id = static_cast<int>(FileTags.size());
+  FileTags.emplace_back(FileTag);
+  FileIdOf.emplace(FileTags.back(), Id);
+  return Id;
+}
+
+void TypeMap::tagRow(size_t I, int FileId) {
+  FileOf[I] = FileId;
+  if (FileId < 0)
+    return;
+  std::vector<int> &Rows = RowsOfFile[FileId];
+  // Appends during a bulk fill are already ascending; resurrection can
+  // land mid-list, so keep the list sorted with an ordered insert.
+  auto At = std::lower_bound(Rows.begin(), Rows.end(), static_cast<int>(I));
+  if (At == Rows.end() || *At != static_cast<int>(I))
+    Rows.insert(At, static_cast<int>(I));
+}
+
+std::string_view TypeMap::fileTag(size_t I) const {
+  int Id = FileOf[I];
+  return Id < 0 ? std::string_view() : std::string_view(FileTags[Id]);
+}
+
+std::vector<int> TypeMap::markersForFile(std::string_view FileTag) const {
+  auto It = FileIdOf.find(std::string(FileTag));
+  if (It == FileIdOf.end())
+    return {};
+  auto Rows = RowsOfFile.find(It->second);
+  return Rows == RowsOfFile.end() ? std::vector<int>() : Rows->second;
+}
+
+size_t TypeMap::removeMarkersForFile(std::string_view FileTag) {
+  auto It = FileIdOf.find(std::string(FileTag));
+  if (It == FileIdOf.end())
+    return 0;
+  auto Rows = RowsOfFile.find(It->second);
+  if (Rows == RowsOfFile.end())
+    return 0;
+  size_t Removed = 0;
+  for (int I : Rows->second)
+    if (!Dead[static_cast<size_t>(I)]) {
+      Dead[static_cast<size_t>(I)] = 1;
+      ++NumDead;
+      ++Removed;
+    }
+  // The file no longer owns live rows; a dead row re-tags on resurrection.
+  RowsOfFile.erase(Rows);
+  return Removed;
+}
+
+bool TypeMap::compact() {
+  if (NumDead == 0)
+    return false;
+  size_t Next = 0;
+  for (size_t I = 0; I != Types.size(); ++I) {
+    if (Dead[I])
+      continue;
+    if (Next != I) {
+      size_t DstBase = Next * static_cast<size_t>(D);
+      size_t SrcBase = I * static_cast<size_t>(D);
+      switch (Store) {
+      case MarkerStore::F32:
+        std::memmove(Flat.data() + DstBase, Flat.data() + SrcBase,
+                     static_cast<size_t>(D) * 4);
+        break;
+      case MarkerStore::F16:
+        std::memmove(FlatF16.data() + DstBase, FlatF16.data() + SrcBase,
+                     static_cast<size_t>(D) * 2);
+        break;
+      case MarkerStore::Int8:
+        std::memmove(FlatI8.data() + DstBase, FlatI8.data() + SrcBase,
+                     static_cast<size_t>(D));
+        Scales[Next] = Scales[I];
+        break;
+      }
+      Types[Next] = Types[I];
+      FileOf[Next] = FileOf[I];
+    }
+    ++Next;
+  }
+  size_t Coords = Next * static_cast<size_t>(D);
+  switch (Store) {
+  case MarkerStore::F32:
+    Flat.resize(Coords);
+    break;
+  case MarkerStore::F16:
+    FlatF16.resize(Coords);
+    break;
+  case MarkerStore::Int8:
+    FlatI8.resize(Coords);
+    Scales.resize(Next);
+    break;
+  }
+  Types.resize(Next);
+  FileOf.resize(Next);
+  Dead.assign(Next, 0);
+  NumDead = 0;
+  RowsOfFile.clear();
+  for (size_t I = 0; I != FileOf.size(); ++I)
+    if (FileOf[I] >= 0)
+      RowsOfFile[FileOf[I]].push_back(static_cast<int>(I));
+  DedupIndex.clear();
+  DedupIndexStale = true;
+  return true;
+}
+
 bool TypeMap::add(const float *Embedding, TypeRef T) {
+  return add(Embedding, T, std::string_view());
+}
+
+bool TypeMap::add(const float *Embedding, TypeRef T,
+                  std::string_view FileTag) {
   if (DedupIndexStale)
     rebuildDedupIndex();
   // Encode the candidate into the store's representation first; dedup
@@ -245,6 +362,16 @@ bool TypeMap::add(const float *Embedding, TypeRef T) {
         (Store != MarkerStore::Int8 ||
          Scales[static_cast<size_t>(I)] == Scale) &&
         std::memcmp(StoredRow(static_cast<size_t>(I)), Row, RowBytes) == 0) {
+      if (Dead[static_cast<size_t>(I)]) {
+        // Resurrect the tombstoned row in place: the marker layout (row
+        // index, bytes, order) is exactly what it was before the removal,
+        // so every index over the map — and every prediction — is
+        // bit-identical to the pre-removal state.
+        Dead[static_cast<size_t>(I)] = 0;
+        --NumDead;
+        tagRow(static_cast<size_t>(I), fileIdFor(FileTag));
+        return true;
+      }
       ++Dropped;
       return false;
     }
@@ -262,6 +389,9 @@ bool TypeMap::add(const float *Embedding, TypeRef T) {
     break;
   }
   Types.push_back(T);
+  FileOf.push_back(-1);
+  Dead.push_back(0);
+  tagRow(Types.size() - 1, fileIdFor(FileTag));
   return true;
 }
 
@@ -271,6 +401,7 @@ void TypeMap::quantize(MarkerStore NewStore) {
   assert(Store == MarkerStore::F32 &&
          "quantize converts a freshly built f32 map; re-quantization of an "
          "already-quantized store is lossy-on-lossy and unsupported");
+  assert(NumDead == 0 && "compact() before quantize()");
   size_t N = Types.size();
   if (NewStore == MarkerStore::F16) {
     // Software RNE encode always (support/Float16.h), so the artifact
@@ -298,6 +429,7 @@ void TypeMap::quantize(MarkerStore NewStore) {
 size_t TypeMap::subsampleCoreset(size_t MaxMarkers) {
   assert(Store == MarkerStore::F32 &&
          "subsample before quantize: k-center needs the exact coordinates");
+  assert(NumDead == 0 && "compact() before subsampling");
   if (MaxMarkers == 0 || Types.size() <= MaxMarkers)
     return Types.size();
 
@@ -399,13 +531,22 @@ size_t TypeMap::subsampleCoreset(size_t MaxMarkers) {
   NewFlat.reserve(Kept.size() * static_cast<size_t>(D));
   std::vector<TypeRef> NewTypes;
   NewTypes.reserve(Kept.size());
+  std::vector<int32_t> NewFileOf;
+  NewFileOf.reserve(Kept.size());
   for (int I : Kept) {
     const float *Row = embedding(static_cast<size_t>(I));
     NewFlat.insert(NewFlat.end(), Row, Row + D);
     NewTypes.push_back(Types[static_cast<size_t>(I)]);
+    NewFileOf.push_back(FileOf[static_cast<size_t>(I)]);
   }
   Flat = std::move(NewFlat);
   Types = std::move(NewTypes);
+  FileOf = std::move(NewFileOf);
+  Dead.assign(Types.size(), 0);
+  RowsOfFile.clear();
+  for (size_t I = 0; I != FileOf.size(); ++I)
+    if (FileOf[I] >= 0)
+      RowsOfFile[FileOf[I]].push_back(static_cast<int>(I));
   DedupIndex.clear();
   DedupIndexStale = true;
   return Types.size();
@@ -413,6 +554,8 @@ size_t TypeMap::subsampleCoreset(size_t MaxMarkers) {
 
 void TypeMap::save(ArchiveWriter &W,
                    const std::map<TypeRef, int> &TypeIds) const {
+  assert(NumDead == 0 &&
+         "tombstones are in-memory session state: compact() before save()");
   W.writeI32(D);
   W.writeU64(Types.size());
   switch (Store) {
@@ -495,6 +638,14 @@ bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
   FlatI8 = std::move(NewI8);
   Scales = std::move(NewScales);
   Types = std::move(NewTypes);
+  // Tags and tombstones are never serialized: a loaded snapshot starts
+  // with every marker live and untagged.
+  FileOf.assign(Types.size(), -1);
+  Dead.assign(Types.size(), 0);
+  NumDead = 0;
+  FileTags.clear();
+  FileIdOf.clear();
+  RowsOfFile.clear();
   // Loading stays a pure byte copy: the dedup index is marked stale and
   // rebuilt by the first add() — serving processes, which never insert,
   // never pay the O(N·D) re-keying or hold the index at all.
@@ -512,7 +663,8 @@ NeighborList ExactIndex::query(const float *Q, int K) const {
   NeighborList All;
   All.reserve(Map.size());
   for (size_t I = 0; I != Map.size(); ++I)
-    All.emplace_back(static_cast<int>(I), Map.l1DistanceTo(Q, I));
+    if (Map.isLive(I))
+      All.emplace_back(static_cast<int>(I), Map.l1DistanceTo(Q, I));
   size_t Keep = std::min<size_t>(static_cast<size_t>(K), All.size());
   std::partial_sort(All.begin(), All.begin() + static_cast<long>(Keep),
                     All.end(), [](const auto &A, const auto &B) {
@@ -541,7 +693,7 @@ std::vector<NeighborList> ExactIndex::queryBatch(const float *Qs,
 
 AnnoyIndex::AnnoyIndex(const TypeMap &Map, int NumTrees, int LeafSize,
                        uint64_t Seed, int MaxWays)
-    : Map(Map), LeafSize(LeafSize) {
+    : Map(Map), LeafSize(LeafSize), NumIndexed(Map.size()) {
   // Derive an independent stream per tree up front; tree T's shape is then
   // a function of (Map, Seed, T) alone, so building the forest one pool
   // task per tree yields exactly the serial forest.
@@ -613,6 +765,7 @@ std::unique_ptr<AnnoyIndex> AnnoyIndex::load(ArchiveCursor &C,
     return nullptr;
   };
   std::unique_ptr<AnnoyIndex> Idx(new AnnoyIndex(Map, LoadShellTag{}));
+  Idx->NumIndexed = Map.size();
   Idx->LeafSize = C.readI32();
   uint64_t NumNodes = C.readU64();
   if (!C.ok() || NumNodes > C.remaining())
@@ -727,10 +880,14 @@ NeighborList AnnoyIndex::query(const float *Q, int K, int SearchK) const {
     Queue.pop();
     const BuildNode &N = Nodes[static_cast<size_t>(NodeIdx)];
     if (N.SplitDim < 0) {
+      // Tombstoned rows stay in the leaves until compact(); skipping them
+      // here (a no-op on a tombstone-free map) is what makes removal
+      // effective without touching the forest.
       for (int It : N.Items)
         if (!Seen[static_cast<size_t>(It)]) {
           Seen[static_cast<size_t>(It)] = 1;
-          Candidates.push_back(It);
+          if (Map.isLive(static_cast<size_t>(It)))
+            Candidates.push_back(It);
         }
       continue;
     }

@@ -23,6 +23,16 @@
 /// seeds (so the parallel build is identical to the serial one), and
 /// `queryBatch` answers many queries concurrently.
 ///
+/// The map is also *mutable* for the editor loop: markers may carry a file
+/// tag, `removeMarkersForFile` tombstones a file's rows in place (queries
+/// skip them), and re-adding an identical row resurrects the tombstone
+/// rather than appending — so remove→re-add of unchanged content restores
+/// the exact marker layout and every downstream prediction bit. `compact`
+/// drops the dead rows (preserving live order) once the tombstone ratio
+/// warrants paying for an index rebuild. Tags and tombstones are in-memory
+/// session state only: they are never serialized, and `save` requires a
+/// compacted map, so artifact bytes are unchanged by this machinery.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TYPILUS_KNN_TYPEMAP_H
@@ -77,6 +87,8 @@ public:
       break;
     }
     Types.reserve(TotalMarkers);
+    FileOf.reserve(TotalMarkers);
+    Dead.reserve(TotalMarkers);
   }
 
   /// Markers the current reservation can hold (reserve() observability).
@@ -93,8 +105,49 @@ public:
   /// collapse. \returns true when the marker was actually added.
   bool add(const float *Embedding, TypeRef T);
 
+  /// Like add(), but tags the marker as owned by \p FileTag so it can be
+  /// tombstoned later via removeMarkersForFile(). Ownership is
+  /// first-writer: a row deduplicated against an existing live marker
+  /// keeps its original tag (or stays untagged). When the identical row
+  /// exists but is *tombstoned*, the tombstone is cleared in place and the
+  /// row re-tagged to \p FileTag — the marker layout, order and bytes are
+  /// exactly what they were before the removal, which is what makes
+  /// remove→re-add of unchanged content bit-identical end to end.
+  bool add(const float *Embedding, TypeRef T, std::string_view FileTag);
+
   /// Duplicates dropped by add() so far (compaction observability).
   size_t droppedDuplicates() const { return Dropped; }
+
+  /// Tombstones every live marker tagged \p FileTag. Tombstoned rows keep
+  /// their storage (indices stay stable; queries skip them) until
+  /// compact(). \returns the number of rows tombstoned.
+  size_t removeMarkersForFile(std::string_view FileTag);
+
+  /// Live marker rows tagged \p FileTag, ascending.
+  std::vector<int> markersForFile(std::string_view FileTag) const;
+
+  /// File tag of marker \p I; empty when untagged.
+  std::string_view fileTag(size_t I) const;
+
+  /// False iff marker \p I is tombstoned.
+  bool isLive(size_t I) const { return !Dead[I]; }
+  /// Markers that are not tombstoned (size() counts tombstones too).
+  size_t liveSize() const { return Types.size() - NumDead; }
+  /// Tombstoned rows currently held (compaction-policy observability).
+  size_t deadMarkers() const { return NumDead; }
+  /// Fraction of rows that are tombstones (0 for an empty map).
+  double tombstoneRatio() const {
+    return Types.empty()
+               ? 0.0
+               : static_cast<double>(NumDead) /
+                     static_cast<double>(Types.size());
+  }
+
+  /// Drops tombstoned rows, preserving live-marker order. Indices shift,
+  /// so any index built over the map must be rebuilt afterwards. \returns
+  /// true when rows were actually dropped. A tombstone-free compacted map
+  /// is byte-identical to one built fresh from the same live rows.
+  bool compact();
 
   size_t size() const { return Types.size(); }
   int dim() const { return D; }
@@ -140,7 +193,9 @@ public:
 
   /// Appends dim + every marker (stored-format coordinates, dense
   /// type-table index) to the open chunk. The payload layout follows
-  /// store(): f32 maps write exactly the historical byte stream.
+  /// store(): f32 maps write exactly the historical byte stream. File
+  /// tags and tombstones are session state and are never written —
+  /// compact() first; saving a map with tombstones is a programming error.
   void save(ArchiveWriter &W, const std::map<TypeRef, int> &TypeIds) const;
   /// Replaces *this with a snapshot written by save(); \p ById is the
   /// loaded type table and \p S the store the snapshot was written with
@@ -167,6 +222,11 @@ private:
   /// Encodes one f32 row for the Int8 store; \returns the row's scale.
   float encodeI8Row(const float *Src, int8_t *Dst) const;
 
+  /// Interns \p FileTag into FileTags/FileIdOf; -1 for an empty tag.
+  int fileIdFor(std::string_view FileTag);
+  /// Registers live row \p I under file id \p FileId (sorted insert).
+  void tagRow(size_t I, int FileId);
+
   int D;
   MarkerStore Store = MarkerStore::F32;
   std::vector<float> Flat;        ///< F32 store: D coords per marker.
@@ -174,6 +234,13 @@ private:
   std::vector<int8_t> FlatI8;     ///< Int8 store: D codes per marker.
   std::vector<float> Scales;      ///< Int8 store: one scale per marker.
   std::vector<TypeRef> Types;
+  std::vector<int32_t> FileOf;    ///< Owning file id per marker; -1 none.
+  std::vector<char> Dead;         ///< 1 = tombstoned (queries skip it).
+  size_t NumDead = 0;
+  std::vector<std::string> FileTags;            ///< Interned tag strings.
+  std::unordered_map<std::string, int> FileIdOf;
+  /// Live rows per file id, ascending (removeMarkersForFile's worklist).
+  std::unordered_map<int, std::vector<int>> RowsOfFile;
   size_t Dropped = 0;
 };
 
@@ -231,6 +298,12 @@ public:
                                        int K, int SearchK = -1,
                                        int MaxWays = 0) const;
 
+  /// Markers the forest was built (or loaded) over. Rows appended to the
+  /// map afterwards are invisible to the forest; callers cover that delta
+  /// with an exact scan of [indexedMarkers(), Map.size()) and merge (see
+  /// Predictor::queryNeighbors) until the next rebuild.
+  size_t indexedMarkers() const { return NumIndexed; }
+
   /// Appends the built forest (leaf size, nodes, roots) to the open
   /// chunk so a serving process can skip the rebuild entirely.
   void save(ArchiveWriter &W) const;
@@ -259,6 +332,7 @@ private:
 
   const TypeMap &Map;
   int LeafSize;
+  size_t NumIndexed = 0;
   std::vector<BuildNode> Nodes;
   std::vector<int> Roots;
 };

@@ -1,0 +1,84 @@
+//===- lsp/Transport.h - LSP base-protocol framing ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LSP base protocol: messages are `Content-Length: N\r\n\r\n<body>`
+/// frames over a byte stream (stdio or a socket). FrameReader is the
+/// counterpart of support/Socket.h's LineReader for this framing — same
+/// buffered-read structure, same wake-fd preemption, same hard size cap
+/// with discard-and-continue recovery — so the daemon idioms (SIGTERM
+/// self-pipe, drain on EOF) carry over to the LSP front-end unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_LSP_TRANSPORT_H
+#define TYPILUS_LSP_TRANSPORT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace typilus {
+namespace lsp {
+
+/// Default cap on one framed message body (editors send whole files on
+/// didOpen/didChange, so this is generous where the NDJSON protocol's
+/// per-line cap is tight).
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Hard cap on the header section of one frame; a peer that never sends
+/// the blank separator line cannot grow the buffer unboundedly.
+inline constexpr size_t kMaxHeaderBytes = 16u << 10;
+
+/// Buffered reader of Content-Length framed messages.
+class FrameReader {
+public:
+  enum class Status {
+    Message,     ///< \p Out holds one complete message body.
+    Eof,         ///< Peer closed; a partial trailing frame is dropped.
+    TooLarge,    ///< Body exceeded the cap and was discarded; the reader
+                 ///< stays in sync for subsequent frames.
+    Error,       ///< Read error or an unrecoverable framing violation
+                 ///< (missing/garbled Content-Length, oversized headers).
+    Interrupted, ///< read() hit EINTR or \p WakeFd became readable;
+                 ///< calling next() again simply continues.
+  };
+
+  /// \p WakeFd (optional): a second descriptor polled alongside \p Fd;
+  /// when it becomes readable, next() returns Interrupted instead of
+  /// blocking in read() — the daemon passes its shutdown self-pipe here
+  /// so SIGTERM preempts a blocked read without races.
+  FrameReader(int Fd, size_t MaxBodyBytes = kDefaultMaxFrameBytes,
+              int WakeFd = -1)
+      : Fd(Fd), MaxBytes(MaxBodyBytes), WakeFd(WakeFd) {}
+
+  /// Blocks until one of the Status cases resolves.
+  Status next(std::string &Out);
+
+private:
+  /// Reads one chunk into Buf. Returns Message when bytes arrived (the
+  /// caller rescans), or Eof/Error/Interrupted.
+  Status fill();
+
+  int Fd;
+  size_t MaxBytes;
+  int WakeFd;
+  std::string Buf;           ///< Bytes read but not yet consumed.
+  size_t BodyLen = 0;        ///< Parsed Content-Length of the frame in
+                             ///< flight (valid when HaveHeader).
+  bool HaveHeader = false;
+  size_t DiscardLeft = 0;    ///< Oversized-body bytes still to drop.
+  bool SawEof = false;
+};
+
+/// Wraps \p Body in the base-protocol framing:
+/// "Content-Length: N\r\n\r\n" + body.
+std::string frameMessage(std::string_view Body);
+
+} // namespace lsp
+} // namespace typilus
+
+#endif // TYPILUS_LSP_TRANSPORT_H

@@ -1,0 +1,77 @@
+//===- serve/Dispatch.h - Method-registry dispatch ----------------*- C++ -*-===//
+//
+// Part of the Typilus C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one method-dispatch surface the serving tiers share: a small
+/// ordered name -> handler table. The NDJSON daemon registers its
+/// protocol methods (ping/stats/reload/shutdown) in it and the LSP
+/// front-end registers its JSON-RPC methods in the same template, so
+/// "look the method up, answer uniformly when it is unknown" is written
+/// once. Registration order is preserved (names() lists it), lookups are
+/// a linear scan — method tables have a handful of entries and the scan
+/// beats a hash map's constant factor at this size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TYPILUS_SERVE_DISPATCH_H
+#define TYPILUS_SERVE_DISPATCH_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace typilus {
+namespace serve {
+
+/// The uniform unknown-method message every dispatch surface answers
+/// with (the NDJSON error response and the LSP's MethodNotFound share
+/// this text; tests and clients match on it).
+inline std::string unknownMethodError(std::string_view Name) {
+  return "unknown method '" + std::string(Name) + "'";
+}
+
+/// An ordered method table: name -> handler.
+template <typename Handler> class MethodRegistry {
+public:
+  /// Registers \p H under \p Name; a re-registration replaces the
+  /// handler in place (keeping the original position).
+  void add(std::string Name, Handler H) {
+    for (auto &E : Table)
+      if (E.first == Name) {
+        E.second = std::move(H);
+        return;
+      }
+    Table.emplace_back(std::move(Name), std::move(H));
+  }
+
+  /// \returns the handler registered under \p Name, or null.
+  const Handler *find(std::string_view Name) const {
+    for (const auto &E : Table)
+      if (E.first == Name)
+        return &E.second;
+    return nullptr;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string_view> names() const {
+    std::vector<std::string_view> N;
+    N.reserve(Table.size());
+    for (const auto &E : Table)
+      N.push_back(E.first);
+    return N;
+  }
+
+  size_t size() const { return Table.size(); }
+
+private:
+  std::vector<std::pair<std::string, Handler>> Table;
+};
+
+} // namespace serve
+} // namespace typilus
+
+#endif // TYPILUS_SERVE_DISPATCH_H

@@ -3,11 +3,40 @@
 #include "serve/Protocol.h"
 
 #include "pyfront/SymbolTable.h"
+#include "serve/Dispatch.h"
 #include "support/Json.h"
 #include "support/Str.h"
 
 using namespace typilus;
 using namespace typilus::serve;
+
+namespace {
+
+/// The one method-name table: methodName, methodFromName and
+/// parseRequest all read it.
+constexpr std::pair<Method, const char *> kMethodNames[] = {
+    {Method::Predict, "predict"},   {Method::Ping, "ping"},
+    {Method::Stats, "stats"},       {Method::Reload, "reload"},
+    {Method::Shutdown, "shutdown"},
+};
+
+} // namespace
+
+const char *serve::methodName(Method M) {
+  for (const auto &[Meth, Name] : kMethodNames)
+    if (Meth == M)
+      return Name;
+  return "ping";
+}
+
+bool serve::methodFromName(std::string_view Name, Method *Out) {
+  for (const auto &[Meth, MName] : kMethodNames)
+    if (Name == MName) {
+      *Out = Meth;
+      return true;
+    }
+  return false;
+}
 
 bool serve::parseRequest(std::string_view Line, Request &Out,
                          std::string *Err) {
@@ -30,20 +59,9 @@ bool serve::parseRequest(std::string_view Line, Request &Out,
   Out.Id = Id->asInt();
 
   std::string M = V.getString("method", "");
-  if (M == "predict")
-    Out.M = Method::Predict;
-  else if (M == "ping")
-    Out.M = Method::Ping;
-  else if (M == "stats")
-    Out.M = Method::Stats;
-  else if (M == "reload")
-    Out.M = Method::Reload;
-  else if (M == "shutdown")
-    Out.M = Method::Shutdown;
-  else {
+  if (!methodFromName(M, &Out.M)) {
     if (Err)
-      *Err = M.empty() ? "request needs a \"method\""
-                       : "unknown method '" + M + "'";
+      *Err = M.empty() ? "request needs a \"method\"" : unknownMethodError(M);
     return false;
   }
 

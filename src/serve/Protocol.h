@@ -43,6 +43,13 @@ enum class Method {
   Shutdown, ///< Graceful stop: drain, respond, exit.
 };
 
+/// The wire name of \p M ("predict", "ping", ...). One table backs this,
+/// methodFromName and parseRequest, so the spellings cannot drift.
+const char *methodName(Method M);
+/// Parses a wire name; \returns false on anything methodName never
+/// produces.
+bool methodFromName(std::string_view Name, Method *Out);
+
 /// One parsed request line.
 struct Request {
   int64_t Id = -1; ///< Echoed in the response; -1 when unrecoverable.

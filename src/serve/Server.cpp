@@ -2,7 +2,6 @@
 
 #include "serve/Server.h"
 
-#include "corpus/Dataset.h"
 #include "support/Socket.h"
 
 #include <algorithm>
@@ -34,6 +33,10 @@ Server::Server(Predictor &P, TypeUniverse &U, ServerOptions O)
     Opts.CacheEntries = 0;
   if (Opts.MaxQueue < 0)
     Opts.MaxQueue = 0;
+  // predictSources resolves the universe through the predictor; a
+  // live-model predictor needs to be pointed at the caller's.
+  P.setUniverse(U);
+  registerMethods();
   Dispatcher = std::thread([this] { dispatchLoop(); });
 }
 
@@ -123,12 +126,10 @@ void Server::dispatchLoop() {
   }
 }
 
-void Server::serveOne(Pending &P) {
-  switch (P.R.M) {
-  case Method::Ping:
-    P.Fn(pongResponse(P.R.Id));
-    break;
-  case Method::Stats: {
+void Server::registerMethods() {
+  Methods.add(methodName(Method::Ping),
+              [this](Pending &P) { P.Fn(pongResponse(P.R.Id)); });
+  Methods.add(methodName(Method::Stats), [this](Pending &P) {
     // Snapshot and (optionally) reset under one lock so a concurrent
     // submit-side Overloaded bump lands in exactly one window.
     ServerStats Snapshot;
@@ -139,22 +140,29 @@ void Server::serveOne(Pending &P) {
         Stats = ServerStats();
     }
     P.Fn(statsResponse(P.R.Id, Snapshot));
-    break;
-  }
-  case Method::Reload:
-    serveReload(P);
-    break;
-  case Method::Shutdown: {
+  });
+  Methods.add(methodName(Method::Reload),
+              [this](Pending &P) { serveReload(P); });
+  Methods.add(methodName(Method::Shutdown), [this](Pending &P) {
     P.Fn(shutdownResponse(P.R.Id));
     // Copy: the callback may destroy transport state the Pending holds.
     std::function<void()> Hook = Opts.OnShutdown;
     if (Hook)
       Hook();
-    break;
+  });
+}
+
+void Server::serveOne(Pending &P) {
+  if (P.R.M == Method::Predict)
+    return; // batched through servePredicts, never dispatched here
+  if (const auto *H = Methods.find(methodName(P.R.M))) {
+    (*H)(P);
+    return;
   }
-  case Method::Predict:
-    break; // handled by servePredicts
-  }
+  // Unreachable while parseRequest and the table agree on the method
+  // set; answering uniformly (rather than asserting) keeps a future
+  // mismatch a protocol error instead of a crash.
+  P.Fn(errorResponse(P.R.Id, unknownMethodError(methodName(P.R.M))));
 }
 
 void Server::serveReload(Pending &P) {
@@ -295,23 +303,22 @@ void Server::servePredicts(std::vector<Pending> &Batch) {
   }
 
   // The dispatcher is the only thread interning into the universe
-  // (buildExample resolves annotation types) and running the model, by
-  // construction — parallelism comes from inside predictBatch.
+  // (predictSources' parse resolves annotation types) and running the
+  // model, by construction — parallelism comes from inside predictBatch.
   std::string Err;
   if (!Miss.empty()) {
     try {
-      std::vector<FileExample> Examples;
-      Examples.reserve(Miss.size());
+      std::vector<CorpusFile> Sources;
+      Sources.reserve(Miss.size());
       for (size_t G : Miss) {
         const Request &R = Batch[Rep[G]].R;
-        Examples.push_back(buildExample(CorpusFile{R.Path, R.Source}, *U, {}));
+        Sources.push_back(CorpusFile{R.Path, R.Source});
       }
-      std::vector<const FileExample *> Ptrs;
-      Ptrs.reserve(Examples.size());
-      for (const FileExample &E : Examples)
-        Ptrs.push_back(&E);
+      // The shared in-memory-source entry point: the CLI's --source and
+      // the LSP go through the same call, so their digests match the
+      // daemon's by construction.
       std::vector<std::vector<PredictionResult>> Fresh =
-          Pred->predictBatch(Ptrs);
+          Pred->predictSources(Sources);
       for (size_t I = 0; I != Miss.size(); ++I) {
         size_t G = Miss[I];
         GroupPreds[G] = std::make_shared<const std::vector<PredictionResult>>(

@@ -45,6 +45,7 @@
 #ifndef TYPILUS_SERVE_SERVER_H
 #define TYPILUS_SERVE_SERVER_H
 
+#include "serve/Dispatch.h"
 #include "serve/Protocol.h"
 
 #include <atomic>
@@ -143,6 +144,10 @@ private:
   };
 
   void dispatchLoop();
+  /// Fills Methods with the control handlers (ping/stats/reload/
+  /// shutdown); predict is not in the table — it dispatches through the
+  /// coalescing batch path below, never one at a time.
+  void registerMethods();
   void serveOne(Pending &P);
   void servePredicts(std::vector<Pending> &Batch);
   void serveReload(Pending &P);
@@ -163,6 +168,11 @@ private:
   TypeUniverse *U;
   std::shared_ptr<Predictor> OwnedPred;
   ServerOptions Opts;
+
+  /// Control-method dispatch table (serve/Dispatch.h — the same surface
+  /// the LSP registers its JSON-RPC handlers through). Handlers run on
+  /// the dispatcher thread only.
+  MethodRegistry<std::function<void(Pending &)>> Methods;
 
   // Response cache: LRU list (front = most recent) + index into it.
   // Dispatcher-only, so no lock; invalidated wholesale on reload.

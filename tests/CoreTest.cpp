@@ -257,6 +257,144 @@ TEST_F(CoreTest, ParallelTrainingLossIsBitIdenticalToSerial) {
     ASSERT_EQ(Serial.second[I], Parallel.second[I]) << "weight " << I;
 }
 
+//===----------------------------------------------------------------------===//
+// The incremental editor loop (annotateIncremental / predictSource)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Source text of the workbench file at \p Path (the corpus keeps every
+/// generated file's text alongside the built examples).
+const CorpusFile *sourceOf(const Workbench &WB, const std::string &Path) {
+  for (const CorpusFile &F : WB.Files)
+    if (F.Path == Path)
+      return &F;
+  return nullptr;
+}
+
+/// A kNN predictor over the train split, wired for the editor loop:
+/// universe attached so predictSource/annotateIncremental can parse.
+Predictor makeEditorPredictor(Workbench &WB, ModelRun &Run,
+                              const KnnOptions &KO = {}) {
+  std::vector<const FileExample *> MapFiles;
+  for (const FileExample &F : WB.DS.Train)
+    MapFiles.push_back(&F);
+  Predictor P = Predictor::knn(*Run.Model, MapFiles, KO);
+  P.setUniverse(*WB.U);
+  return P;
+}
+
+} // namespace
+
+TEST_F(CoreTest, PredictSourceMatchesPredictFile) {
+  // The single in-memory-source entry point (CLI --source, serve daemon,
+  // LSP) must agree bit-for-bit with predictFile over the prebuilt
+  // example of the same content.
+  Predictor P = makeEditorPredictor(*WB, *Run);
+  const FileExample &F = WB->DS.Test.front();
+  const CorpusFile *CF = sourceOf(*WB, F.Path);
+  ASSERT_NE(CF, nullptr);
+  auto ViaFile = P.predictFile(F);
+  auto ViaSource = P.predictSource(CF->Path, CF->Source);
+  ASSERT_FALSE(ViaFile.empty());
+  EXPECT_EQ(predictionDigest(ViaFile), predictionDigest(ViaSource));
+}
+
+TEST_F(CoreTest, AnnotateIncrementalReEmbedsExactlyOneFile) {
+  // The didChange contract: one edit = one encoder pass, regardless of
+  // how many files seeded the τmap.
+  Predictor P = makeEditorPredictor(*WB, *Run);
+  const CorpusFile *CF = sourceOf(*WB, WB->DS.Test.front().Path);
+  ASSERT_NE(CF, nullptr);
+  uint64_t Before = P.embedCalls();
+  auto Preds = P.annotateIncremental(CF->Path, CF->Source);
+  EXPECT_EQ(P.embedCalls(), Before + 1);
+  EXPECT_FALSE(Preds.empty());
+  // A second edit of the same file is again exactly one pass.
+  P.annotateIncremental(CF->Path, CF->Source);
+  EXPECT_EQ(P.embedCalls(), Before + 2);
+}
+
+TEST_F(CoreTest, FirstAnnotateMatchesPredictSourceDigest) {
+  // A file the τmap has never seen: annotateIncremental's answers come
+  // from the same query kernel over the same markers as predictSource,
+  // so the digests agree — the LSP smoke test's acceptance criterion.
+  Predictor P = makeEditorPredictor(*WB, *Run);
+  const CorpusFile *CF = sourceOf(*WB, WB->DS.Test.front().Path);
+  ASSERT_NE(CF, nullptr);
+  uint64_t Expect = predictionDigest(P.predictSource(CF->Path, CF->Source));
+  uint64_t Got = predictionDigest(P.annotateIncremental(CF->Path, CF->Source));
+  EXPECT_EQ(Got, Expect);
+}
+
+TEST_F(CoreTest, RemoveReAddRestoresPredictionsBitIdentically) {
+  // The tentpole contract: retiring a train file's markers and re-adding
+  // identical content resurrects the tombstoned rows in place, so a
+  // probe file's predictions are bit-identical to the pre-edit state.
+  Predictor P = makeEditorPredictor(*WB, *Run);
+  const std::string &TrainPath = WB->DS.Train.front().Path;
+  const CorpusFile *TrainSrc = sourceOf(*WB, TrainPath);
+  const CorpusFile *Probe = sourceOf(*WB, WB->DS.Test.front().Path);
+  ASSERT_NE(TrainSrc, nullptr);
+  ASSERT_NE(Probe, nullptr);
+
+  uint64_t D0 = predictionDigest(P.predictSource(Probe->Path, Probe->Source));
+  size_t Size0 = P.typeMap().size();
+  ASSERT_EQ(P.typeMap().deadMarkers(), 0u);
+
+  ASSERT_GT(P.removeMarkersForFile(TrainPath), 0u);
+  EXPECT_LT(P.typeMap().liveSize(), Size0);
+  uint64_t DMid = predictionDigest(P.predictSource(Probe->Path, Probe->Source));
+  EXPECT_NE(DMid, D0) << "removing a train file's markers should be visible";
+
+  P.annotateIncremental(TrainPath, TrainSrc->Source);
+  EXPECT_EQ(P.typeMap().size(), Size0) << "re-add must resurrect, not append";
+  EXPECT_EQ(P.typeMap().deadMarkers(), 0u);
+  uint64_t D1 = predictionDigest(P.predictSource(Probe->Path, Probe->Source));
+  EXPECT_EQ(D1, D0);
+}
+
+TEST_F(CoreTest, ExplicitCompactionEqualsFreshBuild) {
+  // The session-close scenario: an artifact's τmap (the survivor files),
+  // plus two editor-opened files appended on top. Closing those files
+  // and compacting must return the whole serving surface bit-identically
+  // to a predictor freshly built over the survivors alone. (The opened
+  // files go last so dedup ownership of shared rows stays with the
+  // artifact — exactly the order the editor loop produces.)
+  ASSERT_GE(WB->DS.Train.size(), 3u);
+  std::vector<const FileExample *> Survivors, MapFiles;
+  for (size_t I = 2; I != WB->DS.Train.size(); ++I)
+    Survivors.push_back(&WB->DS.Train[I]);
+  MapFiles = Survivors;
+  MapFiles.push_back(&WB->DS.Train[0]);
+  MapFiles.push_back(&WB->DS.Train[1]);
+  KnnOptions KO;
+  KO.CompactRatio = 0; // compact by hand, not by policy
+  Predictor P = Predictor::knn(*Run->Model, MapFiles, KO);
+  P.setUniverse(*WB->U);
+  ASSERT_GT(P.removeMarkersForFile(WB->DS.Train[0].Path), 0u);
+  ASSERT_GT(P.removeMarkersForFile(WB->DS.Train[1].Path), 0u);
+  ASSERT_TRUE(P.compactMarkers());
+  ASSERT_FALSE(P.compactMarkers()) << "second compact must be a no-op";
+
+  Predictor Fresh = Predictor::knn(*Run->Model, Survivors, KO);
+  ASSERT_EQ(P.typeMap().size(), Fresh.typeMap().size());
+  uint64_t DP = predictionDigest(P.predictAll(WB->DS.Test));
+  uint64_t DF = predictionDigest(Fresh.predictAll(WB->DS.Test));
+  EXPECT_EQ(DP, DF);
+}
+
+TEST_F(CoreTest, CompactRatioPolicyTriggersRebuild) {
+  // With an aggressive policy, a single removal pushes the tombstone
+  // ratio over the threshold and maybeCompact folds the map eagerly.
+  KnnOptions KO;
+  KO.CompactRatio = 0.01;
+  Predictor P = makeEditorPredictor(*WB, *Run, KO);
+  ASSERT_GT(P.removeMarkersForFile(WB->DS.Train.front().Path), 0u);
+  EXPECT_EQ(P.typeMap().deadMarkers(), 0u)
+      << "policy compaction should have dropped every tombstone";
+}
+
 TEST_F(CoreTest, ParallelKnnPredictorMatchesSerial) {
   std::vector<const FileExample *> MapFiles;
   for (const FileExample &F : WB->DS.Train)

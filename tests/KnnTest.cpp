@@ -545,3 +545,249 @@ TEST(CoresetTest, NoOpWithinBoundOrUnlimited) {
     Row[static_cast<size_t>(D)] = F.Map.embedding(0)[D];
   EXPECT_FALSE(F.Map.add(Row.data(), F.Map.type(0)));
 }
+
+//===----------------------------------------------------------------------===//
+// τmap mutation (file tags, tombstones, compaction) — the editor loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Random tagged markers in per-file blocks (block order makes the
+/// compacted layout directly comparable to a fresh build).
+struct TaggedMapFixture {
+  TypeUniverse U;
+  TypeMap Map;
+  std::vector<std::string> Files;
+  std::vector<std::vector<float>> Points;
+  std::vector<TypeRef> MarkTypes;
+  std::vector<std::string> Tags; ///< Owning file per marker.
+
+  TaggedMapFixture(int NumFiles, int PerFile, int NumTypes, int D,
+                   uint64_t Seed)
+      : Map(D) {
+    Rng R(Seed);
+    for (int F = 0; F != NumFiles; ++F) {
+      std::string Tag = strformat("proj/f%02d.py", F);
+      Files.push_back(Tag);
+      for (int I = 0; I != PerFile; ++I) {
+        std::vector<float> P(static_cast<size_t>(D));
+        for (float &X : P)
+          X = static_cast<float>(R.normal());
+        TypeRef T = U.get(
+            strformat("T%d", static_cast<int>(R.uniformInt(NumTypes))));
+        Map.add(P.data(), T, Tag);
+        Points.push_back(std::move(P));
+        MarkTypes.push_back(T);
+        Tags.push_back(Tag);
+      }
+    }
+  }
+};
+
+} // namespace
+
+TEST(TypeMapMutationTest, FileTagsAndRangeBookkeeping) {
+  TaggedMapFixture F(4, 10, 5, 8, 21);
+  ASSERT_EQ(F.Map.size(), 40u);
+  EXPECT_EQ(F.Map.liveSize(), 40u);
+  EXPECT_EQ(F.Map.deadMarkers(), 0u);
+  EXPECT_EQ(F.Map.tombstoneRatio(), 0.0);
+
+  // Every row knows its owner; per-file ranges are ascending and exact.
+  for (size_t I = 0; I != F.Map.size(); ++I)
+    EXPECT_EQ(F.Map.fileTag(I), F.Tags[I]) << "row " << I;
+  for (const std::string &File : F.Files) {
+    std::vector<int> Rows = F.Map.markersForFile(File);
+    ASSERT_EQ(Rows.size(), 10u);
+    for (size_t I = 1; I != Rows.size(); ++I)
+      EXPECT_LT(Rows[I - 1], Rows[I]);
+    for (int Row : Rows)
+      EXPECT_EQ(F.Map.fileTag(static_cast<size_t>(Row)), File);
+  }
+
+  // Untagged adds stay untagged and invisible to file queries.
+  TypeUniverse U2;
+  TypeMap Plain(2);
+  float A[2] = {1, 2};
+  Plain.add(A, U2.parse("int"));
+  EXPECT_EQ(Plain.fileTag(0), "");
+  EXPECT_TRUE(Plain.markersForFile("anything.py").empty());
+
+  // Removal tombstones exactly the file's rows, in place.
+  size_t Removed = F.Map.removeMarkersForFile(F.Files[1]);
+  EXPECT_EQ(Removed, 10u);
+  EXPECT_EQ(F.Map.size(), 40u) << "tombstoning must not move rows";
+  EXPECT_EQ(F.Map.liveSize(), 30u);
+  EXPECT_EQ(F.Map.deadMarkers(), 10u);
+  EXPECT_NEAR(F.Map.tombstoneRatio(), 0.25, 1e-12);
+  EXPECT_TRUE(F.Map.markersForFile(F.Files[1]).empty());
+  for (size_t I = 0; I != F.Map.size(); ++I)
+    EXPECT_EQ(F.Map.isLive(I), F.Tags[I] != F.Files[1]) << "row " << I;
+  // Removing again is a no-op.
+  EXPECT_EQ(F.Map.removeMarkersForFile(F.Files[1]), 0u);
+}
+
+TEST(TypeMapMutationTest, RemoveReAddResurrectsBitIdentically) {
+  TaggedMapFixture F(3, 12, 4, 8, 22);
+  // Snapshot the full marker layout.
+  std::vector<TypeRef> TypesBefore;
+  std::vector<float> CoordsBefore;
+  for (size_t I = 0; I != F.Map.size(); ++I) {
+    TypesBefore.push_back(F.Map.type(I));
+    for (int D = 0; D != 8; ++D)
+      CoordsBefore.push_back(F.Map.embedding(I)[D]);
+  }
+
+  ASSERT_EQ(F.Map.removeMarkersForFile(F.Files[1]), 12u);
+  // Re-add the identical content: every add resurrects (returns true)
+  // instead of appending.
+  for (size_t I = 12; I != 24; ++I)
+    EXPECT_TRUE(F.Map.add(F.Points[I].data(), F.MarkTypes[I], F.Files[1]))
+        << "row " << I << " did not resurrect";
+
+  ASSERT_EQ(F.Map.size(), 36u) << "resurrection must not append";
+  EXPECT_EQ(F.Map.liveSize(), 36u);
+  EXPECT_EQ(F.Map.deadMarkers(), 0u);
+  for (size_t I = 0; I != F.Map.size(); ++I) {
+    EXPECT_EQ(F.Map.type(I), TypesBefore[I]) << "row " << I;
+    EXPECT_EQ(F.Map.fileTag(I), F.Tags[I]) << "row " << I;
+    for (int D = 0; D != 8; ++D)
+      EXPECT_EQ(F.Map.embedding(I)[D],
+                CoordsBefore[I * 8 + static_cast<size_t>(D)])
+          << "row " << I << " dim " << D;
+  }
+  std::vector<int> Rows = F.Map.markersForFile(F.Files[1]);
+  ASSERT_EQ(Rows.size(), 12u);
+  EXPECT_EQ(Rows.front(), 12);
+  EXPECT_EQ(Rows.back(), 23);
+
+  // A live duplicate still drops (first-writer ownership).
+  EXPECT_FALSE(F.Map.add(F.Points[0].data(), F.MarkTypes[0], "elsewhere.py"));
+  EXPECT_EQ(F.Map.fileTag(0), F.Files[0]);
+}
+
+TEST(TypeMapMutationTest, TombstoneThenCompactEqualsFreshBuild) {
+  TaggedMapFixture F(4, 15, 6, 8, 23);
+  ASSERT_EQ(F.Map.removeMarkersForFile(F.Files[2]), 15u);
+  EXPECT_TRUE(F.Map.compact());
+  EXPECT_FALSE(F.Map.compact()) << "compact without tombstones must no-op";
+  EXPECT_EQ(F.Map.deadMarkers(), 0u);
+
+  // Fresh build over the surviving files only, same order.
+  TypeMap Fresh(8);
+  for (size_t I = 0; I != F.Points.size(); ++I)
+    if (F.Tags[I] != F.Files[2])
+      Fresh.add(F.Points[I].data(), F.MarkTypes[I], F.Tags[I]);
+
+  ASSERT_EQ(F.Map.size(), Fresh.size());
+  for (size_t I = 0; I != Fresh.size(); ++I) {
+    EXPECT_EQ(F.Map.type(I), Fresh.type(I)) << "row " << I;
+    EXPECT_EQ(F.Map.fileTag(I), Fresh.fileTag(I)) << "row " << I;
+    for (int D = 0; D != 8; ++D)
+      EXPECT_EQ(F.Map.embedding(I)[D], Fresh.embedding(I)[D])
+          << "row " << I << " dim " << D;
+  }
+  // Per-file bookkeeping matches the fresh build's.
+  for (const std::string &File : F.Files)
+    EXPECT_EQ(F.Map.markersForFile(File), Fresh.markersForFile(File)) << File;
+  // Dedup state after compaction matches too: an existing row still drops.
+  EXPECT_FALSE(F.Map.add(F.Points[0].data(), F.MarkTypes[0], F.Files[0]));
+
+  // Identical maps build identical forests: every query agrees bit-wise.
+  AnnoyIndex IdxA(F.Map, 8, 16, 42), IdxB(Fresh, 8, 16, 42);
+  for (size_t Q = 0; Q != 20; ++Q) {
+    auto NA = IdxA.query(F.Points[Q].data(), 10);
+    auto NB = IdxB.query(F.Points[Q].data(), 10);
+    ASSERT_EQ(NA.size(), NB.size());
+    for (size_t I = 0; I != NA.size(); ++I) {
+      EXPECT_EQ(NA[I].first, NB[I].first);
+      EXPECT_EQ(NA[I].second, NB[I].second);
+    }
+  }
+}
+
+TEST(TypeMapMutationTest, CompactWorksOnQuantizedStores) {
+  // The LSP mutates *loaded* artifacts, which may be f16/int8: compaction
+  // must preserve the stored (encoded) bytes of the survivors.
+  for (MarkerStore S : {MarkerStore::F16, MarkerStore::Int8}) {
+    TaggedMapFixture F(3, 8, 4, 8, 24);
+    TypeMap Q = F.Map;
+    Q.quantize(S);
+    // Re-tag rows (quantize keeps tags; this asserts it).
+    for (size_t I = 0; I != Q.size(); ++I)
+      EXPECT_EQ(Q.fileTag(I), F.Tags[I]);
+
+    std::vector<float> Before;
+    std::vector<TypeRef> TypesBefore;
+    for (size_t I = 0; I != Q.size(); ++I)
+      if (F.Tags[I] != F.Files[0]) {
+        TypesBefore.push_back(Q.type(I));
+        for (int D = 0; D != 8; ++D)
+          Before.push_back(Q.coord(I, D));
+      }
+
+    ASSERT_EQ(Q.removeMarkersForFile(F.Files[0]), 8u);
+    ASSERT_TRUE(Q.compact());
+    ASSERT_EQ(Q.size(), 16u);
+    EXPECT_EQ(Q.store(), S);
+    size_t Pos = 0;
+    for (size_t I = 0; I != Q.size(); ++I) {
+      EXPECT_EQ(Q.type(I), TypesBefore[I]) << markerStoreName(S);
+      for (int D = 0; D != 8; ++D)
+        EXPECT_EQ(Q.coord(I, D), Before[Pos++])
+            << markerStoreName(S) << " row " << I << " dim " << D;
+    }
+  }
+}
+
+TEST(TypeMapMutationTest, DeadRowsSkippedInQueries) {
+  TaggedMapFixture F(4, 25, 6, 8, 25);
+  ExactIndex Exact(F.Map);
+  AnnoyIndex Annoy(F.Map, 8, 16, 42);
+
+  // Self-queries resolve to the marker itself while it is live.
+  auto Self = Exact.query(F.Points[30].data(), 1);
+  ASSERT_EQ(Self.size(), 1u);
+  ASSERT_EQ(Self[0].first, 30);
+  std::string Victim = F.Tags[30];
+
+  ASSERT_GT(F.Map.removeMarkersForFile(Victim), 0u);
+  // Neither index returns a tombstoned row — including through indexes
+  // built before the removal.
+  for (size_t Q = 0; Q < F.Points.size(); Q += 9) {
+    for (auto [I, D] : Exact.query(F.Points[Q].data(), 10)) {
+      EXPECT_TRUE(F.Map.isLive(static_cast<size_t>(I)));
+      EXPECT_NE(F.Map.fileTag(static_cast<size_t>(I)), Victim);
+    }
+    for (auto [I, D] : Annoy.query(F.Points[Q].data(), 10)) {
+      EXPECT_TRUE(F.Map.isLive(static_cast<size_t>(I)));
+      EXPECT_NE(F.Map.fileTag(static_cast<size_t>(I)), Victim);
+    }
+  }
+  // The dead self-marker's slot is answered by some other live row.
+  auto After = Exact.query(F.Points[30].data(), 1);
+  ASSERT_EQ(After.size(), 1u);
+  EXPECT_NE(After[0].first, 30);
+}
+
+TEST(TypeMapMutationTest, TagsSurviveCoresetEviction) {
+  // Per-file bookkeeping must stay exact through subsampleCoreset's row
+  // remapping (serving artifacts are subsampled before the LSP mutates
+  // them).
+  TaggedMapFixture F(2, 100, 6, 8, 26);
+  F.Map.subsampleCoreset(40);
+  ASSERT_LE(F.Map.size(), 40u);
+
+  for (const std::string &File : F.Files) {
+    std::vector<int> Rows = F.Map.markersForFile(File);
+    std::vector<int> Expect;
+    for (size_t I = 0; I != F.Map.size(); ++I)
+      if (F.Map.fileTag(I) == File)
+        Expect.push_back(static_cast<int>(I));
+    EXPECT_EQ(Rows, Expect) << File;
+  }
+  // Removal after eviction retires exactly the surviving tagged rows.
+  size_t TaggedA = F.Map.markersForFile(F.Files[0]).size();
+  EXPECT_EQ(F.Map.removeMarkersForFile(F.Files[0]), TaggedA);
+  EXPECT_EQ(F.Map.liveSize(), F.Map.size() - TaggedA);
+}
