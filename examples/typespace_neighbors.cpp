@@ -37,7 +37,7 @@ int main() {
   for (const FileExample &F : WB.DS.Train)
     MapFiles.push_back(&F);
   KnnOptions KO;
-  KO.UseAnnoy = false; // exact neighbourhoods for the printout
+  KO.Index = KnnIndexKind::Exact; // exact neighbourhoods for the printout
   Predictor P = Predictor::knn(*Model, MapFiles, KO);
   const TypeMap &Map = P.typeMap();
   ExactIndex Index(Map);

@@ -7,9 +7,43 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 using namespace typilus;
+
+const char *typilus::knnIndexName(KnnIndexKind K) {
+  switch (K) {
+  case KnnIndexKind::Exact:
+    return "exact";
+  case KnnIndexKind::Annoy:
+    return "annoy";
+  case KnnIndexKind::Hnsw:
+    return "hnsw";
+  }
+  return "exact";
+}
+
+bool typilus::parseKnnIndexKind(std::string_view Name, KnnIndexKind *Out) {
+  if (Name == "exact")
+    *Out = KnnIndexKind::Exact;
+  else if (Name == "annoy")
+    *Out = KnnIndexKind::Annoy;
+  else if (Name == "hnsw")
+    *Out = KnnIndexKind::Hnsw;
+  else
+    return false;
+  return true;
+}
+
+/// Microseconds elapsed since \p T0 (stats counters; never affects
+/// results).
+static uint64_t microsSince(std::chrono::steady_clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+}
 
 Predictor Predictor::knn(TypeModel &Model, ExampleSource &MapFiles,
                          const KnnOptions &Opts) {
@@ -111,7 +145,9 @@ void Predictor::writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const {
   W.writeU8(IsKnn ? 1 : 0);
   W.writeI32(Knn.K);
   W.writeF64(Knn.P);
-  W.writeU8(Knn.UseAnnoy ? 1 : 0);
+  // Historically the UseAnnoy bool; the index-kind encoding keeps 0 =
+  // exact and 1 = Annoy, so pre-HNSW artifacts are byte-identical.
+  W.writeU8(static_cast<uint8_t>(Knn.Index));
   W.endChunk();
 
   if (IsKnn) {
@@ -130,10 +166,18 @@ void Predictor::writeArtifact(ArchiveWriter &W, const TypeUniverse &U) const {
       Annoy->save(W);
       W.endChunk();
     }
+    if (Hnsw) {
+      // Same deal for the HNSW graph (version-3 chunk).
+      W.beginChunk("hnsw");
+      Hnsw->save(W);
+      W.endChunk();
+    }
   }
 }
 
 uint32_t Predictor::artifactVersion() const {
+  if (IsKnn && Hnsw)
+    return 3;
   bool Quantized = IsKnn && Map && Map->store() != MarkerStore::F32;
   return Quantized ? 2 : 1;
 }
@@ -177,12 +221,14 @@ std::unique_ptr<Predictor> Predictor::load(const ArchiveReader &R,
   uint8_t Kind = MC.readU8();
   P->Knn.K = MC.readI32();
   P->Knn.P = MC.readF64();
-  P->Knn.UseAnnoy = MC.readU8() != 0;
-  if (!MC.ok() || Kind > 1 || P->Knn.K <= 0) {
+  uint8_t IndexKind = MC.readU8();
+  if (!MC.ok() || Kind > 1 || P->Knn.K <= 0 ||
+      IndexKind > static_cast<uint8_t>(KnnIndexKind::Hnsw)) {
     if (Err && Err->empty())
       *Err = "malformed predictor chunk";
     return nullptr;
   }
+  P->Knn.Index = static_cast<KnnIndexKind>(IndexKind);
   P->IsKnn = Kind == 1;
   if (!P->IsKnn)
     return P;
@@ -214,9 +260,19 @@ std::unique_ptr<Predictor> Predictor::load(const ArchiveReader &R,
     P->Annoy = AnnoyIndex::load(AC, *P->Map, Err);
     if (!P->Annoy)
       return nullptr;
-  } else if (P->Knn.UseAnnoy && P->Map->size() > 0) {
+  } else if (P->Knn.Index == KnnIndexKind::Annoy && P->Map->size() > 0) {
     if (Err)
       *Err = "invalid artifact: missing chunk 'anny'";
+    return nullptr;
+  }
+  if (R.hasChunk("hnsw")) {
+    ArchiveCursor HC = R.chunk("hnsw", Err);
+    P->Hnsw = HnswIndex::load(HC, *P->Map, Err);
+    if (!P->Hnsw)
+      return nullptr;
+  } else if (P->Knn.Index == KnnIndexKind::Hnsw && P->Map->size() > 0) {
+    if (Err)
+      *Err = "invalid artifact: missing chunk 'hnsw'";
     return nullptr;
   }
   P->Exact = std::make_unique<ExactIndex>(*P->Map);
@@ -237,17 +293,25 @@ std::unique_ptr<Predictor> Predictor::load(const std::string &Path,
 
 void Predictor::rebuildIndex() {
   assert(Map && "kNN predictor without a type map");
-  if (Knn.UseAnnoy && Map->size() > 0)
+  if (Knn.Index == KnnIndexKind::Annoy && Map->size() > 0)
     Annoy = std::make_unique<AnnoyIndex>(*Map, /*NumTrees=*/8,
                                          /*LeafSize=*/16, /*Seed=*/0xA220,
                                          Knn.NumThreads);
   else
-    Annoy.reset(); // also drops a stale forest when switching to exact
+    Annoy.reset(); // also drops a stale forest when switching away
+  if (Knn.Index == KnnIndexKind::Hnsw && Map->size() > 0)
+    Hnsw = std::make_unique<HnswIndex>(*Map, /*M=*/16,
+                                       /*EfConstruction=*/128,
+                                       /*Seed=*/0x45317, Knn.NumThreads);
+  else
+    Hnsw.reset();
   Exact = std::make_unique<ExactIndex>(*Map);
 }
 
 void Predictor::setKnnOptions(const KnnOptions &O) {
-  bool NeedRebuild = O.UseAnnoy != Knn.UseAnnoy;
+  // EfSearch is a query-time knob; only an index *kind* change forces a
+  // rebuild.
+  bool NeedRebuild = O.Index != Knn.Index;
   Knn = O;
   if (NeedRebuild && IsKnn)
     rebuildIndex();
@@ -320,15 +384,24 @@ std::vector<PredictionResult> Predictor::predictFile(const FileExample &File) {
 
 std::vector<NeighborList> Predictor::queryNeighbors(const float *Qs,
                                                     int64_t NumQ) {
-  if (!(Annoy && Knn.UseAnnoy))
+  std::vector<NeighborList> Neigh;
+  size_t From = 0;
+  if (Knn.Index == KnnIndexKind::Annoy && Annoy) {
+    Neigh = Annoy->queryBatch(Qs, NumQ, Knn.K, /*SearchK=*/-1,
+                              Knn.NumThreads);
+    From = Annoy->indexedMarkers();
+  } else if (Knn.Index == KnnIndexKind::Hnsw && Hnsw) {
+    Neigh = Hnsw->queryBatch(Qs, NumQ, Knn.K,
+                             Knn.EfSearch > 0 ? Knn.EfSearch : -1,
+                             Knn.NumThreads);
+    From = Hnsw->indexedMarkers();
+  } else {
     return Exact->queryBatch(Qs, NumQ, Knn.K, Knn.NumThreads);
-  std::vector<NeighborList> Neigh =
-      Annoy->queryBatch(Qs, NumQ, Knn.K, /*SearchK=*/-1, Knn.NumThreads);
-  // Rows appended after the forest was built are invisible to it; an
+  }
+  // Rows appended after the index was built are invisible to it; an
   // exact scan over that delta merges into each answer under the same
   // (distance, index) order the indexes use, so folding the delta into a
-  // rebuilt forest would change no bits.
-  size_t From = Annoy->indexedMarkers();
+  // rebuilt index would change no bits.
   if (From < Map->size()) {
     const int64_t D = Map->dim();
     for (int64_t Q = 0; Q != NumQ; ++Q) {
@@ -389,15 +462,19 @@ Predictor::annotateIncremental(const std::string &Path,
   //    embedCalls() lets tests pin.
   FileExample Ex = buildExample(CorpusFile{Path, Source}, *U, {});
   std::vector<const Target *> Targets;
+  auto EmbedT0 = std::chrono::steady_clock::now();
   nn::Value Emb = Model->embed({&Ex}, &Targets);
   ++EmbedCalls;
+  EmbedMicros += microsSince(EmbedT0);
   std::vector<PredictionResult> Out;
   if (Emb.defined() && !Targets.empty()) {
     const Tensor &E = Emb.val();
     // 3. kNN against the updated index, through the same merged query
     //    kernel predictBatch uses.
+    auto KnnT0 = std::chrono::steady_clock::now();
     std::vector<NeighborList> Neigh =
         queryNeighbors(E.data(), static_cast<int64_t>(Targets.size()));
+    KnnMicros += microsSince(KnnT0);
     Out.reserve(Targets.size());
     for (size_t I = 0; I != Targets.size(); ++I) {
       PredictionResult R;
@@ -461,6 +538,7 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
     if (Emb.defined())
       Embs[I] = Emb.val();
   };
+  auto EmbedT0 = std::chrono::steady_clock::now();
   if (Model->supportsParallelEmbed()) {
     parallelFor(
         0, static_cast<int64_t>(N), 1,
@@ -476,6 +554,7 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
       EmbedOne(I);
   }
   EmbedCalls += N;
+  EmbedMicros += microsSince(EmbedT0);
 
   if (IsKnn) {
     // One bulk index probe for every target of every file, answered
@@ -490,7 +569,9 @@ Predictor::predictBatch(const std::vector<const FileExample *> &Files) {
       if (Embs[I].numel() > 0)
         Queries.insert(Queries.end(), Embs[I].data(),
                        Embs[I].data() + Embs[I].numel());
+    auto KnnT0 = std::chrono::steady_clock::now();
     std::vector<NeighborList> Neigh = queryNeighbors(Queries.data(), NumQ);
+    KnnMicros += microsSince(KnnT0);
     size_t Row = 0;
     for (size_t F = 0; F != N; ++F)
       for (size_t I = 0; I != Targets[F].size(); ++I) {

@@ -12,7 +12,7 @@
 ///
 /// A predictor can be built from a live model (training process) or
 /// loaded from a saved artifact (serving process): `save()` snapshots the
-/// type universe, model, τmap and Annoy forest into one versioned archive
+/// type universe, model, τmap and kNN index into one versioned archive
 /// and `load()` reconstitutes a self-contained predictor from it — no
 /// training `Dataset` in memory, predictions bit-identical to the
 /// original's.
@@ -46,7 +46,10 @@ namespace typilus {
 ///   2 — adds the quantized τmap chunks tm16/tmq8. Writers stamp 2 only
 ///       when such a chunk is present, so f32 artifacts remain
 ///       byte-identical to version-1 writers (Predictor::artifactVersion).
-inline constexpr uint32_t kModelArtifactVersion = 2;
+///   3 — adds the HNSW graph chunk hnsw (and index kind 2 in pred).
+///       Stamped only when the chunk is present, so exact/Annoy artifacts
+///       keep their version-1/2 bytes.
+inline constexpr uint32_t kModelArtifactVersion = 3;
 inline constexpr uint32_t kModelArtifactVersionMin = 1;
 
 /// Candidate predictions for one target symbol. Self-contained: results
@@ -76,11 +79,30 @@ struct PredictionResult {
   }
 };
 
+/// Which index answers τmap queries. The numeric values are the
+/// serialized pred-chunk encoding (the byte that historically held the
+/// UseAnnoy bool, so exact/Annoy artifacts keep identical bytes) —
+/// append only.
+enum class KnnIndexKind : uint8_t { Exact = 0, Annoy = 1, Hnsw = 2 };
+
+/// "exact" | "annoy" | "hnsw" (CLI flags, `inspect` output, bench labels).
+const char *knnIndexName(KnnIndexKind K);
+/// Parses knnIndexName()'s strings; \returns false on anything else.
+bool parseKnnIndexKind(std::string_view Name, KnnIndexKind *Out);
+
 /// kNN settings for the type-map predictor (Eq. 5).
 struct KnnOptions {
   int K = 10;
   double P = 1.0;      ///< Distance-weighting temperature.
-  bool UseAnnoy = true; ///< Approximate index (exact otherwise).
+  /// Index structure answering the kNN probes: the blocked exact scan,
+  /// the Annoy-style kd-forest, or the deterministic HNSW graph (see the
+  /// index matrix in docs/ARCHITECTURE.md "Index layer").
+  KnnIndexKind Index = KnnIndexKind::Annoy;
+  /// HNSW per-request query-time budget: layer-0 beam width, i.e. how
+  /// many candidates one request may inspect (<= 0 = the index default,
+  /// max(4·K, 64)). Larger = better recall, more latency. Ignored by the
+  /// other index kinds.
+  int EfSearch = 0;
   /// Caps the ways of parallelism used for τmap construction and query
   /// batches (0 = no cap, i.e. the full process-wide pool; 1 = fully
   /// serial). The pool itself is sized by setGlobalNumThreads /
@@ -225,7 +247,16 @@ public:
   /// Encoder passes made so far (one per embedded file) — lets tests pin
   /// that the incremental path re-embeds exactly one file per edit.
   uint64_t embedCalls() const { return EmbedCalls; }
+  /// Cumulative wall time spent embedding queries / probing the kNN
+  /// index across predictBatch and annotateIncremental — the serve
+  /// daemon diffs these around each batch for its stats breakdown.
+  /// Observability only: timing never influences results.
+  uint64_t embedMicros() const { return EmbedMicros; }
+  uint64_t knnMicros() const { return KnnMicros; }
   const TypeMap &typeMap() const { return *Map; }
+  /// The live HNSW graph, or nullptr when another index kind is active —
+  /// `inspect` reads the build parameters off it.
+  const HnswIndex *hnswIndex() const { return Hnsw.get(); }
   const KnnOptions &knnOptions() const { return Knn; }
   void setKnnOptions(const KnnOptions &O);
 
@@ -259,8 +290,11 @@ private:
   KnnOptions Knn;
   std::unique_ptr<TypeMap> Map;
   std::unique_ptr<AnnoyIndex> Annoy;
+  std::unique_ptr<HnswIndex> Hnsw;
   std::unique_ptr<ExactIndex> Exact;
   uint64_t EmbedCalls = 0;
+  uint64_t EmbedMicros = 0;
+  uint64_t KnnMicros = 0;
 };
 
 /// FNV-1a over the full prediction set: file paths, target indexes, and

@@ -659,7 +659,112 @@ bool TypeMap::load(ArchiveCursor &C, const std::vector<TypeRef> &ById,
 // kNN indexes
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// The one neighbour order every index agrees on: (distance, index)
+/// ascending — a *total* order (indices are distinct), so the top-k set
+/// and its sorted layout are uniquely determined however they were
+/// selected. That is what makes the blocked bounded-heap engine
+/// bit-identical to the historical partial_sort.
+inline bool neighborLess(const std::pair<int, float> &A,
+                         const std::pair<int, float> &B) {
+  if (A.second != B.second)
+    return A.second < B.second;
+  return A.first < B.first;
+}
+
+/// Marker rows per streamed tile: one tile's coordinates stay resident
+/// while every query of the block scans it, so a query block reads the
+/// marker array once from memory instead of once per query.
+constexpr size_t kMarkerTile = 256;
+/// Queries per block — also queryBatch's parallelFor grain, so tiny
+/// batches form a handful of tile-sized tasks instead of one per query.
+constexpr int64_t kQueryTile = 16;
+
+/// Bounded max-heap push: keeps the K smallest candidates under
+/// neighborLess, worst on top.
+inline void pushBounded(NeighborList &H, int K, std::pair<int, float> Cand) {
+  if (static_cast<int>(H.size()) < K) {
+    H.push_back(Cand);
+    std::push_heap(H.begin(), H.end(), neighborLess);
+  } else if (neighborLess(Cand, H.front())) {
+    std::pop_heap(H.begin(), H.end(), neighborLess);
+    H.back() = Cand;
+    std::push_heap(H.begin(), H.end(), neighborLess);
+  }
+}
+
+} // namespace
+
+void ExactIndex::queryBlock(const float *Qs, int64_t QBegin, int64_t QEnd,
+                            int K, std::vector<NeighborList> &Heaps,
+                            std::vector<NeighborList> &Results) const {
+  const nn::simd::KernelTable &KT = nn::simd::active();
+  const int64_t D = Map.dim();
+  const size_t N = Map.size();
+  const size_t NumQ = static_cast<size_t>(QEnd - QBegin);
+  if (K <= 0)
+    return; // Results entries stay default-empty, like the legacy Keep=0.
+  if (Heaps.size() < NumQ)
+    Heaps.resize(NumQ);
+  for (size_t Q = 0; Q != NumQ; ++Q) {
+    Heaps[Q].clear();
+    Heaps[Q].reserve(static_cast<size_t>(K));
+  }
+  // Hoist the store dispatch out of the tile bodies: raw arrays + the
+  // active kernel table, fetched once per block.
+  const MarkerStore Store = Map.store();
+  const float *F32 = Map.rawF32();
+  const uint16_t *F16 = Map.rawF16();
+  const int8_t *I8 = Map.rawI8();
+  const float *Scales = Map.rawI8Scales();
+  for (size_t MB = 0; MB < N; MB += kMarkerTile) {
+    const size_t ME = std::min(N, MB + kMarkerTile);
+    for (size_t Q = 0; Q != NumQ; ++Q) {
+      const float *Query = Qs + (QBegin + static_cast<int64_t>(Q)) * D;
+      NeighborList &H = Heaps[Q];
+      switch (Store) {
+      case MarkerStore::F32:
+        for (size_t I = MB; I != ME; ++I)
+          if (Map.isLive(I))
+            pushBounded(H, K,
+                        {static_cast<int>(I),
+                         KT.L1(Query, F32 + I * static_cast<size_t>(D), D)});
+        break;
+      case MarkerStore::F16:
+        for (size_t I = MB; I != ME; ++I)
+          if (Map.isLive(I))
+            pushBounded(
+                H, K,
+                {static_cast<int>(I),
+                 KT.L1F16(Query, F16 + I * static_cast<size_t>(D), D)});
+        break;
+      case MarkerStore::Int8:
+        for (size_t I = MB; I != ME; ++I)
+          if (Map.isLive(I))
+            pushBounded(H, K,
+                        {static_cast<int>(I),
+                         KT.L1I8(Query, I8 + I * static_cast<size_t>(D),
+                                 Scales[I], D)});
+        break;
+      }
+    }
+  }
+  for (size_t Q = 0; Q != NumQ; ++Q) {
+    NeighborList &H = Heaps[Q];
+    std::sort_heap(H.begin(), H.end(), neighborLess);
+    Results[static_cast<size_t>(QBegin) + Q] = H;
+  }
+}
+
 NeighborList ExactIndex::query(const float *Q, int K) const {
+  std::vector<NeighborList> Results(1);
+  std::vector<NeighborList> Heaps;
+  queryBlock(Q, 0, 1, K, Heaps, Results);
+  return std::move(Results.front());
+}
+
+NeighborList ExactIndex::queryLegacy(const float *Q, int K) const {
   NeighborList All;
   All.reserve(Map.size());
   for (size_t I = 0; I != Map.size(); ++I)
@@ -680,12 +785,15 @@ std::vector<NeighborList> ExactIndex::queryBatch(const float *Qs,
                                                  int64_t NumQueries, int K,
                                                  int MaxWays) const {
   std::vector<NeighborList> Results(static_cast<size_t>(NumQueries));
-  const int D = Map.dim();
   parallelFor(
-      0, NumQueries, 1,
+      0, NumQueries, kQueryTile,
       [&](int64_t Lo, int64_t Hi) {
-        for (int64_t I = Lo; I != Hi; ++I)
-          Results[static_cast<size_t>(I)] = query(Qs + I * D, K);
+        // Per-chunk scratch: the block heaps are reused across every
+        // query tile of this chunk — no per-query allocation at all.
+        std::vector<NeighborList> Heaps;
+        for (int64_t QB = Lo; QB < Hi; QB += kQueryTile)
+          queryBlock(Qs, QB, std::min(Hi, QB + kQueryTile), K, Heaps,
+                     Results);
       },
       MaxWays);
   return Results;
@@ -739,6 +847,9 @@ AnnoyIndex::AnnoyIndex(const TypeMap &Map, int NumTrees, int LeafSize,
   }
 }
 
+static_assert(sizeof(int) == 4,
+              "index snapshots store adjacency as raw i32 runs");
+
 void AnnoyIndex::save(ArchiveWriter &W) const {
   W.writeI32(LeafSize);
   W.writeU64(Nodes.size());
@@ -748,12 +859,15 @@ void AnnoyIndex::save(ArchiveWriter &W) const {
     W.writeI32(N.Left);
     W.writeI32(N.Right);
     W.writeU64(N.Items.size());
-    for (int It : N.Items)
-      W.writeI32(It);
+    // The leaf-item runs are the bulk of a forest snapshot; the array
+    // writer's LE fast path emits the same bytes as the historical
+    // per-item writeI32 loop in one append.
+    W.writeI32Array(reinterpret_cast<const int32_t *>(N.Items.data()),
+                    N.Items.size());
   }
   W.writeU64(Roots.size());
-  for (int R : Roots)
-    W.writeI32(R);
+  W.writeI32Array(reinterpret_cast<const int32_t *>(Roots.data()),
+                  Roots.size());
 }
 
 std::unique_ptr<AnnoyIndex> AnnoyIndex::load(ArchiveCursor &C,
@@ -790,24 +904,29 @@ std::unique_ptr<AnnoyIndex> AnnoyIndex::load(ArchiveCursor &C,
          static_cast<uint64_t>(N.Left) >= NumNodes ||
          static_cast<uint64_t>(N.Right) >= NumNodes))
       return Fail("split node links");
-    N.Items.reserve(static_cast<size_t>(NumItems));
-    for (uint64_t J = 0; J != NumItems; ++J) {
-      int It = C.readI32();
-      if (!C.ok() || It < 0 || static_cast<size_t>(It) >= Map.size())
+    N.Items.resize(static_cast<size_t>(NumItems));
+    // Bulk read, then validate: same acceptance set as the historical
+    // per-item loop, one bounds-checked copy instead of NumItems reads.
+    C.readI32Array(reinterpret_cast<int32_t *>(N.Items.data()),
+                   N.Items.size());
+    if (!C.ok())
+      return Fail("leaf payload");
+    for (int It : N.Items)
+      if (It < 0 || static_cast<size_t>(It) >= Map.size())
         return Fail("leaf item out of range");
-      N.Items.push_back(It);
-    }
     Idx->Nodes.push_back(std::move(N));
   }
   uint64_t NumRoots = C.readU64();
   if (!C.ok() || NumRoots > C.remaining())
     return Fail("root count");
-  for (uint64_t I = 0; I != NumRoots; ++I) {
-    int R = C.readI32();
-    if (!C.ok() || R < 0 || static_cast<uint64_t>(R) >= NumNodes)
+  Idx->Roots.resize(static_cast<size_t>(NumRoots));
+  C.readI32Array(reinterpret_cast<int32_t *>(Idx->Roots.data()),
+                 Idx->Roots.size());
+  if (!C.ok())
+    return Fail("root count");
+  for (int R : Idx->Roots)
+    if (R < 0 || static_cast<uint64_t>(R) >= NumNodes)
       return Fail("root out of range");
-    Idx->Roots.push_back(R);
-  }
   return Idx;
 }
 
@@ -927,4 +1046,316 @@ std::vector<NeighborList> AnnoyIndex::queryBatch(const float *Qs,
       },
       MaxWays);
   return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// HnswIndex
+//===----------------------------------------------------------------------===//
+
+int HnswIndex::levelFor(size_t I) const {
+  // One derived stream per row: level_I depends on (Seed, I) alone, so
+  // neither insertion order nor thread count can perturb the hierarchy.
+  Rng R = Rng(Seed).fork(static_cast<uint64_t>(I));
+  double U = R.uniformReal();
+  if (U < 1e-12)
+    U = 1e-12;
+  double ML = 1.0 / std::log(std::max(2.0, static_cast<double>(M)));
+  int L = static_cast<int>(-std::log(U) * ML);
+  return std::min(L, 32);
+}
+
+void HnswIndex::distanceMany(const float *Q, const int *Ids, size_t N,
+                             float *Out) const {
+  // The parallel half of the build/search contract: distances fan out
+  // through the pool while every *selection* over them stays sequential.
+  // Each distance is bit-identical for any thread count, so the chosen
+  // neighbours — and therefore the graph — do not depend on the split.
+  parallelFor(
+      0, static_cast<int64_t>(N), 32,
+      [&](int64_t Lo, int64_t Hi) {
+        for (int64_t I = Lo; I != Hi; ++I)
+          Out[I] = Map.l1DistanceTo(
+              Q, static_cast<size_t>(Ids[static_cast<size_t>(I)]));
+      },
+      MaxWays);
+}
+
+void HnswIndex::searchLayer(const float *Q, int Ep, float EpDist, int Ef,
+                            int Layer, SearchScratch &S,
+                            std::vector<std::pair<float, int>> &Out) const {
+  // (distance, index) pairs compare lexicographically — exactly the
+  // neighbour tie-break order — so every heap decision is deterministic.
+  using DistIdx = std::pair<float, int>;
+  std::priority_queue<DistIdx, std::vector<DistIdx>, std::greater<>> Cand;
+  std::priority_queue<DistIdx> Best; // worst of the kept Ef on top
+  if (S.VisitedAt.size() < Nodes.size())
+    S.VisitedAt.resize(Nodes.size(), 0);
+  if (++S.Epoch == 0) { // epoch wrap: reset the marks once per 2^32 queries
+    std::fill(S.VisitedAt.begin(), S.VisitedAt.end(), 0u);
+    S.Epoch = 1;
+  }
+  S.VisitedAt[static_cast<size_t>(Ep)] = S.Epoch;
+  Cand.emplace(EpDist, Ep);
+  Best.emplace(EpDist, Ep);
+  while (!Cand.empty()) {
+    DistIdx C = Cand.top();
+    if (static_cast<int>(Best.size()) == Ef && Best.top() < C)
+      break;
+    Cand.pop();
+    const std::vector<int> &Links =
+        Nodes[static_cast<size_t>(C.second)].Links[static_cast<size_t>(Layer)];
+    S.Frontier.clear();
+    for (int E : Links)
+      if (S.VisitedAt[static_cast<size_t>(E)] != S.Epoch) {
+        S.VisitedAt[static_cast<size_t>(E)] = S.Epoch;
+        S.Frontier.push_back(E);
+      }
+    S.FrontierD.resize(S.Frontier.size());
+    distanceMany(Q, S.Frontier.data(), S.Frontier.size(), S.FrontierD.data());
+    for (size_t I = 0; I != S.Frontier.size(); ++I) {
+      DistIdx Next{S.FrontierD[I], S.Frontier[I]};
+      if (static_cast<int>(Best.size()) < Ef || Next < Best.top()) {
+        Cand.push(Next);
+        Best.push(Next);
+        if (static_cast<int>(Best.size()) > Ef)
+          Best.pop();
+      }
+    }
+  }
+  Out.resize(Best.size());
+  for (size_t I = Best.size(); I-- > 0;) {
+    Out[I] = Best.top();
+    Best.pop();
+  }
+}
+
+void HnswIndex::descendLayer(const float *Q, int &Ep, float &EpDist,
+                             int Layer) const {
+  bool Improved = true;
+  while (Improved) {
+    Improved = false;
+    // The range binds to the entry point the round started from; strict
+    // (distance, index) improvement keeps the walk deterministic.
+    for (int E : Nodes[static_cast<size_t>(Ep)]
+                     .Links[static_cast<size_t>(Layer)]) {
+      float Dist = Map.l1DistanceTo(Q, static_cast<size_t>(E));
+      if (std::pair<float, int>(Dist, E) < std::pair<float, int>(EpDist, Ep)) {
+        EpDist = Dist;
+        Ep = E;
+        Improved = true;
+      }
+    }
+  }
+}
+
+void HnswIndex::shrinkLinks(int NodeId, int Layer, int MaxLinks,
+                            std::vector<float> &Decode) {
+  Decode.resize(static_cast<size_t>(Map.dim()));
+  Map.decodeEmbedding(static_cast<size_t>(NodeId), Decode.data());
+  std::vector<int> &Links =
+      Nodes[static_cast<size_t>(NodeId)].Links[static_cast<size_t>(Layer)];
+  std::vector<float> Ds(Links.size());
+  distanceMany(Decode.data(), Links.data(), Links.size(), Ds.data());
+  std::vector<std::pair<float, int>> Scored(Links.size());
+  for (size_t I = 0; I != Links.size(); ++I)
+    Scored[I] = {Ds[I], Links[I]};
+  std::sort(Scored.begin(), Scored.end()); // (distance, index) ascending
+  Links.resize(static_cast<size_t>(MaxLinks));
+  for (int I = 0; I != MaxLinks; ++I)
+    Links[static_cast<size_t>(I)] = Scored[static_cast<size_t>(I)].second;
+}
+
+void HnswIndex::insert(size_t I, const float *Coords, SearchScratch &S) {
+  int L = Nodes[I].Level;
+  Nodes[I].Links.assign(static_cast<size_t>(L) + 1, {});
+  if (EntryPoint < 0) {
+    EntryPoint = static_cast<int>(I);
+    MaxLevel = L;
+    return;
+  }
+  int Ep = EntryPoint;
+  float EpDist = Map.l1DistanceTo(Coords, static_cast<size_t>(Ep));
+  for (int Layer = MaxLevel; Layer > L; --Layer)
+    descendLayer(Coords, Ep, EpDist, Layer);
+  std::vector<std::pair<float, int>> Found;
+  std::vector<float> Decode;
+  for (int Layer = std::min(L, MaxLevel); Layer >= 0; --Layer) {
+    searchLayer(Coords, Ep, EpDist, EfConstruction, Layer, S, Found);
+    int MaxLinks = Layer == 0 ? 2 * M : M;
+    size_t Take = std::min<size_t>(static_cast<size_t>(MaxLinks),
+                                   Found.size());
+    std::vector<int> &Mine = Nodes[I].Links[static_cast<size_t>(Layer)];
+    for (size_t J = 0; J != Take; ++J) {
+      int Nb = Found[J].second;
+      Mine.push_back(Nb);
+      std::vector<int> &Theirs =
+          Nodes[static_cast<size_t>(Nb)].Links[static_cast<size_t>(Layer)];
+      Theirs.push_back(static_cast<int>(I));
+      if (static_cast<int>(Theirs.size()) > MaxLinks)
+        shrinkLinks(Nb, Layer, MaxLinks, Decode);
+    }
+    Ep = Found.front().second;
+    EpDist = Found.front().first;
+  }
+  if (L > MaxLevel) {
+    MaxLevel = L;
+    EntryPoint = static_cast<int>(I);
+  }
+}
+
+HnswIndex::HnswIndex(const TypeMap &Map, int M, int EfConstruction,
+                     uint64_t Seed, int MaxWays)
+    : Map(Map), M(std::max(2, M)),
+      EfConstruction(std::max(8, EfConstruction)), Seed(Seed),
+      MaxWays(MaxWays), NumIndexed(Map.size()) {
+  size_t N = Map.size();
+  Nodes.resize(N);
+  // Levels first (a pure per-row function), then strict row-order
+  // insertion: the graph is a function of (Map, Seed) alone. Tombstoned
+  // rows enter the graph like Annoy keeps them in its leaves — they
+  // route, and queries filter them from results.
+  for (size_t I = 0; I != N; ++I)
+    Nodes[I].Level = levelFor(I);
+  SearchScratch S;
+  std::vector<float> Coords(static_cast<size_t>(Map.dim()));
+  for (size_t I = 0; I != N; ++I) {
+    Map.decodeEmbedding(I, Coords.data());
+    insert(I, Coords.data(), S);
+  }
+}
+
+NeighborList HnswIndex::queryWithScratch(const float *Q, int K, int EfSearch,
+                                         SearchScratch &S) const {
+  if (EntryPoint < 0 || K <= 0)
+    return {};
+  int Ef = EfSearch < 0 ? std::max(4 * K, 64) : EfSearch;
+  Ef = std::max(Ef, K);
+  int Ep = EntryPoint;
+  float EpDist = Map.l1DistanceTo(Q, static_cast<size_t>(Ep));
+  for (int Layer = MaxLevel; Layer > 0; --Layer)
+    descendLayer(Q, Ep, EpDist, Layer);
+  std::vector<std::pair<float, int>> Found;
+  searchLayer(Q, Ep, EpDist, Ef, 0, S, Found);
+  // Found is already ascending under (distance, index) with exact
+  // distances; keep the first K live rows (tombstones route but never
+  // surface — same contract as the other indexes).
+  NeighborList Result;
+  Result.reserve(std::min<size_t>(static_cast<size_t>(K), Found.size()));
+  for (const auto &[Dist, Idx] : Found) {
+    if (!Map.isLive(static_cast<size_t>(Idx)))
+      continue;
+    Result.emplace_back(Idx, Dist);
+    if (static_cast<int>(Result.size()) == K)
+      break;
+  }
+  return Result;
+}
+
+NeighborList HnswIndex::query(const float *Q, int K, int EfSearch) const {
+  SearchScratch S;
+  return queryWithScratch(Q, K, EfSearch, S);
+}
+
+std::vector<NeighborList> HnswIndex::queryBatch(const float *Qs,
+                                                int64_t NumQueries, int K,
+                                                int EfSearch,
+                                                int MaxWays) const {
+  std::vector<NeighborList> Results(static_cast<size_t>(NumQueries));
+  const int64_t D = Map.dim();
+  parallelFor(
+      0, NumQueries, 8,
+      [&](int64_t Lo, int64_t Hi) {
+        SearchScratch S; // reused across this chunk's queries
+        for (int64_t I = Lo; I != Hi; ++I)
+          Results[static_cast<size_t>(I)] =
+              queryWithScratch(Qs + I * D, K, EfSearch, S);
+      },
+      MaxWays);
+  return Results;
+}
+
+void HnswIndex::save(ArchiveWriter &W) const {
+  W.writeI32(M);
+  W.writeI32(EfConstruction);
+  W.writeU64(Seed);
+  W.writeI32(EntryPoint);
+  W.writeI32(MaxLevel);
+  W.writeU64(Nodes.size());
+  for (const Node &N : Nodes) {
+    W.writeI32(N.Level);
+    for (const std::vector<int> &Links : N.Links) {
+      W.writeU64(Links.size());
+      W.writeI32Array(reinterpret_cast<const int32_t *>(Links.data()),
+                      Links.size());
+    }
+  }
+}
+
+std::unique_ptr<HnswIndex> HnswIndex::load(ArchiveCursor &C,
+                                           const TypeMap &Map,
+                                           std::string *Err) {
+  auto Fail = [&](const char *Why) {
+    if (Err && Err->empty())
+      *Err = std::string("malformed kNN index snapshot: ") + Why;
+    return nullptr;
+  };
+  std::unique_ptr<HnswIndex> Idx(new HnswIndex(Map, LoadShellTag{}));
+  Idx->NumIndexed = Map.size();
+  Idx->M = C.readI32();
+  Idx->EfConstruction = C.readI32();
+  Idx->Seed = C.readU64();
+  Idx->EntryPoint = C.readI32();
+  Idx->MaxLevel = C.readI32();
+  uint64_t NumNodes = C.readU64();
+  if (!C.ok() || Idx->M < 2 || Idx->EfConstruction < 1)
+    return Fail("graph params");
+  // Node id == τmap row id: the graph must cover exactly the snapshot's
+  // markers.
+  if (NumNodes != Map.size())
+    return Fail("node count");
+  if (NumNodes == 0) {
+    if (Idx->EntryPoint != -1 || Idx->MaxLevel != -1)
+      return Fail("entry point");
+    return Idx;
+  }
+  if (Idx->EntryPoint < 0 ||
+      static_cast<uint64_t>(Idx->EntryPoint) >= NumNodes ||
+      Idx->MaxLevel < 0 || Idx->MaxLevel > 32)
+    return Fail("entry point");
+  Idx->Nodes.resize(static_cast<size_t>(NumNodes));
+  for (uint64_t I = 0; I != NumNodes; ++I) {
+    Node &N = Idx->Nodes[static_cast<size_t>(I)];
+    N.Level = C.readI32();
+    if (!C.ok() || N.Level < 0 || N.Level > Idx->MaxLevel)
+      return Fail("node level");
+    N.Links.resize(static_cast<size_t>(N.Level) + 1);
+    for (std::vector<int> &Links : N.Links) {
+      uint64_t NumLinks = C.readU64();
+      if (!C.ok() || NumLinks > C.remaining())
+        return Fail("adjacency payload");
+      Links.resize(static_cast<size_t>(NumLinks));
+      C.readI32Array(reinterpret_cast<int32_t *>(Links.data()),
+                     Links.size());
+      if (!C.ok())
+        return Fail("adjacency payload");
+      for (int E : Links)
+        if (E < 0 || static_cast<uint64_t>(E) >= NumNodes ||
+            static_cast<uint64_t>(E) == I)
+          return Fail("adjacency out of range");
+    }
+  }
+  if (static_cast<size_t>(Idx->MaxLevel) !=
+      static_cast<size_t>(
+          Idx->Nodes[static_cast<size_t>(Idx->EntryPoint)].Level))
+    return Fail("entry point");
+  // Cross-node invariant (checkable only once every node is in): a link
+  // at layer L must reach a node that *has* a layer L, or the search
+  // would walk off the target's adjacency array.
+  for (const Node &N : Idx->Nodes)
+    for (size_t L = 0; L != N.Links.size(); ++L)
+      for (int E : N.Links[L])
+        if (static_cast<size_t>(
+                Idx->Nodes[static_cast<size_t>(E)].Level) < L)
+          return Fail("adjacency level");
+  return Idx;
 }

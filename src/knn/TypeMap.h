@@ -162,6 +162,14 @@ public:
   const float *embedding(size_t I) const {
     return Flat.data() + I * static_cast<size_t>(D);
   }
+  /// Raw store arrays for index inner loops: the blocked scan hoists the
+  /// per-row store dispatch out of its tile bodies and feeds these
+  /// directly to the SIMD kernel table. Only the array matching store()
+  /// is populated; the others are empty.
+  const float *rawF32() const { return Flat.data(); }
+  const uint16_t *rawF16() const { return FlatF16.data(); }
+  const int8_t *rawI8() const { return FlatI8.data(); }
+  const float *rawI8Scales() const { return Scales.data(); }
   /// Coordinate \p Dim of marker \p I, decoded from whatever store holds
   /// it (index construction probes single coordinates).
   float coord(size_t I, int Dim) const;
@@ -261,19 +269,39 @@ std::vector<ScoredType> scoreNeighbors(const TypeMap &Map,
                                        const NeighborList &Neighbors,
                                        double P);
 
-/// Exact L1 k-nearest-neighbour scan (the reference the approximate index
-/// is validated against).
+/// Exact L1 k-nearest-neighbour scan (the reference the approximate
+/// indexes are validated against). The engine is a cache-blocked
+/// query×marker tiled scan: each marker tile is streamed once through
+/// every query of a query block, each query keeps a fixed-size bounded
+/// max-heap of the best k seen so far (no O(N) allocation per query),
+/// and the tile bodies dispatch through the active SIMD kernel table
+/// with the store switch hoisted out of the inner loops. Ties break
+/// (distance, index) exactly like the historical partial_sort, so
+/// results are bit-identical to queryLegacy for every store.
 class ExactIndex {
 public:
   explicit ExactIndex(const TypeMap &Map) : Map(Map) {}
   NeighborList query(const float *Q, int K) const;
 
+  /// The historical scan — materialize an N-entry candidate list, then
+  /// partial_sort. Kept as the bit-identity reference for tests and the
+  /// knn_query bench baseline; production callers use query().
+  NeighborList queryLegacy(const float *Q, int K) const;
+
   /// Answers \p NumQueries queries (rows of \p Qs, stride dim()) through
-  /// the pool; \p MaxWays > 0 caps the parallelism.
+  /// the pool, partitioned in tile-sized grains with per-chunk reusable
+  /// scratch; \p MaxWays > 0 caps the parallelism.
   std::vector<NeighborList> queryBatch(const float *Qs, int64_t NumQueries,
                                        int K, int MaxWays = 0) const;
 
 private:
+  /// Blocked engine over queries [QBegin, QEnd) of \p Qs. \p Heaps is
+  /// caller-owned scratch (one bounded heap per query of the block),
+  /// reused across blocks by queryBatch.
+  void queryBlock(const float *Qs, int64_t QBegin, int64_t QEnd, int K,
+                  std::vector<NeighborList> &Heaps,
+                  std::vector<NeighborList> &Results) const;
+
   const TypeMap &Map;
 };
 
@@ -335,6 +363,105 @@ private:
   size_t NumIndexed = 0;
   std::vector<BuildNode> Nodes;
   std::vector<int> Roots;
+};
+
+/// A deterministic HNSW (hierarchical navigable small-world) graph for L1
+/// distance. Level assignment is a pure function of (Seed, row index),
+/// rows are inserted in row order, and every selection step (beam
+/// updates, neighbour pruning, tie-breaks) is sequential under the
+/// (distance, index) order — candidate *distances* are evaluated in
+/// parallel through the pool, but distances are bit-identical for any
+/// thread count, so the built graph and every query answer are a
+/// function of (Map, Seed) alone. Query cost is O(ef · M · log N)
+/// distance evaluations — sublinear in marker count — with EfSearch as
+/// the per-request latency/recall budget. Tombstoned rows keep routing
+/// through the graph but never surface as results (same contract as the
+/// other two indexes), and markers appended after the build are covered
+/// by the caller's exact delta scan via indexedMarkers().
+class HnswIndex {
+public:
+  /// \p M: max links per node per upper layer (layer 0 keeps 2M);
+  /// \p EfConstruction: insertion beam width; \p MaxWays > 0 caps the
+  /// build-time distance-evaluation parallelism (1 = fully serial).
+  HnswIndex(const TypeMap &Map, int M = 16, int EfConstruction = 128,
+            uint64_t Seed = 0x45317, int MaxWays = 0);
+
+  /// \p EfSearch: layer-0 beam width, the query-time budget (candidates
+  /// inspected per request). Defaults to max(4·K, 64); clamped to >= K.
+  NeighborList query(const float *Q, int K, int EfSearch = -1) const;
+
+  /// Answers \p NumQueries queries (rows of \p Qs, stride dim()) through
+  /// the pool; \p MaxWays > 0 caps the parallelism.
+  std::vector<NeighborList> queryBatch(const float *Qs, int64_t NumQueries,
+                                       int K, int EfSearch = -1,
+                                       int MaxWays = 0) const;
+
+  /// Markers the graph was built (or loaded) over; rows appended later
+  /// are invisible until a rebuild (same contract as AnnoyIndex).
+  size_t indexedMarkers() const { return NumIndexed; }
+
+  int m() const { return M; }
+  int efConstruction() const { return EfConstruction; }
+
+  /// Appends the built graph (params, entry point, per-node levels and
+  /// adjacency) to the open chunk so serving processes skip the build.
+  void save(ArchiveWriter &W) const;
+  /// Reconstructs a graph written by save() over \p Map (which must be
+  /// the snapshot saved alongside it). Queries on the loaded graph are
+  /// bit-identical to queries on the original.
+  static std::unique_ptr<HnswIndex> load(ArchiveCursor &C, const TypeMap &Map,
+                                         std::string *Err);
+
+private:
+  struct LoadShellTag {};
+  HnswIndex(const TypeMap &Map, LoadShellTag) : Map(Map) {}
+
+  struct Node {
+    int Level = 0;
+    /// Links[L]: neighbour row indices at layer L, 0 <= L <= Level.
+    std::vector<std::vector<int>> Links;
+  };
+
+  /// Reusable per-query search state (epoch-marked visited array: no
+  /// O(N) clear per query).
+  struct SearchScratch {
+    std::vector<uint32_t> VisitedAt;
+    uint32_t Epoch = 0;
+    std::vector<int> Frontier;    ///< Unvisited neighbours this round.
+    std::vector<float> FrontierD; ///< Their distances (parallel eval).
+  };
+
+  /// Beam search at \p Layer from entry point \p Ep: the best \p Ef
+  /// (distance, index) pairs, ascending.
+  void searchLayer(const float *Q, int Ep, float EpDist, int Ef, int Layer,
+                   SearchScratch &S,
+                   std::vector<std::pair<float, int>> &Out) const;
+  /// Greedy descent at \p Layer (ef = 1).
+  void descendLayer(const float *Q, int &Ep, float &EpDist, int Layer) const;
+  /// Distances from \p Q to \p Ids through the pool (MaxWays-capped).
+  void distanceMany(const float *Q, const int *Ids, size_t N,
+                    float *Out) const;
+  void insert(size_t I, const float *Coords, SearchScratch &S);
+  /// Prunes node \p NodeId's layer-\p Layer links to the \p MaxLinks
+  /// closest under (distance, index). \p Decode is reusable scratch for
+  /// the node's own coordinates.
+  void shrinkLinks(int NodeId, int Layer, int MaxLinks,
+                   std::vector<float> &Decode);
+  /// query() with caller-owned scratch (queryBatch reuses it per chunk).
+  NeighborList queryWithScratch(const float *Q, int K, int EfSearch,
+                                SearchScratch &S) const;
+  /// Seeded geometric level for row \p I — pure in (Seed, I).
+  int levelFor(size_t I) const;
+
+  const TypeMap &Map;
+  int M = 16;
+  int EfConstruction = 128;
+  uint64_t Seed = 0x45317;
+  int MaxWays = 0;
+  size_t NumIndexed = 0;
+  int EntryPoint = -1;
+  int MaxLevel = -1;
+  std::vector<Node> Nodes;
 };
 
 } // namespace typilus

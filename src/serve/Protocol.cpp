@@ -121,6 +121,8 @@ std::string serve::statsResponse(int64_t Id, const ServerStats &S) {
          ",\"queue_wait_max_us\":" + std::to_string(S.QueueWaitMaxUs) +
          ",\"predict_mean_us\":" + std::to_string(S.PredictTotalUs / N) +
          ",\"predict_max_us\":" + std::to_string(S.PredictMaxUs) +
+         ",\"embed_mean_us\":" + std::to_string(S.EmbedTotalUs / N) +
+         ",\"knn_mean_us\":" + std::to_string(S.KnnTotalUs / N) +
          ",\"cache_hits\":" + std::to_string(S.CacheHits) +
          ",\"cache_misses\":" + std::to_string(S.CacheMisses) +
          ",\"cache_evictions\":" + std::to_string(S.CacheEvictions) +

@@ -81,6 +81,16 @@ struct ServerStats {
   uint64_t QueueWaitMaxUs = 0;
   uint64_t PredictTotalUs = 0;
   uint64_t PredictMaxUs = 0;
+  /// The predict phase split per request: time inside the encoder
+  /// (embedding query files) vs time probing the kNN index, from
+  /// Predictor::embedMicros / knnMicros diffs around each batch.
+  /// Attributed like PredictTotalUs — every request a batch coalesced
+  /// saw its batch's full cost — so the running means sit next to
+  /// predict_mean_us on the same scale. Cache hits add nothing to
+  /// either: the split shows where a miss's latency actually goes
+  /// (GNN forward pass vs index probe).
+  uint64_t EmbedTotalUs = 0;
+  uint64_t KnnTotalUs = 0;
   /// Response cache (keyed on path + FNV-1a source digest; see
   /// Server.h). Hits/misses count per-batch lookups — one per distinct
   /// (path, source) group, after collapsing — so a 50-duplicate batch

@@ -305,6 +305,9 @@ void Server::servePredicts(std::vector<Pending> &Batch) {
   // The dispatcher is the only thread interning into the universe
   // (predictSources' parse resolves annotation types) and running the
   // model, by construction — parallelism comes from inside predictBatch.
+  // That also makes the predictor's embed/kNN clocks diffable here
+  // without a race: nothing else advances them between these reads.
+  uint64_t EmbedUs0 = Pred->embedMicros(), KnnUs0 = Pred->knnMicros();
   std::string Err;
   if (!Miss.empty()) {
     try {
@@ -352,6 +355,8 @@ void Server::servePredicts(std::vector<Pending> &Batch) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - Dispatched)
           .count());
+  uint64_t EmbedUs = Pred->embedMicros() - EmbedUs0;
+  uint64_t KnnUs = Pred->knnMicros() - KnnUs0;
 
   std::lock_guard<std::mutex> L(Mu);
   Stats.Requests += Batch.size();
@@ -363,6 +368,8 @@ void Server::servePredicts(std::vector<Pending> &Batch) {
   Stats.QueueWaitMaxUs = std::max(Stats.QueueWaitMaxUs, QueueMaxUs);
   Stats.PredictTotalUs += PredictUs * Batch.size();
   Stats.PredictMaxUs = std::max(Stats.PredictMaxUs, PredictUs);
+  Stats.EmbedTotalUs += EmbedUs * Batch.size();
+  Stats.KnnTotalUs += KnnUs * Batch.size();
   if (CacheOn) {
     Stats.CacheHits += Hits;
     Stats.CacheMisses += Miss.size();

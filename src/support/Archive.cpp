@@ -146,6 +146,18 @@ void ArchiveWriter::writeU16Array(const uint16_t *Data, size_t N) {
   }
 }
 
+void ArchiveWriter::writeI32Array(const int32_t *Data, size_t N) {
+  // The kNN index snapshots (Annoy leaf items, HNSW adjacency) are long
+  // i32 runs; bulk-append on LE hosts like the f32/u16 marker arrays.
+  if (hostIsLittleEndian()) {
+    assert(InChunk && "writes go inside a chunk");
+    ChunkBuf.append(reinterpret_cast<const char *>(Data), N * 4);
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    writeI32(Data[I]);
+}
+
 void ArchiveWriter::writeBytes(const void *Data, size_t N) {
   assert(InChunk && "writes go inside a chunk");
   ChunkBuf.append(static_cast<const char *>(Data), N);
@@ -275,6 +287,15 @@ void ArchiveCursor::readU16Array(uint16_t *Out, size_t N) {
     take(B, 2);
     Out[I] = static_cast<uint16_t>(B[0] | (B[1] << 8));
   }
+}
+
+void ArchiveCursor::readI32Array(int32_t *Out, size_t N) {
+  if (hostIsLittleEndian()) {
+    take(Out, N * 4); // one bounds-checked bulk copy (load hot path)
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    Out[I] = readI32();
 }
 
 void ArchiveCursor::readBytes(void *Out, size_t N) { take(Out, N); }

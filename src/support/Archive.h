@@ -75,6 +75,9 @@ public:
   void writeF32Array(const float *Data, size_t N);
   /// Raw run of \p N u16 values (the f16 marker store's bit patterns).
   void writeU16Array(const uint16_t *Data, size_t N);
+  /// Raw run of \p N i32 values (index adjacency/leaf-item runs). Byte
+  /// stream identical to N writeI32 calls.
+  void writeI32Array(const int32_t *Data, size_t N);
   /// Raw run of \p N bytes (no length prefix; pair with a count field).
   void writeBytes(const void *Data, size_t N);
 
@@ -111,6 +114,8 @@ public:
   void readF32Array(float *Out, size_t N);
   /// Reads exactly \p N u16 values into \p Out (which must hold N).
   void readU16Array(uint16_t *Out, size_t N);
+  /// Reads exactly \p N i32 values into \p Out (which must hold N).
+  void readI32Array(int32_t *Out, size_t N);
   /// Reads exactly \p N raw bytes into \p Out (which must hold N).
   void readBytes(void *Out, size_t N);
 

@@ -150,19 +150,20 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 //===----------------------------------------------------------------------===//
-// The acceptance matrix: {Annoy, exact} x {1 thread, 4 threads}
+// The acceptance matrix: {Annoy, exact, HNSW} x {1 thread, 4 threads}
 //===----------------------------------------------------------------------===//
 
-TEST(ArtifactTest, ServedPredictionsMatchForBothIndexesAndThreadCounts) {
+TEST(ArtifactTest, ServedPredictionsMatchForAllIndexesAndThreadCounts) {
   Workbench WB = makeTinyWorkbench();
   ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
   std::unique_ptr<TypeModel> M = trainTiny(WB, MC, /*Epochs=*/2);
 
-  for (bool UseAnnoy : {true, false}) {
+  for (KnnIndexKind Kind :
+       {KnnIndexKind::Annoy, KnnIndexKind::Exact, KnnIndexKind::Hnsw}) {
     KnnOptions KO;
-    KO.UseAnnoy = UseAnnoy;
+    KO.Index = Kind;
     Predictor P = makePredictor(WB, *M, KO);
-    std::string Path = tempArtifactPath(UseAnnoy ? "annoy" : "exact");
+    std::string Path = tempArtifactPath(knnIndexName(Kind));
     std::string Err;
     ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
     auto InProc = P.predictAll(WB.DS.Test);
@@ -172,7 +173,7 @@ TEST(ArtifactTest, ServedPredictionsMatchForBothIndexesAndThreadCounts) {
       std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
       ASSERT_NE(L, nullptr) << Err;
       KnnOptions LKO = L->knnOptions();
-      EXPECT_EQ(LKO.UseAnnoy, UseAnnoy);
+      EXPECT_EQ(LKO.Index, Kind);
       LKO.NumThreads = Threads;
       L->setKnnOptions(LKO);
       auto Served = L->predictAll(WB.DS.Test);
@@ -636,6 +637,61 @@ TEST(ArtifactTest, QuantizedArtifactStampsVersionTwoAndStoreChunk) {
   EXPECT_TRUE(R.hasChunk("tmq8"));
   EXPECT_FALSE(R.hasChunk("tmap"));
   std::remove(Path.c_str());
+}
+
+// The HNSW graph snapshot: version 3, the "hnsw" chunk, and a loaded
+// predictor that answers from the snapshotted graph bit-identically to
+// the in-process builder (the graph is deterministic in (Map, Seed), so
+// snapshot-vs-rebuild is also identity — but load must not rebuild).
+TEST(ArtifactTest, HnswArtifactStampsVersionThreeAndRoundTrips) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  KnnOptions KO;
+  KO.Index = KnnIndexKind::Hnsw;
+  Predictor P = makePredictor(WB, *M, KO);
+  EXPECT_EQ(P.artifactVersion(), 3u);
+
+  std::string Path = tempArtifactPath("hnswv3");
+  std::string Err;
+  ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+  ArchiveReader R;
+  ASSERT_TRUE(R.openBytes(readFileBytes(Path), &Err)) << Err;
+  EXPECT_EQ(R.formatVersion(), 3u);
+  EXPECT_TRUE(R.hasChunk("hnsw"));
+  EXPECT_TRUE(R.hasChunk("tmap")); // the store tag is orthogonal
+
+  auto InProc = P.predictAll(WB.DS.Test);
+  std::unique_ptr<Predictor> L = Predictor::load(Path, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  EXPECT_EQ(L->knnOptions().Index, KnnIndexKind::Hnsw);
+  ASSERT_NE(L->hnswIndex(), nullptr);
+  expectBitIdentical(InProc, L->predictAll(WB.DS.Test));
+  std::remove(Path.c_str());
+}
+
+// Opting into HNSW is the ONLY way to version 3: exact and Annoy
+// artifacts keep their historical stamp and carry no graph chunk, so
+// pre-PR readers and byte-level artifact diffs are unaffected.
+TEST(ArtifactTest, NonHnswArtifactsCarryNoGraphChunk) {
+  Workbench WB = makeTinyWorkbench();
+  ModelConfig MC = tinyConfig(EncoderKind::Graph, LossKind::Typilus);
+  std::unique_ptr<TypeModel> M = trainTiny(WB, MC);
+  for (KnnIndexKind Kind : {KnnIndexKind::Annoy, KnnIndexKind::Exact}) {
+    KnnOptions KO;
+    KO.Index = Kind;
+    Predictor P = makePredictor(WB, *M, KO);
+    EXPECT_EQ(P.artifactVersion(), 1u) << knnIndexName(Kind);
+    std::string Path =
+        tempArtifactPath(std::string("nograph_") + knnIndexName(Kind));
+    std::string Err;
+    ASSERT_TRUE(P.save(Path, *WB.U, &Err)) << Err;
+    ArchiveReader R;
+    ASSERT_TRUE(R.openBytes(readFileBytes(Path), &Err)) << Err;
+    EXPECT_EQ(R.formatVersion(), 1u) << knnIndexName(Kind);
+    EXPECT_FALSE(R.hasChunk("hnsw")) << knnIndexName(Kind);
+    std::remove(Path.c_str());
+  }
 }
 
 // Quantization is one-way: re-encoding an already-lossy store compounds

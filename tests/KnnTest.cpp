@@ -791,3 +791,230 @@ TEST(TypeMapMutationTest, TagsSurviveCoresetEviction) {
   EXPECT_EQ(F.Map.removeMarkersForFile(F.Files[0]), TaggedA);
   EXPECT_EQ(F.Map.liveSize(), F.Map.size() - TaggedA);
 }
+
+//===----------------------------------------------------------------------===//
+// Blocked exact top-k: bit-identical to the legacy full-sort scan
+//===----------------------------------------------------------------------===//
+
+TEST(ExactIndexTest, BlockedScanMatchesLegacyBitForBit) {
+  // The blocked engine replaces materialize + partial_sort with a tiled
+  // scan and a bounded heap; (distance, index) is a total order, so the
+  // selected set — and its order — must be the legacy result exactly,
+  // on every marker store and at any thread count.
+  MapFixture F(1500, 12, 16, 31);
+  Rng R(32);
+  const int NumQ = 40, D = 16;
+  std::vector<float> Qs;
+  for (int Q = 0; Q != NumQ; ++Q) {
+    if (Q < 10) { // self-queries exercise exact-zero distances
+      Qs.insert(Qs.end(), F.Points[static_cast<size_t>(Q)].begin(),
+                F.Points[static_cast<size_t>(Q)].end());
+      continue;
+    }
+    for (int I = 0; I != D; ++I)
+      Qs.push_back(static_cast<float>(R.normal()));
+  }
+
+  for (MarkerStore S :
+       {MarkerStore::F32, MarkerStore::F16, MarkerStore::Int8}) {
+    TypeMap Map = F.Map;
+    if (S != MarkerStore::F32)
+      Map.quantize(S);
+    ExactIndex Idx(Map);
+    for (int K : {1, 10, 64, 2000}) { // 2000 > N: clamped, full sort
+      for (int Q = 0; Q != NumQ; ++Q) {
+        auto Blocked = Idx.query(Qs.data() + Q * D, K);
+        auto Legacy = Idx.queryLegacy(Qs.data() + Q * D, K);
+        ASSERT_EQ(Blocked, Legacy)
+            << markerStoreName(S) << " query " << Q << " K=" << K;
+      }
+      for (int Threads : {1, 4}) {
+        setGlobalNumThreads(Threads);
+        auto Batch = Idx.queryBatch(Qs.data(), NumQ, K);
+        setGlobalNumThreads(0);
+        ASSERT_EQ(Batch.size(), static_cast<size_t>(NumQ));
+        for (int Q = 0; Q != NumQ; ++Q)
+          ASSERT_EQ(Batch[static_cast<size_t>(Q)],
+                    Idx.queryLegacy(Qs.data() + Q * D, K))
+              << markerStoreName(S) << " batch query " << Q << " K=" << K
+              << " threads=" << Threads;
+      }
+    }
+  }
+}
+
+TEST(ExactIndexTest, BlockedScanHandlesDegenerateK) {
+  MapFixture F(50, 5, 8, 34);
+  ExactIndex Idx(F.Map);
+  EXPECT_TRUE(Idx.query(F.Points[0].data(), 0).empty());
+  auto Batch = Idx.queryBatch(F.Points[0].data(), 1, 0);
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_TRUE(Batch[0].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// HNSW graph index (deterministic build, budgeted query)
+//===----------------------------------------------------------------------===//
+
+TEST(HnswIndexTest, EmptyMapYieldsNothing) {
+  TypeUniverse U;
+  TypeMap Map(4);
+  HnswIndex H(Map);
+  std::vector<float> Q(4, 0.f);
+  EXPECT_TRUE(H.query(Q.data(), 5).empty());
+}
+
+TEST(HnswIndexTest, HighRecallVsExactAndAtLeastAnnoy) {
+  // The acceptance guardrail: at the default build parameters and a
+  // bounded per-query budget, recall@10 against the exact scan must
+  // clear 0.95 — and not trail the Annoy forest's at its defaults.
+  MapFixture F(2000, 20, 16, 4);
+  ExactIndex Exact(F.Map);
+  AnnoyIndex Annoy(F.Map);
+  HnswIndex Hnsw(F.Map);
+  Rng R(5);
+  double AnnoyRecall = 0, HnswRecall = 0;
+  const int Queries = 50, K = 10;
+  for (int Q = 0; Q != Queries; ++Q) {
+    std::vector<float> P(16);
+    for (float &X : P)
+      X = static_cast<float>(R.normal());
+    auto Truth = Exact.query(P.data(), K);
+    std::set<int> TruthSet;
+    for (auto [I, D] : Truth)
+      TruthSet.insert(I);
+    int AnnoyHits = 0, HnswHits = 0;
+    for (auto [I, D] : Annoy.query(P.data(), K))
+      AnnoyHits += TruthSet.count(I);
+    for (auto [I, D] : Hnsw.query(P.data(), K, /*EfSearch=*/128))
+      HnswHits += TruthSet.count(I);
+    AnnoyRecall += static_cast<double>(AnnoyHits) / K;
+    HnswRecall += static_cast<double>(HnswHits) / K;
+  }
+  AnnoyRecall /= Queries;
+  HnswRecall /= Queries;
+  EXPECT_GE(HnswRecall, 0.95) << "HNSW recall@10 below the guardrail";
+  EXPECT_GE(HnswRecall, AnnoyRecall)
+      << "HNSW must not trail the Annoy forest at default parameters";
+}
+
+TEST(HnswIndexTest, ReturnedDistancesAreTrueL1) {
+  MapFixture F(300, 5, 8, 6);
+  HnswIndex H(F.Map);
+  auto N = H.query(F.Points[7].data(), 5);
+  ASSERT_FALSE(N.empty());
+  for (auto [Idx, Dist] : N) {
+    float True = 0;
+    for (int D = 0; D != 8; ++D)
+      True += std::fabs(F.Points[7][static_cast<size_t>(D)] -
+                        F.Map.embedding(static_cast<size_t>(Idx))[D]);
+    EXPECT_NEAR(Dist, True, 1e-4f);
+  }
+}
+
+TEST(HnswIndexTest, BuildIsDeterministicAcrossThreadCounts) {
+  // The graph is a function of (Map, Seed) alone: insertion order is
+  // sequential and only candidate distance evaluation fans out, so any
+  // thread count builds byte-identical adjacency — asserted through
+  // query identity, the observable that matters.
+  MapFixture F(900, 10, 8, 35);
+  setGlobalNumThreads(1);
+  HnswIndex Serial(F.Map, 16, 128, 42);
+  setGlobalNumThreads(4);
+  HnswIndex Parallel(F.Map, 16, 128, 42);
+  setGlobalNumThreads(0);
+  for (size_t Q = 0; Q != 30; ++Q) {
+    auto NA = Serial.query(F.Points[Q].data(), 10);
+    auto NB = Parallel.query(F.Points[Q].data(), 10);
+    ASSERT_EQ(NA, NB) << "query " << Q;
+  }
+}
+
+TEST(HnswIndexTest, QueryBatchMatchesIndividualQueries) {
+  MapFixture F(800, 10, 8, 36);
+  HnswIndex H(F.Map, 16, 128, 7);
+  std::vector<float> Qs;
+  const int NumQ = 30, D = 8;
+  for (int Q = 0; Q != NumQ; ++Q)
+    Qs.insert(Qs.end(), F.Points[static_cast<size_t>(Q)].begin(),
+              F.Points[static_cast<size_t>(Q)].end());
+  for (int Threads : {1, 4}) {
+    setGlobalNumThreads(Threads);
+    auto Batch = H.queryBatch(Qs.data(), NumQ, 5);
+    setGlobalNumThreads(0);
+    ASSERT_EQ(Batch.size(), static_cast<size_t>(NumQ));
+    for (int Q = 0; Q != NumQ; ++Q)
+      ASSERT_EQ(Batch[static_cast<size_t>(Q)], H.query(Qs.data() + Q * D, 5))
+          << "query " << Q << " threads=" << Threads;
+  }
+}
+
+TEST(HnswIndexTest, EfSearchTradesRecallMonotonically) {
+  // The per-request budget is a real knob: a clamped-to-K beam may miss,
+  // a generous one must not do worse. (Weak monotonicity only — equal
+  // recalls are fine on easy data.)
+  MapFixture F(1500, 12, 16, 37);
+  ExactIndex Exact(F.Map);
+  HnswIndex H(F.Map);
+  Rng R(38);
+  const int Queries = 30, K = 10;
+  double RecallAt[2] = {0, 0}; // EfSearch = K (floor) vs 256
+  for (int Q = 0; Q != Queries; ++Q) {
+    std::vector<float> P(16);
+    for (float &X : P)
+      X = static_cast<float>(R.normal());
+    std::set<int> TruthSet;
+    for (auto [I, D] : Exact.query(P.data(), K))
+      TruthSet.insert(I);
+    int E = 0;
+    for (int Ef : {K, 256}) {
+      int Hits = 0;
+      for (auto [I, D] : H.query(P.data(), K, Ef))
+        Hits += TruthSet.count(I);
+      RecallAt[E++] += static_cast<double>(Hits) / K;
+    }
+  }
+  EXPECT_GE(RecallAt[1], RecallAt[0]);
+  EXPECT_GE(RecallAt[1] / Queries, 0.95);
+}
+
+TEST(HnswIndexTest, DeadRowsAreSkipped) {
+  TaggedMapFixture F(4, 25, 6, 8, 27);
+  HnswIndex H(F.Map, 16, 128, 42);
+  std::string Victim = F.Tags[30];
+  ASSERT_GT(F.Map.removeMarkersForFile(Victim), 0u);
+  // An index built before the removal routes through dead rows but never
+  // surfaces one.
+  for (size_t Q = 0; Q < F.Points.size(); Q += 9) {
+    auto N = H.query(F.Points[Q].data(), 10);
+    ASSERT_FALSE(N.empty());
+    for (auto [I, D] : N) {
+      EXPECT_TRUE(F.Map.isLive(static_cast<size_t>(I)));
+      EXPECT_NE(F.Map.fileTag(static_cast<size_t>(I)), Victim);
+    }
+  }
+}
+
+TEST(HnswIndexTest, SnapshotRoundTripIsQueryIdentical) {
+  MapFixture F(600, 8, 8, 33);
+  HnswIndex Built(F.Map, 16, 128, 42);
+  ArchiveWriter W(3);
+  W.beginChunk("hnsw");
+  Built.save(W);
+  W.endChunk();
+  ArchiveReader R;
+  std::string Err;
+  ASSERT_TRUE(R.openBytes(W.bytes(), &Err)) << Err;
+  ArchiveCursor C = R.chunk("hnsw", &Err);
+  std::unique_ptr<HnswIndex> Loaded = HnswIndex::load(C, F.Map, &Err);
+  ASSERT_NE(Loaded, nullptr) << Err;
+  ASSERT_TRUE(C.atEnd()) << "trailing bytes in the hnsw snapshot";
+  EXPECT_EQ(Loaded->indexedMarkers(), Built.indexedMarkers());
+  EXPECT_EQ(Loaded->m(), Built.m());
+  EXPECT_EQ(Loaded->efConstruction(), Built.efConstruction());
+  for (size_t Q = 0; Q != 25; ++Q)
+    for (int Ef : {-1, 32, 200})
+      ASSERT_EQ(Loaded->query(F.Points[Q].data(), 10, Ef),
+                Built.query(F.Points[Q].data(), 10, Ef))
+          << "query " << Q << " ef " << Ef;
+}

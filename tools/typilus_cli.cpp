@@ -72,7 +72,9 @@ struct Options {
   int K = 10;
   double P = 1.0;
   bool HaveK = false, HaveP = false;
-  bool Exact = false, AnnoyFlag = false;
+  bool Exact = false, AnnoyFlag = false; ///< Aliases for --index.
+  std::string IndexName;   ///< --index: exact | annoy | hnsw.
+  int EfSearch = 0;        ///< --ef-search: HNSW query budget (0 = default).
   std::string TmapStore;       ///< --tmap-store: f32 | f16 | int8.
   long TmapMaxMarkers = 0;     ///< --tmap-max-markers: coreset cap (0 = off).
   bool NoSimd = false;         ///< --no-simd: pin the scalar kernel table.
@@ -91,7 +93,8 @@ int usage(const char *Argv0) {
       "  train    train on the synthetic corpus and write an artifact\n"
       "           --out PATH [--files N] [--udts N] [--epochs N]\n"
       "           [--hidden D] [--encoder graph|seq|path|names]\n"
-      "           [--loss typilus|space|class] [--exact] [--k N] [--p F]\n"
+      "           [--loss typilus|space|class] [--index exact|annoy|hnsw]\n"
+      "           [--ef-search N] [--k N] [--p F]\n"
       "           [--threads N] [--seed S] [--checkpoint PATH] [--resume]\n"
       "           [--checkpoint-every STEPS] [--shards DIR] [--verbose]\n"
       "           [--tmap-store f32|f16|int8] [--tmap-max-markers N]\n"
@@ -114,11 +117,12 @@ int usage(const char *Argv0) {
       "  predict  load an artifact and predict, no training data needed\n"
       "           --model PATH [--split train|valid|test] [--limit N]\n"
       "           [--source FILE.py]... [--shards DIR] [--threads N]\n"
-      "           [--no-prefetch]\n"
+      "           [--no-prefetch] [--ef-search N]\n"
       "  inspect  print an artifact's chunks, config and vocabularies\n"
       "           --model PATH\n"
       "  save     rewrite an artifact, optionally changing kNN options\n"
-      "           --model PATH --out PATH [--exact|--annoy] [--k N] [--p F]\n"
+      "           --model PATH --out PATH [--index exact|annoy|hnsw]\n"
+      "           [--ef-search N] [--k N] [--p F]\n"
       "           [--tmap-store f16|int8]  (quantize an f32 τmap in place)\n"
       "  client   talk to a running typilus_serve daemon\n"
       "           (--socket PATH | --tcp HOST:PORT)\n"
@@ -232,6 +236,12 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Exact = true;
     } else if (A == "--annoy") {
       O.AnnoyFlag = true;
+    } else if (A == "--index") {
+      if (!(V = Next("--index"))) return false;
+      O.IndexName = V;
+    } else if (A == "--ef-search") {
+      if (!(V = Next("--ef-search"))) return false;
+      O.EfSearch = std::atoi(V);
     } else if (A == "--tmap-store") {
       if (!(V = Next("--tmap-store"))) return false;
       O.TmapStore = V;
@@ -253,6 +263,28 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
 int fail(const std::string &Err) {
   std::fprintf(stderr, "error: %s\n", Err.c_str());
   return 1;
+}
+
+/// Resolves the index spelling into one KnnIndexKind. `--index NAME` is
+/// the canonical form; `--exact` / `--annoy` predate it and stay as
+/// aliases. \returns false on conflicting or unknown spellings.
+bool resolveIndexKind(const Options &O, KnnIndexKind Default,
+                      KnnIndexKind *Out, std::string *Err) {
+  if ((!O.IndexName.empty() && (O.Exact || O.AnnoyFlag)) ||
+      (O.Exact && O.AnnoyFlag)) {
+    *Err = "--index, --exact and --annoy are mutually exclusive";
+    return false;
+  }
+  if (!O.IndexName.empty()) {
+    if (!parseKnnIndexKind(O.IndexName, Out)) {
+      *Err = "--index expects exact, annoy or hnsw; got '" + O.IndexName + "'";
+      return false;
+    }
+    return true;
+  }
+  *Out = O.Exact ? KnnIndexKind::Exact
+                 : O.AnnoyFlag ? KnnIndexKind::Annoy : Default;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -489,7 +521,10 @@ int cmdTrain(const Options &O) {
     KO.K = O.K;
   if (O.HaveP)
     KO.P = O.P;
-  KO.UseAnnoy = !O.Exact;
+  if (!resolveIndexKind(O, KnnIndexKind::Annoy, &KO.Index, &Err))
+    return fail(Err);
+  if (O.EfSearch > 0)
+    KO.EfSearch = O.EfSearch;
   KO.NumThreads = O.Threads;
   if (!O.TmapStore.empty() && !parseMarkerStore(O.TmapStore, &KO.Store))
     return fail("--tmap-store expects f32, f16 or int8; got '" + O.TmapStore +
@@ -504,8 +539,7 @@ int cmdTrain(const Options &O) {
     std::printf("τmap: %zu markers (%s store, %s index, %zu duplicates "
                 "dropped)\n",
                 P.typeMap().size(), markerStoreName(P.typeMap().store()),
-                KO.UseAnnoy ? "Annoy" : "exact",
-                P.typeMap().droppedDuplicates());
+                knnIndexName(KO.Index), P.typeMap().droppedDuplicates());
 
   if (!O.Out.empty()) {
     ArchiveWriter W(P.artifactVersion());
@@ -647,6 +681,8 @@ int cmdPredict(const Options &O) {
     return fail(Err);
   KnnOptions KO = P->knnOptions();
   KO.NumThreads = O.Threads;
+  if (O.EfSearch > 0)
+    KO.EfSearch = O.EfSearch; // query-time budget only; no index rebuild
   P->setKnnOptions(KO);
   TypeUniverse &U = *P->universe();
   const ModelConfig &MC = P->model().config();
@@ -757,15 +793,22 @@ int cmdInspect(const Options &O) {
               P->model().labelVocab().size(), P->model().typeVocabs().Full.size(),
               P->model().typeVocabs().Erased.size(), P->universe()->size(),
               P->model().params().numParams());
-  if (P->isKnn())
+  if (P->isKnn()) {
     std::printf("τmap: %zu markers (%s store, %zu bytes), k=%d, p=%.2f, "
                 "%s index\n",
                 P->typeMap().size(), markerStoreName(P->typeMap().store()),
                 P->typeMap().storageBytes(), P->knnOptions().K,
-                P->knnOptions().P,
-                P->knnOptions().UseAnnoy ? "Annoy" : "exact");
-  else
+                P->knnOptions().P, knnIndexName(P->knnOptions().Index));
+    if (const HnswIndex *H = P->hnswIndex())
+      std::printf("hnsw graph: %zu nodes, M=%d, efConstruction=%d, "
+                  "efSearch=%s\n",
+                  H->indexedMarkers(), H->m(), H->efConstruction(),
+                  P->knnOptions().EfSearch > 0
+                      ? std::to_string(P->knnOptions().EfSearch).c_str()
+                      : "default");
+  } else {
     std::printf("classifier over the closed type vocabulary\n");
+  }
   if (R.hasChunk("corp")) {
     CorpusConfig CC;
     DatasetConfig DC;
@@ -783,8 +826,6 @@ int cmdInspect(const Options &O) {
 int cmdSave(const Options &O) {
   if (O.ModelPath.empty() || O.Out.empty())
     return fail("save needs --model PATH and --out PATH");
-  if (O.Exact && O.AnnoyFlag)
-    return fail("--exact and --annoy are mutually exclusive");
   ArchiveReader R;
   std::string Err;
   if (!R.openFile(O.ModelPath, &Err))
@@ -798,10 +839,10 @@ int cmdSave(const Options &O) {
     KO.K = O.K;
   if (O.HaveP)
     KO.P = O.P;
-  if (O.Exact)
-    KO.UseAnnoy = false;
-  if (O.AnnoyFlag)
-    KO.UseAnnoy = true;
+  if (!resolveIndexKind(O, KO.Index, &KO.Index, &Err))
+    return fail(Err);
+  if (O.EfSearch > 0)
+    KO.EfSearch = O.EfSearch;
   P->setKnnOptions(KO); // rebuilds the index when the kind flips
   if (!O.TmapStore.empty()) {
     MarkerStore S;
@@ -823,10 +864,10 @@ int cmdSave(const Options &O) {
   }
   if (!W.writeFile(O.Out, &Err))
     return fail(Err);
+  std::string IndexNote =
+      P->isKnn() ? std::string(", ") + knnIndexName(KO.Index) + " index" : "";
   std::printf("rewritten: %s -> %s (%zu bytes%s)\n", O.ModelPath.c_str(),
-              O.Out.c_str(), W.bytes().size(),
-              P->isKnn() ? (KO.UseAnnoy ? ", Annoy index" : ", exact index")
-                         : "");
+              O.Out.c_str(), W.bytes().size(), IndexNote.c_str());
   return 0;
 }
 

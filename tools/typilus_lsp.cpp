@@ -43,6 +43,7 @@ struct Options {
   std::string SocketPath;
   bool Stdio = false;
   int Threads = 0;
+  int EfSearch = 0; ///< --ef-search: HNSW query budget (0 = default).
   double MinConfidence = 0.5;
   bool NoCheckerGate = false;
   bool InferLocals = false;
@@ -59,6 +60,8 @@ int usage(const char *Argv0) {
       "typilus/types notification carrying the prediction digest).\n"
       "Options:\n"
       "  --threads N           pool size (0 = hardware, 1 = serial)\n"
+      "  --ef-search N         HNSW per-request query budget (0 = the\n"
+      "                        index default; other indexes ignore it)\n"
       "  --min-confidence X    publish threshold (default 0.5)\n"
       "  --no-checker-gate     publish without the Sec. 6.3 checker gate\n"
       "  --infer-locals        pytype-like inference inside the gate\n"
@@ -92,6 +95,10 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       if (!(V = Next("--threads")))
         return false;
       O.Threads = std::atoi(V);
+    } else if (A == "--ef-search") {
+      if (!(V = Next("--ef-search")))
+        return false;
+      O.EfSearch = std::atoi(V);
     } else if (A == "--min-confidence") {
       if (!(V = Next("--min-confidence")))
         return false;
@@ -200,6 +207,8 @@ int main(int Argc, char **Argv) {
   }
   KnnOptions KO = P->knnOptions();
   KO.NumThreads = O.Threads;
+  if (O.EfSearch > 0)
+    KO.EfSearch = O.EfSearch;
   P->setKnnOptions(KO);
   const ModelConfig &MC = P->model().config();
   // stdout is the protocol channel; human chatter goes to stderr.

@@ -53,6 +53,7 @@ struct Options {
   int Limit = -1;
   int CacheEntries = 1024;
   int MaxQueue = 0;
+  int EfSearch = 0;    ///< --ef-search: HNSW query budget (0 = default).
   bool NoSimd = false; ///< --no-simd: pin the scalar kernel table.
 };
 
@@ -77,6 +78,9 @@ int usage(const char *Argv0) {
       "                         0 = off)\n"
       "  --max-queue N          shed predicts with an `overloaded` error\n"
       "                         past this queue depth (default 0 = off)\n"
+      "  --ef-search N          HNSW per-request query budget (layer-0\n"
+      "                         beam width; 0 = the index default,\n"
+      "                         max(4k, 64); other indexes ignore it)\n"
       "  --no-simd              pin the scalar reference kernels\n"
       "                         (bit-reproducible across hosts)\n",
       Argv0);
@@ -136,6 +140,10 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       if (!(V = Next("--max-queue")))
         return false;
       O.MaxQueue = std::atoi(V);
+    } else if (A == "--ef-search") {
+      if (!(V = Next("--ef-search")))
+        return false;
+      O.EfSearch = std::atoi(V);
     } else if (A == "--no-simd") {
       O.NoSimd = true;
     } else {
@@ -296,6 +304,8 @@ int main(int Argc, char **Argv) {
   }
   KnnOptions KO = P->knnOptions();
   KO.NumThreads = O.Threads;
+  if (O.EfSearch > 0)
+    KO.EfSearch = O.EfSearch;
   P->setKnnOptions(KO);
   const ModelConfig &MC = P->model().config();
   // In stdio mode stdout IS the response channel — NDJSON only; human
@@ -319,13 +329,16 @@ int main(int Argc, char **Argv) {
   // Runs on the dispatcher thread; failure keeps the current artifact.
   std::string ModelPath = O.ModelPath;
   int Threads = O.Threads;
-  SO.OnReload = [ModelPath, Threads,
+  int EfSearch = O.EfSearch;
+  SO.OnReload = [ModelPath, Threads, EfSearch,
                  Stdio = O.Stdio](std::string *Err) -> std::shared_ptr<Predictor> {
     std::shared_ptr<Predictor> NewP = Predictor::load(ModelPath, Err);
     if (!NewP)
       return nullptr;
     KnnOptions KO = NewP->knnOptions();
     KO.NumThreads = Threads;
+    if (EfSearch > 0)
+      KO.EfSearch = EfSearch;
     NewP->setKnnOptions(KO);
     std::fprintf(Stdio ? stderr : stdout, "typilus_serve: reloaded %s\n",
                  ModelPath.c_str());
